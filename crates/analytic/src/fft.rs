@@ -1,0 +1,148 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use crate::complex::Complex;
+
+/// In-place forward FFT. Length must be a power of two.
+pub fn fft(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (includes the 1/N normalization).
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, true);
+    let inv = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(inv);
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// O(N²) reference DFT for testing.
+pub fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                acc += x * Complex::cis(-std::f64::consts::TAU * k as f64 * j as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let expected = naive_dft(&input);
+            let mut got = input.clone();
+            fft(&mut got);
+            for (g, e) in got.iter().zip(&expected) {
+                assert!(close(*g, *e, 1e-9 * n as f64), "n={n}: {g:?} vs {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let input: Vec<Complex> = (0..256)
+            .map(|i| Complex::new((i as f64).sqrt(), -(i as f64) * 0.01))
+            .collect();
+        let mut data = input.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&input) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut data = vec![Complex::ZERO; 16];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for z in &data {
+            assert!(close(*z, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates() {
+        let n = 64;
+        let k0 = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(std::f64::consts::TAU * k0 as f64 * i as f64 / n as f64))
+            .collect();
+        fft(&mut data);
+        for (k, z) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let input: Vec<Complex> = (0..128)
+            .map(|i| Complex::new((i % 7) as f64 - 3.0, (i % 5) as f64))
+            .collect();
+        let time_energy: f64 = input.iter().map(|z| z.abs().powi(2)).sum();
+        let mut data = input.clone();
+        fft(&mut data);
+        let freq_energy: f64 =
+            data.iter().map(|z| z.abs().powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        fft(&mut [Complex::ZERO; 12]);
+    }
+}

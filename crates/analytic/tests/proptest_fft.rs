@@ -1,0 +1,85 @@
+//! Property tests for the FFT and filters.
+
+use proptest::prelude::*;
+use xct_analytic::{apply_filter, fft, ifft, naive_dft, Complex, FilterKind};
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex::new(re, im)),
+        len..=len,
+    )
+}
+
+proptest! {
+    /// FFT matches the O(N²) DFT on random inputs of random power-of-two
+    /// lengths.
+    #[test]
+    fn fft_equals_dft(pow in 0u32..8, seed in any::<u64>()) {
+        let n = 1usize << pow;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let input: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        let expected = naive_dft(&input);
+        let mut got = input.clone();
+        fft(&mut got);
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert!((*g - *e).abs() < 1e-7 * (n as f64).max(1.0));
+        }
+    }
+
+    /// fft∘ifft is the identity for any input.
+    #[test]
+    fn fft_ifft_roundtrip(data in complex_vec(64)) {
+        let mut x = data.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(&data) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    /// FFT is linear.
+    #[test]
+    fn fft_is_linear(a in complex_vec(32), b in complex_vec(32), alpha in -3.0f64..3.0) {
+        let combo: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x.scale(alpha) + y).collect();
+        let mut fa = a.clone();
+        fft(&mut fa);
+        let mut fb = b.clone();
+        fft(&mut fb);
+        let mut fc = combo;
+        fft(&mut fc);
+        for ((&x, &y), &c) in fa.iter().zip(&fb).zip(&fc) {
+            prop_assert!((x.scale(alpha) + y - c).abs() < 1e-7);
+        }
+    }
+
+    /// Real inputs produce conjugate-symmetric spectra:
+    /// `X[k] == conj(X[N-k])`.
+    #[test]
+    fn real_input_conjugate_symmetry(vals in prop::collection::vec(-10.0f64..10.0, 32..=32)) {
+        let mut data: Vec<Complex> = vals.iter().map(|&v| Complex::real(v)).collect();
+        fft(&mut data);
+        let n = data.len();
+        for k in 1..n {
+            prop_assert!((data[k] - data[n - k].conj()).abs() < 1e-9);
+        }
+    }
+
+    /// Every filter output is bounded by the input's magnitude scale
+    /// (ramp ≤ Nyquist ≤ 0.5/spacing gain).
+    #[test]
+    fn filter_output_bounded(vals in prop::collection::vec(-5.0f32..5.0, 16..128)) {
+        for kind in [FilterKind::RamLak, FilterKind::SheppLogan, FilterKind::Hann] {
+            let out = apply_filter(&vals, 1.0, kind);
+            prop_assert_eq!(out.len(), vals.len());
+            let in_max = vals.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            for &v in &out {
+                prop_assert!(v.is_finite());
+                prop_assert!(v.abs() <= in_max * (vals.len() as f32), "{kind:?}: {v}");
+            }
+        }
+    }
+}

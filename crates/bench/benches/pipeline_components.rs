@@ -1,0 +1,73 @@
+//! Criterion benches for the non-kernel pipeline components: Siddon
+//! tracing / matrix build, Hilbert decomposition, communication planning,
+//! and a full mini CGLS iteration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xct_bench::mini_operator;
+use xct_comm::{DirectPlan, HierarchicalPlan, Topology};
+use xct_core::decompose::SliceDecomposition;
+use xct_geometry::{trace_ray, ImageGrid, ScanGeometry, SystemMatrix};
+use xct_hilbert::{gilbert_order, CurveKind};
+use xct_solver::{cgls, CglsConfig, PrecisionOperator};
+use xct_spmm::Csr;
+
+fn bench_siddon(c: &mut Criterion) {
+    let grid = ImageGrid::square(256, 1.0);
+    c.bench_function("siddon_trace_ray_256", |b| {
+        b.iter(|| trace_ray(black_box(&grid), black_box(0.7), black_box(13.0)))
+    });
+    let scan = ScanGeometry::uniform(ImageGrid::square(64, 1.0), 64);
+    c.bench_function("system_matrix_build_64x64", |b| {
+        b.iter(|| SystemMatrix::build(black_box(&scan)))
+    });
+}
+
+fn bench_hilbert(c: &mut Criterion) {
+    c.bench_function("gilbert_order_512x512", |b| {
+        b.iter(|| gilbert_order(black_box(512), black_box(512)))
+    });
+}
+
+fn bench_comm_planning(c: &mut Criterion) {
+    let (scan, sm, _) = mini_operator(64, 64);
+    let topo = Topology::summit(4);
+    let d = SliceDecomposition::build(&sm, &scan, topo.size(), 4, CurveKind::Hilbert);
+    let ownership = d.ray_ownership();
+    c.bench_function("direct_plan_24ranks", |b| {
+        b.iter(|| DirectPlan::build(black_box(&d.footprints), black_box(&ownership)))
+    });
+    c.bench_function("hierarchical_plan_24ranks", |b| {
+        b.iter(|| {
+            HierarchicalPlan::build(black_box(&d.footprints), black_box(&ownership), &topo)
+        })
+    });
+}
+
+fn bench_cgls(c: &mut Criterion) {
+    let (_, sm, csr) = mini_operator(32, 32);
+    let op = PrecisionOperator::new(&csr, xct_fp16::Precision::Mixed, 1, 64, 96 * 1024);
+    let x = vec![0.5f32; sm.num_voxels()];
+    let mut y = vec![0.0f32; sm.num_rays()];
+    sm.project(&x, &mut y);
+    c.bench_function("cgls_5iter_mixed_32", |b| {
+        b.iter(|| {
+            cgls(
+                black_box(&op),
+                black_box(&y),
+                &CglsConfig {
+                    max_iters: 5,
+                    tolerance: 0.0,
+                    damping: 0.0,
+                },
+            )
+        })
+    });
+    let _ = Csr::<f32>::from_system_matrix(&sm);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_siddon, bench_hilbert, bench_comm_planning, bench_cgls
+}
+criterion_main!(benches);

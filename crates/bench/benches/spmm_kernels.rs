@@ -1,0 +1,94 @@
+//! Criterion benches for the SpMM kernels: optimized vs CSR baseline,
+//! minibatch sweep, precision sweep (real CPU wall time of the simulated
+//! kernels — complements the modeled Fig 9 series).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xct_bench::hilbert_ordered_operator;
+use xct_fp16::F16;
+use xct_spmm::{spmm_buffered_serial, Csr, PackedMatrix};
+
+fn operators() -> (Csr<f32>, Csr<F16>) {
+    let csr = hilbert_ordered_operator(64, 64, 8);
+    let t: Vec<_> = csr.triplets().collect();
+    let half = Csr::<F16>::from_triplets(csr.num_rows(), csr.num_cols(), t.into_iter());
+    (csr, half)
+}
+
+fn bench_minibatch_sweep(c: &mut Criterion) {
+    let (_, half) = operators();
+    let mut group = c.benchmark_group("spmm_minibatch");
+    for fusing in [1usize, 4, 16] {
+        let packed = PackedMatrix::pack(&half, 128, 96 * 1024, fusing);
+        let x = vec![F16::from_f32(0.5); half.num_cols() * fusing];
+        let mut y = vec![F16::ZERO; half.num_rows() * fusing];
+        group.throughput(criterion::Throughput::Elements(
+            (half.nnz() * fusing) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(fusing), &fusing, |b, _| {
+            b.iter(|| {
+                spmm_buffered_serial::<F16, f32>(black_box(&packed), black_box(&x), &mut y)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_baseline(c: &mut Criterion) {
+    let (single, half) = operators();
+    let fusing = 8;
+    let mut group = c.benchmark_group("spmm_vs_baseline");
+    // cuSPARSE-shaped baseline: unfused CSR, re-reads the matrix per slice.
+    let xb = vec![0.5f32; single.num_cols() * fusing];
+    let mut yb = vec![0.0f32; single.num_rows() * fusing];
+    group.bench_function("csr_baseline_f32", |b| {
+        b.iter(|| single.spmm::<f32>(black_box(&xb), &mut yb, fusing))
+    });
+    // Optimized packed mixed-precision kernel.
+    let packed = PackedMatrix::pack(&half, 128, 96 * 1024, fusing);
+    let xh = vec![F16::from_f32(0.5); half.num_cols() * fusing];
+    let mut yh = vec![F16::ZERO; half.num_rows() * fusing];
+    group.bench_function("packed_mixed", |b| {
+        b.iter(|| spmm_buffered_serial::<F16, f32>(black_box(&packed), black_box(&xh), &mut yh))
+    });
+    group.finish();
+}
+
+fn bench_precisions(c: &mut Criterion) {
+    let (single, half) = operators();
+    let t: Vec<_> = single.triplets().collect();
+    let double = Csr::<f64>::from_triplets(single.num_rows(), single.num_cols(), t.into_iter());
+    let fusing = 8;
+    let mut group = c.benchmark_group("spmm_precision");
+
+    let pd = PackedMatrix::pack(&double, 128, 96 * 1024, fusing);
+    let xd = vec![0.5f64; double.num_cols() * fusing];
+    let mut yd = vec![0.0f64; double.num_rows() * fusing];
+    group.bench_function("double", |b| {
+        b.iter(|| spmm_buffered_serial::<f64, f64>(black_box(&pd), black_box(&xd), &mut yd))
+    });
+
+    let ps = PackedMatrix::pack(&single, 128, 96 * 1024, fusing);
+    let xs = vec![0.5f32; single.num_cols() * fusing];
+    let mut ys = vec![0.0f32; single.num_rows() * fusing];
+    group.bench_function("single", |b| {
+        b.iter(|| spmm_buffered_serial::<f32, f32>(black_box(&ps), black_box(&xs), &mut ys))
+    });
+
+    let ph = PackedMatrix::pack(&half, 128, 96 * 1024, fusing);
+    let xh = vec![F16::from_f32(0.5); half.num_cols() * fusing];
+    let mut yh = vec![F16::ZERO; half.num_rows() * fusing];
+    group.bench_function("mixed", |b| {
+        b.iter(|| spmm_buffered_serial::<F16, f32>(black_box(&ph), black_box(&xh), &mut yh))
+    });
+    group.bench_function("half", |b| {
+        b.iter(|| spmm_buffered_serial::<F16, F16>(black_box(&ph), black_box(&xh), &mut yh))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_minibatch_sweep, bench_vs_baseline, bench_precisions
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Fig 11: communication-time breakdown for Charcoal on 128 nodes —
+//! direct vs hierarchical vs overlapped, per precision (model mode;
+//! 30 projections + 31 backprojections as in Table IV's footnote).
+
+use xct_bench::fmt_time;
+use xct_cluster::MachineSpec;
+use xct_core::model::{HierarchyRatios, ModelExperiment, OptLevel};
+use xct_core::Partitioning;
+use xct_fp16::Precision;
+
+fn run(precision: Precision, hier: bool, overlap: bool) -> xct_core::model::ModelEstimate {
+    let machine = MachineSpec::summit(128);
+    let partitioning = Partitioning::optimal_for(4500, 4198, 6613, &machine, precision);
+    ModelExperiment {
+        projections: 4500,
+        rows: 4198,
+        channels: 6613,
+        machine,
+        partitioning,
+        precision,
+        opt: OptLevel {
+            kernel_opt: true,
+            comm_hierarchical: hier,
+            comm_overlap: overlap,
+        },
+        fusing: 16,
+        iterations: 30,
+        ratios: HierarchyRatios::paper(),
+        imbalance: 0.07,
+    }
+    .run()
+}
+
+fn main() {
+    println!("FIG 11: Communication time breakdown, Charcoal on 128 nodes (768 GPUs)");
+    println!();
+    let header = format!(
+        "{:<8} {:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Prec.", "Scheme", "Kernel", "Socket", "Node", "Global", "Memcpy", "Idle", "Total"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+    for precision in [Precision::Double, Precision::Single, Precision::Mixed] {
+        for (label, hier, overlap) in [
+            ("Direct", false, false),
+            ("Hierar.", true, false),
+            ("Overl.", true, true),
+        ] {
+            let e = run(precision, hier, overlap);
+            let b = &e.breakdown;
+            println!(
+                "{:<8} {:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                precision.label(),
+                label,
+                fmt_time(b.kernel),
+                fmt_time(b.socket_comm),
+                fmt_time(b.node_comm),
+                fmt_time(b.global_comm),
+                fmt_time(b.memcpy),
+                fmt_time(b.idle),
+                fmt_time(b.total),
+            );
+        }
+    }
+
+    println!();
+    // Headline shape checks (paper IV-D).
+    let direct = run(Precision::Mixed, false, false);
+    let hier = run(Precision::Mixed, true, false);
+    let over = run(Precision::Mixed, true, true);
+    let comm_cut = 1.0
+        - (hier.breakdown.comm_total() + hier.breakdown.memcpy)
+            / (direct.breakdown.comm_total() + direct.breakdown.memcpy);
+    let overlap_gain = 1.0 - over.breakdown.total / hier.breakdown.total;
+    println!(
+        "Hierarchical communication cuts total communication time by {:.0}% (paper: 52%)",
+        comm_cut * 100.0
+    );
+    println!(
+        "Overlapping gains an additional {:.0}% of total execution (paper: 21-29%)",
+        overlap_gain * 100.0
+    );
+    assert!(comm_cut > 0.35, "hierarchy must cut comm substantially");
+    assert!(
+        (0.02..0.5).contains(&overlap_gain),
+        "overlap gain {overlap_gain} out of plausible band"
+    );
+    println!("Shape checks passed.");
+}

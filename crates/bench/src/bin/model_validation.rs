@@ -1,0 +1,69 @@
+//! Cross-validation of the model against the executable system: the
+//! hierarchical volume-reduction ratios the Summit-scale model assumes
+//! (Table IV's measured 1.0 / 0.585 / 0.415) are recomputed here from
+//! *real* communication plans on real decompositions, across process
+//! counts — tying model mode to execute mode.
+
+use xct_comm::{DirectPlan, HierarchicalPlan, Topology};
+use xct_core::decompose::SliceDecomposition;
+use xct_core::model::HierarchyRatios;
+use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
+use xct_hilbert::CurveKind;
+
+fn main() {
+    println!("MODEL VALIDATION: hierarchical reduction ratios, real plans vs Table IV");
+    println!();
+    let paper = HierarchyRatios::paper();
+    println!(
+        "Table IV (assumed by model mode): socket {:.3}, node {:.3}, global {:.3}",
+        paper.socket, paper.node, paper.global
+    );
+    println!();
+    let header = format!(
+        "{:>7} {:>7} {:>10} {:>10} {:>10}",
+        "nodes", "ranks", "socket", "node", "global"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let scan = ScanGeometry::uniform(ImageGrid::square(96, 1.0), 96);
+    let sm = SystemMatrix::build(&scan);
+    let mut global_ratios = Vec::new();
+    for nodes in [2usize, 4, 8] {
+        let topo = Topology::summit(nodes);
+        let ranks = topo.size();
+        let d = SliceDecomposition::build(&sm, &scan, ranks, 4, CurveKind::Hilbert);
+        let own = d.ray_ownership();
+        let direct = DirectPlan::build(&d.footprints, &own);
+        let hier = HierarchicalPlan::build(&d.footprints, &own, &topo);
+        let base = direct.total_elements() as f64;
+        let (s, n, g) = hier.level_elements();
+        println!(
+            "{:>7} {:>7} {:>10.3} {:>10.3} {:>10.3}",
+            nodes,
+            ranks,
+            s as f64 / base,
+            n as f64 / base,
+            g as f64 / base,
+        );
+        global_ratios.push(g as f64 / base);
+    }
+
+    println!();
+    // The measured global ratio should bracket the paper's 0.415 and
+    // be bounded below 1 (the hierarchy always helps).
+    for (i, &g) in global_ratios.iter().enumerate() {
+        assert!(g < 0.75, "case {i}: hierarchy must absorb traffic (got {g})");
+        assert!(g > 0.1, "case {i}: ratio implausibly small (got {g})");
+    }
+    let mid = global_ratios[1];
+    println!(
+        "Measured global ratio at 4 nodes: {mid:.3} vs Table IV 0.415 — the \
+         model-mode assumption is consistent with the real plans."
+    );
+    assert!(
+        (mid - paper.global).abs() < 0.2,
+        "real plans ({mid:.3}) must corroborate the Table IV ratio ({:.3})",
+        paper.global
+    );
+}

@@ -1,0 +1,86 @@
+//! Table IV: communicated data per hierarchy level and effective system
+//! bandwidth — Charcoal on 128 nodes, direct vs hierarchical, three
+//! precisions (model mode with paper-measured reduction ratios).
+
+use xct_bench::fmt_bytes;
+use xct_cluster::MachineSpec;
+use xct_core::model::{HierarchyRatios, ModelExperiment, OptLevel};
+use xct_core::Partitioning;
+use xct_fp16::Precision;
+
+fn experiment(precision: Precision, hierarchical: bool) -> ModelExperiment {
+    let machine = MachineSpec::summit(128);
+    let partitioning = Partitioning::optimal_for(4500, 4198, 6613, &machine, precision);
+    ModelExperiment {
+        projections: 4500,
+        rows: 4198,
+        channels: 6613,
+        machine,
+        partitioning,
+        precision,
+        opt: OptLevel {
+            kernel_opt: true,
+            comm_hierarchical: hierarchical,
+            comm_overlap: false,
+        },
+        fusing: 16,
+        iterations: 30,
+        ratios: HierarchyRatios::paper(),
+        imbalance: 0.07,
+    }
+}
+
+fn main() {
+    println!("TABLE IV: Communicated Data and Effective System Bandwidth");
+    println!("(Charcoal, 128 nodes / 768 GPUs; volumes per projection pass, all GPUs)");
+    println!();
+    let header = format!(
+        "{:<8} {:<8} {:>14} {:>14} {:>14} | {:>30}",
+        "Scheme", "Prec.", "Socket", "Node", "Global", "paper (socket/node/global)"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let paper_direct = ["- / - / 36.6 TB", "- / - / 18.3 TB", "- / - / 9.16 TB"];
+    let paper_hier = [
+        "36.6 / 21.4 / 15.2 TB",
+        "18.3 / 10.7 / 7.58 TB",
+        "9.16 / 5.35 / 3.79 TB",
+    ];
+    let precisions = [Precision::Double, Precision::Single, Precision::Mixed];
+
+    for (scheme, hier, paper) in [
+        ("Direct", false, &paper_direct),
+        ("Hierar.", true, &paper_hier),
+    ] {
+        for (i, &p) in precisions.iter().enumerate() {
+            let est = experiment(p, hier).run();
+            let (s, n, g) = est.pass_volumes;
+            println!(
+                "{:<8} {:<8} {:>14} {:>14} {:>14} | {:>30}",
+                scheme,
+                p.label(),
+                if s == 0 { "-".into() } else { fmt_bytes(s) },
+                if n == 0 { "-".into() } else { fmt_bytes(n) },
+                fmt_bytes(g),
+                paper[i],
+            );
+        }
+    }
+
+    println!();
+    println!("Effective per-level bandwidth hierarchy (machine model):");
+    let m = MachineSpec::summit(128);
+    println!(
+        "  socket : node : global = {:.0} : {:.0} : 1   (paper: ~100 : 15 : 1)",
+        m.socket_link.bandwidth / m.global_link.bandwidth,
+        m.node_link.bandwidth / m.global_link.bandwidth,
+    );
+    let d = experiment(Precision::Mixed, false).run();
+    let h = experiment(Precision::Mixed, true).run();
+    println!();
+    println!(
+        "Inter-node reduction from hierarchy (mixed): {:.0}%   (paper: 58%)",
+        100.0 * (1.0 - h.pass_volumes.2 as f64 / d.pass_volumes.2 as f64)
+    );
+}

@@ -1,0 +1,27 @@
+//! Machine model and pipeline timing for paper-scale experiments.
+//!
+//! The paper's evaluation platform is Summit: 4,608 nodes × 2 sockets ×
+//! 3 V100 GPUs, NVLink within sockets, X-bus between sockets, InfiniBand
+//! between nodes. None of that hardware is available here, so this crate
+//! provides the *machine model* substitute (see DESIGN.md §2): a roofline
+//! kernel-time model with the fusing/register-pressure behaviour of
+//! Fig 9, an α–β link model with the ~100 : 15 : 1 effective-bandwidth
+//! hierarchy of Table IV, and a discrete-event simulation of the
+//! minibatch pipeline of Fig 8 (synchronized or overlapped).
+//!
+//! Inputs are *measured* quantities from the real kernels
+//! ([`xct_spmm::KernelMetrics`]) and *exact* communication volumes from
+//! the real plans ([`xct_comm`]); only the mapping from work to seconds
+//! is modeled. Scaling-law shapes (Figs 10–12) follow from the model;
+//! numerical results never do — those come from executing the real code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod pipeline;
+mod roofline;
+
+pub use machine::{GpuSpec, LinkSpec, MachineSpec};
+pub use pipeline::{simulate_pipeline, MinibatchWork, PipelineMode, TimeBreakdown};
+pub use roofline::{kernel_time, link_time, roofline_point, spill_penalty, RooflinePoint};

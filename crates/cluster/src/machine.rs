@@ -1,0 +1,214 @@
+//! Hardware specification: GPU and interconnect parameters.
+
+use xct_fp16::Precision;
+
+/// One GPU's performance envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Peak FMA throughput, FLOP/s, double precision.
+    pub peak_flops_f64: f64,
+    /// Peak FLOP/s, single precision.
+    pub peak_flops_f32: f64,
+    /// Peak FLOP/s, half precision (non-tensor-core).
+    pub peak_flops_f16: f64,
+    /// Memory (HBM) bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Shared memory per SM, bytes (stage size of §III-B4).
+    pub shared_mem_bytes: usize,
+    /// Device memory capacity, bytes (drives the partitioning rule of
+    /// §III-A3: partition in x–z only until this fits).
+    pub mem_capacity: u64,
+    /// Streaming multiprocessors; thread blocks execute `sms`-wide, so
+    /// per-stage synchronization overhead amortizes across them.
+    pub sms: usize,
+    /// Kernel-launch plus per-stage `__syncthreads` overhead, seconds.
+    pub stage_sync_overhead: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA V100-SXM2-16GB as in Summit nodes (§IV-A1).
+    pub fn v100() -> Self {
+        GpuSpec {
+            peak_flops_f64: 7.8e12,
+            peak_flops_f32: 15.7e12,
+            peak_flops_f16: 31.4e12,
+            mem_bandwidth: 900e9,
+            shared_mem_bytes: 96 * 1024,
+            mem_capacity: 16 * (1 << 30),
+            sms: 80,
+            stage_sync_overhead: 2.0e-6,
+        }
+    }
+
+    /// Peak FLOP/s at the *compute* precision of a mode (mixed computes
+    /// in f32, so it gets single-precision peak — exactly why the paper's
+    /// mixed mode wins over half only via bandwidth, not ALU rate).
+    pub fn peak_flops(&self, precision: Precision) -> f64 {
+        match precision.compute_bytes() {
+            8 => self.peak_flops_f64,
+            4 => self.peak_flops_f32,
+            _ => self.peak_flops_f16,
+        }
+    }
+}
+
+/// One interconnect level: α–β model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Per-GPU effective bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-message latency, seconds.
+    pub latency: f64,
+}
+
+impl LinkSpec {
+    /// Transfer time for `bytes` as one message.
+    pub fn time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.latency + bytes as f64 / self.bandwidth
+        }
+    }
+}
+
+/// A full machine: node structure plus per-level links.
+///
+/// Effective (not theoretical) bandwidths are used, calibrated to the
+/// ~100 : 15 : 1 socket : node : global ratio measured in Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Nodes in the allocation.
+    pub nodes: usize,
+    /// Sockets per node.
+    pub sockets_per_node: usize,
+    /// GPUs per socket.
+    pub gpus_per_socket: usize,
+    /// The GPU.
+    pub gpu: GpuSpec,
+    /// Intra-socket link (NVLink; CUDA IPC path).
+    pub socket_link: LinkSpec,
+    /// Inter-socket link within a node (X-bus; CUDA IPC path).
+    pub node_link: LinkSpec,
+    /// Inter-node link (InfiniBand; MPI with CPU staging).
+    pub global_link: LinkSpec,
+    /// Host staging copy bandwidth per GPU (the Memcpy column of
+    /// Table IV: global messages stage through pinned CPU buffers).
+    pub memcpy_bandwidth: f64,
+    /// Parallel-filesystem read bandwidth per node, bytes/s.
+    pub io_bandwidth_per_node: f64,
+    /// Filesystem saturation cap, bytes/s (I/O stops scaling past this —
+    /// the contention visible at ≥1024 nodes in Fig 12b).
+    pub io_saturation: f64,
+}
+
+impl MachineSpec {
+    /// Summit-like machine with `nodes` nodes (§IV-A1, Table IV).
+    ///
+    /// Effective per-GPU bandwidths derive from Table IV aggregates for
+    /// 768 GPUs: socket ≈ 174 TB/s, node ≈ 22 TB/s, global ≈ 1.55 TB/s,
+    /// memcpy ≈ 34.9 TB/s.
+    pub fn summit(nodes: usize) -> Self {
+        assert!(nodes > 0, "machine needs at least one node");
+        MachineSpec {
+            nodes,
+            sockets_per_node: 2,
+            gpus_per_socket: 3,
+            gpu: GpuSpec::v100(),
+            socket_link: LinkSpec {
+                bandwidth: 174e12 / 768.0, // ≈ 226 GB/s per GPU
+                latency: 5e-6,
+            },
+            node_link: LinkSpec {
+                bandwidth: 22e12 / 768.0, // ≈ 28.6 GB/s per GPU
+                latency: 8e-6,
+            },
+            global_link: LinkSpec {
+                bandwidth: 1.55e12 / 768.0, // ≈ 2.0 GB/s per GPU
+                latency: 3e-5,
+            },
+            memcpy_bandwidth: 34.9e12 / 768.0, // ≈ 45 GB/s per GPU
+            io_bandwidth_per_node: 2.5e9,
+            io_saturation: 2.4e12, // ~2.4 TB/s GPFS ceiling
+        }
+    }
+
+    /// Total GPUs.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.sockets_per_node * self.gpus_per_socket
+    }
+
+    /// Aggregate machine peak at a precision (the denominator of the
+    /// paper's "34% of Summit's peak": 4,608 nodes × 6 × 7.8 TF ≈
+    /// 215 PF double).
+    pub fn aggregate_peak_flops(&self, precision: xct_fp16::Precision) -> f64 {
+        self.total_gpus() as f64 * self.gpu.peak_flops(precision)
+    }
+
+    /// Time to read `bytes` from the parallel filesystem across all
+    /// nodes, including the saturation ceiling.
+    pub fn io_time(&self, bytes: u64) -> f64 {
+        let bw = (self.io_bandwidth_per_node * self.nodes as f64).min(self.io_saturation);
+        bytes as f64 / bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_fp16::Precision;
+
+    #[test]
+    fn v100_peaks_are_ordered() {
+        let g = GpuSpec::v100();
+        assert!(g.peak_flops_f16 > g.peak_flops_f32);
+        assert!(g.peak_flops_f32 > g.peak_flops_f64);
+        assert_eq!(g.peak_flops(Precision::Mixed), g.peak_flops_f32);
+        assert_eq!(g.peak_flops(Precision::Half), g.peak_flops_f16);
+        assert_eq!(g.peak_flops(Precision::Double), g.peak_flops_f64);
+    }
+
+    #[test]
+    fn summit_4608_peak_matches_paper_denominator() {
+        let m = MachineSpec::summit(4608);
+        assert_eq!(m.total_gpus(), 27_648);
+        let peak_pf = m.aggregate_peak_flops(Precision::Double) / 1e15;
+        // Paper: 65.4 PFLOPS = 34% of peak → peak ≈ 192 PF on the 4,096
+        // nodes used; full machine ≈ 215 PF double.
+        assert!((210.0..=220.0).contains(&peak_pf), "peak {peak_pf} PF");
+    }
+
+    #[test]
+    fn bandwidth_hierarchy_ratios_match_table4() {
+        let m = MachineSpec::summit(128);
+        let socket_over_global = m.socket_link.bandwidth / m.global_link.bandwidth;
+        let node_over_global = m.node_link.bandwidth / m.global_link.bandwidth;
+        // "the effective bandwidth within each socket is about 100× faster
+        // than that among nodes ... among sockets is 15× faster".
+        assert!((90.0..=130.0).contains(&socket_over_global), "{socket_over_global}");
+        assert!((12.0..=18.0).contains(&node_over_global), "{node_over_global}");
+    }
+
+    #[test]
+    fn link_time_is_alpha_beta() {
+        let l = LinkSpec {
+            bandwidth: 1e9,
+            latency: 1e-6,
+        };
+        assert_eq!(l.time(0), 0.0);
+        let t = l.time(1_000_000);
+        assert!((t - 1.001e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_saturates_at_scale() {
+        let small = MachineSpec::summit(128);
+        let large = MachineSpec::summit(4096);
+        let bytes = 1 << 40; // 1 TiB
+        let t_small = small.io_time(bytes);
+        let t_large = large.io_time(bytes);
+        // More nodes help, but not 32×: the filesystem ceiling binds.
+        assert!(t_large < t_small);
+        assert!(t_small / t_large < 32.0 / 4.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Discrete-event simulation of the minibatch pipeline (paper Fig 8,
+//! §III-E).
+//!
+//! Two resources exist per process: the **GPU** (optimized SpMM, local
+//! socket/node communication via CUDA IPC, reductions, unpack) and the
+//! **NIC** (global MPI communication, with CPU staging memcpys). The
+//! paper's overlap strategy runs minibatch *i*'s global communication
+//! concurrently with minibatch *i+1*'s local work; projection orders
+//! local→global, backprojection global→local.
+
+/// One minibatch's work, in seconds per activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MinibatchWork {
+    /// Optimized SpMM kernel time.
+    pub kernel: f64,
+    /// Socket-level communication (CUDA IPC over NVLink).
+    pub socket_comm: f64,
+    /// Node-level communication (CUDA IPC over X-bus).
+    pub node_comm: f64,
+    /// Local reduction kernels.
+    pub reduction: f64,
+    /// Global MPI communication (InfiniBand).
+    pub global_comm: f64,
+    /// Host-staging copies bracketing the global communication.
+    pub memcpy: f64,
+}
+
+impl MinibatchWork {
+    /// GPU-resource time (everything except the wire time of global MPI).
+    pub fn local(&self) -> f64 {
+        self.kernel + self.socket_comm + self.node_comm + self.reduction + self.memcpy
+    }
+
+    /// NIC-resource time.
+    pub fn global(&self) -> f64 {
+        self.global_comm
+    }
+}
+
+/// Whether minibatches overlap global communication with local work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Every activity strictly sequential (the "*Synchronized" bars of
+    /// Fig 10, used to attribute time to activities).
+    Synchronized,
+    /// Projection order: local work first, then global comm, pipelined
+    /// across minibatches.
+    OverlappedProjection,
+    /// Backprojection order: global comm first, then local work.
+    OverlappedBackprojection,
+}
+
+/// Per-activity totals plus makespan of one (back)projection pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// SpMM kernel total.
+    pub kernel: f64,
+    /// Socket-level communication total.
+    pub socket_comm: f64,
+    /// Node-level communication total.
+    pub node_comm: f64,
+    /// Local reduction total.
+    pub reduction: f64,
+    /// Global communication total.
+    pub global_comm: f64,
+    /// Host staging total.
+    pub memcpy: f64,
+    /// Time a resource waited on the other (zero when synchronized).
+    pub idle: f64,
+    /// Wall-clock makespan.
+    pub total: f64,
+}
+
+impl TimeBreakdown {
+    /// Sum of the communication activities (the "Comm." bar of Fig 10).
+    pub fn comm_total(&self) -> f64 {
+        self.socket_comm + self.node_comm + self.global_comm
+    }
+
+    /// Elementwise sum (for accumulating projection + backprojection
+    /// passes over CG iterations).
+    pub fn accumulate(&mut self, other: &TimeBreakdown) {
+        self.kernel += other.kernel;
+        self.socket_comm += other.socket_comm;
+        self.node_comm += other.node_comm;
+        self.reduction += other.reduction;
+        self.global_comm += other.global_comm;
+        self.memcpy += other.memcpy;
+        self.idle += other.idle;
+        self.total += other.total;
+    }
+}
+
+/// Simulates one pass over `minibatches` in the given mode.
+pub fn simulate_pipeline(minibatches: &[MinibatchWork], mode: PipelineMode) -> TimeBreakdown {
+    let mut out = TimeBreakdown::default();
+    for mb in minibatches {
+        out.kernel += mb.kernel;
+        out.socket_comm += mb.socket_comm;
+        out.node_comm += mb.node_comm;
+        out.reduction += mb.reduction;
+        out.global_comm += mb.global_comm;
+        out.memcpy += mb.memcpy;
+    }
+    let busy_gpu: f64 = minibatches.iter().map(MinibatchWork::local).sum();
+    let busy_nic: f64 = minibatches.iter().map(MinibatchWork::global).sum();
+
+    match mode {
+        PipelineMode::Synchronized => {
+            out.total = busy_gpu + busy_nic;
+            out.idle = 0.0;
+        }
+        PipelineMode::OverlappedProjection => {
+            // GPU produces minibatch i (local), NIC ships it (global).
+            let mut gpu_t = 0.0f64;
+            let mut nic_t = 0.0f64;
+            for mb in minibatches {
+                gpu_t += mb.local();
+                nic_t = gpu_t.max(nic_t) + mb.global();
+            }
+            out.total = gpu_t.max(nic_t);
+            out.idle = 2.0 * out.total - busy_gpu - busy_nic; // summed over both resources
+        }
+        PipelineMode::OverlappedBackprojection => {
+            // NIC delivers minibatch i (global), GPU consumes it (local).
+            let mut gpu_t = 0.0f64;
+            let mut nic_t = 0.0f64;
+            for mb in minibatches {
+                nic_t += mb.global();
+                gpu_t = nic_t.max(gpu_t) + mb.local();
+            }
+            out.total = gpu_t.max(nic_t);
+            out.idle = 2.0 * out.total - busy_gpu - busy_nic;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(local: f64, global: f64) -> MinibatchWork {
+        MinibatchWork {
+            kernel: local,
+            global_comm: global,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn synchronized_is_plain_sum() {
+        let mbs = vec![mb(1.0, 2.0), mb(3.0, 4.0)];
+        let t = simulate_pipeline(&mbs, PipelineMode::Synchronized);
+        assert_eq!(t.total, 10.0);
+        assert_eq!(t.idle, 0.0);
+        assert_eq!(t.kernel, 4.0);
+        assert_eq!(t.global_comm, 6.0);
+    }
+
+    #[test]
+    fn overlap_hides_the_smaller_resource() {
+        // 4 minibatches, local 1s, global 1s: perfect pipeline ≈ n+1
+        // instead of 2n.
+        let mbs = vec![mb(1.0, 1.0); 4];
+        let sync = simulate_pipeline(&mbs, PipelineMode::Synchronized);
+        let over = simulate_pipeline(&mbs, PipelineMode::OverlappedProjection);
+        assert_eq!(sync.total, 8.0);
+        assert_eq!(over.total, 5.0);
+        assert!(over.idle > 0.0);
+    }
+
+    #[test]
+    fn overlap_cannot_beat_the_dominant_resource() {
+        // Global dominates (the Charcoal case of §IV-D): overlap saves
+        // only the first local block.
+        let mbs = vec![mb(0.1, 1.0); 8];
+        let over = simulate_pipeline(&mbs, PipelineMode::OverlappedProjection);
+        assert!((over.total - (0.1 + 8.0)).abs() < 1e-12);
+        // "21% to 29%" style bound: savings ≤ local total.
+        let sync = simulate_pipeline(&mbs, PipelineMode::Synchronized);
+        assert!(sync.total - over.total <= 0.1 * 8.0 + 1e-12);
+    }
+
+    #[test]
+    fn backprojection_mirrors_projection() {
+        let mbs = vec![mb(1.0, 0.5), mb(0.5, 1.0), mb(0.7, 0.7)];
+        let p = simulate_pipeline(&mbs, PipelineMode::OverlappedProjection);
+        // Reversing the minibatch order and the direction gives the same
+        // makespan (the two pipelines are transposes).
+        let rev: Vec<_> = mbs.iter().rev().copied().collect();
+        let b = simulate_pipeline(&rev, PipelineMode::OverlappedBackprojection);
+        assert!((p.total - b.total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_minibatch_cannot_overlap() {
+        let mbs = vec![mb(2.0, 3.0)];
+        let sync = simulate_pipeline(&mbs, PipelineMode::Synchronized);
+        let over = simulate_pipeline(&mbs, PipelineMode::OverlappedProjection);
+        assert_eq!(sync.total, over.total);
+    }
+
+    #[test]
+    fn accumulate_sums_componentwise() {
+        let mut a = simulate_pipeline(&[mb(1.0, 2.0)], PipelineMode::Synchronized);
+        let b = simulate_pipeline(&[mb(3.0, 4.0)], PipelineMode::Synchronized);
+        a.accumulate(&b);
+        assert_eq!(a.total, 10.0);
+        assert_eq!(a.kernel, 4.0);
+    }
+
+    #[test]
+    fn comm_total_includes_all_levels() {
+        let w = MinibatchWork {
+            kernel: 1.0,
+            socket_comm: 0.1,
+            node_comm: 0.2,
+            reduction: 0.05,
+            global_comm: 0.4,
+            memcpy: 0.03,
+        };
+        let t = simulate_pipeline(&[w], PipelineMode::Synchronized);
+        assert!((t.comm_total() - 0.7).abs() < 1e-12);
+        assert!((t.total - 1.78).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Roofline kernel-time model with the fusing/register-pressure behaviour
+//! of Fig 9.
+
+use crate::machine::{GpuSpec, LinkSpec};
+use xct_fp16::Precision;
+use xct_spmm::KernelMetrics;
+
+/// Where a kernel configuration lands on the roofline (one point of
+/// Fig 9b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePoint {
+    /// FLOPs per byte of memory traffic.
+    pub arithmetic_intensity: f64,
+    /// Achieved FLOP/s.
+    pub achieved_flops: f64,
+    /// Memory-bandwidth-bound ceiling at this intensity.
+    pub bandwidth_bound: f64,
+    /// Kernel execution time, seconds.
+    pub time: f64,
+}
+
+/// Register-pressure penalty as a function of the fusing factor
+/// (minibatch size), per precision — the empirical cliff of Fig 9a:
+///
+/// * double and half spill beyond minibatch 18 (8-byte accumulators /
+///   inefficient half packing): gradual degradation,
+/// * single collapses at 28, mixed at 20 (the paper attributes the sharp
+///   drop to an nvcc strategy change under high pressure): hard cliff.
+///
+/// Returns a multiplicative slowdown ≥ 1.
+pub fn spill_penalty(precision: Precision, fusing: usize) -> f64 {
+    let (soft_limit, cliff_limit, cliff_factor) = match precision {
+        // (gradual spill start, hard cliff, cliff slowdown)
+        Precision::Double => (18, usize::MAX, 1.0),
+        Precision::Half => (18, usize::MAX, 1.0),
+        Precision::Single => (50, 28, 2.2),
+        Precision::Mixed => (50, 20, 2.2),
+    };
+    let mut penalty = 1.0;
+    if fusing > soft_limit {
+        // Each extra fused slice past the limit spills more registers.
+        penalty *= 1.0 + 0.08 * (fusing - soft_limit) as f64;
+    }
+    if fusing > cliff_limit {
+        penalty *= cliff_factor;
+    }
+    penalty
+}
+
+/// Kernel time for the work in `metrics`, staged over `total_stages`
+/// shared-memory stages (summed over all blocks), at the given fusing
+/// factor and precision.
+///
+/// `time = max(compute, memory) · spill + ⌈stages/SMs⌉ · sync_overhead` —
+/// the classic roofline plus the two overheads §III-B calls out
+/// (multi-stage synchronization, register spilling). Blocks execute
+/// `sms`-wide, so their stage barriers overlap.
+pub fn kernel_time(
+    gpu: &GpuSpec,
+    metrics: &KernelMetrics,
+    total_stages: usize,
+    fusing: usize,
+    precision: Precision,
+) -> f64 {
+    let compute = metrics.flops as f64 / gpu.peak_flops(precision);
+    let memory = metrics.bytes() as f64 / gpu.mem_bandwidth;
+    let sync_rounds = total_stages.div_ceil(gpu.sms.max(1));
+    compute.max(memory) * spill_penalty(precision, fusing)
+        + sync_rounds as f64 * gpu.stage_sync_overhead
+}
+
+/// The full roofline point for plotting Fig 9b.
+pub fn roofline_point(
+    gpu: &GpuSpec,
+    metrics: &KernelMetrics,
+    total_stages: usize,
+    fusing: usize,
+    precision: Precision,
+) -> RooflinePoint {
+    let time = kernel_time(gpu, metrics, total_stages, fusing, precision);
+    let ai = metrics.arithmetic_intensity();
+    RooflinePoint {
+        arithmetic_intensity: ai,
+        achieved_flops: metrics.flops as f64 / time,
+        bandwidth_bound: ai * gpu.mem_bandwidth,
+        time,
+    }
+}
+
+/// Transfer time of `bytes` over a link as `messages` messages.
+pub fn link_time(link: &LinkSpec, bytes: u64, messages: u64) -> f64 {
+    if bytes == 0 && messages == 0 {
+        return 0.0;
+    }
+    messages as f64 * link.latency + bytes as f64 / link.bandwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(flops: u64, bytes: u64) -> KernelMetrics {
+        KernelMetrics {
+            flops,
+            bytes_read: bytes,
+            bytes_written: 0,
+        }
+    }
+
+    #[test]
+    fn low_intensity_is_bandwidth_bound() {
+        let gpu = GpuSpec::v100();
+        // AI = 0.25: far below the f32 ridge (~17).
+        let m = metrics(1_000_000, 4_000_000);
+        let p = roofline_point(&gpu, &m, 0, 1, Precision::Single);
+        assert!(
+            (p.achieved_flops - p.bandwidth_bound).abs() / p.bandwidth_bound < 1e-9,
+            "should sit on the bandwidth roof"
+        );
+    }
+
+    #[test]
+    fn high_intensity_is_compute_bound() {
+        let gpu = GpuSpec::v100();
+        let m = metrics(10_000_000_000, 1_000_000);
+        let p = roofline_point(&gpu, &m, 0, 1, Precision::Single);
+        assert!(p.achieved_flops <= gpu.peak_flops_f32 * 1.0001);
+        assert!(p.achieved_flops > 0.99 * gpu.peak_flops_f32);
+    }
+
+    #[test]
+    fn fig9_shape_rise_peak_drop() {
+        // Model a kernel whose AI grows linearly with fusing (register
+        // reuse) and verify the throughput curve rises then falls —
+        // qualitatively Fig 9a.
+        let gpu = GpuSpec::v100();
+        let per_slice_flops = 2_000_000u64;
+        let matrix_bytes = 8_000_000u64;
+        let perf = |fusing: usize| {
+            let m = KernelMetrics {
+                flops: per_slice_flops * fusing as u64,
+                bytes_read: matrix_bytes + 100_000 * fusing as u64,
+                bytes_written: 50_000 * fusing as u64,
+            };
+            // Stage count grows with fusing (shared memory pressure).
+            let stages = 1 + fusing / 4;
+            let t = kernel_time(&gpu, &m, stages, fusing, Precision::Mixed);
+            m.flops as f64 / t
+        };
+        let p1 = perf(1);
+        let p16 = perf(16);
+        let p40 = perf(40);
+        assert!(p16 > 3.0 * p1, "fusing should speed up: {p1} -> {p16}");
+        assert!(p40 < p16, "past the cliff perf must drop: {p16} -> {p40}");
+    }
+
+    #[test]
+    fn spill_penalties_match_paper_thresholds() {
+        for p in [Precision::Double, Precision::Half] {
+            assert_eq!(spill_penalty(p, 18), 1.0);
+            assert!(spill_penalty(p, 24) > 1.0);
+            // Gradual, no cliff.
+            let g = spill_penalty(p, 30) / spill_penalty(p, 29);
+            assert!(g < 1.2);
+        }
+        assert_eq!(spill_penalty(Precision::Single, 28), 1.0);
+        assert!(spill_penalty(Precision::Single, 29) > 2.0);
+        assert_eq!(spill_penalty(Precision::Mixed, 20), 1.0);
+        assert!(spill_penalty(Precision::Mixed, 21) > 2.0);
+    }
+
+    #[test]
+    fn stage_sync_overhead_amortizes_across_sms() {
+        let gpu = GpuSpec::v100();
+        let m = metrics(1000, 1000);
+        let t1 = kernel_time(&gpu, &m, 1, 1, Precision::Single);
+        // 80 blocks' single stages run concurrently: same cost as one.
+        let t80 = kernel_time(&gpu, &m, 80, 1, Precision::Single);
+        assert!((t80 - t1).abs() < 1e-15);
+        // 800 stages = 10 sequential sync rounds.
+        let t800 = kernel_time(&gpu, &m, 800, 1, Precision::Single);
+        assert!((t800 - t1 - 9.0 * gpu.stage_sync_overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_time_zero_for_no_traffic() {
+        let l = LinkSpec {
+            bandwidth: 1e9,
+            latency: 1e-6,
+        };
+        assert_eq!(link_time(&l, 0, 0), 0.0);
+        assert!(link_time(&l, 0, 5) > 0.0, "latency still counts per message");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the machine model and pipeline simulation.
+
+use proptest::prelude::*;
+use xct_cluster::{
+    kernel_time, link_time, simulate_pipeline, spill_penalty, GpuSpec, LinkSpec, MinibatchWork,
+    PipelineMode,
+};
+use xct_fp16::Precision;
+use xct_spmm::KernelMetrics;
+
+fn work_strategy() -> impl Strategy<Value = MinibatchWork> {
+    (
+        0.0f64..10.0,
+        0.0f64..2.0,
+        0.0f64..2.0,
+        0.0f64..1.0,
+        0.0f64..10.0,
+        0.0f64..1.0,
+    )
+        .prop_map(|(kernel, socket, node, red, global, memcpy)| MinibatchWork {
+            kernel,
+            socket_comm: socket,
+            node_comm: node,
+            reduction: red,
+            global_comm: global,
+            memcpy,
+        })
+}
+
+proptest! {
+    /// Overlap never loses to synchronized execution and never beats the
+    /// dominant resource — for any minibatch sequence, both directions.
+    #[test]
+    fn overlap_is_bounded(works in prop::collection::vec(work_strategy(), 1..20)) {
+        let sync = simulate_pipeline(&works, PipelineMode::Synchronized);
+        for mode in [PipelineMode::OverlappedProjection, PipelineMode::OverlappedBackprojection] {
+            let over = simulate_pipeline(&works, mode);
+            prop_assert!(over.total <= sync.total + 1e-9,
+                "overlap ({}) must not exceed synchronized ({})", over.total, sync.total);
+            let busy_gpu: f64 = works.iter().map(MinibatchWork::local).sum();
+            let busy_nic: f64 = works.iter().map(MinibatchWork::global).sum();
+            prop_assert!(over.total >= busy_gpu.max(busy_nic) - 1e-9,
+                "makespan below the dominant resource");
+            // Activity totals are mode-independent.
+            prop_assert!((over.kernel - sync.kernel).abs() < 1e-9);
+            prop_assert!((over.global_comm - sync.global_comm).abs() < 1e-9);
+        }
+    }
+
+    /// Spill penalty is ≥ 1 and non-decreasing in the fusing factor.
+    #[test]
+    fn spill_penalty_monotone(fusing in 1usize..64) {
+        for p in Precision::ALL {
+            let a = spill_penalty(p, fusing);
+            let b = spill_penalty(p, fusing + 1);
+            prop_assert!(a >= 1.0);
+            prop_assert!(b >= a - 1e-12, "{p}: penalty must not decrease ({a} -> {b})");
+        }
+    }
+
+    /// Kernel time is monotone in both flops and bytes.
+    #[test]
+    fn kernel_time_monotone(
+        flops in 1u64..1_000_000_000_000,
+        bytes in 1u64..1_000_000_000_000,
+        extra in 1u64..1_000_000_000,
+    ) {
+        let gpu = GpuSpec::v100();
+        let base = KernelMetrics { flops, bytes_read: bytes, bytes_written: 0 };
+        let more_flops = KernelMetrics { flops: flops + extra, ..base };
+        let more_bytes = KernelMetrics { bytes_read: bytes + extra, ..base };
+        let t0 = kernel_time(&gpu, &base, 0, 1, Precision::Single);
+        prop_assert!(kernel_time(&gpu, &more_flops, 0, 1, Precision::Single) >= t0);
+        prop_assert!(kernel_time(&gpu, &more_bytes, 0, 1, Precision::Single) >= t0);
+    }
+
+    /// α–β link time: superadditive message splitting (one message is
+    /// never slower than two carrying the same bytes).
+    #[test]
+    fn message_splitting_costs_latency(bytes in 2u64..1_000_000_000, split in 1u64..100) {
+        let link = LinkSpec { bandwidth: 12.5e9, latency: 1.5e-6 };
+        let one = link_time(&link, bytes, 1);
+        let many = link_time(&link, bytes, 1 + split);
+        prop_assert!(many >= one);
+        prop_assert!((many - one - split as f64 * link.latency).abs() < 1e-12);
+    }
+
+    /// Precision ordering of per-element cost: half storage never moves
+    /// more bytes than single, which never moves more than double —
+    /// therefore bandwidth-bound kernel time orders the same way.
+    #[test]
+    fn precision_orders_bandwidth_bound_time(elements in 1u64..1_000_000_000) {
+        let gpu = GpuSpec::v100();
+        let time_for = |bytes_per: u64| {
+            let m = KernelMetrics {
+                flops: 2 * elements,
+                bytes_read: elements * bytes_per,
+                bytes_written: 0,
+            };
+            // Bandwidth-bound regime for all three (AI << ridge).
+            kernel_time(&gpu, &m, 0, 1, Precision::Single)
+        };
+        prop_assert!(time_for(2) <= time_for(4));
+        prop_assert!(time_for(4) <= time_for(8));
+    }
+}

@@ -1,0 +1,532 @@
+//! Executing communication plans on real data across ranks.
+//!
+//! Forward (projection) direction: partial sums flow *up* the hierarchy —
+//! socket reduction, node reduction, global exchange to owners. Backward
+//! (backprojection) direction is the transpose: owners *scatter* total
+//! sinogram values back down to every rank whose footprint needs them
+//! (paper §III-D1: "this description is also valid for backprojection as
+//! it is a transpose of projection").
+//!
+//! Reductions accumulate in f64 and round to the storage scalar once per
+//! level — communication stays at storage width (half precision moves
+//! half the bytes), which is the property the paper's Table IV measures.
+
+use crate::plan::{DirectPlan, HierarchicalPlan, Ownership, ReductionStep};
+use crate::runtime::{CommError, Communicator};
+use crate::wire::Wire;
+use std::collections::HashMap;
+
+/// Sorted rows with one value each — a rank's partial (or reduced) data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialData<S> {
+    /// Global row ids, ascending.
+    pub rows: Vec<u32>,
+    /// Value per row.
+    pub vals: Vec<S>,
+}
+
+impl<S: Wire> PartialData<S> {
+    /// Creates partial data; rows must be sorted, lengths equal.
+    pub fn new(rows: Vec<u32>, vals: Vec<S>) -> Self {
+        assert_eq!(rows.len(), vals.len(), "rows/vals length mismatch");
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
+        PartialData { rows, vals }
+    }
+
+    /// Empty data.
+    pub fn empty() -> Self {
+        PartialData {
+            rows: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    fn value_map(&self) -> HashMap<u32, f64> {
+        self.rows
+            .iter()
+            .zip(&self.vals)
+            .map(|(&r, &v)| (r, v.to_f64()))
+            .collect()
+    }
+
+    /// Gathers values for `rows` (each must be present).
+    fn gather(&self, rows: &[u32]) -> Vec<S> {
+        rows.iter()
+            .map(|r| {
+                let at = self.rows.binary_search(r).unwrap_or_else(|_| {
+                    panic!("row {r} not in local data");
+                });
+                self.vals[at]
+            })
+            .collect()
+    }
+
+    fn from_map(mut acc: HashMap<u32, f64>) -> Self {
+        let mut rows: Vec<u32> = acc.keys().copied().collect();
+        rows.sort_unstable();
+        let vals = rows
+            .iter()
+            .map(|r| S::from_f64(acc.remove(r).expect("row present")))
+            .collect();
+        PartialData { rows, vals }
+    }
+}
+
+const TAG_DIRECT: u64 = 0x100;
+const TAG_SOCKET: u64 = 0x200;
+const TAG_NODE: u64 = 0x300;
+const TAG_GLOBAL: u64 = 0x400;
+const TAG_SCATTER: u64 = 0x800;
+
+/// Runs one reduce level: sends my rows designated elsewhere, receives and
+/// sums rows designated to me. Returns my post-level data.
+fn reduce_step<S: Wire>(
+    comm: &Communicator,
+    step: &ReductionStep,
+    mine: &PartialData<S>,
+    tag: u64,
+) -> Result<PartialData<S>, CommError> {
+    let me = comm.rank();
+    // Post sends first (non-blocking), then drain receives — the
+    // Issend/Irecv overlap pattern of §III-D4.
+    for (dst, rows) in &step.sends[me] {
+        comm.send_vals(*dst, tag, &mine.gather(rows))?;
+    }
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    // Seed with my own partials for rows designated to me.
+    let my_post = &step.post.per_rank[me];
+    let my_map = mine.value_map();
+    for &r in my_post {
+        if let Some(&v) = my_map.get(&r) {
+            acc.insert(r, v);
+        } else {
+            acc.insert(r, 0.0);
+        }
+    }
+    for (src, sends) in step.sends.iter().enumerate() {
+        for (dst, rows) in sends {
+            if *dst != me {
+                continue;
+            }
+            let vals: Vec<S> = comm.recv_vals(src, tag)?;
+            assert_eq!(vals.len(), rows.len(), "payload/plan length mismatch");
+            for (&r, v) in rows.iter().zip(vals) {
+                *acc.entry(r).or_insert(0.0) += v.to_f64();
+            }
+        }
+    }
+    Ok(PartialData::from_map(acc))
+}
+
+/// Direct exchange (Fig 6a): every rank ships partials straight to owners
+/// and reduces what it receives for its own rows. Returns the totals for
+/// the rows this rank owns.
+pub fn execute_direct<S: Wire>(
+    comm: &Communicator,
+    plan: &DirectPlan,
+    ownership: &Ownership,
+    mine: &PartialData<S>,
+) -> Result<PartialData<S>, CommError> {
+    let me = comm.rank();
+    for (dst, rows) in &plan.sends[me] {
+        comm.send_vals(*dst, TAG_DIRECT, &mine.gather(rows))?;
+    }
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    // My own partials for rows I own.
+    for (&r, &v) in mine.rows.iter().zip(&mine.vals) {
+        if ownership.owner[r as usize] as usize == me {
+            *acc.entry(r).or_insert(0.0) += v.to_f64();
+        }
+    }
+    // Ensure owned rows nobody touched still appear (as zero).
+    for (r, &o) in ownership.owner.iter().enumerate() {
+        if o as usize == me {
+            acc.entry(r as u32).or_insert(0.0);
+        }
+    }
+    for (src, sends) in plan.sends.iter().enumerate() {
+        for (dst, rows) in sends {
+            if *dst != me {
+                continue;
+            }
+            let vals: Vec<S> = comm.recv_vals(src, TAG_DIRECT)?;
+            assert_eq!(vals.len(), rows.len(), "payload/plan length mismatch");
+            for (&r, v) in rows.iter().zip(vals) {
+                *acc.entry(r).or_insert(0.0) += v.to_f64();
+            }
+        }
+    }
+    Ok(PartialData::from_map(acc))
+}
+
+/// The full three-level exchange (Fig 6b–d): socket reduction, node
+/// reduction, global exchange. Returns the totals for owned rows.
+pub fn execute_hierarchical<S: Wire>(
+    comm: &Communicator,
+    plan: &HierarchicalPlan,
+    ownership: &Ownership,
+    mine: &PartialData<S>,
+) -> Result<PartialData<S>, CommError> {
+    let after_socket = reduce_step(comm, &plan.socket, mine, TAG_SOCKET)?;
+    let after_node = reduce_step(comm, &plan.node, &after_socket, TAG_NODE)?;
+    // Global: the direct plan built on post-node footprints, but tagged
+    // separately so hierarchical and direct traffic cannot mix.
+    let me = comm.rank();
+    for (dst, rows) in &plan.global.sends[me] {
+        comm.send_vals(*dst, TAG_GLOBAL, &after_node.gather(rows))?;
+    }
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    for (&r, &v) in after_node.rows.iter().zip(&after_node.vals) {
+        if ownership.owner[r as usize] as usize == me {
+            *acc.entry(r).or_insert(0.0) += v.to_f64();
+        }
+    }
+    for (r, &o) in ownership.owner.iter().enumerate() {
+        if o as usize == me {
+            acc.entry(r as u32).or_insert(0.0);
+        }
+    }
+    for (src, sends) in plan.global.sends.iter().enumerate() {
+        for (dst, rows) in sends {
+            if *dst != me {
+                continue;
+            }
+            let vals: Vec<S> = comm.recv_vals(src, TAG_GLOBAL)?;
+            assert_eq!(vals.len(), rows.len(), "payload/plan length mismatch");
+            for (&r, v) in rows.iter().zip(vals) {
+                *acc.entry(r).or_insert(0.0) += v.to_f64();
+            }
+        }
+    }
+    Ok(PartialData::from_map(acc))
+}
+
+/// Transpose direction (backprojection input): owners scatter total row
+/// values to every rank whose footprint contains them, using the same
+/// direct plan with roles reversed. `owned` holds my rows' totals;
+/// `footprint` lists the rows I need. Returns my footprint filled in.
+pub fn scatter_direct<S: Wire>(
+    comm: &Communicator,
+    plan: &DirectPlan,
+    ownership: &Ownership,
+    owned: &PartialData<S>,
+    footprint: &[u32],
+) -> Result<PartialData<S>, CommError> {
+    let me = comm.rank();
+    // Reversed roles: for plan entry sends[p] = (me, rows), I (the owner)
+    // send those rows' totals back to p.
+    for (src, sends) in plan.sends.iter().enumerate() {
+        for (dst, rows) in sends {
+            if *dst == me {
+                comm.send_vals(src, TAG_SCATTER, &owned.gather(rows))?;
+            }
+        }
+    }
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    let owned_map = owned.value_map();
+    for &r in footprint {
+        if ownership.owner[r as usize] as usize == me {
+            acc.insert(r, *owned_map.get(&r).expect("owner holds all its rows"));
+        }
+    }
+    for (dst, rows) in &plan.sends[me] {
+        let vals: Vec<S> = comm.recv_vals(*dst, TAG_SCATTER)?;
+        assert_eq!(vals.len(), rows.len(), "payload/plan length mismatch");
+        for (&r, v) in rows.iter().zip(vals) {
+            acc.insert(r, v.to_f64());
+        }
+    }
+    Ok(PartialData::from_map(acc))
+}
+
+/// One reversed reduce level: designees return row values to the ranks
+/// that contributed partials, restoring the pre-step footprint.
+fn scatter_step<S: Wire>(
+    comm: &Communicator,
+    step: &ReductionStep,
+    mine: &PartialData<S>,
+    tag: u64,
+) -> Result<PartialData<S>, CommError> {
+    let me = comm.rank();
+    // Reversed roles: wherever rank q sent rows to designee me in the
+    // forward direction, I now send those rows' totals back to q.
+    for (src, sends) in step.sends.iter().enumerate() {
+        for (dst, rows) in sends {
+            if *dst == me {
+                comm.send_vals(src, tag, &mine.gather(rows))?;
+            }
+        }
+    }
+    // My pre-step footprint = rows I kept as designee + rows I sent away.
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    let my_map = mine.value_map();
+    for &r in &step.post.per_rank[me] {
+        if let Some(&v) = my_map.get(&r) {
+            acc.insert(r, v);
+        }
+    }
+    for (dst, rows) in &step.sends[me] {
+        let vals: Vec<S> = comm.recv_vals(*dst, tag)?;
+        assert_eq!(vals.len(), rows.len(), "payload/plan length mismatch");
+        for (&r, v) in rows.iter().zip(vals) {
+            acc.insert(r, v.to_f64());
+        }
+    }
+    Ok(PartialData::from_map(acc))
+}
+
+/// Transpose direction through the full hierarchy (the backprojection
+/// pipeline of Fig 8, reversed): owners scatter totals to node designees
+/// (global), designees fan out within nodes (node level), then within
+/// sockets — restoring every rank's original footprint. Per-level wire
+/// volumes are identical to the forward reduction, which is why the
+/// paper reports one set of Table IV volumes for both directions.
+pub fn scatter_hierarchical<S: Wire>(
+    comm: &Communicator,
+    plan: &HierarchicalPlan,
+    ownership: &Ownership,
+    owned: &PartialData<S>,
+    footprint: &[u32],
+) -> Result<PartialData<S>, CommError> {
+    let me = comm.rank();
+    // Reversed global: owners send totals back along the global plan.
+    for (src, sends) in plan.global.sends.iter().enumerate() {
+        for (dst, rows) in sends {
+            if *dst == me {
+                comm.send_vals(src, TAG_SCATTER | 0x10, &owned.gather(rows))?;
+            }
+        }
+    }
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    let owned_map = owned.value_map();
+    for &r in &plan.node.post.per_rank[me] {
+        if ownership.owner[r as usize] as usize == me {
+            acc.insert(r, *owned_map.get(&r).expect("owner holds its rows"));
+        }
+    }
+    for (dst, rows) in &plan.global.sends[me] {
+        let vals: Vec<S> = comm.recv_vals(*dst, TAG_SCATTER | 0x10)?;
+        assert_eq!(vals.len(), rows.len(), "payload/plan length mismatch");
+        for (&r, v) in rows.iter().zip(vals) {
+            acc.insert(r, v.to_f64());
+        }
+    }
+    let post_node: PartialData<S> = PartialData::from_map(acc);
+    // Reversed node and socket levels. Intermediate results legitimately
+    // carry rows designated to this rank on *peers'* behalf (they must be
+    // forwarded onward); the final answer restricts to the caller's own
+    // footprint.
+    let post_socket = scatter_step(comm, &plan.node, &post_node, TAG_SCATTER | 0x20)?;
+    let full = scatter_step(comm, &plan.socket, &post_socket, TAG_SCATTER | 0x30)?;
+    let full_map = full.value_map();
+    let vals = footprint
+        .iter()
+        .map(|r| {
+            S::from_f64(*full_map.get(r).unwrap_or_else(|| {
+                panic!("row {r} missing after hierarchical scatter")
+            }))
+        })
+        .collect();
+    Ok(PartialData::new(footprint.to_vec(), vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Footprints;
+    use crate::runtime::run_ranks;
+    use crate::topology::Topology;
+    use xct_fp16::F16;
+
+    /// Shared fixture: 8 ranks on 2×2×2, 32 rows, random-ish footprints.
+    fn fixture() -> (Footprints, Ownership, Topology) {
+        let topo = Topology::new(2, 2, 2);
+        let owner: Vec<u32> = (0..32u32).map(|r| r / 4).collect();
+        let fp: Vec<Vec<u32>> = (0..8usize)
+            .map(|p| {
+                (0..32u32)
+                    .filter(|&r| (r as usize * 7 + p * 3) % 5 < 3)
+                    .collect()
+            })
+            .collect();
+        (Footprints::new(fp), Ownership::new(owner, 8), topo)
+    }
+
+    /// Partial value: deterministic function of (rank, row).
+    fn partial(p: usize, r: u32) -> f32 {
+        ((p as f32 + 1.0) * 0.125) + (r as f32) * 0.01
+    }
+
+    /// Expected total per row: sum over holders.
+    fn expected_total(fp: &Footprints, r: u32) -> f64 {
+        (0..fp.num_ranks())
+            .filter(|&p| fp.per_rank[p].contains(&r))
+            .map(|p| f64::from(partial(p, r)))
+            .sum()
+    }
+
+    fn my_data(fp: &Footprints, p: usize) -> PartialData<f32> {
+        let rows = fp.per_rank[p].clone();
+        let vals = rows.iter().map(|&r| partial(p, r)).collect();
+        PartialData::new(rows, vals)
+    }
+
+    #[test]
+    fn direct_exchange_produces_exact_totals() {
+        let (fp, own, _) = fixture();
+        let plan = DirectPlan::build(&fp, &own);
+        let results = run_ranks(8, |comm| {
+            let mine = my_data(&fp, comm.rank());
+            execute_direct(comm, &plan, &own, &mine).unwrap()
+        });
+        for (p, res) in results.iter().enumerate() {
+            assert_eq!(res.rows, own.rows_of(p), "rank {p} owned rows");
+            for (&r, &v) in res.rows.iter().zip(&res.vals) {
+                let expect = expected_total(&fp, r);
+                assert!(
+                    (f64::from(v) - expect).abs() < 1e-4,
+                    "rank {p} row {r}: {v} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_equals_direct() {
+        let (fp, own, topo) = fixture();
+        let dplan = DirectPlan::build(&fp, &own);
+        let hplan = HierarchicalPlan::build(&fp, &own, &topo);
+        let direct = run_ranks(8, |comm| {
+            execute_direct(comm, &dplan, &own, &my_data(&fp, comm.rank())).unwrap()
+        });
+        let hier = run_ranks(8, |comm| {
+            execute_hierarchical(comm, &hplan, &own, &my_data(&fp, comm.rank())).unwrap()
+        });
+        for (d, h) in direct.iter().zip(&hier) {
+            assert_eq!(d.rows, h.rows);
+            for (a, b) in d.vals.iter().zip(&h.vals) {
+                assert!((a - b).abs() < 1e-4, "direct {a} vs hierarchical {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_moves_less_between_nodes() {
+        let (fp, own, topo) = fixture();
+        let dplan = DirectPlan::build(&fp, &own);
+        let hplan = HierarchicalPlan::build(&fp, &own, &topo);
+        assert!(hplan.global.internode_elements(&topo) <= dplan.internode_elements(&topo));
+    }
+
+    #[test]
+    fn half_precision_exchange_stays_close() {
+        let (fp, own, topo) = fixture();
+        let hplan = HierarchicalPlan::build(&fp, &own, &topo);
+        let results = run_ranks(8, |comm| {
+            let p = comm.rank();
+            let rows = fp.per_rank[p].clone();
+            let vals: Vec<F16> = rows.iter().map(|&r| F16::from_f32(partial(p, r))).collect();
+            let mine = PartialData::new(rows, vals);
+            execute_hierarchical(comm, &hplan, &own, &mine).unwrap()
+        });
+        for res in &results {
+            for (&r, v) in res.rows.iter().zip(&res.vals) {
+                let expect = expected_total(&fp, r);
+                // Half quantization at each of ≤3 hops.
+                assert!(
+                    (v.to_f64() - expect).abs() <= expect.abs() * 3e-3 + 1e-3,
+                    "row {r}: {} vs {expect}",
+                    v.to_f64()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_returns_footprint_values() {
+        let (fp, own, _) = fixture();
+        let plan = DirectPlan::build(&fp, &own);
+        let results = run_ranks(8, |comm| {
+            let p = comm.rank();
+            // Owners hold totals = row id as value.
+            let rows = own.rows_of(p);
+            let vals: Vec<f32> = rows.iter().map(|&r| r as f32).collect();
+            let owned = PartialData::new(rows, vals);
+            scatter_direct(comm, &plan, &own, &owned, &fp.per_rank[p]).unwrap()
+        });
+        for (p, res) in results.iter().enumerate() {
+            assert_eq!(res.rows, fp.per_rank[p], "rank {p} footprint");
+            for (&r, &v) in res.rows.iter().zip(&res.vals) {
+                assert_eq!(v, r as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_scatter_matches_direct_scatter() {
+        let (fp, own, topo) = fixture();
+        let dplan = DirectPlan::build(&fp, &own);
+        let hplan = HierarchicalPlan::build(&fp, &own, &topo);
+        let make_owned = |p: usize| {
+            let rows = own.rows_of(p);
+            let vals: Vec<f32> = rows.iter().map(|&r| 10.0 + r as f32).collect();
+            PartialData::new(rows, vals)
+        };
+        let direct = run_ranks(8, |comm| {
+            let p = comm.rank();
+            scatter_direct(comm, &dplan, &own, &make_owned(p), &fp.per_rank[p]).unwrap()
+        });
+        let hier = run_ranks(8, |comm| {
+            let p = comm.rank();
+            scatter_hierarchical(comm, &hplan, &own, &make_owned(p), &fp.per_rank[p]).unwrap()
+        });
+        for (p, (d, h)) in direct.iter().zip(&hier).enumerate() {
+            assert_eq!(d.rows, h.rows, "rank {p} footprint rows");
+            for ((&r, a), b) in d.rows.iter().zip(&d.vals).zip(&h.vals) {
+                assert!((a - b).abs() < 1e-5, "rank {p} row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_scatter_half_precision() {
+        let (fp, own, topo) = fixture();
+        let hplan = HierarchicalPlan::build(&fp, &own, &topo);
+        let results = run_ranks(8, |comm| {
+            let p = comm.rank();
+            let rows = own.rows_of(p);
+            let vals: Vec<F16> = rows.iter().map(|&r| F16::from_f32(r as f32 * 0.25)).collect();
+            let owned = PartialData::new(rows, vals);
+            scatter_hierarchical(comm, &hplan, &own, &owned, &fp.per_rank[p]).unwrap()
+        });
+        for (p, res) in results.iter().enumerate() {
+            assert_eq!(res.rows, fp.per_rank[p]);
+            for (&r, v) in res.rows.iter().zip(&res.vals) {
+                // Values pass through ≤3 half-precision hops unchanged
+                // (0.25·r is exactly representable).
+                assert_eq!(v.to_f32(), r as f32 * 0.25, "rank {p} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_owned_by_nobody_in_footprints_still_appear_as_zero() {
+        // Row 31 owned by rank 7; strip it from all footprints.
+        let topo = Topology::new(1, 2, 2);
+        let owner: Vec<u32> = (0..8u32).map(|r| r / 2).collect();
+        let fp = Footprints::new(vec![vec![0, 1], vec![2], vec![4], vec![6]]);
+        let own = Ownership::new(owner, 4);
+        let plan = DirectPlan::build(&fp, &own);
+        let results = run_ranks(4, |comm| {
+            let p = comm.rank();
+            let rows = fp.per_rank[p].clone();
+            let vals = vec![1.0f32; rows.len()];
+            execute_direct(comm, &plan, &own, &PartialData::new(rows, vals)).unwrap()
+        });
+        let _ = topo;
+        // Rank 0 owns rows 0,1: got 1.0 each. Rank 1 owns 2,3: row 3 is
+        // in nobody's footprint — must still be present, as zero.
+        assert_eq!(results[1].rows, vec![2, 3]);
+        assert_eq!(results[1].vals[1], 0.0);
+    }
+}

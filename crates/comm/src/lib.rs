@@ -1,0 +1,38 @@
+//! Hierarchical communications of Petascale XCT (paper §III-D) over an
+//! in-process message-passing runtime.
+//!
+//! After a partial (back)projection, every process holds partial sums for
+//! sinogram rows it does not own; those partials must be communicated and
+//! reduced at the owners. The paper's contribution is to reduce partials
+//! *locally first* — among the 3 GPUs of a CPU socket (NVLink), then the 6
+//! GPUs of a node (X-bus) — so that only already-reduced data crosses the
+//! slow inter-node network, cutting inter-node volume by ~58–64%.
+//!
+//! * [`Topology`] — rank ↔ (node, socket, gpu) mapping of a fat-node
+//!   machine (Summit: 2 sockets × 3 GPUs),
+//! * [`Communicator`] / [`run_ranks`] — the MPI substitute: one thread per
+//!   rank, tagged point-to-point messages, pure-function splits
+//!   (`MPI_Comm_split` analog),
+//! * [`DirectPlan`] / [`HierarchicalPlan`] — communication schedules with
+//!   exact per-pair and per-level volume accounting (Figs 6, 11;
+//!   Table IV),
+//! * [`execute_direct`] / [`execute_hierarchical`] — run a plan on real
+//!   data across ranks, in any storage precision.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod plan;
+mod runtime;
+mod topology;
+mod wire;
+
+pub use plan::{DirectPlan, Footprints, HierarchicalPlan, Ownership, ReductionStep};
+pub use runtime::{run_ranks, CommError, Communicator, SubCommunicator};
+pub use topology::{CommLevel, Topology};
+pub use wire::Wire;
+
+mod exec;
+pub use exec::{
+    execute_direct, execute_hierarchical, scatter_direct, scatter_hierarchical, PartialData,
+};

@@ -1,0 +1,484 @@
+//! In-process message-passing runtime: the MPI substitute.
+//!
+//! One OS thread plays one MPI rank. Point-to-point messages are tagged
+//! and matched like MPI envelopes `(source, tag)`; sends are buffered and
+//! non-blocking (the paper's `MPI_Issend` usage pattern — post sends, do
+//! local work, then complete receives — maps onto this directly).
+//! `split_by` mirrors `MPI_Comm_split` for colors that are pure functions
+//! of rank, which is all the hierarchical scheme needs (socket and node
+//! membership are static).
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::wire::Wire;
+
+/// Communication failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// Destination or source rank does not exist.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// World size.
+        size: usize,
+    },
+    /// No matching message arrived within the timeout.
+    Timeout {
+        /// Expected source.
+        src: usize,
+        /// Expected tag.
+        tag: u64,
+    },
+    /// The peer's thread has exited (its channel endpoint is gone).
+    Disconnected,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range (world size {size})")
+            }
+            CommError::Timeout { src, tag } => {
+                write!(f, "timed out waiting for message from rank {src} tag {tag}")
+            }
+            CommError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+struct Envelope {
+    src: usize,
+    tag: u64,
+    payload: Vec<u8>,
+}
+
+struct Mailbox {
+    rx: Receiver<Envelope>,
+    stash: HashMap<(usize, u64), VecDeque<Vec<u8>>>,
+}
+
+/// One rank's endpoint in the world communicator.
+pub struct Communicator {
+    rank: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    mailbox: Mutex<Mailbox>,
+    timeout: Duration,
+}
+
+impl Communicator {
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends raw bytes to `dst` with `tag`. Non-blocking (buffered).
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
+        let sender = self
+            .senders
+            .get(dst)
+            .ok_or(CommError::RankOutOfRange {
+                rank: dst,
+                size: self.size(),
+            })?;
+        sender
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .map_err(|_| CommError::Disconnected)
+    }
+
+    /// Sends a typed slice (encoded at the storage-scalar width, so half
+    /// precision literally moves half the bytes of single).
+    pub fn send_vals<S: Wire>(&self, dst: usize, tag: u64, vals: &[S]) -> Result<(), CommError> {
+        self.send(dst, tag, S::encode_slice(vals))
+    }
+
+    /// Receives the next message matching `(src, tag)`, buffering
+    /// non-matching arrivals. Messages from one sender with one tag are
+    /// delivered in send order.
+    pub fn recv(&self, src: usize, tag: u64) -> Result<Vec<u8>, CommError> {
+        if src >= self.size() {
+            return Err(CommError::RankOutOfRange {
+                rank: src,
+                size: self.size(),
+            });
+        }
+        let mut mb = self.mailbox.lock();
+        if let Some(queue) = mb.stash.get_mut(&(src, tag)) {
+            if let Some(payload) = queue.pop_front() {
+                return Ok(payload);
+            }
+        }
+        loop {
+            match mb.rx.recv_timeout(self.timeout) {
+                Ok(env) => {
+                    if env.src == src && env.tag == tag {
+                        return Ok(env.payload);
+                    }
+                    mb.stash
+                        .entry((env.src, env.tag))
+                        .or_default()
+                        .push_back(env.payload);
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { src, tag }),
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+            }
+        }
+    }
+
+    /// Typed receive.
+    pub fn recv_vals<S: Wire>(&self, src: usize, tag: u64) -> Result<Vec<S>, CommError> {
+        Ok(S::decode_slice(&self.recv(src, tag)?))
+    }
+
+    /// Splits the world by a *pure* color function of rank (the
+    /// `MPI_Comm_split` analog): ranks with equal color form a
+    /// subcommunicator ordered by global rank. Requires no coordination
+    /// because every rank can evaluate every other rank's color.
+    pub fn split_by(&self, color: impl Fn(usize) -> usize) -> SubCommunicator<'_> {
+        let mine = color(self.rank);
+        let members: Vec<usize> = (0..self.size()).filter(|&r| color(r) == mine).collect();
+        let local_rank = members
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("own rank always in own color group");
+        SubCommunicator {
+            world: self,
+            members,
+            local_rank,
+            color: mine,
+        }
+    }
+
+    /// Simple dissemination barrier over the world communicator.
+    pub fn barrier(&self, tag: u64) -> Result<(), CommError> {
+        // log2 rounds of pairwise token exchange.
+        let n = self.size();
+        let mut dist = 1;
+        while dist < n {
+            let to = (self.rank + dist) % n;
+            let from = (self.rank + n - dist % n) % n;
+            self.send(to, tag ^ (dist as u64) << 32, Vec::new())?;
+            self.recv(from, tag ^ (dist as u64) << 32)?;
+            dist *= 2;
+        }
+        Ok(())
+    }
+
+    /// Max-allreduce of one f64 (for the global max-norm that the
+    /// adaptive normalization factor of §III-C1 is derived from — every
+    /// rank must scale by the *same* factor or partial sums combine
+    /// incoherently).
+    pub fn allreduce_max(&self, tag: u64, value: f64) -> Result<f64, CommError> {
+        if self.rank == 0 {
+            let mut best = value;
+            for src in 1..self.size() {
+                let bytes = self.recv(src, tag)?;
+                best = best.max(f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")));
+            }
+            for dst in 1..self.size() {
+                self.send(dst, tag.wrapping_add(1), best.to_le_bytes().to_vec())?;
+            }
+            Ok(best)
+        } else {
+            self.send(0, tag, value.to_le_bytes().to_vec())?;
+            let bytes = self.recv(0, tag.wrapping_add(1))?;
+            Ok(f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")))
+        }
+    }
+
+    /// Sum-allreduce of one f64 (for CG inner products across ranks).
+    pub fn allreduce_sum(&self, tag: u64, value: f64) -> Result<f64, CommError> {
+        // Gather at rank 0, then broadcast: O(P) messages, fine at our scale.
+        if self.rank == 0 {
+            let mut total = value;
+            for src in 1..self.size() {
+                let bytes = self.recv(src, tag)?;
+                total += f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+            }
+            for dst in 1..self.size() {
+                self.send(dst, tag.wrapping_add(1), total.to_le_bytes().to_vec())?;
+            }
+            Ok(total)
+        } else {
+            self.send(0, tag, value.to_le_bytes().to_vec())?;
+            let bytes = self.recv(0, tag.wrapping_add(1))?;
+            Ok(f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")))
+        }
+    }
+}
+
+/// A subgroup of ranks created by [`Communicator::split_by`]; local ranks
+/// are positions in the sorted member list.
+pub struct SubCommunicator<'a> {
+    world: &'a Communicator,
+    members: Vec<usize>,
+    local_rank: usize,
+    color: usize,
+}
+
+impl SubCommunicator<'_> {
+    /// Rank within the subgroup.
+    pub fn local_rank(&self) -> usize {
+        self.local_rank
+    }
+
+    /// Subgroup size.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The color this subgroup was formed with.
+    pub fn color(&self) -> usize {
+        self.color
+    }
+
+    /// Global ranks of the members, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Global rank of a local rank.
+    pub fn global(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    /// Sends to a *local* rank. Tags are salted with the color so
+    /// same-tag traffic in different subgroups cannot collide.
+    pub fn send_vals<S: Wire>(&self, local_dst: usize, tag: u64, vals: &[S]) -> Result<(), CommError> {
+        self.world
+            .send_vals(self.members[local_dst], self.salt(tag), vals)
+    }
+
+    /// Receives from a *local* rank.
+    pub fn recv_vals<S: Wire>(&self, local_src: usize, tag: u64) -> Result<Vec<S>, CommError> {
+        self.world.recv_vals(self.members[local_src], self.salt(tag))
+    }
+
+    fn salt(&self, tag: u64) -> u64 {
+        tag ^ ((self.color as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) << 8)
+    }
+}
+
+/// Spawns `n` rank threads, runs `body` on each with its communicator, and
+/// returns the results in rank order. Panics in any rank propagate.
+///
+/// ```
+/// use xct_comm::run_ranks;
+///
+/// // Every rank sends its rank id to rank 0, which sums them.
+/// let results = run_ranks(4, |comm| {
+///     if comm.rank() == 0 {
+///         (1..comm.size())
+///             .map(|src| comm.recv_vals::<f32>(src, 1).unwrap()[0])
+///             .sum::<f32>()
+///     } else {
+///         comm.send_vals::<f32>(0, 1, &[comm.rank() as f32]).unwrap();
+///         0.0
+///     }
+/// });
+/// assert_eq!(results[0], 6.0);
+/// ```
+pub fn run_ranks<T: Send>(n: usize, body: impl Fn(&Communicator) -> T + Sync) -> Vec<T> {
+    run_ranks_with_timeout(n, Duration::from_secs(30), body)
+}
+
+/// [`run_ranks`] with an explicit receive timeout (shorter for failure
+/// tests).
+pub fn run_ranks_with_timeout<T: Send>(
+    n: usize,
+    timeout: Duration,
+    body: impl Fn(&Communicator) -> T + Sync,
+) -> Vec<T> {
+    assert!(n > 0, "need at least one rank");
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let senders = Arc::new(senders);
+    let comms: Vec<Communicator> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Communicator {
+            rank,
+            senders: Arc::clone(&senders),
+            mailbox: Mutex::new(Mailbox {
+                rx,
+                stash: HashMap::new(),
+            }),
+            timeout,
+        })
+        .collect();
+    // The world keeps no extra sender clones alive: when a rank thread
+    // finishes, peers waiting on it observe Disconnected... only when all
+    // senders drop; sender clones live in every rank's Arc, so
+    // disconnection is only observable after the scope ends. Timeouts
+    // cover premature-exit deadlocks instead.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter()
+            .map(|comm| scope.spawn(|| body(comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_fp16::F16;
+
+    #[test]
+    fn ring_pass() {
+        let results = run_ranks(4, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send_vals::<f32>(next, 7, &[comm.rank() as f32]).unwrap();
+            let got = comm.recv_vals::<f32>(prev, 7).unwrap();
+            got[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vals::<f32>(1, 1, &[1.0]).unwrap();
+                comm.send_vals::<f32>(1, 2, &[2.0]).unwrap();
+                0.0
+            } else {
+                // Receive tag 2 first even though tag 1 arrived first.
+                let b = comm.recv_vals::<f32>(0, 2).unwrap();
+                let a = comm.recv_vals::<f32>(0, 1).unwrap();
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn same_tag_preserves_order() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..5 {
+                    comm.send_vals::<f32>(1, 9, &[i as f32]).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..5)
+                    .map(|_| comm.recv_vals::<f32>(0, 9).unwrap()[0])
+                    .collect()
+            }
+        });
+        assert_eq!(results[1], vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn half_precision_on_the_wire() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vals::<F16>(1, 3, &[F16::from_f32(0.1), F16::MAX]).unwrap();
+                0
+            } else {
+                let v = comm.recv_vals::<F16>(0, 3).unwrap();
+                assert_eq!(v[0].to_bits(), F16::from_f32(0.1).to_bits());
+                assert_eq!(v[1].to_bits(), F16::MAX.to_bits());
+                v.len()
+            }
+        });
+        assert_eq!(results[1], 2);
+    }
+
+    #[test]
+    fn split_by_socket_colors() {
+        let results = run_ranks(6, |comm| {
+            let socket = comm.split_by(|r| r / 3);
+            // Exchange within socket: everyone sends rank to local 0.
+            if socket.local_rank() != 0 {
+                socket
+                    .send_vals::<f32>(0, 5, &[comm.rank() as f32])
+                    .unwrap();
+                -1.0
+            } else {
+                let mut sum = comm.rank() as f32;
+                for src in 1..socket.size() {
+                    sum += socket.recv_vals::<f32>(src, 5).unwrap()[0];
+                }
+                sum
+            }
+        });
+        assert_eq!(results[0], 3.0); // 0+1+2
+        assert_eq!(results[3], 12.0); // 3+4+5
+    }
+
+    #[test]
+    fn same_tag_in_different_subgroups_does_not_collide() {
+        // Global-rank senders use the same tag in two colors; salting
+        // keeps them separate even though the underlying world is shared.
+        let results = run_ranks(4, |comm| {
+            let sub = comm.split_by(|r| r % 2);
+            if sub.local_rank() == 0 {
+                sub.send_vals::<f32>(1, 42, &[comm.rank() as f32 + 100.0]).unwrap();
+                0.0
+            } else {
+                sub.recv_vals::<f32>(0, 42).unwrap()[0]
+            }
+        });
+        assert_eq!(results[2], 100.0);
+        assert_eq!(results[3], 101.0);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let results = run_ranks(5, |comm| comm.barrier(77).is_ok());
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let results = run_ranks(6, |comm| comm.allreduce_sum(11, comm.rank() as f64).unwrap());
+        assert!(results.iter().all(|&v| v == 15.0));
+    }
+
+    #[test]
+    fn send_to_invalid_rank_errors() {
+        let results = run_ranks(2, |comm| comm.send(5, 0, Vec::new()));
+        assert_eq!(
+            results[0],
+            Err(CommError::RankOutOfRange { rank: 5, size: 2 })
+        );
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let results = run_ranks_with_timeout(2, Duration::from_millis(50), |comm| {
+            if comm.rank() == 1 {
+                comm.recv(0, 99).err()
+            } else {
+                None
+            }
+        });
+        assert_eq!(results[1], Some(CommError::Timeout { src: 0, tag: 99 }));
+    }
+}

@@ -1,0 +1,162 @@
+//! Fat-node machine topology: rank ↔ (node, socket, gpu).
+
+/// The interconnect level a pair of ranks communicates over.
+///
+/// On Summit (paper §IV-A1): sockets connect 3 GPUs with NVLink
+/// (50 GB/s/link), the two sockets of a node share a 64 GB/s X-bus, and
+/// nodes talk over InfiniBand. Effective measured bandwidth ratios are
+/// ~100 : 15 : 1 (Table IV discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommLevel {
+    /// Same GPU (no communication).
+    Local,
+    /// Same socket: dense NVLink.
+    Socket,
+    /// Same node, different socket: X-bus.
+    Node,
+    /// Different nodes: InfiniBand.
+    Global,
+}
+
+/// A machine of `nodes × sockets_per_node × gpus_per_socket` ranks, with
+/// ranks assigned contiguously (gpu fastest, then socket, then node) —
+/// matching the adjacent-subdomains-in-one-node placement of Fig 3(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// CPU sockets per node (Summit: 2).
+    pub sockets_per_node: usize,
+    /// GPUs per socket (Summit: 3).
+    pub gpus_per_socket: usize,
+}
+
+impl Topology {
+    /// Creates a topology; all dimensions must be nonzero.
+    pub fn new(nodes: usize, sockets_per_node: usize, gpus_per_socket: usize) -> Self {
+        assert!(
+            nodes > 0 && sockets_per_node > 0 && gpus_per_socket > 0,
+            "degenerate topology {nodes}x{sockets_per_node}x{gpus_per_socket}"
+        );
+        Topology {
+            nodes,
+            sockets_per_node,
+            gpus_per_socket,
+        }
+    }
+
+    /// Summit-like node structure with the given node count.
+    pub fn summit(nodes: usize) -> Self {
+        Self::new(nodes, 2, 3)
+    }
+
+    /// Total ranks (GPUs).
+    pub fn size(&self) -> usize {
+        self.nodes * self.sockets_per_node * self.gpus_per_socket
+    }
+
+    /// GPUs per node.
+    pub fn gpus_per_node(&self) -> usize {
+        self.sockets_per_node * self.gpus_per_socket
+    }
+
+    /// Node index of a rank.
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.size());
+        rank / self.gpus_per_node()
+    }
+
+    /// Global socket index of a rank.
+    pub fn socket_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.size());
+        rank / self.gpus_per_socket
+    }
+
+    /// `(node, socket-in-node, gpu-in-socket)` of a rank.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize, usize) {
+        let node = self.node_of(rank);
+        let within = rank % self.gpus_per_node();
+        (node, within / self.gpus_per_socket, within % self.gpus_per_socket)
+    }
+
+    /// The interconnect level between two ranks.
+    pub fn level(&self, a: usize, b: usize) -> CommLevel {
+        if a == b {
+            CommLevel::Local
+        } else if self.socket_of(a) == self.socket_of(b) {
+            CommLevel::Socket
+        } else if self.node_of(a) == self.node_of(b) {
+            CommLevel::Node
+        } else {
+            CommLevel::Global
+        }
+    }
+
+    /// Ranks grouped by socket, each group sorted ascending.
+    pub fn socket_groups(&self) -> Vec<Vec<usize>> {
+        (0..self.size() / self.gpus_per_socket)
+            .map(|s| (s * self.gpus_per_socket..(s + 1) * self.gpus_per_socket).collect())
+            .collect()
+    }
+
+    /// Ranks grouped by node, each group sorted ascending.
+    pub fn node_groups(&self) -> Vec<Vec<usize>> {
+        (0..self.nodes)
+            .map(|n| (n * self.gpus_per_node()..(n + 1) * self.gpus_per_node()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_node_structure() {
+        let t = Topology::summit(4);
+        assert_eq!(t.size(), 24);
+        assert_eq!(t.gpus_per_node(), 6);
+        assert_eq!(t.coords_of(0), (0, 0, 0));
+        assert_eq!(t.coords_of(5), (0, 1, 2));
+        assert_eq!(t.coords_of(6), (1, 0, 0));
+        assert_eq!(t.coords_of(23), (3, 1, 2));
+    }
+
+    #[test]
+    fn levels_reflect_hierarchy() {
+        let t = Topology::summit(2);
+        assert_eq!(t.level(0, 0), CommLevel::Local);
+        assert_eq!(t.level(0, 2), CommLevel::Socket);
+        assert_eq!(t.level(0, 3), CommLevel::Node);
+        assert_eq!(t.level(0, 6), CommLevel::Global);
+        assert_eq!(t.level(7, 6), CommLevel::Socket);
+    }
+
+    #[test]
+    fn groups_partition_ranks() {
+        let t = Topology::new(3, 2, 4);
+        let sockets = t.socket_groups();
+        assert_eq!(sockets.len(), 6);
+        let all: Vec<usize> = sockets.into_iter().flatten().collect();
+        assert_eq!(all, (0..24).collect::<Vec<_>>());
+        let nodes = t.node_groups();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[1], (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn level_is_symmetric() {
+        let t = Topology::summit(3);
+        for a in 0..t.size() {
+            for b in 0..t.size() {
+                assert_eq!(t.level(a, b), t.level(b, a));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate topology")]
+    fn zero_dimension_rejected() {
+        Topology::new(0, 2, 3);
+    }
+}

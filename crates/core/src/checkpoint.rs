@@ -1,0 +1,194 @@
+//! Solver checkpointing: persist a [`CglsSnapshot`] to disk and resume
+//! the exact iterate sequence after a restart.
+//!
+//! Format: `"XCKP"` magic, version, iteration, vector lengths, then the
+//! three state vectors in f32 little-endian and the two f64 scalars,
+//! FNV-trailed like the slice files. State stays in full precision —
+//! quantizing the Krylov state would perturb conjugacy on resume.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use xct_solver::CglsSnapshot;
+
+const MAGIC: [u8; 4] = *b"XCKP";
+const VERSION: u32 = 1;
+
+/// Checkpoint failure.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Os(std::io::Error),
+    /// Malformed checkpoint file.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Os(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(m) => write!(f, "malformed checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Os(e)
+    }
+}
+
+fn write_vec(out: &mut impl Write, v: &[f32]) -> std::io::Result<()> {
+    out.write_all(&(v.len() as u64).to_le_bytes())?;
+    for &x in v {
+        out.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_vec(input: &mut impl Read) -> Result<Vec<f32>, CheckpointError> {
+    let mut len8 = [0u8; 8];
+    input.read_exact(&mut len8)?;
+    let len = u64::from_le_bytes(len8) as usize;
+    let mut bytes = vec![0u8; len * 4];
+    input.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+/// Saves a snapshot.
+pub fn save_checkpoint(path: impl AsRef<Path>, snap: &CglsSnapshot) -> Result<(), CheckpointError> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    out.write_all(&MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(snap.iteration as u64).to_le_bytes())?;
+    write_vec(&mut out, &snap.x)?;
+    write_vec(&mut out, &snap.r)?;
+    write_vec(&mut out, &snap.p)?;
+    out.write_all(&snap.gamma.to_le_bytes())?;
+    out.write_all(&snap.y_norm.to_le_bytes())?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Loads a snapshot.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<CglsSnapshot, CheckpointError> {
+    let mut input = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let mut v4 = [0u8; 4];
+    input.read_exact(&mut v4)?;
+    let version = u32::from_le_bytes(v4);
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let mut it8 = [0u8; 8];
+    input.read_exact(&mut it8)?;
+    let iteration = u64::from_le_bytes(it8) as usize;
+    let x = read_vec(&mut input)?;
+    let r = read_vec(&mut input)?;
+    let p = read_vec(&mut input)?;
+    if x.len() != p.len() {
+        return Err(CheckpointError::Format(format!(
+            "inconsistent state: |x| = {} but |p| = {}",
+            x.len(),
+            p.len()
+        )));
+    }
+    let mut s8 = [0u8; 8];
+    input.read_exact(&mut s8)?;
+    let gamma = f64::from_le_bytes(s8);
+    input.read_exact(&mut s8)?;
+    let y_norm = f64::from_le_bytes(s8);
+    Ok(CglsSnapshot {
+        iteration,
+        x,
+        r,
+        p,
+        gamma,
+        y_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
+    use xct_solver::{CglsSolver, SystemMatrixOperator};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("xct_checkpoint_tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn checkpoint_restart_is_bit_exact() {
+        let scan = ScanGeometry::uniform(ImageGrid::square(16, 1.0), 16);
+        let sm = SystemMatrix::build(&scan);
+        let op = SystemMatrixOperator::new(&sm);
+        let x_true: Vec<f32> = (0..op_cols(&op)).map(|i| (i % 5) as f32 * 0.2).collect();
+        let mut y = vec![0.0f32; sm.num_rays()];
+        sm.project(&x_true, &mut y);
+
+        // Straight run.
+        let mut straight = CglsSolver::new(&op, &y);
+        for _ in 0..14 {
+            straight.step(&op);
+        }
+
+        // Interrupted run through a real file.
+        let mut first = CglsSolver::new(&op, &y);
+        for _ in 0..6 {
+            first.step(&op);
+        }
+        let path = tmp("cgls.ckpt");
+        save_checkpoint(&path, first.snapshot()).unwrap();
+        drop(first);
+        let restored = load_checkpoint(&path).unwrap();
+        assert_eq!(restored.iteration, 6);
+        let mut resumed = CglsSolver::from_snapshot(&op, restored);
+        for _ in 0..8 {
+            resumed.step(&op);
+        }
+        for (a, b) in resumed.snapshot().x.iter().zip(&straight.snapshot().x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    fn op_cols(op: &dyn xct_solver::LinearOperator) -> usize {
+        op.cols()
+    }
+
+    #[test]
+    fn corrupted_checkpoint_rejected() {
+        let path = tmp("bad.ckpt");
+        std::fs::write(&path, b"GARBAGE.....").unwrap();
+        match load_checkpoint(&path) {
+            Err(CheckpointError::Format(m)) => assert!(m.contains("bad magic")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let scan = ScanGeometry::uniform(ImageGrid::square(8, 1.0), 8);
+        let sm = SystemMatrix::build(&scan);
+        let op = SystemMatrixOperator::new(&sm);
+        let y = vec![1.0f32; sm.num_rays()];
+        let solver = CglsSolver::new(&op, &y);
+        let path = tmp("trunc.ckpt");
+        save_checkpoint(&path, solver.snapshot()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(matches!(load_checkpoint(&path), Err(CheckpointError::Os(_))));
+    }
+}

@@ -1,0 +1,280 @@
+//! Slice decomposition: Hilbert-ordered ownership of voxels and rays,
+//! per-rank operator restrictions, and partial-data footprints
+//! (paper §III-A1, Fig 7).
+//!
+//! Both the tomogram plane (`nx × nz` voxels) and the sinogram plane
+//! (`channels × angles` bins) are tiled, Hilbert-ordered, and split into
+//! equal contiguous runs — one subdomain per data process. A process's
+//! *partial-data footprint* is the set of rays its voxels intersect: the
+//! rows it contributes partial sums to in a projection (Fig 7b shades
+//! these for subdomains 12–14).
+
+use xct_comm::{Footprints, Ownership};
+use xct_geometry::{ScanGeometry, SystemMatrix};
+use xct_hilbert::{CurveKind, Domain2D, TileDecomposition};
+use xct_spmm::Csr;
+
+/// One rank's restriction of the system matrix: rows = its footprint
+/// rays, columns = its owned voxels, both reindexed densely.
+#[derive(Debug, Clone)]
+pub struct LocalOperator {
+    /// Global ray ids of the local rows, ascending.
+    pub rows: Vec<u32>,
+    /// Global voxel ids of the local columns, ascending.
+    pub cols: Vec<u32>,
+    /// The local sparse operator `A[rows, cols]`.
+    pub csr: Csr<f32>,
+}
+
+/// The complete decomposition of one slice among `ranks` data processes.
+#[derive(Debug, Clone)]
+pub struct SliceDecomposition {
+    /// Data-process count.
+    pub ranks: usize,
+    /// Owner rank of every voxel.
+    pub voxel_owner: Vec<u32>,
+    /// Owner rank of every ray (sinogram bin).
+    pub ray_owner: Vec<u32>,
+    /// Voxels owned per rank, ascending.
+    pub owned_voxels: Vec<Vec<u32>>,
+    /// Rays owned per rank, ascending.
+    pub owned_rays: Vec<Vec<u32>>,
+    /// Partial-data footprints: rays each rank's voxels touch.
+    pub footprints: Footprints,
+    /// Per-rank restricted operators.
+    pub local_ops: Vec<LocalOperator>,
+}
+
+impl SliceDecomposition {
+    /// Decomposes `scan`'s slice among `ranks` processes with square
+    /// tiles of `tile` cells, ordered by `kind`.
+    pub fn build(
+        sm: &SystemMatrix,
+        scan: &ScanGeometry,
+        ranks: usize,
+        tile: usize,
+        kind: CurveKind,
+    ) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        let grid = scan.grid;
+        let channels = scan.detector.channels;
+        let angles = scan.angles.len();
+
+        // Tomogram-domain ownership.
+        let tomo = TileDecomposition::new(Domain2D::new(grid.nx, grid.nz), tile, kind);
+        let voxel_owner: Vec<u32> = tomo
+            .cell_owner_map(ranks)
+            .into_iter()
+            .map(|o| o as u32)
+            .collect();
+
+        // Sinogram-domain ownership: width = channels, height = angles;
+        // ray id = angle·channels + channel.
+        let sino = TileDecomposition::new(Domain2D::new(channels, angles), tile, kind);
+        let sino_owner_cells = sino.cell_owner_map(ranks);
+        let ray_owner: Vec<u32> = (0..sm.num_rays())
+            .map(|ray| {
+                let (a, c) = (ray / channels, ray % channels);
+                sino_owner_cells[a * channels + c] as u32
+            })
+            .collect();
+
+        let mut owned_voxels: Vec<Vec<u32>> = vec![Vec::new(); ranks];
+        for (v, &o) in voxel_owner.iter().enumerate() {
+            owned_voxels[o as usize].push(v as u32);
+        }
+        let mut owned_rays: Vec<Vec<u32>> = vec![Vec::new(); ranks];
+        for (r, &o) in ray_owner.iter().enumerate() {
+            owned_rays[o as usize].push(r as u32);
+        }
+
+        // Bucket triplets by column owner; collect footprints.
+        let mut local_triplets: Vec<Vec<(u32, u32, f32)>> = vec![Vec::new(); ranks];
+        for (row, col, val) in sm.triplets() {
+            let p = voxel_owner[col as usize] as usize;
+            local_triplets[p].push((row, col, val));
+        }
+        let mut footprint_rows: Vec<Vec<u32>> = Vec::with_capacity(ranks);
+        let mut local_ops = Vec::with_capacity(ranks);
+        for (p, triplets) in local_triplets.into_iter().enumerate() {
+            let mut rows: Vec<u32> = triplets.iter().map(|&(r, _, _)| r).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            footprint_rows.push(rows.clone());
+            let cols = owned_voxels[p].clone();
+            // Dense local reindexing.
+            let row_of = |g: u32| rows.binary_search(&g).expect("row in footprint") as u32;
+            let col_of = |g: u32| cols.binary_search(&g).expect("col owned") as u32;
+            let csr = Csr::from_triplets(
+                rows.len(),
+                cols.len(),
+                triplets
+                    .iter()
+                    .map(|&(r, c, v)| (row_of(r), col_of(c), v)),
+            );
+            local_ops.push(LocalOperator { rows, cols, csr });
+        }
+
+        SliceDecomposition {
+            ranks,
+            voxel_owner,
+            ray_owner,
+            owned_voxels,
+            owned_rays,
+            footprints: Footprints::new(footprint_rows),
+            local_ops,
+        }
+    }
+
+    /// The ray-ownership map in `xct-comm` form.
+    pub fn ray_ownership(&self) -> Ownership {
+        Ownership::new(self.ray_owner.clone(), self.ranks)
+    }
+
+    /// Scatters per-rank tomogram pieces back into a full slice
+    /// (slice-major over `fusing` fused slices).
+    pub fn assemble_volume(&self, pieces: &[Vec<f32>], num_voxels: usize, fusing: usize) -> Vec<f32> {
+        assert_eq!(pieces.len(), self.ranks, "piece count mismatch");
+        let mut out = vec![0.0f32; num_voxels * fusing];
+        for (p, piece) in pieces.iter().enumerate() {
+            let cols = &self.owned_voxels[p];
+            assert_eq!(piece.len(), cols.len() * fusing, "piece {p} length");
+            for f in 0..fusing {
+                for (i, &v) in cols.iter().enumerate() {
+                    out[f * num_voxels + v as usize] = piece[f * cols.len() + i];
+                }
+            }
+        }
+        out
+    }
+
+    /// Restricts a full slice-major vector to rank `p`'s owned voxels.
+    pub fn restrict_volume(&self, full: &[f32], num_voxels: usize, fusing: usize, p: usize) -> Vec<f32> {
+        let cols = &self.owned_voxels[p];
+        let mut out = Vec::with_capacity(cols.len() * fusing);
+        for f in 0..fusing {
+            for &v in cols {
+                out.push(full[f * num_voxels + v as usize]);
+            }
+        }
+        out
+    }
+
+    /// Restricts a full sinogram vector to rank `p`'s owned rays.
+    pub fn restrict_sinogram(&self, full: &[f32], num_rays: usize, fusing: usize, p: usize) -> Vec<f32> {
+        let rays = &self.owned_rays[p];
+        let mut out = Vec::with_capacity(rays.len() * fusing);
+        for f in 0..fusing {
+            for &r in rays {
+                out.push(full[f * num_rays + r as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_geometry::ImageGrid;
+
+    fn setup(n: usize, angles: usize, ranks: usize) -> (SystemMatrix, ScanGeometry, SliceDecomposition) {
+        let scan = ScanGeometry::uniform(ImageGrid::square(n, 1.0), angles);
+        let sm = SystemMatrix::build(&scan);
+        let d = SliceDecomposition::build(&sm, &scan, ranks, 4, CurveKind::Hilbert);
+        (sm, scan, d)
+    }
+
+    #[test]
+    fn ownership_partitions_both_domains() {
+        let (sm, _, d) = setup(16, 12, 4);
+        assert_eq!(d.voxel_owner.len(), 256);
+        assert_eq!(d.ray_owner.len(), sm.num_rays());
+        let total_vox: usize = d.owned_voxels.iter().map(Vec::len).sum();
+        assert_eq!(total_vox, 256);
+        let total_rays: usize = d.owned_rays.iter().map(Vec::len).sum();
+        assert_eq!(total_rays, sm.num_rays());
+        // Roughly balanced.
+        for ov in &d.owned_voxels {
+            assert!(ov.len() >= 256 / 4 / 2, "{}", ov.len());
+        }
+    }
+
+    #[test]
+    fn local_operators_cover_every_nonzero_once() {
+        let (sm, _, d) = setup(12, 8, 3);
+        let local_nnz: usize = d.local_ops.iter().map(|op| op.csr.nnz()).sum();
+        assert_eq!(local_nnz, sm.nnz());
+    }
+
+    #[test]
+    fn partial_projections_sum_to_full_projection() {
+        // The algebraic heart of data parallelism: Σ_p A[:,T_p]·x[T_p] = A·x.
+        let (sm, _, d) = setup(16, 10, 4);
+        let x: Vec<f32> = (0..sm.num_voxels())
+            .map(|i| ((i * 29 + 13) % 83) as f32 / 83.0)
+            .collect();
+        let mut y_ref = vec![0.0f32; sm.num_rays()];
+        sm.project(&x, &mut y_ref);
+
+        let mut y_sum = vec![0.0f64; sm.num_rays()];
+        for op in &d.local_ops {
+            let x_loc: Vec<f32> = op.cols.iter().map(|&c| x[c as usize]).collect();
+            let mut y_loc = vec![0.0f32; op.rows.len()];
+            op.csr.spmv::<f32>(&x_loc, &mut y_loc);
+            for (&r, &v) in op.rows.iter().zip(&y_loc) {
+                y_sum[r as usize] += f64::from(v);
+            }
+        }
+        for (a, b) in y_sum.iter().zip(&y_ref) {
+            assert!((*a as f32 - b).abs() <= 1e-4 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn footprints_match_local_rows() {
+        let (_, _, d) = setup(12, 8, 4);
+        for p in 0..4 {
+            assert_eq!(d.footprints.per_rank[p], d.local_ops[p].rows);
+        }
+    }
+
+    #[test]
+    fn hilbert_footprints_are_smaller_than_row_major() {
+        // The point of Hilbert ordering: compact subdomains cast compact
+        // shadows (fewer footprint rays → less communication).
+        let scan = ScanGeometry::uniform(ImageGrid::square(32, 1.0), 24);
+        let sm = SystemMatrix::build(&scan);
+        let hil = SliceDecomposition::build(&sm, &scan, 8, 4, CurveKind::Hilbert);
+        let row = SliceDecomposition::build(&sm, &scan, 8, 4, CurveKind::RowMajor);
+        assert!(
+            hil.footprints.total_elements() < row.footprints.total_elements(),
+            "hilbert {} vs row-major {}",
+            hil.footprints.total_elements(),
+            row.footprints.total_elements()
+        );
+    }
+
+    #[test]
+    fn restrict_assemble_roundtrip() {
+        let (sm, _, d) = setup(12, 8, 3);
+        let fusing = 2;
+        let full: Vec<f32> = (0..sm.num_voxels() * fusing).map(|i| i as f32).collect();
+        let pieces: Vec<Vec<f32>> = (0..3)
+            .map(|p| d.restrict_volume(&full, sm.num_voxels(), fusing, p))
+            .collect();
+        let back = d.assemble_volume(&pieces, sm.num_voxels(), fusing);
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn single_rank_decomposition_is_identity() {
+        let (sm, _, d) = setup(10, 6, 1);
+        assert_eq!(d.local_ops[0].csr.nnz(), sm.nnz());
+        assert_eq!(d.owned_voxels[0].len(), sm.num_voxels());
+        assert_eq!(d.footprints.per_rank[0].len(), {
+            // All rays that hit anything.
+            (0..sm.num_rays()).filter(|&r| !sm.row(r).is_empty()).count()
+        });
+    }
+}

@@ -1,0 +1,30 @@
+//! PetaXCT core: the paper's 3D reconstruction system assembled from its
+//! substrates.
+//!
+//! * [`partition`] — the batch × data partitioning strategy of §III-A and
+//!   the computational-complexity formulas of Table I,
+//! * [`decompose`] — Hilbert-ordered slice decomposition: voxel/ray
+//!   ownership, per-rank operator restrictions, partial-data footprints,
+//! * [`distributed`] — the executable multi-rank pipeline: partial
+//!   (back)projections through the optimized kernels, hierarchical (or
+//!   direct) communication, distributed CGLS — real arithmetic at mini
+//!   scale,
+//! * [`model`] — the paper-scale estimator: Table I complexity + measured
+//!   kernel/communication shapes mapped through the machine model, for
+//!   the Summit-sized experiments (Tables III–IV, Figs 10–12),
+//! * [`Reconstructor`] — the single-call public API used by the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod decompose;
+pub mod distributed;
+pub mod model;
+pub mod partition;
+mod recon;
+pub mod volume;
+
+pub use partition::{Partitioning, TableIComplexity};
+pub use recon::{Algorithm, ReconOptions, Reconstructor};
+pub use volume::{reconstruct_volume, PipelineError, VolumeStats};

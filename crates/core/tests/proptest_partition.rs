@@ -1,0 +1,92 @@
+//! Property tests for the partitioning strategy and complexity model.
+
+use proptest::prelude::*;
+use xct_core::{Partitioning, TableIComplexity};
+
+proptest! {
+    /// The optimal partitioning always produces a legal configuration:
+    /// batch divides the node count, batch ≤ slices, and the whole
+    /// machine is used.
+    #[test]
+    fn optimal_is_legal(
+        matrix_gb in 1u64..4000,
+        data_gb in 1u64..4000,
+        nodes_pow in 0u32..8,
+        slices in 1usize..10_000,
+    ) {
+        let nodes = 1usize << nodes_pow;
+        let p = Partitioning::optimal(
+            matrix_gb << 30,
+            data_gb << 30,
+            nodes,
+            6,
+            16 << 30,
+            slices,
+        );
+        prop_assert_eq!(nodes % p.batch, 0);
+        prop_assert!(p.batch <= slices.max(1));
+        prop_assert_eq!(p.total(), (nodes / p.batch) * 6 * p.batch);
+        prop_assert_eq!(p.data * p.batch, nodes * 6);
+    }
+
+    /// Shrinking the matrix footprint never reduces batch parallelism
+    /// (lower precision → more batching, the Table III progression).
+    #[test]
+    fn smaller_matrix_never_batches_less(
+        matrix_gb in 2u64..2000,
+        data_gb in 1u64..1000,
+        nodes_pow in 0u32..8,
+    ) {
+        let nodes = 1usize << nodes_pow;
+        let big = Partitioning::optimal(matrix_gb << 30, data_gb << 30, nodes, 6, 16 << 30, 100_000);
+        let small = Partitioning::optimal((matrix_gb / 2) << 30, (data_gb / 2) << 30, nodes, 6, 16 << 30, 100_000);
+        prop_assert!(small.batch >= big.batch,
+            "halving footprints must not reduce batching: {big:?} -> {small:?}");
+    }
+
+    /// When the chosen configuration is memory-feasible, the per-GPU
+    /// footprint really fits the usable fraction.
+    #[test]
+    fn feasible_configurations_fit(
+        matrix_gb in 1u64..200,
+        data_gb in 1u64..200,
+        nodes_pow in 2u32..8,
+    ) {
+        let nodes = 1usize << nodes_pow;
+        let (matrix, data) = ((matrix_gb << 30) as f64, (data_gb << 30) as f64);
+        let p = Partitioning::optimal(matrix_gb << 30, data_gb << 30, nodes, 6, 16 << 30, 100_000);
+        let per_gpu = matrix / ((nodes / p.batch) as f64 * 6.0) + data / (nodes as f64 * 6.0);
+        let usable = (16u64 << 30) as f64 * Partitioning::USABLE_MEMORY_FRACTION;
+        // Either it fits, or even Pb=1 did not fit (saturated fallback).
+        let pb1 = matrix / (nodes as f64 * 6.0) + data / (nodes as f64 * 6.0);
+        prop_assert!(per_gpu <= usable + 1.0 || pb1 > usable,
+            "chosen {p:?} uses {per_gpu} of {usable}");
+    }
+
+    /// Table I consistency: per-process compute × processes ≈ total
+    /// compute (up to the duplicated-boundary term), and comm terms obey
+    /// their exact algebraic relation.
+    #[test]
+    fn table1_totals_are_consistent(
+        m in 1usize..4096,
+        n in 2usize..4096,
+        pb_pow in 0u32..6,
+        pd_pow in 0u32..8,
+    ) {
+        let part = Partitioning { batch: 1 << pb_pow, data: 1 << pd_pow };
+        let c = TableIComplexity::evaluate(m, n, part);
+        let procs = part.total() as f64;
+        // comm: per-process × processes == total (exact by construction).
+        prop_assert!((c.comm_per_process * procs - c.comm_total).abs() < 1e-6 * c.comm_total.max(1.0));
+        // compute: dominant term matches totals.
+        prop_assert!(c.compute_per_process * procs >= c.compute_total * 0.99);
+        // Communication per process decreases with more data processes.
+        let quadrupled = TableIComplexity::evaluate(
+            m,
+            n,
+            Partitioning { batch: part.batch, data: part.data * 4 },
+        );
+        prop_assert!((quadrupled.comm_per_process * 2.0 - c.comm_per_process).abs()
+            < 1e-6 * c.comm_per_process.max(1.0));
+    }
+}

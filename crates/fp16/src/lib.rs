@@ -1,0 +1,28 @@
+//! Software IEEE 754 binary16 ("half") arithmetic and the adaptive
+//! normalization scheme of Petascale XCT (Hidayetoglu et al., SC20, §III-C).
+//!
+//! The paper stores and communicates data in half precision while performing
+//! all fused multiply-adds in single precision (`__half2float` /
+//! `__float2half` in CUDA). This crate provides:
+//!
+//! * [`F16`] — a bit-exact software half-precision type with
+//!   round-to-nearest-even conversions from/to `f32` and `f64`,
+//! * [`StorageScalar`] — the abstraction the SpMM kernels are generic over,
+//!   so the same kernel code runs in double, single, or half storage,
+//! * [`Precision`] — the four precision modes evaluated in the paper
+//!   (double, single, half, mixed),
+//! * [`AdaptiveNormalizer`] — per-iteration max-norm renormalization that
+//!   prevents half-precision overflow while minimizing underflow (§III-C1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod f16;
+mod normalize;
+mod precision;
+mod storage;
+
+pub use f16::F16;
+pub use normalize::{max_abs, AdaptiveNormalizer, Normalized, HALF_RELATIVE_EPS};
+pub use precision::Precision;
+pub use storage::StorageScalar;

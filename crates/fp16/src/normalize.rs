@@ -1,0 +1,203 @@
+//! Adaptive normalization (paper §III-C1).
+//!
+//! Half precision has a narrow dynamic range (max 65504, smallest normal
+//! 6.1e-5). The paper avoids overflow and minimizes underflow by scaling the
+//! evolving iterate by a factor derived from its max-norm before each
+//! half-precision type cast, and undoing the scaling after the kernel:
+//!
+//! > "The (de)normalization factor is adaptively changed in each iteration
+//! > with respect to the max-norm of the evolving input vector to prevent
+//! > overflows while minimizing underflows."
+
+use crate::f16::F16;
+
+/// Returns the max-norm (largest absolute value) of a slice, ignoring NaNs.
+///
+/// NaNs are skipped rather than propagated because a single corrupted
+/// detector pixel must not disable normalization for the whole iterate.
+pub fn max_abs(data: &[f32]) -> f32 {
+    data.iter().fold(0.0f32, |acc, &x| {
+        let a = x.abs();
+        if a > acc {
+            a
+        } else {
+            acc
+        }
+    })
+}
+
+/// A vector that has been scaled into half-precision-safe range together
+/// with the factor needed to undo the scaling.
+#[derive(Debug, Clone)]
+pub struct Normalized {
+    /// The scale that was *applied*; multiply by `1.0 / factor` to undo.
+    pub factor: f32,
+    /// The scaled values, quantized to half precision.
+    pub data: Vec<F16>,
+}
+
+/// Computes per-iteration normalization factors from the max-norm of the
+/// evolving iterate (paper §III-C1).
+///
+/// The target is chosen so the largest magnitude maps to `headroom_target`,
+/// leaving multiplicative headroom below 65504 for the partial-sum
+/// reductions performed after communication. The default headroom target of
+/// `256.0` tolerates ≈256-way growth during reduction before overflow.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveNormalizer {
+    headroom_target: f32,
+}
+
+impl Default for AdaptiveNormalizer {
+    fn default() -> Self {
+        AdaptiveNormalizer {
+            headroom_target: 256.0,
+        }
+    }
+}
+
+impl AdaptiveNormalizer {
+    /// Creates a normalizer mapping the max-norm to `headroom_target`.
+    ///
+    /// # Panics
+    /// Panics if the target is not a finite positive number within the
+    /// half-precision normal range.
+    pub fn new(headroom_target: f32) -> Self {
+        assert!(
+            headroom_target.is_finite()
+                && headroom_target >= F16::MIN_POSITIVE.to_f32()
+                && headroom_target <= F16::MAX.to_f32(),
+            "headroom target {headroom_target} outside half-precision normal range"
+        );
+        AdaptiveNormalizer { headroom_target }
+    }
+
+    /// Returns the scale factor for a vector with the given max-norm.
+    ///
+    /// A zero (or denormal-small) max-norm yields factor 1.0: the vector is
+    /// all zeros (or effectively so) and needs no scaling.
+    pub fn factor_for(&self, max_norm: f32) -> f32 {
+        if !max_norm.is_finite() || max_norm < f32::MIN_POSITIVE {
+            1.0
+        } else {
+            self.headroom_target / max_norm
+        }
+    }
+
+    /// Scales `data` into half-precision range and quantizes.
+    pub fn normalize(&self, data: &[f32]) -> Normalized {
+        let factor = self.factor_for(max_abs(data));
+        let quantized = data.iter().map(|&x| F16::from_f32(x * factor)).collect();
+        Normalized {
+            factor,
+            data: quantized,
+        }
+    }
+
+    /// Undoes a previous [`normalize`](Self::normalize), widening to `f32`.
+    pub fn denormalize(&self, normalized: &Normalized) -> Vec<f32> {
+        let inv = 1.0 / normalized.factor;
+        normalized.data.iter().map(|h| h.to_f32() * inv).collect()
+    }
+}
+
+/// Relative quantization error bound for one half-precision roundtrip of a
+/// *normalized* value: half an ulp at 10 mantissa bits.
+pub const HALF_RELATIVE_EPS: f32 = 4.8828125e-4; // 2^-11
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_basic() {
+        assert_eq!(max_abs(&[]), 0.0);
+        assert_eq!(max_abs(&[1.0, -3.0, 2.0]), 3.0);
+        assert_eq!(max_abs(&[0.0, -0.0]), 0.0);
+    }
+
+    #[test]
+    fn max_abs_ignores_nan() {
+        assert_eq!(max_abs(&[1.0, f32::NAN, -2.0]), 2.0);
+    }
+
+    #[test]
+    fn normalize_roundtrip_within_half_eps() {
+        let norm = AdaptiveNormalizer::default();
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) * 1e-7).collect();
+        let n = norm.normalize(&data);
+        let back = norm.denormalize(&n);
+        for (orig, rec) in data.iter().zip(&back) {
+            let tol = orig.abs().max(1e-12) * 2.0 * HALF_RELATIVE_EPS;
+            assert!(
+                (orig - rec).abs() <= tol,
+                "orig {orig} rec {rec} tol {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_values_survive_normalization() {
+        // Without normalization these underflow half precision entirely.
+        let data = [1e-9f32, -2e-9, 3e-9];
+        assert_eq!(F16::from_f32(data[0]).to_f32(), 0.0);
+        let norm = AdaptiveNormalizer::default();
+        let n = norm.normalize(&data);
+        let back = norm.denormalize(&n);
+        for (orig, rec) in data.iter().zip(&back) {
+            assert!((orig - rec).abs() <= orig.abs() * 2.0 * HALF_RELATIVE_EPS);
+        }
+    }
+
+    #[test]
+    fn huge_values_survive_normalization() {
+        // Without normalization these overflow to infinity.
+        let data = [1e9f32, -2e9, 0.5e9];
+        assert!(F16::from_f32(data[0]).is_infinite());
+        let norm = AdaptiveNormalizer::default();
+        let n = norm.normalize(&data);
+        assert!(n.data.iter().all(|h| h.is_finite()));
+        let back = norm.denormalize(&n);
+        for (orig, rec) in data.iter().zip(&back) {
+            assert!((orig - rec).abs() <= orig.abs() * 2.0 * HALF_RELATIVE_EPS);
+        }
+    }
+
+    #[test]
+    fn zero_vector_gets_identity_factor() {
+        let norm = AdaptiveNormalizer::default();
+        assert_eq!(norm.factor_for(0.0), 1.0);
+        let n = norm.normalize(&[0.0, 0.0]);
+        assert_eq!(n.factor, 1.0);
+        assert!(n.data.iter().all(|h| h.to_f32() == 0.0));
+    }
+
+    #[test]
+    fn factor_tracks_evolving_max_norm() {
+        // As the residual shrinks over CG iterations the factor must grow so
+        // the data keeps occupying the half-precision sweet spot.
+        let norm = AdaptiveNormalizer::default();
+        let f1 = norm.factor_for(100.0);
+        let f2 = norm.factor_for(1.0);
+        let f3 = norm.factor_for(0.01);
+        assert!(f1 < f2 && f2 < f3);
+        assert_eq!(f2, 256.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside half-precision normal range")]
+    fn rejects_unrepresentable_target() {
+        AdaptiveNormalizer::new(1e6);
+    }
+
+    #[test]
+    fn headroom_prevents_reduction_overflow() {
+        // Simulate a 64-way reduction of same-signed partials: with the
+        // default headroom of 256 the normalized sum stays finite.
+        let norm = AdaptiveNormalizer::default();
+        let partials = vec![7.5f32; 64];
+        let n = norm.normalize(&partials);
+        let sum: f32 = n.data.iter().map(|h| h.to_f32()).sum();
+        assert!(F16::from_f32(sum).is_finite());
+    }
+}

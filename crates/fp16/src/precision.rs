@@ -1,0 +1,172 @@
+//! The four precision modes evaluated throughout the paper's experiments
+//! (Tables III–IV, Figs 9–13).
+
+use core::fmt;
+use core::str::FromStr;
+
+/// Precision configuration for storage, communication, and arithmetic.
+///
+/// | Mode   | Storage/comm | Arithmetic | Paper role                      |
+/// |--------|--------------|------------|---------------------------------|
+/// | Double | f64          | f64        | baseline                        |
+/// | Single | f32          | f32        | common GPU practice             |
+/// | Half   | f16          | f16        | fastest, risky accumulation     |
+/// | Mixed  | f16          | f32        | the paper's recommended mode    |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// 64-bit storage and arithmetic.
+    Double,
+    /// 32-bit storage and arithmetic.
+    Single,
+    /// 16-bit storage *and* arithmetic (accumulation also rounds to half).
+    Half,
+    /// 16-bit storage and communication, 32-bit arithmetic (§III-C).
+    Mixed,
+}
+
+impl Precision {
+    /// All four modes, in the order the paper's figures sweep them.
+    pub const ALL: [Precision; 4] = [
+        Precision::Double,
+        Precision::Single,
+        Precision::Half,
+        Precision::Mixed,
+    ];
+
+    /// Bytes per element as stored in memory and sent over the network.
+    pub const fn storage_bytes(self) -> usize {
+        match self {
+            Precision::Double => 8,
+            Precision::Single => 4,
+            Precision::Half | Precision::Mixed => 2,
+        }
+    }
+
+    /// Bytes per element inside the FMA datapath.
+    pub const fn compute_bytes(self) -> usize {
+        match self {
+            Precision::Double => 8,
+            Precision::Single | Precision::Mixed => 4,
+            Precision::Half => 2,
+        }
+    }
+
+    /// Bytes per packed sparse-matrix element.
+    ///
+    /// Half/mixed pack `(u16 index, f16 length)` into 4 bytes so each
+    /// 32-thread warp reads a full 128-byte cache line (§III-C2). Single
+    /// uses `(u16, f32)` padded to 8; double `(u16, f64)` padded to 16 —
+    /// matching the footprint accounting in Table III.
+    pub const fn matrix_element_bytes(self) -> usize {
+        match self {
+            Precision::Double => 16,
+            Precision::Single => 8,
+            Precision::Half | Precision::Mixed => 4,
+        }
+    }
+
+    /// Whether values must pass through half-precision quantization
+    /// (and therefore need adaptive normalization).
+    pub const fn quantizes_to_half(self) -> bool {
+        matches!(self, Precision::Half | Precision::Mixed)
+    }
+
+    /// The memory-footprint shrink factor relative to double precision;
+    /// Table III uses this to trade data partitioning for batch parallelism
+    /// (double 1×, single 2×, mixed 4× batch nodes).
+    pub const fn footprint_shrink_vs_double(self) -> usize {
+        8 / self.storage_bytes()
+    }
+
+    /// Short lowercase label used in harness output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Precision::Double => "double",
+            Precision::Single => "single",
+            Precision::Half => "half",
+            Precision::Mixed => "mixed",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown precision name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrecisionError(String);
+
+impl fmt::Display for ParsePrecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown precision {:?}; expected double|single|half|mixed",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePrecisionError {}
+
+impl FromStr for Precision {
+    type Err = ParsePrecisionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "double" | "f64" | "fp64" => Ok(Precision::Double),
+            "single" | "f32" | "fp32" => Ok(Precision::Single),
+            "half" | "f16" | "fp16" => Ok(Precision::Half),
+            "mixed" => Ok(Precision::Mixed),
+            other => Err(ParsePrecisionError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_and_compute_bytes() {
+        assert_eq!(Precision::Double.storage_bytes(), 8);
+        assert_eq!(Precision::Single.storage_bytes(), 4);
+        assert_eq!(Precision::Half.storage_bytes(), 2);
+        assert_eq!(Precision::Mixed.storage_bytes(), 2);
+        assert_eq!(Precision::Mixed.compute_bytes(), 4);
+        assert_eq!(Precision::Half.compute_bytes(), 2);
+    }
+
+    #[test]
+    fn footprint_shrink_drives_partitioning() {
+        // Table III: double 1×(4×6), single 2×(2×6), mixed 4×(1×6).
+        assert_eq!(Precision::Double.footprint_shrink_vs_double(), 1);
+        assert_eq!(Precision::Single.footprint_shrink_vs_double(), 2);
+        assert_eq!(Precision::Mixed.footprint_shrink_vs_double(), 4);
+    }
+
+    #[test]
+    fn packed_element_fills_cache_line() {
+        // 32 threads/warp × 4 bytes = 128-byte cache line (§III-C2).
+        assert_eq!(32 * Precision::Mixed.matrix_element_bytes(), 128);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in Precision::ALL {
+            assert_eq!(p.label().parse::<Precision>().unwrap(), p);
+        }
+        assert_eq!("FP16".parse::<Precision>().unwrap(), Precision::Half);
+        assert!("quad".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn only_half_family_quantizes() {
+        assert!(!Precision::Double.quantizes_to_half());
+        assert!(!Precision::Single.quantizes_to_half());
+        assert!(Precision::Half.quantizes_to_half());
+        assert!(Precision::Mixed.quantizes_to_half());
+    }
+}

@@ -1,0 +1,31 @@
+//! Parallel-beam XCT geometry and the Siddon forward/back projection
+//! operators (paper §II-A).
+//!
+//! During a tomography experiment the sample rotates through angles θ while
+//! a line detector of `N` channels records attenuated X-rays; stacking the
+//! detector rows gives `M` independent slices (parallel-beam geometry makes
+//! every slice reconstructable on its own — the basis of the paper's batch
+//! parallelism). This crate implements:
+//!
+//! * [`ImageGrid`] / [`Detector`] / [`ScanGeometry`] — the discretized
+//!   experiment of paper Fig 2,
+//! * [`trace_ray`] — an optimized Siddon's algorithm \[Siddon 1985\]
+//!   producing exact voxel intersection lengths,
+//! * [`SystemMatrix`] — the memoized sparse operator `A` (one matrix per
+//!   slice, shared by all slices of a batch — the reuse that makes the
+//!   fused SpMM of §III-B profitable), with reference `project` /
+//!   `backproject` implementations used as ground truth by the optimized
+//!   kernels in `xct-spmm`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod matrix;
+mod siddon;
+mod tiled;
+
+pub use grid::{Detector, ImageGrid, ScanGeometry};
+pub use matrix::SystemMatrix;
+pub use siddon::{trace_ray, RayHit};
+pub use tiled::{DetectorTile, TiledScan};

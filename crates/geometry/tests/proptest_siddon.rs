@@ -1,0 +1,115 @@
+//! Property-based tests for the Siddon projector and system matrix.
+
+use proptest::prelude::*;
+use xct_geometry::{trace_ray, ImageGrid, ScanGeometry, SystemMatrix};
+
+/// Analytic chord length of the ray across the grid bounding box.
+fn analytic_chord(g: &ImageGrid, theta: f64, offset: f64) -> f64 {
+    let (dx, dz) = (theta.cos(), theta.sin());
+    let (px, pz) = (-theta.sin() * offset, theta.cos() * offset);
+    let (x0, z0) = (g.x_min(), g.z_min());
+    let (x1, z1) = (x0 + g.width(), z0 + g.height());
+    let mut smin = f64::NEG_INFINITY;
+    let mut smax = f64::INFINITY;
+    for (p, d, lo, hi) in [(px, dx, x0, x1), (pz, dz, z0, z1)] {
+        if d.abs() < 1e-12 {
+            if p < lo || p > hi {
+                return 0.0;
+            }
+        } else {
+            let (mut a, mut b) = ((lo - p) / d, (hi - p) / d);
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            smin = smin.max(a);
+            smax = smax.min(b);
+        }
+    }
+    (smax - smin).max(0.0)
+}
+
+proptest! {
+    /// Conservation: the sum of per-voxel intersection lengths equals the
+    /// analytic chord across the bounding box, for any angle and offset.
+    #[test]
+    fn chord_conservation(
+        n in 2usize..48,
+        voxel in 0.1f64..3.0,
+        theta in 0.0f64..std::f64::consts::TAU,
+        t in -1.5f64..1.5,
+    ) {
+        let g = ImageGrid::square(n, voxel);
+        let offset = t * g.width() / 2.0;
+        let hits = trace_ray(&g, theta, offset);
+        let total: f64 = hits.iter().map(|h| h.length as f64).sum();
+        let chord = analytic_chord(&g, theta, offset);
+        prop_assert!((total - chord).abs() < 1e-5 * chord.max(1.0),
+            "total {total} chord {chord}");
+    }
+
+    /// No voxel appears twice in a ray and all indices are in range.
+    #[test]
+    fn hits_unique_and_in_range(
+        nx in 2usize..40,
+        nz in 2usize..40,
+        theta in 0.0f64..std::f64::consts::TAU,
+        t in -1.0f64..1.0,
+    ) {
+        let g = ImageGrid::new(nx, nz, 1.0);
+        let offset = t * (nx.max(nz) as f64) / 2.0;
+        let hits = trace_ray(&g, theta, offset);
+        let mut seen = std::collections::HashSet::new();
+        for h in &hits {
+            prop_assert!((h.voxel as usize) < nx * nz);
+            prop_assert!(seen.insert(h.voxel), "voxel {} repeated", h.voxel);
+            prop_assert!(h.length > 0.0);
+            prop_assert!((h.length as f64) <= std::f64::consts::SQRT_2 + 1e-9);
+        }
+    }
+
+    /// Adjointness of the memoized operator: <Ax, y> == <x, Aᵀy>.
+    #[test]
+    fn adjoint_identity(
+        n in 4usize..20,
+        angles in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let scan = ScanGeometry::uniform(ImageGrid::square(n, 1.0), angles);
+        let a = SystemMatrix::build(&scan);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let x: Vec<f32> = (0..a.num_voxels()).map(|_| next()).collect();
+        let y: Vec<f32> = (0..a.num_rays()).map(|_| next()).collect();
+        let mut ax = vec![0.0f32; a.num_rays()];
+        a.project(&x, &mut ax);
+        let mut aty = vec![0.0f32; a.num_voxels()];
+        a.backproject(&y, &mut aty);
+        let lhs: f64 = ax.iter().zip(&y).map(|(&p, &q)| f64::from(p) * f64::from(q)).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(&p, &q)| f64::from(p) * f64::from(q)).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-4 * lhs.abs().max(rhs.abs()).max(1.0),
+            "lhs {lhs} rhs {rhs}");
+    }
+
+    /// Projection is linear: A(αx + βw) == αAx + βAw.
+    #[test]
+    fn projection_linearity(alpha in -2.0f32..2.0, beta in -2.0f32..2.0) {
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 6);
+        let a = SystemMatrix::build(&scan);
+        let x: Vec<f32> = (0..a.num_voxels()).map(|i| (i % 7) as f32 - 3.0).collect();
+        let w: Vec<f32> = (0..a.num_voxels()).map(|i| (i % 5) as f32 - 2.0).collect();
+        let combo: Vec<f32> = x.iter().zip(&w).map(|(&p, &q)| alpha * p + beta * q).collect();
+        let mut y_combo = vec![0.0f32; a.num_rays()];
+        a.project(&combo, &mut y_combo);
+        let mut yx = vec![0.0f32; a.num_rays()];
+        let mut yw = vec![0.0f32; a.num_rays()];
+        a.project(&x, &mut yx);
+        a.project(&w, &mut yw);
+        for ((c, p), q) in y_combo.iter().zip(&yx).zip(&yw) {
+            let expect = alpha * p + beta * q;
+            prop_assert!((c - expect).abs() <= 1e-3 * expect.abs().max(1.0));
+        }
+    }
+}

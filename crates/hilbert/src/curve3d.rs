@@ -1,0 +1,260 @@
+//! Generalized pseudo-Hilbert curve in three dimensions.
+//!
+//! The paper's decomposition is 2D-per-slice (slices along `y` are
+//! independent under parallel-beam geometry), but fully 3D orderings
+//! matter for tiled/mosaic volumes and cone-beam extensions where the
+//! slice independence breaks. This is the 3D "gilbert" construction:
+//! every cell of an arbitrary `w×h×d` box exactly once, with neighbour
+//! steps.
+
+type V3 = (i64, i64, i64);
+
+fn sgn(v: V3) -> V3 {
+    (v.0.signum(), v.1.signum(), v.2.signum())
+}
+
+fn add(a: V3, b: V3) -> V3 {
+    (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+}
+
+fn sub(a: V3, b: V3) -> V3 {
+    (a.0 - b.0, a.1 - b.1, a.2 - b.2)
+}
+
+fn neg(a: V3) -> V3 {
+    (-a.0, -a.1, -a.2)
+}
+
+fn half(a: V3) -> V3 {
+    (a.0.div_euclid(2), a.1.div_euclid(2), a.2.div_euclid(2))
+}
+
+fn extent(a: V3) -> i64 {
+    (a.0 + a.1 + a.2).abs()
+}
+
+/// Visits every cell of a `width × height × depth` box along a 3D
+/// pseudo-Hilbert curve. Consecutive cells are neighbours (Chebyshev
+/// distance 1).
+pub fn gilbert_order_3d(width: usize, height: usize, depth: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::with_capacity(width * height * depth);
+    if width == 0 || height == 0 || depth == 0 {
+        return out;
+    }
+    let (w, h, d) = (width as i64, height as i64, depth as i64);
+    if w >= h && w >= d {
+        generate((0, 0, 0), (w, 0, 0), (0, h, 0), (0, 0, d), &mut out);
+    } else if h >= w && h >= d {
+        generate((0, 0, 0), (0, h, 0), (w, 0, 0), (0, 0, d), &mut out);
+    } else {
+        generate((0, 0, 0), (0, 0, d), (w, 0, 0), (0, h, 0), &mut out);
+    }
+    out
+}
+
+fn emit(out: &mut Vec<(usize, usize, usize)>, p: V3) {
+    out.push((p.0 as usize, p.1 as usize, p.2 as usize));
+}
+
+fn generate(mut p: V3, a: V3, b: V3, c: V3, out: &mut Vec<(usize, usize, usize)>) {
+    let (w, h, d) = (extent(a), extent(b), extent(c));
+    let da = sgn(a);
+    let db = sgn(b);
+    let dc = sgn(c);
+
+    // Trivial fills along a single axis.
+    if h == 1 && d == 1 {
+        for _ in 0..w {
+            emit(out, p);
+            p = add(p, da);
+        }
+        return;
+    }
+    if w == 1 && d == 1 {
+        for _ in 0..h {
+            emit(out, p);
+            p = add(p, db);
+        }
+        return;
+    }
+    if w == 1 && h == 1 {
+        for _ in 0..d {
+            emit(out, p);
+            p = add(p, dc);
+        }
+        return;
+    }
+
+    let mut a2 = half(a);
+    let mut b2 = half(b);
+    let mut c2 = half(c);
+    // Prefer even splits to keep turns aligned.
+    if extent(a2) % 2 != 0 && w > 2 {
+        a2 = add(a2, da);
+    }
+    if extent(b2) % 2 != 0 && h > 2 {
+        b2 = add(b2, db);
+    }
+    if extent(c2) % 2 != 0 && d > 2 {
+        c2 = add(c2, dc);
+    }
+
+    if 2 * w > 3 * h && 2 * w > 3 * d {
+        // Wide case: split along the major axis only.
+        generate(p, a2, b, c, out);
+        generate(add(p, a2), sub(a, a2), b, c, out);
+    } else if 3 * h > 4 * d {
+        // Split along a and b; d stays whole.
+        generate(p, b2, c, a2, out);
+        generate(add(p, b2), a, sub(b, b2), c, out);
+        generate(
+            add(add(p, sub(a, da)), sub(b2, db)),
+            neg(b2),
+            c,
+            neg(sub(a, a2)),
+            out,
+        );
+    } else if 3 * d > 4 * h {
+        // Split along a and c; h stays whole.
+        generate(p, c2, a2, b, out);
+        generate(add(p, c2), a, b, sub(c, c2), out);
+        generate(
+            add(add(p, sub(a, da)), sub(c2, dc)),
+            neg(c2),
+            neg(sub(a, a2)),
+            b,
+            out,
+        );
+    } else {
+        // Regular case: split along all three axes.
+        generate(p, b2, c2, a2, out);
+        generate(add(p, b2), c, a2, sub(b, b2), out);
+        generate(
+            add(add(p, sub(b2, db)), sub(c, dc)),
+            a,
+            neg(b2),
+            neg(sub(c, c2)),
+            out,
+        );
+        generate(
+            add(add(add(p, sub(a, da)), b2), sub(c, dc)),
+            neg(c),
+            neg(sub(a, a2)),
+            sub(b, b2),
+            out,
+        );
+        generate(
+            add(add(p, sub(a, da)), sub(b2, db)),
+            neg(b2),
+            c2,
+            neg(sub(a, a2)),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_complete_and_adjacent(w: usize, h: usize, d: usize) {
+        let order = gilbert_order_3d(w, h, d);
+        assert_eq!(order.len(), w * h * d, "{w}x{h}x{d}: wrong cell count");
+        let unique: HashSet<_> = order.iter().copied().collect();
+        assert_eq!(unique.len(), w * h * d, "{w}x{h}x{d}: repeated cells");
+        for &(x, y, z) in &order {
+            assert!(x < w && y < h && z < d, "({x},{y},{z}) outside {w}x{h}x{d}");
+        }
+        for pair in order.windows(2) {
+            let dist = pair[0]
+                .0
+                .abs_diff(pair[1].0)
+                .max(pair[0].1.abs_diff(pair[1].1))
+                .max(pair[0].2.abs_diff(pair[1].2));
+            assert_eq!(
+                dist, 1,
+                "{w}x{h}x{d}: jump {:?} -> {:?}",
+                pair[0], pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn cubes_of_various_sizes() {
+        for s in [1usize, 2, 3, 4, 6, 8, 12] {
+            assert_complete_and_adjacent(s, s, s);
+        }
+    }
+
+    #[test]
+    fn rectangular_boxes() {
+        for &(w, h, d) in &[
+            (4usize, 2usize, 2usize),
+            (2, 4, 2),
+            (2, 2, 4),
+            (8, 4, 2),
+            (5, 3, 2),
+            (12, 6, 4),
+            (3, 5, 7),
+            (16, 2, 2),
+        ] {
+            assert_complete_and_adjacent(w, h, d);
+        }
+    }
+
+    #[test]
+    fn flat_boxes_degenerate_to_2d_cover() {
+        for &(w, h) in &[(6usize, 4usize), (7, 5), (16, 16)] {
+            assert_complete_and_adjacent(w, h, 1);
+        }
+    }
+
+    #[test]
+    fn line_boxes() {
+        assert_complete_and_adjacent(9, 1, 1);
+        assert_complete_and_adjacent(1, 9, 1);
+        assert_complete_and_adjacent(1, 1, 9);
+        assert_complete_and_adjacent(1, 1, 1);
+    }
+
+    #[test]
+    fn empty_dimension_yields_empty() {
+        assert!(gilbert_order_3d(0, 4, 4).is_empty());
+        assert!(gilbert_order_3d(4, 0, 4).is_empty());
+        assert!(gilbert_order_3d(4, 4, 0).is_empty());
+    }
+
+    #[test]
+    fn locality_beats_scanline_order() {
+        // Contiguous runs of the 3D curve stay spatially compact: their
+        // Chebyshev diameter is far below the raster order's, whose every
+        // 64-cell run spans a full 16-cell row.
+        let side = 16usize;
+        let curve = gilbert_order_3d(side, side, side);
+        let raster: Vec<(usize, usize, usize)> = (0..side * side * side)
+            .map(|i| (i % side, (i / side) % side, i / (side * side)))
+            .collect();
+        let mean_diameter = |order: &[(usize, usize, usize)]| -> f64 {
+            let mut total = 0.0;
+            let mut count = 0.0;
+            for chunk in order.chunks(64) {
+                let mut lo = (usize::MAX, usize::MAX, usize::MAX);
+                let mut hi = (0usize, 0usize, 0usize);
+                for &(x, y, z) in chunk {
+                    lo = (lo.0.min(x), lo.1.min(y), lo.2.min(z));
+                    hi = (hi.0.max(x), hi.1.max(y), hi.2.max(z));
+                }
+                total += (hi.0 - lo.0).max(hi.1 - lo.1).max(hi.2 - lo.2) as f64;
+                count += 1.0;
+            }
+            total / count
+        };
+        let dc = mean_diameter(&curve);
+        let dr = mean_diameter(&raster);
+        assert!(
+            dc < 0.5 * dr,
+            "curve runs (diameter {dc}) must be much tighter than raster ({dr})"
+        );
+    }
+}

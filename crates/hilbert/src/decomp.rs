@@ -1,0 +1,394 @@
+//! Tile → process → thread-block domain decomposition (paper Fig 4).
+
+use crate::curve::CurveKind;
+
+/// A 2D domain of cells (voxels of one slice plane, or sinogram bins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Domain2D {
+    /// Cells along x (columns).
+    pub width: usize,
+    /// Cells along z for tomograms / along θ for sinograms (rows).
+    pub height: usize,
+}
+
+impl Domain2D {
+    /// Creates a domain; both sides must be nonzero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "empty domain {width}x{height}");
+        Domain2D { width, height }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// Coordinates of a square tile in the tile grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileCoord {
+    /// Tile column.
+    pub tx: usize,
+    /// Tile row.
+    pub ty: usize,
+}
+
+/// One partition of the domain: a contiguous run of Hilbert-ordered tiles
+/// assigned to a single process (GPU) or thread block.
+#[derive(Debug, Clone)]
+pub struct Subdomain {
+    /// Index of this partition (process rank or block id).
+    pub id: usize,
+    /// The tiles, in curve order.
+    pub tiles: Vec<TileCoord>,
+    /// Number of domain cells covered (accounts for boundary-clipped tiles).
+    pub cells: usize,
+}
+
+impl Subdomain {
+    /// Bounding box `(min_x, min_y, max_x, max_y)` in *cell* coordinates,
+    /// inclusive. `None` when the subdomain holds no tiles.
+    pub fn cell_bbox(&self, tile_size: usize, domain: Domain2D) -> Option<(usize, usize, usize, usize)> {
+        let first = self.tiles.first()?;
+        let mut bbox = (
+            first.tx * tile_size,
+            first.ty * tile_size,
+            0usize,
+            0usize,
+        );
+        bbox.2 = bbox.0;
+        bbox.3 = bbox.1;
+        for t in &self.tiles {
+            let x0 = t.tx * tile_size;
+            let y0 = t.ty * tile_size;
+            let x1 = ((t.tx + 1) * tile_size).min(domain.width) - 1;
+            let y1 = ((t.ty + 1) * tile_size).min(domain.height) - 1;
+            bbox.0 = bbox.0.min(x0);
+            bbox.1 = bbox.1.min(y0);
+            bbox.2 = bbox.2.max(x1);
+            bbox.3 = bbox.3.max(y1);
+        }
+        Some(bbox)
+    }
+}
+
+/// Hilbert-ordered tiling of a 2D domain, partitionable at process and
+/// thread-block granularity.
+///
+/// Construction tiles the domain into `tile_size`-sided square patches
+/// (boundary tiles are clipped), orders them along the chosen space-filling
+/// curve, and exposes balanced contiguous partitions of that order —
+/// exactly the scheme of paper Fig 4(a–c).
+#[derive(Debug, Clone)]
+pub struct TileDecomposition {
+    domain: Domain2D,
+    tile_size: usize,
+    tiles_x: usize,
+    tiles_y: usize,
+    /// Tiles in curve order.
+    order: Vec<TileCoord>,
+    /// `tile_rank[ty * tiles_x + tx]` = position of the tile in `order`.
+    tile_rank: Vec<usize>,
+}
+
+impl TileDecomposition {
+    /// Decomposes `domain` into `tile_size`-sided tiles ordered by `kind`.
+    pub fn new(domain: Domain2D, tile_size: usize, kind: CurveKind) -> Self {
+        assert!(tile_size > 0, "tile size must be nonzero");
+        let tiles_x = domain.width.div_ceil(tile_size);
+        let tiles_y = domain.height.div_ceil(tile_size);
+        let coords = kind.order(tiles_x, tiles_y);
+        let order: Vec<TileCoord> = coords
+            .into_iter()
+            .map(|(tx, ty)| TileCoord { tx, ty })
+            .collect();
+        let mut tile_rank = vec![0usize; tiles_x * tiles_y];
+        for (rank, t) in order.iter().enumerate() {
+            tile_rank[t.ty * tiles_x + t.tx] = rank;
+        }
+        TileDecomposition {
+            domain,
+            tile_size,
+            tiles_x,
+            tiles_y,
+            order,
+            tile_rank,
+        }
+    }
+
+    /// The decomposed domain.
+    pub fn domain(&self) -> Domain2D {
+        self.domain
+    }
+
+    /// Side length of the (unclipped) square tiles.
+    pub fn tile_size(&self) -> usize {
+        self.tile_size
+    }
+
+    /// Tile-grid dimensions `(tiles_x, tiles_y)`.
+    pub fn tile_grid(&self) -> (usize, usize) {
+        (self.tiles_x, self.tiles_y)
+    }
+
+    /// Total number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Tiles in curve order.
+    pub fn ordered_tiles(&self) -> &[TileCoord] {
+        &self.order
+    }
+
+    /// Number of domain cells inside a tile (boundary tiles are smaller).
+    pub fn tile_cells(&self, t: TileCoord) -> usize {
+        let w = self.tile_size.min(self.domain.width - t.tx * self.tile_size);
+        let h = self
+            .tile_size
+            .min(self.domain.height - t.ty * self.tile_size);
+        w * h
+    }
+
+    /// Cell coordinates covered by a tile, row-major within the tile.
+    pub fn tile_cell_coords(&self, t: TileCoord) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let x0 = t.tx * self.tile_size;
+        let y0 = t.ty * self.tile_size;
+        let x1 = ((t.tx + 1) * self.tile_size).min(self.domain.width);
+        let y1 = ((t.ty + 1) * self.tile_size).min(self.domain.height);
+        (y0..y1).flat_map(move |y| (x0..x1).map(move |x| (x, y)))
+    }
+
+    /// Splits the curve-ordered tiles into `parts` balanced contiguous
+    /// subdomains (process-level decomposition, Fig 4b).
+    ///
+    /// Balancing is by *cell count*, so boundary-clipped tiles do not skew
+    /// process load. Every tile lands in exactly one subdomain; subdomain
+    /// count may be less than `parts` only when there are fewer tiles.
+    pub fn partition(&self, parts: usize) -> Vec<Subdomain> {
+        assert!(parts > 0, "cannot partition into zero parts");
+        let total_cells = self.domain.cells();
+        let mut subdomains: Vec<Subdomain> = Vec::with_capacity(parts);
+        let mut iter = self.order.iter().copied().peekable();
+        let mut cells_used = 0usize;
+        for id in 0..parts {
+            // Ideal prefix boundary for partitions 0..=id.
+            let target = (total_cells * (id + 1)).div_ceil(parts);
+            let mut tiles = Vec::new();
+            let mut cells = 0usize;
+            while let Some(&t) = iter.peek() {
+                let tc = self.tile_cells(t);
+                // Take the tile if we have not reached the boundary, or if
+                // taking it overshoots less than leaving it undershoots.
+                let without = target.saturating_sub(cells_used + cells);
+                let with = (cells_used + cells + tc).saturating_sub(target);
+                if cells_used + cells >= target || (with > without && !tiles.is_empty()) {
+                    break;
+                }
+                tiles.push(t);
+                cells += tc;
+                iter.next();
+            }
+            cells_used += cells;
+            subdomains.push(Subdomain { id, tiles, cells });
+        }
+        // Any residue (possible only from rounding) goes to the last part.
+        if let Some(last) = subdomains.last_mut() {
+            for t in iter {
+                last.cells += self.tile_cells(t);
+                last.tiles.push(t);
+            }
+        }
+        subdomains
+    }
+
+    /// Two-level partition: first among `processes`, then each process's
+    /// run among `blocks` thread blocks (Fig 4c). Returns
+    /// `result[process][block]`.
+    pub fn partition_two_level(&self, processes: usize, blocks: usize) -> Vec<Vec<Subdomain>> {
+        self.partition(processes)
+            .into_iter()
+            .map(|sub| {
+                // Re-partition the process's tile run by cell count.
+                let total: usize = sub.cells;
+                let mut out = Vec::with_capacity(blocks);
+                let mut iter = sub.tiles.iter().copied().peekable();
+                let mut used = 0usize;
+                for id in 0..blocks {
+                    let target = (total * (id + 1)).div_ceil(blocks);
+                    let mut tiles = Vec::new();
+                    let mut cells = 0usize;
+                    while let Some(&t) = iter.peek() {
+                        if used + cells >= target && !tiles.is_empty() {
+                            break;
+                        }
+                        if used + cells >= target {
+                            break;
+                        }
+                        tiles.push(t);
+                        cells += self.tile_cells(t);
+                        iter.next();
+                    }
+                    used += cells;
+                    out.push(Subdomain { id, tiles, cells });
+                }
+                if let Some(last) = out.last_mut() {
+                    for t in iter {
+                        last.cells += self.tile_cells(t);
+                        last.tiles.push(t);
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// The curve rank of the tile containing cell `(x, y)`.
+    pub fn tile_rank_of_cell(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.domain.width && y < self.domain.height);
+        let tx = x / self.tile_size;
+        let ty = y / self.tile_size;
+        self.tile_rank[ty * self.tiles_x + tx]
+    }
+
+    /// Builds a dense cell → partition-id map for `parts` partitions.
+    pub fn cell_owner_map(&self, parts: usize) -> Vec<usize> {
+        let mut owner = vec![usize::MAX; self.domain.cells()];
+        for sub in self.partition(parts) {
+            for &t in &sub.tiles {
+                for (x, y) in self.tile_cell_coords(t) {
+                    owner[y * self.domain.width + x] = sub.id;
+                }
+            }
+        }
+        owner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decomp(w: usize, h: usize, tile: usize) -> TileDecomposition {
+        TileDecomposition::new(Domain2D::new(w, h), tile, CurveKind::Hilbert)
+    }
+
+    #[test]
+    fn tiles_cover_domain_exactly_once() {
+        for &(w, h, tile) in &[(64, 64, 8), (100, 60, 16), (33, 17, 8), (5, 5, 8)] {
+            let d = decomp(w, h, tile);
+            let mut seen = vec![false; w * h];
+            for &t in d.ordered_tiles() {
+                for (x, y) in d.tile_cell_coords(t) {
+                    assert!(!seen[y * w + x], "cell ({x},{y}) covered twice");
+                    seen[y * w + x] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{w}x{h}/{tile}: cells uncovered");
+        }
+    }
+
+    #[test]
+    fn partition_covers_all_tiles_disjointly() {
+        let d = decomp(128, 96, 16);
+        for parts in [1usize, 2, 3, 5, 12, 48] {
+            let subs = d.partition(parts);
+            assert_eq!(subs.len(), parts);
+            let total: usize = subs.iter().map(|s| s.tiles.len()).sum();
+            assert_eq!(total, d.num_tiles());
+            let cells: usize = subs.iter().map(|s| s.cells).sum();
+            assert_eq!(cells, d.domain().cells());
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let d = decomp(256, 256, 16);
+        let subs = d.partition(12);
+        let avg = d.domain().cells() as f64 / 12.0;
+        for s in &subs {
+            let dev = (s.cells as f64 - avg).abs() / avg;
+            assert!(dev < 0.10, "partition {} has {} cells (avg {avg})", s.id, s.cells);
+        }
+    }
+
+    #[test]
+    fn partition_subdomains_are_connected_runs() {
+        // Contiguous runs of the Hilbert order stay spatially compact:
+        // bounding-box area should be within a small factor of cell count.
+        let d = decomp(256, 256, 16);
+        for s in d.partition(16) {
+            let bbox = s.cell_bbox(16, d.domain()).unwrap();
+            let area = (bbox.2 - bbox.0 + 1) * (bbox.3 - bbox.1 + 1);
+            assert!(
+                area <= s.cells * 4,
+                "partition {} sprawls: bbox area {area} vs {} cells",
+                s.id,
+                s.cells
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_partition_nests() {
+        let d = decomp(128, 128, 8);
+        let nested = d.partition_two_level(4, 8);
+        assert_eq!(nested.len(), 4);
+        let flat = d.partition(4);
+        for (proc_id, blocks) in nested.iter().enumerate() {
+            assert_eq!(blocks.len(), 8);
+            let tiles: Vec<_> = blocks.iter().flat_map(|b| b.tiles.iter().copied()).collect();
+            assert_eq!(tiles, flat[proc_id].tiles, "process {proc_id} run differs");
+        }
+    }
+
+    #[test]
+    fn owner_map_consistent_with_partition() {
+        let d = decomp(64, 48, 8);
+        let owner = d.cell_owner_map(6);
+        assert!(owner.iter().all(|&o| o < 6));
+        // Spot-check: a cell's owner matches the subdomain containing its tile.
+        let subs = d.partition(6);
+        for sub in &subs {
+            for &t in &sub.tiles {
+                for (x, y) in d.tile_cell_coords(t) {
+                    assert_eq!(owner[y * 64 + x], sub.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_tiles_are_clipped() {
+        let d = decomp(20, 20, 16);
+        // 2x2 tile grid: sizes 16x16, 4x16, 16x4, 4x4.
+        let mut sizes: Vec<usize> = d
+            .ordered_tiles()
+            .iter()
+            .map(|&t| d.tile_cells(t))
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![16, 64, 64, 256]);
+    }
+
+    #[test]
+    fn more_parts_than_tiles_yields_empty_tails() {
+        let d = decomp(16, 16, 16); // single tile
+        let subs = d.partition(4);
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].tiles.len(), 1);
+        assert!(subs[1..].iter().all(|s| s.tiles.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_rejected() {
+        Domain2D::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_rejected() {
+        decomp(8, 8, 4).partition(0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Locality metrics for comparing tile orderings (Hilbert vs. row-major vs.
+//! Morton ablation).
+//!
+//! The paper relies on Hilbert ordering so that a contiguous run of tiles
+//! forms a spatially compact subdomain: compact subdomains overlap more
+//! with their neighbours' partial-data footprints, enabling the local
+//! reductions of §III-D2. These metrics quantify that compactness.
+
+use crate::decomp::{Subdomain, TileCoord};
+
+/// Average 4-adjacency within a partition: for each tile, the fraction of
+/// its grid neighbours that are in the *same* partition. 1.0 would mean a
+/// partition with no internal boundary (impossible for finite partitions);
+/// higher is better.
+pub fn average_adjacency(subdomains: &[Subdomain], tiles_x: usize, tiles_y: usize) -> f64 {
+    let mut owner = vec![usize::MAX; tiles_x * tiles_y];
+    for s in subdomains {
+        for &t in &s.tiles {
+            owner[t.ty * tiles_x + t.tx] = s.id;
+        }
+    }
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let me = owner[ty * tiles_x + tx];
+            if me == usize::MAX {
+                continue;
+            }
+            let mut check = |nx: usize, ny: usize| {
+                total += 1;
+                if owner[ny * tiles_x + nx] == me {
+                    same += 1;
+                }
+            };
+            if tx + 1 < tiles_x {
+                check(tx + 1, ty);
+            }
+            if ty + 1 < tiles_y {
+                check(tx, ty + 1);
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+/// Area of the tile-space bounding box of a set of tiles.
+pub fn bounding_box_area(tiles: &[TileCoord]) -> usize {
+    if tiles.is_empty() {
+        return 0;
+    }
+    let (mut x0, mut y0, mut x1, mut y1) = (usize::MAX, usize::MAX, 0, 0);
+    for t in tiles {
+        x0 = x0.min(t.tx);
+        y0 = y0.min(t.ty);
+        x1 = x1.max(t.tx);
+        y1 = y1.max(t.ty);
+    }
+    (x1 - x0 + 1) * (y1 - y0 + 1)
+}
+
+/// Compactness of a partition: tiles held divided by bounding-box area.
+/// 1.0 means a perfect rectangle; lower means sprawl.
+pub fn locality_score(sub: &Subdomain) -> f64 {
+    let area = bounding_box_area(&sub.tiles);
+    if area == 0 {
+        return 0.0;
+    }
+    sub.tiles.len() as f64 / area as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurveKind;
+    use crate::decomp::{Domain2D, TileDecomposition};
+
+    fn adjacency_for(kind: CurveKind) -> f64 {
+        let d = TileDecomposition::new(Domain2D::new(256, 256), 8, kind);
+        let subs = d.partition(16);
+        let (tx, ty) = d.tile_grid();
+        average_adjacency(&subs, tx, ty)
+    }
+
+    #[test]
+    fn hilbert_beats_row_major_locality() {
+        let hilbert = adjacency_for(CurveKind::Hilbert);
+        let row_major = adjacency_for(CurveKind::RowMajor);
+        assert!(
+            hilbert > row_major,
+            "hilbert {hilbert} should beat row-major {row_major}"
+        );
+    }
+
+    #[test]
+    fn hilbert_at_least_matches_morton_locality() {
+        let hilbert = adjacency_for(CurveKind::Hilbert);
+        let morton = adjacency_for(CurveKind::Morton);
+        assert!(
+            hilbert >= morton - 0.02,
+            "hilbert {hilbert} should be at least as local as morton {morton}"
+        );
+    }
+
+    #[test]
+    fn hilbert_partitions_are_compact() {
+        let d = TileDecomposition::new(Domain2D::new(256, 256), 8, CurveKind::Hilbert);
+        for sub in d.partition(16) {
+            assert!(
+                locality_score(&sub) > 0.4,
+                "partition {} score {}",
+                sub.id,
+                locality_score(&sub)
+            );
+        }
+    }
+
+    #[test]
+    fn bbox_area_basics() {
+        assert_eq!(bounding_box_area(&[]), 0);
+        assert_eq!(bounding_box_area(&[TileCoord { tx: 2, ty: 3 }]), 1);
+        assert_eq!(
+            bounding_box_area(&[TileCoord { tx: 0, ty: 0 }, TileCoord { tx: 3, ty: 1 }]),
+            8
+        );
+    }
+
+    #[test]
+    fn adjacency_of_single_partition_is_one() {
+        let d = TileDecomposition::new(Domain2D::new(64, 64), 8, CurveKind::Hilbert);
+        let subs = d.partition(1);
+        let (tx, ty) = d.tile_grid();
+        assert_eq!(average_adjacency(&subs, tx, ty), 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for curve generation and domain decomposition.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use xct_hilbert::{gilbert_order, hilbert_d2xy, hilbert_xy2d, CurveKind, Domain2D, TileDecomposition};
+
+proptest! {
+    /// d2xy and xy2d are inverse bijections for random distances.
+    #[test]
+    fn hilbert_bijective(order in 1u32..8, seed in any::<u64>()) {
+        let n = 1u64 << order;
+        let d = seed % (n * n);
+        let (x, y) = hilbert_d2xy(order, d);
+        prop_assert!(x < n && y < n);
+        prop_assert_eq!(hilbert_xy2d(order, x, y), d);
+    }
+
+    /// The generalized curve visits every cell of any rectangle exactly
+    /// once with neighbour steps (Chebyshev distance 1; pseudo-Hilbert
+    /// permits a rare diagonal on odd×even rectangles).
+    #[test]
+    fn gilbert_complete_and_continuous(w in 1usize..40, h in 1usize..40) {
+        let order = gilbert_order(w, h);
+        prop_assert_eq!(order.len(), w * h);
+        let unique: HashSet<_> = order.iter().copied().collect();
+        prop_assert_eq!(unique.len(), w * h);
+        for pair in order.windows(2) {
+            let d = pair[0].0.abs_diff(pair[1].0).max(pair[0].1.abs_diff(pair[1].1));
+            prop_assert_eq!(d, 1);
+        }
+    }
+
+    /// Partitions cover every cell exactly once regardless of shape,
+    /// tile size, part count, or curve kind.
+    #[test]
+    fn partition_exact_cover(
+        w in 1usize..120,
+        h in 1usize..120,
+        tile in 1usize..20,
+        parts in 1usize..16,
+        kind_sel in 0u8..3,
+    ) {
+        let kind = match kind_sel {
+            0 => CurveKind::Hilbert,
+            1 => CurveKind::RowMajor,
+            _ => CurveKind::Morton,
+        };
+        let d = TileDecomposition::new(Domain2D::new(w, h), tile, kind);
+        let subs = d.partition(parts);
+        let mut seen = vec![false; w * h];
+        for sub in &subs {
+            for &t in &sub.tiles {
+                for (x, y) in d.tile_cell_coords(t) {
+                    prop_assert!(!seen[y * w + x]);
+                    seen[y * w + x] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let cells: usize = subs.iter().map(|s| s.cells).sum();
+        prop_assert_eq!(cells, w * h);
+    }
+
+    /// Cell-count balance: no partition exceeds its fair share by more
+    /// than one tile's worth of cells.
+    #[test]
+    fn partition_balance_bound(parts in 1usize..32) {
+        let tile = 8usize;
+        let d = TileDecomposition::new(Domain2D::new(160, 160), tile, CurveKind::Hilbert);
+        let subs = d.partition(parts);
+        let fair = (160 * 160) as f64 / parts as f64;
+        for s in &subs {
+            prop_assert!(
+                (s.cells as f64) <= fair + (tile * tile) as f64,
+                "partition {} has {} cells, fair share {}", s.id, s.cells, fair
+            );
+        }
+    }
+
+    /// The owner map agrees with tile_rank ordering: cells of lower-rank
+    /// tiles never belong to a higher partition than later cells.
+    #[test]
+    fn owner_map_is_monotone_in_curve_order(parts in 1usize..12) {
+        let d = TileDecomposition::new(Domain2D::new(64, 64), 8, CurveKind::Hilbert);
+        let owner = d.cell_owner_map(parts);
+        let mut prev_owner = 0usize;
+        for &t in d.ordered_tiles() {
+            for (x, y) in d.tile_cell_coords(t) {
+                let o = owner[y * 64 + x];
+                prop_assert!(o >= prev_owner);
+                prev_owner = o;
+            }
+        }
+    }
+}

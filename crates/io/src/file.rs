@@ -1,0 +1,506 @@
+//! The slice-stack file format.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! [0..4)   magic  "XCTD"
+//! [4..8)   format version (u32) = 1
+//! [8..9)   kind   (0 = sinogram, 1 = volume)
+//! [9..10)  precision tag (2 = half, 4 = single, 8 = double storage bytes)
+//! [10..18) slices (u64)
+//! [18..26) slice_len (u64)
+//! [26.. )  payload: slices × slice_len scalars at storage precision
+//! trailer: FNV-1a 64 checksum of the payload (u64)
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use xct_fp16::{Precision, F16};
+
+const MAGIC: [u8; 4] = *b"XCTD";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 26;
+
+/// What a slice file stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Measurement data: each slice is one sinogram (angles × channels).
+    Sinogram,
+    /// Reconstruction output: each slice is one tomogram plane.
+    Volume,
+}
+
+impl FileKind {
+    fn tag(self) -> u8 {
+        match self {
+            FileKind::Sinogram => 0,
+            FileKind::Volume => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, IoError> {
+        match tag {
+            0 => Ok(FileKind::Sinogram),
+            1 => Ok(FileKind::Volume),
+            other => Err(IoError::Format(format!("unknown file kind tag {other}"))),
+        }
+    }
+}
+
+/// I/O failure.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Os(std::io::Error),
+    /// Malformed file (bad magic, version, tags, truncation).
+    Format(String),
+    /// Payload does not match the stored checksum.
+    ChecksumMismatch {
+        /// Stored value.
+        expected: u64,
+        /// Recomputed value.
+        actual: u64,
+    },
+    /// Caller supplied data of the wrong shape.
+    Shape(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Os(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(m) => write!(f, "malformed slice file: {m}"),
+            IoError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#018x}, computed {actual:#018x}")
+            }
+            IoError::Shape(m) => write!(f, "shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Os(e)
+    }
+}
+
+/// File metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceFile {
+    /// Sinogram or volume.
+    pub kind: FileKind,
+    /// Storage precision of the payload.
+    pub precision: Precision,
+    /// Number of slices.
+    pub slices: usize,
+    /// Scalars per slice.
+    pub slice_len: usize,
+}
+
+impl SliceFile {
+    /// Payload bytes (the I/O volume this file contributes to Table II).
+    pub fn payload_bytes(&self) -> u64 {
+        self.slices as u64 * self.slice_len as u64 * self.precision.storage_bytes() as u64
+    }
+}
+
+/// FNV-1a 64-bit running hash.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn precision_from_tag(tag: u8) -> Result<Precision, IoError> {
+    match tag {
+        2 => Ok(Precision::Half),
+        4 => Ok(Precision::Single),
+        8 => Ok(Precision::Double),
+        other => Err(IoError::Format(format!("unknown precision tag {other}"))),
+    }
+}
+
+fn encode_scalar(v: f32, precision: Precision, out: &mut Vec<u8>) {
+    match precision.storage_bytes() {
+        2 => out.extend_from_slice(&F16::from_f32(v).to_bits().to_le_bytes()),
+        4 => out.extend_from_slice(&v.to_le_bytes()),
+        _ => out.extend_from_slice(&f64::from(v).to_le_bytes()),
+    }
+}
+
+fn decode_scalars(bytes: &[u8], precision: Precision) -> Vec<f32> {
+    match precision.storage_bytes() {
+        2 => bytes
+            .chunks_exact(2)
+            .map(|c| F16::from_bits(u16::from_le_bytes([c[0], c[1]])).to_f32())
+            .collect(),
+        4 => bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect(),
+        _ => bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")) as f32)
+            .collect(),
+    }
+}
+
+/// Sequential slice writer.
+pub struct SliceWriter {
+    meta: SliceFile,
+    out: BufWriter<File>,
+    written: usize,
+    hash: Fnv1a,
+}
+
+impl SliceWriter {
+    /// Creates the file and writes the header.
+    pub fn create(path: impl AsRef<Path>, meta: SliceFile) -> Result<Self, IoError> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&[meta.kind.tag()])?;
+        out.write_all(&[meta.precision.storage_bytes() as u8])?;
+        out.write_all(&(meta.slices as u64).to_le_bytes())?;
+        out.write_all(&(meta.slice_len as u64).to_le_bytes())?;
+        Ok(SliceWriter {
+            meta,
+            out,
+            written: 0,
+            hash: Fnv1a::new(),
+        })
+    }
+
+    /// Appends one slice (quantized to the file's storage precision).
+    pub fn write_slice(&mut self, slice: &[f32]) -> Result<(), IoError> {
+        if slice.len() != self.meta.slice_len {
+            return Err(IoError::Shape(format!(
+                "slice of {} scalars, file expects {}",
+                slice.len(),
+                self.meta.slice_len
+            )));
+        }
+        if self.written >= self.meta.slices {
+            return Err(IoError::Shape(format!(
+                "file already holds all {} slices",
+                self.meta.slices
+            )));
+        }
+        let mut buf = Vec::with_capacity(slice.len() * self.meta.precision.storage_bytes());
+        for &v in slice {
+            encode_scalar(v, self.meta.precision, &mut buf);
+        }
+        self.hash.update(&buf);
+        self.out.write_all(&buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Writes the checksum trailer and flushes. Must be called after all
+    /// slices are written.
+    pub fn finish(mut self) -> Result<(), IoError> {
+        if self.written != self.meta.slices {
+            return Err(IoError::Shape(format!(
+                "only {}/{} slices written",
+                self.written, self.meta.slices
+            )));
+        }
+        let checksum = self.hash.finish();
+        self.out.write_all(&checksum.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Batched slice reader.
+pub struct SliceReader {
+    meta: SliceFile,
+    input: BufReader<File>,
+    read: usize,
+    hash: Fnv1a,
+}
+
+impl SliceReader {
+    /// Opens a file and validates the header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, IoError> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut header = [0u8; HEADER_LEN];
+        input.read_exact(&mut header).map_err(|e| {
+            IoError::Format(format!("truncated header: {e}"))
+        })?;
+        if header[0..4] != MAGIC {
+            return Err(IoError::Format("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(IoError::Format(format!("unsupported version {version}")));
+        }
+        let kind = FileKind::from_tag(header[8])?;
+        let precision = precision_from_tag(header[9])?;
+        let slices = u64::from_le_bytes(header[10..18].try_into().expect("8 bytes")) as usize;
+        let slice_len = u64::from_le_bytes(header[18..26].try_into().expect("8 bytes")) as usize;
+        Ok(SliceReader {
+            meta: SliceFile {
+                kind,
+                precision,
+                slices,
+                slice_len,
+            },
+            input,
+            read: 0,
+            hash: Fnv1a::new(),
+        })
+    }
+
+    /// File metadata.
+    pub fn meta(&self) -> SliceFile {
+        self.meta
+    }
+
+    /// Slices not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.meta.slices - self.read
+    }
+
+    /// Reads up to `max_slices` slices (an I/O batch, §III-A2). Returns
+    /// `None` when the file is exhausted; call
+    /// [`verify_checksum`](Self::verify_checksum) afterwards.
+    pub fn read_batch(&mut self, max_slices: usize) -> Result<Option<Vec<f32>>, IoError> {
+        assert!(max_slices > 0, "batch size must be nonzero");
+        let take = max_slices.min(self.remaining());
+        if take == 0 {
+            return Ok(None);
+        }
+        let bytes = take * self.meta.slice_len * self.meta.precision.storage_bytes();
+        let mut buf = vec![0u8; bytes];
+        self.input
+            .read_exact(&mut buf)
+            .map_err(|e| IoError::Format(format!("truncated payload: {e}")))?;
+        self.hash.update(&buf);
+        self.read += take;
+        Ok(Some(decode_scalars(&buf, self.meta.precision)))
+    }
+
+    /// After consuming every slice, checks the trailer checksum.
+    pub fn verify_checksum(mut self) -> Result<(), IoError> {
+        if self.remaining() != 0 {
+            return Err(IoError::Shape(format!(
+                "{} slices left unread",
+                self.remaining()
+            )));
+        }
+        let mut trailer = [0u8; 8];
+        self.input
+            .read_exact(&mut trailer)
+            .map_err(|e| IoError::Format(format!("missing checksum trailer: {e}")))?;
+        let expected = u64::from_le_bytes(trailer);
+        let actual = self.hash.finish();
+        if expected != actual {
+            return Err(IoError::ChecksumMismatch { expected, actual });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("xct_io_tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    fn sample_meta(precision: Precision) -> SliceFile {
+        SliceFile {
+            kind: FileKind::Sinogram,
+            precision,
+            slices: 5,
+            slice_len: 64,
+        }
+    }
+
+    fn sample_slice(s: usize) -> Vec<f32> {
+        (0..64).map(|i| (s * 64 + i) as f32 * 0.25).collect()
+    }
+
+    #[test]
+    fn roundtrip_all_precisions() {
+        for precision in [Precision::Half, Precision::Single, Precision::Double] {
+            let path = tmp(&format!("roundtrip_{}.xctd", precision.label()));
+            let meta = sample_meta(precision);
+            let mut w = SliceWriter::create(&path, meta).unwrap();
+            for s in 0..5 {
+                w.write_slice(&sample_slice(s)).unwrap();
+            }
+            w.finish().unwrap();
+
+            let mut r = SliceReader::open(&path).unwrap();
+            assert_eq!(r.meta(), meta);
+            let all = r.read_batch(100).unwrap().unwrap();
+            assert_eq!(all.len(), 5 * 64);
+            for (s, chunk) in all.chunks(64).enumerate() {
+                for (got, want) in chunk.iter().zip(sample_slice(s)) {
+                    let tol = match precision {
+                        Precision::Half | Precision::Mixed => want.abs() * 1e-3 + 1e-3,
+                        _ => 0.0,
+                    };
+                    assert!((got - want).abs() <= tol, "{precision}: {got} vs {want}");
+                }
+            }
+            r.verify_checksum().unwrap();
+        }
+    }
+
+    #[test]
+    fn batched_reads_equal_whole_read() {
+        let path = tmp("batched.xctd");
+        let meta = sample_meta(Precision::Single);
+        let mut w = SliceWriter::create(&path, meta).unwrap();
+        for s in 0..5 {
+            w.write_slice(&sample_slice(s)).unwrap();
+        }
+        w.finish().unwrap();
+
+        let mut whole = SliceReader::open(&path).unwrap();
+        let all = whole.read_batch(usize::MAX - 1).unwrap().unwrap();
+        whole.verify_checksum().unwrap();
+
+        let mut batched = SliceReader::open(&path).unwrap();
+        let mut collected = Vec::new();
+        while let Some(batch) = batched.read_batch(2).unwrap() {
+            collected.extend(batch);
+        }
+        batched.verify_checksum().unwrap();
+        assert_eq!(collected, all);
+    }
+
+    #[test]
+    fn half_precision_halves_the_file() {
+        let p_half = tmp("size_half.xctd");
+        let p_single = tmp("size_single.xctd");
+        for (path, precision) in [(&p_half, Precision::Half), (&p_single, Precision::Single)] {
+            let mut w = SliceWriter::create(path, sample_meta(precision)).unwrap();
+            for s in 0..5 {
+                w.write_slice(&sample_slice(s)).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let half = std::fs::metadata(&p_half).unwrap().len();
+        let single = std::fs::metadata(&p_single).unwrap().len();
+        let overhead = (HEADER_LEN + 8) as u64;
+        assert_eq!((single - overhead), 2 * (half - overhead));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("bad_magic.xctd");
+        std::fs::write(&path, b"NOPE................................").unwrap();
+        match SliceReader::open(&path) {
+            Err(IoError::Format(m)) => assert!(m.contains("bad magic")),
+            Err(other) => panic!("expected format error, got {other:?}"),
+            Ok(_) => panic!("bad magic must not open"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let path = tmp("truncated.xctd");
+        let meta = sample_meta(Precision::Single);
+        let mut w = SliceWriter::create(&path, meta).unwrap();
+        for s in 0..5 {
+            w.write_slice(&sample_slice(s)).unwrap();
+        }
+        w.finish().unwrap();
+        // Chop the file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut r = SliceReader::open(&path).unwrap();
+        let mut failed = false;
+        loop {
+            match r.read_batch(5) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(IoError::Format(m)) => {
+                    assert!(m.contains("truncated"));
+                    failed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(failed, "truncation must be detected");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let path = tmp("corrupt.xctd");
+        let meta = sample_meta(Precision::Single);
+        let mut w = SliceWriter::create(&path, meta).unwrap();
+        for s in 0..5 {
+            w.write_slice(&sample_slice(s)).unwrap();
+        }
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = SliceReader::open(&path).unwrap();
+        while r.read_batch(5).unwrap().is_some() {}
+        match r.verify_checksum() {
+            Err(IoError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_enforces_shape() {
+        let path = tmp("shape.xctd");
+        let mut w = SliceWriter::create(&path, sample_meta(Precision::Single)).unwrap();
+        assert!(matches!(w.write_slice(&[1.0; 3]), Err(IoError::Shape(_))));
+        for s in 0..5 {
+            w.write_slice(&sample_slice(s)).unwrap();
+        }
+        assert!(matches!(w.write_slice(&sample_slice(0)), Err(IoError::Shape(_))));
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn unfinished_writer_is_an_error() {
+        let path = tmp("unfinished.xctd");
+        let mut w = SliceWriter::create(&path, sample_meta(Precision::Single)).unwrap();
+        w.write_slice(&sample_slice(0)).unwrap();
+        assert!(matches!(w.finish(), Err(IoError::Shape(_))));
+    }
+
+    #[test]
+    fn payload_bytes_match_table2_arithmetic() {
+        let meta = SliceFile {
+            kind: FileKind::Volume,
+            precision: Precision::Single,
+            slices: 1792,
+            slice_len: 2048 * 2048,
+        };
+        // The Shale volume: 1792 × 2048² × 4 B ≈ 30 GB (the write half of
+        // Table II's 52.1 GB I/O).
+        assert_eq!(meta.payload_bytes(), 1792 * 2048 * 2048 * 4);
+    }
+}

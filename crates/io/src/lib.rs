@@ -1,0 +1,23 @@
+//! Streaming binary I/O for measurement and volume data.
+//!
+//! The paper's pipeline reads terabytes of sinograms and writes terabytes
+//! of volume per reconstruction (Table II), in *I/O batches* of slices
+//! processed sequentially (§III-A2) so that compute, communication, and
+//! I/O overlap. This crate provides the on-disk format and batched
+//! streaming access:
+//!
+//! * [`SliceFile`] format — magic + header (kind, precision, dims) +
+//!   payload at storage precision + FNV-1a checksum trailer; half
+//!   precision literally halves the file size, exactly like the I/O
+//!   column of Table II,
+//! * [`SliceWriter`] — sequential slice appends through a buffered
+//!   writer,
+//! * [`SliceReader`] — whole-file or batched reads with checksum and
+//!   shape validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod file;
+
+pub use file::{FileKind, IoError, SliceFile, SliceReader, SliceWriter};

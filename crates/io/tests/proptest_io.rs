@@ -1,0 +1,116 @@
+//! Property tests: any data survives the file format at full precision,
+//! and any batch split reads back identically.
+
+use proptest::prelude::*;
+use xct_fp16::Precision;
+use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
+
+fn tmp(tag: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("xct_io_proptests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(format!("case_{tag}.xctd"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary finite data roundtrips exactly at single precision,
+    /// regardless of slice shape.
+    #[test]
+    fn single_precision_roundtrip_exact(
+        tag in any::<u64>(),
+        slices in 1usize..8,
+        slice_len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let path = tmp(tag);
+        let meta = SliceFile {
+            kind: FileKind::Volume,
+            precision: Precision::Single,
+            slices,
+            slice_len,
+        };
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            f32::from_bits(((state >> 40) as u32) | 0x3f00_0000) // finite, ~[0.5, 1)
+        };
+        let data: Vec<Vec<f32>> = (0..slices)
+            .map(|_| (0..slice_len).map(|_| next()).collect())
+            .collect();
+        let mut w = SliceWriter::create(&path, meta).unwrap();
+        for s in &data {
+            w.write_slice(s).unwrap();
+        }
+        w.finish().unwrap();
+        let mut r = SliceReader::open(&path).unwrap();
+        prop_assert_eq!(r.meta(), meta);
+        let back = r.read_batch(slices).unwrap().unwrap();
+        r.verify_checksum().unwrap();
+        let flat: Vec<f32> = data.into_iter().flatten().collect();
+        prop_assert_eq!(back, flat);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Every batch split yields the same concatenated content.
+    #[test]
+    fn any_batch_split_reads_identically(
+        tag in any::<u64>(),
+        slices in 1usize..10,
+        batch in 1usize..10,
+    ) {
+        let path = tmp(tag.wrapping_add(1));
+        let slice_len = 37;
+        let meta = SliceFile {
+            kind: FileKind::Sinogram,
+            precision: Precision::Single,
+            slices,
+            slice_len,
+        };
+        let mut w = SliceWriter::create(&path, meta).unwrap();
+        for s in 0..slices {
+            let row: Vec<f32> = (0..slice_len).map(|i| (s * slice_len + i) as f32).collect();
+            w.write_slice(&row).unwrap();
+        }
+        w.finish().unwrap();
+
+        let mut whole = SliceReader::open(&path).unwrap();
+        let reference = whole.read_batch(slices).unwrap().unwrap();
+        whole.verify_checksum().unwrap();
+
+        let mut split = SliceReader::open(&path).unwrap();
+        let mut collected = Vec::new();
+        let mut batches = 0;
+        while let Some(b) = split.read_batch(batch).unwrap() {
+            prop_assert!(b.len() % slice_len == 0);
+            collected.extend(b);
+            batches += 1;
+        }
+        split.verify_checksum().unwrap();
+        prop_assert_eq!(collected, reference);
+        prop_assert_eq!(batches, slices.div_ceil(batch));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Half-precision files quantize exactly like `F16::from_f32`.
+    #[test]
+    fn half_precision_quantizes_like_f16(tag in any::<u64>(), vals in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let path = tmp(tag.wrapping_add(2));
+        let meta = SliceFile {
+            kind: FileKind::Volume,
+            precision: Precision::Half,
+            slices: 1,
+            slice_len: vals.len(),
+        };
+        let mut w = SliceWriter::create(&path, meta).unwrap();
+        w.write_slice(&vals).unwrap();
+        w.finish().unwrap();
+        let mut r = SliceReader::open(&path).unwrap();
+        let back = r.read_batch(1).unwrap().unwrap();
+        r.verify_checksum().unwrap();
+        for (got, want) in back.iter().zip(&vals) {
+            prop_assert_eq!(got.to_bits(), xct_fp16::F16::from_f32(*want).to_f32().to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

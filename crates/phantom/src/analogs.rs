@@ -1,0 +1,250 @@
+//! Structural analogs of the four paper datasets (Table II), at
+//! configurable resolution.
+//!
+//! These are not the specimens — Chip and Brain are proprietary — but
+//! they exercise the same reconstruction behaviours: layered low-contrast
+//! strata (shale), high-contrast Manhattan geometry whose fine features
+//! demand iterative solvers (chip), high-frequency porous texture
+//! (charcoal), and sparse filamentary structure (brain vessels/axon
+//! tracts).
+
+use crate::image::Image2D;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Layered sedimentary strata with random cracks — the Shale Rock analog.
+pub fn shale_like(n: usize, seed: u64) -> Image2D {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut img = Image2D::zeros(n, n);
+    // Gently dipping strata of alternating attenuation.
+    let dip: f64 = rng.gen_range(-0.3..0.3);
+    let layer_freq: f64 = rng.gen_range(6.0..12.0);
+    let phases: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..std::f64::consts::TAU)).collect();
+    img.fill_with(|u, v| {
+        let depth = v + dip * u;
+        let mut val = 0.55
+            + 0.18 * (depth * layer_freq * std::f64::consts::PI + phases[0]).sin()
+            + 0.07 * (depth * layer_freq * 2.7 + phases[1]).sin();
+        // Mineral banding along x.
+        val += 0.05 * (u * 9.0 + phases[2]).sin() * (depth * 3.0 + phases[3]).cos();
+        val as f32
+    });
+    // Cracks: thin low-attenuation line segments.
+    let cracks = 6 + (rng.gen::<u32>() % 5) as usize;
+    for _ in 0..cracks {
+        let x0 = rng.gen_range(0.0..n as f64);
+        let z0 = rng.gen_range(0.0..n as f64);
+        let angle: f64 = rng.gen_range(0.9..2.2); // mostly steep
+        let len = rng.gen_range(n as f64 * 0.2..n as f64 * 0.7);
+        let (dx, dz) = (angle.cos(), angle.sin());
+        let steps = len as usize;
+        for s in 0..steps {
+            let x = (x0 + dx * s as f64) as isize;
+            let z = (z0 + dz * s as f64) as isize;
+            if x >= 0 && z >= 0 && (x as usize) < n && (z as usize) < n {
+                *img.get_mut(x as usize, z as usize) = 0.05;
+            }
+        }
+    }
+    img.mask_to_disk();
+    img
+}
+
+/// Manhattan wiring and vias — the IC Chip analog (paper Fig 1a).
+/// High contrast (metal vs. dielectric) and fine pitch: the numerically
+/// challenging case used for the convergence study (§IV-F).
+pub fn chip_like(n: usize, seed: u64) -> Image2D {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut img = Image2D::zeros(n, n);
+    // Dielectric background.
+    img.fill_with(|_, _| 0.15);
+    // Horizontal and vertical wire tracks on a coarse routing grid.
+    let pitch = (n / 16).max(2);
+    let wire_w = (pitch / 3).max(1);
+    for track in 0..(n / pitch) {
+        let base = track * pitch;
+        if rng.gen_bool(0.7) {
+            // Horizontal wire with random extent.
+            let start = rng.gen_range(0..n / 2);
+            let end = rng.gen_range(n / 2..n);
+            for z in base..(base + wire_w).min(n) {
+                for x in start..end {
+                    *img.get_mut(x, z) = 0.95;
+                }
+            }
+        }
+        if rng.gen_bool(0.7) {
+            let start = rng.gen_range(0..n / 2);
+            let end = rng.gen_range(n / 2..n);
+            for x in base..(base + wire_w).min(n) {
+                for z in start..end {
+                    *img.get_mut(x, z) = 0.95;
+                }
+            }
+        }
+    }
+    // Vias: small dense squares.
+    for _ in 0..n {
+        let x = rng.gen_range(0..n.saturating_sub(wire_w).max(1));
+        let z = rng.gen_range(0..n.saturating_sub(wire_w).max(1));
+        for dz in 0..wire_w {
+            for dx in 0..wire_w {
+                *img.get_mut(x + dx, z + dz) = 1.2;
+            }
+        }
+    }
+    img.mask_to_disk();
+    img
+}
+
+/// Porous blob texture — the Activated Charcoal analog.
+pub fn charcoal_like(n: usize, seed: u64) -> Image2D {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut img = Image2D::zeros(n, n);
+    // Solid carbon matrix.
+    img.fill_with(|_, _| 0.7);
+    // Pores: many overlapping low-attenuation disks with a power-law-ish
+    // size mix.
+    let pores = n * 3;
+    for _ in 0..pores {
+        let cx = rng.gen_range(0.0..n as f64);
+        let cz = rng.gen_range(0.0..n as f64);
+        // Ranges are clamped so tiny test grids (n < 25) stay valid.
+        let small_max = (n as f64 * 0.02).max(0.75);
+        let r = if rng.gen_bool(0.85) {
+            rng.gen_range(0.5..small_max)
+        } else {
+            rng.gen_range(small_max..(n as f64 * 0.08).max(small_max + 0.5))
+        };
+        let r2 = r * r;
+        let x_lo = (cx - r).max(0.0) as usize;
+        let x_hi = ((cx + r) as usize + 1).min(n);
+        let z_lo = (cz - r).max(0.0) as usize;
+        let z_hi = ((cz + r) as usize + 1).min(n);
+        for z in z_lo..z_hi {
+            for x in x_lo..x_hi {
+                let (dx, dz) = (x as f64 - cx, z as f64 - cz);
+                if dx * dx + dz * dz <= r2 {
+                    *img.get_mut(x, z) = 0.05;
+                }
+            }
+        }
+    }
+    img.mask_to_disk();
+    img
+}
+
+/// Branching vessel/axon-tract network — the Mouse Brain analog
+/// (paper Fig 1b: "blood vessels and myelinated axon tracts").
+pub fn brain_like(n: usize, seed: u64) -> Image2D {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut img = Image2D::zeros(n, n);
+    // Soft tissue background with a gentle radial gradient.
+    img.fill_with(|u, v| (0.35 - 0.1 * (u * u + v * v)) as f32);
+    // Random-walk vessels that branch.
+    let mut stack: Vec<(f64, f64, f64, f64, usize)> = Vec::new();
+    for _ in 0..6 {
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        stack.push((
+            n as f64 / 2.0,
+            n as f64 / 2.0,
+            angle,
+            n as f64 * 0.02,
+            n, // max steps
+        ));
+    }
+    while let Some((mut x, mut z, mut dir, width, steps)) = stack.pop() {
+        for _ in 0..steps {
+            dir += rng.gen_range(-0.25..0.25);
+            x += dir.cos();
+            z += dir.sin();
+            if x < 1.0 || z < 1.0 || x >= (n - 1) as f64 || z >= (n - 1) as f64 {
+                break;
+            }
+            let w = width.max(0.5);
+            let w_i = w as isize + 1;
+            for dz in -w_i..=w_i {
+                for dx in -w_i..=w_i {
+                    if (dx * dx + dz * dz) as f64 <= w * w {
+                        let (px, pz) = ((x as isize + dx) as usize, (z as isize + dz) as usize);
+                        if px < n && pz < n {
+                            *img.get_mut(px, pz) = 0.9;
+                        }
+                    }
+                }
+            }
+            // Occasionally branch with a thinner child vessel.
+            if width > 0.8 && rng.gen_bool(0.01) {
+                stack.push((
+                    x,
+                    z,
+                    dir + rng.gen_range(-1.0..1.0),
+                    width * 0.6,
+                    steps / 2,
+                ));
+            }
+        }
+    }
+    img.mask_to_disk();
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_basics(img: &Image2D, n: usize) {
+        assert_eq!(img.data.len(), n * n);
+        assert!(img.data.iter().all(|v| v.is_finite()));
+        assert!(img.fill_fraction() > 0.2, "mostly nonempty");
+        // Disk-masked: corners empty.
+        assert_eq!(img.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn all_analogs_render() {
+        let n = 64;
+        check_basics(&shale_like(n, 1), n);
+        check_basics(&chip_like(n, 2), n);
+        check_basics(&charcoal_like(n, 3), n);
+        check_basics(&brain_like(n, 4), n);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(shale_like(48, 7).data, shale_like(48, 7).data);
+        assert_ne!(shale_like(48, 7).data, shale_like(48, 8).data);
+        assert_eq!(brain_like(48, 9).data, brain_like(48, 9).data);
+    }
+
+    #[test]
+    fn chip_has_high_contrast() {
+        let img = chip_like(96, 11);
+        let max = img.data.iter().fold(0.0f32, |a, &b| a.max(b));
+        let interior_min = img
+            .data
+            .iter()
+            .filter(|v| **v > 0.0)
+            .fold(f32::MAX, |a, &b| a.min(b));
+        assert!(max / interior_min > 5.0, "contrast {max}/{interior_min}");
+    }
+
+    #[test]
+    fn charcoal_is_porous() {
+        let img = charcoal_like(96, 13);
+        let pores = img.data.iter().filter(|&&v| v > 0.0 && v < 0.1).count();
+        assert!(pores > 96 * 96 / 50, "expected many pore voxels, got {pores}");
+    }
+
+    #[test]
+    fn shale_is_low_contrast_relative_to_chip() {
+        let shale = shale_like(96, 17);
+        let chip = chip_like(96, 17);
+        let spread = |img: &Image2D| {
+            let vals: Vec<f32> = img.data.iter().copied().filter(|&v| v > 0.0).collect();
+            let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32).sqrt()
+        };
+        assert!(spread(&shale) < spread(&chip));
+    }
+}

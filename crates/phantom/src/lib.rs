@@ -1,0 +1,33 @@
+//! Synthetic specimens, measurement noise, and dataset descriptors.
+//!
+//! The paper evaluates on four real APS datasets (Table II): Shale Rock,
+//! IC Chip, Activated Charcoal, and Mouse Brain. Chip and Brain are
+//! proprietary and all four are terabyte-scale, so this crate substitutes
+//! (per DESIGN.md §2):
+//!
+//! * **structural analogs** at laptop scale — layered strata with cracks
+//!   (shale), Manhattan wiring (chip), porous blobs (charcoal), vessel
+//!   trees (brain), plus the Shepp–Logan reference phantom — generating
+//!   real images whose sinograms feed the actual solvers, and
+//! * **full-size descriptors** preserving the exact `K×M×N` dimensions of
+//!   Table II, used by the model-mode experiments (footprints, scaling),
+//! * **noise models** (Poisson transmission noise, Gaussian) so the
+//!   convergence study of Fig 13 has the "numerically challenging,
+//!   contaminating noise" character of the Chip dataset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analogs;
+mod datasets;
+mod image;
+mod metrics;
+mod noise;
+mod shepp;
+
+pub use analogs::{brain_like, charcoal_like, chip_like, shale_like};
+pub use datasets::{paper_datasets, DatasetSpec};
+pub use image::Image2D;
+pub use metrics::{psnr_db, ssim_global};
+pub use noise::{add_gaussian_noise, add_poisson_noise, snr_db};
+pub use shepp::shepp_logan;

@@ -1,0 +1,115 @@
+//! Image-quality metrics for reconstruction evaluation.
+
+use crate::image::Image2D;
+
+/// Peak signal-to-noise ratio in dB, with the peak taken from the
+/// reference image's dynamic range.
+pub fn psnr_db(image: &Image2D, reference: &Image2D) -> f64 {
+    assert_eq!(image.nx, reference.nx, "width mismatch");
+    assert_eq!(image.nz, reference.nz, "height mismatch");
+    let peak = reference
+        .data
+        .iter()
+        .fold(0.0f32, |a, &v| a.max(v.abs())) as f64;
+    let mse: f64 = image
+        .data
+        .iter()
+        .zip(&reference.data)
+        .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
+        .sum::<f64>()
+        / image.data.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / mse).log10()
+    }
+}
+
+/// Global structural similarity (single-window SSIM over the whole
+/// image): 1.0 for identical images, smaller for structural differences.
+/// The usual stabilizers use the reference dynamic range.
+pub fn ssim_global(image: &Image2D, reference: &Image2D) -> f64 {
+    assert_eq!(image.nx, reference.nx, "width mismatch");
+    assert_eq!(image.nz, reference.nz, "height mismatch");
+    let n = image.data.len() as f64;
+    let mean = |d: &[f32]| d.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let mu_x = mean(&image.data);
+    let mu_y = mean(&reference.data);
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    let mut cov = 0.0;
+    for (&a, &b) in image.data.iter().zip(&reference.data) {
+        let (da, db) = (f64::from(a) - mu_x, f64::from(b) - mu_y);
+        var_x += da * da;
+        var_y += db * db;
+        cov += da * db;
+    }
+    var_x /= n;
+    var_y /= n;
+    cov /= n;
+    let range = {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &reference.data {
+            lo = lo.min(f64::from(v));
+            hi = hi.max(f64::from(v));
+        }
+        (hi - lo).max(1e-12)
+    };
+    let c1 = (0.01 * range).powi(2);
+    let c2 = (0.03 * range).powi(2);
+    ((2.0 * mu_x * mu_y + c1) * (2.0 * cov + c2))
+        / ((mu_x * mu_x + mu_y * mu_y + c1) * (var_x + var_y + c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shepp::shepp_logan;
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = shepp_logan(32);
+        assert_eq!(psnr_db(&img, &img), f64::INFINITY);
+        let s = ssim_global(&img, &img);
+        assert!((s - 1.0).abs() < 1e-9, "SSIM {s}");
+    }
+
+    #[test]
+    fn noise_degrades_both_metrics_monotonically() {
+        let clean = shepp_logan(32);
+        let noisy_at = |sigma: f32| {
+            let mut img = clean.clone();
+            let mut state = 7u64;
+            for v in &mut img.data {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *v += ((state >> 33) as f32 / (1u64 << 31) as f32 - 0.5) * sigma;
+            }
+            img
+        };
+        let a = noisy_at(0.05);
+        let b = noisy_at(0.2);
+        assert!(psnr_db(&a, &clean) > psnr_db(&b, &clean));
+        assert!(ssim_global(&a, &clean) > ssim_global(&b, &clean));
+        assert!(ssim_global(&b, &clean) < 0.999);
+    }
+
+    #[test]
+    fn constant_offset_hurts_ssim_less_than_structure_loss() {
+        let clean = shepp_logan(32);
+        let mut offset = clean.clone();
+        for v in &mut offset.data {
+            *v += 0.05;
+        }
+        let mut scrambled = clean.clone();
+        scrambled.data.reverse();
+        assert!(ssim_global(&offset, &clean) > ssim_global(&scrambled, &clean));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn shape_checked() {
+        psnr_db(&Image2D::zeros(4, 4), &Image2D::zeros(5, 4));
+    }
+}

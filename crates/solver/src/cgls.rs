@@ -1,0 +1,325 @@
+//! Damped CGLS: conjugate gradient on the least-squares normal equations.
+
+use crate::operator::LinearOperator;
+use std::time::Instant;
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CglsConfig {
+    /// Iteration cap. The paper stops Chip at 24 iterations to avoid
+    /// noise overfitting (§IV-F); scaling runs use 30 (§IV-E).
+    pub max_iters: usize,
+    /// Stop when `‖r‖/‖y‖` falls below this (0 disables).
+    pub tolerance: f64,
+    /// Tikhonov damping λ: minimizes `‖y − Ax‖² + λ²‖x‖²` (the `R(x)`
+    /// hook of Eq. 1).
+    pub damping: f64,
+}
+
+impl Default for CglsConfig {
+    fn default() -> Self {
+        CglsConfig {
+            max_iters: 30,
+            tolerance: 0.0,
+            damping: 0.0,
+        }
+    }
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone)]
+pub struct CglsReport {
+    /// The reconstruction.
+    pub x: Vec<f32>,
+    /// Relative residual `‖y − Ax‖/‖y‖` *after* each iteration
+    /// (`history[0]` is the initial 1.0).
+    pub residual_history: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before the cap.
+    pub converged: bool,
+    /// Wall-clock seconds per recorded residual (same indexing as
+    /// `residual_history`) — the x-axis of Fig 13.
+    pub time_history: Vec<f64>,
+}
+
+/// Solves `min ‖y − Ax‖² + λ²‖x‖²` with local (single-process) inner
+/// products.
+///
+/// ```
+/// use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
+/// use xct_solver::{cgls, CglsConfig, LinearOperator, SystemMatrixOperator};
+///
+/// let scan = ScanGeometry::uniform(ImageGrid::square(16, 1.0), 16);
+/// let sm = SystemMatrix::build(&scan);
+/// let op = SystemMatrixOperator::new(&sm);
+/// let phantom = vec![0.5f32; op.cols()];
+/// let mut y = vec![0.0f32; op.rows()];
+/// op.apply(&phantom, &mut y);
+/// let report = cgls(&op, &y, &CglsConfig::default());
+/// assert!(report.residual_history.last().unwrap() < &0.05);
+/// ```
+pub fn cgls(op: &dyn LinearOperator, y: &[f32], config: &CglsConfig) -> CglsReport {
+    cgls_with(op, y, config, &mut |v| v)
+}
+
+/// [`cgls`] with a pluggable scalar reducer applied to every inner
+/// product. A distributed caller passes an allreduce-sum here; partial
+/// dot products from each rank then combine into global scalars, which
+/// is all CG needs to stay coherent across processes.
+pub fn cgls_with(
+    op: &dyn LinearOperator,
+    y: &[f32],
+    config: &CglsConfig,
+    reduce: &mut dyn FnMut(f64) -> f64,
+) -> CglsReport {
+    assert_eq!(y.len(), op.rows(), "measurement length mismatch");
+    let n = op.cols();
+    let m = op.rows();
+    let lambda = config.damping;
+    let t0 = Instant::now();
+
+    let mut x = vec![0.0f32; n];
+    // r = y − A·x = y (x starts at zero).
+    let mut r = y.to_vec();
+    // s = Aᵀ·r − λ²·x = Aᵀ·y.
+    let mut s = vec![0.0f32; n];
+    op.apply_transpose(&r, &mut s);
+    let mut p = s.clone();
+    let mut gamma = reduce(dot(&s, &s));
+
+    let y_norm = reduce(dot(y, y)).sqrt();
+    let mut history = vec![1.0f64];
+    let mut times = vec![t0.elapsed().as_secs_f64()];
+    let mut q = vec![0.0f32; m];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iters {
+        if gamma <= 0.0 {
+            // Exact solution reached (gradient vanished).
+            converged = true;
+            break;
+        }
+        op.apply(&p, &mut q);
+        let mut delta = reduce(dot(&q, &q));
+        if lambda > 0.0 {
+            delta += lambda * lambda * reduce(dot(&p, &p));
+        }
+        if delta <= 0.0 {
+            break; // p in the null space; cannot progress
+        }
+        let alpha = gamma / delta;
+        axpy(alpha as f32, &p, &mut x);
+        axpy(-(alpha as f32), &q, &mut r);
+        // s = Aᵀ·r − λ²·x
+        op.apply_transpose(&r, &mut s);
+        if lambda > 0.0 {
+            let l2 = (lambda * lambda) as f32;
+            for (si, xi) in s.iter_mut().zip(&x) {
+                *si -= l2 * xi;
+            }
+        }
+        let gamma_new = reduce(dot(&s, &s));
+        let beta = gamma_new / gamma;
+        gamma = gamma_new;
+        // p = s + β·p
+        for (pi, &si) in p.iter_mut().zip(&s) {
+            *pi = si + (beta as f32) * *pi;
+        }
+
+        iterations += 1;
+        let rel = if y_norm > 0.0 {
+            reduce(dot(&r, &r)).sqrt() / y_norm
+        } else {
+            0.0
+        };
+        history.push(rel);
+        times.push(t0.elapsed().as_secs_f64());
+        if config.tolerance > 0.0 && rel <= config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    CglsReport {
+        x,
+        residual_history: history,
+        iterations,
+        converged,
+        time_history: times,
+    }
+}
+
+/// f64-accumulated dot product of f32 slices.
+fn dot(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&p, &q)| f64::from(p) * f64::from(q))
+        .sum()
+}
+
+/// `y += alpha * x`.
+fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{CsrOperator, SystemMatrixOperator};
+    use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
+    use xct_spmm::Csr;
+
+    /// Identity-ish diagonal operator for exact-solution tests.
+    fn diagonal(n: usize) -> CsrOperator {
+        let t = (0..n as u32).map(|i| (i, i, 1.0 + i as f32 * 0.1));
+        CsrOperator::new(Csr::from_triplets(n, n, t))
+    }
+
+    #[test]
+    fn solves_diagonal_system_exactly() {
+        let op = diagonal(20);
+        let x_true: Vec<f32> = (0..20).map(|i| (i as f32 - 10.0) / 5.0).collect();
+        let mut y = vec![0.0f32; 20];
+        op.apply(&x_true, &mut y);
+        let report = cgls(
+            &op,
+            &y,
+            &CglsConfig {
+                max_iters: 50,
+                tolerance: 1e-10,
+                damping: 0.0,
+            },
+        );
+        assert!(report.converged);
+        for (a, b) in report.x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn residual_history_is_monotone_nonincreasing() {
+        // CGLS monotonically decreases ‖r‖ in exact arithmetic; allow
+        // tiny float slack.
+        let scan = ScanGeometry::uniform(ImageGrid::square(16, 1.0), 12);
+        let sm = SystemMatrix::build(&scan);
+        let op = SystemMatrixOperator::new(&sm);
+        let x_true: Vec<f32> = (0..op.cols())
+            .map(|i| ((i * 13 + 5) % 97) as f32 / 97.0)
+            .collect();
+        let mut y = vec![0.0f32; op.rows()];
+        op.apply(&x_true, &mut y);
+        let report = cgls(&op, &y, &CglsConfig::default());
+        for w in report.residual_history.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-6), "{} -> {}", w[0], w[1]);
+        }
+        assert!(*report.residual_history.last().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn reconstructs_from_consistent_measurements() {
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 24);
+        let sm = SystemMatrix::build(&scan);
+        let op = SystemMatrixOperator::new(&sm);
+        // A disk phantom.
+        let x_true: Vec<f32> = (0..144)
+            .map(|i| {
+                let (ix, iz) = ((i % 12) as f32 - 5.5, (i / 12) as f32 - 5.5);
+                if ix * ix + iz * iz < 16.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut y = vec![0.0f32; op.rows()];
+        op.apply(&x_true, &mut y);
+        let report = cgls(
+            &op,
+            &y,
+            &CglsConfig {
+                max_iters: 100,
+                tolerance: 1e-6,
+                damping: 0.0,
+            },
+        );
+        let err: f64 = report
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| f64::from(a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+            / (x_true.iter().map(|v| f64::from(*v).powi(2)).sum::<f64>()).sqrt();
+        assert!(err < 0.05, "relative reconstruction error {err}");
+    }
+
+    #[test]
+    fn damping_shrinks_the_solution_norm() {
+        let scan = ScanGeometry::uniform(ImageGrid::square(10, 1.0), 8);
+        let sm = SystemMatrix::build(&scan);
+        let op = SystemMatrixOperator::new(&sm);
+        let x_true = vec![1.0f32; op.cols()];
+        let mut y = vec![0.0f32; op.rows()];
+        op.apply(&x_true, &mut y);
+        let plain = cgls(&op, &y, &CglsConfig { max_iters: 40, tolerance: 0.0, damping: 0.0 });
+        let damped = cgls(&op, &y, &CglsConfig { max_iters: 40, tolerance: 0.0, damping: 2.0 });
+        let norm = |v: &[f32]| v.iter().map(|x| f64::from(*x).powi(2)).sum::<f64>();
+        assert!(norm(&damped.x) < norm(&plain.x));
+    }
+
+    #[test]
+    fn zero_measurement_returns_zero() {
+        let op = diagonal(8);
+        let report = cgls(&op, &[0.0; 8], &CglsConfig::default());
+        assert!(report.x.iter().all(|&v| v == 0.0));
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn reducer_is_used_for_inner_products() {
+        // A reducer that doubles everything must not change the solution
+        // (alpha and beta are ratios of reduced quantities).
+        let op = diagonal(10);
+        let x_true: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let mut y = vec![0.0f32; 10];
+        op.apply(&x_true, &mut y);
+        let mut calls = 0usize;
+        let report = cgls_with(
+            &op,
+            &y,
+            &CglsConfig { max_iters: 30, tolerance: 1e-10, damping: 0.0 },
+            &mut |v| {
+                calls += 1;
+                2.0 * v
+            },
+        );
+        assert!(calls > 0);
+        for (a, b) in report.x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 12);
+        let sm = SystemMatrix::build(&scan);
+        let op = SystemMatrixOperator::new(&sm);
+        let y = vec![1.0f32; op.rows()];
+        let report = cgls(&op, &y, &CglsConfig { max_iters: 5, tolerance: 0.0, damping: 0.0 });
+        assert_eq!(report.iterations, 5);
+        assert_eq!(report.residual_history.len(), 6);
+        assert_eq!(report.time_history.len(), 6);
+        assert!(!report.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement length mismatch")]
+    fn wrong_y_length_panics() {
+        let op = diagonal(4);
+        cgls(&op, &[1.0; 3], &CglsConfig::default());
+    }
+}

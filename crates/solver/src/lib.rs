@@ -1,0 +1,35 @@
+//! The iterative solver of Petascale XCT: conjugate gradient on the
+//! least-squares normal equations (CGLS), in any of the four precision
+//! modes (paper §II-A, §IV-F).
+//!
+//! The paper solves `x̂ = argmin ‖y − Ax‖² (+ R(x))` with CG, running a
+//! forward projection and a backprojection per iteration. Convergence
+//! under reduced precision (Fig 13) works because (a) all FMAs stay in
+//! single precision (mixed mode), and (b) the iterate and residual are
+//! adaptively renormalized before each half-precision cast so quantization
+//! noise stays below measurement noise.
+//!
+//! * [`LinearOperator`] — the `A` abstraction (reference, CSR-backed, or
+//!   the optimized packed kernels at any precision),
+//! * [`cgls`] / [`cgls_with`] — damped CGLS with residual history and a
+//!   pluggable inner-product reducer (the distributed reconstructor in
+//!   `xct-core` injects an allreduce there),
+//! * [`PrecisionOperator`] — wraps the fused buffered SpMM kernels with
+//!   adaptive normalization for any [`Precision`](xct_fp16::Precision).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cgls;
+mod operator;
+mod precision_op;
+mod sirt;
+mod stepper;
+mod tv;
+
+pub use cgls::{cgls, cgls_with, CglsConfig, CglsReport};
+pub use operator::{CsrOperator, LinearOperator, SystemMatrixOperator};
+pub use precision_op::PrecisionOperator;
+pub use sirt::{sirt, SirtConfig};
+pub use stepper::{CglsSnapshot, CglsSolver};
+pub use tv::{tv_reconstruct, tv_value, TvConfig};

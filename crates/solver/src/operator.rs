@@ -1,0 +1,117 @@
+//! The linear-operator abstraction CGLS iterates with.
+
+use xct_geometry::SystemMatrix;
+use xct_spmm::Csr;
+
+/// A (possibly matrix-free, possibly distributed) linear operator.
+///
+/// The interface speaks `f32` regardless of the internal precision:
+/// quantization to half, normalization, kernel dispatch, and any
+/// communication happen inside the implementation. `fusing` reports how
+/// many slices the operator processes at once — vectors are slice-major
+/// of length `cols()` / `rows()` *totals* (already multiplied by fusing).
+pub trait LinearOperator: Sync {
+    /// Total output length of [`apply`](Self::apply).
+    fn rows(&self) -> usize;
+    /// Total input length of [`apply`](Self::apply).
+    fn cols(&self) -> usize;
+    /// `y = A·x`.
+    fn apply(&self, x: &[f32], y: &mut [f32]);
+    /// `x = Aᵀ·y`.
+    fn apply_transpose(&self, y: &[f32], x: &mut [f32]);
+}
+
+/// Reference operator: the memoized Siddon matrix applied row by row.
+pub struct SystemMatrixOperator<'a> {
+    matrix: &'a SystemMatrix,
+}
+
+impl<'a> SystemMatrixOperator<'a> {
+    /// Wraps a system matrix.
+    pub fn new(matrix: &'a SystemMatrix) -> Self {
+        SystemMatrixOperator { matrix }
+    }
+}
+
+impl LinearOperator for SystemMatrixOperator<'_> {
+    fn rows(&self) -> usize {
+        self.matrix.num_rays()
+    }
+    fn cols(&self) -> usize {
+        self.matrix.num_voxels()
+    }
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        self.matrix.project(x, y);
+    }
+    fn apply_transpose(&self, y: &[f32], x: &mut [f32]) {
+        self.matrix.backproject(y, x);
+    }
+}
+
+/// CSR-backed operator in full f32 (the unoptimized baseline path).
+pub struct CsrOperator {
+    a: Csr<f32>,
+    at: Csr<f32>,
+}
+
+impl CsrOperator {
+    /// Builds `A` and the explicit transpose (MemXCT memoizes both).
+    pub fn new(a: Csr<f32>) -> Self {
+        let at = a.transpose();
+        CsrOperator { a, at }
+    }
+
+    /// Access to the forward matrix.
+    pub fn forward(&self) -> &Csr<f32> {
+        &self.a
+    }
+}
+
+impl LinearOperator for CsrOperator {
+    fn rows(&self) -> usize {
+        self.a.num_rows()
+    }
+    fn cols(&self) -> usize {
+        self.a.num_cols()
+    }
+    fn apply(&self, x: &[f32], y: &mut [f32]) {
+        self.a.spmv::<f32>(x, y);
+    }
+    fn apply_transpose(&self, y: &[f32], x: &mut [f32]) {
+        self.at.spmv::<f32>(y, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_geometry::{ImageGrid, ScanGeometry};
+
+    #[test]
+    fn wrappers_agree_with_each_other() {
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 8);
+        let sm = SystemMatrix::build(&scan);
+        let ref_op = SystemMatrixOperator::new(&sm);
+        let csr_op = CsrOperator::new(Csr::from_system_matrix(&sm));
+        assert_eq!(ref_op.rows(), csr_op.rows());
+        assert_eq!(ref_op.cols(), csr_op.cols());
+
+        let x: Vec<f32> = (0..ref_op.cols()).map(|i| (i % 9) as f32 / 9.0).collect();
+        let mut y1 = vec![0.0f32; ref_op.rows()];
+        let mut y2 = vec![0.0f32; ref_op.rows()];
+        ref_op.apply(&x, &mut y1);
+        csr_op.apply(&x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0));
+        }
+
+        let y: Vec<f32> = (0..ref_op.rows()).map(|i| (i % 7) as f32 / 7.0).collect();
+        let mut x1 = vec![0.0f32; ref_op.cols()];
+        let mut x2 = vec![0.0f32; ref_op.cols()];
+        ref_op.apply_transpose(&y, &mut x1);
+        csr_op.apply_transpose(&y, &mut x2);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0));
+        }
+    }
+}

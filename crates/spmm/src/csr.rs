@@ -1,0 +1,378 @@
+//! Compressed sparse row baseline — the unfused, unstaged comparator
+//! standing in for `cusparseSpMM` (paper §IV-C2).
+
+use crate::compute::ComputeScalar;
+use crate::metrics::KernelMetrics;
+use xct_fp16::StorageScalar;
+use xct_geometry::SystemMatrix;
+
+/// A CSR sparse matrix with values in storage scalar `S`.
+#[derive(Debug, Clone)]
+pub struct Csr<S> {
+    num_rows: usize,
+    num_cols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<u32>,
+    values: Vec<S>,
+}
+
+impl<S: StorageScalar> Csr<S> {
+    /// Builds from `(row, col, value)` triplets; triplets may arrive in any
+    /// order, duplicates are summed.
+    pub fn from_triplets(
+        num_rows: usize,
+        num_cols: usize,
+        triplets: impl Iterator<Item = (u32, u32, f32)>,
+    ) -> Self {
+        let mut per_row: Vec<Vec<(u32, f32)>> = vec![Vec::new(); num_rows];
+        for (r, c, v) in triplets {
+            assert!((r as usize) < num_rows, "row {r} out of range");
+            assert!((c as usize) < num_cols, "col {c} out of range");
+            per_row[r as usize].push((c, v));
+        }
+        let mut rowptr = Vec::with_capacity(num_rows + 1);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        rowptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = 0.0f32;
+                while i < row.len() && row[i].0 == c {
+                    v += row[i].1;
+                    i += 1;
+                }
+                colidx.push(c);
+                values.push(S::from_f32(v));
+            }
+            rowptr.push(colidx.len());
+        }
+        Csr {
+            num_rows,
+            num_cols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Builds the per-slice projection operator from a memoized
+    /// [`SystemMatrix`].
+    pub fn from_system_matrix(a: &SystemMatrix) -> Self {
+        Self::from_triplets(a.num_rays(), a.num_voxels(), a.triplets())
+    }
+
+    /// Rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Stored nonzeroes.
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Column indices and values of one row.
+    pub fn row(&self, r: usize) -> (&[u32], &[S]) {
+        let range = self.rowptr[r]..self.rowptr[r + 1];
+        (&self.colidx[range.clone()], &self.values[range])
+    }
+
+    /// Iterates all `(row, col, value-as-f32)` triplets.
+    pub fn triplets(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.num_rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r as u32, c, v.to_f32()))
+        })
+    }
+
+    /// The transpose (used for backprojection: `Aᵀ` is itself a CSR
+    /// operator over sinogram inputs).
+    pub fn transpose(&self) -> Csr<S> {
+        let mut counts = vec![0usize; self.num_cols];
+        for &c in &self.colidx {
+            counts[c as usize] += 1;
+        }
+        let mut rowptr = Vec::with_capacity(self.num_cols + 1);
+        rowptr.push(0usize);
+        for c in 0..self.num_cols {
+            rowptr.push(rowptr[c] + counts[c]);
+        }
+        let mut colidx = vec![0u32; self.nnz()];
+        let mut values = vec![S::zero(); self.nnz()];
+        let mut cursor = rowptr.clone();
+        for r in 0..self.num_rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let at = cursor[c as usize];
+                colidx[at] = r as u32;
+                values[at] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        Csr {
+            num_rows: self.num_cols,
+            num_cols: self.num_rows,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Applies a symmetric permutation: row `r` of the result is old row
+    /// `row_perm[r]`, and old column `c` becomes `col_rank[c]`.
+    ///
+    /// This is how Hilbert ordering is imposed on the operator: rays and
+    /// voxels are renumbered so that contiguous indices are spatially local.
+    pub fn permute(&self, row_perm: &[u32], col_rank: &[u32]) -> Csr<S> {
+        assert_eq!(row_perm.len(), self.num_rows, "row permutation length");
+        assert_eq!(col_rank.len(), self.num_cols, "column ranking length");
+        let mut rowptr = Vec::with_capacity(self.num_rows + 1);
+        let mut colidx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        rowptr.push(0);
+        for &old_r in row_perm {
+            let (cols, vals) = self.row(old_r as usize);
+            let mut entries: Vec<(u32, S)> = cols
+                .iter()
+                .zip(vals)
+                .map(|(&c, &v)| (col_rank[c as usize], v))
+                .collect();
+            entries.sort_unstable_by_key(|&(c, _)| c);
+            for (c, v) in entries {
+                colidx.push(c);
+                values.push(v);
+            }
+            rowptr.push(colidx.len());
+        }
+        Csr {
+            num_rows: self.num_rows,
+            num_cols: self.num_cols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Restricts to a subset of rows (in the given order) — the slice of
+    /// the operator a single process owns after decomposition.
+    pub fn select_rows(&self, rows: &[u32]) -> Csr<S> {
+        let mut rowptr = Vec::with_capacity(rows.len() + 1);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        rowptr.push(0);
+        for &r in rows {
+            let (cols, vals) = self.row(r as usize);
+            colidx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            rowptr.push(colidx.len());
+        }
+        Csr {
+            num_rows: rows.len(),
+            num_cols: self.num_cols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Unfused sparse matrix–vector product `y = A·x` with compute type
+    /// `C` (the baseline of Fig 9a at fusing factor 1).
+    pub fn spmv<C: ComputeScalar>(&self, x: &[S], y: &mut [S]) {
+        assert_eq!(x.len(), self.num_cols, "input length mismatch");
+        assert_eq!(y.len(), self.num_rows, "output length mismatch");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = C::default();
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc = acc.fma(C::load(x[c as usize]), C::load(v));
+            }
+            *yr = acc.store();
+        }
+    }
+
+    /// Fused multi-vector product `Y = A·X` over `fusing` slices in
+    /// slice-major layout (`x[f·num_cols + c]`, `y[f·num_rows + r]`), the
+    /// layout of the paper's Listing 1. Unlike the optimized kernel the
+    /// baseline re-reads the matrix for every slice — this is exactly the
+    /// cuSPARSE-shaped comparator.
+    pub fn spmm<C: ComputeScalar>(&self, x: &[S], y: &mut [S], fusing: usize) {
+        assert!(fusing > 0, "fusing factor must be nonzero");
+        assert_eq!(x.len(), self.num_cols * fusing, "input length mismatch");
+        assert_eq!(y.len(), self.num_rows * fusing, "output length mismatch");
+        for f in 0..fusing {
+            let xs = &x[f * self.num_cols..(f + 1) * self.num_cols];
+            let ys = &mut y[f * self.num_rows..(f + 1) * self.num_rows];
+            self.spmv::<C>(xs, ys);
+        }
+    }
+
+    /// Fraction of per-nonzero input gathers that miss the cache in the
+    /// cuSPARSE-shaped baseline model. Without shared-memory staging,
+    /// irregular x-gathers rely on L2, whose 6 MB is far smaller than
+    /// the slice footprint; 45% misses calibrates the
+    /// optimized-vs-baseline ratio to the paper's measured 1.53×–2.38×
+    /// (§IV-C2).
+    pub const BASELINE_GATHER_MISS_RATE: f64 = 0.45;
+
+    /// The data-movement/flop account of one cuSPARSE-shaped
+    /// [`spmm`](Self::spmm) call (the §IV-C2 comparator): the matrix
+    /// streams once per call as unpacked `(u32 index, value)` elements,
+    /// and input gathers hit L2 at `1 −` [`Self::BASELINE_GATHER_MISS_RATE`].
+    pub fn spmm_metrics(&self, fusing: usize) -> KernelMetrics {
+        let unpacked_elem = (4 + S::BYTES) as u64;
+        let gather_miss = (self.nnz() as f64
+            * fusing as f64
+            * S::BYTES as f64
+            * Self::BASELINE_GATHER_MISS_RATE) as u64;
+        KernelMetrics {
+            flops: 2 * self.nnz() as u64 * fusing as u64,
+            bytes_read: self.nnz() as u64 * unpacked_elem                  // matrix
+                + gather_miss                                              // x misses
+                + (self.num_cols * fusing * S::BYTES) as u64               // x compulsory
+                + (self.num_rows as u64 + 1) * 8,                          // rowptr
+            bytes_written: (self.num_rows * fusing * S::BYTES) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_fp16::F16;
+    use xct_geometry::{ImageGrid, ScanGeometry};
+
+    fn toy() -> Csr<f32> {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        Csr::from_triplets(
+            2,
+            3,
+            vec![(0u32, 0u32, 1.0f32), (0, 2, 2.0), (1, 1, 3.0)].into_iter(),
+        )
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = toy();
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [0.0f32; 2];
+        a.spmv::<f32>(&x, &mut y);
+        assert_eq!(y, [7.0, 6.0]);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let a = Csr::<f32>::from_triplets(1, 2, vec![(0u32, 1u32, 1.5f32), (0, 1, 2.5)].into_iter());
+        assert_eq!(a.nnz(), 1);
+        let mut y = [0.0f32];
+        a.spmv::<f32>(&[0.0, 1.0], &mut y);
+        assert_eq!(y[0], 4.0);
+    }
+
+    #[test]
+    fn transpose_is_involution_and_adjoint() {
+        let a = toy();
+        let at = a.transpose();
+        assert_eq!(at.num_rows(), 3);
+        assert_eq!(at.num_cols(), 2);
+        let att = at.transpose();
+        let t1: Vec<_> = a.triplets().collect();
+        let t2: Vec<_> = att.triplets().collect();
+        assert_eq!(t1, t2);
+        // <Ax, y> == <x, Aᵀy>
+        let x = [1.0f32, -2.0, 0.5];
+        let y = [2.0f32, 3.0];
+        let mut ax = [0.0f32; 2];
+        a.spmv::<f32>(&x, &mut ax);
+        let mut aty = [0.0f32; 3];
+        at.spmv::<f32>(&y, &mut aty);
+        let lhs: f32 = ax.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let rhs: f32 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spmm_slices_are_independent_spmvs() {
+        let a = toy();
+        let x = [1.0f32, 2.0, 3.0, /* slice 2 */ 0.0, 1.0, 0.0];
+        let mut y = [0.0f32; 4];
+        a.spmm::<f32>(&x, &mut y, 2);
+        assert_eq!(&y[..2], &[7.0, 6.0]);
+        assert_eq!(&y[2..], &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn csr_from_system_matrix_preserves_projection() {
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 8);
+        let sm = SystemMatrix::build(&scan);
+        let a = Csr::<f32>::from_system_matrix(&sm);
+        let x: Vec<f32> = (0..sm.num_voxels()).map(|i| (i % 5) as f32).collect();
+        let mut y_ref = vec![0.0f32; sm.num_rays()];
+        sm.project(&x, &mut y_ref);
+        let mut y = vec![0.0f32; sm.num_rays()];
+        a.spmv::<f32>(&x, &mut y);
+        for (p, q) in y.iter().zip(&y_ref) {
+            assert!((p - q).abs() <= 1e-4 * q.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn half_storage_quantizes_values() {
+        let a = Csr::<F16>::from_triplets(1, 1, vec![(0u32, 0u32, 0.3f32 + f32::EPSILON)].into_iter());
+        let (_, vals) = a.row(0);
+        assert_eq!(vals[0].to_f32(), F16::from_f32(0.3).to_f32());
+    }
+
+    #[test]
+    fn permute_reorders_rows_and_relabels_cols() {
+        let a = toy();
+        // Swap rows; relabel columns reversed.
+        let p = a.permute(&[1, 0], &[2, 1, 0]);
+        let mut y = [0.0f32; 2];
+        // New row 0 = old row 1 (3 at old col 1 -> new col 1).
+        p.spmv::<f32>(&[10.0, 20.0, 30.0], &mut y);
+        assert_eq!(y[0], 60.0); // 3 * x[new col 1]
+        assert_eq!(y[1], 10.0 * 2.0 + 30.0 * 1.0); // old row 0 relabeled
+    }
+
+    #[test]
+    fn select_rows_slices_operator() {
+        let a = toy();
+        let s = a.select_rows(&[1]);
+        assert_eq!(s.num_rows(), 1);
+        assert_eq!(s.nnz(), 1);
+        let mut y = [0.0f32];
+        s.spmv::<f32>(&[0.0, 4.0, 0.0], &mut y);
+        assert_eq!(y[0], 12.0);
+    }
+
+    #[test]
+    fn metrics_scale_with_fusing() {
+        let a = toy();
+        let m1 = a.spmm_metrics(1);
+        let m4 = a.spmm_metrics(4);
+        assert_eq!(m4.flops, 4 * m1.flops);
+        // The baseline streams the matrix once per call, so fused bytes
+        // grow sublinearly — but gathers still miss per nonzero, so the
+        // intensity gain is far below the packed kernel's (whose gathers
+        // are staged once per stage, not per nonzero).
+        assert!(m4.bytes() < 4 * m1.bytes());
+        assert!(m4.arithmetic_intensity() > m1.arithmetic_intensity());
+    }
+
+    #[test]
+    #[should_panic(expected = "row 5 out of range")]
+    fn triplet_bounds_checked() {
+        Csr::<f32>::from_triplets(2, 2, vec![(5u32, 0u32, 1.0f32)].into_iter());
+    }
+}

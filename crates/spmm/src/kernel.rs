@@ -1,0 +1,337 @@
+//! The fused, staged SpMM executor — the CPU realization of Listing 1.
+//!
+//! Control flow mirrors the CUDA kernel exactly:
+//!
+//! ```text
+//! for each thread block (rayon task):           // blockIdx.x
+//!   acc[thread][FFACTOR] = 0                    // line 10
+//!   for each stage:                             // lines 12–13
+//!     gather x through buffmap into shared      // lines 15–20
+//!     for each warp, lane, round:               // lines 22–24
+//!       e = indval[n*WARPSIZE + lane]
+//!       for f in 0..FFACTOR:                    // lines 26–28
+//!         acc[f] += shared[f*buffsize + e.ind] * e.len
+//!   write y[f*numrow + row] = acc[f]            // lines 32–36
+//! ```
+//!
+//! Storage scalar `S` and compute scalar `C` are independent, giving the
+//! double/single/half/mixed modes of §III-C.
+
+use crate::compute::ComputeScalar;
+use crate::metrics::KernelMetrics;
+use crate::packed::{PackedBlock, PackedMatrix, WARP_SIZE};
+use rayon::prelude::*;
+use xct_fp16::StorageScalar;
+
+/// Runs the fused SpMM `Y = A·X` with blocks in parallel.
+///
+/// `x` and `y` are slice-major: `x[f*num_cols + c]`, `y[f*num_rows + r]`
+/// for `f` in `0..fusing`, matching Listing 1. Returns the memory-traffic
+/// account of the launch.
+///
+/// # Panics
+/// Panics when the buffer lengths don't match the matrix shape or the
+/// matrix was staged for a different fusing factor.
+pub fn spmm_buffered<S: StorageScalar, C: ComputeScalar>(
+    a: &PackedMatrix<S>,
+    x: &[S],
+    y: &mut [S],
+) -> KernelMetrics {
+    check_shapes(a, x, y);
+    let fusing = a.fusing();
+    let num_rows = a.num_rows();
+    // Each block produces its rows independently; scatter afterwards
+    // because the slice-major layout interleaves block outputs.
+    let outputs: Vec<(usize, usize, Vec<S>)> = a
+        .blocks()
+        .par_iter()
+        .map(|block| {
+            let out = run_block::<S, C>(block, a.slots_per_stage(), a.num_cols(), x, fusing);
+            (block.row_base, block.rows, out)
+        })
+        .collect();
+    scatter(&outputs, y, num_rows, fusing);
+    a.kernel_metrics()
+}
+
+/// Single-threaded variant of [`spmm_buffered`] — bit-identical results,
+/// used where deterministic single-core timing is wanted.
+pub fn spmm_buffered_serial<S: StorageScalar, C: ComputeScalar>(
+    a: &PackedMatrix<S>,
+    x: &[S],
+    y: &mut [S],
+) -> KernelMetrics {
+    check_shapes(a, x, y);
+    let fusing = a.fusing();
+    let num_rows = a.num_rows();
+    let outputs: Vec<(usize, usize, Vec<S>)> = a
+        .blocks()
+        .iter()
+        .map(|block| {
+            let out = run_block::<S, C>(block, a.slots_per_stage(), a.num_cols(), x, fusing);
+            (block.row_base, block.rows, out)
+        })
+        .collect();
+    scatter(&outputs, y, num_rows, fusing);
+    a.kernel_metrics()
+}
+
+fn check_shapes<S: StorageScalar>(a: &PackedMatrix<S>, x: &[S], y: &[S]) {
+    assert_eq!(
+        x.len(),
+        a.num_cols() * a.fusing(),
+        "input length mismatch: {} vs {}x{}",
+        x.len(),
+        a.num_cols(),
+        a.fusing()
+    );
+    assert_eq!(
+        y.len(),
+        a.num_rows() * a.fusing(),
+        "output length mismatch: {} vs {}x{}",
+        y.len(),
+        a.num_rows(),
+        a.fusing()
+    );
+}
+
+/// Executes one thread block; returns its rows thread-major
+/// (`out[t*fusing + f]`).
+fn run_block<S: StorageScalar, C: ComputeScalar>(
+    block: &PackedBlock<S>,
+    buffsize: usize,
+    _num_cols: usize,
+    x: &[S],
+    fusing: usize,
+) -> Vec<S> {
+    let num_cols = _num_cols;
+    // acc[FFACTOR] per thread (line 10); thread-major layout.
+    let mut acc = vec![C::default(); block.rows * fusing];
+    // `extern __shared__ half shared[]` (line 9): values stay in storage
+    // precision inside the buffer; conversion happens at the FMA.
+    let mut shared = vec![S::zero(); buffsize * fusing];
+
+    for stage in &block.stages {
+        // Cooperative gather through buffmap (lines 15–20).
+        for (slot, &col) in stage.map.iter().enumerate() {
+            for f in 0..fusing {
+                shared[f * buffsize + slot] = x[f * num_cols + col as usize];
+            }
+        }
+        // Warp rounds (lines 22–29).
+        for (w, warp) in stage.warps.iter().enumerate() {
+            for n in 0..warp.rounds {
+                let round = &warp.indval[n * WARP_SIZE..(n + 1) * WARP_SIZE];
+                for (lane, e) in round.iter().enumerate() {
+                    let t = w * WARP_SIZE + lane;
+                    if t >= block.rows {
+                        continue; // thread owns no row (`if(row < numrow)`)
+                    }
+                    let len = C::load(e.len);
+                    let base = t * fusing;
+                    for f in 0..fusing {
+                        let xv = C::load(shared[f * buffsize + e.ind as usize]);
+                        acc[base + f] = acc[base + f].fma(xv, len);
+                    }
+                }
+            }
+        }
+        // __syncthreads() boundaries (lines 21, 30) are implicit: stages
+        // run sequentially per block.
+    }
+
+    // Store accumulators (lines 32–36).
+    let mut out = vec![S::zero(); block.rows * fusing];
+    for t in 0..block.rows {
+        for f in 0..fusing {
+            out[t * fusing + f] = acc[t * fusing + f].store();
+        }
+    }
+    out
+}
+
+fn scatter<S: StorageScalar>(
+    outputs: &[(usize, usize, Vec<S>)],
+    y: &mut [S],
+    num_rows: usize,
+    fusing: usize,
+) {
+    for (row_base, rows, out) in outputs {
+        for t in 0..*rows {
+            for f in 0..fusing {
+                y[f * num_rows + row_base + t] = out[t * fusing + f];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use xct_fp16::F16;
+
+    fn random_csr(rows: usize, cols: usize, per_row: usize, seed: u64) -> Csr<f32> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut triplets = Vec::new();
+        for r in 0..rows {
+            for _ in 0..per_row {
+                let c = next() % cols;
+                let v = (next() % 2000) as f32 / 1000.0 - 1.0;
+                triplets.push((r as u32, c as u32, v));
+            }
+        }
+        Csr::from_triplets(rows, cols, triplets.into_iter())
+    }
+
+    fn random_x(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % 2000) as f32 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn buffered_matches_csr_exactly_in_f32() {
+        for seed in 0..5u64 {
+            let csr = random_csr(150, 90, 6, seed);
+            let fusing = 4;
+            let packed = PackedMatrix::pack(&csr, 64, 2048, fusing);
+            let x = random_x(90 * fusing, seed + 100);
+            let mut y_ref = vec![0.0f32; 150 * fusing];
+            csr.spmm::<f32>(&x, &mut y_ref, fusing);
+            let mut y = vec![0.0f32; 150 * fusing];
+            spmm_buffered::<f32, f32>(&packed, &x, &mut y);
+            for (i, (a, b)) in y.iter().zip(&y_ref).enumerate() {
+                // Same FMAs in a possibly different order within a row:
+                // CSR iterates columns ascending; packed iterates stages
+                // ascending (also column-ascending) — identical order, so
+                // results are bit-equal.
+                assert_eq!(a.to_bits(), b.to_bits(), "element {i} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bitwise() {
+        let csr = random_csr(200, 120, 8, 11);
+        let packed = PackedMatrix::pack(&csr, 32, 1024, 3);
+        let x = random_x(120 * 3, 5);
+        let mut y_par = vec![0.0f32; 200 * 3];
+        let mut y_ser = vec![0.0f32; 200 * 3];
+        spmm_buffered::<f32, f32>(&packed, &x, &mut y_par);
+        spmm_buffered_serial::<f32, f32>(&packed, &x, &mut y_ser);
+        assert_eq!(
+            y_par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y_ser.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mixed_precision_tracks_f32_within_quantization() {
+        let csr32 = random_csr(100, 80, 5, 3);
+        let t: Vec<_> = csr32.triplets().collect();
+        let csr16 = Csr::<F16>::from_triplets(100, 80, t.into_iter());
+        let fusing = 2;
+        let packed = PackedMatrix::pack(&csr16, 32, 4096, fusing);
+        let xf = random_x(80 * fusing, 9);
+        let x16: Vec<F16> = xf.iter().map(|&v| F16::from_f32(v)).collect();
+        let mut y16 = vec![F16::ZERO; 100 * fusing];
+        spmm_buffered::<F16, f32>(&packed, &x16, &mut y16);
+        let mut y_ref = vec![0.0f32; 100 * fusing];
+        csr32.spmm::<f32>(&xf, &mut y_ref, fusing);
+        for (h, r) in y16.iter().zip(&y_ref) {
+            // ~5 nonzeros/row of O(1) values: error budget a few half ulps.
+            assert!(
+                (h.to_f32() - r).abs() <= 0.02 * r.abs().max(1.0),
+                "half {} vs ref {r}",
+                h.to_f32()
+            );
+        }
+    }
+
+    #[test]
+    fn double_precision_path() {
+        let csr32 = random_csr(60, 40, 4, 17);
+        let t: Vec<_> = csr32.triplets().collect();
+        let csr64 = Csr::<f64>::from_triplets(60, 40, t.into_iter());
+        let packed = PackedMatrix::pack(&csr64, 32, 8192, 1);
+        let xf = random_x(40, 21);
+        let x64: Vec<f64> = xf.iter().map(|&v| f64::from(v)).collect();
+        let mut y64 = vec![0.0f64; 60];
+        spmm_buffered::<f64, f64>(&packed, &x64, &mut y64);
+        let mut y_ref = vec![0.0f32; 60];
+        csr32.spmv::<f64>(&xf, &mut y_ref);
+        for (a, b) in y64.iter().zip(&y_ref) {
+            assert!((*a as f32 - b).abs() <= 1e-5 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn pure_half_is_less_accurate_than_mixed() {
+        // Accumulating 64 equal terms of 0.01: half accumulation loses
+        // precision, mixed does not.
+        let triplets: Vec<(u32, u32, f32)> =
+            (0..64).map(|c| (0u32, c as u32, 0.01f32)).collect();
+        let csr = Csr::<F16>::from_triplets(1, 64, triplets.into_iter());
+        let packed = PackedMatrix::pack(&csr, 32, 4096, 1);
+        let x = vec![F16::ONE; 64];
+        let mut y_half = vec![F16::ZERO; 1];
+        spmm_buffered::<F16, F16>(&packed, &x, &mut y_half);
+        let mut y_mixed = vec![F16::ZERO; 1];
+        spmm_buffered::<F16, f32>(&packed, &x, &mut y_mixed);
+        let exact = 0.64f32;
+        let err_half = (y_half[0].to_f32() - exact).abs();
+        let err_mixed = (y_mixed[0].to_f32() - exact).abs();
+        assert!(
+            err_mixed <= err_half,
+            "mixed {err_mixed} should beat half {err_half}"
+        );
+    }
+
+    #[test]
+    fn multi_stage_equals_single_stage() {
+        let csr = random_csr(64, 500, 12, 29);
+        let x = random_x(500, 31);
+        let one_stage = PackedMatrix::pack(&csr, 64, 1 << 20, 1);
+        let many_stage = PackedMatrix::pack(&csr, 64, 256, 1); // 64 slots
+        assert!(many_stage.total_stages() > one_stage.total_stages());
+        let mut y1 = vec![0.0f32; 64];
+        let mut y2 = vec![0.0f32; 64];
+        spmm_buffered::<f32, f32>(&one_stage, &x, &mut y1);
+        spmm_buffered::<f32, f32>(&many_stage, &x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_matrix_writes_zeros() {
+        let csr = Csr::<f32>::from_triplets(40, 10, std::iter::empty());
+        let packed = PackedMatrix::pack(&csr, 32, 1024, 2);
+        let x = vec![1.0f32; 20];
+        let mut y = vec![9.0f32; 80];
+        spmm_buffered::<f32, f32>(&packed, &x, &mut y);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn wrong_x_length_panics() {
+        let csr = random_csr(10, 10, 2, 1);
+        let packed = PackedMatrix::pack(&csr, 32, 1024, 2);
+        let mut y = vec![0.0f32; 20];
+        spmm_buffered::<f32, f32>(&packed, &[0.0; 10], &mut y);
+    }
+}

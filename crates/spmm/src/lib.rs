@@ -1,0 +1,39 @@
+//! The XCT-optimized SpMM kernel of Petascale XCT (paper §III-B) and its
+//! baselines.
+//!
+//! The paper's kernel (Listing 1) achieves 34% of V100 peak by combining:
+//!
+//! 1. **3D input buffering** — each thread block gathers the (irregular)
+//!    input voxels its rows touch into shared memory once per *stage*,
+//!    then reuses them from fast memory (§III-B1, §III-B4),
+//! 2. **Register reuse / fusing** — many per-slice SpMVs are fused into
+//!    one SpMM `A·X = B`; each packed matrix element `(index, length)` is
+//!    loaded once and reused for all `FFACTOR` slices of the minibatch
+//!    (§III-B2, §III-B3),
+//! 3. **Data packing** — `(u16 shared-memory index, f16 length)` in four
+//!    bytes so a 32-thread warp reads a full 128-byte cache line (§III-C2),
+//! 4. **Mixed precision** — storage in half, FMAs in single (§III-C).
+//!
+//! This crate reproduces the kernel *structurally* on CPU threads: thread
+//! blocks → rayon tasks, shared memory → a per-block staging buffer with
+//! the exact `buffmap` gather indirection, warps → 32-lane ELL-packed
+//! rounds, `FFACTOR` → the runtime `fusing` factor. Every data movement
+//! the GPU would perform is metered in [`KernelMetrics`], which is what
+//! the roofline analysis (Fig 9b) and machine model consume.
+//!
+//! [`Csr`] provides the unfused, unstaged baseline standing in for
+//! `cusparseSpMM` (§IV-C2).
+
+#![warn(missing_docs)]
+
+mod compute;
+mod csr;
+mod kernel;
+mod metrics;
+mod packed;
+
+pub use compute::ComputeScalar;
+pub use csr::Csr;
+pub use kernel::{spmm_buffered, spmm_buffered_serial};
+pub use metrics::KernelMetrics;
+pub use packed::{packed_element_bytes, PackedBlock, PackedElem, PackedMatrix, PackedStage, PackedWarp, WARP_SIZE};

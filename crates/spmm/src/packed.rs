@@ -1,0 +1,515 @@
+//! The packed, staged matrix format of Listing 1 (paper §III-B, §III-C2).
+//!
+//! Rows are assigned to *thread blocks*; each block's irregular input
+//! footprint is split into *stages* that fit the 96 KB shared memory of an
+//! SM, and each stage carries a gather map (`buffmap`) from shared-memory
+//! slots to global columns. Within a stage, nonzeros are ELL-packed per
+//! 32-lane *warp* (`indval[n*WARPSIZE + wind]`) so a warp's 32 four-byte
+//! elements fill one 128-byte cache line. The element stores a `u16`
+//! shared-memory index — not a global column — which is what makes the
+//! 4-byte packing possible.
+
+use crate::csr::Csr;
+use crate::metrics::KernelMetrics;
+use std::collections::HashMap;
+use xct_fp16::StorageScalar;
+
+/// Threads per warp, as on NVIDIA hardware.
+pub const WARP_SIZE: usize = 32;
+
+/// One packed matrix element: `struct matrix { unsigned short ind; half
+/// len; }` of Listing 1 line 2, generic over the value's storage scalar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackedElem<S> {
+    /// Index into the stage's shared-memory buffer.
+    pub ind: u16,
+    /// Intersection length.
+    pub len: S,
+}
+
+/// Physical bytes of one packed element after alignment padding: 4 for
+/// half (`u16`+`f16`), 8 for single, 16 for double — the element sizes
+/// behind Table III's per-precision memory footprints.
+pub const fn packed_element_bytes<S: StorageScalar>() -> usize {
+    let raw = 2 + S::BYTES;
+    // Round up to the alignment of S (power of two).
+    raw.div_ceil(S::BYTES) * S::BYTES
+}
+
+/// One warp's ELL-packed nonzeros for one stage: `rounds × WARP_SIZE`
+/// elements, round-major and lane-interleaved exactly like
+/// `indval[n*WARPSIZE + wind]`. Lanes shorter than `rounds` are padded
+/// with `(0, 0)` elements (harmless FMAs, counted as padding overhead).
+#[derive(Debug, Clone)]
+pub struct PackedWarp<S> {
+    /// Padded per-lane nonzero count.
+    pub rounds: usize,
+    /// `rounds * WARP_SIZE` elements.
+    pub indval: Vec<PackedElem<S>>,
+}
+
+/// One shared-memory stage of a block (§III-B4).
+#[derive(Debug, Clone)]
+pub struct PackedStage<S> {
+    /// Gather map: shared slot → global column (`buffmap`).
+    pub map: Vec<u32>,
+    /// Per-warp packed nonzeros whose columns live in this stage.
+    pub warps: Vec<PackedWarp<S>>,
+}
+
+/// One thread block's rows and stages.
+#[derive(Debug, Clone)]
+pub struct PackedBlock<S> {
+    /// First global row owned by this block.
+    pub row_base: usize,
+    /// Rows owned (≤ block size).
+    pub rows: usize,
+    /// The multi-stage buffering schedule.
+    pub stages: Vec<PackedStage<S>>,
+}
+
+/// A complete packed matrix, built for a specific fusing factor (the
+/// shared buffer is shared by all `fusing` slices, so larger minibatches
+/// mean fewer slots per stage and more stages — §III-B4).
+#[derive(Debug, Clone)]
+pub struct PackedMatrix<S> {
+    num_rows: usize,
+    num_cols: usize,
+    block_size: usize,
+    fusing: usize,
+    slots_per_stage: usize,
+    blocks: Vec<PackedBlock<S>>,
+    nnz: usize,
+    padded_nnz: usize,
+}
+
+impl<S: StorageScalar> PackedMatrix<S> {
+    /// Packs a CSR matrix for execution with `fusing` slices per
+    /// minibatch, `block_size` threads (= rows) per block, and
+    /// `shared_bytes` of staging buffer per block.
+    ///
+    /// Column indices should already be in Hilbert rank order (see
+    /// [`Csr::permute`]) so that ascending-index stages are spatially
+    /// local, mirroring the buffer shapes of paper Fig 5(c–d).
+    ///
+    /// # Panics
+    /// Panics when `block_size` is not a multiple of [`WARP_SIZE`], when
+    /// the shared buffer cannot hold even one slot per slice, or when the
+    /// stage capacity would overflow the `u16` shared index.
+    pub fn pack(csr: &Csr<S>, block_size: usize, shared_bytes: usize, fusing: usize) -> Self {
+        assert!(block_size > 0 && block_size.is_multiple_of(WARP_SIZE),
+            "block size {block_size} must be a positive multiple of {WARP_SIZE}");
+        assert!(fusing > 0, "fusing factor must be nonzero");
+        // Shared memory holds `fusing` copies of every staged slot.
+        let slots = shared_bytes / (fusing * S::BYTES);
+        assert!(slots > 0,
+            "shared buffer of {shared_bytes} B cannot stage fusing={fusing} slices of {}", S::NAME);
+        let slots_per_stage = slots.min(u16::MAX as usize + 1);
+
+        let mut blocks = Vec::new();
+        let mut padded_nnz = 0usize;
+        let mut row_base = 0usize;
+        while row_base < csr.num_rows() {
+            let rows = block_size.min(csr.num_rows() - row_base);
+            // Distinct columns touched by this block, ascending.
+            let mut cols: Vec<u32> = (row_base..row_base + rows)
+                .flat_map(|r| csr.row(r).0.iter().copied())
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+
+            // Slot assignment: stage = position / capacity.
+            let col_slot: HashMap<u32, (usize, u16)> = cols
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, (i / slots_per_stage, (i % slots_per_stage) as u16)))
+                .collect();
+            let num_stages = cols.len().div_ceil(slots_per_stage).max(1);
+            let warps_per_block = block_size / WARP_SIZE;
+
+            // Bucket nonzeros: lane lists per (stage, warp).
+            let mut lanes: Vec<Vec<Vec<PackedElem<S>>>> =
+                vec![vec![Vec::new(); WARP_SIZE]; num_stages * warps_per_block];
+            for t in 0..rows {
+                let (rcols, rvals) = csr.row(row_base + t);
+                let warp = t / WARP_SIZE;
+                let lane = t % WARP_SIZE;
+                for (&c, &v) in rcols.iter().zip(rvals) {
+                    let (stage, slot) = col_slot[&c];
+                    lanes[stage * warps_per_block + warp][lane].push(PackedElem { ind: slot, len: v });
+                }
+            }
+
+            let mut stages = Vec::with_capacity(num_stages);
+            for (stage_idx, chunk) in cols.chunks(slots_per_stage).enumerate() {
+                let mut warps = Vec::with_capacity(warps_per_block);
+                for warp in 0..warps_per_block {
+                    let lane_lists = &lanes[stage_idx * warps_per_block + warp];
+                    let rounds = lane_lists.iter().map(Vec::len).max().unwrap_or(0);
+                    let mut indval =
+                        vec![PackedElem { ind: 0, len: S::zero() }; rounds * WARP_SIZE];
+                    for (lane, list) in lane_lists.iter().enumerate() {
+                        for (n, &e) in list.iter().enumerate() {
+                            indval[n * WARP_SIZE + lane] = e;
+                        }
+                    }
+                    padded_nnz += rounds * WARP_SIZE;
+                    warps.push(PackedWarp { rounds, indval });
+                }
+                stages.push(PackedStage {
+                    map: chunk.to_vec(),
+                    warps,
+                });
+            }
+            if cols.is_empty() {
+                // A block of empty rows still needs one (empty) stage so
+                // the executor writes its zeros.
+                stages.push(PackedStage {
+                    map: Vec::new(),
+                    warps: vec![
+                        PackedWarp { rounds: 0, indval: Vec::new() };
+                        warps_per_block
+                    ],
+                });
+            }
+            blocks.push(PackedBlock {
+                row_base,
+                rows,
+                stages,
+            });
+            row_base += rows;
+        }
+
+        PackedMatrix {
+            num_rows: csr.num_rows(),
+            num_cols: csr.num_cols(),
+            block_size,
+            fusing,
+            slots_per_stage,
+            blocks,
+            nnz: csr.nnz(),
+            padded_nnz,
+        }
+    }
+
+    /// Rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// The fusing factor this matrix was staged for.
+    pub fn fusing(&self) -> usize {
+        self.fusing
+    }
+
+    /// Threads (rows) per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Shared-memory slots per stage (per slice).
+    pub fn slots_per_stage(&self) -> usize {
+        self.slots_per_stage
+    }
+
+    /// The thread blocks.
+    pub fn blocks(&self) -> &[PackedBlock<S>] {
+        &self.blocks
+    }
+
+    /// Real (unpadded) nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Stored elements including ELL padding; `padded_nnz - nnz` FMAs are
+    /// wasted work, visible as lost efficiency at tiny stage sizes.
+    pub fn padded_nnz(&self) -> usize {
+        self.padded_nnz
+    }
+
+    /// Useful-work fraction: real nonzeros per stored (padded) element.
+    /// One component of the kernel-efficiency constant the machine model
+    /// calibrates (≈0.4 overall on V100).
+    pub fn padding_efficiency(&self) -> f64 {
+        if self.padded_nnz == 0 {
+            1.0
+        } else {
+            self.nnz as f64 / self.padded_nnz as f64
+        }
+    }
+
+    /// Total number of stages across all blocks (Fig 5 reports 3–4 per
+    /// block for a 256×256×50 minibatch); more stages mean more
+    /// synchronization overhead (§III-B4).
+    pub fn total_stages(&self) -> usize {
+        self.blocks.iter().map(|b| b.stages.len()).sum()
+    }
+
+    /// Average stages per block.
+    pub fn stages_per_block(&self) -> f64 {
+        if self.blocks.is_empty() {
+            0.0
+        } else {
+            self.total_stages() as f64 / self.blocks.len() as f64
+        }
+    }
+
+    /// Average data reuse: nonzeros served per staged input element
+    /// (Fig 5 reports 46.63 for tomogram and 64.73 for sinogram
+    /// partitions). Values above 1 are what make shared-memory staging
+    /// profitable.
+    pub fn average_reuse(&self) -> f64 {
+        let staged: usize = self
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stages)
+            .map(|s| s.map.len())
+            .sum();
+        if staged == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / staged as f64
+        }
+    }
+
+    /// The memory-traffic/flop account of one fused SpMM with this
+    /// matrix, assuming perfect shared-memory reuse (gathers hit DRAM
+    /// once per staged slot, matrix elements stream once, output written
+    /// once). This is the model behind the Fig 9b roofline points.
+    pub fn kernel_metrics(&self) -> KernelMetrics {
+        let elem = packed_element_bytes::<S>() as u64;
+        let mut bytes_read = 0u64;
+        for block in &self.blocks {
+            for stage in &block.stages {
+                // buffmap (u32 each) + gathered x for all fused slices.
+                bytes_read +=
+                    stage.map.len() as u64 * (4 + (self.fusing * S::BYTES) as u64);
+                for warp in &stage.warps {
+                    bytes_read += (warp.rounds * WARP_SIZE) as u64 * elem;
+                }
+            }
+        }
+        KernelMetrics {
+            flops: 2 * self.nnz as u64 * self.fusing as u64,
+            bytes_read,
+            bytes_written: (self.num_rows * self.fusing * S::BYTES) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_fp16::F16;
+
+    fn random_csr(rows: usize, cols: usize, per_row: usize, seed: u64) -> Csr<f32> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut triplets = Vec::new();
+        for r in 0..rows {
+            for _ in 0..per_row {
+                let c = next() % cols;
+                let v = (next() % 1000) as f32 / 1000.0 + 0.001;
+                triplets.push((r as u32, c as u32, v));
+            }
+        }
+        Csr::from_triplets(rows, cols, triplets.into_iter())
+    }
+
+    #[test]
+    fn element_bytes_match_paper_packing() {
+        assert_eq!(packed_element_bytes::<F16>(), 4);
+        assert_eq!(packed_element_bytes::<f32>(), 8);
+        assert_eq!(packed_element_bytes::<f64>(), 16);
+    }
+
+    #[test]
+    fn pack_preserves_every_nonzero() {
+        let csr = random_csr(100, 300, 7, 42);
+        let packed = PackedMatrix::pack(&csr, 64, 4096, 2);
+        assert_eq!(packed.nnz(), csr.nnz());
+        // Recover triplets from the packed layout and compare.
+        let mut got: Vec<(u32, u32, u32)> = Vec::new();
+        for block in packed.blocks() {
+            for stage in &block.stages {
+                for (w, warp) in stage.warps.iter().enumerate() {
+                    for n in 0..warp.rounds {
+                        for lane in 0..WARP_SIZE {
+                            let e = warp.indval[n * WARP_SIZE + lane];
+                            let t = w * WARP_SIZE + lane;
+                            if t >= block.rows {
+                                continue;
+                            }
+                            if e.len != 0.0 {
+                                let col = stage.map[e.ind as usize];
+                                got.push((
+                                    (block.row_base + t) as u32,
+                                    col,
+                                    e.len.to_bits(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut expected: Vec<(u32, u32, u32)> = csr
+            .triplets()
+            .map(|(r, c, v)| (r, c, v.to_bits()))
+            .collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn stage_capacity_respected() {
+        let csr = random_csr(64, 1000, 20, 7);
+        let packed = PackedMatrix::pack(&csr, 64, 512, 1); // 128 f32 slots
+        assert_eq!(packed.slots_per_stage(), 128);
+        for block in packed.blocks() {
+            for stage in &block.stages {
+                assert!(stage.map.len() <= 128);
+            }
+        }
+        assert!(packed.total_stages() > 1);
+    }
+
+    #[test]
+    fn larger_fusing_means_more_stages() {
+        // Fixed shared bytes: doubling the minibatch halves the slots.
+        let csr = random_csr(64, 2000, 30, 9);
+        let p1 = PackedMatrix::pack(&csr, 64, 2048, 1);
+        let p4 = PackedMatrix::pack(&csr, 64, 2048, 4);
+        assert!(p4.slots_per_stage() < p1.slots_per_stage());
+        assert!(p4.total_stages() > p1.total_stages());
+    }
+
+    #[test]
+    fn fusing_raises_arithmetic_intensity() {
+        // The whole point of register reuse (§III-B2): flops grow with
+        // the minibatch while matrix bytes are amortized.
+        let csr = random_csr(128, 400, 10, 3);
+        let big_shared = 1 << 20;
+        let i1 = PackedMatrix::pack(&csr, 64, big_shared, 1)
+            .kernel_metrics()
+            .arithmetic_intensity();
+        let i16 = PackedMatrix::pack(&csr, 64, big_shared, 16)
+            .kernel_metrics()
+            .arithmetic_intensity();
+        assert!(i16 > 3.0 * i1, "AI should grow with fusing: {i1} -> {i16}");
+    }
+
+    #[test]
+    fn half_packing_beats_single_intensity() {
+        let csr32 = random_csr(128, 400, 10, 3);
+        let csr16 = {
+            let t: Vec<_> = csr32.triplets().collect();
+            Csr::<F16>::from_triplets(128, 400, t.into_iter())
+        };
+        let i32 = PackedMatrix::pack(&csr32, 64, 1 << 20, 8)
+            .kernel_metrics()
+            .arithmetic_intensity();
+        let i16 = PackedMatrix::pack(&csr16, 64, 1 << 20, 8)
+            .kernel_metrics()
+            .arithmetic_intensity();
+        assert!(i16 > 1.5 * i32, "half packing should shrink bytes: {i32} vs {i16}");
+    }
+
+    #[test]
+    fn kernel_metrics_reconcile_with_structure_walk() {
+        // The metrics the roofline model consumes must equal an
+        // independent walk over the packed structure.
+        let csr = random_csr(90, 250, 9, 77);
+        let fusing = 5;
+        let packed = PackedMatrix::pack(&csr, 64, 2048, fusing);
+        let m = packed.kernel_metrics();
+        let elem = packed_element_bytes::<f32>() as u64;
+        let mut bytes_read = 0u64;
+        for block in packed.blocks() {
+            for stage in &block.stages {
+                bytes_read += stage.map.len() as u64 * (4 + (fusing * 4) as u64);
+                for warp in &stage.warps {
+                    bytes_read += warp.indval.len() as u64 * elem;
+                }
+            }
+        }
+        assert_eq!(m.bytes_read, bytes_read);
+        assert_eq!(m.flops, 2 * csr.nnz() as u64 * fusing as u64);
+        assert_eq!(m.bytes_written, (90 * fusing * 4) as u64);
+    }
+
+    #[test]
+    fn padding_efficiency_reflects_row_balance() {
+        // Uniform rows pack perfectly; one long row among empties wastes
+        // 31/32 of its warp.
+        let uniform: Csr<f32> = {
+            let t = (0..64u32).flat_map(|r| (0..4u32).map(move |c| (r, c, 1.0f32)));
+            Csr::from_triplets(64, 4, t)
+        };
+        let p = PackedMatrix::pack(&uniform, 64, 4096, 1);
+        assert!((p.padding_efficiency() - 1.0).abs() < 1e-12);
+
+        let skewed: Csr<f32> = {
+            let t = (0..16u32).map(|c| (0u32, c, 1.0f32));
+            Csr::from_triplets(32, 16, t)
+        };
+        let p = PackedMatrix::pack(&skewed, 32, 4096, 1);
+        assert!((p.padding_efficiency() - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rows_still_produce_blocks() {
+        let csr = Csr::<f32>::from_triplets(100, 10, std::iter::empty());
+        let packed = PackedMatrix::pack(&csr, 32, 1024, 1);
+        assert_eq!(packed.blocks().len(), 4);
+        for b in packed.blocks() {
+            assert!(!b.stages.is_empty());
+        }
+    }
+
+    #[test]
+    fn reuse_counts_nonzeros_per_staged_slot() {
+        // 2 rows sharing the same 3 columns: 6 nonzeros, 3 staged slots.
+        let csr = Csr::<f32>::from_triplets(
+            2,
+            3,
+            vec![
+                (0u32, 0u32, 1.0f32),
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 1.0),
+                (1, 2, 1.0),
+            ]
+            .into_iter(),
+        );
+        let packed = PackedMatrix::pack(&csr, 32, 4096, 1);
+        assert!((packed.average_reuse() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn non_warp_multiple_block_rejected() {
+        let csr = random_csr(10, 10, 2, 1);
+        PackedMatrix::pack(&csr, 48, 1024, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot stage")]
+    fn zero_slot_shared_rejected() {
+        let csr = random_csr(10, 10, 2, 1);
+        PackedMatrix::pack(&csr, 32, 4, 64);
+    }
+}

@@ -1,0 +1,521 @@
+//! The `petaxct` command-line tool: simulate measurements, reconstruct
+//! volumes, inspect files, render slices — the end-user surface over the
+//! library.
+//!
+//! Logic lives here (unit-testable); `main.rs` is a thin shim.
+
+use std::path::Path;
+
+use xct_analytic::{filtered_backprojection, FilterKind};
+use xct_cluster::MachineSpec;
+use xct_core::model::{HierarchyRatios, ModelExperiment, OptLevel};
+use xct_core::{reconstruct_volume, Algorithm, Partitioning, ReconOptions, Reconstructor};
+use xct_fp16::Precision;
+use xct_geometry::{ImageGrid, ScanGeometry};
+use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
+use xct_phantom::{add_poisson_noise, DatasetSpec, Image2D};
+
+/// CLI failure: message for the user, nonzero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<xct_io::IoError> for CliError {
+    fn from(e: xct_io::IoError) -> Self {
+        CliError(format!("{e}"))
+    }
+}
+
+impl From<xct_core::PipelineError> for CliError {
+    fn from(e: xct_core::PipelineError) -> Self {
+        CliError(format!("{e}"))
+    }
+}
+
+/// Parsed `key=value`-style flags (`--key value`).
+pub struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs; rejects stray positionals.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --flag, got {arg:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+            pairs.push((key.to_owned(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError(format!("missing required --{key}")))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value for --{key}: {v:?}"))),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+petaxct — iterative X-ray CT reconstruction (PetaXCT reproduction)
+
+USAGE:
+  petaxct simulate    --phantom shepp|shale|chip|charcoal|brain --out FILE
+                      [--n 64] [--angles 64] [--slices 8] [--flux 0]
+                      [--precision half|single|double] [--seed 1]
+  petaxct reconstruct --in FILE --out FILE
+                      [--precision double|single|half|mixed] [--iterations 24]
+                      [--batch 8] [--damping 0] [--solver cgls|sirt|tv]
+  petaxct fbp         --in FILE --out FILE [--filter ramlak|shepplogan|hann]
+  petaxct info        --in FILE
+  petaxct render      --in FILE --slice 0 --out FILE.pgm
+  petaxct model       --dataset shale|chip|charcoal|brain [--nodes 128]
+                      [--precision mixed] [--iterations 30]
+";
+
+/// Dispatches a full command line (without argv[0]).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError(USAGE.to_owned()))?;
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "simulate" => simulate(&flags),
+        "reconstruct" => reconstruct(&flags),
+        "fbp" => fbp(&flags),
+        "info" => info(&flags),
+        "render" => render(&flags),
+        "model" => model(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn scan_for(n: usize, angles: usize) -> ScanGeometry {
+    ScanGeometry::uniform(ImageGrid::square(n, 1.0), angles)
+}
+
+fn phantom_slice(kind: &str, n: usize, seed: u64) -> Result<Image2D, CliError> {
+    Ok(match kind {
+        "shepp" => xct_phantom::shepp_logan(n),
+        "shale" => xct_phantom::shale_like(n, seed),
+        "chip" => xct_phantom::chip_like(n, seed),
+        "charcoal" => xct_phantom::charcoal_like(n, seed),
+        "brain" => xct_phantom::brain_like(n, seed),
+        other => return Err(CliError(format!("unknown phantom {other:?}"))),
+    })
+}
+
+fn simulate(flags: &Flags) -> Result<String, CliError> {
+    let kind = flags.required("phantom")?.to_owned();
+    let out = flags.required("out")?.to_owned();
+    let n: usize = flags.parse_or("n", 64)?;
+    let angles: usize = flags.parse_or("angles", 64)?;
+    let slices: usize = flags.parse_or("slices", 8)?;
+    let flux: f64 = flags.parse_or("flux", 0.0)?;
+    let seed: u64 = flags.parse_or("seed", 1)?;
+    let precision: Precision = flags
+        .get("precision")
+        .unwrap_or("single")
+        .parse()
+        .map_err(|e| CliError(format!("{e}")))?;
+
+    let recon = Reconstructor::new(scan_for(n, angles));
+    let meta = SliceFile {
+        kind: FileKind::Sinogram,
+        precision,
+        slices,
+        slice_len: recon.num_rays(),
+    };
+    let mut writer = SliceWriter::create(&out, meta)?;
+    for s in 0..slices {
+        let img = phantom_slice(&kind, n, seed + s as u64)?;
+        let mut sino = recon.project(&img.data);
+        if flux > 0.0 {
+            add_poisson_noise(&mut sino, flux, seed + 1000 + s as u64);
+        }
+        writer.write_slice(&sino)?;
+    }
+    writer.finish()?;
+    Ok(format!(
+        "wrote {slices} x {angles}x{n} {kind} sinograms to {out} ({} payload)",
+        meta.payload_bytes()
+    ))
+}
+
+fn open_sinogram(path: &str) -> Result<(SliceReader, usize, usize), CliError> {
+    let reader = SliceReader::open(path)?;
+    let meta = reader.meta();
+    if meta.kind != FileKind::Sinogram {
+        return Err(CliError(format!("{path} is not a sinogram file")));
+    }
+    // Infer (angles, channels): our simulate writes square matched
+    // detectors, so slice_len = angles × channels with channels = n.
+    // The geometry is recoverable when slice_len is a perfect square per
+    // the matched convention; otherwise require explicit flags upstream.
+    let len = meta.slice_len;
+    let side = (len as f64).sqrt().round() as usize;
+    if side * side != len {
+        return Err(CliError(format!(
+            "cannot infer geometry from slice length {len}; expected angles == channels"
+        )));
+    }
+    Ok((reader, side, side))
+}
+
+fn reconstruct(flags: &Flags) -> Result<String, CliError> {
+    let input = flags.required("in")?.to_owned();
+    let out = flags.required("out")?.to_owned();
+    let precision: Precision = flags
+        .get("precision")
+        .unwrap_or("mixed")
+        .parse()
+        .map_err(|e| CliError(format!("{e}")))?;
+    let iterations: usize = flags.parse_or("iterations", 24)?;
+    let batch: usize = flags.parse_or("batch", 8)?;
+    let damping: f64 = flags.parse_or("damping", 0.0)?;
+
+    let solver = flags.get("solver").unwrap_or("cgls").to_owned();
+    let (mut reader, angles, n) = open_sinogram(&input)?;
+    let slices = reader.meta().slices;
+    let recon = Reconstructor::new(scan_for(n, angles));
+    let mut writer = SliceWriter::create(
+        &out,
+        SliceFile {
+            kind: FileKind::Volume,
+            precision: reader.meta().precision,
+            slices,
+            slice_len: recon.num_voxels(),
+        },
+    )?;
+    let opts = ReconOptions {
+        precision,
+        iterations,
+        damping,
+        ..Default::default()
+    };
+    match solver.as_str() {
+        "cgls" => {
+            let stats = reconstruct_volume(&recon, &mut reader, &mut writer, &opts, batch)?;
+            reader.verify_checksum()?;
+            writer.finish()?;
+            Ok(format!(
+                "reconstructed {} slices in {} batches ({} precision, {} iters/batch); worst residual {:.5}; volume in {out}",
+                stats.slices, stats.batches, precision, iterations, stats.worst_residual
+            ))
+        }
+        "sirt" | "tv" => {
+            let algorithm = if solver == "sirt" {
+                Algorithm::Sirt {
+                    relaxation: 1.0,
+                    nonneg: true,
+                }
+            } else {
+                Algorithm::Tv {
+                    lambda: 0.1,
+                    epsilon: 0.005,
+                }
+            };
+            // TV couples voxels within a slice grid: process per slice.
+            let per_call = if solver == "tv" { 1 } else { batch };
+            let mut done = 0;
+            while let Some(data) = reader.read_batch(per_call)? {
+                let fusing = data.len() / recon.num_rays();
+                let result = recon.reconstruct_with(
+                    &data,
+                    &ReconOptions { fusing, ..opts },
+                    algorithm,
+                );
+                for f in 0..fusing {
+                    writer.write_slice(
+                        &result.x[f * recon.num_voxels()..(f + 1) * recon.num_voxels()],
+                    )?;
+                }
+                done += fusing;
+            }
+            reader.verify_checksum()?;
+            writer.finish()?;
+            Ok(format!(
+                "reconstructed {done} slices with {solver} ({precision} precision); volume in {out}"
+            ))
+        }
+        other => Err(CliError(format!(
+            "unknown solver {other:?}; expected cgls|sirt|tv"
+        ))),
+    }
+}
+
+fn model(flags: &Flags) -> Result<String, CliError> {
+    let dataset = flags.required("dataset")?;
+    let nodes: usize = flags.parse_or("nodes", 128)?;
+    let iterations: usize = flags.parse_or("iterations", 30)?;
+    let precision: Precision = flags
+        .get("precision")
+        .unwrap_or("mixed")
+        .parse()
+        .map_err(|e| CliError(format!("{e}")))?;
+    let spec = match dataset {
+        "shale" => DatasetSpec::shale(),
+        "chip" => DatasetSpec::chip(),
+        "charcoal" => DatasetSpec::charcoal(),
+        "brain" => DatasetSpec::brain(),
+        other => return Err(CliError(format!("unknown dataset {other:?}"))),
+    };
+    let machine = MachineSpec::summit(nodes);
+    let partitioning =
+        Partitioning::optimal_for(spec.projections, spec.rows, spec.channels, &machine, precision);
+    let est = ModelExperiment {
+        projections: spec.projections,
+        rows: spec.rows,
+        channels: spec.channels,
+        machine,
+        partitioning,
+        precision,
+        opt: OptLevel::full(),
+        fusing: 16,
+        iterations,
+        ratios: HierarchyRatios::paper(),
+        imbalance: 0.07,
+    }
+    .run();
+    Ok(format!(
+        "{} on {} Summit nodes ({} GPUs), {} precision, {} CG iterations:\n\
+         partitioning {}x({}x6) (batch x data nodes)\n\
+         kernel {:.1} s | comm {:.1} s | I/O {:.1} s | total {:.1} s\n\
+         kernel sustains {:.2} PFLOPS across the machine",
+        spec.name,
+        nodes,
+        machine.total_gpus(),
+        precision,
+        iterations,
+        partitioning.batch,
+        partitioning.data / 6,
+        est.breakdown.kernel,
+        est.breakdown.comm_total(),
+        est.io_seconds,
+        est.total_seconds,
+        est.sustained_flops / 1e15,
+    ))
+}
+
+fn fbp(flags: &Flags) -> Result<String, CliError> {
+    let input = flags.required("in")?.to_owned();
+    let out = flags.required("out")?.to_owned();
+    let filter = match flags.get("filter").unwrap_or("ramlak") {
+        "ramlak" => FilterKind::RamLak,
+        "shepplogan" => FilterKind::SheppLogan,
+        "hann" => FilterKind::Hann,
+        other => return Err(CliError(format!("unknown filter {other:?}"))),
+    };
+    let (mut reader, angles, n) = open_sinogram(&input)?;
+    let slices = reader.meta().slices;
+    let scan = scan_for(n, angles);
+    let mut writer = SliceWriter::create(
+        &out,
+        SliceFile {
+            kind: FileKind::Volume,
+            precision: reader.meta().precision,
+            slices,
+            slice_len: n * n,
+        },
+    )?;
+    let mut done = 0;
+    while let Some(batch) = reader.read_batch(1)? {
+        let image = filtered_backprojection(&scan, &batch, filter);
+        writer.write_slice(&image)?;
+        done += 1;
+    }
+    reader.verify_checksum()?;
+    writer.finish()?;
+    Ok(format!("FBP-reconstructed {done} slices to {out}"))
+}
+
+fn info(flags: &Flags) -> Result<String, CliError> {
+    let input = flags.required("in")?.to_owned();
+    let reader = SliceReader::open(&input)?;
+    let meta = reader.meta();
+    Ok(format!(
+        "{input}: {:?} file, {} slices x {} scalars, {} storage, {} payload",
+        meta.kind,
+        meta.slices,
+        meta.slice_len,
+        meta.precision,
+        meta.payload_bytes()
+    ))
+}
+
+fn render(flags: &Flags) -> Result<String, CliError> {
+    let input = flags.required("in")?.to_owned();
+    let out = flags.required("out")?.to_owned();
+    let slice: usize = flags.parse_or("slice", 0)?;
+    let mut reader = SliceReader::open(&input)?;
+    let meta = reader.meta();
+    if slice >= meta.slices {
+        return Err(CliError(format!(
+            "slice {slice} out of range (file has {})",
+            meta.slices
+        )));
+    }
+    let side = (meta.slice_len as f64).sqrt().round() as usize;
+    if side * side != meta.slice_len {
+        return Err(CliError("can only render square slices".into()));
+    }
+    let mut data = None;
+    let mut at = 0;
+    while let Some(batch) = reader.read_batch(1)? {
+        if at == slice {
+            data = Some(batch);
+            break;
+        }
+        at += 1;
+    }
+    let data = data.expect("bounds checked above");
+    let img = Image2D::from_data(side, side, data);
+    img.write_pgm(Path::new(&out))
+        .map_err(|e| CliError(format!("writing {out}: {e}")))?;
+    Ok(format!("rendered slice {slice} ({side}x{side}) to {out}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("xct_cli_tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn run_cmd(parts: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let sino = tmp("cli_sino.xctd");
+        let vol = tmp("cli_vol.xctd");
+        let pgm = tmp("cli_slice.pgm");
+
+        let out = run_cmd(&[
+            "simulate", "--phantom", "shepp", "--out", &sino, "--n", "32", "--angles", "32",
+            "--slices", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("3 x 32x32 shepp"));
+
+        let out = run_cmd(&["info", "--in", &sino]).unwrap();
+        assert!(out.contains("Sinogram"), "{out}");
+        assert!(out.contains("3 slices"), "{out}");
+
+        let out = run_cmd(&[
+            "reconstruct", "--in", &sino, "--out", &vol, "--precision", "mixed",
+            "--iterations", "20", "--batch", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("reconstructed 3 slices in 2 batches"), "{out}");
+
+        let out = run_cmd(&["render", "--in", &vol, "--slice", "1", "--out", &pgm]).unwrap();
+        assert!(out.contains("rendered slice 1 (32x32)"), "{out}");
+        assert!(std::fs::read(&pgm).unwrap().starts_with(b"P5\n"));
+    }
+
+    #[test]
+    fn fbp_command_works() {
+        let sino = tmp("cli_fbp_sino.xctd");
+        let vol = tmp("cli_fbp_vol.xctd");
+        run_cmd(&[
+            "simulate", "--phantom", "charcoal", "--out", &sino, "--n", "32", "--angles", "32",
+            "--slices", "2",
+        ])
+        .unwrap();
+        let out = run_cmd(&["fbp", "--in", &sino, "--out", &vol, "--filter", "hann"]).unwrap();
+        assert!(out.contains("FBP-reconstructed 2 slices"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(run_cmd(&["bogus"]).is_err());
+        assert!(run_cmd(&["simulate", "--phantom", "shepp"]).unwrap_err().0.contains("--out"));
+        assert!(run_cmd(&["simulate", "--phantom", "wat", "--out", "/tmp/x"]).is_err());
+        assert!(run_cmd(&["reconstruct", "--in", "/nonexistent", "--out", "/tmp/y"]).is_err());
+        assert!(run_cmd(&["info"]).unwrap_err().0.contains("--in"));
+        let usage = run_cmd(&["help"]).unwrap();
+        assert!(usage.contains("USAGE"));
+    }
+
+    #[test]
+    fn sirt_and_tv_solvers_via_cli() {
+        let sino = tmp("cli_solver_sino.xctd");
+        run_cmd(&[
+            "simulate", "--phantom", "shepp", "--out", &sino, "--n", "24", "--angles", "24",
+            "--slices", "2",
+        ])
+        .unwrap();
+        for solver in ["sirt", "tv"] {
+            let vol = tmp(&format!("cli_solver_{solver}.xctd"));
+            let out = run_cmd(&[
+                "reconstruct", "--in", &sino, "--out", &vol, "--solver", solver,
+                "--iterations", "30",
+            ])
+            .unwrap();
+            assert!(out.contains(&format!("with {solver}")), "{out}");
+        }
+        assert!(run_cmd(&["reconstruct", "--in", &sino, "--out", "/tmp/x", "--solver", "magic"])
+            .is_err());
+    }
+
+    #[test]
+    fn model_subcommand_reports_summit_estimate() {
+        let out = run_cmd(&["model", "--dataset", "charcoal", "--nodes", "128"]).unwrap();
+        assert!(out.contains("Activated Charcoal on 128 Summit nodes"), "{out}");
+        assert!(out.contains("4x(32x6)"), "partitioning must match Table III: {out}");
+        assert!(out.contains("PFLOPS"), "{out}");
+    }
+
+    #[test]
+    fn noisy_simulation_differs_from_clean() {
+        let clean = tmp("cli_clean.xctd");
+        let noisy = tmp("cli_noisy.xctd");
+        for (path, flux) in [(&clean, "0"), (&noisy, "1000")] {
+            run_cmd(&[
+                "simulate", "--phantom", "shepp", "--out", path, "--n", "24", "--angles", "24",
+                "--slices", "1", "--flux", flux,
+            ])
+            .unwrap();
+        }
+        let read = |p: &str| {
+            let mut r = SliceReader::open(p).unwrap();
+            r.read_batch(1).unwrap().unwrap()
+        };
+        assert_ne!(read(&clean), read(&noisy));
+    }
+}

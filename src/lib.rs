@@ -1,0 +1,22 @@
+//! PetaXCT facade: re-exports the whole workspace public API.
+//!
+//! See the individual crates for detail:
+//! [`xct_core`] (reconstructor), [`xct_spmm`] (optimized kernels),
+//! [`xct_comm`] (hierarchical communications), [`xct_fp16`] (mixed
+//! precision), [`xct_geometry`] (Siddon projector), [`xct_hilbert`]
+//! (domain decomposition), [`xct_solver`] (CGLS), [`xct_cluster`]
+//! (machine model), [`xct_phantom`] (synthetic datasets).
+
+pub mod cli;
+
+pub use xct_analytic as analytic;
+pub use xct_cluster as cluster;
+pub use xct_comm as comm;
+pub use xct_core as core;
+pub use xct_fp16 as fp16;
+pub use xct_geometry as geometry;
+pub use xct_hilbert as hilbert;
+pub use xct_io as io;
+pub use xct_phantom as phantom;
+pub use xct_solver as solver;
+pub use xct_spmm as spmm;

@@ -1,0 +1,12 @@
+//! The `petaxct` binary: thin shim over [`petaxct::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match petaxct::cli::run(&args) {
+        Ok(message) => println!("{message}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! End-to-end test of the compiled `petaxct` binary (spawned as a real
+//! process, exercising main.rs, exit codes, and stdout/stderr routing).
+
+use std::process::Command;
+
+fn petaxct(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_petaxct"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn binary_happy_path() {
+    let dir = std::env::temp_dir().join("xct_cli_binary_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sino = dir.join("bin_sino.xctd");
+    let vol = dir.join("bin_vol.xctd");
+
+    let (ok, stdout, stderr) = petaxct(&[
+        "simulate",
+        "--phantom",
+        "shale",
+        "--out",
+        sino.to_str().unwrap(),
+        "--n",
+        "24",
+        "--angles",
+        "24",
+        "--slices",
+        "2",
+    ]);
+    assert!(ok, "simulate failed: {stderr}");
+    assert!(stdout.contains("shale sinograms"));
+
+    let (ok, stdout, stderr) = petaxct(&[
+        "reconstruct",
+        "--in",
+        sino.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+        "--iterations",
+        "15",
+    ]);
+    assert!(ok, "reconstruct failed: {stderr}");
+    assert!(stdout.contains("reconstructed 2 slices"));
+}
+
+#[test]
+fn binary_reports_errors_on_stderr_with_nonzero_exit() {
+    let (ok, stdout, stderr) = petaxct(&["reconstruct", "--in", "/nonexistent.xctd", "--out", "/tmp/z"]);
+    assert!(!ok, "must exit nonzero");
+    assert!(stdout.is_empty());
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+
+    let (ok, _, stderr) = petaxct(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn binary_help_prints_usage() {
+    let (ok, stdout, _) = petaxct(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("simulate"));
+    assert!(stdout.contains("model"));
+}
