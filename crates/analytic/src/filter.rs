@@ -115,7 +115,9 @@ mod tests {
 
     #[test]
     fn spacing_scales_response() {
-        let row: Vec<f32> = (0..64).map(|i| ((i as f32 - 32.0) / 8.0).exp2().min(1.0)).collect();
+        let row: Vec<f32> = (0..64)
+            .map(|i| ((i as f32 - 32.0) / 8.0).exp2().min(1.0))
+            .collect();
         let f1 = apply_filter(&row, 1.0, FilterKind::RamLak);
         let f2 = apply_filter(&row, 2.0, FilterKind::RamLak);
         for (a, b) in f1.iter().zip(&f2) {

@@ -25,9 +25,7 @@ fn bench_minibatch_sweep(c: &mut Criterion) {
             (half.nnz() * fusing) as u64,
         ));
         group.bench_with_input(BenchmarkId::from_parameter(fusing), &fusing, |b, _| {
-            b.iter(|| {
-                spmm_buffered_serial::<F16, f32>(black_box(&packed), black_box(&x), &mut y)
-            })
+            b.iter(|| spmm_buffered_serial::<F16, f32>(black_box(&packed), black_box(&x), &mut y))
         });
     }
     group.finish();

@@ -50,9 +50,18 @@ fn main() {
     };
 
     println!("relative residual after 24 iterations:");
-    println!("  double (reference)          : {:.5}", reference.residual_history.last().unwrap());
-    println!("  mixed + adaptive norm       : {:.5}", with_norm.residual_history.last().unwrap());
-    println!("  mixed, normalization OFF    : {:.5}", without_norm.residual_history.last().unwrap());
+    println!(
+        "  double (reference)          : {:.5}",
+        reference.residual_history.last().unwrap()
+    );
+    println!(
+        "  mixed + adaptive norm       : {:.5}",
+        with_norm.residual_history.last().unwrap()
+    );
+    println!(
+        "  mixed, normalization OFF    : {:.5}",
+        without_norm.residual_history.last().unwrap()
+    );
     println!();
     print!("mixed+norm history:   ");
     for (i, r) in with_norm.residual_history.iter().enumerate() {

@@ -55,10 +55,7 @@ fn main() {
     let below = err_at(16);
     let at = err_at(75);
     let above = err_at(160);
-    assert!(
-        below > 2.0 * at,
-        "undersampling must hurt: {below} vs {at}"
-    );
+    assert!(below > 2.0 * at, "undersampling must hurt: {below} vs {at}");
     assert!(
         at < 2.0 * above + 0.05,
         "quality must saturate near the criterion: {at} vs {above}"

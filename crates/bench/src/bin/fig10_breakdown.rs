@@ -12,7 +12,13 @@ use xct_fp16::Precision;
 fn main() {
     println!("FIG 10: End-to-end reconstruction time breakdown (synchronized, model mode)");
     for (name, k, m, n, nodes) in [
-        ("Shale on 4 nodes (24 GPUs)", 1501usize, 1792usize, 2048usize, 4usize),
+        (
+            "Shale on 4 nodes (24 GPUs)",
+            1501usize,
+            1792usize,
+            2048usize,
+            4usize,
+        ),
         ("Charcoal on 128 nodes (768 GPUs)", 4500, 4198, 6613, 128),
     ] {
         println!();
@@ -97,7 +103,10 @@ fn main() {
         comm_hierarchical: true,
         comm_overlap: false,
     });
-    assert!(kern.breakdown.kernel < part.breakdown.kernel / 2.0, "kernel opt >2x");
+    assert!(
+        kern.breakdown.kernel < part.breakdown.kernel / 2.0,
+        "kernel opt >2x"
+    );
     assert!(
         kern.breakdown.comm_total() > kern.breakdown.kernel,
         "comm dominates after kernel opt"

@@ -145,7 +145,11 @@ fn main() {
         let shale = DatasetSpec::shale();
         let mut kernel_times = Vec::new();
         for step in 0..3u32 {
-            let spec = if step == 0 { shale.clone() } else { shale.doubled(step) };
+            let spec = if step == 0 {
+                shale.clone()
+            } else {
+                shale.doubled(step)
+            };
             let nodes = 16usize.pow(step);
             // Paper: data structures partitioned among 8 nodes, slices
             // between 2 nodes at the largest step; keep data partitioning
@@ -154,15 +158,7 @@ fn main() {
                 batch: nodes.min(spec.rows),
                 data: 6,
             };
-            let est = experiment(
-                spec.projections,
-                spec.rows,
-                spec.channels,
-                nodes,
-                part,
-                16,
-            )
-            .run();
+            let est = experiment(spec.projections, spec.rows, spec.channels, nodes, part, 16).run();
             println!(
                 "{:>7} {:>22} {:>10} {:>10} {:>10} {:>10}",
                 nodes,

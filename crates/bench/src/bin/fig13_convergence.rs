@@ -38,17 +38,29 @@ fn main() {
         let t: Vec<_> = ordered.triplets().collect();
         let (metrics, stages) = match p {
             Precision::Double => {
-                let c = Csr::<f64>::from_triplets(ordered.num_rows(), ordered.num_cols(), t.into_iter());
+                let c = Csr::<f64>::from_triplets(
+                    ordered.num_rows(),
+                    ordered.num_cols(),
+                    t.into_iter(),
+                );
                 let pk = PackedMatrix::pack(&c, 128, 96 * 1024, 16);
                 (pk.kernel_metrics(), pk.total_stages())
             }
             Precision::Single => {
-                let c = Csr::<f32>::from_triplets(ordered.num_rows(), ordered.num_cols(), t.into_iter());
+                let c = Csr::<f32>::from_triplets(
+                    ordered.num_rows(),
+                    ordered.num_cols(),
+                    t.into_iter(),
+                );
                 let pk = PackedMatrix::pack(&c, 128, 96 * 1024, 16);
                 (pk.kernel_metrics(), pk.total_stages())
             }
             _ => {
-                let c = Csr::<F16>::from_triplets(ordered.num_rows(), ordered.num_cols(), t.into_iter());
+                let c = Csr::<F16>::from_triplets(
+                    ordered.num_rows(),
+                    ordered.num_cols(),
+                    t.into_iter(),
+                );
                 let pk = PackedMatrix::pack(&c, 128, 96 * 1024, 16);
                 (pk.kernel_metrics(), pk.total_stages())
             }

@@ -76,7 +76,10 @@ fn main() {
             "{:>6} {:>8} {:>8} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
             block, n, fusing, m.proj_reuse, m.bproj_reuse, m.proj_stages, m.bproj_stages
         );
-        assert!(m.proj_reuse > 1.0 && m.bproj_reuse > 1.0, "staging must pay off");
+        assert!(
+            m.proj_reuse > 1.0 && m.bproj_reuse > 1.0,
+            "staging must pay off"
+        );
         assert!(
             m.proj_reuse > prev,
             "reuse must grow with block partition size"

@@ -45,7 +45,10 @@ fn main() {
     println!("FIG 6: Communication matrices, 24 subdomains on 4 nodes (real plans)");
     println!();
     print_matrix("(a) Direct communication", &direct.volume_matrix());
-    print_matrix("(b) Socket-level communication", &hier.socket.volume_matrix(24));
+    print_matrix(
+        "(b) Socket-level communication",
+        &hier.socket.volume_matrix(24),
+    );
     print_matrix("(c) Node-level communication", &hier.node.volume_matrix(24));
     print_matrix("(d) Global communication", &hier.global.volume_matrix());
 
@@ -72,7 +75,11 @@ fn main() {
     for (src, row) in hier.socket.volume_matrix(24).iter().enumerate() {
         for (dst, &v) in row.iter().enumerate() {
             if v > 0 {
-                assert_eq!(topo.socket_of(src), topo.socket_of(dst), "socket step leaked");
+                assert_eq!(
+                    topo.socket_of(src),
+                    topo.socket_of(dst),
+                    "socket step leaked"
+                );
             }
         }
     }
@@ -83,7 +90,10 @@ fn main() {
             }
         }
     }
-    assert!(global < direct_total, "hierarchy must shrink global traffic");
+    assert!(
+        global < direct_total,
+        "hierarchy must shrink global traffic"
+    );
 }
 
 /// Elements absorbed by socket-level reduction: direct minus what still

@@ -96,7 +96,10 @@ fn main() {
     for curve in &curves {
         let peak = curve.iter().cloned().fold(0.0, f64::max);
         assert!(peak > curve[0] * 3.0, "fusing must speed up >3x");
-        assert!(*curve.last().unwrap() < peak, "perf must drop past the cliff");
+        assert!(
+            *curve.last().unwrap() < peak,
+            "perf must drop past the cliff"
+        );
     }
 
     println!();
@@ -140,7 +143,14 @@ fn main() {
         let base_t = kernel_time(&gpu, &base_metrics, 0, 1, p);
         let (m, stages) = metrics_for(&csr, p, 16);
         let opt_t = kernel_time(&gpu, &m, stages, 16, p);
-        println!("  {:<8} optimized vs baseline: {:.2}x", p.label(), base_t / opt_t);
-        assert!(base_t / opt_t > 1.2, "optimized kernel must beat the baseline");
+        println!(
+            "  {:<8} optimized vs baseline: {:.2}x",
+            p.label(),
+            base_t / opt_t
+        );
+        assert!(
+            base_t / opt_t > 1.2,
+            "optimized kernel must beat the baseline"
+        );
     }
 }

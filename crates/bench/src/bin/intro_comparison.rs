@@ -36,8 +36,8 @@ fn main() {
         },
         precision: Precision::Single,
         opt: OptLevel {
-            kernel_opt: true,          // MemXCT buffers its 2D accesses
-            comm_hierarchical: false,  // flat MPI communication
+            kernel_opt: true,         // MemXCT buffers its 2D accesses
+            comm_hierarchical: false, // flat MPI communication
             comm_overlap: false,
         },
         fusing: 1, // no 3D slice fusing: A is re-streamed per slice
@@ -69,7 +69,13 @@ fn main() {
 
     println!("INTRO (paper I): why 2D parallelization alone cannot scale");
     println!();
-    println!("Mouse Brain ({}x{}x{}) on {} GPUs:", brain.projections, brain.rows, brain.channels, machine.total_gpus());
+    println!(
+        "Mouse Brain ({}x{}x{}) on {} GPUs:",
+        brain.projections,
+        brain.rows,
+        brain.channels,
+        machine.total_gpus()
+    );
     println!();
     println!(
         "  2D in-slice only (Pd = {}):   {:>10}   (comm {:>10}, kernel {:>10})",
@@ -88,12 +94,8 @@ fn main() {
     );
     let speedup = flat_2d.total_seconds / full_3d.total_seconds;
     println!();
-    println!(
-        "3D partitioning + hierarchy + mixed precision: {speedup:.0}x faster end to end."
-    );
-    println!(
-        "(paper: >25 hours on Theta with 2D MemXCT vs under 3 minutes on Summit — ~500x.)"
-    );
+    println!("3D partitioning + hierarchy + mixed precision: {speedup:.0}x faster end to end.");
+    println!("(paper: >25 hours on Theta with 2D MemXCT vs under 3 minutes on Summit — ~500x.)");
     assert!(
         speedup > 20.0,
         "the 3D system must dominate flat 2D parallelization ({speedup})"

@@ -53,7 +53,10 @@ fn main() {
     // The measured global ratio should bracket the paper's 0.415 and
     // be bounded below 1 (the hierarchy always helps).
     for (i, &g) in global_ratios.iter().enumerate() {
-        assert!(g < 0.75, "case {i}: hierarchy must absorb traffic (got {g})");
+        assert!(
+            g < 0.75,
+            "case {i}: hierarchy must absorb traffic (got {g})"
+        );
         assert!(g > 0.1, "case {i}: ratio implausibly small (got {g})");
     }
     let mid = global_ratios[1];

@@ -33,7 +33,10 @@ fn main() {
     let f_base = TableIComplexity::evaluate(m_slices, n, Partitioning { batch: 1, data: 1 });
     for &pd in &[1usize, 4, 16] {
         for &pb in &[1usize, 4] {
-            let part = Partitioning { batch: pb, data: pd };
+            let part = Partitioning {
+                batch: pb,
+                data: pd,
+            };
             let d = SliceDecomposition::build(&sm, &scan, pd, 4, CurveKind::Hilbert);
             let slices_per_group = m_slices / pb;
             let comp_emp: f64 = d

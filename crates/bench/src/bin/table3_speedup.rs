@@ -20,8 +20,13 @@ struct Case {
 
 fn experiment(case: &Case, precision: Precision, opt: OptLevel) -> ModelExperiment {
     let machine = MachineSpec::summit(case.nodes);
-    let partitioning =
-        Partitioning::optimal_for(case.projections, case.rows, case.channels, &machine, precision);
+    let partitioning = Partitioning::optimal_for(
+        case.projections,
+        case.rows,
+        case.channels,
+        &machine,
+        precision,
+    );
     ModelExperiment {
         projections: case.projections,
         rows: case.rows,
@@ -60,7 +65,11 @@ fn main() {
             paper: [
                 [(78.4 * 60.0, 1.0), (31.3 * 60.0, 2.51), (15.1 * 60.0, 5.20)],
                 [(58.4 * 60.0, 1.34), (20.4 * 60.0, 3.85), (8.0 * 60.0, 9.78)],
-                [(27.0 * 60.0, 3.00), (10.0 * 60.0, 7.87), (4.3 * 60.0, 18.19)],
+                [
+                    (27.0 * 60.0, 3.00),
+                    (10.0 * 60.0, 7.87),
+                    (4.3 * 60.0, 18.19),
+                ],
             ],
         },
     ];

@@ -185,8 +185,14 @@ mod tests {
         let node_over_global = m.node_link.bandwidth / m.global_link.bandwidth;
         // "the effective bandwidth within each socket is about 100× faster
         // than that among nodes ... among sockets is 15× faster".
-        assert!((90.0..=130.0).contains(&socket_over_global), "{socket_over_global}");
-        assert!((12.0..=18.0).contains(&node_over_global), "{node_over_global}");
+        assert!(
+            (90.0..=130.0).contains(&socket_over_global),
+            "{socket_over_global}"
+        );
+        assert!(
+            (12.0..=18.0).contains(&node_over_global),
+            "{node_over_global}"
+        );
     }
 
     #[test]

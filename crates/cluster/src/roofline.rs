@@ -189,6 +189,9 @@ mod tests {
             latency: 1e-6,
         };
         assert_eq!(link_time(&l, 0, 0), 0.0);
-        assert!(link_time(&l, 0, 5) > 0.0, "latency still counts per message");
+        assert!(
+            link_time(&l, 0, 5) > 0.0,
+            "latency still counts per message"
+        );
     }
 }

@@ -17,14 +17,16 @@ fn work_strategy() -> impl Strategy<Value = MinibatchWork> {
         0.0f64..10.0,
         0.0f64..1.0,
     )
-        .prop_map(|(kernel, socket, node, red, global, memcpy)| MinibatchWork {
-            kernel,
-            socket_comm: socket,
-            node_comm: node,
-            reduction: red,
-            global_comm: global,
-            memcpy,
-        })
+        .prop_map(
+            |(kernel, socket, node, red, global, memcpy)| MinibatchWork {
+                kernel,
+                socket_comm: socket,
+                node_comm: node,
+                reduction: red,
+                global_comm: global,
+                memcpy,
+            },
+        )
 }
 
 proptest! {

@@ -322,9 +322,11 @@ pub fn scatter_hierarchical<S: Wire>(
     let vals = footprint
         .iter()
         .map(|r| {
-            S::from_f64(*full_map.get(r).unwrap_or_else(|| {
-                panic!("row {r} missing after hierarchical scatter")
-            }))
+            S::from_f64(
+                *full_map
+                    .get(r)
+                    .unwrap_or_else(|| panic!("row {r} missing after hierarchical scatter")),
+            )
         })
         .collect();
     Ok(PartialData::new(footprint.to_vec(), vals))
@@ -495,7 +497,10 @@ mod tests {
         let results = run_ranks(8, |comm| {
             let p = comm.rank();
             let rows = own.rows_of(p);
-            let vals: Vec<F16> = rows.iter().map(|&r| F16::from_f32(r as f32 * 0.25)).collect();
+            let vals: Vec<F16> = rows
+                .iter()
+                .map(|&r| F16::from_f32(r as f32 * 0.25))
+                .collect();
             let owned = PartialData::new(rows, vals);
             scatter_hierarchical(comm, &hplan, &own, &owned, &fp.per_rank[p]).unwrap()
         });

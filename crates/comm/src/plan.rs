@@ -330,8 +330,11 @@ mod tests {
         for (src, sends) in hier.node.sends.iter().enumerate() {
             for (dst, _) in sends {
                 assert_eq!(topo.node_of(src), topo.node_of(*dst));
-                assert_ne!(topo.socket_of(src), topo.socket_of(*dst),
-                    "socket-internal traffic should be gone after socket level");
+                assert_ne!(
+                    topo.socket_of(src),
+                    topo.socket_of(*dst),
+                    "socket-internal traffic should be gone after socket level"
+                );
             }
         }
     }

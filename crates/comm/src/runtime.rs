@@ -8,10 +8,9 @@
 //! of rank, which is all the hierarchical scheme needs (socket and node
 //! membership are static).
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::wire::Wire;
@@ -85,13 +84,10 @@ impl Communicator {
 
     /// Sends raw bytes to `dst` with `tag`. Non-blocking (buffered).
     pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
-        let sender = self
-            .senders
-            .get(dst)
-            .ok_or(CommError::RankOutOfRange {
-                rank: dst,
-                size: self.size(),
-            })?;
+        let sender = self.senders.get(dst).ok_or(CommError::RankOutOfRange {
+            rank: dst,
+            size: self.size(),
+        })?;
         sender
             .send(Envelope {
                 src: self.rank,
@@ -117,7 +113,7 @@ impl Communicator {
                 size: self.size(),
             });
         }
-        let mut mb = self.mailbox.lock();
+        let mut mb = self.mailbox.lock().expect("mailbox mutex poisoned");
         if let Some(queue) = mb.stash.get_mut(&(src, tag)) {
             if let Some(payload) = queue.pop_front() {
                 return Ok(payload);
@@ -259,14 +255,20 @@ impl SubCommunicator<'_> {
 
     /// Sends to a *local* rank. Tags are salted with the color so
     /// same-tag traffic in different subgroups cannot collide.
-    pub fn send_vals<S: Wire>(&self, local_dst: usize, tag: u64, vals: &[S]) -> Result<(), CommError> {
+    pub fn send_vals<S: Wire>(
+        &self,
+        local_dst: usize,
+        tag: u64,
+        vals: &[S],
+    ) -> Result<(), CommError> {
         self.world
             .send_vals(self.members[local_dst], self.salt(tag), vals)
     }
 
     /// Receives from a *local* rank.
     pub fn recv_vals<S: Wire>(&self, local_src: usize, tag: u64) -> Result<Vec<S>, CommError> {
-        self.world.recv_vals(self.members[local_src], self.salt(tag))
+        self.world
+            .recv_vals(self.members[local_src], self.salt(tag))
     }
 
     fn salt(&self, tag: u64) -> u64 {
@@ -308,7 +310,7 @@ pub fn run_ranks_with_timeout<T: Send>(
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -353,7 +355,8 @@ mod tests {
         let results = run_ranks(4, |comm| {
             let next = (comm.rank() + 1) % comm.size();
             let prev = (comm.rank() + comm.size() - 1) % comm.size();
-            comm.send_vals::<f32>(next, 7, &[comm.rank() as f32]).unwrap();
+            comm.send_vals::<f32>(next, 7, &[comm.rank() as f32])
+                .unwrap();
             let got = comm.recv_vals::<f32>(prev, 7).unwrap();
             got[0]
         });
@@ -398,7 +401,8 @@ mod tests {
     fn half_precision_on_the_wire() {
         let results = run_ranks(2, |comm| {
             if comm.rank() == 0 {
-                comm.send_vals::<F16>(1, 3, &[F16::from_f32(0.1), F16::MAX]).unwrap();
+                comm.send_vals::<F16>(1, 3, &[F16::from_f32(0.1), F16::MAX])
+                    .unwrap();
                 0
             } else {
                 let v = comm.recv_vals::<F16>(0, 3).unwrap();
@@ -439,7 +443,8 @@ mod tests {
         let results = run_ranks(4, |comm| {
             let sub = comm.split_by(|r| r % 2);
             if sub.local_rank() == 0 {
-                sub.send_vals::<f32>(1, 42, &[comm.rank() as f32 + 100.0]).unwrap();
+                sub.send_vals::<f32>(1, 42, &[comm.rank() as f32 + 100.0])
+                    .unwrap();
                 0.0
             } else {
                 sub.recv_vals::<f32>(0, 42).unwrap()[0]
@@ -457,7 +462,9 @@ mod tests {
 
     #[test]
     fn allreduce_sums_across_ranks() {
-        let results = run_ranks(6, |comm| comm.allreduce_sum(11, comm.rank() as f64).unwrap());
+        let results = run_ranks(6, |comm| {
+            comm.allreduce_sum(11, comm.rank() as f64).unwrap()
+        });
         assert!(results.iter().all(|&v| v == 15.0));
     }
 

@@ -76,7 +76,11 @@ impl Topology {
     pub fn coords_of(&self, rank: usize) -> (usize, usize, usize) {
         let node = self.node_of(rank);
         let within = rank % self.gpus_per_node();
-        (node, within / self.gpus_per_socket, within % self.gpus_per_socket)
+        (
+            node,
+            within / self.gpus_per_socket,
+            within % self.gpus_per_socket,
+        )
     }
 
     /// The interconnect level between two ranks.

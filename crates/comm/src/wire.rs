@@ -81,7 +81,12 @@ mod tests {
         let f32s = [0.5f32, -0.0, f32::MIN_POSITIVE];
         assert_eq!(f32::decode_slice(&f32::encode_slice(&f32s)), f32s);
 
-        let h = [F16::ONE, F16::MAX, F16::MIN_POSITIVE_SUBNORMAL, -F16::EPSILON];
+        let h = [
+            F16::ONE,
+            F16::MAX,
+            F16::MIN_POSITIVE_SUBNORMAL,
+            -F16::EPSILON,
+        ];
         let back = F16::decode_slice(&F16::encode_slice(&h));
         assert_eq!(
             back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),

@@ -36,13 +36,19 @@ fn check_topology(topo: Topology) {
     let direct = run_ranks(ranks, |comm| {
         let p = comm.rank();
         let rows = fp.per_rank[p].clone();
-        let vals: Vec<f32> = rows.iter().map(|&r| (p as f32 + 1.0) + r as f32 * 0.01).collect();
+        let vals: Vec<f32> = rows
+            .iter()
+            .map(|&r| (p as f32 + 1.0) + r as f32 * 0.01)
+            .collect();
         execute_direct(comm, &dplan, &own, &PartialData::new(rows, vals)).unwrap()
     });
     let hier = run_ranks(ranks, |comm| {
         let p = comm.rank();
         let rows = fp.per_rank[p].clone();
-        let vals: Vec<f32> = rows.iter().map(|&r| (p as f32 + 1.0) + r as f32 * 0.01).collect();
+        let vals: Vec<f32> = rows
+            .iter()
+            .map(|&r| (p as f32 + 1.0) + r as f32 * 0.01)
+            .collect();
         execute_hierarchical(comm, &hplan, &own, &PartialData::new(rows, vals)).unwrap()
     });
     for (d, h) in direct.iter().zip(&hier) {

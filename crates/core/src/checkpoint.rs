@@ -121,6 +121,7 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<CglsSnapshot, Checkpoin
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xct_exec::ExecContext;
     use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
     use xct_solver::{CglsSolver, SystemMatrixOperator};
 
@@ -140,15 +141,16 @@ mod tests {
         sm.project(&x_true, &mut y);
 
         // Straight run.
-        let mut straight = CglsSolver::new(&op, &y);
+        let mut ctx = ExecContext::serial();
+        let mut straight = CglsSolver::new(&op, &y, &mut ctx);
         for _ in 0..14 {
-            straight.step(&op);
+            straight.step(&op, &mut ctx);
         }
 
         // Interrupted run through a real file.
-        let mut first = CglsSolver::new(&op, &y);
+        let mut first = CglsSolver::new(&op, &y, &mut ctx);
         for _ in 0..6 {
-            first.step(&op);
+            first.step(&op, &mut ctx);
         }
         let path = tmp("cgls.ckpt");
         save_checkpoint(&path, first.snapshot()).unwrap();
@@ -157,7 +159,7 @@ mod tests {
         assert_eq!(restored.iteration, 6);
         let mut resumed = CglsSolver::from_snapshot(&op, restored);
         for _ in 0..8 {
-            resumed.step(&op);
+            resumed.step(&op, &mut ctx);
         }
         for (a, b) in resumed.snapshot().x.iter().zip(&straight.snapshot().x) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -184,11 +186,14 @@ mod tests {
         let sm = SystemMatrix::build(&scan);
         let op = SystemMatrixOperator::new(&sm);
         let y = vec![1.0f32; sm.num_rays()];
-        let solver = CglsSolver::new(&op, &y);
+        let solver = CglsSolver::new(&op, &y, &mut ExecContext::serial());
         let path = tmp("trunc.ckpt");
         save_checkpoint(&path, solver.snapshot()).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
-        assert!(matches!(load_checkpoint(&path), Err(CheckpointError::Os(_))));
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Os(_))
+        ));
     }
 }

@@ -108,9 +108,7 @@ impl SliceDecomposition {
             let csr = Csr::from_triplets(
                 rows.len(),
                 cols.len(),
-                triplets
-                    .iter()
-                    .map(|&(r, c, v)| (row_of(r), col_of(c), v)),
+                triplets.iter().map(|&(r, c, v)| (row_of(r), col_of(c), v)),
             );
             local_ops.push(LocalOperator { rows, cols, csr });
         }
@@ -133,7 +131,12 @@ impl SliceDecomposition {
 
     /// Scatters per-rank tomogram pieces back into a full slice
     /// (slice-major over `fusing` fused slices).
-    pub fn assemble_volume(&self, pieces: &[Vec<f32>], num_voxels: usize, fusing: usize) -> Vec<f32> {
+    pub fn assemble_volume(
+        &self,
+        pieces: &[Vec<f32>],
+        num_voxels: usize,
+        fusing: usize,
+    ) -> Vec<f32> {
         assert_eq!(pieces.len(), self.ranks, "piece count mismatch");
         let mut out = vec![0.0f32; num_voxels * fusing];
         for (p, piece) in pieces.iter().enumerate() {
@@ -149,7 +152,13 @@ impl SliceDecomposition {
     }
 
     /// Restricts a full slice-major vector to rank `p`'s owned voxels.
-    pub fn restrict_volume(&self, full: &[f32], num_voxels: usize, fusing: usize, p: usize) -> Vec<f32> {
+    pub fn restrict_volume(
+        &self,
+        full: &[f32],
+        num_voxels: usize,
+        fusing: usize,
+        p: usize,
+    ) -> Vec<f32> {
         let cols = &self.owned_voxels[p];
         let mut out = Vec::with_capacity(cols.len() * fusing);
         for f in 0..fusing {
@@ -161,7 +170,13 @@ impl SliceDecomposition {
     }
 
     /// Restricts a full sinogram vector to rank `p`'s owned rays.
-    pub fn restrict_sinogram(&self, full: &[f32], num_rays: usize, fusing: usize, p: usize) -> Vec<f32> {
+    pub fn restrict_sinogram(
+        &self,
+        full: &[f32],
+        num_rays: usize,
+        fusing: usize,
+        p: usize,
+    ) -> Vec<f32> {
         let rays = &self.owned_rays[p];
         let mut out = Vec::with_capacity(rays.len() * fusing);
         for f in 0..fusing {
@@ -178,7 +193,11 @@ mod tests {
     use super::*;
     use xct_geometry::ImageGrid;
 
-    fn setup(n: usize, angles: usize, ranks: usize) -> (SystemMatrix, ScanGeometry, SliceDecomposition) {
+    fn setup(
+        n: usize,
+        angles: usize,
+        ranks: usize,
+    ) -> (SystemMatrix, ScanGeometry, SliceDecomposition) {
         let scan = ScanGeometry::uniform(ImageGrid::square(n, 1.0), angles);
         let sm = SystemMatrix::build(&scan);
         let d = SliceDecomposition::build(&sm, &scan, ranks, 4, CurveKind::Hilbert);
@@ -227,7 +246,10 @@ mod tests {
             }
         }
         for (a, b) in y_sum.iter().zip(&y_ref) {
-            assert!((*a as f32 - b).abs() <= 1e-4 * b.abs().max(1.0), "{a} vs {b}");
+            assert!(
+                (*a as f32 - b).abs() <= 1e-4 * b.abs().max(1.0),
+                "{a} vs {b}"
+            );
         }
     }
 
@@ -274,7 +296,9 @@ mod tests {
         assert_eq!(d.owned_voxels[0].len(), sm.num_voxels());
         assert_eq!(d.footprints.per_rank[0].len(), {
             // All rays that hit anything.
-            (0..sm.num_rays()).filter(|&r| !sm.row(r).is_empty()).count()
+            (0..sm.num_rays())
+                .filter(|&r| !sm.row(r).is_empty())
+                .count()
         });
     }
 }

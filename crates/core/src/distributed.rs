@@ -16,10 +16,11 @@ use xct_comm::{
     execute_direct, execute_hierarchical, run_ranks, scatter_direct, scatter_hierarchical,
     Communicator, DirectPlan, HierarchicalPlan, Ownership, PartialData, Topology, Wire,
 };
+use xct_exec::{BufferRole, ExecContext};
 use xct_fp16::{Precision, F16};
 use xct_geometry::{ScanGeometry, SystemMatrix};
 use xct_hilbert::CurveKind;
-use xct_solver::{cgls_with, CglsConfig, LinearOperator, PrecisionOperator};
+use xct_solver::{cgls_in, CglsConfig, LinearOperator, PrecisionOperator};
 
 /// Distributed run configuration.
 #[derive(Debug, Clone)]
@@ -170,10 +171,12 @@ impl LinearOperator for RankOperator<'_> {
         self.owned_vox_len * self.cfg.fusing
     }
 
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[f32], y: &mut [f32], ctx: &mut ExecContext) {
         // Local fused SpMM over the footprint rows.
-        let mut partial = vec![0.0f32; self.footprint_len * self.cfg.fusing];
-        self.local.apply(x, &mut partial);
+        let mut partial = ctx
+            .workspace
+            .take::<f32>(BufferRole::Forward, self.footprint_len * self.cfg.fusing);
+        self.local.apply(x, &mut partial, ctx);
         // Exchange+reduce per fused slice.
         let fp = &self.decomp.footprints.per_rank[self.rank];
         for f in 0..self.cfg.fusing {
@@ -183,10 +186,11 @@ impl LinearOperator for RankOperator<'_> {
             y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len]
                 .copy_from_slice(&reduced.vals);
         }
+        ctx.workspace.put(BufferRole::Forward, partial);
         let _ = self.num_rays_per_slice;
     }
 
-    fn apply_transpose(&self, y: &[f32], x: &mut [f32]) {
+    fn apply_transpose(&self, y: &[f32], x: &mut [f32], ctx: &mut ExecContext) {
         // Agree on a normalization factor for the scatter direction.
         let factor = match self.cfg.precision {
             Precision::Half | Precision::Mixed => {
@@ -204,7 +208,9 @@ impl LinearOperator for RankOperator<'_> {
             _ => 1.0,
         };
         // Scatter owned sinogram values to footprints, per fused slice.
-        let mut footprint_vals = vec![0.0f32; self.footprint_len * self.cfg.fusing];
+        let mut footprint_vals = ctx
+            .workspace
+            .take::<f32>(BufferRole::Footprint, self.footprint_len * self.cfg.fusing);
         for f in 0..self.cfg.fusing {
             let owned = &y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len];
             let filled = self.scatter_owned(owned, factor);
@@ -212,7 +218,8 @@ impl LinearOperator for RankOperator<'_> {
                 .copy_from_slice(&filled);
         }
         // Local transposed fused SpMM.
-        self.local.apply_transpose(&footprint_vals, x);
+        self.local.apply_transpose(&footprint_vals, x, ctx);
+        ctx.workspace.put(BufferRole::Footprint, footprint_vals);
     }
 }
 
@@ -268,7 +275,9 @@ pub fn reconstruct_distributed(
         };
         let y_local = decomp.restrict_sinogram(sinogram, sm.num_rays(), cfg.fusing, rank);
         let mut tag = 0x9000u64;
-        let report = cgls_with(
+        // One context per rank — each simulated GPU owns its workspace.
+        let mut ctx = ExecContext::serial().with_precision(cfg.precision);
+        let report = cgls_in(
             &rank_op,
             &y_local,
             &CglsConfig {
@@ -276,6 +285,7 @@ pub fn reconstruct_distributed(
                 tolerance: 0.0,
                 damping: 0.0,
             },
+            &mut ctx,
             &mut |v| {
                 tag = tag.wrapping_add(2);
                 comm.allreduce_sum(tag, v).expect("allreduce_sum")
@@ -422,7 +432,11 @@ mod tests {
         assert!(err < 0.15, "mixed distributed reconstruction error {err}");
         // Residuals descend.
         let hist = &dist.residual_history;
-        assert!(hist.last().unwrap() < &0.1, "final residual {}", hist.last().unwrap());
+        assert!(
+            hist.last().unwrap() < &0.1,
+            "final residual {}",
+            hist.last().unwrap()
+        );
     }
 
     #[test]
@@ -445,6 +459,98 @@ mod tests {
                 &x_true[f * sm.num_voxels()..(f + 1) * sm.num_voxels()],
             );
             assert!(err < 0.15, "slice {f} error {err}");
+        }
+    }
+
+    #[test]
+    fn rank_operator_is_adjoint_across_ranks() {
+        // ⟨A·x, y⟩ = ⟨x, Aᵀ·y⟩ must hold for the *distributed* operator:
+        // partial SpMM + exchange on the forward side against scatter +
+        // transposed SpMM on the backward side, summed over all ranks.
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 12);
+        let sm = SystemMatrix::build(&scan);
+        for &(precision, hierarchical, tol) in &[
+            (Precision::Single, false, 1e-6),
+            (Precision::Single, true, 1e-6),
+            (Precision::Double, true, 1e-6),
+            (Precision::Mixed, true, 2e-2),
+            (Precision::Half, true, 5e-2),
+        ] {
+            let cfg = DistributedConfig {
+                topology: Topology::new(1, 2, 2),
+                precision,
+                fusing: 1,
+                hierarchical,
+                iterations: 1,
+                ..Default::default()
+            };
+            let ranks = cfg.topology.size();
+            let decomp = SliceDecomposition::build(&sm, &scan, ranks, cfg.tile, CurveKind::Hilbert);
+            let ownership = decomp.ray_ownership();
+            let direct = DirectPlan::build(&decomp.footprints, &ownership);
+            let hier = HierarchicalPlan::build(&decomp.footprints, &ownership, &cfg.topology);
+            let x_global: Vec<f32> = (0..sm.num_voxels())
+                .map(|i| ((i * 23 + 7) % 41) as f32 / 41.0)
+                .collect();
+            let y_global: Vec<f32> = (0..sm.num_rays())
+                .map(|i| ((i * 17 + 3) % 29) as f32 / 29.0)
+                .collect();
+            let outputs = run_ranks(ranks, |comm| {
+                let rank = comm.rank();
+                let op_local = &decomp.local_ops[rank];
+                let local = PrecisionOperator::new(
+                    &op_local.csr,
+                    cfg.precision,
+                    1,
+                    cfg.block_size,
+                    cfg.shared_bytes,
+                );
+                let rank_op = RankOperator {
+                    comm,
+                    decomp: &decomp,
+                    ownership: &ownership,
+                    direct: &direct,
+                    hier: &hier,
+                    cfg: &cfg,
+                    local,
+                    rank,
+                    footprint_len: op_local.rows.len(),
+                    owned_rays_len: decomp.owned_rays[rank].len(),
+                    owned_vox_len: decomp.owned_voxels[rank].len(),
+                    num_rays_per_slice: sm.num_rays(),
+                };
+                let mut ctx = ExecContext::serial();
+                let x_local: Vec<f32> = decomp.owned_voxels[rank]
+                    .iter()
+                    .map(|&v| x_global[v as usize])
+                    .collect();
+                let y_local: Vec<f32> = decomp.owned_rays[rank]
+                    .iter()
+                    .map(|&r| y_global[r as usize])
+                    .collect();
+                let mut ax = vec![0.0f32; rank_op.rows()];
+                rank_op.apply(&x_local, &mut ax, &mut ctx);
+                let lhs_part: f64 = ax
+                    .iter()
+                    .zip(&y_local)
+                    .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                    .sum();
+                let mut aty = vec![0.0f32; rank_op.cols()];
+                rank_op.apply_transpose(&y_local, &mut aty, &mut ctx);
+                let rhs_part: f64 = aty
+                    .iter()
+                    .zip(&x_local)
+                    .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                    .sum();
+                let lhs = comm.allreduce_sum(0x6000, lhs_part).expect("allreduce");
+                let rhs = comm.allreduce_sum(0x6002, rhs_part).expect("allreduce");
+                (lhs, rhs)
+            });
+            let (lhs, rhs) = outputs[0];
+            assert!(
+                (lhs - rhs).abs() <= tol * lhs.abs().max(1.0),
+                "{precision:?} hier={hierarchical}: ⟨Ax,y⟩ = {lhs} vs ⟨x,Aᵀy⟩ = {rhs}"
+            );
         }
     }
 

@@ -13,6 +13,20 @@
 //!   kernel/communication shapes mapped through the machine model, for
 //!   the Summit-sized experiments (Tables III–IV, Figs 10–12),
 //! * [`Reconstructor`] — the single-call public API used by the examples.
+//!
+//! # Execution contexts
+//!
+//! Every hot path in this crate runs through an [`xct_exec::ExecContext`]:
+//! the entry points construct one context per logical run —
+//! [`Reconstructor::reconstruct`] a threaded one shared by all iterations,
+//! [`distributed::reconstruct_distributed`] a serial one per rank — and
+//! hand it to the `*_in` solver variants, so per-apply staging (quantized
+//! operands, kernel accumulators, CG vectors, distributed footprints) is
+//! reused from the context's workspace instead of reallocated. The
+//! migration rule for new code: take scratch from `ctx.workspace` keyed by
+//! a `BufferRole`, never `vec![...]` inside an apply or an iteration loop.
+//! See DESIGN.md §3a; `tests/alloc_free.rs` enforces the discipline with a
+//! counting allocator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

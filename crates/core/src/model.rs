@@ -304,7 +304,10 @@ mod tests {
             .run()
             .total_seconds;
         assert!(kernel < base, "kernel opt must help: {base} -> {kernel}");
-        assert!(full < kernel, "comm opt must help further: {kernel} -> {full}");
+        assert!(
+            full < kernel,
+            "comm opt must help further: {kernel} -> {full}"
+        );
         let speedup = base / full;
         assert!(
             (6.0..60.0).contains(&speedup),

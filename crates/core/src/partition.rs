@@ -62,8 +62,8 @@ impl Partitioning {
                 continue;
             }
             let data_nodes = (nodes / batch) as f64;
-            let per_gpu = matrix_bytes as f64 / (data_nodes * g)
-                + data_bytes as f64 / (nodes as f64 * g);
+            let per_gpu =
+                matrix_bytes as f64 / (data_nodes * g) + data_bytes as f64 / (nodes as f64 * g);
             if per_gpu <= usable {
                 best = Partitioning {
                     batch,
@@ -88,7 +88,12 @@ impl Partitioning {
     }
 
     /// Sinogram + tomogram footprint at `precision`.
-    pub fn data_bytes(projections: usize, rows: usize, channels: usize, precision: Precision) -> u64 {
+    pub fn data_bytes(
+        projections: usize,
+        rows: usize,
+        channels: usize,
+        precision: Precision,
+    ) -> u64 {
         let s = precision.storage_bytes() as u64;
         let (k, m, n) = (projections as u64, rows as u64, channels as u64);
         (k * m * n + m * n * n) * s

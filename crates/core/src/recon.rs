@@ -1,10 +1,12 @@
 //! The single-call public API: memoize the operator once, reconstruct
 //! many (batches of) slices.
 
+use xct_exec::ExecContext;
 use xct_fp16::Precision;
 use xct_geometry::{ScanGeometry, SystemMatrix};
 use xct_solver::{
-    cgls, sirt, tv_reconstruct, CglsConfig, CglsReport, PrecisionOperator, SirtConfig, TvConfig,
+    cgls_in, sirt_in, tv_reconstruct_in, CglsConfig, CglsReport, PrecisionOperator, SirtConfig,
+    TvConfig,
 };
 use xct_spmm::Csr;
 
@@ -164,8 +166,11 @@ impl Reconstructor {
             opts.block_size,
             opts.shared_bytes,
         );
+        // One parallel context per reconstruction: kernel launches fan
+        // out across cores, and every iteration reuses its warm buffers.
+        let mut ctx = ExecContext::parallel().with_precision(opts.precision);
         let report = match algorithm {
-            Algorithm::Cgls => cgls(
+            Algorithm::Cgls => cgls_in(
                 &op,
                 sinogram,
                 &CglsConfig {
@@ -173,8 +178,10 @@ impl Reconstructor {
                     tolerance: opts.tolerance,
                     damping: opts.damping,
                 },
+                &mut ctx,
+                &mut |v| v,
             ),
-            Algorithm::Sirt { relaxation, nonneg } => sirt(
+            Algorithm::Sirt { relaxation, nonneg } => sirt_in(
                 &op,
                 sinogram,
                 &SirtConfig {
@@ -183,10 +190,11 @@ impl Reconstructor {
                     nonneg,
                     tolerance: opts.tolerance,
                 },
+                &mut ctx,
             ),
             Algorithm::Tv { lambda, epsilon } => {
                 assert_eq!(opts.fusing, 1, "TV reconstruction requires fusing = 1");
-                tv_reconstruct(
+                tv_reconstruct_in(
                     &op,
                     sinogram,
                     self.scan.grid.nx,
@@ -197,6 +205,7 @@ impl Reconstructor {
                         epsilon,
                         nonneg: true,
                     },
+                    &mut ctx,
                 )
             }
         };
@@ -302,21 +311,32 @@ mod tests {
                 },
                 alg,
             );
-            let num: f64 = r
-                .x
-                .iter()
-                .zip(&truth)
-                .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
-                .sum();
+            let num: f64 =
+                r.x.iter()
+                    .zip(&truth)
+                    .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
+                    .sum();
             let den: f64 = truth.iter().map(|&v| f64::from(v).powi(2)).sum();
             (num / den).sqrt()
         };
         assert!(err_of(Algorithm::Cgls, 40) < 0.15);
         assert!(
-            err_of(Algorithm::Sirt { relaxation: 1.0, nonneg: true }, 150) < 0.25
+            err_of(
+                Algorithm::Sirt {
+                    relaxation: 1.0,
+                    nonneg: true
+                },
+                150
+            ) < 0.25
         );
         assert!(
-            err_of(Algorithm::Tv { lambda: 0.5, epsilon: 0.01 }, 300) < 0.25
+            err_of(
+                Algorithm::Tv {
+                    lambda: 0.5,
+                    epsilon: 0.01
+                },
+                300
+            ) < 0.25
         );
     }
 

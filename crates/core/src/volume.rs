@@ -78,13 +78,7 @@ pub fn reconstruct_volume(
     };
     while let Some(batch) = reader.read_batch(io_batch)? {
         let fusing = batch.len() / recon.num_rays();
-        let result = recon.reconstruct(
-            &batch,
-            &ReconOptions {
-                fusing,
-                ..*opts
-            },
-        );
+        let result = recon.reconstruct(&batch, &ReconOptions { fusing, ..*opts });
         for f in 0..fusing {
             writer.write_slice(&result.x[f * recon.num_voxels()..(f + 1) * recon.num_voxels()])?;
         }
@@ -112,7 +106,11 @@ mod tests {
         dir.join(name)
     }
 
-    fn build_dataset(recon: &Reconstructor, slices: usize, path: &std::path::Path) -> Vec<Vec<f32>> {
+    fn build_dataset(
+        recon: &Reconstructor,
+        slices: usize,
+        path: &std::path::Path,
+    ) -> Vec<Vec<f32>> {
         let meta = SliceFile {
             kind: FileKind::Sinogram,
             precision: Precision::Single,
@@ -211,7 +209,13 @@ mod tests {
             },
         )
         .unwrap();
-        match reconstruct_volume(&recon, &mut reader, &mut writer, &ReconOptions::default(), 2) {
+        match reconstruct_volume(
+            &recon,
+            &mut reader,
+            &mut writer,
+            &ReconOptions::default(),
+            2,
+        ) {
             Err(PipelineError::Geometry(m)) => assert!(m.contains("99")),
             other => panic!("expected geometry error, got {:?}", other.map(|s| s.slices)),
         }

@@ -1,0 +1,94 @@
+//! The bundle threaded through every operator apply and solver loop.
+
+use crate::{ExecCounters, Executor, Workspace};
+use xct_fp16::Precision;
+
+/// Execution context: workspace + executor + counters + precision policy.
+///
+/// One `ExecContext` lives for the duration of a reconstruction (or
+/// longer). Operators take scratch from [`ExecContext::workspace`],
+/// dispatch parallel work through [`ExecContext::executor`], and meter
+/// traffic into [`ExecContext::counters`]; the steady-state iteration
+/// therefore performs no heap allocation and leaves one seam where later
+/// backends (thread pools, GPUs, tracing) plug in.
+#[derive(Debug)]
+pub struct ExecContext {
+    /// Reusable scratch buffers.
+    pub workspace: Workspace,
+    /// Parallel-execution policy.
+    pub executor: Executor,
+    /// Cumulative instrumentation.
+    pub counters: ExecCounters,
+    /// Precision policy of the pipeline this context drives. Purely
+    /// informational at this layer — operators carry their own packed
+    /// precision — but recorded here so instrumentation and reports can
+    /// label their numbers.
+    pub precision: Precision,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext {
+            workspace: Workspace::new(),
+            executor: Executor::Serial,
+            counters: ExecCounters::new(),
+            precision: Precision::Single,
+        }
+    }
+}
+
+impl ExecContext {
+    /// Serial, allocation-free context — the default for solvers and
+    /// tests.
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Context dispatching kernels across all available cores.
+    pub fn parallel() -> Self {
+        Self::with_executor(Executor::parallel())
+    }
+
+    /// Context with an explicit executor.
+    pub fn with_executor(executor: Executor) -> Self {
+        ExecContext {
+            executor,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the precision label (builder style).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BufferRole;
+
+    #[test]
+    fn default_is_serial_and_empty() {
+        let ctx = ExecContext::serial();
+        assert_eq!(ctx.executor, Executor::Serial);
+        assert_eq!(ctx.counters, ExecCounters::default());
+        assert_eq!(ctx.workspace.alloc_events(), 0);
+    }
+
+    #[test]
+    fn builder_sets_precision_and_executor() {
+        let ctx = ExecContext::with_executor(Executor::threads(2)).with_precision(Precision::Mixed);
+        assert_eq!(ctx.executor.thread_count(), 2);
+        assert_eq!(ctx.precision, Precision::Mixed);
+    }
+
+    #[test]
+    fn workspace_is_usable_through_the_context() {
+        let mut ctx = ExecContext::serial();
+        let buf: Vec<f32> = ctx.workspace.take(BufferRole::Probe, 5);
+        assert_eq!(buf.len(), 5);
+        ctx.workspace.put(BufferRole::Probe, buf);
+    }
+}

@@ -1,0 +1,76 @@
+//! Cumulative execution instrumentation.
+
+/// Running totals of the work an [`ExecContext`](crate::ExecContext) has
+/// dispatched. Kernels add their per-launch traffic here, so after a
+/// reconstruction the counters hold exactly what the per-launch
+/// `KernelMetrics` used to be summed into by hand — the numbers the
+/// roofline analysis and machine model consume.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes read from memory.
+    pub bytes_read: u64,
+    /// Bytes written to memory.
+    pub bytes_written: u64,
+    /// Kernel launches dispatched.
+    pub kernel_launches: u64,
+}
+
+impl ExecCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one kernel launch.
+    pub fn record_kernel(&mut self, flops: u64, bytes_read: u64, bytes_written: u64) {
+        self.flops += flops;
+        self.bytes_read += bytes_read;
+        self.bytes_written += bytes_written;
+        self.kernel_launches += 1;
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Flops per byte moved.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.bytes();
+        if b == 0 {
+            0.0
+        } else {
+            self.flops as f64 / b as f64
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_records_accumulate() {
+        let mut c = ExecCounters::new();
+        c.record_kernel(100, 40, 10);
+        c.record_kernel(50, 20, 5);
+        assert_eq!(c.flops, 150);
+        assert_eq!(c.bytes(), 75);
+        assert_eq!(c.kernel_launches, 2);
+        assert!((c.arithmetic_intensity() - 2.0).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c, ExecCounters::default());
+    }
+
+    #[test]
+    fn empty_counters_have_zero_intensity() {
+        assert_eq!(ExecCounters::new().arithmetic_intensity(), 0.0);
+    }
+}

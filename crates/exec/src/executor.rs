@@ -1,0 +1,89 @@
+//! Parallel-execution policy.
+
+use std::num::NonZeroUsize;
+
+/// How kernels distribute their thread blocks over CPU threads.
+///
+/// This is the policy object that used to be rayon hard-wired inside the
+/// spmm crate. Kernels ask it how many partitions to cut their work into
+/// and run one scoped thread per partition ([`Executor::Threads`]) or a
+/// plain loop ([`Executor::Serial`]). `Serial` is the allocation-free
+/// path; `Threads` spawns scoped worker threads per launch, which is
+/// worthwhile for production-scale volumes and irrelevant for the tiny
+/// matrices in tests. Later backends (persistent pools, GPUs) add
+/// variants here without touching any call site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Executor {
+    /// Run everything on the calling thread. Deterministic and
+    /// allocation-free.
+    #[default]
+    Serial,
+    /// Split work across up to this many scoped threads per launch.
+    Threads(NonZeroUsize),
+}
+
+impl Executor {
+    /// A threaded executor sized to the machine.
+    pub fn parallel() -> Self {
+        Executor::Threads(
+            std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).unwrap()),
+        )
+    }
+
+    /// A threaded executor with an explicit thread count (minimum 1).
+    pub fn threads(n: usize) -> Self {
+        match NonZeroUsize::new(n) {
+            Some(n) => Executor::Threads(n),
+            None => Executor::Serial,
+        }
+    }
+
+    /// Upper bound on concurrently running worker threads.
+    pub fn thread_count(&self) -> usize {
+        match self {
+            Executor::Serial => 1,
+            Executor::Threads(n) => n.get(),
+        }
+    }
+
+    /// How many partitions to cut `items` work units into.
+    pub fn partitions(&self, items: usize) -> usize {
+        self.thread_count().min(items).max(1)
+    }
+
+    /// Whether launches may run work off the calling thread.
+    pub fn is_parallel(&self) -> bool {
+        self.thread_count() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_is_one_partition() {
+        assert_eq!(Executor::Serial.partitions(100), 1);
+        assert_eq!(Executor::Serial.thread_count(), 1);
+        assert!(!Executor::Serial.is_parallel());
+    }
+
+    #[test]
+    fn partitions_never_exceed_items_or_threads() {
+        let e = Executor::threads(4);
+        assert_eq!(e.partitions(100), 4);
+        assert_eq!(e.partitions(3), 3);
+        assert_eq!(e.partitions(0), 1);
+    }
+
+    #[test]
+    fn zero_threads_degrades_to_serial() {
+        assert_eq!(Executor::threads(0), Executor::Serial);
+    }
+
+    #[test]
+    fn parallel_reflects_the_machine() {
+        assert!(Executor::parallel().thread_count() >= 1);
+    }
+}

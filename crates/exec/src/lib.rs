@@ -1,0 +1,35 @@
+//! Execution contexts: the seam every hot path runs through.
+//!
+//! The paper's design is memory-centric — kernels stream through
+//! preallocated staging buffers and the 30-iteration CGLS loop never
+//! touches the allocator (§III-B/C). This crate provides the pieces that
+//! make our CPU reproduction behave the same way:
+//!
+//! * [`Workspace`] — an arena of reusable, size-checked scratch buffers
+//!   keyed by [`BufferRole`] (quantization staging, kernel accumulators,
+//!   CG vectors, wire payloads). Buffers are *taken* out, used, and *put*
+//!   back; capacity is retained across iterations so the steady state is
+//!   allocation-free.
+//! * [`Executor`] — the parallel-execution policy (serial, or scoped
+//!   threads) that used to be hard-wired into the spmm crate via rayon.
+//! * [`ExecCounters`] — cumulative instrumentation: flops, bytes moved,
+//!   kernel launches.
+//! * [`ExecContext`] — the bundle of all three plus the precision policy,
+//!   threaded through `LinearOperator::apply` and every solver loop.
+//!
+//! Layering: this crate sits directly above `xct-fp16` and below
+//! `xct-spmm`/`xct-comm`/`xct-solver`/`xct-core`, so every layer shares
+//! one context type without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod counters;
+mod executor;
+mod workspace;
+
+pub use context::ExecContext;
+pub use counters::ExecCounters;
+pub use executor::Executor;
+pub use workspace::{BufferRole, Workspace, WorkspaceScalar};

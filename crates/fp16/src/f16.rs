@@ -386,8 +386,16 @@ mod tests {
             if h.is_nan() {
                 assert!(F16::from_f32(h.to_f32()).is_nan());
             } else {
-                assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
-                assert_eq!(F16::from_f64(h.to_f64()).to_bits(), bits, "bits {bits:#06x}");
+                assert_eq!(
+                    F16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#06x}"
+                );
+                assert_eq!(
+                    F16::from_f64(h.to_f64()).to_bits(),
+                    bits,
+                    "bits {bits:#06x}"
+                );
             }
         }
     }
@@ -491,7 +499,13 @@ mod tests {
             F16::INFINITY,
         ];
         for w in vals.windows(2) {
-            assert_eq!(w[0].total_cmp(&w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+            assert_eq!(
+                w[0].total_cmp(&w[1]),
+                Ordering::Less,
+                "{:?} < {:?}",
+                w[0],
+                w[1]
+            );
         }
         assert_eq!(F16::NAN.total_cmp(&F16::NAN), Ordering::Equal);
     }

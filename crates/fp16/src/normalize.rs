@@ -94,10 +94,38 @@ impl AdaptiveNormalizer {
         }
     }
 
+    /// [`normalize`](Self::normalize) into a caller-owned buffer, for hot
+    /// paths that quantize every iteration and must not allocate. Returns
+    /// the applied factor.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn normalize_into(&self, data: &[f32], out: &mut [F16]) -> f32 {
+        assert_eq!(data.len(), out.len(), "normalize length mismatch");
+        let factor = self.factor_for(max_abs(data));
+        for (q, &x) in out.iter_mut().zip(data) {
+            *q = F16::from_f32(x * factor);
+        }
+        factor
+    }
+
     /// Undoes a previous [`normalize`](Self::normalize), widening to `f32`.
     pub fn denormalize(&self, normalized: &Normalized) -> Vec<f32> {
         let inv = 1.0 / normalized.factor;
         normalized.data.iter().map(|h| h.to_f32() * inv).collect()
+    }
+
+    /// [`denormalize`](Self::denormalize) into a caller-owned buffer — the
+    /// allocation-free counterpart of [`normalize_into`](Self::normalize_into).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn denormalize_into(&self, data: &[F16], factor: f32, out: &mut [f32]) {
+        assert_eq!(data.len(), out.len(), "denormalize length mismatch");
+        let inv = 1.0 / factor;
+        for (o, h) in out.iter_mut().zip(data) {
+            *o = h.to_f32() * inv;
+        }
     }
 }
 
@@ -129,10 +157,7 @@ mod tests {
         let back = norm.denormalize(&n);
         for (orig, rec) in data.iter().zip(&back) {
             let tol = orig.abs().max(1e-12) * 2.0 * HALF_RELATIVE_EPS;
-            assert!(
-                (orig - rec).abs() <= tol,
-                "orig {orig} rec {rec} tol {tol}"
-            );
+            assert!((orig - rec).abs() <= tol, "orig {orig} rec {rec} tol {tol}");
         }
     }
 
@@ -182,6 +207,21 @@ mod tests {
         let f3 = norm.factor_for(0.01);
         assert!(f1 < f2 && f2 < f3);
         assert_eq!(f2, 256.0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let norm = AdaptiveNormalizer::default();
+        let data: Vec<f32> = (0..257).map(|i| (i as f32 - 128.0) * 3e-6).collect();
+        let n = norm.normalize(&data);
+        let mut q = vec![F16::ZERO; data.len()];
+        let factor = norm.normalize_into(&data, &mut q);
+        assert_eq!(factor, n.factor);
+        assert_eq!(q, n.data);
+        let back = norm.denormalize(&n);
+        let mut out = vec![0.0f32; data.len()];
+        norm.denormalize_into(&q, factor, &mut out);
+        assert_eq!(out, back);
     }
 
     #[test]

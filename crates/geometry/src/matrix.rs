@@ -65,10 +65,10 @@ impl SystemMatrix {
     /// Iterates `(ray, voxel, length)` triplets in row-major order; the
     /// packed formats in `xct-spmm` are built from this.
     pub fn triplets(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
-        self.rows.iter().enumerate().flat_map(|(r, hits)| {
-            hits.iter()
-                .map(move |h| (r as u32, h.voxel, h.length))
-        })
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(r, hits)| hits.iter().map(move |h| (r as u32, h.voxel, h.length)))
     }
 
     /// Forward projection `y = A·x` (reference implementation).
@@ -173,8 +173,16 @@ mod tests {
         a.project(&x, &mut ax);
         let mut aty = vec![0.0f32; a.num_voxels()];
         a.backproject(&y, &mut aty);
-        let lhs: f64 = ax.iter().zip(&y).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
-        let rhs: f64 = x.iter().zip(&aty).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let lhs: f64 = ax
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
+        let rhs: f64 = x
+            .iter()
+            .zip(&aty)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
         assert!(
             (lhs - rhs).abs() <= 1e-5 * lhs.abs().max(rhs.abs()).max(1.0),
             "lhs {lhs} rhs {rhs}"

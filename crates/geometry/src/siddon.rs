@@ -314,8 +314,14 @@ mod tests {
         // At θ+π the detector axis flips too, so the same physical line is
         // offset −0.9.
         let b = trace_ray(&g, theta + std::f64::consts::PI, -0.9);
-        let mut va: Vec<_> = a.iter().map(|h| (h.voxel, (h.length * 1e6).round() as i64)).collect();
-        let mut vb: Vec<_> = b.iter().map(|h| (h.voxel, (h.length * 1e6).round() as i64)).collect();
+        let mut va: Vec<_> = a
+            .iter()
+            .map(|h| (h.voxel, (h.length * 1e6).round() as i64))
+            .collect();
+        let mut vb: Vec<_> = b
+            .iter()
+            .map(|h| (h.voxel, (h.length * 1e6).round() as i64))
+            .collect();
         va.sort_unstable();
         vb.sort_unstable();
         assert_eq!(va, vb);

@@ -41,7 +41,10 @@ impl TiledScan {
         let n = full.detector.channels;
         if num_tiles == 1 {
             return TiledScan {
-                tiles: vec![DetectorTile { start: 0, channels: n }],
+                tiles: vec![DetectorTile {
+                    start: 0,
+                    channels: n,
+                }],
                 full_channels: n,
                 angles: full.angles.len(),
             };
@@ -158,9 +161,27 @@ mod tests {
         assert_eq!(tiled.tiles().len(), 3);
         assert!(tiled.covers_detector());
         // Tiles: width = (48 + 2·6)/3 = 20, starts 0, 14, 28.
-        assert_eq!(tiled.tiles()[0], DetectorTile { start: 0, channels: 20 });
-        assert_eq!(tiled.tiles()[1], DetectorTile { start: 14, channels: 20 });
-        assert_eq!(tiled.tiles()[2], DetectorTile { start: 28, channels: 20 });
+        assert_eq!(
+            tiled.tiles()[0],
+            DetectorTile {
+                start: 0,
+                channels: 20
+            }
+        );
+        assert_eq!(
+            tiled.tiles()[1],
+            DetectorTile {
+                start: 14,
+                channels: 20
+            }
+        );
+        assert_eq!(
+            tiled.tiles()[2],
+            DetectorTile {
+                start: 28,
+                channels: 20
+            }
+        );
         assert_eq!(tiled.tiles()[2].start + 20, 48);
     }
 

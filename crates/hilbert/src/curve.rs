@@ -282,7 +282,17 @@ mod tests {
 
     #[test]
     fn gilbert_covers_rectangles() {
-        for &(w, h) in &[(1, 1), (5, 1), (1, 9), (2, 3), (3, 2), (13, 7), (7, 13), (32, 5), (100, 63)] {
+        for &(w, h) in &[
+            (1, 1),
+            (5, 1),
+            (1, 9),
+            (2, 3),
+            (3, 2),
+            (13, 7),
+            (7, 13),
+            (32, 5),
+            (100, 63),
+        ] {
             assert_complete_and_adjacent(&gilbert_order(w, h), w, h);
         }
     }

@@ -172,11 +172,7 @@ mod tests {
                 .abs_diff(pair[1].0)
                 .max(pair[0].1.abs_diff(pair[1].1))
                 .max(pair[0].2.abs_diff(pair[1].2));
-            assert_eq!(
-                dist, 1,
-                "{w}x{h}x{d}: jump {:?} -> {:?}",
-                pair[0], pair[1]
-            );
+            assert_eq!(dist, 1, "{w}x{h}x{d}: jump {:?} -> {:?}", pair[0], pair[1]);
         }
     }
 

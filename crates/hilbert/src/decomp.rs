@@ -48,14 +48,13 @@ pub struct Subdomain {
 impl Subdomain {
     /// Bounding box `(min_x, min_y, max_x, max_y)` in *cell* coordinates,
     /// inclusive. `None` when the subdomain holds no tiles.
-    pub fn cell_bbox(&self, tile_size: usize, domain: Domain2D) -> Option<(usize, usize, usize, usize)> {
+    pub fn cell_bbox(
+        &self,
+        tile_size: usize,
+        domain: Domain2D,
+    ) -> Option<(usize, usize, usize, usize)> {
         let first = self.tiles.first()?;
-        let mut bbox = (
-            first.tx * tile_size,
-            first.ty * tile_size,
-            0usize,
-            0usize,
-        );
+        let mut bbox = (first.tx * tile_size, first.ty * tile_size, 0usize, 0usize);
         bbox.2 = bbox.0;
         bbox.3 = bbox.1;
         for t in &self.tiles {
@@ -143,7 +142,9 @@ impl TileDecomposition {
 
     /// Number of domain cells inside a tile (boundary tiles are smaller).
     pub fn tile_cells(&self, t: TileCoord) -> usize {
-        let w = self.tile_size.min(self.domain.width - t.tx * self.tile_size);
+        let w = self
+            .tile_size
+            .min(self.domain.width - t.tx * self.tile_size);
         let h = self
             .tile_size
             .min(self.domain.height - t.ty * self.tile_size);
@@ -308,7 +309,12 @@ mod tests {
         let avg = d.domain().cells() as f64 / 12.0;
         for s in &subs {
             let dev = (s.cells as f64 - avg).abs() / avg;
-            assert!(dev < 0.10, "partition {} has {} cells (avg {avg})", s.id, s.cells);
+            assert!(
+                dev < 0.10,
+                "partition {} has {} cells (avg {avg})",
+                s.id,
+                s.cells
+            );
         }
     }
 
@@ -337,7 +343,10 @@ mod tests {
         let flat = d.partition(4);
         for (proc_id, blocks) in nested.iter().enumerate() {
             assert_eq!(blocks.len(), 8);
-            let tiles: Vec<_> = blocks.iter().flat_map(|b| b.tiles.iter().copied()).collect();
+            let tiles: Vec<_> = blocks
+                .iter()
+                .flat_map(|b| b.tiles.iter().copied())
+                .collect();
             assert_eq!(tiles, flat[proc_id].tiles, "process {proc_id} run differs");
         }
     }
@@ -362,11 +371,7 @@ mod tests {
     fn boundary_tiles_are_clipped() {
         let d = decomp(20, 20, 16);
         // 2x2 tile grid: sizes 16x16, 4x16, 16x4, 4x4.
-        let mut sizes: Vec<usize> = d
-            .ordered_tiles()
-            .iter()
-            .map(|&t| d.tile_cells(t))
-            .collect();
+        let mut sizes: Vec<usize> = d.ordered_tiles().iter().map(|&t| d.tile_cells(t)).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![16, 64, 64, 256]);
     }

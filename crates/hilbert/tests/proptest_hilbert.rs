@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use xct_hilbert::{gilbert_order, hilbert_d2xy, hilbert_xy2d, CurveKind, Domain2D, TileDecomposition};
+use xct_hilbert::{
+    gilbert_order, hilbert_d2xy, hilbert_xy2d, CurveKind, Domain2D, TileDecomposition,
+};
 
 proptest! {
     /// d2xy and xy2d are inverse bijections for random distances.

@@ -72,7 +72,10 @@ impl std::fmt::Display for IoError {
             IoError::Os(e) => write!(f, "I/O error: {e}"),
             IoError::Format(m) => write!(f, "malformed slice file: {m}"),
             IoError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: stored {expected:#018x}, computed {actual:#018x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:#018x}, computed {actual:#018x}"
+                )
             }
             IoError::Shape(m) => write!(f, "shape error: {m}"),
         }
@@ -242,9 +245,9 @@ impl SliceReader {
     pub fn open(path: impl AsRef<Path>) -> Result<Self, IoError> {
         let mut input = BufReader::new(File::open(path)?);
         let mut header = [0u8; HEADER_LEN];
-        input.read_exact(&mut header).map_err(|e| {
-            IoError::Format(format!("truncated header: {e}"))
-        })?;
+        input
+            .read_exact(&mut header)
+            .map_err(|e| IoError::Format(format!("truncated header: {e}")))?;
         if header[0..4] != MAGIC {
             return Err(IoError::Format("bad magic".into()));
         }
@@ -479,7 +482,10 @@ mod tests {
         for s in 0..5 {
             w.write_slice(&sample_slice(s)).unwrap();
         }
-        assert!(matches!(w.write_slice(&sample_slice(0)), Err(IoError::Shape(_))));
+        assert!(matches!(
+            w.write_slice(&sample_slice(0)),
+            Err(IoError::Shape(_))
+        ));
         w.finish().unwrap();
     }
 

@@ -9,17 +9,18 @@
 //! tracts).
 
 use crate::image::Image2D;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::SmallRng;
 
 /// Layered sedimentary strata with random cracks — the Shale Rock analog.
 pub fn shale_like(n: usize, seed: u64) -> Image2D {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut img = Image2D::zeros(n, n);
     // Gently dipping strata of alternating attenuation.
     let dip: f64 = rng.gen_range(-0.3..0.3);
     let layer_freq: f64 = rng.gen_range(6.0..12.0);
-    let phases: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..std::f64::consts::TAU)).collect();
+    let phases: Vec<f64> = (0..4)
+        .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+        .collect();
     img.fill_with(|u, v| {
         let depth = v + dip * u;
         let mut val = 0.55
@@ -30,7 +31,7 @@ pub fn shale_like(n: usize, seed: u64) -> Image2D {
         val as f32
     });
     // Cracks: thin low-attenuation line segments.
-    let cracks = 6 + (rng.gen::<u32>() % 5) as usize;
+    let cracks = 6 + (rng.gen_u32() % 5) as usize;
     for _ in 0..cracks {
         let x0 = rng.gen_range(0.0..n as f64);
         let z0 = rng.gen_range(0.0..n as f64);
@@ -54,7 +55,7 @@ pub fn shale_like(n: usize, seed: u64) -> Image2D {
 /// High contrast (metal vs. dielectric) and fine pitch: the numerically
 /// challenging case used for the convergence study (§IV-F).
 pub fn chip_like(n: usize, seed: u64) -> Image2D {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut img = Image2D::zeros(n, n);
     // Dielectric background.
     img.fill_with(|_, _| 0.15);
@@ -99,7 +100,7 @@ pub fn chip_like(n: usize, seed: u64) -> Image2D {
 
 /// Porous blob texture — the Activated Charcoal analog.
 pub fn charcoal_like(n: usize, seed: u64) -> Image2D {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut img = Image2D::zeros(n, n);
     // Solid carbon matrix.
     img.fill_with(|_, _| 0.7);
@@ -137,7 +138,7 @@ pub fn charcoal_like(n: usize, seed: u64) -> Image2D {
 /// Branching vessel/axon-tract network — the Mouse Brain analog
 /// (paper Fig 1b: "blood vessels and myelinated axon tracts").
 pub fn brain_like(n: usize, seed: u64) -> Image2D {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut img = Image2D::zeros(n, n);
     // Soft tissue background with a gentle radial gradient.
     img.fill_with(|u, v| (0.35 - 0.1 * (u * u + v * v)) as f32);
@@ -175,13 +176,7 @@ pub fn brain_like(n: usize, seed: u64) -> Image2D {
             }
             // Occasionally branch with a thinner child vessel.
             if width > 0.8 && rng.gen_bool(0.01) {
-                stack.push((
-                    x,
-                    z,
-                    dir + rng.gen_range(-1.0..1.0),
-                    width * 0.6,
-                    steps / 2,
-                ));
+                stack.push((x, z, dir + rng.gen_range(-1.0..1.0), width * 0.6, steps / 2));
             }
         }
     }
@@ -233,7 +228,10 @@ mod tests {
     fn charcoal_is_porous() {
         let img = charcoal_like(96, 13);
         let pores = img.data.iter().filter(|&&v| v > 0.0 && v < 0.1).count();
-        assert!(pores > 96 * 96 / 50, "expected many pore voxels, got {pores}");
+        assert!(
+            pores > 96 * 96 / 50,
+            "expected many pore voxels, got {pores}"
+        );
     }
 
     #[test]

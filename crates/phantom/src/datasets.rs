@@ -22,22 +22,42 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// Shale Rock: 1501×1792×2048, open (TomoBank).
     pub fn shale() -> Self {
-        DatasetSpec { name: "Shale Rock", projections: 1501, rows: 1792, channels: 2048 }
+        DatasetSpec {
+            name: "Shale Rock",
+            projections: 1501,
+            rows: 1792,
+            channels: 2048,
+        }
     }
 
     /// IC Chip: 1210×1024×2448, proprietary.
     pub fn chip() -> Self {
-        DatasetSpec { name: "IC Chip", projections: 1210, rows: 1024, channels: 2448 }
+        DatasetSpec {
+            name: "IC Chip",
+            projections: 1210,
+            rows: 1024,
+            channels: 2448,
+        }
     }
 
     /// Activated Charcoal: 4500×4198×6613, open.
     pub fn charcoal() -> Self {
-        DatasetSpec { name: "Activated Charcoal", projections: 4500, rows: 4198, channels: 6613 }
+        DatasetSpec {
+            name: "Activated Charcoal",
+            projections: 4500,
+            rows: 4198,
+            channels: 6613,
+        }
     }
 
     /// Mouse Brain: 4501×9209×11283 — the 9K×11K×11K flagship volume.
     pub fn brain() -> Self {
-        DatasetSpec { name: "Mouse Brain", projections: 4501, rows: 9209, channels: 11_283 }
+        DatasetSpec {
+            name: "Mouse Brain",
+            projections: 4501,
+            rows: 9209,
+            channels: 11_283,
+        }
     }
 
     /// Synthetic weak-scaling dataset: `base` with all three dimensions
@@ -128,7 +148,11 @@ mod tests {
         for (spec, expect) in paper_datasets().iter().zip(expect_gb) {
             let gb = spec.io_bytes(Precision::Single) as f64 / 1e9;
             let rel = (gb - expect).abs() / expect;
-            assert!(rel < 0.10, "{}: model {gb:.1} GB vs paper {expect} GB", spec.name);
+            assert!(
+                rel < 0.10,
+                "{}: model {gb:.1} GB vs paper {expect} GB",
+                spec.name
+            );
         }
     }
 
@@ -147,7 +171,11 @@ mod tests {
         for (spec, expect) in paper_datasets().iter().zip(expect_gb) {
             let gb = spec.memory_bytes(Precision::Single) as f64 / 1e9;
             let rel = (gb - expect).abs() / expect;
-            assert!(rel < 0.30, "{}: model {gb:.0} GB vs paper {expect} GB", spec.name);
+            assert!(
+                rel < 0.30,
+                "{}: model {gb:.0} GB vs paper {expect} GB",
+                spec.name
+            );
         }
     }
 
@@ -168,9 +196,8 @@ mod tests {
         let d = s.doubled(1);
         // Nominal computation K·N² grows 8× per... the paper counts
         // MN² per slice set: total compute M·K·N² grows 16×.
-        let compute = |x: &DatasetSpec| {
-            x.rows as f64 * x.projections as f64 * (x.channels as f64).powi(2)
-        };
+        let compute =
+            |x: &DatasetSpec| x.rows as f64 * x.projections as f64 * (x.channels as f64).powi(2);
         assert_eq!(compute(&d) / compute(&s), 16.0);
         // Memory data footprint grows 8×.
         assert_eq!(d.measurement_elements() / s.measurement_elements(), 8);

@@ -23,6 +23,7 @@ mod datasets;
 mod image;
 mod metrics;
 mod noise;
+mod rng;
 mod shepp;
 
 pub use analogs::{brain_like, charcoal_like, chip_like, shale_like};

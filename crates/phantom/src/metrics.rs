@@ -7,10 +7,7 @@ use crate::image::Image2D;
 pub fn psnr_db(image: &Image2D, reference: &Image2D) -> f64 {
     assert_eq!(image.nx, reference.nx, "width mismatch");
     assert_eq!(image.nz, reference.nz, "height mismatch");
-    let peak = reference
-        .data
-        .iter()
-        .fold(0.0f32, |a, &v| a.max(v.abs())) as f64;
+    let peak = reference.data.iter().fold(0.0f32, |a, &v| a.max(v.abs())) as f64;
     let mse: f64 = image
         .data
         .iter()

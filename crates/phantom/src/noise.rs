@@ -7,15 +7,14 @@
 //! preferable to filtered backprojection (paper §I) and drives the
 //! 24-iteration early stop of §IV-F.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::SmallRng;
 
 /// Adds transmission Poisson noise to line integrals `sinogram`, with
 /// `i0` incident photons per ray. Smaller `i0` = noisier. Values are
 /// re-log-transformed after sampling, clamped away from zero counts.
 pub fn add_poisson_noise(sinogram: &mut [f32], i0: f64, seed: u64) {
     assert!(i0 > 0.0, "incident photon count must be positive");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     for p in sinogram.iter_mut() {
         let expected = i0 * f64::from(-*p).exp();
         let counts = sample_poisson(&mut rng, expected).max(1.0);
@@ -26,7 +25,7 @@ pub fn add_poisson_noise(sinogram: &mut [f32], i0: f64, seed: u64) {
 /// Adds i.i.d. Gaussian noise of standard deviation `sigma`.
 pub fn add_gaussian_noise(sinogram: &mut [f32], sigma: f32, seed: u64) {
     assert!(sigma >= 0.0, "sigma must be nonnegative");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     for p in sinogram.iter_mut() {
         *p += sigma * gaussian(&mut rng);
     }
@@ -50,20 +49,22 @@ pub fn snr_db(clean: &[f32], noisy: &[f32]) -> f64 {
 }
 
 /// Standard normal via Box–Muller.
-fn gaussian(rng: &mut ChaCha8Rng) -> f32 {
+fn gaussian(rng: &mut SmallRng) -> f32 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
 }
 
 /// Poisson sampling: Knuth for small λ, Gaussian approximation above.
-fn sample_poisson(rng: &mut ChaCha8Rng, lambda: f64) -> f64 {
+fn sample_poisson(rng: &mut SmallRng, lambda: f64) -> f64 {
     if lambda <= 0.0 {
         return 0.0;
     }
     if lambda > 50.0 {
         // N(λ, λ) is an excellent approximation at synchrotron fluxes.
-        return (lambda + lambda.sqrt() * f64::from(gaussian(rng))).round().max(0.0);
+        return (lambda + lambda.sqrt() * f64::from(gaussian(rng)))
+            .round()
+            .max(0.0);
     }
     let l = (-lambda).exp();
     let mut k = 0.0;
@@ -93,7 +94,9 @@ mod tests {
 
     #[test]
     fn lower_flux_means_lower_snr() {
-        let clean: Vec<f32> = (0..2000).map(|i| 0.5 + 0.4 * ((i % 17) as f32 / 17.0)).collect();
+        let clean: Vec<f32> = (0..2000)
+            .map(|i| 0.5 + 0.4 * ((i % 17) as f32 / 17.0))
+            .collect();
         let mut bright = clean.clone();
         let mut dim = clean.clone();
         add_poisson_noise(&mut bright, 1e6, 1);
@@ -106,7 +109,8 @@ mod tests {
         let clean = vec![0.0f32; 10000];
         let mut noisy = clean.clone();
         add_gaussian_noise(&mut noisy, 0.1, 7);
-        let var: f64 = noisy.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>() / noisy.len() as f64;
+        let var: f64 =
+            noisy.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>() / noisy.len() as f64;
         assert!((var.sqrt() - 0.1).abs() < 0.01, "sd {}", var.sqrt());
     }
 
@@ -133,7 +137,7 @@ mod tests {
 
     #[test]
     fn small_lambda_poisson_is_sane() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = SmallRng::seed_from_u64(5);
         let samples: Vec<f64> = (0..5000).map(|_| sample_poisson(&mut rng, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");

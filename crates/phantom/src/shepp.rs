@@ -15,16 +15,86 @@ struct Ellipse {
 /// The ten ellipses of the modified (Toft) Shepp–Logan phantom, with the
 /// higher-contrast intensities commonly used for numerical work.
 const ELLIPSES: [Ellipse; 10] = [
-    Ellipse { value: 1.0, a: 0.69, b: 0.92, x0: 0.0, y0: 0.0, phi_deg: 0.0 },
-    Ellipse { value: -0.8, a: 0.6624, b: 0.874, x0: 0.0, y0: -0.0184, phi_deg: 0.0 },
-    Ellipse { value: -0.2, a: 0.11, b: 0.31, x0: 0.22, y0: 0.0, phi_deg: -18.0 },
-    Ellipse { value: -0.2, a: 0.16, b: 0.41, x0: -0.22, y0: 0.0, phi_deg: 18.0 },
-    Ellipse { value: 0.1, a: 0.21, b: 0.25, x0: 0.0, y0: 0.35, phi_deg: 0.0 },
-    Ellipse { value: 0.1, a: 0.046, b: 0.046, x0: 0.0, y0: 0.1, phi_deg: 0.0 },
-    Ellipse { value: 0.1, a: 0.046, b: 0.046, x0: 0.0, y0: -0.1, phi_deg: 0.0 },
-    Ellipse { value: 0.1, a: 0.046, b: 0.023, x0: -0.08, y0: -0.605, phi_deg: 0.0 },
-    Ellipse { value: 0.1, a: 0.023, b: 0.023, x0: 0.0, y0: -0.606, phi_deg: 0.0 },
-    Ellipse { value: 0.1, a: 0.023, b: 0.046, x0: 0.06, y0: -0.605, phi_deg: 0.0 },
+    Ellipse {
+        value: 1.0,
+        a: 0.69,
+        b: 0.92,
+        x0: 0.0,
+        y0: 0.0,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: -0.8,
+        a: 0.6624,
+        b: 0.874,
+        x0: 0.0,
+        y0: -0.0184,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: -0.2,
+        a: 0.11,
+        b: 0.31,
+        x0: 0.22,
+        y0: 0.0,
+        phi_deg: -18.0,
+    },
+    Ellipse {
+        value: -0.2,
+        a: 0.16,
+        b: 0.41,
+        x0: -0.22,
+        y0: 0.0,
+        phi_deg: 18.0,
+    },
+    Ellipse {
+        value: 0.1,
+        a: 0.21,
+        b: 0.25,
+        x0: 0.0,
+        y0: 0.35,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        a: 0.046,
+        b: 0.046,
+        x0: 0.0,
+        y0: 0.1,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        a: 0.046,
+        b: 0.046,
+        x0: 0.0,
+        y0: -0.1,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        a: 0.046,
+        b: 0.023,
+        x0: -0.08,
+        y0: -0.605,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        a: 0.023,
+        b: 0.023,
+        x0: 0.0,
+        y0: -0.606,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        a: 0.023,
+        b: 0.046,
+        x0: 0.06,
+        y0: -0.605,
+        phi_deg: 0.0,
+    },
 ];
 
 /// Renders the modified Shepp–Logan phantom at `n × n`.

@@ -2,6 +2,7 @@
 
 use crate::operator::LinearOperator;
 use std::time::Instant;
+use xct_exec::{BufferRole, ExecContext};
 
 /// Solver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -44,23 +45,23 @@ pub struct CglsReport {
 }
 
 /// Solves `min ‖y − Ax‖² + λ²‖x‖²` with local (single-process) inner
-/// products.
+/// products and a private serial context.
 ///
 /// ```
 /// use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
-/// use xct_solver::{cgls, CglsConfig, LinearOperator, SystemMatrixOperator};
+/// use xct_solver::{cgls, CglsConfig, ExecContext, LinearOperator, SystemMatrixOperator};
 ///
 /// let scan = ScanGeometry::uniform(ImageGrid::square(16, 1.0), 16);
 /// let sm = SystemMatrix::build(&scan);
 /// let op = SystemMatrixOperator::new(&sm);
 /// let phantom = vec![0.5f32; op.cols()];
 /// let mut y = vec![0.0f32; op.rows()];
-/// op.apply(&phantom, &mut y);
+/// op.apply(&phantom, &mut y, &mut ExecContext::serial());
 /// let report = cgls(&op, &y, &CglsConfig::default());
 /// assert!(report.residual_history.last().unwrap() < &0.05);
 /// ```
 pub fn cgls(op: &dyn LinearOperator, y: &[f32], config: &CglsConfig) -> CglsReport {
-    cgls_with(op, y, config, &mut |v| v)
+    cgls_in(op, y, config, &mut ExecContext::serial(), &mut |v| v)
 }
 
 /// [`cgls`] with a pluggable scalar reducer applied to every inner
@@ -73,6 +74,23 @@ pub fn cgls_with(
     config: &CglsConfig,
     reduce: &mut dyn FnMut(f64) -> f64,
 ) -> CglsReport {
+    cgls_in(op, y, config, &mut ExecContext::serial(), reduce)
+}
+
+/// [`cgls_with`] running inside a caller-owned [`ExecContext`].
+///
+/// All iteration vectors (`r`, `s`, `p`, `q`) come from the context's
+/// workspace, so after the first call every subsequent solve — and every
+/// iteration within a solve — is allocation-free apart from the returned
+/// report. The caller keeps the context (and its warm buffers, counters,
+/// and executor policy) across solves.
+pub fn cgls_in(
+    op: &dyn LinearOperator,
+    y: &[f32],
+    config: &CglsConfig,
+    ctx: &mut ExecContext,
+    reduce: &mut dyn FnMut(f64) -> f64,
+) -> CglsReport {
     assert_eq!(y.len(), op.rows(), "measurement length mismatch");
     let n = op.cols();
     let m = op.rows();
@@ -81,17 +99,21 @@ pub fn cgls_with(
 
     let mut x = vec![0.0f32; n];
     // r = y − A·x = y (x starts at zero).
-    let mut r = y.to_vec();
+    let mut r = ctx.workspace.take_uninit::<f32>(BufferRole::CgResidual, m);
+    r.copy_from_slice(y);
     // s = Aᵀ·r − λ²·x = Aᵀ·y.
-    let mut s = vec![0.0f32; n];
-    op.apply_transpose(&r, &mut s);
-    let mut p = s.clone();
+    let mut s = ctx.workspace.take::<f32>(BufferRole::CgNormal, n);
+    op.apply_transpose(&r, &mut s, ctx);
+    let mut p = ctx.workspace.take_uninit::<f32>(BufferRole::CgDirection, n);
+    p.copy_from_slice(&s);
     let mut gamma = reduce(dot(&s, &s));
 
     let y_norm = reduce(dot(y, y)).sqrt();
-    let mut history = vec![1.0f64];
-    let mut times = vec![t0.elapsed().as_secs_f64()];
-    let mut q = vec![0.0f32; m];
+    let mut history = Vec::with_capacity(config.max_iters + 1);
+    history.push(1.0f64);
+    let mut times = Vec::with_capacity(config.max_iters + 1);
+    times.push(t0.elapsed().as_secs_f64());
+    let mut q = ctx.workspace.take::<f32>(BufferRole::CgProjected, m);
     let mut converged = false;
     let mut iterations = 0;
 
@@ -101,7 +123,7 @@ pub fn cgls_with(
             converged = true;
             break;
         }
-        op.apply(&p, &mut q);
+        op.apply(&p, &mut q, ctx);
         let mut delta = reduce(dot(&q, &q));
         if lambda > 0.0 {
             delta += lambda * lambda * reduce(dot(&p, &p));
@@ -113,7 +135,7 @@ pub fn cgls_with(
         axpy(alpha as f32, &p, &mut x);
         axpy(-(alpha as f32), &q, &mut r);
         // s = Aᵀ·r − λ²·x
-        op.apply_transpose(&r, &mut s);
+        op.apply_transpose(&r, &mut s, ctx);
         if lambda > 0.0 {
             let l2 = (lambda * lambda) as f32;
             for (si, xi) in s.iter_mut().zip(&x) {
@@ -141,6 +163,11 @@ pub fn cgls_with(
             break;
         }
     }
+
+    ctx.workspace.put(BufferRole::CgResidual, r);
+    ctx.workspace.put(BufferRole::CgNormal, s);
+    ctx.workspace.put(BufferRole::CgDirection, p);
+    ctx.workspace.put(BufferRole::CgProjected, q);
 
     CglsReport {
         x,
@@ -184,7 +211,7 @@ mod tests {
         let op = diagonal(20);
         let x_true: Vec<f32> = (0..20).map(|i| (i as f32 - 10.0) / 5.0).collect();
         let mut y = vec![0.0f32; 20];
-        op.apply(&x_true, &mut y);
+        op.apply(&x_true, &mut y, &mut ExecContext::serial());
         let report = cgls(
             &op,
             &y,
@@ -211,7 +238,7 @@ mod tests {
             .map(|i| ((i * 13 + 5) % 97) as f32 / 97.0)
             .collect();
         let mut y = vec![0.0f32; op.rows()];
-        op.apply(&x_true, &mut y);
+        op.apply(&x_true, &mut y, &mut ExecContext::serial());
         let report = cgls(&op, &y, &CglsConfig::default());
         for w in report.residual_history.windows(2) {
             assert!(w[1] <= w[0] * (1.0 + 1e-6), "{} -> {}", w[0], w[1]);
@@ -236,7 +263,7 @@ mod tests {
             })
             .collect();
         let mut y = vec![0.0f32; op.rows()];
-        op.apply(&x_true, &mut y);
+        op.apply(&x_true, &mut y, &mut ExecContext::serial());
         let report = cgls(
             &op,
             &y,
@@ -264,9 +291,25 @@ mod tests {
         let op = SystemMatrixOperator::new(&sm);
         let x_true = vec![1.0f32; op.cols()];
         let mut y = vec![0.0f32; op.rows()];
-        op.apply(&x_true, &mut y);
-        let plain = cgls(&op, &y, &CglsConfig { max_iters: 40, tolerance: 0.0, damping: 0.0 });
-        let damped = cgls(&op, &y, &CglsConfig { max_iters: 40, tolerance: 0.0, damping: 2.0 });
+        op.apply(&x_true, &mut y, &mut ExecContext::serial());
+        let plain = cgls(
+            &op,
+            &y,
+            &CglsConfig {
+                max_iters: 40,
+                tolerance: 0.0,
+                damping: 0.0,
+            },
+        );
+        let damped = cgls(
+            &op,
+            &y,
+            &CglsConfig {
+                max_iters: 40,
+                tolerance: 0.0,
+                damping: 2.0,
+            },
+        );
         let norm = |v: &[f32]| v.iter().map(|x| f64::from(*x).powi(2)).sum::<f64>();
         assert!(norm(&damped.x) < norm(&plain.x));
     }
@@ -286,12 +329,16 @@ mod tests {
         let op = diagonal(10);
         let x_true: Vec<f32> = (0..10).map(|i| i as f32).collect();
         let mut y = vec![0.0f32; 10];
-        op.apply(&x_true, &mut y);
+        op.apply(&x_true, &mut y, &mut ExecContext::serial());
         let mut calls = 0usize;
         let report = cgls_with(
             &op,
             &y,
-            &CglsConfig { max_iters: 30, tolerance: 1e-10, damping: 0.0 },
+            &CglsConfig {
+                max_iters: 30,
+                tolerance: 1e-10,
+                damping: 0.0,
+            },
             &mut |v| {
                 calls += 1;
                 2.0 * v
@@ -309,11 +356,44 @@ mod tests {
         let sm = SystemMatrix::build(&scan);
         let op = SystemMatrixOperator::new(&sm);
         let y = vec![1.0f32; op.rows()];
-        let report = cgls(&op, &y, &CglsConfig { max_iters: 5, tolerance: 0.0, damping: 0.0 });
+        let report = cgls(
+            &op,
+            &y,
+            &CglsConfig {
+                max_iters: 5,
+                tolerance: 0.0,
+                damping: 0.0,
+            },
+        );
         assert_eq!(report.iterations, 5);
         assert_eq!(report.residual_history.len(), 6);
         assert_eq!(report.time_history.len(), 6);
         assert!(!report.converged);
+    }
+
+    #[test]
+    fn repeated_solves_share_one_workspace() {
+        let op = diagonal(16);
+        let x_true: Vec<f32> = (0..16).map(|i| i as f32 * 0.25).collect();
+        let mut ctx = ExecContext::serial();
+        let mut y = vec![0.0f32; 16];
+        op.apply(&x_true, &mut y, &mut ctx);
+        let config = CglsConfig {
+            max_iters: 20,
+            tolerance: 1e-12,
+            damping: 0.0,
+        };
+        let first = cgls_in(&op, &y, &config, &mut ctx, &mut |v| v);
+        let warm = ctx.workspace.alloc_events();
+        let second = cgls_in(&op, &y, &config, &mut ctx, &mut |v| v);
+        assert_eq!(
+            ctx.workspace.alloc_events(),
+            warm,
+            "warm solve must reuse buffers"
+        );
+        for (a, b) in first.x.iter().zip(&second.x) {
+            assert_eq!(a.to_bits(), b.to_bits(), "warm solve must be bit-identical");
+        }
     }
 
     #[test]

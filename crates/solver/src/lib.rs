@@ -11,11 +11,27 @@
 //!
 //! * [`LinearOperator`] — the `A` abstraction (reference, CSR-backed, or
 //!   the optimized packed kernels at any precision),
-//! * [`cgls`] / [`cgls_with`] — damped CGLS with residual history and a
-//!   pluggable inner-product reducer (the distributed reconstructor in
-//!   `xct-core` injects an allreduce there),
+//! * [`cgls`] / [`cgls_with`] / [`cgls_in`] — damped CGLS with residual
+//!   history and a pluggable inner-product reducer (the distributed
+//!   reconstructor in `xct-core` injects an allreduce there),
 //! * [`PrecisionOperator`] — wraps the fused buffered SpMM kernels with
 //!   adaptive normalization for any [`Precision`](xct_fp16::Precision).
+//!
+//! # Execution contexts
+//!
+//! Every operator apply and solver loop threads an
+//! [`ExecContext`](xct_exec::ExecContext): scratch buffers come from its
+//! [`Workspace`](xct_exec::Workspace) (keyed by
+//! [`BufferRole`](xct_exec::BufferRole)), parallel kernel launches go
+//! through its [`Executor`](xct_exec::Executor), and data movement is
+//! metered in its [`ExecCounters`](xct_exec::ExecCounters). The plain
+//! entry points ([`cgls`], [`sirt`], [`tv_reconstruct`]) build a private
+//! serial context per call; the `*_in` variants ([`cgls_in`],
+//! [`sirt_in`], [`tv_reconstruct_in`]) borrow a caller-owned context so
+//! that repeated solves — and every iteration after the first — reuse
+//! warm buffers and allocate nothing. The migration rule for new code:
+//! take per-apply staging from `ctx.workspace`, never `vec![...]` inside
+//! an apply or an iteration loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +43,10 @@ mod sirt;
 mod stepper;
 mod tv;
 
-pub use cgls::{cgls, cgls_with, CglsConfig, CglsReport};
+pub use cgls::{cgls, cgls_in, cgls_with, CglsConfig, CglsReport};
 pub use operator::{CsrOperator, LinearOperator, SystemMatrixOperator};
 pub use precision_op::PrecisionOperator;
-pub use sirt::{sirt, SirtConfig};
+pub use sirt::{sirt, sirt_in, SirtConfig};
 pub use stepper::{CglsSnapshot, CglsSolver};
-pub use tv::{tv_reconstruct, tv_value, TvConfig};
+pub use tv::{tv_reconstruct, tv_reconstruct_in, tv_value, TvConfig};
+pub use xct_exec::{BufferRole, ExecContext, ExecCounters, Executor, Workspace};

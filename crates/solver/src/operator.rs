@@ -1,5 +1,6 @@
 //! The linear-operator abstraction CGLS iterates with.
 
+use xct_exec::ExecContext;
 use xct_geometry::SystemMatrix;
 use xct_spmm::Csr;
 
@@ -10,15 +11,23 @@ use xct_spmm::Csr;
 /// communication happen inside the implementation. `fusing` reports how
 /// many slices the operator processes at once — vectors are slice-major
 /// of length `cols()` / `rows()` *totals* (already multiplied by fusing).
+///
+/// Every apply threads an [`ExecContext`]: implementations draw scratch
+/// from `ctx.workspace` (never allocate fresh buffers per call), dispatch
+/// parallel work through `ctx.executor`, and meter traffic into
+/// `ctx.counters`. This is the contract that makes steady-state solver
+/// iterations allocation-free — new operator implementations must take
+/// per-apply staging through [`Workspace::take`](xct_exec::Workspace::take)
+/// / `put` rather than `vec![...]`.
 pub trait LinearOperator: Sync {
     /// Total output length of [`apply`](Self::apply).
     fn rows(&self) -> usize;
     /// Total input length of [`apply`](Self::apply).
     fn cols(&self) -> usize;
     /// `y = A·x`.
-    fn apply(&self, x: &[f32], y: &mut [f32]);
+    fn apply(&self, x: &[f32], y: &mut [f32], ctx: &mut ExecContext);
     /// `x = Aᵀ·y`.
-    fn apply_transpose(&self, y: &[f32], x: &mut [f32]);
+    fn apply_transpose(&self, y: &[f32], x: &mut [f32], ctx: &mut ExecContext);
 }
 
 /// Reference operator: the memoized Siddon matrix applied row by row.
@@ -40,10 +49,10 @@ impl LinearOperator for SystemMatrixOperator<'_> {
     fn cols(&self) -> usize {
         self.matrix.num_voxels()
     }
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[f32], y: &mut [f32], _ctx: &mut ExecContext) {
         self.matrix.project(x, y);
     }
-    fn apply_transpose(&self, y: &[f32], x: &mut [f32]) {
+    fn apply_transpose(&self, y: &[f32], x: &mut [f32], _ctx: &mut ExecContext) {
         self.matrix.backproject(y, x);
     }
 }
@@ -65,6 +74,15 @@ impl CsrOperator {
     pub fn forward(&self) -> &Csr<f32> {
         &self.a
     }
+
+    /// Meters one CSR SpMV: values + column indices + row pointers +
+    /// gathered inputs read once, outputs written once.
+    fn record(&self, m: &Csr<f32>, ctx: &mut ExecContext) {
+        let nnz = m.nnz() as u64;
+        let rows = m.num_rows() as u64;
+        ctx.counters
+            .record_kernel(2 * nnz, nnz * (4 + 4 + 4) + (rows + 1) * 4, rows * 4);
+    }
 }
 
 impl LinearOperator for CsrOperator {
@@ -74,11 +92,13 @@ impl LinearOperator for CsrOperator {
     fn cols(&self) -> usize {
         self.a.num_cols()
     }
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[f32], y: &mut [f32], ctx: &mut ExecContext) {
         self.a.spmv::<f32>(x, y);
+        self.record(&self.a, ctx);
     }
-    fn apply_transpose(&self, y: &[f32], x: &mut [f32]) {
+    fn apply_transpose(&self, y: &[f32], x: &mut [f32], ctx: &mut ExecContext) {
         self.at.spmv::<f32>(y, x);
+        self.record(&self.at, ctx);
     }
 }
 
@@ -95,12 +115,13 @@ mod tests {
         let csr_op = CsrOperator::new(Csr::from_system_matrix(&sm));
         assert_eq!(ref_op.rows(), csr_op.rows());
         assert_eq!(ref_op.cols(), csr_op.cols());
+        let mut ctx = ExecContext::serial();
 
         let x: Vec<f32> = (0..ref_op.cols()).map(|i| (i % 9) as f32 / 9.0).collect();
         let mut y1 = vec![0.0f32; ref_op.rows()];
         let mut y2 = vec![0.0f32; ref_op.rows()];
-        ref_op.apply(&x, &mut y1);
-        csr_op.apply(&x, &mut y2);
+        ref_op.apply(&x, &mut y1, &mut ctx);
+        csr_op.apply(&x, &mut y2, &mut ctx);
         for (a, b) in y1.iter().zip(&y2) {
             assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0));
         }
@@ -108,10 +129,24 @@ mod tests {
         let y: Vec<f32> = (0..ref_op.rows()).map(|i| (i % 7) as f32 / 7.0).collect();
         let mut x1 = vec![0.0f32; ref_op.cols()];
         let mut x2 = vec![0.0f32; ref_op.cols()];
-        ref_op.apply_transpose(&y, &mut x1);
-        csr_op.apply_transpose(&y, &mut x2);
+        ref_op.apply_transpose(&y, &mut x1, &mut ctx);
+        csr_op.apply_transpose(&y, &mut x2, &mut ctx);
         for (a, b) in x1.iter().zip(&x2) {
             assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0));
         }
+    }
+
+    #[test]
+    fn csr_operator_meters_its_traffic() {
+        let scan = ScanGeometry::uniform(ImageGrid::square(8, 1.0), 8);
+        let sm = SystemMatrix::build(&scan);
+        let csr_op = CsrOperator::new(Csr::from_system_matrix(&sm));
+        let mut ctx = ExecContext::serial();
+        let x = vec![1.0f32; csr_op.cols()];
+        let mut y = vec![0.0f32; csr_op.rows()];
+        csr_op.apply(&x, &mut y, &mut ctx);
+        assert_eq!(ctx.counters.kernel_launches, 1);
+        assert_eq!(ctx.counters.flops, 2 * csr_op.forward().nnz() as u64);
+        assert!(ctx.counters.bytes() > 0);
     }
 }

@@ -2,8 +2,9 @@
 //! normalization, behind the [`LinearOperator`] interface.
 
 use crate::operator::LinearOperator;
-use xct_fp16::{max_abs, AdaptiveNormalizer, Precision, StorageScalar, F16};
-use xct_spmm::{spmm_buffered, Csr, KernelMetrics, PackedMatrix};
+use xct_exec::{BufferRole, ExecContext};
+use xct_fp16::{AdaptiveNormalizer, Precision, StorageScalar, F16};
+use xct_spmm::{spmm_with, Csr, KernelMetrics, PackedMatrix};
 
 /// `A` and `Aᵀ` packed for the buffered SpMM at a chosen precision, with
 /// the adaptive (de)normalization of §III-C1 around every half-precision
@@ -18,6 +19,10 @@ use xct_spmm::{spmm_buffered, Csr, KernelMetrics, PackedMatrix};
 ///   max-norm and rescales into the half sweet spot, undoing the factor
 ///   on output; CG's evolving residual therefore never under- or
 ///   overflows (§III-C1).
+///
+/// Quantization staging (`xq`/`yq`) comes from the context's workspace
+/// under [`BufferRole::QuantIn`] / [`BufferRole::QuantOut`], so repeated
+/// applies reuse the same buffers instead of allocating per call.
 pub struct PrecisionOperator {
     precision: Precision,
     fusing: usize,
@@ -144,30 +149,65 @@ impl PrecisionOperator {
         }
     }
 
-    /// Runs a packed kernel with dynamic normalization, returning
+    /// Runs a packed f64 kernel, widening in and narrowing out through
+    /// workspace staging.
+    fn run_double(
+        &self,
+        m: &PackedMatrix<f64>,
+        input: &[f32],
+        output: &mut [f32],
+        ctx: &mut ExecContext,
+    ) {
+        let mut xd = ctx
+            .workspace
+            .take_uninit::<f64>(BufferRole::QuantIn, input.len());
+        for (q, &v) in xd.iter_mut().zip(input) {
+            *q = f64::from(v);
+        }
+        let mut yd = ctx
+            .workspace
+            .take::<f64>(BufferRole::QuantOut, output.len());
+        spmm_with::<f64, f64>(m, &xd, &mut yd, ctx);
+        for (o, v) in output.iter_mut().zip(&yd) {
+            *o = *v as f32;
+        }
+        ctx.workspace.put(BufferRole::QuantIn, xd);
+        ctx.workspace.put(BufferRole::QuantOut, yd);
+    }
+
+    /// Runs a packed half kernel with dynamic normalization, returning
     /// denormalized f32 output.
     fn run_half<const HALF_COMPUTE: bool>(
         &self,
         m: &PackedMatrix<F16>,
         input: &[f32],
         output: &mut [f32],
+        ctx: &mut ExecContext,
     ) {
+        let mut xq = ctx
+            .workspace
+            .take_uninit::<F16>(BufferRole::QuantIn, input.len());
         let factor = if self.adaptive {
-            self.normalizer.factor_for(max_abs(input))
+            self.normalizer.normalize_into(input, &mut xq)
         } else {
+            for (q, &v) in xq.iter_mut().zip(input) {
+                *q = F16::from_f32(v);
+            }
             1.0
         };
-        let xq: Vec<F16> = input.iter().map(|&v| F16::from_f32(v * factor)).collect();
-        let mut yq = vec![F16::ZERO; output.len()];
+        let mut yq = ctx
+            .workspace
+            .take::<F16>(BufferRole::QuantOut, output.len());
         if HALF_COMPUTE {
-            spmm_buffered::<F16, F16>(m, &xq, &mut yq);
+            spmm_with::<F16, F16>(m, &xq, &mut yq, ctx);
         } else {
-            spmm_buffered::<F16, f32>(m, &xq, &mut yq);
+            spmm_with::<F16, f32>(m, &xq, &mut yq, ctx);
         }
-        let undo = 1.0 / (factor * self.matrix_scale);
-        for (o, h) in output.iter_mut().zip(&yq) {
-            *o = h.to_f32() * undo;
-        }
+        // Undo both the dynamic factor and the static matrix scale.
+        self.normalizer
+            .denormalize_into(&yq, factor * self.matrix_scale, output);
+        ctx.workspace.put(BufferRole::QuantIn, xq);
+        ctx.workspace.put(BufferRole::QuantOut, yq);
     }
 }
 
@@ -180,51 +220,45 @@ impl LinearOperator for PrecisionOperator {
         self.cols_total
     }
 
-    fn apply(&self, x: &[f32], y: &mut [f32]) {
+    fn apply(&self, x: &[f32], y: &mut [f32], ctx: &mut ExecContext) {
         assert_eq!(x.len(), self.cols_total, "input length mismatch");
         assert_eq!(y.len(), self.rows_total, "output length mismatch");
         match &self.inner {
             Inner::Double { a, .. } => {
-                let xd: Vec<f64> = x.iter().map(|&v| f64::from(v)).collect();
-                let mut yd = vec![0.0f64; y.len()];
-                spmm_buffered::<f64, f64>(a, &xd, &mut yd);
-                for (o, v) in y.iter_mut().zip(&yd) {
-                    *o = *v as f32;
-                }
+                self.run_double(a, x, y, ctx);
             }
             Inner::Single { a, .. } => {
-                spmm_buffered::<f32, f32>(a, x, y);
+                spmm_with::<f32, f32>(a, x, y, ctx);
             }
-            Inner::HalfFamily { a, half_compute, .. } => {
+            Inner::HalfFamily {
+                a, half_compute, ..
+            } => {
                 if *half_compute {
-                    self.run_half::<true>(a, x, y);
+                    self.run_half::<true>(a, x, y, ctx);
                 } else {
-                    self.run_half::<false>(a, x, y);
+                    self.run_half::<false>(a, x, y, ctx);
                 }
             }
         }
     }
 
-    fn apply_transpose(&self, y: &[f32], x: &mut [f32]) {
+    fn apply_transpose(&self, y: &[f32], x: &mut [f32], ctx: &mut ExecContext) {
         assert_eq!(y.len(), self.rows_total, "input length mismatch");
         assert_eq!(x.len(), self.cols_total, "output length mismatch");
         match &self.inner {
             Inner::Double { at, .. } => {
-                let yd: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
-                let mut xd = vec![0.0f64; x.len()];
-                spmm_buffered::<f64, f64>(at, &yd, &mut xd);
-                for (o, v) in x.iter_mut().zip(&xd) {
-                    *o = *v as f32;
-                }
+                self.run_double(at, y, x, ctx);
             }
             Inner::Single { at, .. } => {
-                spmm_buffered::<f32, f32>(at, y, x);
+                spmm_with::<f32, f32>(at, y, x, ctx);
             }
-            Inner::HalfFamily { at, half_compute, .. } => {
+            Inner::HalfFamily {
+                at, half_compute, ..
+            } => {
                 if *half_compute {
-                    self.run_half::<true>(at, y, x);
+                    self.run_half::<true>(at, y, x, ctx);
                 } else {
-                    self.run_half::<false>(at, y, x);
+                    self.run_half::<false>(at, y, x, ctx);
                 }
             }
         }
@@ -255,8 +289,9 @@ mod tests {
         sm.project(&x, &mut y_ref);
         for precision in Precision::ALL {
             let op = PrecisionOperator::new(&csr, precision, 1, 64, 48 * 1024);
+            let mut ctx = ExecContext::serial().with_precision(precision);
             let mut y = vec![0.0f32; sm.num_rays()];
-            op.apply(&x, &mut y);
+            op.apply(&x, &mut y, &mut ctx);
             let tol = match precision {
                 Precision::Double | Precision::Single => 1e-4,
                 Precision::Mixed => 2e-2,
@@ -277,9 +312,10 @@ mod tests {
         // half precision would flush them to zero.
         let (_, csr) = setup(12, 8);
         let op = PrecisionOperator::new(&csr, Precision::Mixed, 1, 32, 48 * 1024);
+        let mut ctx = ExecContext::serial();
         let x = vec![1e-6f32; op.cols()];
         let mut y = vec![0.0f32; op.rows()];
-        op.apply(&x, &mut y);
+        op.apply(&x, &mut y, &mut ctx);
         let nonzero = y.iter().filter(|v| **v != 0.0).count();
         assert!(
             nonzero > y.len() / 2,
@@ -293,16 +329,41 @@ mod tests {
         let (sm, csr) = setup(12, 10);
         let fusing = 3;
         let op = PrecisionOperator::new(&csr, Precision::Mixed, fusing, 32, 48 * 1024);
+        let mut ctx = ExecContext::serial();
         // Slice 1 nonzero, slices 0 and 2 zero.
         let mut x = vec![0.0f32; op.cols()];
         for i in 0..sm.num_voxels() {
             x[sm.num_voxels() + i] = 0.5 + (i % 7) as f32 * 0.05;
         }
         let mut y = vec![0.0f32; op.rows()];
-        op.apply(&x, &mut y);
+        op.apply(&x, &mut y, &mut ctx);
         assert!(y[..sm.num_rays()].iter().all(|&v| v == 0.0));
         assert!(y[2 * sm.num_rays()..].iter().all(|&v| v == 0.0));
-        assert!(y[sm.num_rays()..2 * sm.num_rays()].iter().any(|&v| v != 0.0));
+        assert!(y[sm.num_rays()..2 * sm.num_rays()]
+            .iter()
+            .any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn repeated_applies_reuse_quantization_buffers() {
+        let (_, csr) = setup(12, 10);
+        let op = PrecisionOperator::new(&csr, Precision::Mixed, 1, 32, 48 * 1024);
+        let mut ctx = ExecContext::serial();
+        let x = vec![0.3f32; op.cols()];
+        let mut y = vec![0.0f32; op.rows()];
+        op.apply(&x, &mut y, &mut ctx);
+        let mut xt = vec![0.0f32; op.cols()];
+        op.apply_transpose(&y, &mut xt, &mut ctx);
+        let warm = ctx.workspace.alloc_events();
+        for _ in 0..4 {
+            op.apply(&x, &mut y, &mut ctx);
+            op.apply_transpose(&y, &mut xt, &mut ctx);
+        }
+        assert_eq!(
+            ctx.workspace.alloc_events(),
+            warm,
+            "steady-state applies must not grow the workspace"
+        );
     }
 
     #[test]
@@ -321,7 +382,7 @@ mod tests {
             })
             .collect();
         let mut y = vec![0.0f32; sm.num_rays()];
-        ref_op.apply(&x_true, &mut y);
+        ref_op.apply(&x_true, &mut y, &mut ExecContext::serial());
 
         let config = CglsConfig {
             max_iters: 24,
@@ -352,7 +413,7 @@ mod tests {
         let (sm, csr) = setup(12, 12);
         let x_true: Vec<f32> = (0..sm.num_voxels()).map(|i| (i % 3) as f32 * 0.3).collect();
         let mut y = vec![0.0f32; sm.num_rays()];
-        SystemMatrixOperator::new(&sm).apply(&x_true, &mut y);
+        SystemMatrixOperator::new(&sm).apply(&x_true, &mut y, &mut ExecContext::serial());
         let config = CglsConfig {
             max_iters: 20,
             tolerance: 0.0,
@@ -364,6 +425,9 @@ mod tests {
             &config,
         );
         let final_res = *half.residual_history.last().unwrap();
-        assert!(final_res < 0.2, "half-precision CGLS must still descend: {final_res}");
+        assert!(
+            final_res < 0.2,
+            "half-precision CGLS must still descend: {final_res}"
+        );
     }
 }

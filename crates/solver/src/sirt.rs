@@ -11,6 +11,7 @@
 use crate::cgls::CglsReport;
 use crate::operator::LinearOperator;
 use std::time::Instant;
+use xct_exec::{BufferRole, ExecContext};
 
 /// SIRT configuration.
 #[derive(Debug, Clone, Copy)]
@@ -37,8 +38,20 @@ impl Default for SirtConfig {
     }
 }
 
-/// Runs SIRT; returns the same report shape as CGLS for comparability.
+/// Runs SIRT with a private serial context; returns the same report
+/// shape as CGLS for comparability.
 pub fn sirt(op: &dyn LinearOperator, y: &[f32], config: &SirtConfig) -> CglsReport {
+    sirt_in(op, y, config, &mut ExecContext::serial())
+}
+
+/// [`sirt`] running inside a caller-owned [`ExecContext`]; all probe and
+/// iteration vectors come from the context's workspace.
+pub fn sirt_in(
+    op: &dyn LinearOperator,
+    y: &[f32],
+    config: &SirtConfig,
+    ctx: &mut ExecContext,
+) -> CglsReport {
     assert_eq!(y.len(), op.rows(), "measurement length mismatch");
     assert!(
         config.relaxation > 0.0 && config.relaxation < 2.0,
@@ -48,44 +61,47 @@ pub fn sirt(op: &dyn LinearOperator, y: &[f32], config: &SirtConfig) -> CglsRepo
     let (m, n) = (op.rows(), op.cols());
     let t0 = Instant::now();
 
-    // Row and column sums via matrix-free probes with the ones vector.
-    let ones_n = vec![1.0f32; n];
-    let mut row_sums = vec![0.0f32; m];
-    op.apply(&ones_n, &mut row_sums);
-    let ones_m = vec![1.0f32; m];
-    let mut col_sums = vec![0.0f32; n];
-    op.apply_transpose(&ones_m, &mut col_sums);
+    // Row and column sums via matrix-free probes with the ones vector,
+    // inverted in place into the scaling diagonals R and C.
+    let mut probe = ctx.workspace.take_uninit::<f32>(BufferRole::Probe, n);
+    probe.fill(1.0);
+    let mut r_inv = ctx.workspace.take::<f32>(BufferRole::RowScale, m);
+    op.apply(&probe, &mut r_inv, ctx);
+    ctx.workspace.put(BufferRole::Probe, probe);
+    let mut probe = ctx.workspace.take_uninit::<f32>(BufferRole::Probe, m);
+    probe.fill(1.0);
+    let mut c_inv = ctx.workspace.take::<f32>(BufferRole::ColScale, n);
+    op.apply_transpose(&probe, &mut c_inv, ctx);
+    ctx.workspace.put(BufferRole::Probe, probe);
     let inv = |v: f32| if v.abs() > 1e-12 { 1.0 / v } else { 0.0 };
-    let r_inv: Vec<f32> = row_sums.iter().map(|&v| inv(v)).collect();
-    let c_inv: Vec<f32> = col_sums.iter().map(|&v| inv(v)).collect();
+    for v in r_inv.iter_mut() {
+        *v = inv(*v);
+    }
+    for v in c_inv.iter_mut() {
+        *v = inv(*v);
+    }
 
-    let y_norm = y
-        .iter()
-        .map(|&v| f64::from(v).powi(2))
-        .sum::<f64>()
-        .sqrt();
+    let y_norm = y.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>().sqrt();
     let mut x = vec![0.0f32; n];
-    let mut ax = vec![0.0f32; m];
-    let mut residual = vec![0.0f32; m];
-    let mut update = vec![0.0f32; n];
-    let mut history = vec![1.0f64];
-    let mut times = vec![t0.elapsed().as_secs_f64()];
+    let mut ax = ctx.workspace.take::<f32>(BufferRole::Forward, m);
+    let mut residual = ctx.workspace.take::<f32>(BufferRole::CgResidual, m);
+    let mut update = ctx.workspace.take::<f32>(BufferRole::Update, n);
+    let mut history = Vec::with_capacity(config.max_iters + 1);
+    history.push(1.0f64);
+    let mut times = Vec::with_capacity(config.max_iters + 1);
+    times.push(t0.elapsed().as_secs_f64());
     let mut converged = false;
     let mut iterations = 0;
 
     for _ in 0..config.max_iters {
-        op.apply(&x, &mut ax);
+        op.apply(&x, &mut ax, ctx);
         let mut res_norm = 0.0f64;
-        for ((res, &yi), (&axi, &ri)) in residual
-            .iter_mut()
-            .zip(y)
-            .zip(ax.iter().zip(&r_inv))
-        {
+        for ((res, &yi), (&axi, &ri)) in residual.iter_mut().zip(y).zip(ax.iter().zip(&r_inv)) {
             let raw = yi - axi;
             res_norm += f64::from(raw).powi(2);
             *res = raw * ri;
         }
-        op.apply_transpose(&residual, &mut update);
+        op.apply_transpose(&residual, &mut update, ctx);
         for ((xi, &ui), &ci) in x.iter_mut().zip(&update).zip(&c_inv) {
             *xi += config.relaxation * ci * ui;
             if config.nonneg && *xi < 0.0 {
@@ -105,6 +121,12 @@ pub fn sirt(op: &dyn LinearOperator, y: &[f32], config: &SirtConfig) -> CglsRepo
             break;
         }
     }
+
+    ctx.workspace.put(BufferRole::RowScale, r_inv);
+    ctx.workspace.put(BufferRole::ColScale, c_inv);
+    ctx.workspace.put(BufferRole::Forward, ax);
+    ctx.workspace.put(BufferRole::CgResidual, residual);
+    ctx.workspace.put(BufferRole::Update, update);
 
     CglsReport {
         x,
@@ -127,7 +149,10 @@ mod tests {
         let sm = SystemMatrix::build(&scan);
         let x_true: Vec<f32> = (0..n * n)
             .map(|i| {
-                let (ix, iz) = ((i % n) as f32 - n as f32 / 2.0, (i / n) as f32 - n as f32 / 2.0);
+                let (ix, iz) = (
+                    (i % n) as f32 - n as f32 / 2.0,
+                    (i / n) as f32 - n as f32 / 2.0,
+                );
                 if ix * ix + iz * iz < (n as f32 / 3.0).powi(2) {
                     1.0
                 } else {
@@ -144,7 +169,14 @@ mod tests {
     fn sirt_converges_on_consistent_data() {
         let (sm, x_true, y) = disk_setup(16, 20);
         let op = SystemMatrixOperator::new(&sm);
-        let report = sirt(&op, &y, &SirtConfig { max_iters: 200, ..Default::default() });
+        let report = sirt(
+            &op,
+            &y,
+            &SirtConfig {
+                max_iters: 200,
+                ..Default::default()
+            },
+        );
         assert!(*report.residual_history.last().unwrap() < 0.05);
         let err: f64 = report
             .x
@@ -153,7 +185,11 @@ mod tests {
             .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
             .sum::<f64>()
             .sqrt()
-            / x_true.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>().sqrt();
+            / x_true
+                .iter()
+                .map(|&v| f64::from(v).powi(2))
+                .sum::<f64>()
+                .sqrt();
         assert!(err < 0.25, "SIRT error {err}");
     }
 
@@ -161,7 +197,14 @@ mod tests {
     fn sirt_residual_is_monotone() {
         let (sm, _, y) = disk_setup(12, 16);
         let op = SystemMatrixOperator::new(&sm);
-        let report = sirt(&op, &y, &SirtConfig { max_iters: 50, ..Default::default() });
+        let report = sirt(
+            &op,
+            &y,
+            &SirtConfig {
+                max_iters: 50,
+                ..Default::default()
+            },
+        );
         for w in report.residual_history.windows(2) {
             assert!(w[1] <= w[0] * (1.0 + 1e-6), "{} -> {}", w[0], w[1]);
         }
@@ -173,8 +216,23 @@ mod tests {
         let (sm, _, y) = disk_setup(16, 20);
         let op = SystemMatrixOperator::new(&sm);
         let budget = 20;
-        let c = cgls(&op, &y, &CglsConfig { max_iters: budget, tolerance: 0.0, damping: 0.0 });
-        let s = sirt(&op, &y, &SirtConfig { max_iters: budget, ..Default::default() });
+        let c = cgls(
+            &op,
+            &y,
+            &CglsConfig {
+                max_iters: budget,
+                tolerance: 0.0,
+                damping: 0.0,
+            },
+        );
+        let s = sirt(
+            &op,
+            &y,
+            &SirtConfig {
+                max_iters: budget,
+                ..Default::default()
+            },
+        );
         assert!(
             c.residual_history.last().unwrap() < s.residual_history.last().unwrap(),
             "CG {} should beat SIRT {} at equal iterations",
@@ -191,7 +249,14 @@ mod tests {
             *v += ((i % 7) as f32 - 3.0) * 0.3;
         }
         let op = SystemMatrixOperator::new(&sm);
-        let unconstrained = sirt(&op, &y, &SirtConfig { max_iters: 60, ..Default::default() });
+        let unconstrained = sirt(
+            &op,
+            &y,
+            &SirtConfig {
+                max_iters: 60,
+                ..Default::default()
+            },
+        );
         assert!(
             unconstrained.x.iter().any(|&v| v < 0.0),
             "perturbation should create negative voxels"
@@ -212,9 +277,40 @@ mod tests {
     fn over_relaxation_speeds_early_convergence() {
         let (sm, _, y) = disk_setup(12, 16);
         let op = SystemMatrixOperator::new(&sm);
-        let slow = sirt(&op, &y, &SirtConfig { max_iters: 10, relaxation: 0.5, ..Default::default() });
-        let fast = sirt(&op, &y, &SirtConfig { max_iters: 10, relaxation: 1.5, ..Default::default() });
+        let slow = sirt(
+            &op,
+            &y,
+            &SirtConfig {
+                max_iters: 10,
+                relaxation: 0.5,
+                ..Default::default()
+            },
+        );
+        let fast = sirt(
+            &op,
+            &y,
+            &SirtConfig {
+                max_iters: 10,
+                relaxation: 1.5,
+                ..Default::default()
+            },
+        );
         assert!(fast.residual_history.last().unwrap() < slow.residual_history.last().unwrap());
+    }
+
+    #[test]
+    fn sirt_steady_state_reuses_workspace() {
+        let (sm, _, y) = disk_setup(12, 12);
+        let op = SystemMatrixOperator::new(&sm);
+        let mut ctx = ExecContext::serial();
+        let config = SirtConfig {
+            max_iters: 5,
+            ..Default::default()
+        };
+        sirt_in(&op, &y, &config, &mut ctx);
+        let warm = ctx.workspace.alloc_events();
+        sirt_in(&op, &y, &config, &mut ctx);
+        assert_eq!(ctx.workspace.alloc_events(), warm);
     }
 
     #[test]
@@ -222,6 +318,13 @@ mod tests {
     fn bad_relaxation_rejected() {
         let (sm, _, y) = disk_setup(8, 8);
         let op = SystemMatrixOperator::new(&sm);
-        sirt(&op, &y, &SirtConfig { relaxation: 2.5, ..Default::default() });
+        sirt(
+            &op,
+            &y,
+            &SirtConfig {
+                relaxation: 2.5,
+                ..Default::default()
+            },
+        );
     }
 }

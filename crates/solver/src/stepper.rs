@@ -9,6 +9,7 @@
 //! tests).
 
 use crate::operator::LinearOperator;
+use xct_exec::ExecContext;
 
 /// A snapshot of the CGLS Krylov state after some number of iterations.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +29,11 @@ pub struct CglsSnapshot {
 }
 
 /// Step-at-a-time CGLS solver.
+///
+/// The Krylov state (`x`, `r`, `p`) and the work vectors (`q`, `s`) are
+/// owned by the solver itself — they live across steps and checkpoints,
+/// so a step performs no allocation; the [`ExecContext`] threads through
+/// to the operator for its scratch, executor, and counters.
 pub struct CglsSolver {
     snap: CglsSnapshot,
     q: Vec<f32>,
@@ -36,12 +42,12 @@ pub struct CglsSolver {
 
 impl CglsSolver {
     /// Initializes from zero (`x = 0`).
-    pub fn new(op: &dyn LinearOperator, y: &[f32]) -> Self {
+    pub fn new(op: &dyn LinearOperator, y: &[f32], ctx: &mut ExecContext) -> Self {
         assert_eq!(y.len(), op.rows(), "measurement length mismatch");
         let n = op.cols();
         let r = y.to_vec();
         let mut s = vec![0.0f32; n];
-        op.apply_transpose(&r, &mut s);
+        op.apply_transpose(&r, &mut s, ctx);
         let gamma = dot(&s, &s);
         let y_norm = dot(y, y).sqrt();
         CglsSolver {
@@ -82,12 +88,12 @@ impl CglsSolver {
 
     /// Performs one CGLS iteration; returns the relative residual
     /// afterwards, or `None` when the gradient has vanished (converged).
-    pub fn step(&mut self, op: &dyn LinearOperator) -> Option<f64> {
+    pub fn step(&mut self, op: &dyn LinearOperator, ctx: &mut ExecContext) -> Option<f64> {
         let snap = &mut self.snap;
         if snap.gamma <= 0.0 {
             return None;
         }
-        op.apply(&snap.p, &mut self.q);
+        op.apply(&snap.p, &mut self.q, ctx);
         let delta = dot(&self.q, &self.q);
         if delta <= 0.0 {
             return None;
@@ -99,7 +105,7 @@ impl CglsSolver {
         for (ri, &qi) in snap.r.iter_mut().zip(&self.q) {
             *ri -= alpha * qi;
         }
-        op.apply_transpose(&snap.r, &mut self.s);
+        op.apply_transpose(&snap.r, &mut self.s, ctx);
         let gamma_new = dot(&self.s, &self.s);
         let beta = (gamma_new / snap.gamma) as f32;
         snap.gamma = gamma_new;
@@ -153,10 +159,11 @@ mod tests {
                 damping: 0.0,
             },
         );
-        let mut solver = CglsSolver::new(&op, &y);
+        let mut ctx = ExecContext::serial();
+        let mut solver = CglsSolver::new(&op, &y, &mut ctx);
         let mut history = vec![1.0f64];
         for _ in 0..15 {
-            history.push(solver.step(&op).expect("progress"));
+            history.push(solver.step(&op, &mut ctx).expect("progress"));
         }
         for (a, b) in history.iter().zip(&reference.residual_history) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
@@ -170,21 +177,22 @@ mod tests {
     fn snapshot_resume_continues_exactly() {
         let (sm, y) = setup();
         let op = SystemMatrixOperator::new(&sm);
+        let mut ctx = ExecContext::serial();
         // Straight run: 12 iterations.
-        let mut straight = CglsSolver::new(&op, &y);
+        let mut straight = CglsSolver::new(&op, &y, &mut ctx);
         for _ in 0..12 {
-            straight.step(&op);
+            straight.step(&op, &mut ctx);
         }
         // Interrupted run: 5, snapshot, resume, 7 more.
-        let mut first = CglsSolver::new(&op, &y);
+        let mut first = CglsSolver::new(&op, &y, &mut ctx);
         for _ in 0..5 {
-            first.step(&op);
+            first.step(&op, &mut ctx);
         }
         let saved = first.snapshot().clone();
         drop(first);
         let mut resumed = CglsSolver::from_snapshot(&op, saved);
         for _ in 0..7 {
-            resumed.step(&op);
+            resumed.step(&op, &mut ctx);
         }
         assert_eq!(resumed.snapshot().iteration, 12);
         for (a, b) in resumed.snapshot().x.iter().zip(&straight.snapshot().x) {
@@ -199,8 +207,12 @@ mod tests {
         let sm = SystemMatrix::build(&scan);
         let op = SystemMatrixOperator::new(&sm);
         let y = vec![0.0f32; op.rows()];
-        let mut solver = CglsSolver::new(&op, &y);
-        assert!(solver.step(&op).is_none(), "zero RHS converges immediately");
+        let mut ctx = ExecContext::serial();
+        let mut solver = CglsSolver::new(&op, &y, &mut ctx);
+        assert!(
+            solver.step(&op, &mut ctx).is_none(),
+            "zero RHS converges immediately"
+        );
     }
 
     #[test]
@@ -208,7 +220,8 @@ mod tests {
     fn snapshot_shape_checked() {
         let (sm, y) = setup();
         let op = SystemMatrixOperator::new(&sm);
-        let solver = CglsSolver::new(&op, &y);
+        let mut ctx = ExecContext::serial();
+        let solver = CglsSolver::new(&op, &y, &mut ctx);
         let mut snap = solver.snapshot().clone();
         snap.x.pop();
         CglsSolver::from_snapshot(&op, snap);

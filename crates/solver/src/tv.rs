@@ -10,6 +10,7 @@
 use crate::cgls::CglsReport;
 use crate::operator::LinearOperator;
 use std::time::Instant;
+use xct_exec::{BufferRole, ExecContext};
 
 /// TV solver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -35,7 +36,8 @@ impl Default for TvConfig {
     }
 }
 
-/// Reconstructs one `nx × nz` slice with TV regularization.
+/// Reconstructs one `nx × nz` slice with TV regularization, using a
+/// private serial context.
 ///
 /// # Panics
 /// Panics when the operator shape does not match the grid or measurement.
@@ -45,6 +47,20 @@ pub fn tv_reconstruct(
     nx: usize,
     nz: usize,
     config: &TvConfig,
+) -> CglsReport {
+    tv_reconstruct_in(op, y, nx, nz, config, &mut ExecContext::serial())
+}
+
+/// [`tv_reconstruct`] running inside a caller-owned [`ExecContext`]; all
+/// iteration vectors (forward projection, residual, both gradients) come
+/// from the context's workspace.
+pub fn tv_reconstruct_in(
+    op: &dyn LinearOperator,
+    y: &[f32],
+    nx: usize,
+    nz: usize,
+    config: &TvConfig,
+    ctx: &mut ExecContext,
 ) -> CglsReport {
     assert_eq!(op.cols(), nx * nz, "operator/grid shape mismatch");
     assert_eq!(y.len(), op.rows(), "measurement length mismatch");
@@ -56,14 +72,21 @@ pub fn tv_reconstruct(
 
     // Lipschitz estimate of 2AᵀA by power iteration, for the step size.
     let lip = {
-        let mut v: Vec<f32> = (0..n).map(|i| ((i * 37 + 11) % 101) as f32 / 101.0 + 0.01).collect();
-        let mut av = vec![0.0f32; m];
-        let mut atav = vec![0.0f32; n];
+        let mut v = ctx.workspace.take_uninit::<f32>(BufferRole::Probe, n);
+        for (i, vi) in v.iter_mut().enumerate() {
+            *vi = ((i * 37 + 11) % 101) as f32 / 101.0 + 0.01;
+        }
+        let mut av = ctx.workspace.take::<f32>(BufferRole::Forward, m);
+        let mut atav = ctx.workspace.take::<f32>(BufferRole::Update, n);
         let mut norm = 1.0f64;
         for _ in 0..12 {
-            op.apply(&v, &mut av);
-            op.apply_transpose(&av, &mut atav);
-            norm = atav.iter().map(|&x| f64::from(x).powi(2)).sum::<f64>().sqrt();
+            op.apply(&v, &mut av, ctx);
+            op.apply_transpose(&av, &mut atav, ctx);
+            norm = atav
+                .iter()
+                .map(|&x| f64::from(x).powi(2))
+                .sum::<f64>()
+                .sqrt();
             if norm <= 0.0 {
                 break;
             }
@@ -71,6 +94,9 @@ pub fn tv_reconstruct(
                 *vi = (f64::from(ai) / norm) as f32;
             }
         }
+        ctx.workspace.put(BufferRole::Probe, v);
+        ctx.workspace.put(BufferRole::Forward, av);
+        ctx.workspace.put(BufferRole::Update, atav);
         2.0 * norm
     };
     // TV gradient Lipschitz bound ≈ 8λ/ε on a 4-neighbour grid.
@@ -78,30 +104,42 @@ pub fn tv_reconstruct(
 
     let y_norm = y.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>().sqrt();
     let mut x = vec![0.0f32; n];
-    let mut ax = vec![0.0f32; m];
-    let mut residual = vec![0.0f32; m];
-    let mut grad_ls = vec![0.0f32; n];
-    let mut history = vec![1.0f64];
-    let mut times = vec![t0.elapsed().as_secs_f64()];
+    let mut ax = ctx.workspace.take::<f32>(BufferRole::Forward, m);
+    let mut residual = ctx.workspace.take::<f32>(BufferRole::CgResidual, m);
+    let mut grad_ls = ctx.workspace.take::<f32>(BufferRole::Update, n);
+    let mut tv_grad = ctx.workspace.take::<f32>(BufferRole::Gradient, n);
+    let mut history = Vec::with_capacity(config.iterations + 1);
+    history.push(1.0f64);
+    let mut times = Vec::with_capacity(config.iterations + 1);
+    times.push(t0.elapsed().as_secs_f64());
 
     for _ in 0..config.iterations {
-        op.apply(&x, &mut ax);
+        op.apply(&x, &mut ax, ctx);
         let mut res_norm = 0.0f64;
         for ((r, &yi), &axi) in residual.iter_mut().zip(y).zip(ax.iter()) {
             *r = axi - yi;
             res_norm += f64::from(*r).powi(2);
         }
-        op.apply_transpose(&residual, &mut grad_ls);
-        let tv_grad = tv_gradient(&x, nx, nz, config.epsilon);
-        for ((xi, &g), &tg) in x.iter_mut().zip(&grad_ls).zip(&tv_grad) {
+        op.apply_transpose(&residual, &mut grad_ls, ctx);
+        tv_gradient_into(&x, nx, nz, config.epsilon, &mut tv_grad);
+        for ((xi, &g), &tg) in x.iter_mut().zip(&grad_ls).zip(tv_grad.iter()) {
             *xi -= step * (2.0 * g + config.lambda * tg);
             if config.nonneg && *xi < 0.0 {
                 *xi = 0.0;
             }
         }
-        history.push(if y_norm > 0.0 { res_norm.sqrt() / y_norm } else { 0.0 });
+        history.push(if y_norm > 0.0 {
+            res_norm.sqrt() / y_norm
+        } else {
+            0.0
+        });
         times.push(t0.elapsed().as_secs_f64());
     }
+
+    ctx.workspace.put(BufferRole::Forward, ax);
+    ctx.workspace.put(BufferRole::CgResidual, residual);
+    ctx.workspace.put(BufferRole::Update, grad_ls);
+    ctx.workspace.put(BufferRole::Gradient, tv_grad);
 
     CglsReport {
         x,
@@ -119,17 +157,26 @@ pub fn tv_value(x: &[f32], nx: usize, nz: usize, epsilon: f32) -> f64 {
     for iz in 0..nz {
         for ix in 0..nx {
             let v = x[iz * nx + ix];
-            let dx = if ix + 1 < nx { x[iz * nx + ix + 1] - v } else { 0.0 };
-            let dz = if iz + 1 < nz { x[(iz + 1) * nx + ix] - v } else { 0.0 };
+            let dx = if ix + 1 < nx {
+                x[iz * nx + ix + 1] - v
+            } else {
+                0.0
+            };
+            let dz = if iz + 1 < nz {
+                x[(iz + 1) * nx + ix] - v
+            } else {
+                0.0
+            };
             acc += f64::from(dx * dx + dz * dz + epsilon * epsilon).sqrt();
         }
     }
     acc
 }
 
-/// Gradient of [`tv_value`] with respect to `x`.
-fn tv_gradient(x: &[f32], nx: usize, nz: usize, epsilon: f32) -> Vec<f32> {
-    let mut grad = vec![0.0f32; x.len()];
+/// Gradient of [`tv_value`] with respect to `x`, written into `grad`.
+fn tv_gradient_into(x: &[f32], nx: usize, nz: usize, epsilon: f32, grad: &mut [f32]) {
+    assert_eq!(grad.len(), x.len(), "gradient shape mismatch");
+    grad.fill(0.0);
     for iz in 0..nz {
         for ix in 0..nx {
             let at = iz * nx + ix;
@@ -147,6 +194,13 @@ fn tv_gradient(x: &[f32], nx: usize, nz: usize, epsilon: f32) -> Vec<f32> {
             }
         }
     }
+}
+
+/// Gradient of [`tv_value`] with respect to `x` (allocating convenience).
+#[cfg(test)]
+fn tv_gradient(x: &[f32], nx: usize, nz: usize, epsilon: f32) -> Vec<f32> {
+    let mut grad = vec![0.0f32; x.len()];
+    tv_gradient_into(x, nx, nz, epsilon, &mut grad);
     grad
 }
 
@@ -190,7 +244,11 @@ mod tests {
     }
 
     fn rel_err(a: &[f32], b: &[f32]) -> f64 {
-        let num: f64 = a.iter().zip(b).map(|(&p, &q)| (f64::from(p) - f64::from(q)).powi(2)).sum();
+        let num: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(&p, &q)| (f64::from(p) - f64::from(q)).powi(2))
+            .sum();
         let den: f64 = b.iter().map(|&q| f64::from(q).powi(2)).sum();
         (num / den).sqrt()
     }
@@ -198,7 +256,9 @@ mod tests {
     #[test]
     fn tv_gradient_matches_finite_differences() {
         let (nx, nz) = (6, 5);
-        let x: Vec<f32> = (0..nx * nz).map(|i| ((i * 17 + 3) % 23) as f32 / 23.0).collect();
+        let x: Vec<f32> = (0..nx * nz)
+            .map(|i| ((i * 17 + 3) % 23) as f32 / 23.0)
+            .collect();
         let eps = 0.05f32;
         let grad = tv_gradient(&x, nx, nz, eps);
         let f0 = tv_value(&x, nx, nz, eps);
@@ -220,7 +280,15 @@ mod tests {
         let n = 24;
         let (sm, x_true, y) = noisy_setup(n);
         let op = SystemMatrixOperator::new(&sm);
-        let plain = cgls(&op, &y, &CglsConfig { max_iters: 60, tolerance: 0.0, damping: 0.0 });
+        let plain = cgls(
+            &op,
+            &y,
+            &CglsConfig {
+                max_iters: 60,
+                tolerance: 0.0,
+                damping: 0.0,
+            },
+        );
         let tv = tv_reconstruct(
             &op,
             &y,
@@ -285,6 +353,22 @@ mod tests {
         let op = SystemMatrixOperator::new(&sm);
         let report = tv_reconstruct(&op, &y, n, n, &TvConfig::default());
         assert!(report.x.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn tv_steady_state_reuses_workspace() {
+        let n = 12;
+        let (sm, _, y) = noisy_setup(n);
+        let op = SystemMatrixOperator::new(&sm);
+        let mut ctx = ExecContext::serial();
+        let config = TvConfig {
+            iterations: 3,
+            ..Default::default()
+        };
+        tv_reconstruct_in(&op, &y, n, n, &config, &mut ctx);
+        let warm = ctx.workspace.alloc_events();
+        tv_reconstruct_in(&op, &y, n, n, &config, &mut ctx);
+        assert_eq!(ctx.workspace.alloc_events(), warm);
     }
 
     #[test]

@@ -230,16 +230,15 @@ impl<S: StorageScalar> Csr<S> {
     /// and input gathers hit L2 at `1 −` [`Self::BASELINE_GATHER_MISS_RATE`].
     pub fn spmm_metrics(&self, fusing: usize) -> KernelMetrics {
         let unpacked_elem = (4 + S::BYTES) as u64;
-        let gather_miss = (self.nnz() as f64
-            * fusing as f64
-            * S::BYTES as f64
-            * Self::BASELINE_GATHER_MISS_RATE) as u64;
+        let gather_miss =
+            (self.nnz() as f64 * fusing as f64 * S::BYTES as f64 * Self::BASELINE_GATHER_MISS_RATE)
+                as u64;
         KernelMetrics {
             flops: 2 * self.nnz() as u64 * fusing as u64,
             bytes_read: self.nnz() as u64 * unpacked_elem                  // matrix
                 + gather_miss                                              // x misses
                 + (self.num_cols * fusing * S::BYTES) as u64               // x compulsory
-                + (self.num_rows as u64 + 1) * 8,                          // rowptr
+                + (self.num_rows as u64 + 1) * 8, // rowptr
             bytes_written: (self.num_rows * fusing * S::BYTES) as u64,
         }
     }
@@ -272,7 +271,8 @@ mod tests {
 
     #[test]
     fn duplicate_triplets_are_summed() {
-        let a = Csr::<f32>::from_triplets(1, 2, vec![(0u32, 1u32, 1.5f32), (0, 1, 2.5)].into_iter());
+        let a =
+            Csr::<f32>::from_triplets(1, 2, vec![(0u32, 1u32, 1.5f32), (0, 1, 2.5)].into_iter());
         assert_eq!(a.nnz(), 1);
         let mut y = [0.0f32];
         a.spmv::<f32>(&[0.0, 1.0], &mut y);
@@ -328,7 +328,8 @@ mod tests {
 
     #[test]
     fn half_storage_quantizes_values() {
-        let a = Csr::<F16>::from_triplets(1, 1, vec![(0u32, 0u32, 0.3f32 + f32::EPSILON)].into_iter());
+        let a =
+            Csr::<F16>::from_triplets(1, 1, vec![(0u32, 0u32, 0.3f32 + f32::EPSILON)].into_iter());
         let (_, vals) = a.row(0);
         assert_eq!(vals[0].to_f32(), F16::from_f32(0.3).to_f32());
     }

@@ -3,7 +3,7 @@
 //! Control flow mirrors the CUDA kernel exactly:
 //!
 //! ```text
-//! for each thread block (rayon task):           // blockIdx.x
+//! for each thread block (executor partition):   // blockIdx.x
 //!   acc[thread][FFACTOR] = 0                    // line 10
 //!   for each stage:                             // lines 12–13
 //!     gather x through buffmap into shared      // lines 15–20
@@ -16,64 +16,134 @@
 //!
 //! Storage scalar `S` and compute scalar `C` are independent, giving the
 //! double/single/half/mixed modes of §III-C.
+//!
+//! All scratch (accumulators, the shared-memory stand-in, per-block
+//! output staging) comes from the [`ExecContext`]'s workspace, so a
+//! steady-state iteration re-running [`spmm_with`] performs no heap
+//! allocation — the CPU analogue of the paper's preallocated device
+//! buffers.
 
 use crate::compute::ComputeScalar;
 use crate::metrics::KernelMetrics;
 use crate::packed::{PackedBlock, PackedMatrix, WARP_SIZE};
-use rayon::prelude::*;
+use xct_exec::{BufferRole, ExecContext, WorkspaceScalar};
 use xct_fp16::StorageScalar;
 
-/// Runs the fused SpMM `Y = A·X` with blocks in parallel.
+/// Runs the fused SpMM `Y = A·X` through an execution context.
 ///
 /// `x` and `y` are slice-major: `x[f*num_cols + c]`, `y[f*num_rows + r]`
-/// for `f` in `0..fusing`, matching Listing 1. Returns the memory-traffic
-/// account of the launch.
+/// for `f` in `0..fusing`, matching Listing 1. Scratch buffers are taken
+/// from `ctx.workspace` (allocation-free once warm), blocks are
+/// distributed according to `ctx.executor`, and the launch's traffic is
+/// added to `ctx.counters`. Returns the per-launch memory-traffic
+/// account. Results are bit-identical across executors: every block's
+/// FMA order is fixed and the scatter into `y` is sequential.
 ///
 /// # Panics
 /// Panics when the buffer lengths don't match the matrix shape or the
 /// matrix was staged for a different fusing factor.
-pub fn spmm_buffered<S: StorageScalar, C: ComputeScalar>(
+pub fn spmm_with<S, C>(
     a: &PackedMatrix<S>,
     x: &[S],
     y: &mut [S],
-) -> KernelMetrics {
+    ctx: &mut ExecContext,
+) -> KernelMetrics
+where
+    S: StorageScalar + WorkspaceScalar,
+    C: ComputeScalar + WorkspaceScalar,
+{
     check_shapes(a, x, y);
     let fusing = a.fusing();
     let num_rows = a.num_rows();
-    // Each block produces its rows independently; scatter afterwards
-    // because the slice-major layout interleaves block outputs.
-    let outputs: Vec<(usize, usize, Vec<S>)> = a
-        .blocks()
-        .par_iter()
-        .map(|block| {
-            let out = run_block::<S, C>(block, a.slots_per_stage(), a.num_cols(), x, fusing);
-            (block.row_base, block.rows, out)
-        })
-        .collect();
-    scatter(&outputs, y, num_rows, fusing);
-    a.kernel_metrics()
+    let num_cols = a.num_cols();
+    let buffsize = a.slots_per_stage();
+    let blocks = a.blocks();
+    // Per-block scratch strides. `block_size` bounds `block.rows`, so one
+    // stride fits any block.
+    let acc_stride = a.block_size() * fusing;
+    let shared_stride = buffsize * fusing;
+    let parts = ctx.executor.partitions(blocks.len());
+
+    // One acc/shared lane per worker (reused across its blocks), one out
+    // slot per block (consumed by the sequential scatter afterwards,
+    // because the slice-major layout interleaves block outputs).
+    let mut acc: Vec<C> = ctx
+        .workspace
+        .take_uninit(BufferRole::KernelAcc, parts * acc_stride);
+    let mut shared: Vec<S> = ctx
+        .workspace
+        .take_uninit(BufferRole::KernelShared, parts * shared_stride);
+    let mut out: Vec<S> = ctx
+        .workspace
+        .take_uninit(BufferRole::KernelOut, blocks.len() * acc_stride);
+
+    let per_part = blocks.len().div_ceil(parts).max(1);
+    if parts <= 1 {
+        let acc = &mut acc[..acc_stride];
+        let shared = &mut shared[..shared_stride];
+        for (block, out) in blocks.iter().zip(out.chunks_mut(acc_stride)) {
+            run_block_into::<S, C>(block, buffsize, num_cols, x, fusing, acc, shared, out);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let work = blocks
+                .chunks(per_part)
+                .zip(out.chunks_mut(per_part * acc_stride))
+                .zip(acc.chunks_mut(acc_stride))
+                .zip(shared.chunks_mut(shared_stride));
+            for (((blocks, outs), acc), shared) in work {
+                scope.spawn(move || {
+                    for (block, out) in blocks.iter().zip(outs.chunks_mut(acc_stride)) {
+                        run_block_into::<S, C>(
+                            block, buffsize, num_cols, x, fusing, acc, shared, out,
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    for (block, out) in blocks.iter().zip(out.chunks(acc_stride)) {
+        for t in 0..block.rows {
+            for f in 0..fusing {
+                y[f * num_rows + block.row_base + t] = out[t * fusing + f];
+            }
+        }
+    }
+
+    ctx.workspace.put(BufferRole::KernelAcc, acc);
+    ctx.workspace.put(BufferRole::KernelShared, shared);
+    ctx.workspace.put(BufferRole::KernelOut, out);
+
+    let metrics = a.kernel_metrics();
+    ctx.counters
+        .record_kernel(metrics.flops, metrics.bytes_read, metrics.bytes_written);
+    metrics
+}
+
+/// Runs the fused SpMM with blocks in parallel.
+///
+/// Convenience wrapper over [`spmm_with`] that builds a fresh parallel
+/// [`ExecContext`] per call — the allocating baseline. Hot loops should
+/// hold a context and call [`spmm_with`] instead.
+pub fn spmm_buffered<S, C>(a: &PackedMatrix<S>, x: &[S], y: &mut [S]) -> KernelMetrics
+where
+    S: StorageScalar + WorkspaceScalar,
+    C: ComputeScalar + WorkspaceScalar,
+{
+    let mut ctx = ExecContext::parallel();
+    spmm_with::<S, C>(a, x, y, &mut ctx)
 }
 
 /// Single-threaded variant of [`spmm_buffered`] — bit-identical results,
 /// used where deterministic single-core timing is wanted.
-pub fn spmm_buffered_serial<S: StorageScalar, C: ComputeScalar>(
-    a: &PackedMatrix<S>,
-    x: &[S],
-    y: &mut [S],
-) -> KernelMetrics {
-    check_shapes(a, x, y);
-    let fusing = a.fusing();
-    let num_rows = a.num_rows();
-    let outputs: Vec<(usize, usize, Vec<S>)> = a
-        .blocks()
-        .iter()
-        .map(|block| {
-            let out = run_block::<S, C>(block, a.slots_per_stage(), a.num_cols(), x, fusing);
-            (block.row_base, block.rows, out)
-        })
-        .collect();
-    scatter(&outputs, y, num_rows, fusing);
-    a.kernel_metrics()
+pub fn spmm_buffered_serial<S, C>(a: &PackedMatrix<S>, x: &[S], y: &mut [S]) -> KernelMetrics
+where
+    S: StorageScalar + WorkspaceScalar,
+    C: ComputeScalar + WorkspaceScalar,
+{
+    let mut ctx = ExecContext::serial();
+    spmm_with::<S, C>(a, x, y, &mut ctx)
 }
 
 fn check_shapes<S: StorageScalar>(a: &PackedMatrix<S>, x: &[S], y: &[S]) {
@@ -95,24 +165,35 @@ fn check_shapes<S: StorageScalar>(a: &PackedMatrix<S>, x: &[S], y: &[S]) {
     );
 }
 
-/// Executes one thread block; returns its rows thread-major
-/// (`out[t*fusing + f]`).
-fn run_block<S: StorageScalar, C: ComputeScalar>(
+/// Executes one thread block into caller-provided scratch, leaving its
+/// rows thread-major in `out` (`out[t*fusing + f]`).
+///
+/// `acc` and `shared` may carry stale data from a previous block: `acc`
+/// is re-zeroed here (line 10 of the kernel), and every FMA reads a
+/// `shared` slot freshly gathered by the current stage — real elements
+/// index inside the stage's map, and padding elements carry `ind = 0`
+/// with `len = 0`, which only exist when slot 0 was gathered. So reuse
+/// cannot change results.
+#[allow(clippy::too_many_arguments)]
+fn run_block_into<S: StorageScalar, C: ComputeScalar>(
     block: &PackedBlock<S>,
     buffsize: usize,
-    _num_cols: usize,
+    num_cols: usize,
     x: &[S],
     fusing: usize,
-) -> Vec<S> {
-    let num_cols = _num_cols;
+    acc: &mut [C],
+    shared: &mut [S],
+    out: &mut [S],
+) {
     // acc[FFACTOR] per thread (line 10); thread-major layout.
-    let mut acc = vec![C::default(); block.rows * fusing];
-    // `extern __shared__ half shared[]` (line 9): values stay in storage
-    // precision inside the buffer; conversion happens at the FMA.
-    let mut shared = vec![S::zero(); buffsize * fusing];
+    let acc = &mut acc[..block.rows * fusing];
+    acc.fill(C::default());
 
     for stage in &block.stages {
-        // Cooperative gather through buffmap (lines 15–20).
+        // Cooperative gather through buffmap (lines 15–20). `shared` is
+        // the stand-in for `extern __shared__ half shared[]` (line 9):
+        // values stay in storage precision inside the buffer; conversion
+        // happens at the FMA.
         for (slot, &col) in stage.map.iter().enumerate() {
             for f in 0..fusing {
                 shared[f * buffsize + slot] = x[f * num_cols + col as usize];
@@ -141,26 +222,9 @@ fn run_block<S: StorageScalar, C: ComputeScalar>(
     }
 
     // Store accumulators (lines 32–36).
-    let mut out = vec![S::zero(); block.rows * fusing];
     for t in 0..block.rows {
         for f in 0..fusing {
             out[t * fusing + f] = acc[t * fusing + f].store();
-        }
-    }
-    out
-}
-
-fn scatter<S: StorageScalar>(
-    outputs: &[(usize, usize, Vec<S>)],
-    y: &mut [S],
-    num_rows: usize,
-    fusing: usize,
-) {
-    for (row_base, rows, out) in outputs {
-        for t in 0..*rows {
-            for f in 0..fusing {
-                y[f * num_rows + row_base + t] = out[t * fusing + f];
-            }
         }
     }
 }
@@ -169,6 +233,7 @@ fn scatter<S: StorageScalar>(
 mod tests {
     use super::*;
     use crate::csr::Csr;
+    use xct_exec::Executor;
     use xct_fp16::F16;
 
     fn random_csr(rows: usize, cols: usize, per_row: usize, seed: u64) -> Csr<f32> {
@@ -239,6 +304,68 @@ mod tests {
     }
 
     #[test]
+    fn every_thread_count_agrees_bitwise() {
+        let csr = random_csr(310, 140, 7, 23);
+        let packed = PackedMatrix::pack(&csr, 32, 1024, 2);
+        let x = random_x(140 * 2, 41);
+        let mut y_ref = vec![0.0f32; 310 * 2];
+        spmm_buffered_serial::<f32, f32>(&packed, &x, &mut y_ref);
+        for threads in [2, 3, 5, 64] {
+            let mut ctx = ExecContext::with_executor(Executor::threads(threads));
+            let mut y = vec![0.0f32; 310 * 2];
+            spmm_with::<f32, f32>(&packed, &x, &mut y, &mut ctx);
+            assert_eq!(
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_allocation_free_and_exact() {
+        let csr = random_csr(100, 60, 5, 3);
+        let packed = PackedMatrix::pack(&csr, 32, 512, 2);
+        let x = random_x(60 * 2, 7);
+        let mut ctx = ExecContext::serial();
+        let mut y_first = vec![0.0f32; 100 * 2];
+        spmm_with::<f32, f32>(&packed, &x, &mut y_first, &mut ctx);
+        let warm = ctx.workspace.alloc_events();
+        assert!(warm > 0);
+        for _ in 0..4 {
+            let mut y = vec![0.0f32; 100 * 2];
+            spmm_with::<f32, f32>(&packed, &x, &mut y, &mut ctx);
+            assert_eq!(
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y_first.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(
+            ctx.workspace.alloc_events(),
+            warm,
+            "steady-state launches must reuse the warm workspace"
+        );
+        assert_eq!(ctx.counters.kernel_launches, 5);
+    }
+
+    #[test]
+    fn context_counters_match_kernel_metrics() {
+        let csr = random_csr(80, 50, 6, 13);
+        let packed = PackedMatrix::pack(&csr, 32, 1024, 3);
+        let x = random_x(50 * 3, 17);
+        let mut ctx = ExecContext::serial();
+        let mut y = vec![0.0f32; 80 * 3];
+        let m1 = spmm_with::<f32, f32>(&packed, &x, &mut y, &mut ctx);
+        let m2 = spmm_with::<f32, f32>(&packed, &x, &mut y, &mut ctx);
+        assert_eq!(ctx.counters.flops, m1.flops + m2.flops);
+        assert_eq!(ctx.counters.bytes_read, m1.bytes_read + m2.bytes_read);
+        assert_eq!(
+            ctx.counters.bytes_written,
+            m1.bytes_written + m2.bytes_written
+        );
+    }
+
+    #[test]
     fn mixed_precision_tracks_f32_within_quantization() {
         let csr32 = random_csr(100, 80, 5, 3);
         let t: Vec<_> = csr32.triplets().collect();
@@ -282,8 +409,7 @@ mod tests {
     fn pure_half_is_less_accurate_than_mixed() {
         // Accumulating 64 equal terms of 0.01: half accumulation loses
         // precision, mixed does not.
-        let triplets: Vec<(u32, u32, f32)> =
-            (0..64).map(|c| (0u32, c as u32, 0.01f32)).collect();
+        let triplets: Vec<(u32, u32, f32)> = (0..64).map(|c| (0u32, c as u32, 0.01f32)).collect();
         let csr = Csr::<F16>::from_triplets(1, 64, triplets.into_iter());
         let packed = PackedMatrix::pack(&csr, 32, 4096, 1);
         let x = vec![F16::ONE; 64];

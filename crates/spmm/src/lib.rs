@@ -15,11 +15,16 @@
 //! 4. **Mixed precision** — storage in half, FMAs in single (§III-C).
 //!
 //! This crate reproduces the kernel *structurally* on CPU threads: thread
-//! blocks → rayon tasks, shared memory → a per-block staging buffer with
-//! the exact `buffmap` gather indirection, warps → 32-lane ELL-packed
-//! rounds, `FFACTOR` → the runtime `fusing` factor. Every data movement
-//! the GPU would perform is metered in [`KernelMetrics`], which is what
-//! the roofline analysis (Fig 9b) and machine model consume.
+//! blocks → executor partitions ([`xct_exec::Executor`]), shared memory →
+//! a per-block staging buffer with the exact `buffmap` gather
+//! indirection, warps → 32-lane ELL-packed rounds, `FFACTOR` → the
+//! runtime `fusing` factor. All kernel scratch comes from the
+//! [`xct_exec::Workspace`] so steady-state launches are allocation-free,
+//! and every data movement the GPU would perform is metered in
+//! [`KernelMetrics`] / accumulated in [`xct_exec::ExecCounters`], which
+//! is what the roofline analysis (Fig 9b) and machine model consume.
+//! [`spmm_with`] is the workspace-backed entry point; the `spmm_buffered`
+//! wrappers build a throwaway context per call.
 //!
 //! [`Csr`] provides the unfused, unstaged baseline standing in for
 //! `cusparseSpMM` (§IV-C2).
@@ -34,6 +39,8 @@ mod packed;
 
 pub use compute::ComputeScalar;
 pub use csr::Csr;
-pub use kernel::{spmm_buffered, spmm_buffered_serial};
+pub use kernel::{spmm_buffered, spmm_buffered_serial, spmm_with};
 pub use metrics::KernelMetrics;
-pub use packed::{packed_element_bytes, PackedBlock, PackedElem, PackedMatrix, PackedStage, PackedWarp, WARP_SIZE};
+pub use packed::{
+    packed_element_bytes, PackedBlock, PackedElem, PackedMatrix, PackedStage, PackedWarp, WARP_SIZE,
+};

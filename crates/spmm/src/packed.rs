@@ -97,13 +97,18 @@ impl<S: StorageScalar> PackedMatrix<S> {
     /// the shared buffer cannot hold even one slot per slice, or when the
     /// stage capacity would overflow the `u16` shared index.
     pub fn pack(csr: &Csr<S>, block_size: usize, shared_bytes: usize, fusing: usize) -> Self {
-        assert!(block_size > 0 && block_size.is_multiple_of(WARP_SIZE),
-            "block size {block_size} must be a positive multiple of {WARP_SIZE}");
+        assert!(
+            block_size > 0 && block_size.is_multiple_of(WARP_SIZE),
+            "block size {block_size} must be a positive multiple of {WARP_SIZE}"
+        );
         assert!(fusing > 0, "fusing factor must be nonzero");
         // Shared memory holds `fusing` copies of every staged slot.
         let slots = shared_bytes / (fusing * S::BYTES);
-        assert!(slots > 0,
-            "shared buffer of {shared_bytes} B cannot stage fusing={fusing} slices of {}", S::NAME);
+        assert!(
+            slots > 0,
+            "shared buffer of {shared_bytes} B cannot stage fusing={fusing} slices of {}",
+            S::NAME
+        );
         let slots_per_stage = slots.min(u16::MAX as usize + 1);
 
         let mut blocks = Vec::new();
@@ -136,7 +141,8 @@ impl<S: StorageScalar> PackedMatrix<S> {
                 let lane = t % WARP_SIZE;
                 for (&c, &v) in rcols.iter().zip(rvals) {
                     let (stage, slot) = col_slot[&c];
-                    lanes[stage * warps_per_block + warp][lane].push(PackedElem { ind: slot, len: v });
+                    lanes[stage * warps_per_block + warp][lane]
+                        .push(PackedElem { ind: slot, len: v });
                 }
             }
 
@@ -146,8 +152,13 @@ impl<S: StorageScalar> PackedMatrix<S> {
                 for warp in 0..warps_per_block {
                     let lane_lists = &lanes[stage_idx * warps_per_block + warp];
                     let rounds = lane_lists.iter().map(Vec::len).max().unwrap_or(0);
-                    let mut indval =
-                        vec![PackedElem { ind: 0, len: S::zero() }; rounds * WARP_SIZE];
+                    let mut indval = vec![
+                        PackedElem {
+                            ind: 0,
+                            len: S::zero()
+                        };
+                        rounds * WARP_SIZE
+                    ];
                     for (lane, list) in lane_lists.iter().enumerate() {
                         for (n, &e) in list.iter().enumerate() {
                             indval[n * WARP_SIZE + lane] = e;
@@ -167,7 +178,10 @@ impl<S: StorageScalar> PackedMatrix<S> {
                 stages.push(PackedStage {
                     map: Vec::new(),
                     warps: vec![
-                        PackedWarp { rounds: 0, indval: Vec::new() };
+                        PackedWarp {
+                            rounds: 0,
+                            indval: Vec::new()
+                        };
                         warps_per_block
                     ],
                 });
@@ -288,8 +302,7 @@ impl<S: StorageScalar> PackedMatrix<S> {
         for block in &self.blocks {
             for stage in &block.stages {
                 // buffmap (u32 each) + gathered x for all fused slices.
-                bytes_read +=
-                    stage.map.len() as u64 * (4 + (self.fusing * S::BYTES) as u64);
+                bytes_read += stage.map.len() as u64 * (4 + (self.fusing * S::BYTES) as u64);
                 for warp in &stage.warps {
                     bytes_read += (warp.rounds * WARP_SIZE) as u64 * elem;
                 }
@@ -353,11 +366,7 @@ mod tests {
                             }
                             if e.len != 0.0 {
                                 let col = stage.map[e.ind as usize];
-                                got.push((
-                                    (block.row_base + t) as u32,
-                                    col,
-                                    e.len.to_bits(),
-                                ));
+                                got.push(((block.row_base + t) as u32, col, e.len.to_bits()));
                             }
                         }
                     }
@@ -424,7 +433,10 @@ mod tests {
         let i16 = PackedMatrix::pack(&csr16, 64, 1 << 20, 8)
             .kernel_metrics()
             .arithmetic_intensity();
-        assert!(i16 > 1.5 * i32, "half packing should shrink bytes: {i32} vs {i16}");
+        assert!(
+            i16 > 1.5 * i32,
+            "half packing should shrink bytes: {i32} vs {i16}"
+        );
     }
 
     #[test]

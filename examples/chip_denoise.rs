@@ -107,7 +107,11 @@ fn main() {
     println!("\nmethod shoot-out on the noisy chip:");
     let op = SystemMatrixOperator::new(recon.system_matrix());
     let fbp = filtered_backprojection(recon.scan(), &noisy, FilterKind::RamLak);
-    println!("  {:<22} image error {:.5}", "FBP (Ram-Lak)", relative_error(&fbp, &chip));
+    println!(
+        "  {:<22} image error {:.5}",
+        "FBP (Ram-Lak)",
+        relative_error(&fbp, &chip)
+    );
     let cg = recon.reconstruct(
         &noisy,
         &ReconOptions {
@@ -116,7 +120,11 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("  {:<22} image error {:.5}", "CGLS (24 it, mixed)", relative_error(&cg.x, &chip));
+    println!(
+        "  {:<22} image error {:.5}",
+        "CGLS (24 it, mixed)",
+        relative_error(&cg.x, &chip)
+    );
     let s = sirt(
         &op,
         &noisy,
@@ -126,7 +134,11 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("  {:<22} image error {:.5}", "SIRT+nonneg (100 it)", relative_error(&s.x, &chip));
+    println!(
+        "  {:<22} image error {:.5}",
+        "SIRT+nonneg (100 it)",
+        relative_error(&s.x, &chip)
+    );
     let tv = tv_reconstruct(
         &op,
         &noisy,
@@ -139,5 +151,9 @@ fn main() {
             nonneg: true,
         },
     );
-    println!("  {:<22} image error {:.5}", "TV (lambda=0.05)", relative_error(&tv.x, &chip));
+    println!(
+        "  {:<22} image error {:.5}",
+        "TV (lambda=0.05)",
+        relative_error(&tv.x, &chip)
+    );
 }

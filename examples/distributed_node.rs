@@ -54,11 +54,13 @@ fn main() {
         };
         println!(
             "\n{} exchange:",
-            if hierarchical { "hierarchical" } else { "direct" }
+            if hierarchical {
+                "hierarchical"
+            } else {
+                "direct"
+            }
         );
-        println!(
-            "  comm elements per pass: socket {s}, node {nd}, global {g}"
-        );
+        println!("  comm elements per pass: socket {s}, node {nd}, global {g}");
         println!(
             "  final residual {:.5}, image error {err:.4}",
             result.residual_history.last().unwrap()

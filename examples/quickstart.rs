@@ -57,7 +57,10 @@ fn main() {
             .sum();
         (num / phantom.data.len() as f64).sqrt()
     };
-    println!("\nfinal residual : {:.6}", result.report.residual_history.last().unwrap());
+    println!(
+        "\nfinal residual : {:.6}",
+        result.report.residual_history.last().unwrap()
+    );
     println!("voxel RMSE     : {rmse:.6}");
     assert!(rmse < 0.1, "quickstart reconstruction should be accurate");
     println!("\nOK — mixed-precision reconstruction matches the phantom.");

@@ -1,0 +1,524 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a small, deterministic re-implementation of the slice of the
+//! proptest API our test suites use: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and `any` strategies, tuple and
+//! collection combinators, and the `proptest!`/`prop_assert!` macro
+//! family. Sampling is plain pseudo-random (seeded per test from the
+//! test's module path, so failures reproduce) — there is no shrinking
+//! and `prop_assume!` skips the case rather than resampling. That is a
+//! deliberate trade: identical test sources, deterministic offline runs.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 generator used for all sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds directly from a 64-bit value.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Seeds from a test name (module path + function name), so every
+    /// test has its own reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of random values; the proptest core abstraction.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms produced values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Derives a second strategy from each produced value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.sample(rng)).sample(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((self.start as i128) + off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range");
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((*self.start() as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Types with a default whole-domain strategy (the `any::<T>()` family).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Any non-NaN bit pattern (finite values and infinities), like
+        // proptest's default float domain minus the NaN payload corner.
+        loop {
+            let v = f32::from_bits(rng.next_u64() as u32);
+            if !v.is_nan() {
+                return v;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if !v.is_nan() {
+                return v;
+            }
+        }
+    }
+}
+
+/// Strategy over a type's whole domain; see [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A length domain for collection strategies. Mirrors proptest's
+    /// `SizeRange`: constructed from `usize` ranges, so bare integer
+    /// literals at `vec` call sites infer as `usize`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range {r:?}");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range {r:?}");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s with element strategy `S` and a length
+    /// drawn uniformly from a [`SizeRange`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.hi_inclusive - self.len.lo) as u64 + 1;
+            let n = self.len.lo + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+}
+
+/// Per-invocation configuration for the [`proptest!`] macro.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    /// Alias matching proptest's `prop::` prelude module (e.g.
+    /// `prop::collection::vec`).
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// item expands to a `#[test]`-compatible function running the body over
+/// `cases` random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            const __PROP_NAME: &str = concat!(module_path!(), "::", stringify!($name));
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(__PROP_NAME);
+            for __case in 0..__cfg.cases {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(__msg) = __outcome {
+                    panic!("property {} failed on case {}: {}", __PROP_NAME, __case, __msg);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current property case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __a,
+                __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __a,
+                __b,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __a,
+                __b
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = (3usize..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f32..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (-20i32..20).sample(&mut rng);
+            assert!((-20..20).contains(&i));
+        }
+    }
+
+    #[test]
+    fn inclusive_singleton_range_is_constant() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..10 {
+            assert_eq!((5usize..=5).sample(&mut rng), 5);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = TestRng::from_name("x::y");
+        let mut b = TestRng::from_name("x::y");
+        let mut c = TestRng::from_name("x::z");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let s = (1usize..5).prop_flat_map(|n| (Just(n), prop::collection::vec(0.0f64..1.0, n..=n)));
+        for _ in 0..50 {
+            let (n, v) = s.sample(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 0u32..10), c in any::<u64>()) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 10 && b < 10, "a={a} b={b}");
+            prop_assert_eq!(c, c);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+}

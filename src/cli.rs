@@ -249,11 +249,8 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
             let mut done = 0;
             while let Some(data) = reader.read_batch(per_call)? {
                 let fusing = data.len() / recon.num_rays();
-                let result = recon.reconstruct_with(
-                    &data,
-                    &ReconOptions { fusing, ..opts },
-                    algorithm,
-                );
+                let result =
+                    recon.reconstruct_with(&data, &ReconOptions { fusing, ..opts }, algorithm);
                 for f in 0..fusing {
                     writer.write_slice(
                         &result.x[f * recon.num_voxels()..(f + 1) * recon.num_voxels()],
@@ -290,8 +287,13 @@ fn model(flags: &Flags) -> Result<String, CliError> {
         other => return Err(CliError(format!("unknown dataset {other:?}"))),
     };
     let machine = MachineSpec::summit(nodes);
-    let partitioning =
-        Partitioning::optimal_for(spec.projections, spec.rows, spec.channels, &machine, precision);
+    let partitioning = Partitioning::optimal_for(
+        spec.projections,
+        spec.rows,
+        spec.channels,
+        &machine,
+        precision,
+    );
     let est = ModelExperiment {
         projections: spec.projections,
         rows: spec.rows,
@@ -426,8 +428,17 @@ mod tests {
         let pgm = tmp("cli_slice.pgm");
 
         let out = run_cmd(&[
-            "simulate", "--phantom", "shepp", "--out", &sino, "--n", "32", "--angles", "32",
-            "--slices", "3",
+            "simulate",
+            "--phantom",
+            "shepp",
+            "--out",
+            &sino,
+            "--n",
+            "32",
+            "--angles",
+            "32",
+            "--slices",
+            "3",
         ])
         .unwrap();
         assert!(out.contains("3 x 32x32 shepp"));
@@ -437,8 +448,17 @@ mod tests {
         assert!(out.contains("3 slices"), "{out}");
 
         let out = run_cmd(&[
-            "reconstruct", "--in", &sino, "--out", &vol, "--precision", "mixed",
-            "--iterations", "20", "--batch", "2",
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            &vol,
+            "--precision",
+            "mixed",
+            "--iterations",
+            "20",
+            "--batch",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("reconstructed 3 slices in 2 batches"), "{out}");
@@ -453,8 +473,17 @@ mod tests {
         let sino = tmp("cli_fbp_sino.xctd");
         let vol = tmp("cli_fbp_vol.xctd");
         run_cmd(&[
-            "simulate", "--phantom", "charcoal", "--out", &sino, "--n", "32", "--angles", "32",
-            "--slices", "2",
+            "simulate",
+            "--phantom",
+            "charcoal",
+            "--out",
+            &sino,
+            "--n",
+            "32",
+            "--angles",
+            "32",
+            "--slices",
+            "2",
         ])
         .unwrap();
         let out = run_cmd(&["fbp", "--in", &sino, "--out", &vol, "--filter", "hann"]).unwrap();
@@ -464,7 +493,10 @@ mod tests {
     #[test]
     fn errors_are_reported_not_panicked() {
         assert!(run_cmd(&["bogus"]).is_err());
-        assert!(run_cmd(&["simulate", "--phantom", "shepp"]).unwrap_err().0.contains("--out"));
+        assert!(run_cmd(&["simulate", "--phantom", "shepp"])
+            .unwrap_err()
+            .0
+            .contains("--out"));
         assert!(run_cmd(&["simulate", "--phantom", "wat", "--out", "/tmp/x"]).is_err());
         assert!(run_cmd(&["reconstruct", "--in", "/nonexistent", "--out", "/tmp/y"]).is_err());
         assert!(run_cmd(&["info"]).unwrap_err().0.contains("--in"));
@@ -476,28 +508,58 @@ mod tests {
     fn sirt_and_tv_solvers_via_cli() {
         let sino = tmp("cli_solver_sino.xctd");
         run_cmd(&[
-            "simulate", "--phantom", "shepp", "--out", &sino, "--n", "24", "--angles", "24",
-            "--slices", "2",
+            "simulate",
+            "--phantom",
+            "shepp",
+            "--out",
+            &sino,
+            "--n",
+            "24",
+            "--angles",
+            "24",
+            "--slices",
+            "2",
         ])
         .unwrap();
         for solver in ["sirt", "tv"] {
             let vol = tmp(&format!("cli_solver_{solver}.xctd"));
             let out = run_cmd(&[
-                "reconstruct", "--in", &sino, "--out", &vol, "--solver", solver,
-                "--iterations", "30",
+                "reconstruct",
+                "--in",
+                &sino,
+                "--out",
+                &vol,
+                "--solver",
+                solver,
+                "--iterations",
+                "30",
             ])
             .unwrap();
             assert!(out.contains(&format!("with {solver}")), "{out}");
         }
-        assert!(run_cmd(&["reconstruct", "--in", &sino, "--out", "/tmp/x", "--solver", "magic"])
-            .is_err());
+        assert!(run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            "/tmp/x",
+            "--solver",
+            "magic"
+        ])
+        .is_err());
     }
 
     #[test]
     fn model_subcommand_reports_summit_estimate() {
         let out = run_cmd(&["model", "--dataset", "charcoal", "--nodes", "128"]).unwrap();
-        assert!(out.contains("Activated Charcoal on 128 Summit nodes"), "{out}");
-        assert!(out.contains("4x(32x6)"), "partitioning must match Table III: {out}");
+        assert!(
+            out.contains("Activated Charcoal on 128 Summit nodes"),
+            "{out}"
+        );
+        assert!(
+            out.contains("4x(32x6)"),
+            "partitioning must match Table III: {out}"
+        );
         assert!(out.contains("PFLOPS"), "{out}");
     }
 
@@ -507,8 +569,19 @@ mod tests {
         let noisy = tmp("cli_noisy.xctd");
         for (path, flux) in [(&clean, "0"), (&noisy, "1000")] {
             run_cmd(&[
-                "simulate", "--phantom", "shepp", "--out", path, "--n", "24", "--angles", "24",
-                "--slices", "1", "--flux", flux,
+                "simulate",
+                "--phantom",
+                "shepp",
+                "--out",
+                path,
+                "--n",
+                "24",
+                "--angles",
+                "24",
+                "--slices",
+                "1",
+                "--flux",
+                flux,
             ])
             .unwrap();
         }

@@ -13,6 +13,7 @@ pub use xct_analytic as analytic;
 pub use xct_cluster as cluster;
 pub use xct_comm as comm;
 pub use xct_core as core;
+pub use xct_exec as exec;
 pub use xct_fp16 as fp16;
 pub use xct_geometry as geometry;
 pub use xct_hilbert as hilbert;

@@ -1,0 +1,120 @@
+//! Adjointness property tests: every `LinearOperator` implementation must
+//! satisfy `⟨A·x, y⟩ ≈ ⟨x, Aᵀ·y⟩` — forward projection and backprojection
+//! are transposes of the *same* matrix, whatever precision or kernel path
+//! computes them. A broken transpose silently stalls CGLS convergence, so
+//! this is the single most load-bearing invariant in the solver stack.
+//!
+//! Vectors are drawn positive-only (`0..1`) so the two inner products are
+//! sums of same-signed terms: cancellation cannot mask a defect, and the
+//! relative tolerance is meaningful. Tolerances scale with the storage
+//! precision of each path (half roundtrips cost ~2^-11 per element).
+
+use proptest::prelude::*;
+use xct_fp16::Precision;
+use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
+use xct_solver::{
+    CsrOperator, ExecContext, LinearOperator, PrecisionOperator, SystemMatrixOperator,
+};
+use xct_spmm::Csr;
+
+const N: usize = 12;
+const ANGLES: usize = 10;
+
+fn scan() -> (ScanGeometry, SystemMatrix) {
+    let scan = ScanGeometry::uniform(ImageGrid::square(N, 1.0), ANGLES);
+    let sm = SystemMatrix::build(&scan);
+    (scan, sm)
+}
+
+/// ⟨A·x, y⟩ and ⟨x, Aᵀ·y⟩ in f64, via the trait object entry points.
+fn inner_products(
+    op: &dyn LinearOperator,
+    x: &[f32],
+    y: &[f32],
+    ctx: &mut ExecContext,
+) -> (f64, f64) {
+    let mut ax = vec![0.0f32; op.rows()];
+    op.apply(x, &mut ax, ctx);
+    let lhs: f64 = ax
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+        .sum();
+    let mut aty = vec![0.0f32; op.cols()];
+    op.apply_transpose(y, &mut aty, ctx);
+    let rhs: f64 = aty
+        .iter()
+        .zip(x)
+        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+        .sum();
+    (lhs, rhs)
+}
+
+fn assert_adjoint(op: &dyn LinearOperator, x: &[f32], y: &[f32], tol: f64, label: &str) {
+    let mut ctx = ExecContext::serial();
+    let (lhs, rhs) = inner_products(op, x, y, &mut ctx);
+    let scale = lhs.abs().max(rhs.abs()).max(1.0);
+    assert!(
+        (lhs - rhs).abs() <= tol * scale,
+        "{label}: ⟨Ax,y⟩ = {lhs} vs ⟨x,Aᵀy⟩ = {rhs} (tol {tol})"
+    );
+}
+
+fn tolerance(p: Precision) -> f64 {
+    match p {
+        Precision::Double | Precision::Single => 1e-3,
+        Precision::Mixed => 5e-2,
+        Precision::Half => 1e-1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn system_matrix_operator_is_adjoint(
+        x in prop::collection::vec(0.0f32..1.0, N * N),
+        y in prop::collection::vec(0.0f32..1.0, N * ANGLES),
+    ) {
+        let (_, sm) = scan();
+        let op = SystemMatrixOperator::new(&sm);
+        assert_adjoint(&op, &x, &y, 1e-3, "SystemMatrixOperator");
+    }
+
+    #[test]
+    fn csr_operator_is_adjoint(
+        x in prop::collection::vec(0.0f32..1.0, N * N),
+        y in prop::collection::vec(0.0f32..1.0, N * ANGLES),
+    ) {
+        let (_, sm) = scan();
+        let op = CsrOperator::new(Csr::from_system_matrix(&sm));
+        assert_adjoint(&op, &x, &y, 1e-3, "CsrOperator");
+    }
+
+    #[test]
+    fn precision_operator_is_adjoint_at_all_precisions(
+        x in prop::collection::vec(0.0f32..1.0, N * N),
+        y in prop::collection::vec(0.0f32..1.0, N * ANGLES),
+    ) {
+        let (_, sm) = scan();
+        let csr = Csr::from_system_matrix(&sm);
+        for p in Precision::ALL {
+            let op = PrecisionOperator::new(&csr, p, 1, 64, 96 * 1024);
+            assert_adjoint(&op, &x, &y, tolerance(p), &format!("PrecisionOperator({p:?})"));
+        }
+    }
+
+    #[test]
+    fn precision_operator_is_adjoint_when_fused(
+        x in prop::collection::vec(0.0f32..1.0, 3 * N * N),
+        y in prop::collection::vec(0.0f32..1.0, 3 * N * ANGLES),
+    ) {
+        // Fused multi-slice batches go through the strided kernel paths.
+        let (_, sm) = scan();
+        let csr = Csr::from_system_matrix(&sm);
+        for p in [Precision::Single, Precision::Mixed] {
+            let op = PrecisionOperator::new(&csr, p, 3, 64, 96 * 1024);
+            assert_adjoint(&op, &x, &y, tolerance(p), &format!("fused PrecisionOperator({p:?})"));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Steady-state allocation discipline, enforced by a counting allocator.
+//!
+//! The ExecContext/Workspace refactor exists so that *iterating* is free of
+//! heap traffic: every per-apply staging buffer (quantized operands, kernel
+//! accumulators, CG state) is taken from a warm workspace instead of
+//! `vec![...]`-ed per call. These tests pin that property:
+//!
+//! - single-process CGLS stepping performs **zero** heap allocations once
+//!   the workspace is warm (first step populates it);
+//! - the distributed path's per-iteration allocation count is **bounded and
+//!   constant**: wire buffers are owned `Vec`s moved into channels (that is
+//!   inherent to message passing), but the count per iteration must not
+//!   grow, and the compute side must not add per-apply allocations on top.
+//!
+//! The allocator counts every `alloc`/`realloc`/`alloc_zeroed` globally, so
+//! the two tests serialize on a mutex to keep their windows disjoint.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use xct_comm::Topology;
+use xct_core::distributed::{reconstruct_distributed, DistributedConfig};
+use xct_fp16::Precision;
+use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
+use xct_solver::{CglsSolver, ExecContext, PrecisionOperator};
+use xct_spmm::Csr;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_cgls_steps_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+
+    let scan = ScanGeometry::uniform(ImageGrid::square(16, 1.0), 16);
+    let sm = SystemMatrix::build(&scan);
+    let csr = Csr::from_system_matrix(&sm);
+    // Mixed precision exercises the widest staging path: adaptive f16
+    // quantization on the way in, f32 accumulation, dequantization out.
+    let op = PrecisionOperator::new(&csr, Precision::Mixed, 1, 64, 96 * 1024);
+    let x_true: Vec<f32> = (0..sm.num_voxels()).map(|i| (i % 7) as f32 * 0.1).collect();
+    let mut y = vec![0.0f32; sm.num_rays()];
+    sm.project(&x_true, &mut y);
+
+    let mut ctx = ExecContext::serial().with_precision(Precision::Mixed);
+    let mut solver = CglsSolver::new(&op, &y, &mut ctx);
+    // Warm-up: the first steps grow the workspace to its steady-state
+    // footprint (quantization staging, kernel accumulators).
+    for _ in 0..2 {
+        solver.step(&op, &mut ctx);
+    }
+
+    let events_before = ctx.workspace.alloc_events();
+    let heap_before = allocations();
+    for _ in 0..10 {
+        solver.step(&op, &mut ctx);
+    }
+    let heap_after = allocations();
+    let events_after = ctx.workspace.alloc_events();
+
+    assert_eq!(
+        heap_after - heap_before,
+        0,
+        "steady-state CGLS steps must not touch the heap"
+    );
+    assert_eq!(
+        events_before, events_after,
+        "workspace must not grow after warm-up"
+    );
+}
+
+#[test]
+fn distributed_iterations_allocate_a_bounded_constant_amount() {
+    let _guard = SERIAL.lock().unwrap();
+
+    let scan = ScanGeometry::uniform(ImageGrid::square(16, 1.0), 16);
+    let sm = SystemMatrix::build(&scan);
+    let phantom: Vec<f32> = (0..sm.num_voxels()).map(|i| (i % 5) as f32 * 0.2).collect();
+    let mut y = vec![0.0f32; sm.num_rays()];
+    sm.project(&phantom, &mut y);
+
+    let run = |iterations: usize| -> u64 {
+        let cfg = DistributedConfig {
+            topology: Topology::new(1, 2, 2),
+            precision: Precision::Mixed,
+            hierarchical: true,
+            iterations,
+            ..Default::default()
+        };
+        let before = allocations();
+        let result = reconstruct_distributed(&scan, &y, &cfg);
+        assert_eq!(result.x.len(), sm.num_voxels());
+        allocations() - before
+    };
+
+    // Setup costs (decomposition, plans, thread spawns) are identical for
+    // every run, so the difference between runs isolates the per-iteration
+    // allocation count. Wire buffers moved into channels make it nonzero,
+    // but it must be the same for iterations 7..12 as for 13..18 — any
+    // growth means an apply path regressed to per-call allocation.
+    let a = run(6);
+    let b = run(12);
+    let c = run(18);
+    let delta_early = b.saturating_sub(a);
+    let delta_late = c.saturating_sub(b);
+    let tolerance = delta_early / 10 + 64;
+    assert!(
+        delta_late <= delta_early + tolerance,
+        "per-iteration allocations grew: iterations 7..12 cost {delta_early}, 13..18 cost {delta_late}"
+    );
+}

@@ -53,7 +53,13 @@ fn binary_happy_path() {
 
 #[test]
 fn binary_reports_errors_on_stderr_with_nonzero_exit() {
-    let (ok, stdout, stderr) = petaxct(&["reconstruct", "--in", "/nonexistent.xctd", "--out", "/tmp/z"]);
+    let (ok, stdout, stderr) = petaxct(&[
+        "reconstruct",
+        "--in",
+        "/nonexistent.xctd",
+        "--out",
+        "/tmp/z",
+    ]);
     assert!(!ok, "must exit nonzero");
     assert!(stdout.is_empty());
     assert!(stderr.contains("error:"), "stderr: {stderr}");
