@@ -6,7 +6,10 @@
 //! brings the remainder to 768 MB (43% reduction) and node-level to
 //! 492 MB (36% more), 64% total.
 
-use xct_comm::{DirectPlan, HierarchicalPlan, Topology};
+use xct_comm::{
+    execute_hierarchical, run_ranks, CommReport, DirectPlan, HierarchicalPlan, PartialData,
+    Topology, TrafficClass,
+};
 use xct_core::decompose::SliceDecomposition;
 use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
 use xct_hilbert::CurveKind;
@@ -94,6 +97,42 @@ fn main() {
         global < direct_total,
         "hierarchy must shrink global traffic"
     );
+
+    // Measured companion: run the hierarchical exchange for real and let
+    // the per-rank communication meters reproduce the planned volumes.
+    println!();
+    println!("Measured byte matrix (one hierarchical reduction, f32 wire):");
+    let stats = run_ranks(topo.size(), |comm| {
+        let rank = comm.rank();
+        let rows = d.footprints.per_rank[rank].clone();
+        let vals: Vec<f32> = rows
+            .iter()
+            .map(|&r| (r % 97) as f32 / 97.0 + rank as f32)
+            .collect();
+        let mine = PartialData::new(rows, vals);
+        execute_hierarchical(comm, &hier, &ownership, &mine).expect("exchange");
+        comm.comm_stats()
+    });
+    let report = CommReport::new(stats);
+    println!("{}", report.render_matrix());
+    let measured = report.level_bytes();
+    let f32_bytes = std::mem::size_of::<f32>() as u64;
+    assert_eq!(
+        measured[TrafficClass::Socket as usize],
+        socket * f32_bytes,
+        "measured socket bytes must match the plan"
+    );
+    assert_eq!(
+        measured[TrafficClass::Node as usize],
+        node * f32_bytes,
+        "measured node bytes must match the plan"
+    );
+    assert_eq!(
+        measured[TrafficClass::Global as usize],
+        global * f32_bytes,
+        "measured global bytes must match the plan"
+    );
+    println!("Measured per-level bytes match the plan prediction (socket/node/global).");
 }
 
 /// Elements absorbed by socket-level reduction: direct minus what still

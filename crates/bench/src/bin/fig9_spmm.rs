@@ -10,7 +10,9 @@
 
 use xct_bench::hilbert_ordered_operator;
 use xct_cluster::{kernel_time, roofline_point, GpuSpec};
+use xct_exec::{ExecContext, ExecCounters};
 use xct_fp16::{Precision, F16};
+use xct_solver::{LinearOperator, PrecisionOperator};
 use xct_spmm::{Csr, KernelMetrics, PackedMatrix};
 
 fn metrics_for(csr: &Csr<f32>, precision: Precision, fusing: usize) -> (KernelMetrics, usize) {
@@ -153,4 +155,25 @@ fn main() {
             "optimized kernel must beat the baseline"
         );
     }
+
+    // Measured data movement per precision: one forward+transpose pass
+    // through the real precision-policy operator, metered by the
+    // ExecCounters the roofline numbers above are modeled from.
+    println!();
+    println!("Measured counters (one A / A^T pass at fusing 16):");
+    let fusing = 16;
+    let mut total = ExecCounters::default();
+    for p in Precision::ALL {
+        let op = PrecisionOperator::new(&csr, p, fusing, 128, 96 * 1024);
+        let mut ctx = ExecContext::serial().with_precision(p);
+        let x = vec![0.5f32; op.cols()];
+        let mut y = vec![0.0f32; op.rows()];
+        op.apply(&x, &mut y, &mut ctx);
+        let mut xt = vec![0.0f32; op.cols()];
+        op.apply_transpose(&y, &mut xt, &mut ctx);
+        println!("  {:<8} {}", p.label(), ctx.counters);
+        total.merge(&ctx.counters);
+    }
+    println!("  {:<8} {}", "all", total);
+    assert!(total.kernel_launches >= 8, "two launches per precision");
 }

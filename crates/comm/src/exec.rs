@@ -11,10 +11,12 @@
 //! level — communication stays at storage width (half precision moves
 //! half the bytes), which is the property the paper's Table IV measures.
 
+use crate::metrics::TrafficClass;
 use crate::plan::{DirectPlan, HierarchicalPlan, Ownership, ReductionStep};
 use crate::runtime::{CommError, Communicator};
 use crate::wire::Wire;
 use std::collections::HashMap;
+use xct_telemetry::Phase;
 
 /// Sorted rows with one value each — a rank's partial (or reduced) data.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +129,9 @@ pub fn execute_direct<S: Wire>(
     ownership: &Ownership,
     mine: &PartialData<S>,
 ) -> Result<PartialData<S>, CommError> {
+    // Direct exchange is all-to-owners over the network: one global level.
+    let _class = comm.meter().scope_class(TrafficClass::Global);
+    let _span = comm.telemetry().span(Phase::ReduceGlobal);
     let me = comm.rank();
     for (dst, rows) in &plan.sends[me] {
         comm.send_vals(*dst, TAG_DIRECT, &mine.gather(rows))?;
@@ -167,10 +172,20 @@ pub fn execute_hierarchical<S: Wire>(
     ownership: &Ownership,
     mine: &PartialData<S>,
 ) -> Result<PartialData<S>, CommError> {
-    let after_socket = reduce_step(comm, &plan.socket, mine, TAG_SOCKET)?;
-    let after_node = reduce_step(comm, &plan.node, &after_socket, TAG_NODE)?;
+    let after_socket = {
+        let _class = comm.meter().scope_class(TrafficClass::Socket);
+        let _span = comm.telemetry().span(Phase::ReduceSocket);
+        reduce_step(comm, &plan.socket, mine, TAG_SOCKET)?
+    };
+    let after_node = {
+        let _class = comm.meter().scope_class(TrafficClass::Node);
+        let _span = comm.telemetry().span(Phase::ReduceNode);
+        reduce_step(comm, &plan.node, &after_socket, TAG_NODE)?
+    };
     // Global: the direct plan built on post-node footprints, but tagged
     // separately so hierarchical and direct traffic cannot mix.
+    let _class = comm.meter().scope_class(TrafficClass::Global);
+    let _span = comm.telemetry().span(Phase::ReduceGlobal);
     let me = comm.rank();
     for (dst, rows) in &plan.global.sends[me] {
         comm.send_vals(*dst, TAG_GLOBAL, &after_node.gather(rows))?;
@@ -212,6 +227,8 @@ pub fn scatter_direct<S: Wire>(
     owned: &PartialData<S>,
     footprint: &[u32],
 ) -> Result<PartialData<S>, CommError> {
+    let _class = comm.meter().scope_class(TrafficClass::Global);
+    let _span = comm.telemetry().span(Phase::HaloExchange);
     let me = comm.rank();
     // Reversed roles: for plan entry sends[p] = (me, rows), I (the owner)
     // send those rows' totals back to p.
@@ -288,36 +305,46 @@ pub fn scatter_hierarchical<S: Wire>(
     owned: &PartialData<S>,
     footprint: &[u32],
 ) -> Result<PartialData<S>, CommError> {
+    let _halo = comm.telemetry().span(Phase::HaloExchange);
     let me = comm.rank();
-    // Reversed global: owners send totals back along the global plan.
-    for (src, sends) in plan.global.sends.iter().enumerate() {
-        for (dst, rows) in sends {
-            if *dst == me {
-                comm.send_vals(src, TAG_SCATTER | 0x10, &owned.gather(rows))?;
+    let post_node: PartialData<S> = {
+        let _class = comm.meter().scope_class(TrafficClass::Global);
+        // Reversed global: owners send totals back along the global plan.
+        for (src, sends) in plan.global.sends.iter().enumerate() {
+            for (dst, rows) in sends {
+                if *dst == me {
+                    comm.send_vals(src, TAG_SCATTER | 0x10, &owned.gather(rows))?;
+                }
             }
         }
-    }
-    let mut acc: HashMap<u32, f64> = HashMap::new();
-    let owned_map = owned.value_map();
-    for &r in &plan.node.post.per_rank[me] {
-        if ownership.owner[r as usize] as usize == me {
-            acc.insert(r, *owned_map.get(&r).expect("owner holds its rows"));
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        let owned_map = owned.value_map();
+        for &r in &plan.node.post.per_rank[me] {
+            if ownership.owner[r as usize] as usize == me {
+                acc.insert(r, *owned_map.get(&r).expect("owner holds its rows"));
+            }
         }
-    }
-    for (dst, rows) in &plan.global.sends[me] {
-        let vals: Vec<S> = comm.recv_vals(*dst, TAG_SCATTER | 0x10)?;
-        assert_eq!(vals.len(), rows.len(), "payload/plan length mismatch");
-        for (&r, v) in rows.iter().zip(vals) {
-            acc.insert(r, v.to_f64());
+        for (dst, rows) in &plan.global.sends[me] {
+            let vals: Vec<S> = comm.recv_vals(*dst, TAG_SCATTER | 0x10)?;
+            assert_eq!(vals.len(), rows.len(), "payload/plan length mismatch");
+            for (&r, v) in rows.iter().zip(vals) {
+                acc.insert(r, v.to_f64());
+            }
         }
-    }
-    let post_node: PartialData<S> = PartialData::from_map(acc);
+        PartialData::from_map(acc)
+    };
     // Reversed node and socket levels. Intermediate results legitimately
     // carry rows designated to this rank on *peers'* behalf (they must be
     // forwarded onward); the final answer restricts to the caller's own
     // footprint.
-    let post_socket = scatter_step(comm, &plan.node, &post_node, TAG_SCATTER | 0x20)?;
-    let full = scatter_step(comm, &plan.socket, &post_socket, TAG_SCATTER | 0x30)?;
+    let post_socket = {
+        let _class = comm.meter().scope_class(TrafficClass::Node);
+        scatter_step(comm, &plan.node, &post_node, TAG_SCATTER | 0x20)?
+    };
+    let full = {
+        let _class = comm.meter().scope_class(TrafficClass::Socket);
+        scatter_step(comm, &plan.socket, &post_socket, TAG_SCATTER | 0x30)?
+    };
     let full_map = full.value_map();
     let vals = footprint
         .iter()

@@ -22,13 +22,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod metrics;
 mod plan;
 mod runtime;
 mod topology;
 mod wire;
 
+pub use metrics::{
+    ClassScope, CommMeter, CommReport, RankCommStats, TrafficClass, TRAFFIC_CLASSES,
+};
 pub use plan::{DirectPlan, Footprints, HierarchicalPlan, Ownership, ReductionStep};
-pub use runtime::{run_ranks, CommError, Communicator, SubCommunicator};
+pub use runtime::{
+    run_ranks, run_ranks_traced, run_ranks_with_timeout, CommError, Communicator, SubCommunicator,
+};
 pub use topology::{CommLevel, Topology};
 pub use wire::Wire;
 

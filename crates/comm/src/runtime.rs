@@ -13,7 +13,9 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::metrics::{CommMeter, RankCommStats, TrafficClass};
 use crate::wire::Wire;
+use xct_telemetry::{Phase, Telemetry};
 
 /// Communication failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +71,8 @@ pub struct Communicator {
     senders: Arc<Vec<Sender<Envelope>>>,
     mailbox: Mutex<Mailbox>,
     timeout: Duration,
+    meter: CommMeter,
+    telemetry: Telemetry,
 }
 
 impl Communicator {
@@ -82,12 +86,31 @@ impl Communicator {
         self.senders.len()
     }
 
+    /// This rank's communication meter (always on; see [`CommMeter`]).
+    pub fn meter(&self) -> &CommMeter {
+        &self.meter
+    }
+
+    /// Snapshot of this rank's communication totals.
+    pub fn comm_stats(&self) -> RankCommStats {
+        self.meter.snapshot(self.rank)
+    }
+
+    /// The tracing handle attached to this rank (disabled unless the world
+    /// was started with [`run_ranks_traced`]). Forked per rank, so solver
+    /// code running on this rank thread can clone it into an
+    /// `ExecContext` and share one nesting stack with the comm layer.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Sends raw bytes to `dst` with `tag`. Non-blocking (buffered).
     pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
         let sender = self.senders.get(dst).ok_or(CommError::RankOutOfRange {
             rank: dst,
             size: self.size(),
         })?;
+        self.meter.record(dst, payload.len());
         sender
             .send(Envelope {
                 src: self.rank,
@@ -162,6 +185,8 @@ impl Communicator {
 
     /// Simple dissemination barrier over the world communicator.
     pub fn barrier(&self, tag: u64) -> Result<(), CommError> {
+        let _class = self.meter.scope_class(TrafficClass::Control);
+        let _span = self.telemetry.span(Phase::Allreduce);
         // log2 rounds of pairwise token exchange.
         let n = self.size();
         let mut dist = 1;
@@ -180,6 +205,8 @@ impl Communicator {
     /// rank must scale by the *same* factor or partial sums combine
     /// incoherently).
     pub fn allreduce_max(&self, tag: u64, value: f64) -> Result<f64, CommError> {
+        let _class = self.meter.scope_class(TrafficClass::Control);
+        let _span = self.telemetry.span(Phase::Allreduce);
         if self.rank == 0 {
             let mut best = value;
             for src in 1..self.size() {
@@ -199,6 +226,8 @@ impl Communicator {
 
     /// Sum-allreduce of one f64 (for CG inner products across ranks).
     pub fn allreduce_sum(&self, tag: u64, value: f64) -> Result<f64, CommError> {
+        let _class = self.meter.scope_class(TrafficClass::Control);
+        let _span = self.telemetry.span(Phase::Allreduce);
         // Gather at rank 0, then broadcast: O(P) messages, fine at our scale.
         if self.rank == 0 {
             let mut total = value;
@@ -306,6 +335,26 @@ pub fn run_ranks_with_timeout<T: Send>(
     timeout: Duration,
     body: impl Fn(&Communicator) -> T + Sync,
 ) -> Vec<T> {
+    run_ranks_inner(n, timeout, &Telemetry::disabled(), body)
+}
+
+/// [`run_ranks`] with tracing: each rank's communicator carries a fork of
+/// `telemetry` on track = rank, so spans recorded by all rank threads land
+/// in one shared collector with correct per-rank nesting.
+pub fn run_ranks_traced<T: Send>(
+    n: usize,
+    telemetry: &Telemetry,
+    body: impl Fn(&Communicator) -> T + Sync,
+) -> Vec<T> {
+    run_ranks_inner(n, Duration::from_secs(30), telemetry, body)
+}
+
+fn run_ranks_inner<T: Send>(
+    n: usize,
+    timeout: Duration,
+    telemetry: &Telemetry,
+    body: impl Fn(&Communicator) -> T + Sync,
+) -> Vec<T> {
     assert!(n > 0, "need at least one rank");
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
@@ -326,6 +375,8 @@ pub fn run_ranks_with_timeout<T: Send>(
                 stash: HashMap::new(),
             }),
             timeout,
+            meter: CommMeter::new(n),
+            telemetry: telemetry.fork(rank as u32),
         })
         .collect();
     // The world keeps no extra sender clones alive: when a rank thread

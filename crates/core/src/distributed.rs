@@ -13,10 +13,11 @@
 
 use crate::decompose::SliceDecomposition;
 use xct_comm::{
-    execute_direct, execute_hierarchical, run_ranks, scatter_direct, scatter_hierarchical,
-    Communicator, DirectPlan, HierarchicalPlan, Ownership, PartialData, Topology, Wire,
+    execute_direct, execute_hierarchical, run_ranks_traced, scatter_direct, scatter_hierarchical,
+    Communicator, DirectPlan, HierarchicalPlan, Ownership, PartialData, RankCommStats, Topology,
+    Wire,
 };
-use xct_exec::{BufferRole, ExecContext};
+use xct_exec::{BufferRole, ExecContext, ExecCounters, Telemetry};
 use xct_fp16::{Precision, F16};
 use xct_geometry::{ScanGeometry, SystemMatrix};
 use xct_hilbert::CurveKind;
@@ -41,6 +42,10 @@ pub struct DistributedConfig {
     pub block_size: usize,
     /// Staging-buffer bytes per block.
     pub shared_bytes: usize,
+    /// Telemetry sink shared by all rank threads. Disabled by default —
+    /// pass [`Telemetry::enabled`] to collect per-rank spans (each rank
+    /// records on its own track) and keep the phase breakdown.
+    pub telemetry: Telemetry,
 }
 
 impl Default for DistributedConfig {
@@ -54,6 +59,7 @@ impl Default for DistributedConfig {
             tile: 4,
             block_size: 32,
             shared_bytes: 48 * 1024,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -70,6 +76,11 @@ pub struct DistributedResult {
     /// `(socket, node, global)`; direct mode reports all volume as
     /// global.
     pub comm_elements: (u64, u64, u64),
+    /// Measured per-rank communication traffic (byte/message counts per
+    /// peer and per traffic class), ordered by rank.
+    pub comm_stats: Vec<RankCommStats>,
+    /// Execution counters merged across all ranks.
+    pub counters: ExecCounters,
 }
 
 /// One rank's distributed operator: local optimized kernels plus
@@ -249,7 +260,7 @@ pub fn reconstruct_distributed(
         (0, 0, direct.total_elements())
     };
 
-    let outputs = run_ranks(ranks, |comm| {
+    let outputs = run_ranks_traced(ranks, &cfg.telemetry, |comm| {
         let rank = comm.rank();
         let op_local = &decomp.local_ops[rank];
         let local = PrecisionOperator::new(
@@ -276,7 +287,11 @@ pub fn reconstruct_distributed(
         let y_local = decomp.restrict_sinogram(sinogram, sm.num_rays(), cfg.fusing, rank);
         let mut tag = 0x9000u64;
         // One context per rank — each simulated GPU owns its workspace.
-        let mut ctx = ExecContext::serial().with_precision(cfg.precision);
+        // The rank's telemetry handle is the communicator's fork, so
+        // solver spans and exchange spans nest on one per-rank track.
+        let mut ctx = ExecContext::serial()
+            .with_precision(cfg.precision)
+            .with_telemetry(comm.telemetry().clone());
         let report = cgls_in(
             &rank_op,
             &y_local,
@@ -291,21 +306,34 @@ pub fn reconstruct_distributed(
                 comm.allreduce_sum(tag, v).expect("allreduce_sum")
             },
         );
-        (report.x, report.residual_history)
+        (
+            report.x,
+            report.residual_history,
+            comm.comm_stats(),
+            ctx.counters,
+        )
     });
 
-    let pieces: Vec<Vec<f32>> = outputs.iter().map(|(x, _)| x.clone()).collect();
+    let pieces: Vec<Vec<f32>> = outputs.iter().map(|(x, _, _, _)| x.clone()).collect();
     let x = decomp.assemble_volume(&pieces, sm.num_voxels(), cfg.fusing);
+    let comm_stats: Vec<RankCommStats> = outputs.iter().map(|(_, _, s, _)| s.clone()).collect();
+    let mut counters = ExecCounters::default();
+    for (_, _, _, c) in &outputs {
+        counters.merge(c);
+    }
     DistributedResult {
         x,
         residual_history: outputs[0].1.clone(),
         comm_elements,
+        comm_stats,
+        counters,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xct_comm::run_ranks;
     use xct_geometry::ImageGrid;
     use xct_solver::{cgls, CglsConfig, SystemMatrixOperator};
 
@@ -571,5 +599,49 @@ mod tests {
         assert!(g > 0, "global traffic expected");
         // Global (post-reduction) must not exceed socket-level input.
         assert!(g <= s + n + g);
+        // Measured traffic and merged counters ride along with the plan.
+        assert_eq!(res.comm_stats.len(), cfg.topology.size());
+        assert!(res.comm_stats.iter().any(|st| st.total_bytes() > 0));
+        assert!(res.counters.kernel_launches > 0);
+        assert!(res.counters.flops > 0);
+    }
+
+    #[test]
+    fn distributed_run_records_per_rank_spans() {
+        use xct_exec::{Phase, Telemetry};
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 12);
+        let (_, _, y) = phantom_sinogram(&scan, 1);
+        let telemetry = Telemetry::enabled();
+        let cfg = DistributedConfig {
+            topology: Topology::new(1, 2, 2),
+            precision: Precision::Single,
+            iterations: 3,
+            hierarchical: true,
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let _ = reconstruct_distributed(&scan, &y, &cfg);
+        let snap = telemetry.snapshot();
+        for rank in 0..cfg.topology.size() as u32 {
+            let iters = snap
+                .spans
+                .iter()
+                .filter(|s| s.track == rank && s.phase == Phase::SolverIteration)
+                .count();
+            assert_eq!(iters, 3, "rank {rank} iteration spans");
+            assert!(
+                snap.spans
+                    .iter()
+                    .any(|s| s.track == rank && s.phase == Phase::ReduceSocket),
+                "rank {rank} socket-reduce span"
+            );
+        }
+        // Residual events were emitted per rank per iteration.
+        let events = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "cgls.residual")
+            .count();
+        assert_eq!(events, 3 * cfg.topology.size());
     }
 }

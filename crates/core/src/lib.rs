@@ -41,4 +41,4 @@ pub mod volume;
 
 pub use partition::{Partitioning, TableIComplexity};
 pub use recon::{Algorithm, ReconOptions, Reconstructor};
-pub use volume::{reconstruct_volume, PipelineError, VolumeStats};
+pub use volume::{reconstruct_volume, reconstruct_volume_in, PipelineError, VolumeStats};

@@ -151,6 +151,38 @@ impl Reconstructor {
         opts: &ReconOptions,
         algorithm: Algorithm,
     ) -> ReconResult {
+        // One parallel context per reconstruction: kernel launches fan
+        // out across cores, and every iteration reuses its warm buffers.
+        let mut ctx = ExecContext::parallel();
+        self.reconstruct_with_in(sinogram, opts, algorithm, &mut ctx)
+    }
+
+    /// [`Reconstructor::reconstruct`] running inside a caller-owned
+    /// [`ExecContext`] — repeated batches reuse the context's warm
+    /// workspace, and its telemetry handle (if enabled) records solver
+    /// and kernel phases.
+    pub fn reconstruct_in(
+        &self,
+        sinogram: &[f32],
+        opts: &ReconOptions,
+        ctx: &mut ExecContext,
+    ) -> ReconResult {
+        self.reconstruct_with_in(sinogram, opts, Algorithm::Cgls, ctx)
+    }
+
+    /// [`Reconstructor::reconstruct_with`] running inside a caller-owned
+    /// [`ExecContext`]. The context's precision is aligned with
+    /// `opts.precision` for the duration of the call.
+    ///
+    /// # Panics
+    /// Same conditions as [`Reconstructor::reconstruct_with`].
+    pub fn reconstruct_with_in(
+        &self,
+        sinogram: &[f32],
+        opts: &ReconOptions,
+        algorithm: Algorithm,
+        ctx: &mut ExecContext,
+    ) -> ReconResult {
         assert_eq!(
             sinogram.len(),
             self.num_rays() * opts.fusing,
@@ -166,9 +198,7 @@ impl Reconstructor {
             opts.block_size,
             opts.shared_bytes,
         );
-        // One parallel context per reconstruction: kernel launches fan
-        // out across cores, and every iteration reuses its warm buffers.
-        let mut ctx = ExecContext::parallel().with_precision(opts.precision);
+        ctx.precision = opts.precision;
         let report = match algorithm {
             Algorithm::Cgls => cgls_in(
                 &op,
@@ -178,7 +208,7 @@ impl Reconstructor {
                     tolerance: opts.tolerance,
                     damping: opts.damping,
                 },
-                &mut ctx,
+                ctx,
                 &mut |v| v,
             ),
             Algorithm::Sirt { relaxation, nonneg } => sirt_in(
@@ -190,7 +220,7 @@ impl Reconstructor {
                     nonneg,
                     tolerance: opts.tolerance,
                 },
-                &mut ctx,
+                ctx,
             ),
             Algorithm::Tv { lambda, epsilon } => {
                 assert_eq!(opts.fusing, 1, "TV reconstruction requires fusing = 1");
@@ -205,7 +235,7 @@ impl Reconstructor {
                         epsilon,
                         nonneg: true,
                     },
-                    &mut ctx,
+                    ctx,
                 )
             }
         };

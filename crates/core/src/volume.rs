@@ -9,6 +9,7 @@
 //! bounded regardless of volume size.
 
 use crate::recon::{ReconOptions, Reconstructor};
+use xct_exec::{ExecContext, Phase};
 use xct_io::{IoError, SliceReader, SliceWriter};
 
 /// Outcome of a volume reconstruction.
@@ -63,6 +64,23 @@ pub fn reconstruct_volume(
     opts: &ReconOptions,
     io_batch: usize,
 ) -> Result<VolumeStats, PipelineError> {
+    let mut ctx = ExecContext::parallel();
+    reconstruct_volume_in(recon, reader, writer, opts, io_batch, &mut ctx)
+}
+
+/// [`reconstruct_volume`] running inside a caller-owned [`ExecContext`]:
+/// every batch reuses the context's warm workspace, and when its
+/// telemetry handle is enabled the read/solve/write pipeline is recorded
+/// as spans ([`Phase::Io`] around file traffic, solver phases inside the
+/// reconstruction).
+pub fn reconstruct_volume_in(
+    recon: &Reconstructor,
+    reader: &mut SliceReader,
+    writer: &mut SliceWriter,
+    opts: &ReconOptions,
+    io_batch: usize,
+    ctx: &mut ExecContext,
+) -> Result<VolumeStats, PipelineError> {
     if reader.meta().slice_len != recon.num_rays() {
         return Err(PipelineError::Geometry(format!(
             "file has {} scalars per slice, scan produces {}",
@@ -76,11 +94,20 @@ pub fn reconstruct_volume(
         worst_residual: 0.0,
         total_iterations: 0,
     };
-    while let Some(batch) = reader.read_batch(io_batch)? {
+    loop {
+        let batch = {
+            let _io = ctx.telemetry.span(Phase::Io);
+            reader.read_batch(io_batch)?
+        };
+        let Some(batch) = batch else { break };
         let fusing = batch.len() / recon.num_rays();
-        let result = recon.reconstruct(&batch, &ReconOptions { fusing, ..*opts });
-        for f in 0..fusing {
-            writer.write_slice(&result.x[f * recon.num_voxels()..(f + 1) * recon.num_voxels()])?;
+        let result = recon.reconstruct_in(&batch, &ReconOptions { fusing, ..*opts }, ctx);
+        {
+            let _io = ctx.telemetry.span(Phase::Io);
+            for f in 0..fusing {
+                writer
+                    .write_slice(&result.x[f * recon.num_voxels()..(f + 1) * recon.num_voxels()])?;
+            }
         }
         stats.slices += fusing;
         stats.batches += 1;

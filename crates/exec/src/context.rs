@@ -2,6 +2,7 @@
 
 use crate::{ExecCounters, Executor, Workspace};
 use xct_fp16::Precision;
+use xct_telemetry::Telemetry;
 
 /// Execution context: workspace + executor + counters + precision policy.
 ///
@@ -24,6 +25,11 @@ pub struct ExecContext {
     /// precision — but recorded here so instrumentation and reports can
     /// label their numbers.
     pub precision: Precision,
+    /// Span/event tracing handle. Disabled by default — a disabled handle
+    /// is a no-op and keeps the steady-state iteration allocation-free;
+    /// enable it (or thread a fork of a shared handle in) to record a
+    /// per-phase breakdown.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ExecContext {
@@ -33,6 +39,7 @@ impl Default for ExecContext {
             executor: Executor::Serial,
             counters: ExecCounters::new(),
             precision: Precision::Single,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -62,6 +69,12 @@ impl ExecContext {
         self.precision = precision;
         self
     }
+
+    /// Attaches a telemetry handle (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +95,13 @@ mod tests {
         let ctx = ExecContext::with_executor(Executor::threads(2)).with_precision(Precision::Mixed);
         assert_eq!(ctx.executor.thread_count(), 2);
         assert_eq!(ctx.precision, Precision::Mixed);
+    }
+
+    #[test]
+    fn telemetry_defaults_disabled_and_attaches_via_builder() {
+        assert!(!ExecContext::serial().telemetry.is_enabled());
+        let ctx = ExecContext::serial().with_telemetry(Telemetry::enabled());
+        assert!(ctx.telemetry.is_enabled());
     }
 
     #[test]

@@ -46,9 +46,33 @@ impl ExecCounters {
         }
     }
 
+    /// Adds another set of counters into this one — the canonical way to
+    /// aggregate per-rank or per-stage counters instead of summing fields
+    /// by hand.
+    pub fn merge(&mut self, other: &ExecCounters) {
+        self.flops += other.flops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.kernel_launches += other.kernel_launches;
+    }
+
     /// Zeroes every counter.
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+}
+
+impl std::fmt::Display for ExecCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} Gflop · {:.3} GB read · {:.3} GB written · {} launches · {:.3} flop/B",
+            self.flops as f64 * 1e-9,
+            self.bytes_read as f64 * 1e-9,
+            self.bytes_written as f64 * 1e-9,
+            self.kernel_launches,
+            self.arithmetic_intensity()
+        )
     }
 }
 
@@ -72,5 +96,29 @@ mod tests {
     #[test]
     fn empty_counters_have_zero_intensity() {
         assert_eq!(ExecCounters::new().arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_fieldwise_addition() {
+        let mut a = ExecCounters::new();
+        a.record_kernel(100, 40, 10);
+        let mut b = ExecCounters::new();
+        b.record_kernel(50, 20, 5);
+        b.record_kernel(50, 20, 5);
+        a.merge(&b);
+        assert_eq!(a.flops, 200);
+        assert_eq!(a.bytes_read, 80);
+        assert_eq!(a.bytes_written, 20);
+        assert_eq!(a.kernel_launches, 3);
+    }
+
+    #[test]
+    fn display_summarizes_all_fields() {
+        let mut c = ExecCounters::new();
+        c.record_kernel(2_000_000_000, 500_000_000, 500_000_000);
+        let text = c.to_string();
+        assert!(text.contains("2.000 Gflop"), "{text}");
+        assert!(text.contains("1 launches"), "{text}");
+        assert!(text.contains("flop/B"), "{text}");
     }
 }

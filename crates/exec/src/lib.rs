@@ -33,3 +33,7 @@ pub use context::ExecContext;
 pub use counters::ExecCounters;
 pub use executor::Executor;
 pub use workspace::{BufferRole, Workspace, WorkspaceScalar};
+
+// Telemetry rides in the context; re-export the handle and phase taxonomy
+// so downstream crates can instrument without a separate dependency.
+pub use xct_telemetry::{Phase, SpanGuard, Telemetry};

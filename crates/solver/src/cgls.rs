@@ -2,7 +2,7 @@
 
 use crate::operator::LinearOperator;
 use std::time::Instant;
-use xct_exec::{BufferRole, ExecContext};
+use xct_exec::{BufferRole, ExecContext, Phase};
 
 /// Solver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +97,7 @@ pub fn cgls_in(
     let lambda = config.damping;
     let t0 = Instant::now();
 
+    let setup_span = ctx.telemetry.span(Phase::SolverSetup);
     let mut x = vec![0.0f32; n];
     // r = y − A·x = y (x starts at zero).
     let mut r = ctx.workspace.take_uninit::<f32>(BufferRole::CgResidual, m);
@@ -116,8 +117,10 @@ pub fn cgls_in(
     let mut q = ctx.workspace.take::<f32>(BufferRole::CgProjected, m);
     let mut converged = false;
     let mut iterations = 0;
+    drop(setup_span);
 
     for _ in 0..config.max_iters {
+        let _iter_span = ctx.telemetry.span(Phase::SolverIteration);
         if gamma <= 0.0 {
             // Exact solution reached (gradient vanished).
             converged = true;
@@ -158,6 +161,7 @@ pub fn cgls_in(
         };
         history.push(rel);
         times.push(t0.elapsed().as_secs_f64());
+        ctx.telemetry.event("cgls.residual", rel);
         if config.tolerance > 0.0 && rel <= config.tolerance {
             converged = true;
             break;

@@ -49,4 +49,6 @@ pub use precision_op::PrecisionOperator;
 pub use sirt::{sirt, sirt_in, SirtConfig};
 pub use stepper::{CglsSnapshot, CglsSolver};
 pub use tv::{tv_reconstruct, tv_reconstruct_in, tv_value, TvConfig};
-pub use xct_exec::{BufferRole, ExecContext, ExecCounters, Executor, Workspace};
+pub use xct_exec::{
+    BufferRole, ExecContext, ExecCounters, Executor, Phase, SpanGuard, Telemetry, Workspace,
+};

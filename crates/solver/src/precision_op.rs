@@ -2,7 +2,7 @@
 //! normalization, behind the [`LinearOperator`] interface.
 
 use crate::operator::LinearOperator;
-use xct_exec::{BufferRole, ExecContext};
+use xct_exec::{BufferRole, ExecContext, Phase};
 use xct_fp16::{AdaptiveNormalizer, Precision, StorageScalar, F16};
 use xct_spmm::{spmm_with, Csr, KernelMetrics, PackedMatrix};
 
@@ -161,15 +161,21 @@ impl PrecisionOperator {
         let mut xd = ctx
             .workspace
             .take_uninit::<f64>(BufferRole::QuantIn, input.len());
-        for (q, &v) in xd.iter_mut().zip(input) {
-            *q = f64::from(v);
+        {
+            let _convert = ctx.telemetry.span(Phase::PrecisionConvert);
+            for (q, &v) in xd.iter_mut().zip(input) {
+                *q = f64::from(v);
+            }
         }
         let mut yd = ctx
             .workspace
             .take::<f64>(BufferRole::QuantOut, output.len());
         spmm_with::<f64, f64>(m, &xd, &mut yd, ctx);
-        for (o, v) in output.iter_mut().zip(&yd) {
-            *o = *v as f32;
+        {
+            let _convert = ctx.telemetry.span(Phase::PrecisionConvert);
+            for (o, v) in output.iter_mut().zip(&yd) {
+                *o = *v as f32;
+            }
         }
         ctx.workspace.put(BufferRole::QuantIn, xd);
         ctx.workspace.put(BufferRole::QuantOut, yd);
@@ -187,13 +193,16 @@ impl PrecisionOperator {
         let mut xq = ctx
             .workspace
             .take_uninit::<F16>(BufferRole::QuantIn, input.len());
-        let factor = if self.adaptive {
-            self.normalizer.normalize_into(input, &mut xq)
-        } else {
-            for (q, &v) in xq.iter_mut().zip(input) {
-                *q = F16::from_f32(v);
+        let factor = {
+            let _convert = ctx.telemetry.span(Phase::PrecisionConvert);
+            if self.adaptive {
+                self.normalizer.normalize_into(input, &mut xq)
+            } else {
+                for (q, &v) in xq.iter_mut().zip(input) {
+                    *q = F16::from_f32(v);
+                }
+                1.0
             }
-            1.0
         };
         let mut yq = ctx
             .workspace
@@ -204,8 +213,11 @@ impl PrecisionOperator {
             spmm_with::<F16, f32>(m, &xq, &mut yq, ctx);
         }
         // Undo both the dynamic factor and the static matrix scale.
-        self.normalizer
-            .denormalize_into(&yq, factor * self.matrix_scale, output);
+        {
+            let _convert = ctx.telemetry.span(Phase::PrecisionConvert);
+            self.normalizer
+                .denormalize_into(&yq, factor * self.matrix_scale, output);
+        }
         ctx.workspace.put(BufferRole::QuantIn, xq);
         ctx.workspace.put(BufferRole::QuantOut, yq);
     }
@@ -223,6 +235,7 @@ impl LinearOperator for PrecisionOperator {
     fn apply(&self, x: &[f32], y: &mut [f32], ctx: &mut ExecContext) {
         assert_eq!(x.len(), self.cols_total, "input length mismatch");
         assert_eq!(y.len(), self.rows_total, "output length mismatch");
+        let _span = ctx.telemetry.span(Phase::SpmmForward);
         match &self.inner {
             Inner::Double { a, .. } => {
                 self.run_double(a, x, y, ctx);
@@ -245,6 +258,7 @@ impl LinearOperator for PrecisionOperator {
     fn apply_transpose(&self, y: &[f32], x: &mut [f32], ctx: &mut ExecContext) {
         assert_eq!(y.len(), self.rows_total, "input length mismatch");
         assert_eq!(x.len(), self.cols_total, "output length mismatch");
+        let _span = ctx.telemetry.span(Phase::SpmmTranspose);
         match &self.inner {
             Inner::Double { at, .. } => {
                 self.run_double(at, y, x, ctx);

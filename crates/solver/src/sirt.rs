@@ -11,7 +11,7 @@
 use crate::cgls::CglsReport;
 use crate::operator::LinearOperator;
 use std::time::Instant;
-use xct_exec::{BufferRole, ExecContext};
+use xct_exec::{BufferRole, ExecContext, Phase};
 
 /// SIRT configuration.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +61,7 @@ pub fn sirt_in(
     let (m, n) = (op.rows(), op.cols());
     let t0 = Instant::now();
 
+    let setup_span = ctx.telemetry.span(Phase::SolverSetup);
     // Row and column sums via matrix-free probes with the ones vector,
     // inverted in place into the scaling diagonals R and C.
     let mut probe = ctx.workspace.take_uninit::<f32>(BufferRole::Probe, n);
@@ -92,8 +93,10 @@ pub fn sirt_in(
     times.push(t0.elapsed().as_secs_f64());
     let mut converged = false;
     let mut iterations = 0;
+    drop(setup_span);
 
     for _ in 0..config.max_iters {
+        let _iter_span = ctx.telemetry.span(Phase::SolverIteration);
         op.apply(&x, &mut ax, ctx);
         let mut res_norm = 0.0f64;
         for ((res, &yi), (&axi, &ri)) in residual.iter_mut().zip(y).zip(ax.iter().zip(&r_inv)) {
@@ -116,6 +119,7 @@ pub fn sirt_in(
         };
         history.push(rel);
         times.push(t0.elapsed().as_secs_f64());
+        ctx.telemetry.event("sirt.residual", rel);
         if config.tolerance > 0.0 && rel <= config.tolerance {
             converged = true;
             break;

@@ -9,7 +9,7 @@
 //! tests).
 
 use crate::operator::LinearOperator;
-use xct_exec::ExecContext;
+use xct_exec::{ExecContext, Phase};
 
 /// A snapshot of the CGLS Krylov state after some number of iterations.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +44,7 @@ impl CglsSolver {
     /// Initializes from zero (`x = 0`).
     pub fn new(op: &dyn LinearOperator, y: &[f32], ctx: &mut ExecContext) -> Self {
         assert_eq!(y.len(), op.rows(), "measurement length mismatch");
+        let _span = ctx.telemetry.span(Phase::SolverSetup);
         let n = op.cols();
         let r = y.to_vec();
         let mut s = vec![0.0f32; n];
@@ -89,6 +90,7 @@ impl CglsSolver {
     /// Performs one CGLS iteration; returns the relative residual
     /// afterwards, or `None` when the gradient has vanished (converged).
     pub fn step(&mut self, op: &dyn LinearOperator, ctx: &mut ExecContext) -> Option<f64> {
+        let _span = ctx.telemetry.span(Phase::SolverIteration);
         let snap = &mut self.snap;
         if snap.gamma <= 0.0 {
             return None;
@@ -113,11 +115,13 @@ impl CglsSolver {
             *pi = si + beta * *pi;
         }
         snap.iteration += 1;
-        Some(if snap.y_norm > 0.0 {
+        let rel = if snap.y_norm > 0.0 {
             dot(&snap.r, &snap.r).sqrt() / snap.y_norm
         } else {
             0.0
-        })
+        };
+        ctx.telemetry.event("cgls.residual", rel);
+        Some(rel)
     }
 }
 

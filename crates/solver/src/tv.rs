@@ -10,7 +10,7 @@
 use crate::cgls::CglsReport;
 use crate::operator::LinearOperator;
 use std::time::Instant;
-use xct_exec::{BufferRole, ExecContext};
+use xct_exec::{BufferRole, ExecContext, Phase};
 
 /// TV solver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +70,7 @@ pub fn tv_reconstruct_in(
     let n = op.cols();
     let m = op.rows();
 
+    let setup_span = ctx.telemetry.span(Phase::SolverSetup);
     // Lipschitz estimate of 2AᵀA by power iteration, for the step size.
     let lip = {
         let mut v = ctx.workspace.take_uninit::<f32>(BufferRole::Probe, n);
@@ -112,8 +113,10 @@ pub fn tv_reconstruct_in(
     history.push(1.0f64);
     let mut times = Vec::with_capacity(config.iterations + 1);
     times.push(t0.elapsed().as_secs_f64());
+    drop(setup_span);
 
     for _ in 0..config.iterations {
+        let _iter_span = ctx.telemetry.span(Phase::SolverIteration);
         op.apply(&x, &mut ax, ctx);
         let mut res_norm = 0.0f64;
         for ((r, &yi), &axi) in residual.iter_mut().zip(y).zip(ax.iter()) {
@@ -128,12 +131,14 @@ pub fn tv_reconstruct_in(
                 *xi = 0.0;
             }
         }
-        history.push(if y_norm > 0.0 {
+        let rel = if y_norm > 0.0 {
             res_norm.sqrt() / y_norm
         } else {
             0.0
-        });
+        };
+        history.push(rel);
         times.push(t0.elapsed().as_secs_f64());
+        ctx.telemetry.event("tv.residual", rel);
     }
 
     ctx.workspace.put(BufferRole::Forward, ax);

@@ -1,0 +1,106 @@
+//! Injectable time sources.
+//!
+//! Span durations are differences of `u64` nanosecond readings taken from
+//! a [`Clock`]. Production code uses [`MonotonicClock`] (anchored
+//! `std::time::Instant`); tests inject a [`ManualClock`] and advance it by
+//! hand so duration assertions are exact rather than sleep-based.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond counter.
+///
+/// Implementations must be cheap (called twice per span) and monotonic
+/// per clock instance; absolute origin is arbitrary.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds elapsed since this clock's (arbitrary) origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock monotonic time, anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates far beyond any plausible session length (2^64 ns ≈ 584
+        // years), so the cast is lossless in practice.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+///
+/// Clones share the same underlying counter, so a test can keep one handle
+/// and hand another to [`crate::Telemetry::with_clock`].
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0 ns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `delta_ns` nanoseconds.
+    pub fn advance(&self, delta_ns: u64) {
+        self.ns.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute reading.
+    pub fn set(&self, now_ns: u64) {
+        self.ns.store(now_ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_exactly() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance(250);
+        assert_eq!(clock.now_ns(), 250);
+        let alias = clock.clone();
+        alias.advance(750);
+        assert_eq!(clock.now_ns(), 1_000);
+        clock.set(42);
+        assert_eq!(alias.now_ns(), 42);
+    }
+}

@@ -1,0 +1,38 @@
+//! Span-based tracing and phase-breakdown reporting for PetaXCT.
+//!
+//! The paper's evidence is instrumentation: Fig. 10's per-phase time
+//! breakdown (SpMM kernels vs. socket/node/global reduction), Fig. 6's
+//! communication matrices, and the measured inter-node volume savings of
+//! hierarchical reduction. This crate provides the measurement layer those
+//! figures are rebuilt from:
+//!
+//! * [`Telemetry`] — a cloneable handle that records RAII-timed spans and
+//!   scalar events into a thread-safe collector. A disabled handle (the
+//!   default) is a no-op: no locking, no allocation, nothing on the hot
+//!   path.
+//! * [`Phase`] — the stable phase taxonomy (SpMM forward/transpose,
+//!   precision conversion, socket/node/global reduction, halo exchange,
+//!   solver iterations/bookkeeping, I/O).
+//! * [`Clock`] — injectable time source with a monotonic default
+//!   ([`MonotonicClock`]) and a deterministic [`ManualClock`] so
+//!   span-duration tests are exact rather than sleep-based.
+//! * Sinks — [`Breakdown`] renders a Fig. 10-style per-phase table and a
+//!   machine-readable JSON report; [`chrome_trace`] emits a Chrome
+//!   `trace_event` file loadable in `about://tracing` / Perfetto.
+//! * [`Json`] — a tiny dependency-free JSON value (builder + parser) used
+//!   by the report sinks and by tests that validate report schemas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod json;
+mod phase;
+mod report;
+mod span;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use json::Json;
+pub use phase::Phase;
+pub use report::{chrome_trace, fmt_ns, Breakdown, PhaseStat};
+pub use span::{EventRecord, SpanGuard, SpanRecord, Telemetry, TelemetrySnapshot};

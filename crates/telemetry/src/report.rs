@@ -1,0 +1,321 @@
+//! Sinks: the Fig. 10-style phase breakdown table, the JSON report
+//! fragment, and the Chrome `trace_event` exporter.
+
+use crate::{EventRecord, Json, Phase, TelemetrySnapshot};
+
+/// Aggregated timing for one phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase label.
+    pub phase: Phase,
+    /// Number of spans with this label.
+    pub count: u64,
+    /// Total (inclusive) time: sum of span durations.
+    pub total_ns: u64,
+    /// Self (exclusive) time: total minus time spent in direct children.
+    pub self_ns: u64,
+}
+
+/// Per-phase breakdown of a snapshot — the Fig. 10 analogue.
+///
+/// *Self time* excludes direct children, so summing `self_ns` over all
+/// phases gives exactly the instrumented root-span time: nothing is
+/// double-counted however deeply spans nest. `coverage()` compares that
+/// sum against wall time (first span start to last span end).
+#[derive(Clone, Debug, Default)]
+pub struct Breakdown {
+    /// Per-phase rows, sorted by descending self time.
+    pub stats: Vec<PhaseStat>,
+    /// Wall time spanned by the snapshot (max end − min start), ns.
+    pub wall_ns: u64,
+    /// Sum of root-span durations (equivalently, of all self times), ns.
+    pub covered_ns: u64,
+}
+
+impl Breakdown {
+    /// Computes the breakdown of a snapshot.
+    pub fn from_snapshot(snap: &TelemetrySnapshot) -> Breakdown {
+        let spans = &snap.spans;
+        let mut child_ns = vec![0u64; spans.len()];
+        for span in spans {
+            if let Some(parent) = span.parent {
+                child_ns[parent] += span.duration_ns();
+            }
+        }
+        let mut stats: Vec<PhaseStat> = Vec::new();
+        let mut covered_ns = 0u64;
+        let mut min_start = u64::MAX;
+        let mut max_end = 0u64;
+        for (i, span) in spans.iter().enumerate() {
+            let dur = span.duration_ns();
+            let self_ns = dur.saturating_sub(child_ns[i]);
+            min_start = min_start.min(span.start_ns);
+            max_end = max_end.max(span.end_ns);
+            if span.parent.is_none() {
+                covered_ns += dur;
+            }
+            match stats.iter_mut().find(|s| s.phase == span.phase) {
+                Some(stat) => {
+                    stat.count += 1;
+                    stat.total_ns += dur;
+                    stat.self_ns += self_ns;
+                }
+                None => stats.push(PhaseStat {
+                    phase: span.phase,
+                    count: 1,
+                    total_ns: dur,
+                    self_ns,
+                }),
+            }
+        }
+        stats.sort_by_key(|s| std::cmp::Reverse(s.self_ns));
+        Breakdown {
+            stats,
+            wall_ns: if spans.is_empty() {
+                0
+            } else {
+                max_end.saturating_sub(min_start)
+            },
+            covered_ns,
+        }
+    }
+
+    /// Fraction of wall time covered by instrumented root spans.
+    ///
+    /// Can exceed 1.0 when root spans on different tracks overlap (e.g.
+    /// concurrent rank threads); exactly the root-span share on a single
+    /// track.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.covered_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Renders the human-readable per-phase table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>7} {:>12} {:>12} {:>8}\n",
+            "phase", "count", "total", "self", "% wall"
+        ));
+        for stat in &self.stats {
+            let pct = if self.wall_ns == 0 {
+                0.0
+            } else {
+                100.0 * stat.self_ns as f64 / self.wall_ns as f64
+            };
+            out.push_str(&format!(
+                "{:<22} {:>7} {:>12} {:>12} {:>7.1}%\n",
+                stat.phase.as_str(),
+                stat.count,
+                fmt_ns(stat.total_ns),
+                fmt_ns(stat.self_ns),
+                pct
+            ));
+        }
+        out.push_str(&format!(
+            "wall {} · instrumented coverage {:.1}%\n",
+            fmt_ns(self.wall_ns),
+            100.0 * self.coverage()
+        ));
+        out
+    }
+
+    /// The breakdown as a JSON fragment (embedded in the full report).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("wall_seconds", Json::from(self.wall_ns as f64 * 1e-9)),
+            ("covered_seconds", Json::from(self.covered_ns as f64 * 1e-9)),
+            ("coverage", Json::from(self.coverage())),
+            (
+                "phases",
+                Json::from(
+                    self.stats
+                        .iter()
+                        .map(|stat| {
+                            Json::object(vec![
+                                ("phase", Json::from(stat.phase.as_str())),
+                                ("count", Json::from(stat.count)),
+                                ("total_seconds", Json::from(stat.total_ns as f64 * 1e-9)),
+                                ("self_seconds", Json::from(stat.self_ns as f64 * 1e-9)),
+                            ])
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Serializes a snapshot as a Chrome `trace_event` JSON document.
+///
+/// Spans become `"ph": "X"` complete events (timestamps in µs) and scalar
+/// events become `"ph": "C"` counter samples, one `tid` per track. The
+/// output loads directly in `about://tracing` and Perfetto.
+pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
+    let mut events: Vec<Json> = Vec::with_capacity(snap.spans.len() + snap.events.len());
+    for span in &snap.spans {
+        events.push(Json::object(vec![
+            ("name", Json::from(span.phase.as_str())),
+            ("cat", Json::from("phase")),
+            ("ph", Json::from("X")),
+            ("ts", Json::from(span.start_ns as f64 / 1e3)),
+            ("dur", Json::from(span.duration_ns() as f64 / 1e3)),
+            ("pid", Json::from(0u64)),
+            ("tid", Json::from(u64::from(span.track))),
+        ]));
+    }
+    for event in &snap.events {
+        events.push(counter_event(event));
+    }
+    Json::object(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ms")),
+    ])
+    .to_string()
+}
+
+fn counter_event(event: &EventRecord) -> Json {
+    Json::object(vec![
+        ("name", Json::from(event.name)),
+        ("ph", Json::from("C")),
+        ("ts", Json::from(event.at_ns as f64 / 1e3)),
+        ("pid", Json::from(0u64)),
+        ("tid", Json::from(u64::from(event.track))),
+        (
+            "args",
+            Json::object(vec![("value", Json::from(event.value))]),
+        ),
+    ])
+}
+
+/// Formats a nanosecond duration with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{} ns", ns as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ManualClock, Telemetry};
+    use std::sync::Arc;
+
+    fn sample() -> TelemetrySnapshot {
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        {
+            let _total = tele.span(Phase::Total);
+            clock.advance(10);
+            for _ in 0..2 {
+                let _it = tele.span(Phase::SolverIteration);
+                clock.advance(5);
+                {
+                    let _f = tele.span(Phase::SpmmForward);
+                    clock.advance(30);
+                }
+                {
+                    let _t = tele.span(Phase::SpmmTranspose);
+                    clock.advance(40);
+                }
+                tele.event("cgls.residual", 0.5);
+            }
+            clock.advance(10);
+        }
+        tele.snapshot()
+    }
+
+    #[test]
+    fn self_times_partition_the_root_exactly() {
+        let snap = sample();
+        let breakdown = Breakdown::from_snapshot(&snap);
+        assert_eq!(breakdown.wall_ns, 170);
+        assert_eq!(breakdown.covered_ns, 170);
+        assert!((breakdown.coverage() - 1.0).abs() < 1e-12);
+        let self_sum: u64 = breakdown.stats.iter().map(|s| s.self_ns).sum();
+        assert_eq!(self_sum, breakdown.covered_ns);
+        let get = |phase: Phase| {
+            breakdown
+                .stats
+                .iter()
+                .find(|s| s.phase == phase)
+                .expect("phase present")
+                .clone()
+        };
+        assert_eq!(get(Phase::Total).self_ns, 20);
+        assert_eq!(get(Phase::SolverIteration).count, 2);
+        assert_eq!(get(Phase::SolverIteration).self_ns, 10);
+        assert_eq!(get(Phase::SolverIteration).total_ns, 150);
+        assert_eq!(get(Phase::SpmmForward).self_ns, 60);
+        assert_eq!(get(Phase::SpmmTranspose).self_ns, 80);
+        // Sorted by descending self time.
+        assert_eq!(breakdown.stats[0].phase, Phase::SpmmTranspose);
+    }
+
+    #[test]
+    fn table_mentions_every_phase_and_wall() {
+        let snap = sample();
+        let table = Breakdown::from_snapshot(&snap).render_table();
+        for needle in [
+            "spmm.forward",
+            "spmm.transpose",
+            "solver.iteration",
+            "total",
+            "wall",
+        ] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn json_fragment_has_the_schema_fields() {
+        let snap = sample();
+        let json = Breakdown::from_snapshot(&snap).to_json();
+        let back = Json::parse(&json.to_string()).unwrap();
+        assert!(back.get("wall_seconds").unwrap().as_f64().unwrap() > 0.0);
+        let phases = back.get("phases").unwrap().as_array().unwrap();
+        assert!(!phases.is_empty());
+        for phase in phases {
+            assert!(phase.get("phase").unwrap().as_str().is_some());
+            assert!(phase.get("count").unwrap().as_f64().is_some());
+            assert!(phase.get("self_seconds").unwrap().as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_parseable_and_nested() {
+        let snap = sample();
+        let trace = chrome_trace(&snap);
+        let back = Json::parse(&trace).expect("trace parses");
+        let events = back.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), snap.spans.len() + snap.events.len());
+        let xs: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), snap.spans.len());
+        for x in xs {
+            assert!(x.get("ts").unwrap().as_f64().is_some());
+            assert!(x.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(x.get("name").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

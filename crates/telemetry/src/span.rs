@@ -1,0 +1,380 @@
+//! The span/event recording layer.
+//!
+//! A [`Telemetry`] handle is either *disabled* (the default — every call
+//! is a branch on `None`, no locking, no allocation) or *enabled*, in
+//! which case it records into a shared, thread-safe [`Collector`]. Each
+//! handle carries a *track* id (rank, in distributed runs) and its own
+//! nesting stack, so spans opened by different rank threads interleave in
+//! the collector without corrupting each other's parent links.
+//!
+//! [`Collector`]: struct@self::Telemetry
+
+use crate::{Clock, MonotonicClock, Phase};
+use std::sync::{Arc, Mutex};
+
+/// Sentinel end time for a span that has not been closed yet.
+const OPEN: u64 = u64::MAX;
+
+/// One timed span, closed by the time it appears in a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase label.
+    pub phase: Phase,
+    /// Track (rank) the span was recorded on.
+    pub track: u32,
+    /// Start time in clock nanoseconds.
+    pub start_ns: u64,
+    /// End time in clock nanoseconds (`>= start_ns`).
+    pub end_ns: u64,
+    /// Index into the snapshot's span list of the enclosing span on the
+    /// same track, if any.
+    pub parent: Option<usize>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// One scalar event (e.g. a residual norm) pinned to a point in time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Event name (e.g. `"cgls.residual"`).
+    pub name: &'static str,
+    /// Scalar payload.
+    pub value: f64,
+    /// Track (rank) the event was recorded on.
+    pub track: u32,
+    /// Timestamp in clock nanoseconds.
+    pub at_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+}
+
+#[derive(Debug)]
+struct Collector {
+    clock: Arc<dyn Clock>,
+    state: Mutex<State>,
+}
+
+#[derive(Debug)]
+struct TrackHandle {
+    collector: Arc<Collector>,
+    track: u32,
+    /// Indices of currently-open spans on this track, innermost last.
+    stack: Mutex<Vec<usize>>,
+}
+
+/// A consistent copy of everything recorded so far.
+///
+/// Open spans are closed at snapshot time, so `end_ns` is always valid.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// All spans, in the order they were opened.
+    pub spans: Vec<SpanRecord>,
+    /// All events, in the order they were recorded.
+    pub events: Vec<EventRecord>,
+}
+
+/// A cloneable tracing handle.
+///
+/// `Telemetry::default()` / [`Telemetry::disabled`] is a no-op handle:
+/// [`Telemetry::span`] and [`Telemetry::event`] cost one `None` check and
+/// touch no locks and no heap. [`Telemetry::enabled`] records into a
+/// collector shared by all clones and forks of the handle.
+///
+/// *Clones* share the collector **and** the nesting stack (use within one
+/// thread of control); [`Telemetry::fork`] shares the collector but starts
+/// a fresh stack under a new track id (use one fork per rank thread).
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TrackHandle>>,
+}
+
+impl Telemetry {
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A recording handle on track 0, timed by a [`MonotonicClock`].
+    pub fn enabled() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A recording handle on track 0 with an injected clock (see
+    /// [`crate::ManualClock`] for deterministic tests).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        let collector = Arc::new(Collector {
+            clock,
+            state: Mutex::new(State::default()),
+        });
+        Telemetry {
+            inner: Some(Arc::new(TrackHandle {
+                collector,
+                track: 0,
+                stack: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This handle's track id (0 when disabled).
+    pub fn track(&self) -> u32 {
+        self.inner.as_ref().map_or(0, |h| h.track)
+    }
+
+    /// A handle on a new track sharing this handle's collector.
+    ///
+    /// Spans recorded through the fork nest among themselves but never
+    /// under spans of the parent handle — exactly what per-rank threads
+    /// need. Forking a disabled handle yields a disabled handle.
+    pub fn fork(&self, track: u32) -> Telemetry {
+        Telemetry {
+            inner: self.inner.as_ref().map(|h| {
+                Arc::new(TrackHandle {
+                    collector: Arc::clone(&h.collector),
+                    track,
+                    stack: Mutex::new(Vec::new()),
+                })
+            }),
+        }
+    }
+
+    /// Opens a span; it closes (and records its duration) when the
+    /// returned guard drops. Guards must drop in LIFO order per handle.
+    pub fn span(&self, phase: Phase) -> SpanGuard {
+        let Some(handle) = &self.inner else {
+            return SpanGuard { inner: None };
+        };
+        let start_ns = handle.collector.clock.now_ns();
+        // Lock order is stack → state everywhere (see SpanGuard::drop).
+        let mut stack = handle.stack.lock().unwrap();
+        let parent = stack.last().copied();
+        let index = {
+            let mut state = handle.collector.state.lock().unwrap();
+            let index = state.spans.len();
+            state.spans.push(SpanRecord {
+                phase,
+                track: handle.track,
+                start_ns,
+                end_ns: OPEN,
+                parent,
+            });
+            index
+        };
+        stack.push(index);
+        SpanGuard {
+            inner: Some((Arc::clone(handle), index)),
+        }
+    }
+
+    /// Records a scalar event at the current time.
+    pub fn event(&self, name: &'static str, value: f64) {
+        let Some(handle) = &self.inner else { return };
+        let at_ns = handle.collector.clock.now_ns();
+        let mut state = handle.collector.state.lock().unwrap();
+        state.events.push(EventRecord {
+            name,
+            value,
+            track: handle.track,
+            at_ns,
+        });
+    }
+
+    /// Copies out everything recorded so far, closing still-open spans at
+    /// the current time. Returns an empty snapshot when disabled.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(handle) = &self.inner else {
+            return TelemetrySnapshot::default();
+        };
+        let now = handle.collector.clock.now_ns();
+        let state = handle.collector.state.lock().unwrap();
+        let spans = state
+            .spans
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                if s.end_ns == OPEN {
+                    s.end_ns = now.max(s.start_ns);
+                }
+                s
+            })
+            .collect();
+        TelemetrySnapshot {
+            spans,
+            events: state.events.clone(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Telemetry::span`]; records the span's end
+/// time on drop. A guard from a disabled handle is inert.
+#[derive(Debug)]
+#[must_use = "a span guard times the scope it lives in; dropping it immediately records a zero-length span"]
+pub struct SpanGuard {
+    inner: Option<(Arc<TrackHandle>, usize)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((handle, index)) = self.inner.take() else {
+            return;
+        };
+        let end_ns = handle.collector.clock.now_ns();
+        // Same lock order as Telemetry::span: stack → state.
+        let mut stack = handle.stack.lock().unwrap();
+        if let Some(pos) = stack.iter().rposition(|&i| i == index) {
+            stack.remove(pos);
+        }
+        let mut state = handle.collector.state.lock().unwrap();
+        if let Some(span) = state.spans.get_mut(index) {
+            span.end_ns = end_ns.max(span.start_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManualClock;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tele = Telemetry::disabled();
+        assert!(!tele.is_enabled());
+        {
+            let _g = tele.span(Phase::SolverIteration);
+            tele.event("residual", 1.0);
+        }
+        let snap = tele.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn manual_clock_gives_exact_durations() {
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        {
+            let _outer = tele.span(Phase::SolverIteration);
+            clock.advance(100);
+            {
+                let _inner = tele.span(Phase::SpmmForward);
+                clock.advance(40);
+            }
+            clock.advance(10);
+        }
+        let snap = tele.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let outer = &snap.spans[0];
+        let inner = &snap.spans[1];
+        assert_eq!(outer.phase, Phase::SolverIteration);
+        assert_eq!(outer.duration_ns(), 150);
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.phase, Phase::SpmmForward);
+        assert_eq!(inner.duration_ns(), 40);
+        assert_eq!(inner.parent, Some(0));
+    }
+
+    #[test]
+    fn events_carry_time_and_track() {
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        clock.advance(5);
+        tele.event("cgls.residual", 0.25);
+        let snap = tele.snapshot();
+        assert_eq!(
+            snap.events,
+            vec![EventRecord {
+                name: "cgls.residual",
+                value: 0.25,
+                track: 0,
+                at_ns: 5,
+            }]
+        );
+    }
+
+    #[test]
+    fn forks_nest_independently_but_share_the_collector() {
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        let _root = tele.span(Phase::Total);
+        let fork = tele.fork(3);
+        assert_eq!(fork.track(), 3);
+        {
+            let _g = fork.span(Phase::ReduceSocket);
+            clock.advance(7);
+        }
+        let snap = tele.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let forked = &snap.spans[1];
+        assert_eq!(forked.track, 3);
+        // Fork spans are roots on their own track, not children of the
+        // parent handle's open span.
+        assert_eq!(forked.parent, None);
+        assert_eq!(forked.duration_ns(), 7);
+    }
+
+    #[test]
+    fn snapshot_closes_open_spans_at_now() {
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        let _g = tele.span(Phase::Io);
+        clock.advance(12);
+        let snap = tele.snapshot();
+        assert_eq!(snap.spans[0].duration_ns(), 12);
+    }
+
+    #[test]
+    fn clones_share_one_nesting_stack() {
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        let alias = tele.clone();
+        let _outer = tele.span(Phase::SolverIteration);
+        {
+            let _inner = alias.span(Phase::SpmmForward);
+            clock.advance(1);
+        }
+        let snap = tele.snapshot();
+        assert_eq!(snap.spans[1].parent, Some(0));
+    }
+
+    #[test]
+    fn concurrent_rank_tracks_do_not_corrupt_each_other() {
+        let tele = Telemetry::enabled();
+        std::thread::scope(|scope| {
+            for rank in 0..4u32 {
+                let fork = tele.fork(rank);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let _outer = fork.span(Phase::SolverIteration);
+                        let _inner = fork.span(Phase::SpmmForward);
+                        fork.event("tick", f64::from(rank));
+                    }
+                });
+            }
+        });
+        let snap = tele.snapshot();
+        assert_eq!(snap.spans.len(), 4 * 50 * 2);
+        assert_eq!(snap.events.len(), 4 * 50);
+        for span in &snap.spans {
+            if let Some(parent) = span.parent {
+                assert_eq!(
+                    snap.spans[parent].track, span.track,
+                    "parent links must stay within a track"
+                );
+            }
+        }
+    }
+}

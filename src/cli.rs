@@ -8,12 +8,16 @@ use std::path::Path;
 
 use xct_analytic::{filtered_backprojection, FilterKind};
 use xct_cluster::MachineSpec;
+use xct_comm::{CommReport, RankCommStats, Topology};
+use xct_core::distributed::{reconstruct_distributed, DistributedConfig};
 use xct_core::model::{HierarchyRatios, ModelExperiment, OptLevel};
-use xct_core::{reconstruct_volume, Algorithm, Partitioning, ReconOptions, Reconstructor};
+use xct_core::{reconstruct_volume_in, Algorithm, Partitioning, ReconOptions, Reconstructor};
+use xct_exec::{ExecContext, ExecCounters};
 use xct_fp16::Precision;
 use xct_geometry::{ImageGrid, ScanGeometry};
 use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
 use xct_phantom::{add_poisson_noise, DatasetSpec, Image2D};
+use xct_telemetry::{chrome_trace, Breakdown, Json, Phase, Telemetry};
 
 /// CLI failure: message for the user, nonzero exit.
 #[derive(Debug)]
@@ -45,18 +49,21 @@ pub struct Flags {
 }
 
 impl Flags {
-    /// Parses `--key value` pairs; rejects stray positionals.
+    /// Parses `--key value` pairs; rejects stray positionals. A flag
+    /// followed by another flag (or by nothing) is a boolean switch and
+    /// reads as `"true"` — e.g. `--telemetry-summary`.
     pub fn parse(args: &[String]) -> Result<Flags, CliError> {
         let mut pairs = Vec::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
             let key = arg
                 .strip_prefix("--")
                 .ok_or_else(|| CliError(format!("expected --flag, got {arg:?}")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
-            pairs.push((key.to_owned(), value.clone()));
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_owned(),
+            };
+            pairs.push((key.to_owned(), value));
         }
         Ok(Flags { pairs })
     }
@@ -66,6 +73,10 @@ impl Flags {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    fn switch(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
     }
 
     fn required(&self, key: &str) -> Result<&str, CliError> {
@@ -83,6 +94,110 @@ impl Flags {
     }
 }
 
+/// The `--telemetry-*`/`--trace` sink selection shared by commands.
+struct TelemetryArgs {
+    json: Option<String>,
+    trace: Option<String>,
+    summary: bool,
+}
+
+impl TelemetryArgs {
+    fn from_flags(flags: &Flags) -> TelemetryArgs {
+        TelemetryArgs {
+            json: flags.get("telemetry-json").map(str::to_owned),
+            trace: flags.get("trace").map(str::to_owned),
+            summary: flags.switch("telemetry-summary"),
+        }
+    }
+
+    /// Any sink requested → collection must be on.
+    fn wanted(&self) -> bool {
+        self.summary || self.json.is_some() || self.trace.is_some()
+    }
+
+    fn handle(&self) -> Telemetry {
+        if self.wanted() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Drains `telemetry` into the requested sinks. Returns text to
+    /// append to the command's output (the summary table and/or notes
+    /// about written files).
+    fn emit(
+        &self,
+        telemetry: &Telemetry,
+        command: &str,
+        counters: &ExecCounters,
+        comm: Option<&CommReport>,
+    ) -> Result<String, CliError> {
+        if !self.wanted() {
+            return Ok(String::new());
+        }
+        let snap = telemetry.snapshot();
+        let breakdown = Breakdown::from_snapshot(&snap);
+        let mut extra = String::new();
+        if self.summary {
+            extra.push_str("\n\n");
+            extra.push_str(&breakdown.render_table());
+            extra.push_str(&format!("\ncounters: {counters}"));
+            if let Some(report) = comm {
+                extra.push('\n');
+                extra.push_str(&report.render_matrix());
+            }
+        }
+        if let Some(path) = &self.json {
+            let mut fields = vec![
+                ("schema".to_owned(), Json::from("petaxct-telemetry-v1")),
+                ("command".to_owned(), Json::from(command)),
+                ("breakdown".to_owned(), breakdown.to_json()),
+                (
+                    "counters".to_owned(),
+                    Json::object(vec![
+                        ("flops", Json::from(counters.flops)),
+                        ("bytes_read", Json::from(counters.bytes_read)),
+                        ("bytes_written", Json::from(counters.bytes_written)),
+                        ("kernel_launches", Json::from(counters.kernel_launches)),
+                    ]),
+                ),
+            ];
+            if let Some(report) = comm {
+                fields.push(("comm".to_owned(), report.to_json()));
+            }
+            write_file(path, &Json::Obj(fields).to_string())?;
+            extra.push_str(&format!("\ntelemetry report written to {path}"));
+        }
+        if let Some(path) = &self.trace {
+            write_file(path, &chrome_trace(&snap))?;
+            extra.push_str(&format!("\ntrace written to {path}"));
+        }
+        Ok(extra)
+    }
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| CliError(format!("writing {path}: {e}")))
+}
+
+/// Parses `--topology NxSxG` (nodes × sockets/node × GPUs/socket).
+fn parse_topology(spec: &str) -> Result<Topology, CliError> {
+    let parts: Vec<usize> = spec
+        .split('x')
+        .map(|p| {
+            p.parse()
+                .map_err(|_| CliError(format!("invalid --topology {spec:?}; expected NxSxG")))
+        })
+        .collect::<Result<_, _>>()?;
+    match parts.as_slice() {
+        [n, s, g] if *n > 0 && *s > 0 && *g > 0 => Ok(Topology::new(*n, *s, *g)),
+        _ => Err(CliError(format!(
+            "invalid --topology {spec:?}; expected NxSxG with nonzero factors"
+        ))),
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 petaxct — iterative X-ray CT reconstruction (PetaXCT reproduction)
@@ -94,6 +209,10 @@ USAGE:
   petaxct reconstruct --in FILE --out FILE
                       [--precision double|single|half|mixed] [--iterations 24]
                       [--batch 8] [--damping 0] [--solver cgls|sirt|tv]
+                      [--topology NxSxG]        simulate N nodes x S sockets x G GPUs
+                      [--telemetry-summary]     print a per-phase breakdown table
+                      [--telemetry-json FILE]   write a machine-readable report
+                      [--trace FILE]            write a Chrome/Perfetto trace
   petaxct fbp         --in FILE --out FILE [--filter ramlak|shepplogan|hann]
   petaxct info        --in FILE
   petaxct render      --in FILE --slice 0 --out FILE.pgm
@@ -202,6 +321,9 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
     let iterations: usize = flags.parse_or("iterations", 24)?;
     let batch: usize = flags.parse_or("batch", 8)?;
     let damping: f64 = flags.parse_or("damping", 0.0)?;
+    let topology = flags.get("topology").map(parse_topology).transpose()?;
+    let tel_args = TelemetryArgs::from_flags(flags);
+    let telemetry = tel_args.handle();
 
     let solver = flags.get("solver").unwrap_or("cgls").to_owned();
     let (mut reader, angles, n) = open_sinogram(&input)?;
@@ -222,17 +344,81 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
         damping,
         ..Default::default()
     };
-    match solver.as_str() {
-        "cgls" => {
-            let stats = reconstruct_volume(&recon, &mut reader, &mut writer, &opts, batch)?;
+    // The whole command runs under one root span so the breakdown's
+    // coverage is measured against a well-defined wall time.
+    let total_span = telemetry.span(Phase::Total);
+    let mut ctx = ExecContext::parallel().with_telemetry(telemetry.clone());
+    let outcome: Result<String, CliError> = match (solver.as_str(), &topology) {
+        ("cgls", None) => {
+            let stats =
+                reconstruct_volume_in(&recon, &mut reader, &mut writer, &opts, batch, &mut ctx)?;
             reader.verify_checksum()?;
             writer.finish()?;
-            Ok(format!(
+            let text = format!(
                 "reconstructed {} slices in {} batches ({} precision, {} iters/batch); worst residual {:.5}; volume in {out}",
                 stats.slices, stats.batches, precision, iterations, stats.worst_residual
-            ))
+            );
+            drop(total_span);
+            Ok(text + &tel_args.emit(&telemetry, "reconstruct", &ctx.counters, None)?)
         }
-        "sirt" | "tv" => {
+        ("cgls", Some(topology)) => {
+            // Distributed mode: every I/O batch runs the full multi-rank
+            // pipeline (hierarchical exchanges, per-rank solvers).
+            let cfg_base = DistributedConfig {
+                topology: *topology,
+                precision,
+                iterations,
+                hierarchical: true,
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            };
+            let mut done = 0;
+            let mut batches = 0;
+            let mut worst = 0.0f64;
+            let mut counters = ExecCounters::default();
+            let mut merged: Vec<RankCommStats> = Vec::new();
+            loop {
+                let data = {
+                    let _io = telemetry.span(Phase::Io);
+                    reader.read_batch(batch)?
+                };
+                let Some(data) = data else { break };
+                let fusing = data.len() / recon.num_rays();
+                let cfg = DistributedConfig {
+                    fusing,
+                    ..cfg_base.clone()
+                };
+                let result = reconstruct_distributed(recon.scan(), &data, &cfg);
+                {
+                    let _io = telemetry.span(Phase::Io);
+                    for f in 0..fusing {
+                        writer.write_slice(
+                            &result.x[f * recon.num_voxels()..(f + 1) * recon.num_voxels()],
+                        )?;
+                    }
+                }
+                counters.merge(&result.counters);
+                for stats in &result.comm_stats {
+                    match merged.iter_mut().find(|m| m.rank == stats.rank) {
+                        Some(m) => m.merge(stats),
+                        None => merged.push(stats.clone()),
+                    }
+                }
+                worst = worst.max(*result.residual_history.last().unwrap_or(&1.0));
+                done += fusing;
+                batches += 1;
+            }
+            reader.verify_checksum()?;
+            writer.finish()?;
+            let comm_report = CommReport::new(merged);
+            let text = format!(
+                "reconstructed {done} slices in {batches} batches on {} simulated ranks ({} precision, {} iters/batch); worst residual {worst:.5}; volume in {out}",
+                topology.size(), precision, iterations
+            );
+            drop(total_span);
+            Ok(text + &tel_args.emit(&telemetry, "reconstruct", &counters, Some(&comm_report))?)
+        }
+        ("sirt", _) | ("tv", _) => {
             let algorithm = if solver == "sirt" {
                 Algorithm::Sirt {
                     relaxation: 1.0,
@@ -247,10 +433,20 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
             // TV couples voxels within a slice grid: process per slice.
             let per_call = if solver == "tv" { 1 } else { batch };
             let mut done = 0;
-            while let Some(data) = reader.read_batch(per_call)? {
+            loop {
+                let data = {
+                    let _io = telemetry.span(Phase::Io);
+                    reader.read_batch(per_call)?
+                };
+                let Some(data) = data else { break };
                 let fusing = data.len() / recon.num_rays();
-                let result =
-                    recon.reconstruct_with(&data, &ReconOptions { fusing, ..opts }, algorithm);
+                let result = recon.reconstruct_with_in(
+                    &data,
+                    &ReconOptions { fusing, ..opts },
+                    algorithm,
+                    &mut ctx,
+                );
+                let _io = telemetry.span(Phase::Io);
                 for f in 0..fusing {
                     writer.write_slice(
                         &result.x[f * recon.num_voxels()..(f + 1) * recon.num_voxels()],
@@ -260,14 +456,17 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
             }
             reader.verify_checksum()?;
             writer.finish()?;
-            Ok(format!(
+            let text = format!(
                 "reconstructed {done} slices with {solver} ({precision} precision); volume in {out}"
-            ))
+            );
+            drop(total_span);
+            Ok(text + &tel_args.emit(&telemetry, "reconstruct", &ctx.counters, None)?)
         }
-        other => Err(CliError(format!(
+        (other, _) => Err(CliError(format!(
             "unknown solver {other:?}; expected cgls|sirt|tv"
         ))),
-    }
+    };
+    outcome
 }
 
 fn model(flags: &Flags) -> Result<String, CliError> {

@@ -6,7 +6,12 @@
 //! `vec![...]`-ed per call. These tests pin that property:
 //!
 //! - single-process CGLS stepping performs **zero** heap allocations once
-//!   the workspace is warm (first step populates it);
+//!   the workspace is warm (first step populates it) — and since the solver
+//!   loops are instrumented with telemetry spans, this also proves the
+//!   disabled-telemetry path is allocation-free;
+//! - a disabled [`Telemetry`] handle performs zero allocations per
+//!   span/event (the zero-overhead rule of DESIGN.md §3b), while an enabled
+//!   one records spans without disturbing the workspace's steady state;
 //! - the distributed path's per-iteration allocation count is **bounded and
 //!   constant**: wire buffers are owned `Vec`s moved into channels (that is
 //!   inherent to message passing), but the count per iteration must not
@@ -23,7 +28,7 @@ use xct_comm::Topology;
 use xct_core::distributed::{reconstruct_distributed, DistributedConfig};
 use xct_fp16::Precision;
 use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
-use xct_solver::{CglsSolver, ExecContext, PrecisionOperator};
+use xct_solver::{CglsSolver, ExecContext, Phase, PrecisionOperator, Telemetry};
 use xct_spmm::Csr;
 
 struct CountingAllocator;
@@ -75,6 +80,9 @@ fn steady_state_cgls_steps_do_not_allocate() {
     sm.project(&x_true, &mut y);
 
     let mut ctx = ExecContext::serial().with_precision(Precision::Mixed);
+    // The default context carries a *disabled* telemetry handle — the
+    // instrumented solver loop must stay allocation-free through it.
+    assert!(!ctx.telemetry.is_enabled());
     let mut solver = CglsSolver::new(&op, &y, &mut ctx);
     // Warm-up: the first steps grow the workspace to its steady-state
     // footprint (quantization staging, kernel accumulators).
@@ -98,6 +106,61 @@ fn steady_state_cgls_steps_do_not_allocate() {
     assert_eq!(
         events_before, events_after,
         "workspace must not grow after warm-up"
+    );
+}
+
+#[test]
+fn disabled_telemetry_spans_and_events_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+
+    let telemetry = Telemetry::disabled();
+    let before = allocations();
+    for i in 0..1000 {
+        let _outer = telemetry.span(Phase::SolverIteration);
+        let _inner = telemetry.span(Phase::SpmmForward);
+        telemetry.event("residual", f64::from(i) * 0.001);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "disabled telemetry must be a no-op on the heap"
+    );
+}
+
+#[test]
+fn enabled_telemetry_leaves_workspace_steady_state_alone() {
+    let _guard = SERIAL.lock().unwrap();
+
+    let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 12);
+    let sm = SystemMatrix::build(&scan);
+    let csr = Csr::from_system_matrix(&sm);
+    let op = PrecisionOperator::new(&csr, Precision::Mixed, 1, 64, 96 * 1024);
+    let x_true: Vec<f32> = (0..sm.num_voxels()).map(|i| (i % 7) as f32 * 0.1).collect();
+    let mut y = vec![0.0f32; sm.num_rays()];
+    sm.project(&x_true, &mut y);
+
+    let telemetry = Telemetry::enabled();
+    let mut ctx = ExecContext::serial()
+        .with_precision(Precision::Mixed)
+        .with_telemetry(telemetry.clone());
+    let mut solver = CglsSolver::new(&op, &y, &mut ctx);
+    for _ in 0..2 {
+        solver.step(&op, &mut ctx);
+    }
+    // Recording goes to the collector, never through the workspace: the
+    // buffer-reuse discipline is unchanged with collection switched on.
+    let events_before = ctx.workspace.alloc_events();
+    for _ in 0..5 {
+        solver.step(&op, &mut ctx);
+    }
+    assert_eq!(ctx.workspace.alloc_events(), events_before);
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.spans
+            .iter()
+            .filter(|s| s.phase == Phase::SolverIteration)
+            .count(),
+        7
     );
 }
 

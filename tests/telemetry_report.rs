@@ -1,0 +1,239 @@
+//! End-to-end validation of the telemetry sinks: drive the CLI on a tiny
+//! phantom with `--telemetry-json` / `--trace` / `--telemetry-summary`
+//! and check the emitted artifacts — the JSON report schema, the phase
+//! breakdown's coverage, the per-rank communication matrices in
+//! distributed mode, and the Chrome `trace_event` file's structure.
+
+use petaxct::cli::run;
+use xct_telemetry::Json;
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("xct_telemetry_report_tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn run_cmd(parts: &[&str]) -> String {
+    let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+    run(&args).expect("command succeeds")
+}
+
+fn simulate(sino: &str) {
+    run_cmd(&[
+        "simulate",
+        "--phantom",
+        "shepp",
+        "--out",
+        sino,
+        "--n",
+        "24",
+        "--angles",
+        "24",
+        "--slices",
+        "2",
+    ]);
+}
+
+#[test]
+fn cli_emits_breakdown_json_and_trace() {
+    let sino = tmp("report_sino.xctd");
+    let vol = tmp("report_vol.xctd");
+    let json_path = tmp("report.json");
+    let trace_path = tmp("report_trace.json");
+    simulate(&sino);
+
+    let out = run_cmd(&[
+        "reconstruct",
+        "--in",
+        &sino,
+        "--out",
+        &vol,
+        "--iterations",
+        "6",
+        "--telemetry-summary",
+        "--telemetry-json",
+        &json_path,
+        "--trace",
+        &trace_path,
+    ]);
+    // The summary table reaches the user, with the headline columns.
+    assert!(out.contains("phase"), "{out}");
+    assert!(out.contains("% wall"), "{out}");
+    assert!(out.contains("solver.iteration"), "{out}");
+    assert!(out.contains("instrumented coverage"), "{out}");
+
+    // The JSON report parses and matches the published schema.
+    let text = std::fs::read_to_string(&json_path).expect("report written");
+    let report = Json::parse(&text).expect("report parses");
+    assert_eq!(
+        report.get("schema").and_then(Json::as_str),
+        Some("petaxct-telemetry-v1")
+    );
+    assert_eq!(
+        report.get("command").and_then(Json::as_str),
+        Some("reconstruct")
+    );
+    let breakdown = report.get("breakdown").expect("breakdown present");
+    let wall = breakdown
+        .get("wall_seconds")
+        .and_then(Json::as_f64)
+        .expect("wall_seconds");
+    assert!(wall > 0.0);
+    // Single-track run under a root `total` span: the instrumented spans
+    // must cover at least 95% of the wall time.
+    let coverage = breakdown
+        .get("coverage")
+        .and_then(Json::as_f64)
+        .expect("coverage");
+    assert!(coverage >= 0.95, "coverage {coverage}");
+    // Per-phase self times partition the covered time: their sum must
+    // itself account for >= 95% of the wall.
+    let phases = breakdown
+        .get("phases")
+        .and_then(Json::as_array)
+        .expect("phases");
+    assert!(!phases.is_empty());
+    let self_sum: f64 = phases
+        .iter()
+        .map(|p| p.get("self_seconds").and_then(Json::as_f64).unwrap_or(0.0))
+        .sum();
+    assert!(
+        self_sum >= 0.95 * wall,
+        "phase self times {self_sum} vs wall {wall}"
+    );
+    let names: Vec<&str> = phases
+        .iter()
+        .filter_map(|p| p.get("phase").and_then(Json::as_str))
+        .collect();
+    for expected in ["total", "solver.iteration", "spmm.forward", "io"] {
+        assert!(names.contains(&expected), "missing phase {expected}");
+    }
+    // Counters rode along.
+    let counters = report.get("counters").expect("counters present");
+    assert!(counters.get("kernel_launches").and_then(Json::as_f64) > Some(0.0));
+
+    // The trace file is valid JSON in Chrome trace_event shape.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let trace = Json::parse(&trace_text).expect("trace parses");
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents");
+    assert!(!events.is_empty());
+    let mut complete = 0;
+    for e in events {
+        match e.get("ph").and_then(Json::as_str) {
+            Some("X") => {
+                complete += 1;
+                assert!(e.get("ts").and_then(Json::as_f64).is_some());
+                assert!(e.get("dur").and_then(Json::as_f64).is_some());
+                assert!(e.get("name").and_then(Json::as_str).is_some());
+                assert!(e.get("tid").and_then(Json::as_f64).is_some());
+            }
+            Some("C") => {
+                assert!(e.get("args").is_some());
+            }
+            other => panic!("unexpected event type {other:?}"),
+        }
+    }
+    assert!(complete > 0, "trace must contain complete (X) events");
+    assert_eq!(
+        trace.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+}
+
+#[test]
+fn distributed_cli_reports_comm_matrices() {
+    let sino = tmp("dist_sino.xctd");
+    let vol = tmp("dist_vol.xctd");
+    let json_path = tmp("dist_report.json");
+    simulate(&sino);
+
+    let out = run_cmd(&[
+        "reconstruct",
+        "--in",
+        &sino,
+        "--out",
+        &vol,
+        "--iterations",
+        "4",
+        "--precision",
+        "single",
+        "--topology",
+        "1x2x2",
+        "--telemetry-summary",
+        "--telemetry-json",
+        &json_path,
+    ]);
+    assert!(out.contains("4 simulated ranks"), "{out}");
+    assert!(out.contains("src\\dst"), "comm matrix in summary: {out}");
+
+    let text = std::fs::read_to_string(&json_path).expect("report written");
+    let report = Json::parse(&text).expect("report parses");
+    let comm = report.get("comm").expect("comm section present");
+    let matrix = comm
+        .get("byte_matrix")
+        .and_then(Json::as_array)
+        .expect("byte matrix");
+    assert_eq!(matrix.len(), 4, "one row per rank");
+    let mut off_diagonal = 0.0f64;
+    for (src, row) in matrix.iter().enumerate() {
+        let row = row.as_array().expect("matrix row");
+        assert_eq!(row.len(), 4);
+        for (dst, cell) in row.iter().enumerate() {
+            let v = cell.as_f64().expect("byte count");
+            if src == dst {
+                assert_eq!(v, 0.0, "no self-traffic on the diagonal");
+            } else {
+                off_diagonal += v;
+            }
+        }
+    }
+    assert!(off_diagonal > 0.0, "ranks must have exchanged bytes");
+    let levels = comm.get("level_bytes").expect("level bytes");
+    // 1-node topology: socket and node reductions carry traffic, the
+    // global (internode) level has nowhere to send.
+    assert!(levels.get("socket").and_then(Json::as_f64) > Some(0.0));
+    assert!(levels.get("node").and_then(Json::as_f64) > Some(0.0));
+    assert_eq!(levels.get("global").and_then(Json::as_f64), Some(0.0));
+    // Phases from every layer appear in the breakdown.
+    let phases = report
+        .get("breakdown")
+        .and_then(|b| b.get("phases"))
+        .and_then(Json::as_array)
+        .expect("phases");
+    let names: Vec<&str> = phases
+        .iter()
+        .filter_map(|p| p.get("phase").and_then(Json::as_str))
+        .collect();
+    for expected in [
+        "total",
+        "solver.iteration",
+        "comm.reduce.socket",
+        "comm.reduce.node",
+        "comm.halo",
+        "comm.allreduce",
+    ] {
+        assert!(names.contains(&expected), "missing phase {expected}");
+    }
+}
+
+#[test]
+fn telemetry_flags_off_means_no_artifacts_mentioned() {
+    let sino = tmp("quiet_sino.xctd");
+    let vol = tmp("quiet_vol.xctd");
+    simulate(&sino);
+    let out = run_cmd(&[
+        "reconstruct",
+        "--in",
+        &sino,
+        "--out",
+        &vol,
+        "--iterations",
+        "4",
+    ]);
+    assert!(!out.contains("% wall"), "{out}");
+    assert!(!out.contains("telemetry report written"), "{out}");
+    assert!(!out.contains("trace written"), "{out}");
+}
