@@ -1,0 +1,1024 @@
+//! Compiled communication plans: allocation-free, overlappable execution.
+//!
+//! [`crate::exec`] is the *reference* executor — it re-derives row routing
+//! from the plan on every call through `HashMap<u32, f64>` scratch, which
+//! is clear but violates the steady-state allocation-free rule (PR 1) and
+//! forces every exchange to complete before local work continues.
+//! This module compiles a [`DirectPlan`] or [`HierarchicalPlan`] plus an
+//! [`Ownership`] once, into per-rank tables of *positions*: for every
+//! level, which indices of the current value buffer go to which peer,
+//! which indices carry over locally (`keeps`), and where each received
+//! element lands. Execution is then pure index arithmetic over reusable
+//! `f64` buffers ([`ExchangeScratch`]).
+//!
+//! Numerical contract: results are **bit-identical** to the reference
+//! executor. Both seed each level's accumulator the same way, add
+//! received contributions in the same (source-ascending) plan order in
+//! f64, and round to the storage scalar once per level — identical
+//! floating-point operations in identical order.
+//!
+//! The split [`RankPlan::global_begin`] / [`RankPlan::global_finish`]
+//! (and the scatter twins) is what makes the paper's §III-E overlap
+//! executable: `begin` posts the global sends and irecvs and returns a
+//! handle; local kernels and the *next* slice's socket/node reductions
+//! run while those messages drain; `finish` waits and accumulates. The
+//! in-flight handle owns the open `ReduceGlobal`/`HaloExchange` telemetry
+//! span, so traces show exactly which work ran under the exchange.
+
+use crate::metrics::TrafficClass;
+use crate::plan::{DirectPlan, HierarchicalPlan, Ownership, ReductionStep};
+use crate::runtime::{CommError, Communicator, RecvRequest};
+use crate::topology::Topology;
+use crate::wire::Wire;
+use std::collections::HashMap;
+use xct_telemetry::{Phase, SpanGuard};
+
+/// Compiled-plan tag namespace (disjoint from `exec`'s 0x100..0x800 and
+/// the solver's 0x7000/0x9000 tags). Callers salt with a per-slice value
+/// shifted above these bits to keep concurrent slices separate.
+const TAG_SOCKET: u64 = 0x1100;
+const TAG_NODE: u64 = 0x1200;
+const TAG_GLOBAL: u64 = 0x1400;
+const TAG_SCATTER_GLOBAL: u64 = 0x1500;
+const TAG_SCATTER_NODE: u64 = 0x1600;
+const TAG_SCATTER_SOCKET: u64 = 0x1700;
+
+/// One precomputed point-to-point transfer: the buffer positions whose
+/// values go to (or arrive from) `peer`, in wire order.
+#[derive(Debug, Clone)]
+pub struct Transfer {
+    /// The peer rank.
+    pub peer: usize,
+    /// Positions in the local value buffer (send: gather order;
+    /// recv: landing positions).
+    pub idx: Vec<u32>,
+}
+
+/// One compiled exchange level: input buffer → output buffer.
+#[derive(Debug, Clone)]
+struct LevelProgram {
+    /// Output buffer length.
+    out_len: usize,
+    /// Outgoing transfers, gathered from the input buffer.
+    sends: Vec<Transfer>,
+    /// Local carries: `(input position, output position)`.
+    keeps: Vec<(u32, u32)>,
+    /// Incoming transfers in the reference executor's completion order
+    /// (source-ascending for reductions, destination-ascending for
+    /// scatters); indices are output positions.
+    recvs: Vec<Transfer>,
+    /// Base tag (XORed with the caller's slice salt).
+    tag: u64,
+    /// Traffic class accounted for this level's sends.
+    class: TrafficClass,
+    /// Span recorded around blocking local levels (`None` for levels
+    /// whose spans are managed by begin/finish).
+    phase: Option<Phase>,
+}
+
+/// Everything one rank needs to run the exchange without consulting the
+/// plan row tables again.
+#[derive(Debug, Clone)]
+pub struct RankPlan {
+    /// Footprint length (reduce input / scatter output).
+    in_len: usize,
+    /// Owned-row count (reduce output / scatter input).
+    owned_len: usize,
+    /// Forward local levels (socket, node); empty for direct plans.
+    levels: Vec<LevelProgram>,
+    /// Forward global exchange to owners.
+    global: LevelProgram,
+    /// Scatter global stage (owners → node designees, or → footprints
+    /// for direct plans).
+    scatter_global: LevelProgram,
+    /// Scatter fan-out levels (node, socket); empty for direct plans.
+    scatter_levels: Vec<LevelProgram>,
+    /// Footprint positions in the final scatter buffer.
+    restrict: Vec<u32>,
+}
+
+/// Per-rank compiled plans for one decomposition.
+#[derive(Debug, Clone)]
+pub struct CompiledPlans {
+    per_rank: Vec<RankPlan>,
+}
+
+/// Position-lookup table for a sorted row list.
+fn positions(rows: &[u32]) -> HashMap<u32, u32> {
+    rows.iter()
+        .enumerate()
+        .map(|(i, &r)| (r, i as u32))
+        .collect()
+}
+
+fn gather_idx(rows: &[u32], pos: &HashMap<u32, u32>) -> Vec<u32> {
+    rows.iter()
+        .map(|r| *pos.get(r).unwrap_or_else(|| panic!("row {r} not held")))
+        .collect()
+}
+
+/// Compiles one forward reduction level for `me`: input rows `cur_rows`,
+/// output rows `step.post.per_rank[me]`.
+fn compile_reduce_level(
+    me: usize,
+    step: &ReductionStep,
+    cur_rows: &[u32],
+    tag: u64,
+    class: TrafficClass,
+    phase: Option<Phase>,
+) -> LevelProgram {
+    let cur_pos = positions(cur_rows);
+    let out_rows = &step.post.per_rank[me];
+    let out_pos = positions(out_rows);
+    let sends = step.sends[me]
+        .iter()
+        .map(|(dst, rows)| Transfer {
+            peer: *dst,
+            idx: gather_idx(rows, &cur_pos),
+        })
+        .collect();
+    // Rows designated to me that I already hold carry over locally; the
+    // rest of the output starts at zero.
+    let keeps = out_rows
+        .iter()
+        .enumerate()
+        .filter_map(|(d, r)| cur_pos.get(r).map(|&s| (s, d as u32)))
+        .collect();
+    // Source-ascending, matching the reference receive loop.
+    let mut recvs = Vec::new();
+    for (src, sends) in step.sends.iter().enumerate() {
+        for (dst, rows) in sends {
+            if *dst == me {
+                recvs.push(Transfer {
+                    peer: src,
+                    idx: gather_idx(rows, &out_pos),
+                });
+            }
+        }
+    }
+    LevelProgram {
+        out_len: out_rows.len(),
+        sends,
+        keeps,
+        recvs,
+        tag,
+        class,
+        phase,
+    }
+}
+
+/// Compiles the forward global exchange: input rows `cur_rows`, output =
+/// the rows `me` owns.
+fn compile_global(
+    me: usize,
+    plan: &DirectPlan,
+    ownership: &Ownership,
+    cur_rows: &[u32],
+    owned_rows: &[u32],
+    tag: u64,
+) -> LevelProgram {
+    let cur_pos = positions(cur_rows);
+    let owned_pos = positions(owned_rows);
+    let sends = plan.sends[me]
+        .iter()
+        .map(|(dst, rows)| Transfer {
+            peer: *dst,
+            idx: gather_idx(rows, &cur_pos),
+        })
+        .collect();
+    let keeps = cur_rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| ownership.owner[**r as usize] as usize == me)
+        .map(|(s, r)| (s as u32, owned_pos[r]))
+        .collect();
+    let mut recvs = Vec::new();
+    for (src, sends) in plan.sends.iter().enumerate() {
+        for (dst, rows) in sends {
+            if *dst == me {
+                recvs.push(Transfer {
+                    peer: src,
+                    idx: gather_idx(rows, &owned_pos),
+                });
+            }
+        }
+    }
+    LevelProgram {
+        out_len: owned_rows.len(),
+        sends,
+        keeps,
+        recvs,
+        tag,
+        class: TrafficClass::Global,
+        phase: None,
+    }
+}
+
+/// Compiles the global scatter stage (forward global reversed): input =
+/// owned rows, output rows `out_rows` (= post-node footprint, or the
+/// whole footprint for direct plans).
+fn compile_scatter_global(
+    me: usize,
+    plan: &DirectPlan,
+    ownership: &Ownership,
+    owned_rows: &[u32],
+    out_rows: &[u32],
+    tag: u64,
+) -> LevelProgram {
+    let owned_pos = positions(owned_rows);
+    let out_pos = positions(out_rows);
+    // Reversed roles: rows peers sent me in the forward direction, I now
+    // return to them — gathered from my owned totals, source-ascending.
+    let mut sends = Vec::new();
+    for (src, peer_sends) in plan.sends.iter().enumerate() {
+        for (dst, rows) in peer_sends {
+            if *dst == me {
+                sends.push(Transfer {
+                    peer: src,
+                    idx: gather_idx(rows, &owned_pos),
+                });
+            }
+        }
+    }
+    let keeps = out_rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| ownership.owner[**r as usize] as usize == me)
+        .map(|(d, r)| (owned_pos[r], d as u32))
+        .collect();
+    // What I sent away forward now comes back from the owners,
+    // destination-ascending like the reference receive loop.
+    let recvs = plan.sends[me]
+        .iter()
+        .map(|(dst, rows)| Transfer {
+            peer: *dst,
+            idx: gather_idx(rows, &out_pos),
+        })
+        .collect();
+    LevelProgram {
+        out_len: out_rows.len(),
+        sends,
+        keeps,
+        recvs,
+        tag,
+        class: TrafficClass::Global,
+        phase: None,
+    }
+}
+
+/// Compiles one reversed reduction level (scatter fan-out): input rows
+/// `cur_rows`, output = `post[me] ∪ sends[me].rows` (disjoint union —
+/// rows kept as designee plus rows whose contributors await them back).
+fn compile_scatter_level(
+    me: usize,
+    step: &ReductionStep,
+    cur_rows: &[u32],
+    tag: u64,
+    class: TrafficClass,
+) -> (LevelProgram, Vec<u32>) {
+    let cur_pos = positions(cur_rows);
+    let mut out_rows: Vec<u32> = step.post.per_rank[me].clone();
+    for (_, rows) in &step.sends[me] {
+        out_rows.extend_from_slice(rows);
+    }
+    out_rows.sort_unstable();
+    out_rows.dedup();
+    let out_pos = positions(&out_rows);
+    let mut sends = Vec::new();
+    for (src, peer_sends) in step.sends.iter().enumerate() {
+        for (dst, rows) in peer_sends {
+            if *dst == me {
+                sends.push(Transfer {
+                    peer: src,
+                    idx: gather_idx(rows, &cur_pos),
+                });
+            }
+        }
+    }
+    let keeps = step.post.per_rank[me]
+        .iter()
+        .filter_map(|r| cur_pos.get(r).map(|&s| (s, out_pos[r])))
+        .collect();
+    let recvs = step.sends[me]
+        .iter()
+        .map(|(dst, rows)| Transfer {
+            peer: *dst,
+            idx: gather_idx(rows, &out_pos),
+        })
+        .collect();
+    let program = LevelProgram {
+        out_len: out_rows.len(),
+        sends,
+        keeps,
+        recvs,
+        tag,
+        class,
+        phase: None,
+    };
+    (program, out_rows)
+}
+
+impl CompiledPlans {
+    /// Compiles a three-level hierarchical plan for every rank.
+    pub fn compile_hierarchical(
+        footprints: &crate::plan::Footprints,
+        ownership: &Ownership,
+        plan: &HierarchicalPlan,
+    ) -> Self {
+        let per_rank = (0..footprints.num_ranks())
+            .map(|me| {
+                let fp = &footprints.per_rank[me];
+                let owned = ownership.rows_of(me);
+                let socket = compile_reduce_level(
+                    me,
+                    &plan.socket,
+                    fp,
+                    TAG_SOCKET,
+                    TrafficClass::Socket,
+                    Some(Phase::ReduceSocket),
+                );
+                let node = compile_reduce_level(
+                    me,
+                    &plan.node,
+                    &plan.socket.post.per_rank[me],
+                    TAG_NODE,
+                    TrafficClass::Node,
+                    Some(Phase::ReduceNode),
+                );
+                let global = compile_global(
+                    me,
+                    &plan.global,
+                    ownership,
+                    &plan.node.post.per_rank[me],
+                    &owned,
+                    TAG_GLOBAL,
+                );
+                let scatter_global = compile_scatter_global(
+                    me,
+                    &plan.global,
+                    ownership,
+                    &owned,
+                    &plan.node.post.per_rank[me],
+                    TAG_SCATTER_GLOBAL,
+                );
+                let (scatter_node, after_node) = compile_scatter_level(
+                    me,
+                    &plan.node,
+                    &plan.node.post.per_rank[me],
+                    TAG_SCATTER_NODE,
+                    TrafficClass::Node,
+                );
+                let (scatter_socket, full) = compile_scatter_level(
+                    me,
+                    &plan.socket,
+                    &after_node,
+                    TAG_SCATTER_SOCKET,
+                    TrafficClass::Socket,
+                );
+                let full_pos = positions(&full);
+                let restrict = gather_idx(fp, &full_pos);
+                RankPlan {
+                    in_len: fp.len(),
+                    owned_len: owned.len(),
+                    levels: vec![socket, node],
+                    global,
+                    scatter_global,
+                    scatter_levels: vec![scatter_node, scatter_socket],
+                    restrict,
+                }
+            })
+            .collect();
+        CompiledPlans { per_rank }
+    }
+
+    /// Compiles a direct (single-level) plan for every rank.
+    pub fn compile_direct(
+        footprints: &crate::plan::Footprints,
+        ownership: &Ownership,
+        plan: &DirectPlan,
+    ) -> Self {
+        let per_rank = (0..footprints.num_ranks())
+            .map(|me| {
+                let fp = &footprints.per_rank[me];
+                let owned = ownership.rows_of(me);
+                let global = compile_global(me, plan, ownership, fp, &owned, TAG_GLOBAL);
+                let scatter_global =
+                    compile_scatter_global(me, plan, ownership, &owned, fp, TAG_SCATTER_GLOBAL);
+                let restrict = (0..fp.len() as u32).collect();
+                RankPlan {
+                    in_len: fp.len(),
+                    owned_len: owned.len(),
+                    levels: Vec::new(),
+                    global,
+                    scatter_global,
+                    scatter_levels: Vec::new(),
+                    restrict,
+                }
+            })
+            .collect();
+        CompiledPlans { per_rank }
+    }
+
+    /// Convenience: hierarchical compilation straight from geometry.
+    pub fn build_hierarchical(
+        footprints: &crate::plan::Footprints,
+        ownership: &Ownership,
+        topo: &Topology,
+    ) -> Self {
+        let plan = HierarchicalPlan::build(footprints, ownership, topo);
+        Self::compile_hierarchical(footprints, ownership, &plan)
+    }
+
+    /// The compiled program for `rank`.
+    pub fn rank(&self, rank: usize) -> &RankPlan {
+        &self.per_rank[rank]
+    }
+
+    /// Number of ranks compiled.
+    pub fn num_ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+}
+
+/// Reusable f64 buffers for compiled exchanges. One per rank thread;
+/// after a warm-up iteration every buffer has reached steady capacity and
+/// execution allocates nothing (asserted in `tests/alloc_free.rs`).
+#[derive(Debug, Default)]
+pub struct ExchangeScratch {
+    cur: Vec<f64>,
+    nxt: Vec<f64>,
+    /// Accumulator buffers for in-flight exchanges (two live at once
+    /// under overlap).
+    acc_pool: Vec<Vec<f64>>,
+    /// Request vectors for in-flight exchanges.
+    req_pool: Vec<Vec<RecvRequest>>,
+}
+
+impl ExchangeScratch {
+    /// Fresh scratch (buffers grow to steady size during warm-up).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take_acc(&mut self, len: usize) -> Vec<f64> {
+        let mut acc = self.acc_pool.pop().unwrap_or_default();
+        acc.clear();
+        acc.resize(len, 0.0);
+        acc
+    }
+
+    fn take_reqs(&mut self) -> Vec<RecvRequest> {
+        self.req_pool.pop().unwrap_or_default()
+    }
+}
+
+/// A global reduction in flight: sends posted, receives pending. Holds
+/// the open `ReduceGlobal` span — everything traced until
+/// [`RankPlan::global_finish`] nests under the exchange, which is the
+/// overlap evidence the telemetry report surfaces.
+#[derive(Debug)]
+pub struct GlobalInFlight {
+    acc: Vec<f64>,
+    reqs: Vec<RecvRequest>,
+    undo: f32,
+    _span: SpanGuard,
+}
+
+/// A global scatter in flight (transpose direction), analogous to
+/// [`GlobalInFlight`]; holds the open `HaloExchange` span.
+#[derive(Debug)]
+pub struct ScatterInFlight {
+    out1: Vec<f64>,
+    reqs: Vec<RecvRequest>,
+    undo: f32,
+    salt: u64,
+    _span: SpanGuard,
+}
+
+/// Sends every transfer of `level`, gathering from `cur` and encoding at
+/// storage width through the communicator's buffer pool.
+fn run_sends<S: Wire>(
+    comm: &Communicator,
+    level: &LevelProgram,
+    cur: &[f64],
+    salt: u64,
+) -> Result<(), CommError> {
+    let _class = comm.meter().scope_class(level.class);
+    for t in &level.sends {
+        let mut buf = comm.pooled_buf(t.idx.len() * S::BYTES);
+        for &i in &t.idx {
+            S::from_f64(cur[i as usize]).write_to(&mut buf);
+        }
+        comm.send(t.peer, level.tag ^ salt, buf)?;
+    }
+    Ok(())
+}
+
+/// Decodes `bytes` at storage width and **accumulates** into `out` at the
+/// transfer's positions (reduce semantics), without allocating.
+fn accumulate_payload<S: Wire>(bytes: &[u8], idx: &[u32], out: &mut [f64]) {
+    assert_eq!(bytes.len(), idx.len() * S::BYTES, "payload/plan mismatch");
+    for (k, &i) in idx.iter().enumerate() {
+        out[i as usize] += S::read_from(&bytes[k * S::BYTES..]).to_f64();
+    }
+}
+
+/// Decodes `bytes` and **assigns** into `out` (scatter semantics).
+fn assign_payload<S: Wire>(bytes: &[u8], idx: &[u32], out: &mut [f64]) {
+    assert_eq!(bytes.len(), idx.len() * S::BYTES, "payload/plan mismatch");
+    for (k, &i) in idx.iter().enumerate() {
+        out[i as usize] = S::read_from(&bytes[k * S::BYTES..]).to_f64();
+    }
+}
+
+/// Rounds every element to storage precision (the once-per-level rounding
+/// the reference executor applies when materializing `PartialData<S>`).
+fn round_level<S: Wire>(vals: &mut [f64]) {
+    for v in vals {
+        *v = S::from_f64(*v).to_f64();
+    }
+}
+
+impl RankPlan {
+    /// Footprint length (reduce input / scatter output).
+    pub fn in_len(&self) -> usize {
+        self.in_len
+    }
+
+    /// Owned-row count (reduce output / scatter input).
+    pub fn owned_len(&self) -> usize {
+        self.owned_len
+    }
+
+    /// Runs the *local* forward levels (socket, node) blocking: quantizes
+    /// `vals` (× `factor`) to storage precision and reduces within socket
+    /// then node groups, leaving the post-node values in scratch. Must be
+    /// followed by [`global_begin`] / [`global_finish`].
+    ///
+    /// [`global_begin`]: RankPlan::global_begin
+    /// [`global_finish`]: RankPlan::global_finish
+    pub fn reduce_local<S: Wire>(
+        &self,
+        comm: &Communicator,
+        scratch: &mut ExchangeScratch,
+        vals: &[f32],
+        factor: f32,
+        salt: u64,
+    ) -> Result<(), CommError> {
+        assert_eq!(vals.len(), self.in_len, "footprint length mismatch");
+        scratch.cur.clear();
+        scratch
+            .cur
+            .extend(vals.iter().map(|&v| S::from_f32(v * factor).to_f64()));
+        for level in &self.levels {
+            let _span = level.phase.map(|p| comm.telemetry().span(p));
+            run_sends::<S>(comm, level, &scratch.cur, salt)?;
+            scratch.nxt.clear();
+            scratch.nxt.resize(level.out_len, 0.0);
+            for &(s, d) in &level.keeps {
+                scratch.nxt[d as usize] = scratch.cur[s as usize];
+            }
+            for t in &level.recvs {
+                let bytes = comm.recv(t.peer, level.tag ^ salt)?;
+                accumulate_payload::<S>(&bytes, &t.idx, &mut scratch.nxt);
+                comm.recycle(bytes);
+            }
+            round_level::<S>(&mut scratch.nxt);
+            std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
+        }
+        Ok(())
+    }
+
+    /// Posts the global exchange: sends the post-node partials to owners
+    /// and posts irecvs for incoming contributions. Local work for other
+    /// slices may run freely until [`global_finish`] — that is the §III-E
+    /// overlap window.
+    ///
+    /// [`global_finish`]: RankPlan::global_finish
+    pub fn global_begin<S: Wire>(
+        &self,
+        comm: &Communicator,
+        scratch: &mut ExchangeScratch,
+        undo: f32,
+        salt: u64,
+    ) -> Result<GlobalInFlight, CommError> {
+        let span = comm.telemetry().span(Phase::ReduceGlobal);
+        let level = &self.global;
+        run_sends::<S>(comm, level, &scratch.cur, salt)?;
+        let mut acc = scratch.take_acc(level.out_len);
+        for &(s, d) in &level.keeps {
+            acc[d as usize] = scratch.cur[s as usize];
+        }
+        let mut reqs = scratch.take_reqs();
+        for t in &level.recvs {
+            reqs.push(comm.irecv(t.peer, level.tag ^ salt)?);
+        }
+        Ok(GlobalInFlight {
+            acc,
+            reqs,
+            undo,
+            _span: span,
+        })
+    }
+
+    /// Completes a posted global exchange: waits on the irecvs in plan
+    /// order, accumulates in f64, rounds to storage precision, and writes
+    /// `total × undo` into `out` (one value per owned row).
+    pub fn global_finish<S: Wire>(
+        &self,
+        comm: &Communicator,
+        scratch: &mut ExchangeScratch,
+        inflight: GlobalInFlight,
+        out: &mut [f32],
+    ) -> Result<(), CommError> {
+        let GlobalInFlight {
+            mut acc,
+            mut reqs,
+            undo,
+            _span,
+        } = inflight;
+        assert_eq!(out.len(), self.global.out_len, "owned length mismatch");
+        for (req, t) in reqs.drain(..).zip(&self.global.recvs) {
+            debug_assert_eq!(req.src(), t.peer);
+            let bytes = req.wait(comm)?;
+            accumulate_payload::<S>(&bytes, &t.idx, &mut acc);
+            comm.recycle(bytes);
+        }
+        for (o, &v) in out.iter_mut().zip(acc.iter()) {
+            *o = S::from_f64(v).to_f32() * undo;
+        }
+        acc.clear();
+        scratch.acc_pool.push(acc);
+        scratch.req_pool.push(reqs);
+        Ok(())
+    }
+
+    /// Blocking convenience: full forward reduction (local levels +
+    /// global), footprint partials in, owned totals out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce<S: Wire>(
+        &self,
+        comm: &Communicator,
+        scratch: &mut ExchangeScratch,
+        vals: &[f32],
+        factor: f32,
+        undo: f32,
+        salt: u64,
+        out: &mut [f32],
+    ) -> Result<(), CommError> {
+        self.reduce_local::<S>(comm, scratch, vals, factor, salt)?;
+        let inflight = self.global_begin::<S>(comm, scratch, undo, salt)?;
+        self.global_finish::<S>(comm, scratch, inflight, out)
+    }
+
+    /// Posts the global scatter stage (transpose direction): quantizes the
+    /// owned totals (× `factor`), sends each peer the rows it contributed
+    /// partials for, seeds the local carries, and posts irecvs for rows
+    /// owned elsewhere. Local work may run until [`scatter_finish`].
+    ///
+    /// [`scatter_finish`]: RankPlan::scatter_finish
+    pub fn scatter_begin<S: Wire>(
+        &self,
+        comm: &Communicator,
+        scratch: &mut ExchangeScratch,
+        owned: &[f32],
+        factor: f32,
+        undo: f32,
+        salt: u64,
+    ) -> Result<ScatterInFlight, CommError> {
+        assert_eq!(owned.len(), self.owned_len, "owned length mismatch");
+        let span = comm.telemetry().span(Phase::HaloExchange);
+        let level = &self.scatter_global;
+        let mut quant = scratch.take_acc(0);
+        quant.extend(owned.iter().map(|&v| S::from_f32(v * factor).to_f64()));
+        run_sends::<S>(comm, level, &quant, salt)?;
+        let mut out1 = scratch.take_acc(level.out_len);
+        for &(s, d) in &level.keeps {
+            out1[d as usize] = quant[s as usize];
+        }
+        quant.clear();
+        scratch.acc_pool.push(quant);
+        let mut reqs = scratch.take_reqs();
+        for t in &level.recvs {
+            reqs.push(comm.irecv(t.peer, level.tag ^ salt)?);
+        }
+        Ok(ScatterInFlight {
+            out1,
+            reqs,
+            undo,
+            salt,
+            _span: span,
+        })
+    }
+
+    /// Completes a posted scatter: waits on the global irecvs, fans values
+    /// out through the reversed node and socket levels (blocking — these
+    /// are the fast local links), restricts to the footprint, and writes
+    /// `value × undo` into `out`.
+    pub fn scatter_finish<S: Wire>(
+        &self,
+        comm: &Communicator,
+        scratch: &mut ExchangeScratch,
+        inflight: ScatterInFlight,
+        out: &mut [f32],
+    ) -> Result<(), CommError> {
+        let ScatterInFlight {
+            mut out1,
+            mut reqs,
+            undo,
+            salt,
+            _span,
+        } = inflight;
+        assert_eq!(out.len(), self.in_len, "footprint length mismatch");
+        for (req, t) in reqs.drain(..).zip(&self.scatter_global.recvs) {
+            debug_assert_eq!(req.src(), t.peer);
+            let bytes = req.wait(comm)?;
+            assign_payload::<S>(&bytes, &t.idx, &mut out1);
+            comm.recycle(bytes);
+        }
+        round_level::<S>(&mut out1);
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(&out1);
+        out1.clear();
+        scratch.acc_pool.push(out1);
+        scratch.req_pool.push(reqs);
+        for level in &self.scatter_levels {
+            run_sends::<S>(comm, level, &scratch.cur, salt)?;
+            scratch.nxt.clear();
+            scratch.nxt.resize(level.out_len, 0.0);
+            for &(s, d) in &level.keeps {
+                scratch.nxt[d as usize] = scratch.cur[s as usize];
+            }
+            for t in &level.recvs {
+                let bytes = comm.recv(t.peer, level.tag ^ salt)?;
+                assign_payload::<S>(&bytes, &t.idx, &mut scratch.nxt);
+                comm.recycle(bytes);
+            }
+            round_level::<S>(&mut scratch.nxt);
+            std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
+        }
+        for (o, &i) in out.iter_mut().zip(&self.restrict) {
+            *o = S::from_f64(scratch.cur[i as usize]).to_f32() * undo;
+        }
+        Ok(())
+    }
+
+    /// Blocking convenience: full transpose scatter, owned totals in,
+    /// footprint values out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter<S: Wire>(
+        &self,
+        comm: &Communicator,
+        scratch: &mut ExchangeScratch,
+        owned: &[f32],
+        factor: f32,
+        undo: f32,
+        salt: u64,
+        out: &mut [f32],
+    ) -> Result<(), CommError> {
+        let inflight = self.scatter_begin::<S>(comm, scratch, owned, factor, undo, salt)?;
+        self.scatter_finish::<S>(comm, scratch, inflight, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{
+        execute_direct, execute_hierarchical, scatter_direct, scatter_hierarchical, PartialData,
+    };
+    use crate::plan::Footprints;
+    use crate::runtime::run_ranks;
+    use xct_fp16::F16;
+
+    /// Same fixture as the reference executor's tests: 8 ranks on 2×2×2,
+    /// 32 rows, deterministic overlapping footprints.
+    fn fixture() -> (Footprints, Ownership, Topology) {
+        let topo = Topology::new(2, 2, 2);
+        let owner: Vec<u32> = (0..32u32).map(|r| r / 4).collect();
+        let fp: Vec<Vec<u32>> = (0..8usize)
+            .map(|p| {
+                (0..32u32)
+                    .filter(|&r| (r as usize * 7 + p * 3) % 5 < 3)
+                    .collect()
+            })
+            .collect();
+        (Footprints::new(fp), Ownership::new(owner, 8), topo)
+    }
+
+    fn partial(p: usize, r: u32) -> f32 {
+        ((p as f32 + 1.0) * 0.125) + (r as f32) * 0.01
+    }
+
+    fn reduce_matches_reference<S: Wire>() {
+        let (fp, own, topo) = fixture();
+        let plan = HierarchicalPlan::build(&fp, &own, &topo);
+        let compiled = CompiledPlans::compile_hierarchical(&fp, &own, &plan);
+        let reference = run_ranks(8, |comm| {
+            let rows = fp.per_rank[comm.rank()].clone();
+            let vals: Vec<S> = rows
+                .iter()
+                .map(|&r| S::from_f32(partial(comm.rank(), r)))
+                .collect();
+            let mine = PartialData::new(rows, vals);
+            execute_hierarchical(comm, &plan, &own, &mine).unwrap()
+        });
+        let fast = run_ranks(8, |comm| {
+            let me = comm.rank();
+            let rp = compiled.rank(me);
+            let vals: Vec<f32> = fp.per_rank[me].iter().map(|&r| partial(me, r)).collect();
+            let mut scratch = ExchangeScratch::new();
+            let mut out = vec![0.0f32; rp.owned_len()];
+            rp.reduce::<S>(comm, &mut scratch, &vals, 1.0, 1.0, 0, &mut out)
+                .unwrap();
+            out
+        });
+        for (p, (r, f)) in reference.iter().zip(&fast).enumerate() {
+            assert_eq!(r.rows, own.rows_of(p));
+            let rvals: Vec<f32> = r.vals.iter().map(|v| v.to_f32()).collect();
+            assert_eq!(&rvals, f, "rank {p}: compiled must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn hierarchical_reduce_bit_identical_to_reference_f32() {
+        reduce_matches_reference::<f32>();
+    }
+
+    #[test]
+    fn hierarchical_reduce_bit_identical_to_reference_f64() {
+        reduce_matches_reference::<f64>();
+    }
+
+    #[test]
+    fn hierarchical_reduce_bit_identical_to_reference_f16() {
+        reduce_matches_reference::<F16>();
+    }
+
+    fn scatter_matches_reference<S: Wire>() {
+        let (fp, own, topo) = fixture();
+        let plan = HierarchicalPlan::build(&fp, &own, &topo);
+        let compiled = CompiledPlans::compile_hierarchical(&fp, &own, &plan);
+        // Owned totals: deterministic per-row values.
+        let total = |r: u32| 0.5 + (r as f32) * 0.03125;
+        let reference = run_ranks(8, |comm| {
+            let me = comm.rank();
+            let rows = own.rows_of(me);
+            let vals: Vec<S> = rows.iter().map(|&r| S::from_f32(total(r))).collect();
+            let owned = PartialData::new(rows, vals);
+            scatter_hierarchical(comm, &plan, &own, &owned, &fp.per_rank[me]).unwrap()
+        });
+        let fast = run_ranks(8, |comm| {
+            let me = comm.rank();
+            let rp = compiled.rank(me);
+            let owned: Vec<f32> = own.rows_of(me).iter().map(|&r| total(r)).collect();
+            let mut scratch = ExchangeScratch::new();
+            let mut out = vec![0.0f32; rp.in_len()];
+            rp.scatter::<S>(comm, &mut scratch, &owned, 1.0, 1.0, 0, &mut out)
+                .unwrap();
+            out
+        });
+        for (p, (r, f)) in reference.iter().zip(&fast).enumerate() {
+            assert_eq!(r.rows, fp.per_rank[p]);
+            let rvals: Vec<f32> = r.vals.iter().map(|v| v.to_f32()).collect();
+            assert_eq!(&rvals, f, "rank {p}: compiled scatter must match");
+        }
+    }
+
+    #[test]
+    fn hierarchical_scatter_bit_identical_to_reference_f32() {
+        scatter_matches_reference::<f32>();
+    }
+
+    #[test]
+    fn hierarchical_scatter_bit_identical_to_reference_f16() {
+        scatter_matches_reference::<F16>();
+    }
+
+    #[test]
+    fn direct_reduce_and_scatter_match_reference() {
+        let (fp, own, _) = fixture();
+        let plan = DirectPlan::build(&fp, &own);
+        let compiled = CompiledPlans::compile_direct(&fp, &own, &plan);
+        let reference = run_ranks(8, |comm| {
+            let me = comm.rank();
+            let rows = fp.per_rank[me].clone();
+            let vals: Vec<f32> = rows.iter().map(|&r| partial(me, r)).collect();
+            let mine = PartialData::new(rows, vals);
+            let owned = execute_direct(comm, &plan, &own, &mine).unwrap();
+            let back = scatter_direct(comm, &plan, &own, &owned, &fp.per_rank[me]).unwrap();
+            (owned, back)
+        });
+        let fast = run_ranks(8, |comm| {
+            let me = comm.rank();
+            let rp = compiled.rank(me);
+            let vals: Vec<f32> = fp.per_rank[me].iter().map(|&r| partial(me, r)).collect();
+            let mut scratch = ExchangeScratch::new();
+            let mut owned = vec![0.0f32; rp.owned_len()];
+            rp.reduce::<f32>(comm, &mut scratch, &vals, 1.0, 1.0, 0, &mut owned)
+                .unwrap();
+            let mut back = vec![0.0f32; rp.in_len()];
+            rp.scatter::<f32>(comm, &mut scratch, &owned, 1.0, 1.0, 0, &mut back)
+                .unwrap();
+            (owned, back)
+        });
+        for (p, ((rowned, rback), (fowned, fback))) in reference.iter().zip(&fast).enumerate() {
+            assert_eq!(&rowned.vals, fowned, "rank {p} direct reduce");
+            assert_eq!(rback.rows, fp.per_rank[p]);
+            assert_eq!(&rback.vals, fback, "rank {p} direct scatter");
+        }
+    }
+
+    #[test]
+    fn quantization_factor_round_trips() {
+        // factor on the way in, undo on the way out: with S = F16 the
+        // scaled exchange must land near the unscaled f32 values.
+        let (fp, own, topo) = fixture();
+        let compiled = CompiledPlans::build_hierarchical(&fp, &own, &topo);
+        let factor = 16.0f32;
+        let results = run_ranks(8, |comm| {
+            let me = comm.rank();
+            let rp = compiled.rank(me);
+            let vals: Vec<f32> = fp.per_rank[me].iter().map(|&r| partial(me, r)).collect();
+            let mut scratch = ExchangeScratch::new();
+            let mut out = vec![0.0f32; rp.owned_len()];
+            rp.reduce::<F16>(comm, &mut scratch, &vals, factor, 1.0 / factor, 0, &mut out)
+                .unwrap();
+            out
+        });
+        for (p, out) in results.iter().enumerate() {
+            for (&r, &v) in own.rows_of(p).iter().zip(out) {
+                let expect: f64 = (0..8usize)
+                    .filter(|&q| fp.per_rank[q].binary_search(&r).is_ok())
+                    .map(|q| f64::from(partial(q, r)))
+                    .sum();
+                assert!(
+                    (f64::from(v) - expect).abs() < 0.02,
+                    "rank {p} row {r}: {v} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_begin_finish_matches_blocking_across_slices() {
+        // Two "slices" in flight at once (the §III-E software pipeline
+        // shape) must produce the same owned totals as running each slice
+        // synchronously.
+        let (fp, own, topo) = fixture();
+        let compiled = CompiledPlans::build_hierarchical(&fp, &own, &topo);
+        let slice_val = |s: usize, p: usize, r: u32| partial(p, r) + s as f32 * 0.25;
+        let (compiled, fp) = (&compiled, &fp);
+        let run = |overlap: bool| {
+            run_ranks(8, move |comm| {
+                let me = comm.rank();
+                let rp = compiled.rank(me);
+                let mut scratch = ExchangeScratch::new();
+                let vals: Vec<Vec<f32>> = (0..3)
+                    .map(|s| {
+                        fp.per_rank[me]
+                            .iter()
+                            .map(|&r| slice_val(s, me, r))
+                            .collect()
+                    })
+                    .collect();
+                let mut outs = vec![vec![0.0f32; rp.owned_len()]; 3];
+                if overlap {
+                    let mut pending: Option<(usize, GlobalInFlight)> = None;
+                    for (s, slice_vals) in vals.iter().enumerate() {
+                        let salt = (s as u64 + 1) << 44;
+                        rp.reduce_local::<f32>(comm, &mut scratch, slice_vals, 1.0, salt)
+                            .unwrap();
+                        let inflight = rp
+                            .global_begin::<f32>(comm, &mut scratch, 1.0, salt)
+                            .unwrap();
+                        if let Some((ps, pf)) = pending.take() {
+                            rp.global_finish::<f32>(comm, &mut scratch, pf, &mut outs[ps])
+                                .unwrap();
+                        }
+                        pending = Some((s, inflight));
+                    }
+                    let (ps, pf) = pending.take().unwrap();
+                    rp.global_finish::<f32>(comm, &mut scratch, pf, &mut outs[ps])
+                        .unwrap();
+                } else {
+                    for s in 0..3 {
+                        let salt = (s as u64 + 1) << 44;
+                        rp.reduce::<f32>(
+                            comm,
+                            &mut scratch,
+                            &vals[s],
+                            1.0,
+                            1.0,
+                            salt,
+                            &mut outs[s],
+                        )
+                        .unwrap();
+                    }
+                }
+                outs
+            })
+        };
+        assert_eq!(run(true), run(false), "overlap must not change results");
+    }
+}

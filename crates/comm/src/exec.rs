@@ -28,10 +28,20 @@ pub struct PartialData<S> {
 }
 
 impl<S: Wire> PartialData<S> {
-    /// Creates partial data; rows must be sorted, lengths equal.
+    /// Creates partial data; rows must be strictly ascending (sorted,
+    /// no duplicates) and match `vals` in length.
+    ///
+    /// Validated in release builds too: unsorted or duplicate rows would
+    /// silently corrupt the `binary_search` used by `gather`, surfacing
+    /// much later as a misleading "row not in local data" panic.
     pub fn new(rows: Vec<u32>, vals: Vec<S>) -> Self {
         assert_eq!(rows.len(), vals.len(), "rows/vals length mismatch");
-        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
+        if let Some(w) = rows.windows(2).find(|w| w[0] >= w[1]) {
+            panic!(
+                "PartialData rows must be strictly ascending: row {} followed by {}",
+                w[0], w[1]
+            );
+        }
         PartialData { rows, vals }
     }
 
@@ -398,6 +408,19 @@ mod tests {
         let rows = fp.per_rank[p].clone();
         let vals = rows.iter().map(|&r| partial(p, r)).collect();
         PartialData::new(rows, vals)
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_rows_rejected_in_release_builds_too() {
+        // Must panic with the clear message even with debug_asserts off.
+        let _ = PartialData::new(vec![3, 1, 2], vec![0.0f32, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn duplicate_rows_rejected() {
+        let _ = PartialData::new(vec![1, 2, 2], vec![0.0f32, 1.0, 2.0]);
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //! * [`DirectPlan`] / [`HierarchicalPlan`] — communication schedules with
 //!   exact per-pair and per-level volume accounting (Figs 6, 11;
 //!   Table IV),
-//! * [`execute_direct`] / [`execute_hierarchical`] — run a plan on real
-//!   data across ranks, in any storage precision.
+//! * [`execute_direct`] / [`execute_hierarchical`] — reference executor:
+//!   run a plan on real data across ranks, in any storage precision,
+//! * [`CompiledPlans`] — plans compiled to per-peer index tables for
+//!   allocation-free execution, with split `begin`/`finish` global
+//!   exchanges so communication overlaps computation (§III-E).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,7 +36,8 @@ pub use metrics::{
 };
 pub use plan::{DirectPlan, Footprints, HierarchicalPlan, Ownership, ReductionStep};
 pub use runtime::{
-    run_ranks, run_ranks_traced, run_ranks_with_timeout, CommError, Communicator, SubCommunicator,
+    run_ranks, run_ranks_traced, run_ranks_traced_wired, run_ranks_with_timeout, CommError,
+    Communicator, RecvRequest, SubCommunicator, WireModel,
 };
 pub use topology::{CommLevel, Topology};
 pub use wire::Wire;
@@ -41,4 +45,9 @@ pub use wire::Wire;
 mod exec;
 pub use exec::{
     execute_direct, execute_hierarchical, scatter_direct, scatter_hierarchical, PartialData,
+};
+
+mod compiled;
+pub use compiled::{
+    CompiledPlans, ExchangeScratch, GlobalInFlight, RankPlan, ScatterInFlight, Transfer,
 };

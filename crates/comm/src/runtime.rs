@@ -2,20 +2,40 @@
 //!
 //! One OS thread plays one MPI rank. Point-to-point messages are tagged
 //! and matched like MPI envelopes `(source, tag)`; sends are buffered and
-//! non-blocking (the paper's `MPI_Issend` usage pattern — post sends, do
-//! local work, then complete receives — maps onto this directly).
-//! `split_by` mirrors `MPI_Comm_split` for colors that are pure functions
-//! of rank, which is all the hierarchical scheme needs (socket and node
-//! membership are static).
+//! non-blocking, and receives may be posted ahead of time with
+//! [`Communicator::irecv`] and completed later (the paper's
+//! `MPI_Issend` / `MPI_Irecv` usage pattern — post sends and receives, do
+//! local work, then complete — maps onto this directly). `split_by`
+//! mirrors `MPI_Comm_split` for colors that are pure functions of rank,
+//! which is all the hierarchical scheme needs (socket and node membership
+//! are static).
+//!
+//! Transport is a per-rank mailbox (`Mutex<VecDeque>` + `Condvar`) rather
+//! than an `mpsc` channel so that wire buffers can be *pooled*: a payload
+//! `Vec<u8>` travels from the sender's pool through the mailbox to the
+//! receiver, which hands it back via [`Communicator::recycle`]. Because
+//! the scatter schedule is the exact transpose of the reduce schedule,
+//! every rank receives the same multiset of message sizes it sends over a
+//! full solver iteration, so the pools reach a steady state after warm-up
+//! and the exchange hot path stops allocating (see `tests/alloc_free.rs`).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::metrics::{CommMeter, RankCommStats, TrafficClass};
 use crate::wire::Wire;
 use xct_telemetry::{Phase, Telemetry};
+
+/// Tag bit reserved for internal reply traffic (allreduce responses).
+/// Application tags must keep this bit clear; the collectives salt their
+/// root-to-leaf replies with it so a collective at tag `t` can never
+/// cross-match application traffic at `t + 1`.
+const REPLY_TAG_SALT: u64 = 1 << 63;
+
+/// Upper bound on pooled wire buffers kept per rank (a backstop against
+/// pathological send/receive imbalance, far above any plan's needs).
+const POOL_MAX: usize = 1024;
 
 /// Communication failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,23 +74,92 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+/// Simulated wire time for inter-node messages.
+///
+/// The in-process transport is a memcpy, so without help every "network"
+/// is infinitely fast and communication/computation overlap has nothing
+/// to hide. A `WireModel` restores the paper's resource separation: an
+/// inter-node message is *sent* instantly (the sender never blocks, like
+/// a buffered `MPI_Issend`) but cannot be *matched* by the receiver until
+/// its wire time — `latency + len / bytes_per_sec` — has elapsed, exactly
+/// like bytes still in flight on InfiniBand. Intra-node messages
+/// (NVLink/X-bus in the paper) are delivered immediately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Per-message latency.
+    pub latency: Duration,
+    /// Sustained bandwidth in bytes per second (`f64::INFINITY` for a
+    /// pure-latency model).
+    pub bytes_per_sec: f64,
+    /// Ranks per node: ranks with equal `rank / ranks_per_node` share a
+    /// node and exchange messages with zero wire time. `0` makes every
+    /// pair inter-node.
+    pub ranks_per_node: usize,
+}
+
+impl WireModel {
+    /// When the receiver may match a message of `len` bytes from `src` to
+    /// `dst`, or `None` for undelayed (intra-node) delivery.
+    fn ready_at(&self, src: usize, dst: usize, len: usize) -> Option<Instant> {
+        if self.ranks_per_node > 0 && src / self.ranks_per_node == dst / self.ranks_per_node {
+            return None;
+        }
+        let mut wire = self.latency;
+        if self.bytes_per_sec.is_finite() && self.bytes_per_sec > 0.0 {
+            wire += Duration::from_secs_f64(len as f64 / self.bytes_per_sec);
+        }
+        Some(Instant::now() + wire)
+    }
+}
+
 struct Envelope {
     src: usize,
     tag: u64,
+    /// When a [`WireModel`] is in force: the earliest instant the
+    /// receiver may match this message.
+    ready_at: Option<Instant>,
     payload: Vec<u8>,
 }
 
+/// Stashed payloads for one `(src, tag)` key: wire deadline + bytes,
+/// FIFO so send order is preserved.
+type StashQueue = VecDeque<(Option<Instant>, Vec<u8>)>;
+
+#[derive(Default)]
+struct MailboxInner {
+    /// Messages delivered but not yet matched, in arrival order.
+    arrivals: VecDeque<Envelope>,
+    /// Messages already inspected while waiting for a different envelope,
+    /// filed by `(src, tag)` with their wire deadline; FIFO per key
+    /// preserves send order.
+    stash: HashMap<(usize, u64), StashQueue>,
+}
+
+/// Outcome of one matching attempt against the mailbox.
+enum MatchOutcome {
+    /// A matching message, ready now.
+    Ready(Vec<u8>),
+    /// The next matching message exists but its simulated wire time has
+    /// not elapsed; retry at the contained instant.
+    NotUntil(Instant),
+    /// No matching message has arrived.
+    Absent,
+}
+
+#[derive(Default)]
 struct Mailbox {
-    rx: Receiver<Envelope>,
-    stash: HashMap<(usize, u64), VecDeque<Vec<u8>>>,
+    inner: Mutex<MailboxInner>,
+    ready: Condvar,
 }
 
 /// One rank's endpoint in the world communicator.
 pub struct Communicator {
     rank: usize,
-    senders: Arc<Vec<Sender<Envelope>>>,
-    mailbox: Mutex<Mailbox>,
+    mailboxes: Arc<Vec<Mailbox>>,
+    /// Free-listed wire buffers (see module docs on pooling).
+    pool: Mutex<Vec<Vec<u8>>>,
     timeout: Duration,
+    wire: Option<WireModel>,
     meter: CommMeter,
     telemetry: Telemetry,
 }
@@ -83,7 +172,7 @@ impl Communicator {
 
     /// World size.
     pub fn size(&self) -> usize {
-        self.senders.len()
+        self.mailboxes.len()
     }
 
     /// This rank's communication meter (always on; see [`CommMeter`]).
@@ -104,26 +193,118 @@ impl Communicator {
         &self.telemetry
     }
 
+    /// Takes a wire buffer from this rank's pool (empty, with at least
+    /// `cap` bytes of capacity when the pool can supply it). Buffers
+    /// received from peers should be returned with [`recycle`] so the
+    /// steady-state exchange paths stop allocating.
+    ///
+    /// [`recycle`]: Communicator::recycle
+    pub fn pooled_buf(&self, cap: usize) -> Vec<u8> {
+        let mut pool = self.pool.lock().expect("pool mutex poisoned");
+        // Best fit: the smallest pooled buffer that already holds `cap`.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, buf) in pool.iter().enumerate() {
+            let c = buf.capacity();
+            if c >= cap && best.is_none_or(|(_, bc)| c < bc) {
+                best = Some((i, c));
+            }
+        }
+        match best {
+            Some((i, _)) => pool.swap_remove(i),
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns a wire buffer (typically one obtained from [`recv`]) to
+    /// this rank's pool for reuse by later sends.
+    ///
+    /// [`recv`]: Communicator::recv
+    pub fn recycle(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut pool = self.pool.lock().expect("pool mutex poisoned");
+        if pool.len() < POOL_MAX {
+            pool.push(buf);
+        }
+    }
+
     /// Sends raw bytes to `dst` with `tag`. Non-blocking (buffered).
     pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
-        let sender = self.senders.get(dst).ok_or(CommError::RankOutOfRange {
+        let mailbox = self.mailboxes.get(dst).ok_or(CommError::RankOutOfRange {
             rank: dst,
             size: self.size(),
         })?;
         self.meter.record(dst, payload.len());
-        sender
-            .send(Envelope {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            .map_err(|_| CommError::Disconnected)
+        let ready_at = self
+            .wire
+            .and_then(|w| w.ready_at(self.rank, dst, payload.len()));
+        let mut inner = mailbox.inner.lock().expect("mailbox mutex poisoned");
+        inner.arrivals.push_back(Envelope {
+            src: self.rank,
+            tag,
+            ready_at,
+            payload,
+        });
+        drop(inner);
+        mailbox.ready.notify_all();
+        Ok(())
     }
 
     /// Sends a typed slice (encoded at the storage-scalar width, so half
-    /// precision literally moves half the bytes of single).
+    /// precision literally moves half the bytes of single). The wire
+    /// buffer comes from the pool.
     pub fn send_vals<S: Wire>(&self, dst: usize, tag: u64, vals: &[S]) -> Result<(), CommError> {
-        self.send(dst, tag, S::encode_slice(vals))
+        let mut buf = self.pooled_buf(vals.len() * S::BYTES);
+        for &v in vals {
+            v.write_to(&mut buf);
+        }
+        self.send(dst, tag, buf)
+    }
+
+    /// Pops the next message matching `(src, tag)` from the stash or the
+    /// arrival queue, filing non-matching arrivals. The stash is checked
+    /// first: stashed messages are older than anything still queued. A
+    /// matching message still "on the wire" (see [`WireModel`]) is not
+    /// delivered; the caller learns when to retry.
+    fn take_match(inner: &mut MailboxInner, src: usize, tag: u64) -> MatchOutcome {
+        if let Some(queue) = inner.stash.get_mut(&(src, tag)) {
+            match queue.front() {
+                Some(&(Some(at), _)) if at > Instant::now() => {
+                    return MatchOutcome::NotUntil(at);
+                }
+                Some(_) => {
+                    let (_, payload) = queue.pop_front().expect("front checked above");
+                    return MatchOutcome::Ready(payload);
+                }
+                None => {}
+            }
+        }
+        // Reaching here, the stash holds nothing for `(src, tag)`, so
+        // filing a matching-but-in-flight arrival keeps per-key FIFO.
+        while let Some(env) = inner.arrivals.pop_front() {
+            let matches = env.src == src && env.tag == tag;
+            if matches {
+                match env.ready_at {
+                    Some(at) if at > Instant::now() => {
+                        inner
+                            .stash
+                            .entry((src, tag))
+                            .or_default()
+                            .push_back((env.ready_at, env.payload));
+                        return MatchOutcome::NotUntil(at);
+                    }
+                    _ => return MatchOutcome::Ready(env.payload),
+                }
+            }
+            inner
+                .stash
+                .entry((env.src, env.tag))
+                .or_default()
+                .push_back((env.ready_at, env.payload));
+        }
+        MatchOutcome::Absent
     }
 
     /// Receives the next message matching `(src, tag)`, buffering
@@ -136,32 +317,64 @@ impl Communicator {
                 size: self.size(),
             });
         }
-        let mut mb = self.mailbox.lock().expect("mailbox mutex poisoned");
-        if let Some(queue) = mb.stash.get_mut(&(src, tag)) {
-            if let Some(payload) = queue.pop_front() {
-                return Ok(payload);
-            }
-        }
+        let deadline = Instant::now() + self.timeout;
+        let mailbox = &self.mailboxes[self.rank];
+        let mut inner = mailbox.inner.lock().expect("mailbox mutex poisoned");
         loop {
-            match mb.rx.recv_timeout(self.timeout) {
-                Ok(env) => {
-                    if env.src == src && env.tag == tag {
-                        return Ok(env.payload);
-                    }
-                    mb.stash
-                        .entry((env.src, env.tag))
-                        .or_default()
-                        .push_back(env.payload);
-                }
-                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { src, tag }),
-                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+            let wake_at = match Self::take_match(&mut inner, src, tag) {
+                MatchOutcome::Ready(payload) => return Ok(payload),
+                // Nobody notifies when a wire deadline passes, so bound
+                // the sleep by it and re-poll.
+                MatchOutcome::NotUntil(at) => at.min(deadline),
+                MatchOutcome::Absent => deadline,
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout { src, tag });
             }
+            let (guard, _timed_out) = mailbox
+                .ready
+                .wait_timeout(inner, wake_at.saturating_duration_since(now))
+                .expect("mailbox mutex poisoned");
+            inner = guard;
         }
     }
 
-    /// Typed receive.
+    /// Non-blocking receive: returns the next matching message if one has
+    /// already arrived, `None` otherwise.
+    pub fn try_recv(&self, src: usize, tag: u64) -> Result<Option<Vec<u8>>, CommError> {
+        if src >= self.size() {
+            return Err(CommError::RankOutOfRange {
+                rank: src,
+                size: self.size(),
+            });
+        }
+        let mut inner = self.mailboxes[self.rank]
+            .inner
+            .lock()
+            .expect("mailbox mutex poisoned");
+        Ok(match Self::take_match(&mut inner, src, tag) {
+            MatchOutcome::Ready(payload) => Some(payload),
+            MatchOutcome::NotUntil(_) | MatchOutcome::Absent => None,
+        })
+    }
+
+    /// Posts a nonblocking receive for `(src, tag)` — the `MPI_Irecv`
+    /// analog. A message that has already arrived is captured immediately;
+    /// otherwise the returned [`RecvRequest`] completes it later via
+    /// [`RecvRequest::test`] / [`RecvRequest::wait`], letting local work
+    /// run while the peer's send is still in flight.
+    pub fn irecv(&self, src: usize, tag: u64) -> Result<RecvRequest, CommError> {
+        let done = self.try_recv(src, tag)?;
+        Ok(RecvRequest { src, tag, done })
+    }
+
+    /// Typed receive. The wire buffer is recycled into the pool.
     pub fn recv_vals<S: Wire>(&self, src: usize, tag: u64) -> Result<Vec<S>, CommError> {
-        Ok(S::decode_slice(&self.recv(src, tag)?))
+        let bytes = self.recv(src, tag)?;
+        let vals = S::decode_slice(&bytes);
+        self.recycle(bytes);
+        Ok(vals)
     }
 
     /// Splits the world by a *pure* color function of rank (the
@@ -187,62 +400,114 @@ impl Communicator {
     pub fn barrier(&self, tag: u64) -> Result<(), CommError> {
         let _class = self.meter.scope_class(TrafficClass::Control);
         let _span = self.telemetry.span(Phase::Allreduce);
-        // log2 rounds of pairwise token exchange.
+        // ceil(log2(n)) rounds of pairwise token exchange; works at any
+        // world size, power of two or not.
         let n = self.size();
         let mut dist = 1;
         while dist < n {
             let to = (self.rank + dist) % n;
-            let from = (self.rank + n - dist % n) % n;
+            let from = (self.rank + n - dist) % n;
             self.send(to, tag ^ (dist as u64) << 32, Vec::new())?;
-            self.recv(from, tag ^ (dist as u64) << 32)?;
+            let token = self.recv(from, tag ^ (dist as u64) << 32)?;
+            self.recycle(token);
             dist *= 2;
         }
         Ok(())
     }
 
+    /// Sends one `f64` through the pool (collective internals).
+    fn send_scalar(&self, dst: usize, tag: u64, value: f64) -> Result<(), CommError> {
+        let mut buf = self.pooled_buf(8);
+        buf.extend_from_slice(&value.to_le_bytes());
+        self.send(dst, tag, buf)
+    }
+
+    /// Receives one `f64`, recycling the wire buffer.
+    fn recv_scalar(&self, src: usize, tag: u64) -> Result<f64, CommError> {
+        let bytes = self.recv(src, tag)?;
+        let value = f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        self.recycle(bytes);
+        Ok(value)
+    }
+
     /// Max-allreduce of one f64 (for the global max-norm that the
     /// adaptive normalization factor of §III-C1 is derived from — every
     /// rank must scale by the *same* factor or partial sums combine
-    /// incoherently).
+    /// incoherently). The reply leg runs in the reserved reply-tag
+    /// namespace, so back-to-back collectives on adjacent tags (and
+    /// application traffic at `tag + 1`) cannot cross-match.
     pub fn allreduce_max(&self, tag: u64, value: f64) -> Result<f64, CommError> {
-        let _class = self.meter.scope_class(TrafficClass::Control);
-        let _span = self.telemetry.span(Phase::Allreduce);
-        if self.rank == 0 {
-            let mut best = value;
-            for src in 1..self.size() {
-                let bytes = self.recv(src, tag)?;
-                best = best.max(f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")));
-            }
-            for dst in 1..self.size() {
-                self.send(dst, tag.wrapping_add(1), best.to_le_bytes().to_vec())?;
-            }
-            Ok(best)
-        } else {
-            self.send(0, tag, value.to_le_bytes().to_vec())?;
-            let bytes = self.recv(0, tag.wrapping_add(1))?;
-            Ok(f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")))
-        }
+        self.gather_bcast(tag, value, f64::max)
     }
 
     /// Sum-allreduce of one f64 (for CG inner products across ranks).
     pub fn allreduce_sum(&self, tag: u64, value: f64) -> Result<f64, CommError> {
+        self.gather_bcast(tag, value, |a, b| a + b)
+    }
+
+    /// Gather-at-root-then-broadcast scalar collective: O(P) messages,
+    /// fine at our scale.
+    fn gather_bcast(
+        &self,
+        tag: u64,
+        value: f64,
+        combine: impl Fn(f64, f64) -> f64,
+    ) -> Result<f64, CommError> {
         let _class = self.meter.scope_class(TrafficClass::Control);
         let _span = self.telemetry.span(Phase::Allreduce);
-        // Gather at rank 0, then broadcast: O(P) messages, fine at our scale.
+        let reply = tag ^ REPLY_TAG_SALT;
         if self.rank == 0 {
-            let mut total = value;
+            let mut acc = value;
             for src in 1..self.size() {
-                let bytes = self.recv(src, tag)?;
-                total += f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+                acc = combine(acc, self.recv_scalar(src, tag)?);
             }
             for dst in 1..self.size() {
-                self.send(dst, tag.wrapping_add(1), total.to_le_bytes().to_vec())?;
+                self.send_scalar(dst, reply, acc)?;
             }
-            Ok(total)
+            Ok(acc)
         } else {
-            self.send(0, tag, value.to_le_bytes().to_vec())?;
-            let bytes = self.recv(0, tag.wrapping_add(1))?;
-            Ok(f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")))
+            self.send_scalar(0, tag, value)?;
+            self.recv_scalar(0, reply)
+        }
+    }
+}
+
+/// A nonblocking receive posted with [`Communicator::irecv`] — the
+/// `MPI_Irecv` request handle analog. Plain data (no borrow of the
+/// communicator), so requests can be stored in reusable scratch vectors.
+#[derive(Debug)]
+pub struct RecvRequest {
+    src: usize,
+    tag: u64,
+    done: Option<Vec<u8>>,
+}
+
+impl RecvRequest {
+    /// The source rank this request matches.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// The tag this request matches.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Progresses the request without blocking; returns whether the
+    /// message has arrived (`MPI_Test`).
+    pub fn test(&mut self, comm: &Communicator) -> Result<bool, CommError> {
+        if self.done.is_none() {
+            self.done = comm.try_recv(self.src, self.tag)?;
+        }
+        Ok(self.done.is_some())
+    }
+
+    /// Blocks until the message arrives and returns its payload
+    /// (`MPI_Wait`). Consumes the request.
+    pub fn wait(mut self, comm: &Communicator) -> Result<Vec<u8>, CommError> {
+        match self.done.take() {
+            Some(payload) => Ok(payload),
+            None => comm.recv(self.src, self.tag),
         }
     }
 }
@@ -301,7 +566,7 @@ impl SubCommunicator<'_> {
     }
 
     fn salt(&self, tag: u64) -> u64 {
-        tag ^ ((self.color as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) << 8)
+        tag ^ (((self.color as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) << 8) & !REPLY_TAG_SALT)
     }
 }
 
@@ -335,7 +600,7 @@ pub fn run_ranks_with_timeout<T: Send>(
     timeout: Duration,
     body: impl Fn(&Communicator) -> T + Sync,
 ) -> Vec<T> {
-    run_ranks_inner(n, timeout, &Telemetry::disabled(), body)
+    run_ranks_inner(n, timeout, &Telemetry::disabled(), None, body)
 }
 
 /// [`run_ranks`] with tracing: each rank's communicator carries a fork of
@@ -346,44 +611,44 @@ pub fn run_ranks_traced<T: Send>(
     telemetry: &Telemetry,
     body: impl Fn(&Communicator) -> T + Sync,
 ) -> Vec<T> {
-    run_ranks_inner(n, Duration::from_secs(30), telemetry, body)
+    run_ranks_inner(n, Duration::from_secs(30), telemetry, None, body)
+}
+
+/// [`run_ranks_traced`] plus a [`WireModel`]: inter-node messages are held
+/// back for their simulated wire time before the receiver can match them,
+/// making communication-bound configurations measurable in-process.
+pub fn run_ranks_traced_wired<T: Send>(
+    n: usize,
+    telemetry: &Telemetry,
+    wire: Option<WireModel>,
+    body: impl Fn(&Communicator) -> T + Sync,
+) -> Vec<T> {
+    run_ranks_inner(n, Duration::from_secs(30), telemetry, wire, body)
 }
 
 fn run_ranks_inner<T: Send>(
     n: usize,
     timeout: Duration,
     telemetry: &Telemetry,
+    wire: Option<WireModel>,
     body: impl Fn(&Communicator) -> T + Sync,
 ) -> Vec<T> {
     assert!(n > 0, "need at least one rank");
-    let mut senders = Vec::with_capacity(n);
-    let mut receivers = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = channel();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let senders = Arc::new(senders);
-    let comms: Vec<Communicator> = receivers
-        .into_iter()
-        .enumerate()
-        .map(|(rank, rx)| Communicator {
+    let mailboxes: Arc<Vec<Mailbox>> = Arc::new((0..n).map(|_| Mailbox::default()).collect());
+    let comms: Vec<Communicator> = (0..n)
+        .map(|rank| Communicator {
             rank,
-            senders: Arc::clone(&senders),
-            mailbox: Mutex::new(Mailbox {
-                rx,
-                stash: HashMap::new(),
-            }),
+            mailboxes: Arc::clone(&mailboxes),
+            pool: Mutex::new(Vec::new()),
             timeout,
+            wire,
             meter: CommMeter::new(n),
             telemetry: telemetry.fork(rank as u32),
         })
         .collect();
-    // The world keeps no extra sender clones alive: when a rank thread
-    // finishes, peers waiting on it observe Disconnected... only when all
-    // senders drop; sender clones live in every rank's Arc, so
-    // disconnection is only observable after the scope ends. Timeouts
-    // cover premature-exit deadlocks instead.
+    // Mailboxes outlive every rank thread (the Arc is shared), so a
+    // premature peer exit is never observable as a disconnect; receive
+    // timeouts cover premature-exit deadlocks instead.
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .iter()
@@ -400,6 +665,74 @@ fn run_ranks_inner<T: Send>(
 mod tests {
     use super::*;
     use xct_fp16::F16;
+
+    #[test]
+    fn wire_model_holds_inter_node_messages_back() {
+        let wire = WireModel {
+            latency: Duration::from_millis(40),
+            bytes_per_sec: f64::INFINITY,
+            ranks_per_node: 1, // every pair is inter-node
+        };
+        let stamps = run_ranks_traced_wired(2, &Telemetry::disabled(), Some(wire), |comm| {
+            if comm.rank() == 0 {
+                let sent_at = Instant::now();
+                comm.send_vals::<f32>(1, 5, &[42.0]).unwrap();
+                (sent_at, sent_at)
+            } else {
+                let got = comm.recv_vals::<f32>(0, 5).unwrap();
+                assert_eq!(got, vec![42.0]);
+                (Instant::now(), Instant::now())
+            }
+        });
+        let in_flight = stamps[1].0.duration_since(stamps[0].0);
+        assert!(
+            in_flight >= Duration::from_millis(35),
+            "wire time not enforced: delivered after {in_flight:?}"
+        );
+    }
+
+    #[test]
+    fn wire_model_leaves_intra_node_messages_alone() {
+        // Same world, but both ranks share a node: payloads must flow
+        // untouched and `try_recv` must see them without a wire wait.
+        let wire = WireModel {
+            latency: Duration::from_secs(3600),
+            bytes_per_sec: f64::INFINITY,
+            ranks_per_node: 2,
+        };
+        let results = run_ranks_traced_wired(2, &Telemetry::disabled(), Some(wire), |comm| {
+            let peer = 1 - comm.rank();
+            comm.send_vals::<f32>(peer, 9, &[comm.rank() as f32])
+                .unwrap();
+            comm.recv_vals::<f32>(peer, 9).unwrap()[0]
+        });
+        assert_eq!(results, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn irecv_test_respects_wire_time() {
+        let wire = WireModel {
+            latency: Duration::from_millis(30),
+            bytes_per_sec: f64::INFINITY,
+            ranks_per_node: 1,
+        };
+        run_ranks_traced_wired(2, &Telemetry::disabled(), Some(wire), |comm| {
+            if comm.rank() == 0 {
+                comm.send_vals::<f32>(1, 3, &[7.0]).unwrap();
+            } else {
+                let mut req = comm.irecv(0, 3).unwrap();
+                // test() reports not-done while the message is on the
+                // wire (almost always observable with a 30 ms wire, but
+                // not asserted — the scheduler may stall this thread);
+                // wait() must then block the wire time out.
+                while !req.test(comm).unwrap() {
+                    std::thread::yield_now();
+                }
+                let bytes = req.wait(comm).unwrap();
+                assert_eq!(bytes.len(), 4);
+            }
+        });
+    }
 
     #[test]
     fn ring_pass() {
@@ -512,11 +845,150 @@ mod tests {
     }
 
     #[test]
+    fn barrier_completes_at_non_power_of_two_world_sizes() {
+        // Regression for the operator-precedence bug in the dissemination
+        // peer computation: `(rank + n - dist % n) % n` parsed as
+        // `n - (dist % n)`, which silently pairs the wrong peers once the
+        // two expressions diverge. Exercise odd world sizes with skewed
+        // rank arrival order so any mispairing deadlocks (and trips the
+        // receive timeout) instead of passing by accident.
+        for &n in &[3usize, 5, 7] {
+            let results = run_ranks_with_timeout(n, Duration::from_secs(5), |comm| {
+                // Stagger arrival so matching must happen across rounds.
+                std::thread::sleep(Duration::from_millis(3 * comm.rank() as u64));
+                comm.barrier(0xB000 + n as u64)
+            });
+            assert!(
+                results.iter().all(|r| r.is_ok()),
+                "barrier failed at world size {n}: {results:?}"
+            );
+        }
+    }
+
+    #[test]
     fn allreduce_sums_across_ranks() {
         let results = run_ranks(6, |comm| {
             comm.allreduce_sum(11, comm.rank() as f64).unwrap()
         });
         assert!(results.iter().all(|&v| v == 15.0));
+    }
+
+    #[test]
+    fn allreduce_reply_does_not_collide_with_adjacent_tag_traffic() {
+        // Regression for the reply-tag collision: replies used to go out
+        // at `tag + 1`, so application traffic rank 0 sends at `t + 1`
+        // *before* the collective could be mistaken for the reply of the
+        // collective at `t`. With the reserved reply namespace both the
+        // collective and the app message complete correctly.
+        let t = 40u64;
+        let results = run_ranks(3, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vals::<f32>(1, t + 1, &[123.0]).unwrap();
+            }
+            let sum = comm.allreduce_sum(t, 1.0).unwrap();
+            let app = if comm.rank() == 1 {
+                comm.recv_vals::<f32>(0, t + 1).unwrap()[0]
+            } else {
+                123.0
+            };
+            (sum, app)
+        });
+        for &(sum, app) in &results {
+            assert_eq!(sum, 3.0);
+            assert_eq!(app, 123.0);
+        }
+    }
+
+    #[test]
+    fn back_to_back_collectives_on_adjacent_tags() {
+        // A sum at tag t immediately followed by a max at t + 1: under
+        // the old `tag + 1` reply scheme the sum's broadcast could be
+        // consumed as the max's gather leg. Both must come out exact.
+        let results = run_ranks(4, |comm| {
+            let sum = comm.allreduce_sum(500, comm.rank() as f64 + 1.0).unwrap();
+            let max = comm.allreduce_max(501, comm.rank() as f64).unwrap();
+            (sum, max)
+        });
+        for &(sum, max) in &results {
+            assert_eq!(sum, 10.0);
+            assert_eq!(max, 3.0);
+        }
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                // Nothing has been sent to rank 0 at this tag.
+                let empty = comm.try_recv(1, 7).unwrap().is_none();
+                comm.send_vals::<f32>(1, 8, &[5.0]).unwrap();
+                empty
+            } else {
+                comm.recv_vals::<f32>(0, 8).unwrap();
+                true
+            }
+        });
+        assert!(results[0], "try_recv must not block or invent messages");
+    }
+
+    #[test]
+    fn irecv_test_then_wait() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 1 {
+                let mut req = comm.irecv(0, 13).unwrap();
+                // Tell rank 0 we have posted the receive, then spin on
+                // test() until the message lands.
+                comm.send_vals::<f32>(0, 12, &[1.0]).unwrap();
+                let mut polls = 0u32;
+                while !req.test(comm).unwrap() {
+                    polls += 1;
+                    std::thread::yield_now();
+                    assert!(polls < 10_000_000, "irecv never completed");
+                }
+                let payload = req.wait(comm).unwrap();
+                f32::decode_slice(&payload)[0]
+            } else {
+                comm.recv_vals::<f32>(1, 12).unwrap();
+                comm.send_vals::<f32>(1, 13, &[42.0]).unwrap();
+                42.0
+            }
+        });
+        assert_eq!(results[1], 42.0);
+    }
+
+    #[test]
+    fn irecv_captures_already_arrived_message() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vals::<f32>(1, 21, &[9.0]).unwrap();
+                comm.send_vals::<f32>(1, 22, &[0.0]).unwrap(); // release
+                0.0
+            } else {
+                comm.recv_vals::<f32>(0, 22).unwrap(); // tag 21 already queued
+                let mut req = comm.irecv(0, 21).unwrap();
+                assert!(req.test(comm).unwrap(), "message already arrived");
+                f32::decode_slice(&req.wait(comm).unwrap())[0]
+            }
+        });
+        assert_eq!(results[1], 9.0);
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_by_sends() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vals::<f32>(1, 1, &[1.0, 2.0, 3.0]).unwrap();
+                true
+            } else {
+                let bytes = comm.recv(0, 1).unwrap();
+                let cap = bytes.capacity();
+                comm.recycle(bytes);
+                let reused = comm.pooled_buf(12);
+                // Best-fit hands back the very buffer we recycled.
+                reused.capacity() == cap && reused.is_empty()
+            }
+        });
+        assert!(results[1]);
     }
 
     #[test]

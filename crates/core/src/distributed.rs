@@ -3,19 +3,27 @@
 //! partial-data exchanges between (back)projections and a distributed
 //! CGLS on top (paper §III, end to end, at mini scale).
 //!
-//! Forward projection per iteration: each rank runs the fused buffered
-//! SpMM on its voxel subdomain → partial sinogram over its footprint →
-//! hierarchical (or direct) reduce to ray owners. Backprojection: owners
-//! scatter sinogram values back to footprints → local transposed SpMM.
-//! CGLS inner products go through an allreduce, and the adaptive
-//! normalization factor for half-precision wire data is agreed on
-//! globally with a max-allreduce (§III-C1 applied across ranks).
+//! Forward projection per iteration: each rank runs the buffered SpMM on
+//! its voxel subdomain one fused slice at a time → partial sinogram over
+//! its footprint → hierarchical (or direct) reduce to ray owners through
+//! a *compiled* communication plan. Backprojection: owners scatter
+//! sinogram values back to footprints → local transposed SpMM. CGLS inner
+//! products go through an allreduce, and the adaptive normalization
+//! factor for half-precision wire data is agreed on globally with a
+//! max-allreduce (§III-C1 applied across ranks).
+//!
+//! With [`DistributedConfig::overlap`] the fused slices form a
+//! double-buffered software pipeline (paper §III-E, Figs 11–12): slice
+//! `s`'s global exchange drains via posted irecvs while slice `s+1` runs
+//! its local SpMM and socket/node reductions. Results are bit-identical
+//! to the synchronous schedule — the same floating-point operations run
+//! in the same order; only the waiting moves.
 
 use crate::decompose::SliceDecomposition;
+use std::sync::Mutex;
 use xct_comm::{
-    execute_direct, execute_hierarchical, run_ranks_traced, scatter_direct, scatter_hierarchical,
-    Communicator, DirectPlan, HierarchicalPlan, Ownership, PartialData, RankCommStats, Topology,
-    Wire,
+    run_ranks_traced_wired, Communicator, CompiledPlans, DirectPlan, ExchangeScratch,
+    GlobalInFlight, HierarchicalPlan, RankCommStats, ScatterInFlight, Topology, Wire, WireModel,
 };
 use xct_exec::{BufferRole, ExecContext, ExecCounters, Telemetry};
 use xct_fp16::{Precision, F16};
@@ -34,6 +42,16 @@ pub struct DistributedConfig {
     pub fusing: usize,
     /// Hierarchical (true) or direct (false) partial-data exchange.
     pub hierarchical: bool,
+    /// Pipeline the fused slices so each slice's global exchange overlaps
+    /// the next slice's local SpMM and socket/node reductions (§III-E).
+    /// Output is bit-identical to the synchronous schedule.
+    pub overlap: bool,
+    /// Optional simulated wire time for inter-node messages. The
+    /// in-process transport is a memcpy, so without this, overlap has no
+    /// wire time to hide; with it, comm-bound behavior (and overlap's
+    /// wall-clock gain) is measurable. `None` (default) delivers
+    /// instantly. Purely a scheduling delay — results are unaffected.
+    pub wire: Option<WireModel>,
     /// CG iterations.
     pub iterations: usize,
     /// Hilbert tile size for both domain decompositions.
@@ -55,6 +73,8 @@ impl Default for DistributedConfig {
             precision: Precision::Mixed,
             fusing: 1,
             hierarchical: true,
+            overlap: false,
+            wire: None,
             iterations: 30,
             tile: 4,
             block_size: 32,
@@ -83,93 +103,187 @@ pub struct DistributedResult {
     pub counters: ExecCounters,
 }
 
-/// One rank's distributed operator: local optimized kernels plus
-/// plan-driven exchanges.
+/// Per-slice tag salt keeping concurrent slices' exchange traffic apart
+/// (shifted above the compiled plans' tag bits).
+fn slice_salt(f: usize) -> u64 {
+    ((f as u64) + 1) << 44
+}
+
+/// One rank's distributed operator: local optimized kernels plus compiled
+/// plan-driven exchanges. The local operator is built with an internal
+/// fusing of 1 — slices run one at a time so the software pipeline can
+/// interleave slice `s+1`'s kernels with slice `s`'s in-flight exchange.
 struct RankOperator<'a> {
     comm: &'a Communicator,
-    decomp: &'a SliceDecomposition,
-    ownership: &'a Ownership,
-    direct: &'a DirectPlan,
-    hier: &'a HierarchicalPlan,
     cfg: &'a DistributedConfig,
+    plans: &'a CompiledPlans,
     local: PrecisionOperator,
+    /// Reusable exchange buffers; a (never-contended) `Mutex` because
+    /// `LinearOperator` takes `&self` and requires `Sync`, while the
+    /// exchange needs scratch mutably. Each rank thread owns its
+    /// operator, so the lock is always free.
+    scratch: Mutex<ExchangeScratch>,
     rank: usize,
     footprint_len: usize,
     owned_rays_len: usize,
     owned_vox_len: usize,
-    num_rays_per_slice: usize,
 }
 
 impl RankOperator<'_> {
-    /// Exchange partial sums at the configured precision, returning
-    /// owned-row totals for one fused slice.
-    fn reduce_partials(&self, rows: &[u32], vals: &[f32]) -> PartialData<f32> {
-        // Agree on a global normalization factor so the quantized
-        // partials from different ranks combine coherently.
+    /// Agree on the global normalization factor for one slice's partials
+    /// so quantized contributions from different ranks combine coherently
+    /// (§III-C1 across ranks). Identity for full-width wire formats.
+    fn forward_factor(&self, vals: &[f32]) -> (f32, f32) {
         match self.cfg.precision {
-            Precision::Double => self.exchange_as::<f64>(rows, vals, 1.0),
-            Precision::Single => self.exchange_as::<f32>(rows, vals, 1.0),
             Precision::Half | Precision::Mixed => {
                 let local_max = vals.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
                 let global_max = self
                     .comm
                     .allreduce_max(0x7000, f64::from(local_max))
                     .expect("allreduce_max");
-                let factor = if global_max > f64::MIN_POSITIVE {
-                    (256.0 / global_max) as f32
+                if global_max > f64::MIN_POSITIVE {
+                    let factor = (256.0 / global_max) as f32;
+                    (factor, 1.0 / factor)
                 } else {
-                    1.0
-                };
-                let mut out = self.exchange_as::<F16>(rows, vals, factor);
-                let undo = 1.0 / factor;
-                for v in &mut out.vals {
-                    *v *= undo;
+                    (1.0, 1.0)
                 }
-                out
+            }
+            _ => (1.0, 1.0),
+        }
+    }
+
+    /// Forward pipeline at wire precision `S`: per fused slice, local SpMM
+    /// → socket/node reduction → global exchange to ray owners. With
+    /// `overlap`, slice `s`'s global exchange stays in flight while slice
+    /// `s+1` runs its SpMM and local reductions — the finish order and
+    /// arithmetic are unchanged, so results match the synchronous path
+    /// bit for bit.
+    fn apply_as<S: Wire>(&self, x: &[f32], y: &mut [f32], ctx: &mut ExecContext) {
+        let rp = self.plans.rank(self.rank);
+        let mut partial = ctx
+            .workspace
+            .take::<f32>(BufferRole::Forward, self.footprint_len * self.cfg.fusing);
+        let mut pending: Option<(usize, GlobalInFlight)> = None;
+        for f in 0..self.cfg.fusing {
+            let xs = &x[f * self.owned_vox_len..(f + 1) * self.owned_vox_len];
+            let ps = &mut partial[f * self.footprint_len..(f + 1) * self.footprint_len];
+            self.local.apply(xs, ps, ctx);
+            let (factor, undo) = self.forward_factor(ps);
+            let salt = slice_salt(f);
+            let mut scratch = self.scratch.lock().expect("scratch mutex");
+            rp.reduce_local::<S>(self.comm, &mut scratch, ps, factor, salt)
+                .expect("local reduction");
+            let inflight = rp
+                .global_begin::<S>(self.comm, &mut scratch, undo, salt)
+                .expect("global exchange post");
+            if self.cfg.overlap {
+                if let Some((pf, pinf)) = pending.take() {
+                    rp.global_finish::<S>(
+                        self.comm,
+                        &mut scratch,
+                        pinf,
+                        &mut y[pf * self.owned_rays_len..(pf + 1) * self.owned_rays_len],
+                    )
+                    .expect("global exchange finish");
+                }
+                pending = Some((f, inflight));
+            } else {
+                rp.global_finish::<S>(
+                    self.comm,
+                    &mut scratch,
+                    inflight,
+                    &mut y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len],
+                )
+                .expect("global exchange finish");
             }
         }
+        if let Some((pf, pinf)) = pending.take() {
+            let mut scratch = self.scratch.lock().expect("scratch mutex");
+            rp.global_finish::<S>(
+                self.comm,
+                &mut scratch,
+                pinf,
+                &mut y[pf * self.owned_rays_len..(pf + 1) * self.owned_rays_len],
+            )
+            .expect("global exchange finish");
+        }
+        ctx.workspace.put(BufferRole::Forward, partial);
     }
 
-    fn exchange_as<S: Wire>(&self, rows: &[u32], vals: &[f32], factor: f32) -> PartialData<f32> {
-        let quantized: Vec<S> = vals.iter().map(|&v| S::from_f32(v * factor)).collect();
-        let mine = PartialData::new(rows.to_vec(), quantized);
-        let reduced = if self.cfg.hierarchical {
-            execute_hierarchical(self.comm, self.hier, self.ownership, &mine)
-        } else {
-            execute_direct(self.comm, self.direct, self.ownership, &mine)
+    /// Transpose pipeline at wire precision `S`: per fused slice, global
+    /// scatter from owners → node/socket fan-out → local transposed SpMM.
+    /// With `overlap`, slice `s+1`'s global scatter is posted before slice
+    /// `s`'s fan-out and transposed SpMM run under it.
+    fn apply_transpose_as<S: Wire>(&self, y: &[f32], x: &mut [f32], ctx: &mut ExecContext) {
+        let rp = self.plans.rank(self.rank);
+        // One normalization factor for the whole batch (one allreduce per
+        // backprojection, as in the reference path).
+        let (factor, undo) = match self.cfg.precision {
+            Precision::Half | Precision::Mixed => {
+                let local_max = y.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+                let global_max = self
+                    .comm
+                    .allreduce_max(0x7100, f64::from(local_max))
+                    .expect("allreduce_max");
+                if global_max > f64::MIN_POSITIVE {
+                    let factor = (256.0 / global_max) as f32;
+                    (factor, 1.0 / factor)
+                } else {
+                    (1.0, 1.0)
+                }
+            }
+            _ => (1.0, 1.0),
+        };
+        let mut footprint_vals = ctx
+            .workspace
+            .take::<f32>(BufferRole::Footprint, self.footprint_len * self.cfg.fusing);
+        let mut pending: Option<(usize, ScatterInFlight)> = None;
+        for f in 0..self.cfg.fusing {
+            let owned = &y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len];
+            let salt = slice_salt(f);
+            let mut scratch = self.scratch.lock().expect("scratch mutex");
+            let inflight = rp
+                .scatter_begin::<S>(self.comm, &mut scratch, owned, factor, undo, salt)
+                .expect("scatter post");
+            if self.cfg.overlap {
+                if let Some((pf, pinf)) = pending.take() {
+                    let fs =
+                        &mut footprint_vals[pf * self.footprint_len..(pf + 1) * self.footprint_len];
+                    rp.scatter_finish::<S>(self.comm, &mut scratch, pinf, fs)
+                        .expect("scatter finish");
+                    drop(scratch);
+                    self.local.apply_transpose(
+                        fs,
+                        &mut x[pf * self.owned_vox_len..(pf + 1) * self.owned_vox_len],
+                        ctx,
+                    );
+                }
+                pending = Some((f, inflight));
+            } else {
+                let fs = &mut footprint_vals[f * self.footprint_len..(f + 1) * self.footprint_len];
+                rp.scatter_finish::<S>(self.comm, &mut scratch, inflight, fs)
+                    .expect("scatter finish");
+                drop(scratch);
+                self.local.apply_transpose(
+                    fs,
+                    &mut x[f * self.owned_vox_len..(f + 1) * self.owned_vox_len],
+                    ctx,
+                );
+            }
         }
-        .expect("partial-data exchange");
-        PartialData::new(
-            reduced.rows,
-            reduced.vals.into_iter().map(|v| v.to_f32()).collect(),
-        )
-    }
-
-    /// Scatter owned sinogram values to this rank's footprint (transpose
-    /// direction), at wire precision.
-    fn scatter_owned(&self, owned_vals: &[f32], factor: f32) -> Vec<f32> {
-        let rows = &self.decomp.owned_rays[self.rank];
-        match self.cfg.precision {
-            Precision::Double => self.scatter_as::<f64>(rows, owned_vals, factor),
-            Precision::Single => self.scatter_as::<f32>(rows, owned_vals, factor),
-            Precision::Half | Precision::Mixed => self.scatter_as::<F16>(rows, owned_vals, factor),
+        if let Some((pf, pinf)) = pending.take() {
+            let mut scratch = self.scratch.lock().expect("scratch mutex");
+            let fs = &mut footprint_vals[pf * self.footprint_len..(pf + 1) * self.footprint_len];
+            rp.scatter_finish::<S>(self.comm, &mut scratch, pinf, fs)
+                .expect("scatter finish");
+            drop(scratch);
+            self.local.apply_transpose(
+                fs,
+                &mut x[pf * self.owned_vox_len..(pf + 1) * self.owned_vox_len],
+                ctx,
+            );
         }
-    }
-
-    fn scatter_as<S: Wire>(&self, rows: &[u32], vals: &[f32], factor: f32) -> Vec<f32> {
-        let quantized: Vec<S> = vals.iter().map(|&v| S::from_f32(v * factor)).collect();
-        let owned = PartialData::new(rows.to_vec(), quantized);
-        let footprint = &self.decomp.footprints.per_rank[self.rank];
-        // Backprojection reverses the hierarchy (Fig 8, right): global
-        // scatter to node designees, then node- and socket-level fan-out.
-        let filled = if self.cfg.hierarchical {
-            scatter_hierarchical(self.comm, self.hier, self.ownership, &owned, footprint)
-        } else {
-            scatter_direct(self.comm, self.direct, self.ownership, &owned, footprint)
-        }
-        .expect("scatter exchange");
-        let undo = 1.0 / factor;
-        filled.vals.into_iter().map(|v| v.to_f32() * undo).collect()
+        ctx.workspace.put(BufferRole::Footprint, footprint_vals);
     }
 }
 
@@ -183,54 +297,19 @@ impl LinearOperator for RankOperator<'_> {
     }
 
     fn apply(&self, x: &[f32], y: &mut [f32], ctx: &mut ExecContext) {
-        // Local fused SpMM over the footprint rows.
-        let mut partial = ctx
-            .workspace
-            .take::<f32>(BufferRole::Forward, self.footprint_len * self.cfg.fusing);
-        self.local.apply(x, &mut partial, ctx);
-        // Exchange+reduce per fused slice.
-        let fp = &self.decomp.footprints.per_rank[self.rank];
-        for f in 0..self.cfg.fusing {
-            let slice = &partial[f * self.footprint_len..(f + 1) * self.footprint_len];
-            let reduced = self.reduce_partials(fp, slice);
-            debug_assert_eq!(reduced.rows, self.decomp.owned_rays[self.rank]);
-            y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len]
-                .copy_from_slice(&reduced.vals);
+        match self.cfg.precision {
+            Precision::Double => self.apply_as::<f64>(x, y, ctx),
+            Precision::Single => self.apply_as::<f32>(x, y, ctx),
+            Precision::Half | Precision::Mixed => self.apply_as::<F16>(x, y, ctx),
         }
-        ctx.workspace.put(BufferRole::Forward, partial);
-        let _ = self.num_rays_per_slice;
     }
 
     fn apply_transpose(&self, y: &[f32], x: &mut [f32], ctx: &mut ExecContext) {
-        // Agree on a normalization factor for the scatter direction.
-        let factor = match self.cfg.precision {
-            Precision::Half | Precision::Mixed => {
-                let local_max = y.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
-                let global_max = self
-                    .comm
-                    .allreduce_max(0x7100, f64::from(local_max))
-                    .expect("allreduce_max");
-                if global_max > f64::MIN_POSITIVE {
-                    (256.0 / global_max) as f32
-                } else {
-                    1.0
-                }
-            }
-            _ => 1.0,
-        };
-        // Scatter owned sinogram values to footprints, per fused slice.
-        let mut footprint_vals = ctx
-            .workspace
-            .take::<f32>(BufferRole::Footprint, self.footprint_len * self.cfg.fusing);
-        for f in 0..self.cfg.fusing {
-            let owned = &y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len];
-            let filled = self.scatter_owned(owned, factor);
-            footprint_vals[f * self.footprint_len..(f + 1) * self.footprint_len]
-                .copy_from_slice(&filled);
+        match self.cfg.precision {
+            Precision::Double => self.apply_transpose_as::<f64>(y, x, ctx),
+            Precision::Single => self.apply_transpose_as::<f32>(y, x, ctx),
+            Precision::Half | Precision::Mixed => self.apply_transpose_as::<F16>(y, x, ctx),
         }
-        // Local transposed fused SpMM.
-        self.local.apply_transpose(&footprint_vals, x, ctx);
-        ctx.workspace.put(BufferRole::Footprint, footprint_vals);
     }
 }
 
@@ -259,30 +338,35 @@ pub fn reconstruct_distributed(
     } else {
         (0, 0, direct.total_elements())
     };
+    // Compile the plan once into per-peer index tables; every rank then
+    // executes pure index arithmetic with zero steady-state allocations.
+    let compiled = if cfg.hierarchical {
+        CompiledPlans::compile_hierarchical(&decomp.footprints, &ownership, &hier)
+    } else {
+        CompiledPlans::compile_direct(&decomp.footprints, &ownership, &direct)
+    };
 
-    let outputs = run_ranks_traced(ranks, &cfg.telemetry, |comm| {
+    let outputs = run_ranks_traced_wired(ranks, &cfg.telemetry, cfg.wire, |comm| {
         let rank = comm.rank();
         let op_local = &decomp.local_ops[rank];
+        // Internal fusing of 1: the rank operator pipelines slices itself.
         let local = PrecisionOperator::new(
             &op_local.csr,
             cfg.precision,
-            cfg.fusing,
+            1,
             cfg.block_size,
             cfg.shared_bytes,
         );
         let rank_op = RankOperator {
             comm,
-            decomp: &decomp,
-            ownership: &ownership,
-            direct: &direct,
-            hier: &hier,
             cfg,
+            plans: &compiled,
             local,
+            scratch: Mutex::new(ExchangeScratch::new()),
             rank,
             footprint_len: op_local.rows.len(),
             owned_rays_len: decomp.owned_rays[rank].len(),
             owned_vox_len: decomp.owned_voxels[rank].len(),
-            num_rays_per_slice: sm.num_rays(),
         };
         let y_local = decomp.restrict_sinogram(sinogram, sm.num_rays(), cfg.fusing, rank);
         let mut tag = 0x9000u64;
@@ -515,8 +599,13 @@ mod tests {
             let ranks = cfg.topology.size();
             let decomp = SliceDecomposition::build(&sm, &scan, ranks, cfg.tile, CurveKind::Hilbert);
             let ownership = decomp.ray_ownership();
-            let direct = DirectPlan::build(&decomp.footprints, &ownership);
-            let hier = HierarchicalPlan::build(&decomp.footprints, &ownership, &cfg.topology);
+            let compiled = if hierarchical {
+                let hier = HierarchicalPlan::build(&decomp.footprints, &ownership, &cfg.topology);
+                CompiledPlans::compile_hierarchical(&decomp.footprints, &ownership, &hier)
+            } else {
+                let direct = DirectPlan::build(&decomp.footprints, &ownership);
+                CompiledPlans::compile_direct(&decomp.footprints, &ownership, &direct)
+            };
             let x_global: Vec<f32> = (0..sm.num_voxels())
                 .map(|i| ((i * 23 + 7) % 41) as f32 / 41.0)
                 .collect();
@@ -535,17 +624,14 @@ mod tests {
                 );
                 let rank_op = RankOperator {
                     comm,
-                    decomp: &decomp,
-                    ownership: &ownership,
-                    direct: &direct,
-                    hier: &hier,
                     cfg: &cfg,
+                    plans: &compiled,
                     local,
+                    scratch: Mutex::new(ExchangeScratch::new()),
                     rank,
                     footprint_len: op_local.rows.len(),
                     owned_rays_len: decomp.owned_rays[rank].len(),
                     owned_vox_len: decomp.owned_voxels[rank].len(),
-                    num_rays_per_slice: sm.num_rays(),
                 };
                 let mut ctx = ExecContext::serial();
                 let x_local: Vec<f32> = decomp.owned_voxels[rank]
@@ -580,6 +666,93 @@ mod tests {
                 "{precision:?} hier={hierarchical}: ⟨Ax,y⟩ = {lhs} vs ⟨x,Aᵀy⟩ = {rhs}"
             );
         }
+    }
+
+    #[test]
+    fn overlap_run_shows_global_exchange_over_spmm() {
+        // The §III-E acceptance evidence: with overlap on, at least one
+        // rank's trace must show a SpmmForward span *nested under* an
+        // open ReduceGlobal span — i.e. the next slice's kernel ran while
+        // the previous slice's global exchange was still in flight.
+        use xct_exec::{Phase, Telemetry};
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 16);
+        let fusing = 3;
+        let (_, _, y) = phantom_sinogram(&scan, fusing);
+        let telemetry = Telemetry::enabled();
+        let cfg = DistributedConfig {
+            topology: Topology::new(1, 2, 2),
+            precision: Precision::Single,
+            fusing,
+            hierarchical: true,
+            overlap: true,
+            iterations: 2,
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let _ = reconstruct_distributed(&scan, &y, &cfg);
+        let snap = telemetry.snapshot();
+        let has_ancestor = |mut parent: Option<usize>, phase: Phase| {
+            while let Some(i) = parent {
+                if snap.spans[i].phase == phase {
+                    return true;
+                }
+                parent = snap.spans[i].parent;
+            }
+            false
+        };
+        let spmm_under_exchange = snap
+            .spans
+            .iter()
+            .any(|s| s.phase == Phase::SpmmForward && has_ancestor(s.parent, Phase::ReduceGlobal));
+        assert!(
+            spmm_under_exchange,
+            "overlap run must trace SpmmForward under an open ReduceGlobal span"
+        );
+        // Transpose direction too: a transposed SpMM under an in-flight
+        // halo exchange (scatter).
+        let tspmm_under_halo = snap.spans.iter().any(|s| {
+            s.phase == Phase::SpmmTranspose && has_ancestor(s.parent, Phase::HaloExchange)
+        });
+        assert!(
+            tspmm_under_halo,
+            "overlap run must trace SpmmTranspose under an open HaloExchange span"
+        );
+    }
+
+    #[test]
+    fn synchronous_run_keeps_spmm_outside_exchange() {
+        // Control for the overlap evidence: without overlap no SpMM span
+        // nests under a global-exchange span.
+        use xct_exec::{Phase, Telemetry};
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 16);
+        let fusing = 3;
+        let (_, _, y) = phantom_sinogram(&scan, fusing);
+        let telemetry = Telemetry::enabled();
+        let cfg = DistributedConfig {
+            topology: Topology::new(1, 2, 2),
+            precision: Precision::Single,
+            fusing,
+            hierarchical: true,
+            overlap: false,
+            iterations: 2,
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let _ = reconstruct_distributed(&scan, &y, &cfg);
+        let snap = telemetry.snapshot();
+        let nested = snap.spans.iter().any(|s| {
+            (s.phase == Phase::SpmmForward || s.phase == Phase::SpmmTranspose)
+                && s.parent.is_some_and(|i| {
+                    matches!(
+                        snap.spans[i].phase,
+                        Phase::ReduceGlobal | Phase::HaloExchange
+                    )
+                })
+        });
+        assert!(
+            !nested,
+            "synchronous run must not interleave SpMM with exchanges"
+        );
     }
 
     #[test]

@@ -210,6 +210,8 @@ USAGE:
                       [--precision double|single|half|mixed] [--iterations 24]
                       [--batch 8] [--damping 0] [--solver cgls|sirt|tv]
                       [--topology NxSxG]        simulate N nodes x S sockets x G GPUs
+                      [--overlap]               overlap each slice's global exchange
+                                                with the next slice's local compute
                       [--telemetry-summary]     print a per-phase breakdown table
                       [--telemetry-json FILE]   write a machine-readable report
                       [--trace FILE]            write a Chrome/Perfetto trace
@@ -364,11 +366,13 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
         ("cgls", Some(topology)) => {
             // Distributed mode: every I/O batch runs the full multi-rank
             // pipeline (hierarchical exchanges, per-rank solvers).
+            let overlap = flags.switch("overlap");
             let cfg_base = DistributedConfig {
                 topology: *topology,
                 precision,
                 iterations,
                 hierarchical: true,
+                overlap,
                 telemetry: telemetry.clone(),
                 ..Default::default()
             };
@@ -412,8 +416,9 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
             writer.finish()?;
             let comm_report = CommReport::new(merged);
             let text = format!(
-                "reconstructed {done} slices in {batches} batches on {} simulated ranks ({} precision, {} iters/batch); worst residual {worst:.5}; volume in {out}",
-                topology.size(), precision, iterations
+                "reconstructed {done} slices in {batches} batches on {} simulated ranks ({} precision, {} iters/batch{}); worst residual {worst:.5}; volume in {out}",
+                topology.size(), precision, iterations,
+                if overlap { ", comm overlapped" } else { "" }
             );
             drop(total_span);
             Ok(text + &tel_args.emit(&telemetry, "reconstruct", &counters, Some(&comm_report))?)
@@ -746,6 +751,46 @@ mod tests {
             "magic"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn distributed_reconstruct_with_overlap_and_summary() {
+        let sino = tmp("cli_overlap_sino.xctd");
+        let vol = tmp("cli_overlap_vol.xctd");
+        run_cmd(&[
+            "simulate",
+            "--phantom",
+            "shepp",
+            "--out",
+            &sino,
+            "--n",
+            "24",
+            "--angles",
+            "24",
+            "--slices",
+            "3",
+        ])
+        .unwrap();
+        let out = run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            &vol,
+            "--topology",
+            "1x2x2",
+            "--overlap",
+            "--iterations",
+            "8",
+            "--telemetry-summary",
+        ])
+        .unwrap();
+        assert!(out.contains("on 4 simulated ranks"), "{out}");
+        assert!(out.contains("comm overlapped"), "{out}");
+        // The per-phase breakdown table must make it to stdout.
+        assert!(out.contains("% wall"), "{out}");
+        assert!(out.contains("reduce.global"), "{out}");
+        assert!(out.contains("spmm.forward"), "{out}");
     }
 
     #[test]

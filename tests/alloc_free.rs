@@ -24,9 +24,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use xct_comm::Topology;
+use xct_comm::{run_ranks, CompiledPlans, ExchangeScratch, Footprints, Ownership, Topology};
 use xct_core::distributed::{reconstruct_distributed, DistributedConfig};
-use xct_fp16::Precision;
+use xct_fp16::{Precision, F16};
 use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
 use xct_solver::{CglsSolver, ExecContext, Phase, PrecisionOperator, Telemetry};
 use xct_spmm::Csr;
@@ -161,6 +161,97 @@ fn enabled_telemetry_leaves_workspace_steady_state_alone() {
             .filter(|s| s.phase == Phase::SolverIteration)
             .count(),
         7
+    );
+}
+
+#[test]
+fn steady_state_compiled_exchange_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+
+    // Same fixture as the compiled-plan unit tests: 8 ranks on 2×2×2,
+    // 32 rows, deterministic overlapping footprints.
+    let topo = Topology::new(2, 2, 2);
+    let owner: Vec<u32> = (0..32u32).map(|r| r / 4).collect();
+    let fp: Vec<Vec<u32>> = (0..8usize)
+        .map(|p| {
+            (0..32u32)
+                .filter(|&r| (r as usize * 7 + p * 3) % 5 < 3)
+                .collect()
+        })
+        .collect();
+    let footprints = Footprints::new(fp);
+    let ownership = Ownership::new(owner, 8);
+    let compiled = CompiledPlans::build_hierarchical(&footprints, &ownership, &topo);
+    let compiled = &compiled;
+
+    let deltas = run_ranks(8, move |comm| {
+        let rp = compiled.rank(comm.rank());
+        let mut scratch = ExchangeScratch::new();
+        let vals: Vec<f32> = (0..rp.in_len())
+            .map(|i| (comm.rank() + 1) as f32 * 0.125 + i as f32 * 0.01)
+            .collect();
+        let mut owned = vec![0.0f32; rp.owned_len()];
+        let mut back = vec![0.0f32; rp.in_len()];
+
+        // One block = five back-to-back reduce+scatter rounds with no
+        // barrier in between, bracketed by barriers so only exchange work
+        // from the 8 rank threads lands between the two counter reads.
+        // Blocks must match the measured regime exactly: without barriers
+        // ranks drift, and drifting deepens mailbox queues beyond what
+        // barrier-separated rounds ever exercise.
+        let run_block =
+            |scratch: &mut ExchangeScratch, owned: &mut [f32], back: &mut [f32]| -> u64 {
+                comm.barrier(0xA110).unwrap();
+                let before = allocations();
+                for _ in 0..5 {
+                    rp.reduce::<F16>(comm, scratch, &vals, 4.0, 0.25, 0, owned)
+                        .unwrap();
+                    rp.scatter::<F16>(comm, scratch, owned, 4.0, 0.25, 0, back)
+                        .unwrap();
+                }
+                comm.barrier(0xA110).unwrap();
+                allocations() - before
+            };
+
+        // The assertion: the exchange must reach AND SUSTAIN an
+        // allocation-free steady state — three consecutive blocks
+        // (15 reduce+scatter rounds) during which no thread touches the
+        // heap. A per-apply allocation regression (a `vec![...]` back in
+        // the hot path) makes every block dirty and fails this
+        // deterministically. The only tolerated dirt is a mailbox queue
+        // growing past a new scheduling-dependent high-water mark, which
+        // becomes rarer every block (capacity never shrinks) — the loop
+        // simply retries until the high-water marks saturate.
+        let mut stable = 0u32;
+        let mut blocks = 0u32;
+        while stable < 3 && blocks < 40 {
+            let dirty = f64::from(u8::from(
+                run_block(&mut scratch, &mut owned, &mut back) != 0,
+            ));
+            // Collective verdict so every rank runs the same number of
+            // blocks (a per-rank decision would desynchronize barriers).
+            if comm.allreduce_max(0xA120, dirty).unwrap() == 0.0 {
+                stable += 1;
+            } else {
+                stable = 0;
+            }
+            blocks += 1;
+        }
+        assert!(
+            stable >= 3,
+            "rank {}: compiled exchange never sustained a zero-allocation \
+             steady state within {blocks} blocks",
+            comm.rank()
+        );
+        assert!(back.iter().all(|v| v.is_finite()));
+        blocks
+    });
+
+    // The collective verdict forces every rank through the same number of
+    // blocks; disagreement would mean the barrier protocol desynced.
+    assert!(
+        deltas.windows(2).all(|w| w[0] == w[1]),
+        "ranks disagree on block count: {deltas:?}"
     );
 }
 
