@@ -1,0 +1,185 @@
+//! CI gate for the xct-verify layers: sweeps the generator corpus (every
+//! producible plan must verify cleanly), the known-bad corpus (every
+//! reconstructed PR-3 bug must be rejected with the right diagnostic),
+//! and the schedule explorer on fixed seeds (the timing bug must be
+//! caught and be seed-reproducible). Exits nonzero on any miss; designed
+//! to finish well under a minute.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+use xct_comm::{CompiledPlans, DirectPlan, HierarchicalPlan, PlanError};
+use xct_verify::corpus::{
+    aliased_reply_exchange, barrier_program, buggy_allreduce_claims, dropped_direct,
+    duplicated_direct, gen_case, misrouted_direct, single_sweep_gather, small_direct_fixture,
+    unheld_direct, unsorted_transfer,
+};
+use xct_verify::{
+    explore, verify_all_direct, verify_all_hierarchical, verify_direct, ViolationKind,
+};
+
+fn check(name: &str, ok: bool, failures: &mut Vec<String>) {
+    if ok {
+        println!("  ok   {name}");
+    } else {
+        println!("  FAIL {name}");
+        failures.push(name.to_string());
+    }
+}
+
+fn main() {
+    let started = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+
+    println!("generator corpus (every producible plan verifies):");
+    let mut cases = 0usize;
+    let mut bad_cases = 0usize;
+    for seed in 0..64u64 {
+        let case = gen_case(seed);
+        let fp = &case.footprints;
+        let own = &case.ownership;
+        let direct = DirectPlan::build(fp, own);
+        let dc = CompiledPlans::compile_direct(fp, own, &direct);
+        let hier = HierarchicalPlan::build(fp, own, &case.topology);
+        let hc = CompiledPlans::compile_hierarchical(fp, own, &hier);
+        for overlap in [false, true] {
+            if !verify_all_direct(fp, own, &direct, &dc, overlap).ok()
+                || !verify_all_hierarchical(fp, own, &case.topology, &hier, &hc, overlap).ok()
+            {
+                failures.push(format!("generated seed {seed} overlap={overlap}"));
+                bad_cases += 1;
+            }
+            cases += 2;
+        }
+    }
+    let generated_ok = bad_cases == 0;
+    check(
+        &format!("{cases} generated plan checks"),
+        generated_ok,
+        &mut Vec::new(),
+    );
+
+    println!("known-bad corpus (each PR-3 bug rejected with its witness):");
+    let barrier = barrier_program(4, 0x4000, true).check();
+    check(
+        "bug 1: mis-paired barrier -> UnmatchedRecv",
+        barrier
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::UnmatchedRecv { peer, .. } if peer >= 4)),
+        &mut failures,
+    );
+    let tags = buggy_allreduce_claims(4, 0x7000).check();
+    check(
+        "bug 2: aliased allreduce reply -> TagCollision",
+        tags.violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::TagCollision { tag: 0x7001, .. })),
+        &mut failures,
+    );
+    check(
+        "bug 3: unsorted transfer -> UnsortedIndices",
+        matches!(
+            unsorted_transfer(),
+            Err(PlanError::UnsortedIndices { position: 1, .. })
+        ),
+        &mut failures,
+    );
+    let (fp, own) = small_direct_fixture();
+    check(
+        "misrouted direct -> Misrouted",
+        verify_direct(&fp, &own, &misrouted_direct())
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::Misrouted { row: 2, .. })),
+        &mut failures,
+    );
+    check(
+        "dropped direct -> Conservation(0)",
+        verify_direct(&fp, &own, &dropped_direct())
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::Conservation { delivered: 0, .. })),
+        &mut failures,
+    );
+    check(
+        "duplicated direct -> Conservation(2)",
+        verify_direct(&fp, &own, &duplicated_direct())
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::Conservation { delivered: 2, .. })),
+        &mut failures,
+    );
+    check(
+        "unheld direct -> UnheldRow",
+        verify_direct(&fp, &own, &unheld_direct())
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::UnheldRow { row: 3, .. })),
+        &mut failures,
+    );
+
+    println!("schedule explorer (fixed seeds, failures reproducible):");
+    let n = 4;
+    let expect: f64 = (1..=n).map(|r| r as f64).sum();
+    let gather_oracle = move |results: &[f64]| {
+        results
+            .iter()
+            .enumerate()
+            .find_map(|(r, &v)| (v != expect).then(|| format!("rank {r} got {v}")))
+    };
+    let seeds: Vec<u64> = (0..48).collect();
+    let report = explore(
+        n,
+        Duration::from_secs(10),
+        &seeds,
+        |c| single_sweep_gather(c, 0x5000),
+        gather_oracle,
+    );
+    check(
+        "single-sweep gather passes baseline",
+        report.outcomes[0].failure.is_none(),
+        &mut failures,
+    );
+    let caught = report.first_failure();
+    check(
+        "single-sweep gather caught by a chaos schedule",
+        caught.is_some(),
+        &mut failures,
+    );
+    if let Some(fail) = caught {
+        println!("       reproduce with: {}", fail.label);
+    }
+    let expect3: f64 = (1..=3).map(|r| r as f64).sum();
+    let reply_oracle = move |results: &[(f64, f64)]| {
+        results.iter().enumerate().find_map(|(r, &(red, sen))| {
+            (red != expect3 || sen != -1.0).then(|| format!("rank {r}: ({red}, {sen})"))
+        })
+    };
+    let aliased = explore(
+        3,
+        Duration::from_secs(5),
+        &[],
+        |c| aliased_reply_exchange(c, 0x7000, 0x7001),
+        reply_oracle,
+    );
+    check(
+        "aliased reply exchange fails at baseline",
+        aliased
+            .first_failure()
+            .is_some_and(|f| f.label == "baseline"),
+        &mut failures,
+    );
+
+    let elapsed = started.elapsed();
+    println!("verify corpus finished in {:.2?}", elapsed);
+    if failures.is_empty() {
+        println!("all checks passed");
+    } else {
+        println!("{} check(s) failed:", failures.len());
+        for f in &failures {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,8 @@
 //! everything numerical (kernels, plans, convergence) runs for real at
 //! mini scale.
 
+#![forbid(unsafe_code)]
+
 use xct_fp16::Precision;
 use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
 use xct_hilbert::{CurveKind, Domain2D, TileDecomposition};

@@ -25,6 +25,10 @@
 //! in-flight handle owns the open `ReduceGlobal`/`HaloExchange` telemetry
 //! span, so traces show exactly which work ran under the exchange.
 
+// Row and position ids in this module are `u32` by the `Ownership`
+// contract (`num_rows` fits `u32`); enumerate-index casts back into that
+// space are lossless by construction.
+#![allow(clippy::cast_possible_truncation)]
 use crate::metrics::TrafficClass;
 use crate::plan::{DirectPlan, HierarchicalPlan, Ownership, ReductionStep};
 use crate::runtime::{CommError, Communicator, RecvRequest};
@@ -54,9 +58,39 @@ pub struct Transfer {
     pub idx: Vec<u32>,
 }
 
-/// One compiled exchange level: input buffer → output buffer.
+impl Transfer {
+    /// Validated constructor: position tables must be strictly ascending
+    /// (every compile path gathers sorted row lists through monotone
+    /// position maps, so a violation means a corrupted plan). Checked in
+    /// release builds too — the same build-time-rejection pattern as
+    /// `PartialData::new` — because an unsorted table silently scrambles
+    /// payload/position pairing far from the cause.
+    pub fn new(peer: usize, idx: Vec<u32>) -> Self {
+        match Self::try_new(peer, idx) {
+            Ok(t) => t,
+            Err(e) => panic!("invalid transfer for peer {peer}: {e}"),
+        }
+    }
+
+    /// Fallible [`Transfer::new`], returning the structured witness.
+    pub fn try_new(peer: usize, idx: Vec<u32>) -> Result<Self, crate::plan::PlanError> {
+        if let Some(k) = idx.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(crate::plan::PlanError::UnsortedIndices {
+                position: k + 1,
+                prev: idx[k],
+                next: idx[k + 1],
+            });
+        }
+        Ok(Transfer { peer, idx })
+    }
+}
+
+/// One compiled exchange level: input buffer → output buffer. Fields are
+/// private (execution owns the invariants); the read-only accessors below
+/// exist for the static plan verifier (xct-verify), which symbolically
+/// replays these programs.
 #[derive(Debug, Clone)]
-struct LevelProgram {
+pub struct LevelProgram {
     /// Output buffer length.
     out_len: usize,
     /// Outgoing transfers, gathered from the input buffer.
@@ -74,6 +108,34 @@ struct LevelProgram {
     /// Span recorded around blocking local levels (`None` for levels
     /// whose spans are managed by begin/finish).
     phase: Option<Phase>,
+}
+
+impl LevelProgram {
+    /// Output buffer length.
+    pub fn out_len(&self) -> usize {
+        self.out_len
+    }
+
+    /// Outgoing transfers (indices gather from the input buffer).
+    pub fn sends(&self) -> &[Transfer] {
+        &self.sends
+    }
+
+    /// Local carries as `(input position, output position)` pairs.
+    pub fn keeps(&self) -> &[(u32, u32)] {
+        &self.keeps
+    }
+
+    /// Incoming transfers (indices land in the output buffer), in
+    /// completion order.
+    pub fn recvs(&self) -> &[Transfer] {
+        &self.recvs
+    }
+
+    /// Base tag for this level (XORed with the caller's slice salt).
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
 }
 
 /// Everything one rank needs to run the exchange without consulting the
@@ -132,10 +194,7 @@ fn compile_reduce_level(
     let out_pos = positions(out_rows);
     let sends = step.sends[me]
         .iter()
-        .map(|(dst, rows)| Transfer {
-            peer: *dst,
-            idx: gather_idx(rows, &cur_pos),
-        })
+        .map(|(dst, rows)| Transfer::new(*dst, gather_idx(rows, &cur_pos)))
         .collect();
     // Rows designated to me that I already hold carry over locally; the
     // rest of the output starts at zero.
@@ -149,10 +208,7 @@ fn compile_reduce_level(
     for (src, sends) in step.sends.iter().enumerate() {
         for (dst, rows) in sends {
             if *dst == me {
-                recvs.push(Transfer {
-                    peer: src,
-                    idx: gather_idx(rows, &out_pos),
-                });
+                recvs.push(Transfer::new(src, gather_idx(rows, &out_pos)));
             }
         }
     }
@@ -181,10 +237,7 @@ fn compile_global(
     let owned_pos = positions(owned_rows);
     let sends = plan.sends[me]
         .iter()
-        .map(|(dst, rows)| Transfer {
-            peer: *dst,
-            idx: gather_idx(rows, &cur_pos),
-        })
+        .map(|(dst, rows)| Transfer::new(*dst, gather_idx(rows, &cur_pos)))
         .collect();
     let keeps = cur_rows
         .iter()
@@ -196,10 +249,7 @@ fn compile_global(
     for (src, sends) in plan.sends.iter().enumerate() {
         for (dst, rows) in sends {
             if *dst == me {
-                recvs.push(Transfer {
-                    peer: src,
-                    idx: gather_idx(rows, &owned_pos),
-                });
+                recvs.push(Transfer::new(src, gather_idx(rows, &owned_pos)));
             }
         }
     }
@@ -233,10 +283,7 @@ fn compile_scatter_global(
     for (src, peer_sends) in plan.sends.iter().enumerate() {
         for (dst, rows) in peer_sends {
             if *dst == me {
-                sends.push(Transfer {
-                    peer: src,
-                    idx: gather_idx(rows, &owned_pos),
-                });
+                sends.push(Transfer::new(src, gather_idx(rows, &owned_pos)));
             }
         }
     }
@@ -250,10 +297,7 @@ fn compile_scatter_global(
     // destination-ascending like the reference receive loop.
     let recvs = plan.sends[me]
         .iter()
-        .map(|(dst, rows)| Transfer {
-            peer: *dst,
-            idx: gather_idx(rows, &out_pos),
-        })
+        .map(|(dst, rows)| Transfer::new(*dst, gather_idx(rows, &out_pos)))
         .collect();
     LevelProgram {
         out_len: out_rows.len(),
@@ -288,10 +332,7 @@ fn compile_scatter_level(
     for (src, peer_sends) in step.sends.iter().enumerate() {
         for (dst, rows) in peer_sends {
             if *dst == me {
-                sends.push(Transfer {
-                    peer: src,
-                    idx: gather_idx(rows, &cur_pos),
-                });
+                sends.push(Transfer::new(src, gather_idx(rows, &cur_pos)));
             }
         }
     }
@@ -301,10 +342,7 @@ fn compile_scatter_level(
         .collect();
     let recvs = step.sends[me]
         .iter()
-        .map(|(dst, rows)| Transfer {
-            peer: *dst,
-            idx: gather_idx(rows, &out_pos),
-        })
+        .map(|(dst, rows)| Transfer::new(*dst, gather_idx(rows, &out_pos)))
         .collect();
     let program = LevelProgram {
         out_len: out_rows.len(),
@@ -548,6 +586,33 @@ impl RankPlan {
     /// Owned-row count (reduce output / scatter input).
     pub fn owned_len(&self) -> usize {
         self.owned_len
+    }
+
+    /// Forward local levels (socket, node), in execution order; empty for
+    /// direct plans. Read-only view for the static verifier.
+    pub fn local_levels(&self) -> &[LevelProgram] {
+        &self.levels
+    }
+
+    /// The forward global exchange program.
+    pub fn global_level(&self) -> &LevelProgram {
+        &self.global
+    }
+
+    /// The scatter global-stage program (transpose direction).
+    pub fn scatter_global_level(&self) -> &LevelProgram {
+        &self.scatter_global
+    }
+
+    /// Scatter fan-out levels (node, socket), in execution order; empty
+    /// for direct plans.
+    pub fn scatter_local_levels(&self) -> &[LevelProgram] {
+        &self.scatter_levels
+    }
+
+    /// Footprint positions in the final scatter buffer.
+    pub fn restrict_idx(&self) -> &[u32] {
+        &self.restrict
     }
 
     /// Runs the *local* forward levels (socket, node) blocking: quantizes

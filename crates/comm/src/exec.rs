@@ -11,6 +11,10 @@
 //! level — communication stays at storage width (half precision moves
 //! half the bytes), which is the property the paper's Table IV measures.
 
+// Row and position ids in this module are `u32` by the `Ownership`
+// contract (`num_rows` fits `u32`); enumerate-index casts back into that
+// space are lossless by construction.
+#![allow(clippy::cast_possible_truncation)]
 use crate::metrics::TrafficClass;
 use crate::plan::{DirectPlan, HierarchicalPlan, Ownership, ReductionStep};
 use crate::runtime::{CommError, Communicator};

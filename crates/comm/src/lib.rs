@@ -24,6 +24,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Tag and index arithmetic throughout this crate narrows integers; every
+// such cast must either be lossless by construction (row/position ids
+// inhabit u32 per the `Ownership` contract) or carry a local `allow`
+// with the bound spelled out.
+#![warn(clippy::cast_possible_truncation)]
 
 mod metrics;
 mod plan;
@@ -34,10 +39,11 @@ mod wire;
 pub use metrics::{
     ClassScope, CommMeter, CommReport, RankCommStats, TrafficClass, TRAFFIC_CLASSES,
 };
-pub use plan::{DirectPlan, Footprints, HierarchicalPlan, Ownership, ReductionStep};
+pub use plan::{DirectPlan, Footprints, HierarchicalPlan, Ownership, PlanError, ReductionStep};
 pub use runtime::{
-    run_ranks, run_ranks_traced, run_ranks_traced_wired, run_ranks_with_timeout, CommError,
-    Communicator, RecvRequest, SubCommunicator, WireModel,
+    run_ranks, run_ranks_chaos, run_ranks_traced, run_ranks_traced_wired, run_ranks_with_timeout,
+    ChaosMode, ChaosSchedule, CommError, Communicator, RecvRequest, SubCommunicator, WireModel,
+    REPLY_TAG_SALT,
 };
 pub use topology::{CommLevel, Topology};
 pub use wire::Wire;
@@ -49,5 +55,6 @@ pub use exec::{
 
 mod compiled;
 pub use compiled::{
-    CompiledPlans, ExchangeScratch, GlobalInFlight, RankPlan, ScatterInFlight, Transfer,
+    CompiledPlans, ExchangeScratch, GlobalInFlight, LevelProgram, RankPlan, ScatterInFlight,
+    Transfer,
 };

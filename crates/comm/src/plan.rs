@@ -8,8 +8,100 @@
 //! — this is how the harness regenerates Fig 6 and Table IV without any
 //! timing involved.
 
+// Row and position ids in this module are `u32` by the `Ownership`
+// contract (`num_rows` fits `u32`); enumerate-index casts back into that
+// space are lossless by construction.
+#![allow(clippy::cast_possible_truncation)]
 use crate::topology::Topology;
 use std::collections::HashMap;
+use std::ops::Range;
+
+/// Structured error for malformed plan-construction inputs.
+///
+/// PR 3 taught us that silently accepting a malformed table (unsorted
+/// `PartialData` rows) produces corruption far from the cause, so plan
+/// inputs are validated *at build time, in release builds too* — the same
+/// pattern `PartialData::new` uses — and the rejection carries a witness
+/// (the offending row/range/position) instead of a boolean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// An owner entry names a rank outside the world.
+    OwnerOutOfRange {
+        /// The row whose owner is invalid.
+        row: u32,
+        /// The out-of-range owner.
+        owner: u32,
+        /// World size.
+        num_ranks: usize,
+    },
+    /// Two ownership ranges cover a common row.
+    OverlappingRanges {
+        /// Earlier range (by start), half-open `[start, end)`.
+        first: (u32, u32),
+        /// The range overlapping it.
+        second: (u32, u32),
+    },
+    /// An ownership range reaches past the row space.
+    RangeOutOfBounds {
+        /// The offending range, half-open.
+        range: (u32, u32),
+        /// Number of global rows.
+        num_rows: usize,
+    },
+    /// A row is covered by no ownership range.
+    UncoveredRow {
+        /// The first uncovered row.
+        row: u32,
+    },
+    /// A transfer's position table is not strictly ascending (duplicate
+    /// or out-of-order index).
+    UnsortedIndices {
+        /// Offset of the violation within the table.
+        position: usize,
+        /// The entry at `position - 1`.
+        prev: u32,
+        /// The entry at `position`.
+        next: u32,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::OwnerOutOfRange {
+                row,
+                owner,
+                num_ranks,
+            } => write!(
+                f,
+                "owner out of range: row {row} owned by rank {owner} (world size {num_ranks})"
+            ),
+            PlanError::OverlappingRanges { first, second } => write!(
+                f,
+                "ownership ranges overlap: [{}, {}) and [{}, {})",
+                first.0, first.1, second.0, second.1
+            ),
+            PlanError::RangeOutOfBounds { range, num_rows } => write!(
+                f,
+                "ownership range [{}, {}) exceeds row space of {num_rows}",
+                range.0, range.1
+            ),
+            PlanError::UncoveredRow { row } => {
+                write!(f, "row {row} is covered by no ownership range")
+            }
+            PlanError::UnsortedIndices {
+                position,
+                prev,
+                next,
+            } => write!(
+                f,
+                "transfer indices must be strictly ascending: position {position} holds {next} after {prev}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// Per-rank partial-data footprints: `per_rank[p]` lists the global row
 /// ids rank `p` produces partial sums for, sorted ascending.
@@ -51,11 +143,78 @@ pub struct Ownership {
 impl Ownership {
     /// Creates an ownership map; every owner must be a valid rank.
     pub fn new(owner: Vec<u32>, num_ranks: usize) -> Self {
-        assert!(
-            owner.iter().all(|&o| (o as usize) < num_ranks),
-            "owner out of range"
-        );
-        Ownership { owner }
+        match Self::try_new(owner, num_ranks) {
+            Ok(own) => own,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Ownership::new`]: rejects invalid owners with a
+    /// structured witness instead of panicking.
+    pub fn try_new(owner: Vec<u32>, num_ranks: usize) -> Result<Self, PlanError> {
+        for (row, &o) in owner.iter().enumerate() {
+            if (o as usize) >= num_ranks {
+                return Err(PlanError::OwnerOutOfRange {
+                    row: row as u32,
+                    owner: o,
+                    num_ranks,
+                });
+            }
+        }
+        Ok(Ownership { owner })
+    }
+
+    /// Builds ownership from contiguous `(rows, rank)` ranges. The ranges
+    /// must partition `0..num_rows`: overlapping or duplicate ranges, a
+    /// range past the row space, gaps, and out-of-range ranks are all
+    /// rejected with a structured error naming the witness.
+    pub fn from_ranges(
+        ranges: &[(Range<u32>, u32)],
+        num_rows: usize,
+        num_ranks: usize,
+    ) -> Result<Self, PlanError> {
+        let mut sorted: Vec<&(Range<u32>, u32)> = ranges.iter().collect();
+        sorted.sort_by_key(|(r, _)| (r.start, r.end));
+        let mut next_row = 0u32;
+        let mut last: (u32, u32) = (0, 0);
+        let mut owner = vec![0u32; num_rows];
+        for (range, rank) in sorted {
+            if range.is_empty() {
+                continue;
+            }
+            if (range.end as usize) > num_rows {
+                return Err(PlanError::RangeOutOfBounds {
+                    range: (range.start, range.end),
+                    num_rows,
+                });
+            }
+            if (*rank as usize) >= num_ranks {
+                return Err(PlanError::OwnerOutOfRange {
+                    row: range.start,
+                    owner: *rank,
+                    num_ranks,
+                });
+            }
+            if range.start < next_row {
+                // Overlaps the previous non-empty range in start order.
+                return Err(PlanError::OverlappingRanges {
+                    first: last,
+                    second: (range.start, range.end),
+                });
+            }
+            if range.start > next_row {
+                return Err(PlanError::UncoveredRow { row: next_row });
+            }
+            for row in range.clone() {
+                owner[row as usize] = *rank;
+            }
+            next_row = range.end;
+            last = (range.start, range.end);
+        }
+        if (next_row as usize) < num_rows {
+            return Err(PlanError::UncoveredRow { row: next_row });
+        }
+        Ok(Ownership { owner })
     }
 
     /// Rows owned by `rank`, ascending.
@@ -79,6 +238,16 @@ pub struct DirectPlan {
 }
 
 impl DirectPlan {
+    /// Builds a plan straight from send tables, *without* the routing
+    /// derivation of [`DirectPlan::build`]. Exists so the xct-verify
+    /// known-bad corpus can construct deliberately invalid plans
+    /// (misrouted, duplicated, or dropped rows) and assert the verifier
+    /// rejects them; production code should always use `build`.
+    pub fn from_sends(sends: Vec<Vec<(usize, Vec<u32>)>>) -> Self {
+        let num_ranks = sends.len();
+        DirectPlan { sends, num_ranks }
+    }
+
     /// Builds the plan. Rows a rank owns itself cost nothing.
     pub fn build(footprints: &Footprints, ownership: &Ownership) -> Self {
         let num_ranks = footprints.num_ranks();
@@ -377,5 +546,61 @@ mod tests {
     #[should_panic(expected = "owner out of range")]
     fn bad_owner_rejected() {
         Ownership::new(vec![9], 4);
+    }
+
+    #[test]
+    fn try_new_reports_witness_row() {
+        let err = Ownership::try_new(vec![0, 1, 9], 4).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::OwnerOutOfRange {
+                row: 2,
+                owner: 9,
+                num_ranks: 4
+            }
+        );
+    }
+
+    #[test]
+    fn ownership_from_ranges_partitions() {
+        let own = Ownership::from_ranges(&[(4..8, 0), (0..4, 1)], 8, 2).unwrap();
+        assert_eq!(own.rows_of(1), vec![0, 1, 2, 3]);
+        assert_eq!(own.rows_of(0), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn overlapping_ranges_rejected_with_witness() {
+        let err = Ownership::from_ranges(&[(0..5, 0), (3..8, 1)], 8, 2).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::OverlappingRanges {
+                first: (0, 5),
+                second: (3, 8)
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_range_rejected() {
+        let err = Ownership::from_ranges(&[(0..4, 0), (0..4, 1), (4..8, 1)], 8, 2).unwrap_err();
+        assert!(matches!(err, PlanError::OverlappingRanges { .. }));
+    }
+
+    #[test]
+    fn ownership_gap_rejected() {
+        let err = Ownership::from_ranges(&[(0..3, 0), (5..8, 1)], 8, 2).unwrap_err();
+        assert_eq!(err, PlanError::UncoveredRow { row: 3 });
+    }
+
+    #[test]
+    fn range_past_row_space_rejected() {
+        let err = Ownership::from_ranges(&[(0..9, 0)], 8, 1).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::RangeOutOfBounds {
+                range: (0, 9),
+                num_rows: 8
+            }
+        );
     }
 }

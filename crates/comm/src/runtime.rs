@@ -20,6 +20,7 @@
 //! and the exchange hot path stops allocating (see `tests/alloc_free.rs`).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -30,8 +31,9 @@ use xct_telemetry::{Phase, Telemetry};
 /// Tag bit reserved for internal reply traffic (allreduce responses).
 /// Application tags must keep this bit clear; the collectives salt their
 /// root-to-leaf replies with it so a collective at tag `t` can never
-/// cross-match application traffic at `t + 1`.
-const REPLY_TAG_SALT: u64 = 1 << 63;
+/// cross-match application traffic at `t + 1`. Public so the static tag
+/// verifier (xct-verify) models the reply namespace with the real bit.
+pub const REPLY_TAG_SALT: u64 = 1 << 63;
 
 /// Upper bound on pooled wire buffers kept per rank (a backstop against
 /// pathological send/receive imbalance, far above any plan's needs).
@@ -112,6 +114,140 @@ impl WireModel {
     }
 }
 
+/// SplitMix64 finalizer: the deterministic hash behind every chaos
+/// decision, so a schedule is a pure function of `(seed, src, dst, seq)`
+/// and never of thread timing.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How a [`ChaosSchedule`] perturbs message matchability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Every message draws a small seed-derived matchability delay
+    /// (roughly half draw none), permuting the order in which concurrent
+    /// messages become matchable.
+    Jitter,
+    /// Exactly one message — the `nth` message sent from `src` to `dst` —
+    /// is held back by the schedule's full delay while everything else
+    /// flows untouched (the delay-one-message DPOR-lite mode: races that
+    /// need one specific reordering are found by enumerating targets).
+    DelayOne {
+        /// Sender of the delayed message.
+        src: usize,
+        /// Receiver of the delayed message.
+        dst: usize,
+        /// Which message in `(src, dst)` send order is delayed (0-based).
+        nth: u64,
+    },
+}
+
+/// Deterministic schedule perturbation for race hunting.
+///
+/// The runtime already has a mechanism for "sent but not yet matchable":
+/// [`WireModel`] stamps envelopes with a `ready_at` instant. A
+/// `ChaosSchedule` drives the same mechanism from a seed instead of a
+/// bandwidth model: each message's artificial delay is a pure function of
+/// `(seed, src, dst, per-pair sequence number)`, so a failing
+/// interleaving is reproducible from the seed alone — the schedule
+/// explorer in xct-verify reports that seed as the repro. Delays change
+/// *when* a message may be matched, never its content or per-key FIFO
+/// order, so correct programs must produce identical results under every
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// The seed every delay is derived from.
+    pub seed: u64,
+    /// Upper bound on the artificial matchability delay.
+    pub max_delay: Duration,
+    /// Upper bound on the per-rank start stagger (skews rank step
+    /// interleavings the way unequal kernel times do on a real machine).
+    pub stagger: Duration,
+    /// Delay policy.
+    pub mode: ChaosMode,
+}
+
+impl ChaosSchedule {
+    /// Jitter schedule: small random delays on every message.
+    pub fn jitter(seed: u64) -> Self {
+        ChaosSchedule {
+            seed,
+            max_delay: Duration::from_micros(1500),
+            stagger: Duration::from_millis(2),
+            mode: ChaosMode::Jitter,
+        }
+    }
+
+    /// Delay-one schedule: the seed picks one `(src, dst, nth)` target in
+    /// an `n`-rank world and holds only that message back, long enough to
+    /// drain everything else first.
+    pub fn delay_one(seed: u64, n: usize) -> Self {
+        // Bounded: `% n` keeps both ranks inside the (usize-sized) world.
+        #[allow(clippy::cast_possible_truncation)]
+        let src = (mix64(seed ^ 0x51) % n as u64) as usize;
+        #[allow(clippy::cast_possible_truncation)]
+        let mut dst = (mix64(seed ^ 0xD5) % n as u64) as usize;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        ChaosSchedule {
+            seed,
+            max_delay: Duration::from_millis(25),
+            stagger: Duration::from_millis(2),
+            mode: ChaosMode::DelayOne {
+                src,
+                dst,
+                nth: mix64(seed ^ 0x9E) % 4,
+            },
+        }
+    }
+
+    /// The artificial delay for the `seq`-th message from `src` to `dst`,
+    /// if any.
+    fn delay_for(&self, src: usize, dst: usize, seq: u64) -> Option<Duration> {
+        match self.mode {
+            ChaosMode::Jitter => {
+                let h = mix64(
+                    self.seed
+                        ^ (src as u64).wrapping_mul(0x0100_0000_01b3)
+                        ^ (dst as u64).wrapping_mul(0x1_0001)
+                        ^ seq.wrapping_mul(0x5851_f42d_4c95_7f2d),
+                );
+                if h & 1 == 0 {
+                    return None;
+                }
+                let span = u64::try_from(self.max_delay.as_micros()).unwrap_or(u64::MAX);
+                (span > 0).then(|| Duration::from_micros((h >> 32) % span))
+            }
+            ChaosMode::DelayOne {
+                src: s,
+                dst: d,
+                nth,
+            } => (src == s && dst == d && seq == nth).then_some(self.max_delay),
+        }
+    }
+
+    /// Start stagger for `rank`.
+    fn stagger_for(&self, rank: usize) -> Duration {
+        let span = u64::try_from(self.stagger.as_micros()).unwrap_or(u64::MAX);
+        if span == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(mix64(self.seed ^ 0xC0FFEE ^ (rank as u64) << 17) % span)
+    }
+}
+
+/// Per-communicator chaos state: the schedule plus per-destination send
+/// sequence numbers (atomics only so `Communicator` stays `Sync`; each
+/// rank sends from its own thread).
+struct ChaosState {
+    schedule: ChaosSchedule,
+    seq: Vec<AtomicU64>,
+}
+
 struct Envelope {
     src: usize,
     tag: u64,
@@ -160,6 +296,7 @@ pub struct Communicator {
     pool: Mutex<Vec<Vec<u8>>>,
     timeout: Duration,
     wire: Option<WireModel>,
+    chaos: Option<ChaosState>,
     meter: CommMeter,
     telemetry: Telemetry,
 }
@@ -237,9 +374,19 @@ impl Communicator {
             size: self.size(),
         })?;
         self.meter.record(dst, payload.len());
-        let ready_at = self
+        let wire_at = self
             .wire
             .and_then(|w| w.ready_at(self.rank, dst, payload.len()));
+        let chaos_at = self.chaos.as_ref().and_then(|c| {
+            let seq = c.seq[dst].fetch_add(1, Ordering::Relaxed);
+            c.schedule
+                .delay_for(self.rank, dst, seq)
+                .map(|d| Instant::now() + d)
+        });
+        let ready_at = match (wire_at, chaos_at) {
+            (Some(w), Some(c)) => Some(w.max(c)),
+            (at, None) | (None, at) => at,
+        };
         let mut inner = mailbox.inner.lock().expect("mailbox mutex poisoned");
         inner.arrivals.push_back(Envelope {
             src: self.rank,
@@ -600,7 +747,22 @@ pub fn run_ranks_with_timeout<T: Send>(
     timeout: Duration,
     body: impl Fn(&Communicator) -> T + Sync,
 ) -> Vec<T> {
-    run_ranks_inner(n, timeout, &Telemetry::disabled(), None, body)
+    run_ranks_inner(n, timeout, &Telemetry::disabled(), None, None, body)
+}
+
+/// [`run_ranks`] under a deterministic [`ChaosSchedule`]: rank starts are
+/// staggered and message matchability is delayed, both as pure functions
+/// of the schedule's seed. Correct programs must produce results
+/// identical to an unperturbed run; a divergence or error is a race, and
+/// the seed is its repro. This is the execution hook the xct-verify
+/// schedule explorer drives.
+pub fn run_ranks_chaos<T: Send>(
+    n: usize,
+    timeout: Duration,
+    chaos: ChaosSchedule,
+    body: impl Fn(&Communicator) -> T + Sync,
+) -> Vec<T> {
+    run_ranks_inner(n, timeout, &Telemetry::disabled(), None, Some(chaos), body)
 }
 
 /// [`run_ranks`] with tracing: each rank's communicator carries a fork of
@@ -611,7 +773,7 @@ pub fn run_ranks_traced<T: Send>(
     telemetry: &Telemetry,
     body: impl Fn(&Communicator) -> T + Sync,
 ) -> Vec<T> {
-    run_ranks_inner(n, Duration::from_secs(30), telemetry, None, body)
+    run_ranks_inner(n, Duration::from_secs(30), telemetry, None, None, body)
 }
 
 /// [`run_ranks_traced`] plus a [`WireModel`]: inter-node messages are held
@@ -623,7 +785,7 @@ pub fn run_ranks_traced_wired<T: Send>(
     wire: Option<WireModel>,
     body: impl Fn(&Communicator) -> T + Sync,
 ) -> Vec<T> {
-    run_ranks_inner(n, Duration::from_secs(30), telemetry, wire, body)
+    run_ranks_inner(n, Duration::from_secs(30), telemetry, wire, None, body)
 }
 
 fn run_ranks_inner<T: Send>(
@@ -631,6 +793,7 @@ fn run_ranks_inner<T: Send>(
     timeout: Duration,
     telemetry: &Telemetry,
     wire: Option<WireModel>,
+    chaos: Option<ChaosSchedule>,
     body: impl Fn(&Communicator) -> T + Sync,
 ) -> Vec<T> {
     assert!(n > 0, "need at least one rank");
@@ -642,8 +805,12 @@ fn run_ranks_inner<T: Send>(
             pool: Mutex::new(Vec::new()),
             timeout,
             wire,
+            chaos: chaos.map(|schedule| ChaosState {
+                schedule,
+                seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            }),
             meter: CommMeter::new(n),
-            telemetry: telemetry.fork(rank as u32),
+            telemetry: telemetry.fork(u32::try_from(rank).expect("rank fits u32")),
         })
         .collect();
     // Mailboxes outlive every rank thread (the Arc is shared), so a
@@ -652,7 +819,14 @@ fn run_ranks_inner<T: Send>(
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .iter()
-            .map(|comm| scope.spawn(|| body(comm)))
+            .map(|comm| {
+                scope.spawn(|| {
+                    if let Some(c) = &chaos {
+                        std::thread::sleep(c.stagger_for(comm.rank));
+                    }
+                    body(comm)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -998,6 +1172,67 @@ mod tests {
             results[0],
             Err(CommError::RankOutOfRange { rank: 5, size: 2 })
         );
+    }
+
+    #[test]
+    fn chaos_jitter_preserves_correctness() {
+        // A correct program must be schedule-independent: the ring pass
+        // yields identical results under every jitter seed.
+        for seed in 0..4u64 {
+            let results = run_ranks_chaos(
+                4,
+                Duration::from_secs(20),
+                ChaosSchedule::jitter(seed),
+                |comm| {
+                    let next = (comm.rank() + 1) % comm.size();
+                    let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                    comm.send_vals::<f32>(next, 7, &[comm.rank() as f32])
+                        .unwrap();
+                    comm.recv_vals::<f32>(prev, 7).unwrap()[0]
+                },
+            );
+            assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chaos_preserves_per_key_fifo() {
+        // Delays permute matchability *across* keys, never within one
+        // (src, tag) stream: the stash queue completes in send order even
+        // when a later message drew a shorter delay.
+        for seed in [1u64, 7, 23] {
+            let results = run_ranks_chaos(
+                2,
+                Duration::from_secs(20),
+                ChaosSchedule::jitter(seed),
+                |comm| {
+                    if comm.rank() == 0 {
+                        for i in 0..5 {
+                            comm.send_vals::<f32>(1, 9, &[i as f32]).unwrap();
+                        }
+                        Vec::new()
+                    } else {
+                        (0..5)
+                            .map(|_| comm.recv_vals::<f32>(0, 9).unwrap()[0])
+                            .collect()
+                    }
+                },
+            );
+            assert_eq!(results[1], vec![0.0, 1.0, 2.0, 3.0, 4.0], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chaos_delay_one_is_deterministic_and_never_self_directed() {
+        for seed in 0..32u64 {
+            let a = ChaosSchedule::delay_one(seed, 4);
+            assert_eq!(a, ChaosSchedule::delay_one(seed, 4));
+            let ChaosMode::DelayOne { src, dst, .. } = a.mode else {
+                panic!("delay_one must build a DelayOne schedule");
+            };
+            assert_ne!(src, dst, "seed {seed} targets a self-send");
+            assert!(src < 4 && dst < 4);
+        }
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub struct DistributedConfig {
     /// pass [`Telemetry::enabled`] to collect per-rank spans (each rank
     /// records on its own track) and keep the phase breakdown.
     pub telemetry: Telemetry,
+    /// Run the xct-verify static checks (conservation, tag disjointness,
+    /// deadlock freedom, scratch non-aliasing) on the communication plan
+    /// before executing it, panicking with the full diagnostic listing on
+    /// any violation. Always on in debug builds; this flag (the CLI's
+    /// `--verify-plans`) extends the check to release builds.
+    pub verify_plans: bool,
 }
 
 impl Default for DistributedConfig {
@@ -80,6 +86,7 @@ impl Default for DistributedConfig {
             block_size: 32,
             shared_bytes: 48 * 1024,
             telemetry: Telemetry::disabled(),
+            verify_plans: false,
         }
     }
 }
@@ -345,6 +352,29 @@ pub fn reconstruct_distributed(
     } else {
         CompiledPlans::compile_direct(&decomp.footprints, &ownership, &direct)
     };
+    // Debug builds always statically verify the plan before running it;
+    // release builds do so under `--verify-plans`.
+    if cfg.verify_plans || cfg!(debug_assertions) {
+        let report = if cfg.hierarchical {
+            xct_verify::verify_all_hierarchical(
+                &decomp.footprints,
+                &ownership,
+                &cfg.topology,
+                &hier,
+                &compiled,
+                cfg.overlap,
+            )
+        } else {
+            xct_verify::verify_all_direct(
+                &decomp.footprints,
+                &ownership,
+                &direct,
+                &compiled,
+                cfg.overlap,
+            )
+        };
+        report.assert_ok("communication plan");
+    }
 
     let outputs = run_ranks_traced_wired(ranks, &cfg.telemetry, cfg.wire, |comm| {
         let rank = comm.rank();

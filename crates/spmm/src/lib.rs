@@ -29,6 +29,7 @@
 //! [`Csr`] provides the unfused, unstaged baseline standing in for
 //! `cusparseSpMM` (§IV-C2).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod compute;

@@ -1,0 +1,285 @@
+//! Known-bad corpus and random case generation.
+//!
+//! The corpus reconstructs each communication bug fixed in PR 3 as a
+//! minimal artifact the verifier must reject (or the explorer must
+//! catch), so the checks are pinned to real historical failures rather
+//! than synthetic strawmen:
+//!
+//! 1. **Barrier peer mispairing** — the dissemination barrier's receive
+//!    peer was computed as `rank + n - (dist % n)` (missing the outer
+//!    `% n`), waiting on ranks outside the world.
+//!    [`barrier_program`]`(.., buggy = true)` rebuilds that skeleton;
+//!    the deadlock checker flags every receive as
+//!    `UnmatchedRecv`.
+//! 2. **Allreduce reply-tag aliasing** — the collective's reply leg
+//!    used `tag + 1`, which a neighboring application exchange also
+//!    claimed; the reply drained the app's payload.
+//!    [`buggy_allreduce_claims`] rebuilds the claim set; the tag checker
+//!    reports the `TagCollision`. [`aliased_reply_exchange`] is the
+//!    runnable version for the explorer, which fails its oracle even at
+//!    baseline.
+//! 3. **Unsorted partial-data indices** — merge tables with
+//!    non-ascending row indices silently mis-accumulated.
+//!    `Transfer::try_new` (promoted to release builds in this PR)
+//!    rejects them; [`unsorted_transfer`] exercises it.
+//!
+//! Beyond the reconstructions, [`misrouted_direct`] / [`dropped_direct`]
+//! / [`duplicated_direct`] / [`unheld_direct`] are minimal conservation
+//! corruptions of a valid direct plan, [`duplicate_designee_step`] is a
+//! reduction level designating one row twice, and
+//! [`single_sweep_gather`] is a *timing* bug — a gather whose root polls
+//! each source once without retrying — that passes every static check
+//! and the baseline schedule, and is caught only by chaos schedules
+//! (demonstrating why the explorer layer exists).
+//!
+//! [`gen_case`] derives random-but-deterministic topology/footprint/
+//! ownership cases from a seed for property tests and the CI corpus
+//! sweep.
+
+// Witness positions/offsets are indices into u32-sized buffers; casting
+// the enumerate index back to `u32` is lossless by construction.
+#![allow(clippy::cast_possible_truncation)]
+use crate::deadlock::{CommOp, CommProgram};
+use crate::tags::TagClaimSet;
+use xct_comm::{Communicator, DirectPlan, Footprints, Ownership, ReductionStep, Topology};
+
+/// The dissemination-barrier skeleton on `n` ranks at `tag`. With
+/// `buggy`, the receive peer uses PR 3's mis-parenthesized formula
+/// (missing the outer `% n`), so most receives wait on out-of-range
+/// ranks.
+pub fn barrier_program(n: usize, tag: u64, buggy: bool) -> CommProgram {
+    let mut ops: Vec<Vec<CommOp>> = vec![Vec::new(); n];
+    let mut dist = 1usize;
+    while dist < n {
+        let round_tag = tag ^ ((dist as u64) << 32);
+        for (rank, ops) in ops.iter_mut().enumerate() {
+            let to = (rank + dist) % n;
+            let from = if buggy {
+                // PR 3's bug: `(rank + n - dist % n) % n` lost its outer
+                // modulus in a refactor, leaving `rank + n - (dist % n)`.
+                rank + n - (dist % n)
+            } else {
+                (rank + n - dist) % n
+            };
+            ops.push(CommOp::Send { to, tag: round_tag });
+            ops.push(CommOp::Recv {
+                from,
+                tag: round_tag,
+            });
+        }
+        dist *= 2;
+    }
+    CommProgram { ops }
+}
+
+/// The claim set of PR 3's buggy allreduce on `n` ranks: the reply leg
+/// reuses the application namespace at `tag + 1`, where a neighboring
+/// exchange legitimately claims its own traffic. `TagClaimSet::check`
+/// must report the collision.
+pub fn buggy_allreduce_claims(n: usize, tag: u64) -> TagClaimSet {
+    let mut set = TagClaimSet::new();
+    for r in 1..n {
+        set.claim(r, 0, tag, "allreduce gather");
+        // The bug: replies went out at `tag + 1` instead of a reserved
+        // namespace.
+        set.claim(0, r, tag + 1, "allreduce reply");
+    }
+    // A neighboring exchange that (correctly, per the old convention)
+    // claims the adjacent tag for its own root-to-rank traffic.
+    for r in 1..n {
+        set.claim(0, r, tag + 1, "next exchange");
+    }
+    set
+}
+
+/// Runnable version of the reply-tag bug, shaped like the real failure:
+/// rank 0 gathers at `tag`, replies at `reply_tag`, then broadcasts a
+/// "next exchange" sentinel at `tag + 1`; non-root ranks service the
+/// next exchange *first* (in real code it is a different subsystem that
+/// polls ahead of the solver), then collect the reply. With
+/// `reply_tag == tag + 1` — PR 3's bug — both messages share one
+/// `(src, tag)` FIFO key, so the receiver's first matching recv drains
+/// the reply and the second gets the sentinel: values swap, and the
+/// oracle fails deterministically at baseline. With a disjoint
+/// `reply_tag` the same reordering is harmless. Returns
+/// `(reduced, sentinel)` per rank — the oracle expects
+/// `(Σ(r+1), -1.0)`.
+pub fn aliased_reply_exchange(comm: &Communicator, tag: u64, reply_tag: u64) -> (f64, f64) {
+    let me = comm.rank();
+    let n = comm.size();
+    let value = (me + 1) as f64;
+    if me == 0 {
+        let mut acc = value;
+        for src in 1..n {
+            let v: Vec<f64> = comm.recv_vals(src, tag).expect("gather");
+            acc += v[0];
+        }
+        for dst in 1..n {
+            comm.send_vals(dst, reply_tag, &[acc]).expect("reply");
+        }
+        for dst in 1..n {
+            comm.send_vals(dst, tag + 1, &[-1.0f64]).expect("bcast");
+        }
+        (acc, -1.0)
+    } else {
+        comm.send_vals(0, tag, &[value]).expect("contribute");
+        // The "next exchange" subsystem polls before the solver resumes.
+        let s: Vec<f64> = comm.recv_vals(0, tag + 1).expect("next exchange");
+        let v: Vec<f64> = comm.recv_vals(0, reply_tag).expect("reply");
+        (v[0], s[0])
+    }
+}
+
+/// A correct 2-rank direct-plan fixture: each rank owns half the rows
+/// and touches one foreign row.
+pub fn small_direct_fixture() -> (Footprints, Ownership) {
+    let footprints = Footprints::new(vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    let ownership = Ownership::new(vec![0, 0, 1, 1], 2);
+    (footprints, ownership)
+}
+
+/// Rank 0's foreign row 2 is sent to rank 0 itself instead of its owner
+/// — `Misrouted` (and the owner never gets it: `Conservation`).
+pub fn misrouted_direct() -> DirectPlan {
+    DirectPlan::from_sends(vec![vec![(0, vec![2])], vec![(0, vec![1])]])
+}
+
+/// Rank 0 never sends its foreign row 2 — `Conservation` with
+/// `delivered = 0`.
+pub fn dropped_direct() -> DirectPlan {
+    DirectPlan::from_sends(vec![vec![], vec![(0, vec![1])]])
+}
+
+/// Rank 0 sends its foreign row 2 twice — `Conservation` with
+/// `delivered = 2`.
+pub fn duplicated_direct() -> DirectPlan {
+    DirectPlan::from_sends(vec![vec![(1, vec![2, 2])], vec![(0, vec![1])]])
+}
+
+/// Rank 0 sends row 3, which is not in its footprint — `UnheldRow`.
+pub fn unheld_direct() -> DirectPlan {
+    DirectPlan::from_sends(vec![vec![(1, vec![2, 3])], vec![(0, vec![1])]])
+}
+
+/// A reduction level whose post-footprints designate row 5 to *both*
+/// members of the group — the partial would be double-counted
+/// downstream. `verify_reduce_step` reports `Conservation` with
+/// `delivered = 2`.
+pub fn duplicate_designee_step() -> (Footprints, ReductionStep) {
+    let pre = Footprints::new(vec![vec![5], vec![5]]);
+    let step = ReductionStep {
+        groups: vec![vec![0, 1]],
+        sends: vec![Vec::new(), Vec::new()],
+        post: Footprints::new(vec![vec![5], vec![5]]),
+    };
+    (pre, step)
+}
+
+/// PR 3's unsorted-merge-table bug as a `Transfer` construction:
+/// non-ascending indices must be rejected with the offending position.
+pub fn unsorted_transfer() -> Result<xct_comm::Transfer, xct_comm::PlanError> {
+    xct_comm::Transfer::try_new(1, vec![3, 3])
+}
+
+/// A gather whose root sweeps its sources with `try_recv` exactly once
+/// instead of blocking: under the baseline schedule every message has
+/// landed by the time the root polls, so the sum is correct; under a
+/// chaos schedule a delayed message is silently dropped from the sum.
+/// Static checks cannot see this (the plan is fine — the *progress
+/// logic* is wrong), which is what the explorer layer is for.
+pub fn single_sweep_gather(comm: &Communicator, tag: u64) -> f64 {
+    let me = comm.rank();
+    let n = comm.size();
+    let value = (me + 1) as f64;
+    if me == 0 {
+        // Give the messages a moment — enough for the baseline schedule,
+        // not enough for a chaos-delayed one.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let mut acc = value;
+        for src in 1..n {
+            if let Ok(Some(bytes)) = comm.try_recv(src, tag) {
+                let vals = f64_slice(&bytes);
+                acc += vals[0];
+            }
+        }
+        for dst in 1..n {
+            comm.send_vals(dst, tag ^ 0x10, &[acc]).expect("bcast");
+        }
+        acc
+    } else {
+        comm.send_vals(0, tag, &[value]).expect("contribute");
+        let v: Vec<f64> = comm.recv_vals(0, tag ^ 0x10).expect("result");
+        v[0]
+    }
+}
+
+fn f64_slice(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+/// SplitMix64 — the corpus generator's only randomness source, so every
+/// case is a pure function of its seed.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One deterministic random verification case.
+#[derive(Debug, Clone)]
+pub struct GenCase {
+    /// The machine shape (nodes × sockets × GPUs).
+    pub topology: Topology,
+    /// Per-rank row footprints.
+    pub footprints: Footprints,
+    /// Row → owner map.
+    pub ownership: Ownership,
+}
+
+/// Derives a random case from `seed`: a topology of 1–3 nodes × 1–2
+/// sockets × 1–2 GPUs, a row space of a few rows per rank, round-robin-
+/// ish ownership, and per-rank footprints that always include the rank's
+/// owned rows plus a random selection of foreign ones (mirroring how a
+/// projector footprint always covers the rank's own slab).
+pub fn gen_case(seed: u64) -> GenCase {
+    let mut state = seed;
+    let mut next = move || {
+        state = mix64(state.wrapping_add(0xA5A5_A5A5));
+        state
+    };
+    let nodes = 1 + (next() % 3) as usize;
+    let sockets = 1 + (next() % 2) as usize;
+    let gpus = 1 + (next() % 2) as usize;
+    let topology = Topology::new(nodes, sockets, gpus);
+    let n = topology.size();
+    let rows_per_rank = 2 + (next() % 5) as usize;
+    let num_rows = n * rows_per_rank;
+    // Contiguous slabs, with slab boundaries perturbed by ±1 where legal.
+    let owner: Vec<u32> = (0..num_rows)
+        .map(|r| ((r / rows_per_rank) as u32).min(n as u32 - 1))
+        .collect();
+    let ownership = Ownership::new(owner.clone(), n);
+    let per_rank: Vec<Vec<u32>> = (0..n)
+        .map(|p| {
+            let mut fp: Vec<u32> = Vec::new();
+            for r in 0..num_rows as u32 {
+                let owned = owner[r as usize] as usize == p;
+                // Owned rows are always in the footprint; foreign rows
+                // join with seed-dependent probability ~1/2.
+                if owned || next() % 2 == 0 {
+                    fp.push(r);
+                }
+            }
+            fp
+        })
+        .collect();
+    GenCase {
+        topology,
+        footprints: Footprints::new(per_rank),
+        ownership,
+    }
+}

@@ -1,0 +1,253 @@
+//! Deadlock-freedom verification of abstract communication programs.
+//!
+//! A [`CommProgram`] is each rank's ordered list of send/recv operations
+//! — the communication skeleton of an exchange, with payloads erased.
+//! Under the runtime's matching rules (buffered non-blocking sends,
+//! blocking receives matched by `(source, tag)` with per-key FIFO), the
+//! `i`-th receive at rank `q` for key `(p, t)` completes exactly when
+//! rank `p` has executed its `i`-th send to `q` with tag `t`. The
+//! program is deadlock-free iff the resulting wait-for graph — program
+//! order within each rank, plus one edge from every send to the receive
+//! it satisfies — admits a topological order. A cycle is reported with
+//! the participating `(rank, op)` pairs; a receive whose send never
+//! exists is reported as [`ViolationKind::UnmatchedRecv`] (it can only
+//! time out, or steal a later exchange's message).
+
+use crate::diag::{VerifyReport, ViolationKind};
+use std::collections::HashMap;
+use xct_comm::{CompiledPlans, LevelProgram};
+
+/// One communication operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommOp {
+    /// Buffered non-blocking send: executes when reached, never blocks.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// Blocking receive matched by `(from, tag)`.
+    Recv {
+        /// Expected source rank.
+        from: usize,
+        /// Expected tag.
+        tag: u64,
+    },
+}
+
+/// Per-rank ordered operation lists.
+#[derive(Debug, Clone, Default)]
+pub struct CommProgram {
+    /// `ops[rank]` in program order.
+    pub ops: Vec<Vec<CommOp>>,
+}
+
+impl CommProgram {
+    /// World size.
+    pub fn num_ranks(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The forward (reduce) skeleton of a compiled plan under `salt`:
+    /// per level, sends are posted first, then receives complete in plan
+    /// order — matching `reduce_local` + `global_begin`/`global_finish`.
+    pub fn reduce_of(plans: &CompiledPlans, salt: u64) -> Self {
+        let n = plans.num_ranks();
+        let ops = (0..n)
+            .map(|p| {
+                let rp = plans.rank(p);
+                let mut ops = Vec::new();
+                for level in rp.local_levels() {
+                    push_level(&mut ops, level, salt);
+                }
+                push_level(&mut ops, rp.global_level(), salt);
+                ops
+            })
+            .collect();
+        CommProgram { ops }
+    }
+
+    /// The transpose (scatter) skeleton of a compiled plan under `salt`.
+    pub fn scatter_of(plans: &CompiledPlans, salt: u64) -> Self {
+        let n = plans.num_ranks();
+        let ops = (0..n)
+            .map(|p| {
+                let rp = plans.rank(p);
+                let mut ops = Vec::new();
+                push_level(&mut ops, rp.scatter_global_level(), salt);
+                for level in rp.scatter_local_levels() {
+                    push_level(&mut ops, level, salt);
+                }
+                ops
+            })
+            .collect();
+        CommProgram { ops }
+    }
+
+    /// Checks deadlock freedom; violations carry the blocking cycle or
+    /// the unmatched operation as witness.
+    pub fn check(&self) -> VerifyReport {
+        let mut report = VerifyReport::new();
+        let n = self.num_ranks();
+        // Node id for (rank, op index).
+        let base: Vec<usize> = self
+            .ops
+            .iter()
+            .scan(0usize, |acc, ops| {
+                let b = *acc;
+                *acc += ops.len();
+                Some(b)
+            })
+            .collect();
+        let total: usize = self.ops.iter().map(Vec::len).sum();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); total];
+        let mut indeg: Vec<usize> = vec![0; total];
+        let mut edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>| {
+            succs[from].push(to);
+            indeg[to] += 1;
+        };
+        // Program order.
+        for (rank, ops) in self.ops.iter().enumerate() {
+            for i in 1..ops.len() {
+                edge(base[rank] + i - 1, base[rank] + i, &mut succs);
+            }
+        }
+        // Match edges: i-th recv of key (from, tag) at q ↔ i-th send of
+        // (to=q, tag) at `from`.
+        // send_index[(src, dst, tag)] -> ordered op indices of the sends.
+        let mut send_ops: HashMap<(usize, usize, u64), Vec<usize>> = HashMap::new();
+        for (rank, ops) in self.ops.iter().enumerate() {
+            for (i, op) in ops.iter().enumerate() {
+                if let CommOp::Send { to, tag } = op {
+                    send_ops
+                        .entry((rank, *to, *tag))
+                        .or_default()
+                        .push(base[rank] + i);
+                }
+            }
+        }
+        let mut recv_counts: HashMap<(usize, usize, u64), usize> = HashMap::new();
+        let mut matched_sends = 0usize;
+        for (rank, ops) in self.ops.iter().enumerate() {
+            for (i, op) in ops.iter().enumerate() {
+                if let CommOp::Recv { from, tag } = op {
+                    let key = (*from, rank, *tag);
+                    let k = recv_counts.entry(key).or_insert(0);
+                    let sends = send_ops.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                    if *from >= n || *k >= sends.len() {
+                        report.push(
+                            rank,
+                            None,
+                            ViolationKind::UnmatchedRecv {
+                                peer: *from,
+                                tag: *tag,
+                            },
+                        );
+                    } else {
+                        edge(sends[*k], base[rank] + i, &mut succs);
+                        matched_sends += 1;
+                    }
+                    *k += 1;
+                }
+            }
+        }
+        // Sends beyond the receive count linger in the mailbox, where a
+        // later exchange reusing the tag can cross-match them.
+        let total_sends: usize = send_ops.values().map(Vec::len).sum();
+        if total_sends > matched_sends {
+            for ((src, dst, tag), ops) in &send_ops {
+                let consumed = recv_counts.get(&(*src, *dst, *tag)).copied().unwrap_or(0);
+                for _ in consumed..ops.len() {
+                    report.push(
+                        *src,
+                        None,
+                        ViolationKind::UnconsumedSend {
+                            peer: *dst,
+                            tag: *tag,
+                        },
+                    );
+                }
+            }
+        }
+        // Kahn's algorithm; whatever survives is cyclically blocked.
+        let mut queue: Vec<usize> = (0..total).filter(|&v| indeg[v] == 0).collect();
+        let mut done = vec![false; total];
+        let mut remaining = total;
+        while let Some(v) = queue.pop() {
+            done[v] = true;
+            remaining -= 1;
+            for &w in &succs[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        if remaining > 0 {
+            // Extract one concrete cycle: walk predecessors among the
+            // undone nodes until a repeat.
+            let mut preds: Vec<Vec<usize>> = vec![Vec::new(); total];
+            for (v, ss) in succs.iter().enumerate() {
+                for &w in ss {
+                    if !done[v] && !done[w] {
+                        preds[w].push(v);
+                    }
+                }
+            }
+            let start = (0..total).find(|&v| !done[v]).expect("remaining > 0");
+            let mut path = vec![start];
+            let mut seen: HashMap<usize, usize> = HashMap::new();
+            seen.insert(start, 0);
+            let cycle = loop {
+                let cur = *path.last().expect("path non-empty");
+                let prev = preds[cur].first().copied().expect("blocked node has pred");
+                if let Some(&at) = seen.get(&prev) {
+                    let mut cyc: Vec<usize> = path[at..].to_vec();
+                    cyc.reverse();
+                    break cyc;
+                }
+                seen.insert(prev, path.len());
+                path.push(prev);
+            };
+            let who = |v: usize| -> (usize, usize) {
+                let rank = base.iter().rposition(|&b| b <= v).expect("base covers v");
+                (rank, v - base[rank])
+            };
+            let rank0 = who(cycle[0]).0;
+            report.push(
+                rank0,
+                None,
+                ViolationKind::DeadlockCycle {
+                    cycle: cycle.iter().map(|&v| who(v)).collect(),
+                },
+            );
+        }
+        report
+    }
+}
+
+/// Appends one level's skeleton: all sends, then all receives in plan
+/// (completion) order.
+fn push_level(ops: &mut Vec<CommOp>, level: &LevelProgram, salt: u64) {
+    for t in level.sends() {
+        ops.push(CommOp::Send {
+            to: t.peer,
+            tag: level.tag() ^ salt,
+        });
+    }
+    for t in level.recvs() {
+        ops.push(CommOp::Recv {
+            from: t.peer,
+            tag: level.tag() ^ salt,
+        });
+    }
+}
+
+/// Verifies deadlock freedom of both pipeline directions of a compiled
+/// plan.
+pub fn verify_deadlock(plans: &CompiledPlans) -> VerifyReport {
+    let mut report = CommProgram::reduce_of(plans, 0).check();
+    report.merge(CommProgram::scatter_of(plans, 0).check());
+    report
+}

@@ -1,0 +1,307 @@
+//! Structured verification diagnostics.
+//!
+//! Every check in this crate reports [`Violation`]s, never booleans: a
+//! violation pins down the rank it was detected at, the exchange level,
+//! and a witness (element, tag, cycle, or position) precise enough to
+//! reconstruct the failure by hand. This is the contract that makes the
+//! known-bad corpus testable — each corpus entry asserts not just "fails"
+//! but *which* diagnostic fires and with what witness.
+
+use std::fmt;
+
+/// Which exchange of the compiled pipeline a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeLevel {
+    /// Forward socket-level reduction.
+    Socket,
+    /// Forward node-level reduction.
+    Node,
+    /// Forward global exchange to owners.
+    Global,
+    /// Scatter global stage (owners fan values back out).
+    ScatterGlobal,
+    /// Scatter node-level fan-out.
+    ScatterNode,
+    /// Scatter socket-level fan-out.
+    ScatterSocket,
+}
+
+impl fmt::Display for ExchangeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ExchangeLevel::Socket => "socket",
+            ExchangeLevel::Node => "node",
+            ExchangeLevel::Global => "global",
+            ExchangeLevel::ScatterGlobal => "scatter-global",
+            ExchangeLevel::ScatterNode => "scatter-node",
+            ExchangeLevel::ScatterSocket => "scatter-socket",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Where a scratch-buffer write came from (aliasing witnesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOrigin {
+    /// A local carry from input position `src`.
+    Keep {
+        /// Input position the value was carried from.
+        src: u32,
+    },
+    /// Element `offset` of the transfer received from `peer`.
+    Recv {
+        /// Sending rank.
+        peer: usize,
+        /// Offset within the received payload.
+        offset: u32,
+    },
+}
+
+impl fmt::Display for WriteOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteOrigin::Keep { src } => write!(f, "keep from input position {src}"),
+            WriteOrigin::Recv { peer, offset } => {
+                write!(f, "recv from rank {peer} payload offset {offset}")
+            }
+        }
+    }
+}
+
+/// The defect a check found, with its witness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// Conservation failure: rank `holder`'s contribution for `row` was
+    /// delivered to the row's owner `delivered` times instead of exactly
+    /// once.
+    Conservation {
+        /// The rank whose partial sum is lost or duplicated.
+        holder: usize,
+        /// The witness element (global row id).
+        row: u32,
+        /// How many copies actually arrive.
+        delivered: usize,
+    },
+    /// One scratch position accumulated contributions belonging to two
+    /// different rows — partial sums for unrelated elements combine.
+    MixedRows {
+        /// The output position.
+        position: u32,
+        /// The two distinct rows found there.
+        rows: (u32, u32),
+    },
+    /// A rank's send table transmits a row the rank does not hold.
+    UnheldRow {
+        /// The sending rank.
+        sender: usize,
+        /// The row it does not hold.
+        row: u32,
+    },
+    /// A row is routed to a rank that is neither its owner nor a
+    /// designated group member for it.
+    Misrouted {
+        /// The witness row.
+        row: u32,
+        /// Where the plan sends it.
+        dst: usize,
+        /// Who should receive it.
+        expected: usize,
+    },
+    /// Two concurrently in-flight exchanges can emit matchable messages
+    /// with the same `(src, dst, tag)` — the runtime would cross-match
+    /// them.
+    TagCollision {
+        /// Sending rank of the colliding messages.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// The shared tag.
+        tag: u64,
+        /// Label of the first claiming exchange.
+        first: String,
+        /// Label of the second claiming exchange.
+        second: String,
+    },
+    /// An application exchange claims a tag with the reserved reply bit
+    /// set, invading the collectives' reply namespace.
+    ReservedTagBit {
+        /// The offending tag.
+        tag: u64,
+        /// Label of the claiming exchange.
+        exchange: String,
+    },
+    /// The send/recv match graph admits no topological order: these
+    /// `(rank, op index)` ops wait on each other in a cycle.
+    DeadlockCycle {
+        /// The cyclic ops, in dependency order.
+        cycle: Vec<(usize, usize)>,
+    },
+    /// A receive waits for a message no one sends (or from a rank outside
+    /// the world) — it can only time out or steal a later exchange's
+    /// message.
+    UnmatchedRecv {
+        /// The rank the receive expects the message from.
+        peer: usize,
+        /// The tag it matches on.
+        tag: u64,
+    },
+    /// A sent message is never received; it lingers in the mailbox and
+    /// can cross-match a later exchange reusing the tag.
+    UnconsumedSend {
+        /// The destination rank.
+        peer: usize,
+        /// The message tag.
+        tag: u64,
+    },
+    /// Two writes land on the same scratch position within one level —
+    /// the second silently overwrites the first.
+    ScratchAliasing {
+        /// The position written twice.
+        position: u32,
+        /// The first write.
+        first: WriteOrigin,
+        /// The overwriting write.
+        second: WriteOrigin,
+    },
+    /// Structurally malformed program: index out of bounds, mismatched
+    /// payload lengths, or similar.
+    Malformed {
+        /// Human-readable description with the witness inline.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Conservation {
+                holder,
+                row,
+                delivered,
+            } => write!(
+                f,
+                "conservation: rank {holder}'s contribution for row {row} delivered {delivered}× (expected exactly once)"
+            ),
+            ViolationKind::MixedRows { position, rows } => write!(
+                f,
+                "mixed rows: position {position} accumulates rows {} and {}",
+                rows.0, rows.1
+            ),
+            ViolationKind::UnheldRow { sender, row } => {
+                write!(f, "rank {sender} sends row {row} it does not hold")
+            }
+            ViolationKind::Misrouted { row, dst, expected } => write!(
+                f,
+                "row {row} routed to rank {dst}, expected rank {expected}"
+            ),
+            ViolationKind::TagCollision {
+                src,
+                dst,
+                tag,
+                first,
+                second,
+            } => write!(
+                f,
+                "tag collision: {first} and {second} both send {src}→{dst} with tag {tag:#x}"
+            ),
+            ViolationKind::ReservedTagBit { tag, exchange } => write!(
+                f,
+                "{exchange} claims tag {tag:#x} with the reserved reply bit set"
+            ),
+            ViolationKind::DeadlockCycle { cycle } => {
+                write!(f, "deadlock cycle:")?;
+                for (rank, op) in cycle {
+                    write!(f, " (rank {rank}, op {op})")?;
+                }
+                Ok(())
+            }
+            ViolationKind::UnmatchedRecv { peer, tag } => write!(
+                f,
+                "receive from rank {peer} tag {tag:#x} matches no send"
+            ),
+            ViolationKind::UnconsumedSend { peer, tag } => write!(
+                f,
+                "send to rank {peer} tag {tag:#x} is never received"
+            ),
+            ViolationKind::ScratchAliasing {
+                position,
+                first,
+                second,
+            } => write!(
+                f,
+                "scratch aliasing at position {position}: {second} overwrites {first}"
+            ),
+            ViolationKind::Malformed { detail } => write!(f, "malformed program: {detail}"),
+        }
+    }
+}
+
+/// One verification finding: what went wrong, where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The rank the violation was detected at (the receiver/owner side
+    /// for routing defects, the program's rank for deadlock ops).
+    pub rank: usize,
+    /// The exchange level, when the check is level-scoped.
+    pub level: Option<ExchangeLevel>,
+    /// The defect and its witness.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {}", self.rank)?;
+        if let Some(level) = self.level {
+            write!(f, " [{level}]")?;
+        }
+        write!(f, ": {}", self.kind)
+    }
+}
+
+/// The outcome of one verification pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Every violation found, in detection order.
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    /// An empty (passing) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no violations were found.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Records a violation.
+    pub fn push(&mut self, rank: usize, level: Option<ExchangeLevel>, kind: ViolationKind) {
+        self.violations.push(Violation { rank, level, kind });
+    }
+
+    /// Absorbs another report's findings.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.violations.extend(other.violations);
+    }
+
+    /// Panics with the full diagnostic listing when violations exist —
+    /// the debug-mode / `--verify-plans` enforcement hook.
+    pub fn assert_ok(&self, what: &str) {
+        assert!(self.ok(), "{what} failed verification:\n{self}");
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            return write!(f, "no violations");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}

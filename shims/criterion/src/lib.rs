@@ -9,6 +9,8 @@
 //! the median per-iteration time (plus throughput when configured).
 //! There is no statistical analysis, HTML report, or baseline storage.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -187,7 +189,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
         let mut b = Bencher {
             sample_size: self.sample_size,
             last_median: Duration::ZERO,
@@ -202,18 +204,20 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one named benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
-        self.run(id.to_string(), f);
+        self.run(&id.to_string(), f);
         self
     }
 
-    /// Runs one parameterized benchmark within the group.
+    /// Runs one parameterized benchmark within the group. `id` is taken
+    /// by value to mirror the real criterion signature.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
         &mut self,
         id: BenchmarkId,
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        self.run(id.to_string(), |b| f(b, input));
+        self.run(&id.to_string(), |b| f(b, input));
         self
     }
 

@@ -10,6 +10,8 @@
 //! and `prop_assume!` skips the case rather than resampling. That is a
 //! deliberate trade: identical test sources, deterministic offline runs.
 
+#![forbid(unsafe_code)]
+
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
 

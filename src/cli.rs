@@ -212,6 +212,9 @@ USAGE:
                       [--topology NxSxG]        simulate N nodes x S sockets x G GPUs
                       [--overlap]               overlap each slice's global exchange
                                                 with the next slice's local compute
+                      [--verify-plans]          statically verify the communication
+                                                plan (conservation, tags, deadlock)
+                                                before running it
                       [--telemetry-summary]     print a per-phase breakdown table
                       [--telemetry-json FILE]   write a machine-readable report
                       [--trace FILE]            write a Chrome/Perfetto trace
@@ -374,6 +377,7 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
                 hierarchical: true,
                 overlap,
                 telemetry: telemetry.clone(),
+                verify_plans: flags.switch("verify-plans"),
                 ..Default::default()
             };
             let mut done = 0;
@@ -416,9 +420,10 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
             writer.finish()?;
             let comm_report = CommReport::new(merged);
             let text = format!(
-                "reconstructed {done} slices in {batches} batches on {} simulated ranks ({} precision, {} iters/batch{}); worst residual {worst:.5}; volume in {out}",
+                "reconstructed {done} slices in {batches} batches on {} simulated ranks ({} precision, {} iters/batch{}{}); worst residual {worst:.5}; volume in {out}",
                 topology.size(), precision, iterations,
-                if overlap { ", comm overlapped" } else { "" }
+                if overlap { ", comm overlapped" } else { "" },
+                if cfg_base.verify_plans { ", plans verified" } else { "" }
             );
             drop(total_span);
             Ok(text + &tel_args.emit(&telemetry, "reconstruct", &counters, Some(&comm_report))?)
@@ -791,6 +796,40 @@ mod tests {
         assert!(out.contains("% wall"), "{out}");
         assert!(out.contains("reduce.global"), "{out}");
         assert!(out.contains("spmm.forward"), "{out}");
+    }
+
+    #[test]
+    fn distributed_reconstruct_with_verified_plans() {
+        let sino = tmp("cli_verify_sino.xctd");
+        let vol = tmp("cli_verify_vol.xctd");
+        run_cmd(&[
+            "simulate",
+            "--phantom",
+            "shepp",
+            "--out",
+            &sino,
+            "--n",
+            "16",
+            "--angles",
+            "16",
+            "--slices",
+            "2",
+        ])
+        .unwrap();
+        let out = run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            &vol,
+            "--topology",
+            "1x2x2",
+            "--verify-plans",
+            "--iterations",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("plans verified"), "{out}");
     }
 
     #[test]

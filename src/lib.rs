@@ -5,7 +5,10 @@
 //! [`xct_comm`] (hierarchical communications), [`xct_fp16`] (mixed
 //! precision), [`xct_geometry`] (Siddon projector), [`xct_hilbert`]
 //! (domain decomposition), [`xct_solver`] (CGLS), [`xct_cluster`]
-//! (machine model), [`xct_phantom`] (synthetic datasets).
+//! (machine model), [`xct_phantom`] (synthetic datasets),
+//! [`xct_verify`] (plan verification + schedule exploration).
+
+#![forbid(unsafe_code)]
 
 pub mod cli;
 
@@ -21,3 +24,4 @@ pub use xct_io as io;
 pub use xct_phantom as phantom;
 pub use xct_solver as solver;
 pub use xct_spmm as spmm;
+pub use xct_verify as verify;
