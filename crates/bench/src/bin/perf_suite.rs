@@ -1,0 +1,374 @@
+//! Continuous-benchmark suite: pinned reconstruct scenarios measured
+//! under a counting allocator, written as a `petaxct-bench-v1` JSON
+//! artifact (`BENCH_PR5.json` by default).
+//!
+//! Scenarios (fixed problem sizes, so runs are comparable):
+//!
+//! * `serial`             — single-process CGLS on the mini operator;
+//! * `dist_sync`          — 4 ranks (1×2×2), hierarchical, no overlap;
+//! * `dist_overlap`       — same topology with compute/comm overlap;
+//! * `wired_2x2x2_sync`   — 8 ranks across 2 simulated nodes with a
+//!   latency/bandwidth [`WireModel`] on inter-node messages;
+//! * `wired_2x2x2_overlap` — the wired run with overlap, whose critical
+//!   path must come out shorter than the synchronous one.
+//!
+//! Flags: `--quick` (CI-sized problem), `--out PATH`, `--check BASELINE`
+//! (exit 1 on any metric regressing past `--threshold` percent, default
+//! 20).
+
+// The counting allocator below mirrors tests/alloc_free.rs; it is the
+// only unsafe code in this binary.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use xct_bench::perf::{compare, BenchReport, ScenarioResult, BENCH_SCHEMA};
+use xct_comm::{Topology, TrafficClass, WireModel};
+use xct_core::distributed::{reconstruct_distributed, DistributedConfig};
+use xct_fp16::Precision;
+use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
+use xct_solver::{CglsSolver, ExecContext, PrecisionOperator};
+use xct_spmm::Csr;
+use xct_telemetry::{Breakdown, CausalAnalysis, Telemetry};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method counts, then forwards to `System` verbatim — the
+// allocator upholds `GlobalAlloc`'s contract iff `System` does, and the
+// caller-provided layout/pointer obligations pass through unchanged.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's, forwarded unmodified; the
+        // caller guarantees it is non-zero-sized per `alloc`'s contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `System` (all our methods
+        // delegate to it) with this same `layout`, per the caller's
+        // `dealloc` obligations.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` describe a live `System` block (see
+        // `dealloc`), and the caller guarantees `new_size` is non-zero.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same forwarding argument as `alloc`.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Problem sizes pinned per mode; changing them invalidates baselines.
+struct SuiteParams {
+    quick: bool,
+    n: usize,
+    angles: usize,
+    fusing: usize,
+    iterations: usize,
+    wire_latency: Duration,
+    /// Runs per scenario; the minimum-wall run is reported, which damps
+    /// scheduler noise enough for a relative regression gate.
+    reps: usize,
+}
+
+impl SuiteParams {
+    fn new(quick: bool) -> SuiteParams {
+        if quick {
+            SuiteParams {
+                quick,
+                n: 16,
+                angles: 16,
+                fusing: 2,
+                iterations: 3,
+                wire_latency: Duration::from_micros(300),
+                reps: 5,
+            }
+        } else {
+            SuiteParams {
+                quick,
+                n: 24,
+                angles: 24,
+                fusing: 4,
+                iterations: 6,
+                wire_latency: Duration::from_micros(600),
+                reps: 3,
+            }
+        }
+    }
+
+    fn sinogram(&self, sm: &SystemMatrix) -> Vec<f32> {
+        let mut x_true = vec![0.0f32; sm.num_voxels() * self.fusing];
+        for (i, v) in x_true.iter_mut().enumerate() {
+            *v = ((i % 11) as f32) * 0.1;
+        }
+        let mut y = vec![0.0f32; sm.num_rays() * self.fusing];
+        for f in 0..self.fusing {
+            sm.project(
+                &x_true[f * sm.num_voxels()..(f + 1) * sm.num_voxels()],
+                &mut y[f * sm.num_rays()..(f + 1) * sm.num_rays()],
+            );
+        }
+        y
+    }
+}
+
+/// Finalizes one scenario's record from its traced run.
+fn finish(
+    name: &str,
+    wall: Duration,
+    allocs: u64,
+    counters: xct_exec::ExecCounters,
+    comm_stats: &[xct_comm::RankCommStats],
+    telemetry: &Telemetry,
+) -> ScenarioResult {
+    let snap = telemetry.snapshot();
+    let causal = CausalAnalysis::from_snapshot(&snap);
+    let breakdown = Breakdown::from_snapshot(&snap);
+    let mut comm_bytes: Vec<(String, u64)> = Vec::new();
+    for class in TrafficClass::ALL {
+        let total: u64 = comm_stats.iter().map(|s| s.class_bytes_of(class)).sum();
+        comm_bytes.push((class.as_str().to_string(), total));
+    }
+    ScenarioResult {
+        name: name.to_string(),
+        wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+        critical_path_ns: causal.critical_path_ns,
+        allocations: allocs,
+        flops: counters.flops,
+        kernel_launches: counters.kernel_launches,
+        phase_self_ns: breakdown
+            .stats
+            .iter()
+            .map(|s| (s.phase.as_str().to_string(), s.self_ns))
+            .collect(),
+        comm_bytes,
+    }
+}
+
+fn serial_scenario(p: &SuiteParams) -> ScenarioResult {
+    let scan = ScanGeometry::uniform(ImageGrid::square(p.n, 1.0), p.angles);
+    let sm = SystemMatrix::build(&scan);
+    let csr = Csr::from_system_matrix(&sm);
+    let op = PrecisionOperator::new(&csr, Precision::Single, p.fusing, 64, 96 * 1024);
+    let y = p.sinogram(&sm);
+
+    let telemetry = Telemetry::enabled();
+    let mut ctx = ExecContext::serial()
+        .with_precision(Precision::Single)
+        .with_telemetry(telemetry.clone());
+    let before = allocations();
+    let start = Instant::now();
+    let mut solver = CglsSolver::new(&op, &y, &mut ctx);
+    for _ in 0..p.iterations {
+        solver.step(&op, &mut ctx);
+    }
+    let wall = start.elapsed();
+    let allocs = allocations() - before;
+    finish("serial", wall, allocs, ctx.counters, &[], &telemetry)
+}
+
+fn distributed_scenario(
+    name: &str,
+    p: &SuiteParams,
+    topology: Topology,
+    overlap: bool,
+    wired: bool,
+) -> ScenarioResult {
+    let scan = ScanGeometry::uniform(ImageGrid::square(p.n, 1.0), p.angles);
+    let sm = SystemMatrix::build(&scan);
+    let y = p.sinogram(&sm);
+    let wire = wired.then(|| WireModel {
+        latency: p.wire_latency,
+        bytes_per_sec: 50e6,
+        ranks_per_node: topology.gpus_per_node(),
+    });
+
+    let telemetry = Telemetry::enabled();
+    let cfg = DistributedConfig {
+        topology,
+        precision: Precision::Single,
+        fusing: p.fusing,
+        hierarchical: true,
+        overlap,
+        wire,
+        iterations: p.iterations,
+        telemetry: telemetry.clone(),
+        ..Default::default()
+    };
+    let before = allocations();
+    let start = Instant::now();
+    let result = reconstruct_distributed(&scan, &y, &cfg);
+    let wall = start.elapsed();
+    let allocs = allocations() - before;
+    finish(
+        name,
+        wall,
+        allocs,
+        result.counters,
+        &result.comm_stats,
+        &telemetry,
+    )
+}
+
+/// Best-of-`reps`: keeps the run with the smallest wall time (and with
+/// it, that run's critical path / allocation figures).
+fn best_of(reps: usize, mut run: impl FnMut() -> ScenarioResult) -> ScenarioResult {
+    let mut best = run();
+    for _ in 1..reps {
+        let next = run();
+        if next.wall_ns < best.wall_ns {
+            best = next;
+        }
+    }
+    best
+}
+
+fn run_suite(p: &SuiteParams) -> BenchReport {
+    let mut scenarios = Vec::new();
+    eprintln!("running serial ...");
+    scenarios.push(best_of(p.reps, || serial_scenario(p)));
+    for (name, topology, overlap, wired) in [
+        ("dist_sync", Topology::new(1, 2, 2), false, false),
+        ("dist_overlap", Topology::new(1, 2, 2), true, false),
+        ("wired_2x2x2_sync", Topology::new(2, 2, 2), false, true),
+        ("wired_2x2x2_overlap", Topology::new(2, 2, 2), true, true),
+    ] {
+        eprintln!("running {name} ...");
+        scenarios.push(best_of(p.reps, || {
+            distributed_scenario(name, p, topology, overlap, wired)
+        }));
+    }
+    BenchReport {
+        quick: p.quick,
+        scenarios,
+    }
+}
+
+fn print_summary(report: &BenchReport) {
+    println!(
+        "PERF SUITE ({BENCH_SCHEMA}, {} mode)",
+        if report.quick { "quick" } else { "full" }
+    );
+    let header = format!(
+        "{:<22} {:>12} {:>14} {:>12} {:>14} {:>10}",
+        "scenario", "wall ms", "crit path ms", "allocs", "flops", "launches"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+    for s in &report.scenarios {
+        println!(
+            "{:<22} {:>12.2} {:>14.2} {:>12} {:>14} {:>10}",
+            s.name,
+            s.wall_ns as f64 / 1e6,
+            s.critical_path_ns as f64 / 1e6,
+            s.allocations,
+            s.flops,
+            s.kernel_launches
+        );
+    }
+    let cp = |name: &str| {
+        report
+            .scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.critical_path_ns)
+    };
+    if let (Some(sync), Some(over)) = (cp("wired_2x2x2_sync"), cp("wired_2x2x2_overlap")) {
+        if sync > 0 {
+            println!(
+                "wired critical path: overlap/sync = {:.2} (lower is better)",
+                over as f64 / sync as f64
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = String::from("BENCH_PR5.json");
+    let mut check: Option<String> = None;
+    let mut threshold = 20.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--check" => check = args.next(),
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold needs a number")
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: perf_suite [--quick] [--out PATH] [--check BASELINE] [--threshold PCT]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run_suite(&SuiteParams::new(quick));
+    print_summary(&report);
+
+    let text = report.to_json().to_string();
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => match BenchReport::parse(&t) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot parse baseline {baseline_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match compare(&report, &baseline, threshold) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("check: no regressions past {threshold}% against {baseline_path}");
+            }
+            Ok(regressions) => {
+                eprintln!(
+                    "check: {} regression(s) past {threshold}%:",
+                    regressions.len()
+                );
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("check: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use xct_fp16::Precision;
 use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
 use xct_hilbert::{CurveKind, Domain2D, TileDecomposition};

@@ -39,6 +39,10 @@ pub const REPLY_TAG_SALT: u64 = 1 << 63;
 /// pathological send/receive imbalance, far above any plan's needs).
 const POOL_MAX: usize = 1024;
 
+/// Sentinel send stamp meaning "the sender's telemetry was disabled":
+/// the receiver records no match edge for such messages.
+const UNSTAMPED: u64 = u64::MAX;
+
 /// Communication failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
@@ -100,9 +104,12 @@ pub struct WireModel {
 }
 
 impl WireModel {
-    /// When the receiver may match a message of `len` bytes from `src` to
-    /// `dst`, or `None` for undelayed (intra-node) delivery.
-    fn ready_at(&self, src: usize, dst: usize, len: usize) -> Option<Instant> {
+    /// Simulated time on the wire for a message of `len` bytes from
+    /// `src` to `dst` — `latency + len / bytes_per_sec` — or `None` for
+    /// undelayed (intra-node) delivery. This is both the matchability
+    /// delay the runtime enforces and the wire weight stamped onto the
+    /// causal match edge ([`xct_telemetry::EdgeRecord`]).
+    pub fn wire_time(&self, src: usize, dst: usize, len: usize) -> Option<Duration> {
         if self.ranks_per_node > 0 && src / self.ranks_per_node == dst / self.ranks_per_node {
             return None;
         }
@@ -110,7 +117,7 @@ impl WireModel {
         if self.bytes_per_sec.is_finite() && self.bytes_per_sec > 0.0 {
             wire += Duration::from_secs_f64(len as f64 / self.bytes_per_sec);
         }
-        Some(Instant::now() + wire)
+        Some(wire)
     }
 }
 
@@ -251,15 +258,50 @@ struct ChaosState {
 struct Envelope {
     src: usize,
     tag: u64,
-    /// When a [`WireModel`] is in force: the earliest instant the
-    /// receiver may match this message.
+    /// When a [`WireModel`] or chaos schedule is in force: the earliest
+    /// instant the receiver may match this message.
     ready_at: Option<Instant>,
+    /// Sender's telemetry clock at send time ([`UNSTAMPED`] when the
+    /// sender records nothing).
+    sent_ns: u64,
+    /// Simulated wire cost in nanoseconds. Only [`WireModel`] time
+    /// counts — chaos delays perturb matchability without representing
+    /// real network cost, so they never appear on causal edges.
+    wire_ns: u64,
     payload: Vec<u8>,
 }
 
-/// Stashed payloads for one `(src, tag)` key: wire deadline + bytes,
-/// FIFO so send order is preserved.
-type StashQueue = VecDeque<(Option<Instant>, Vec<u8>)>;
+/// One stashed message for a `(src, tag)` key.
+struct Stashed {
+    /// Wire/chaos deadline carried over from the envelope.
+    ready_at: Option<Instant>,
+    sent_ns: u64,
+    wire_ns: u64,
+    payload: Vec<u8>,
+}
+
+impl Stashed {
+    fn from_envelope(env: Envelope) -> Stashed {
+        Stashed {
+            ready_at: env.ready_at,
+            sent_ns: env.sent_ns,
+            wire_ns: env.wire_ns,
+            payload: env.payload,
+        }
+    }
+}
+
+/// Stashed messages for one `(src, tag)` key, FIFO so send order is
+/// preserved.
+type StashQueue = VecDeque<Stashed>;
+
+/// A matched message plus the send-side metadata the receiver needs to
+/// record the causal match edge.
+struct Delivery {
+    payload: Vec<u8>,
+    sent_ns: u64,
+    wire_ns: u64,
+}
 
 #[derive(Default)]
 struct MailboxInner {
@@ -274,7 +316,7 @@ struct MailboxInner {
 /// Outcome of one matching attempt against the mailbox.
 enum MatchOutcome {
     /// A matching message, ready now.
-    Ready(Vec<u8>),
+    Ready(Delivery),
     /// The next matching message exists but its simulated wire time has
     /// not elapsed; retry at the contained instant.
     NotUntil(Instant),
@@ -374,9 +416,12 @@ impl Communicator {
             size: self.size(),
         })?;
         self.meter.record(dst, payload.len());
-        let wire_at = self
+        let wire_time = self
             .wire
-            .and_then(|w| w.ready_at(self.rank, dst, payload.len()));
+            .and_then(|w| w.wire_time(self.rank, dst, payload.len()));
+        let wire_at = wire_time.map(|d| Instant::now() + d);
+        let wire_ns = wire_time.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        let sent_ns = self.telemetry.now_ns().unwrap_or(UNSTAMPED);
         let chaos_at = self.chaos.as_ref().and_then(|c| {
             let seq = c.seq[dst].fetch_add(1, Ordering::Relaxed);
             c.schedule
@@ -392,6 +437,8 @@ impl Communicator {
             src: self.rank,
             tag,
             ready_at,
+            sent_ns,
+            wire_ns,
             payload,
         });
         drop(inner);
@@ -418,12 +465,18 @@ impl Communicator {
     fn take_match(inner: &mut MailboxInner, src: usize, tag: u64) -> MatchOutcome {
         if let Some(queue) = inner.stash.get_mut(&(src, tag)) {
             match queue.front() {
-                Some(&(Some(at), _)) if at > Instant::now() => {
+                Some(&Stashed {
+                    ready_at: Some(at), ..
+                }) if at > Instant::now() => {
                     return MatchOutcome::NotUntil(at);
                 }
                 Some(_) => {
-                    let (_, payload) = queue.pop_front().expect("front checked above");
-                    return MatchOutcome::Ready(payload);
+                    let stashed = queue.pop_front().expect("front checked above");
+                    return MatchOutcome::Ready(Delivery {
+                        payload: stashed.payload,
+                        sent_ns: stashed.sent_ns,
+                        wire_ns: stashed.wire_ns,
+                    });
                 }
                 None => {}
             }
@@ -439,19 +492,43 @@ impl Communicator {
                             .stash
                             .entry((src, tag))
                             .or_default()
-                            .push_back((env.ready_at, env.payload));
+                            .push_back(Stashed::from_envelope(env));
                         return MatchOutcome::NotUntil(at);
                     }
-                    _ => return MatchOutcome::Ready(env.payload),
+                    _ => {
+                        return MatchOutcome::Ready(Delivery {
+                            payload: env.payload,
+                            sent_ns: env.sent_ns,
+                            wire_ns: env.wire_ns,
+                        })
+                    }
                 }
             }
             inner
                 .stash
                 .entry((env.src, env.tag))
                 .or_default()
-                .push_back((env.ready_at, env.payload));
+                .push_back(Stashed::from_envelope(env));
         }
         MatchOutcome::Absent
+    }
+
+    /// Records the causal match edge for a completed delivery (when
+    /// both sides trace) and unwraps the payload. Must be called with
+    /// the mailbox lock already released: the edge goes to the
+    /// telemetry collector, whose lock never nests inside a mailbox
+    /// lock.
+    fn finish_match(&self, src: usize, delivery: Delivery, tag: u64) -> Vec<u8> {
+        if delivery.sent_ns != UNSTAMPED {
+            self.telemetry.edge(
+                u32::try_from(src).unwrap_or(u32::MAX),
+                tag,
+                u64::try_from(delivery.payload.len()).unwrap_or(u64::MAX),
+                delivery.sent_ns,
+                delivery.wire_ns,
+            );
+        }
+        delivery.payload
     }
 
     /// Receives the next message matching `(src, tag)`, buffering
@@ -469,7 +546,10 @@ impl Communicator {
         let mut inner = mailbox.inner.lock().expect("mailbox mutex poisoned");
         loop {
             let wake_at = match Self::take_match(&mut inner, src, tag) {
-                MatchOutcome::Ready(payload) => return Ok(payload),
+                MatchOutcome::Ready(delivery) => {
+                    drop(inner);
+                    return Ok(self.finish_match(src, delivery, tag));
+                }
                 // Nobody notifies when a wire deadline passes, so bound
                 // the sleep by it and re-poll.
                 MatchOutcome::NotUntil(at) => at.min(deadline),
@@ -496,12 +576,15 @@ impl Communicator {
                 size: self.size(),
             });
         }
-        let mut inner = self.mailboxes[self.rank]
-            .inner
-            .lock()
-            .expect("mailbox mutex poisoned");
-        Ok(match Self::take_match(&mut inner, src, tag) {
-            MatchOutcome::Ready(payload) => Some(payload),
+        let outcome = {
+            let mut inner = self.mailboxes[self.rank]
+                .inner
+                .lock()
+                .expect("mailbox mutex poisoned");
+            Self::take_match(&mut inner, src, tag)
+        };
+        Ok(match outcome {
+            MatchOutcome::Ready(delivery) => Some(self.finish_match(src, delivery, tag)),
             MatchOutcome::NotUntil(_) | MatchOutcome::Absent => None,
         })
     }
@@ -881,6 +964,62 @@ mod tests {
             comm.recv_vals::<f32>(peer, 9).unwrap()[0]
         });
         assert_eq!(results, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_record_causal_edges_with_wire_cost() {
+        let wire = WireModel {
+            latency: Duration::from_millis(5),
+            bytes_per_sec: f64::INFINITY,
+            ranks_per_node: 1, // every pair is inter-node
+        };
+        let telemetry = Telemetry::enabled();
+        run_ranks_traced_wired(2, &telemetry, Some(wire), |comm| {
+            if comm.rank() == 0 {
+                comm.send_vals::<f32>(1, 5, &[1.0, 2.0]).unwrap();
+            } else {
+                let bytes = comm.recv(0, 5).unwrap();
+                comm.recycle(bytes);
+            }
+        });
+        let snap = telemetry.snapshot();
+        let edge = snap
+            .edges
+            .iter()
+            .find(|e| e.tag == 5)
+            .expect("application match edge recorded");
+        assert_eq!(edge.src_track, 0);
+        assert_eq!(edge.dst_track, 1);
+        assert_eq!(edge.bytes, 8);
+        assert_eq!(edge.wire_ns, 5_000_000);
+        assert!(
+            edge.matched_ns >= edge.sent_ns + edge.wire_ns,
+            "match at {} cannot precede send at {} plus wire {}",
+            edge.matched_ns,
+            edge.sent_ns,
+            edge.wire_ns
+        );
+    }
+
+    #[test]
+    fn intra_node_edges_carry_zero_wire_cost() {
+        let wire = WireModel {
+            latency: Duration::from_secs(3600),
+            bytes_per_sec: f64::INFINITY,
+            ranks_per_node: 2, // both ranks share a node
+        };
+        let telemetry = Telemetry::enabled();
+        run_ranks_traced_wired(2, &telemetry, Some(wire), |comm| {
+            if comm.rank() == 0 {
+                comm.send_vals::<f32>(1, 11, &[3.0]).unwrap();
+            } else {
+                let bytes = comm.recv(0, 11).unwrap();
+                comm.recycle(bytes);
+            }
+        });
+        let snap = telemetry.snapshot();
+        let edge = snap.edges.iter().find(|e| e.tag == 11).expect("edge");
+        assert_eq!(edge.wire_ns, 0);
     }
 
     #[test]

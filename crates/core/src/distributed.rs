@@ -847,4 +847,61 @@ mod tests {
             .count();
         assert_eq!(events, 3 * cfg.topology.size());
     }
+
+    #[test]
+    fn traced_run_records_match_edges_and_a_dominating_critical_path() {
+        // End-to-end causal evidence: a wired distributed run leaves
+        // send→recv match edges in the snapshot (with wire cost on
+        // inter-node ones), and the critical path computed from them
+        // dominates every rank's local busy time.
+        use xct_exec::Telemetry;
+        use xct_telemetry::CausalAnalysis;
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 12);
+        let (_, _, y) = phantom_sinogram(&scan, 1);
+        let telemetry = Telemetry::enabled();
+        let cfg = DistributedConfig {
+            topology: Topology::new(2, 1, 2),
+            precision: Precision::Single,
+            iterations: 2,
+            hierarchical: true,
+            wire: Some(WireModel {
+                latency: std::time::Duration::from_micros(200),
+                bytes_per_sec: f64::INFINITY,
+                ranks_per_node: 2,
+            }),
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let _ = reconstruct_distributed(&scan, &y, &cfg);
+        let snap = telemetry.snapshot();
+        assert!(!snap.edges.is_empty(), "wired run must record match edges");
+        assert!(
+            snap.edges.iter().any(|e| e.wire_ns >= 200_000),
+            "inter-node edges must carry the wire latency"
+        );
+        assert!(
+            snap.edges.iter().any(|e| e.wire_ns == 0),
+            "intra-node edges must carry zero wire cost"
+        );
+        let causal = CausalAnalysis::from_snapshot(&snap);
+        assert!(causal.critical_path_ns > 0);
+        assert_eq!(causal.per_rank.len(), cfg.topology.size());
+        for rank in &causal.per_rank {
+            assert!(
+                causal.critical_path_ns >= rank.busy_ns,
+                "critical path {} shorter than rank {}'s busy time {}",
+                causal.critical_path_ns,
+                rank.track,
+                rank.busy_ns
+            );
+            assert!(
+                rank.slack_ns <= causal.critical_path_ns,
+                "slack cannot exceed the critical path"
+            );
+        }
+        assert!(
+            causal.per_rank.iter().any(|r| r.slack_ns == 0),
+            "some rank must bound end-to-end time"
+        );
+    }
 }

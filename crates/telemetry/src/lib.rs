@@ -19,20 +19,29 @@
 //! * Sinks — [`Breakdown`] renders a Fig. 10-style per-phase table and a
 //!   machine-readable JSON report; [`chrome_trace`] emits a Chrome
 //!   `trace_event` file loadable in `about://tracing` / Perfetto.
+//! * Causal layer — the comm runtime records send→recv match edges
+//!   ([`EdgeRecord`]); [`CausalAnalysis`] fuses them with the span
+//!   tracks into a happens-before DAG and extracts the critical path
+//!   and per-rank slack, and [`PhaseHistograms`] buckets span durations
+//!   per phase in log2 buckets.
 //! * [`Json`] — a tiny dependency-free JSON value (builder + parser) used
 //!   by the report sinks and by tests that validate report schemas.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod causal;
 mod clock;
+mod histogram;
 mod json;
 mod phase;
 mod report;
 mod span;
 
+pub use causal::{CausalAnalysis, PathStep, RankPath};
 pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use histogram::{DurationHistogram, PhaseHistograms};
 pub use json::Json;
 pub use phase::Phase;
 pub use report::{chrome_trace, fmt_ns, Breakdown, PhaseStat};
-pub use span::{EventRecord, SpanGuard, SpanRecord, Telemetry, TelemetrySnapshot};
+pub use span::{EdgeRecord, EventRecord, SpanGuard, SpanRecord, Telemetry, TelemetrySnapshot};

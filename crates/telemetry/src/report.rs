@@ -69,6 +69,20 @@ impl Breakdown {
             }
         }
         stats.sort_by_key(|s| std::cmp::Reverse(s.self_ns));
+        // Self times are exhaustive and disjoint: summed over every
+        // phase they must reproduce the root-span total exactly. The
+        // identity can only break through saturation — a child measuring
+        // longer than its parent — which a monotonic clock cannot
+        // produce (a rewound ManualClock can; such snapshots are
+        // exempt).
+        let saturated = spans
+            .iter()
+            .enumerate()
+            .any(|(i, span)| child_ns[i] > span.duration_ns());
+        debug_assert!(
+            saturated || stats.iter().map(|s| s.self_ns).sum::<u64>() == covered_ns,
+            "self-time partition broken: sum(self) != sum(roots)"
+        );
         Breakdown {
             stats,
             wall_ns: if spans.is_empty() {
@@ -151,11 +165,47 @@ impl Breakdown {
 
 /// Serializes a snapshot as a Chrome `trace_event` JSON document.
 ///
-/// Spans become `"ph": "X"` complete events (timestamps in µs) and scalar
-/// events become `"ph": "C"` counter samples, one `tid` per track. The
-/// output loads directly in `about://tracing` and Perfetto.
+/// Each rank's track maps to its own `pid`/`tid` pair (with `M`
+/// metadata naming it "rank N"), so multi-rank traces render as
+/// separate lanes instead of interleaving. Spans become `"ph": "X"`
+/// complete events (timestamps in µs), scalar events become `"ph": "C"`
+/// counter samples, and send→recv match edges become `"ph": "s"`/`"f"`
+/// flow events so Perfetto draws cross-rank arrows. The output loads
+/// directly in `about://tracing` and Perfetto.
 pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
-    let mut events: Vec<Json> = Vec::with_capacity(snap.spans.len() + snap.events.len());
+    let mut tracks: Vec<u32> = snap
+        .spans
+        .iter()
+        .map(|s| s.track)
+        .chain(snap.events.iter().map(|e| e.track))
+        .chain(snap.edges.iter().flat_map(|e| [e.src_track, e.dst_track]))
+        .collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let mut events: Vec<Json> = Vec::with_capacity(
+        2 * tracks.len() + snap.spans.len() + snap.events.len() + 2 * snap.edges.len(),
+    );
+    for &track in &tracks {
+        events.push(Json::object(vec![
+            ("name", Json::from("process_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(u64::from(track))),
+            (
+                "args",
+                Json::object(vec![("name", Json::from(format!("rank {track}")))]),
+            ),
+        ]));
+        events.push(Json::object(vec![
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(u64::from(track))),
+            ("tid", Json::from(u64::from(track))),
+            (
+                "args",
+                Json::object(vec![("name", Json::from(format!("rank {track} timeline")))]),
+            ),
+        ]));
+    }
     for span in &snap.spans {
         events.push(Json::object(vec![
             ("name", Json::from(span.phase.as_str())),
@@ -163,12 +213,43 @@ pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
             ("ph", Json::from("X")),
             ("ts", Json::from(span.start_ns as f64 / 1e3)),
             ("dur", Json::from(span.duration_ns() as f64 / 1e3)),
-            ("pid", Json::from(0u64)),
+            ("pid", Json::from(u64::from(span.track))),
             ("tid", Json::from(u64::from(span.track))),
         ]));
     }
     for event in &snap.events {
         events.push(counter_event(event));
+    }
+    for (id, edge) in snap.edges.iter().enumerate() {
+        // Tags can use the full 64-bit namespace (e.g. reply salts), so
+        // render them as hex strings rather than lossy f64 numbers.
+        events.push(Json::object(vec![
+            ("name", Json::from("comm.match")),
+            ("cat", Json::from("comm")),
+            ("ph", Json::from("s")),
+            ("id", Json::from(id)),
+            ("ts", Json::from(edge.sent_ns as f64 / 1e3)),
+            ("pid", Json::from(u64::from(edge.src_track))),
+            ("tid", Json::from(u64::from(edge.src_track))),
+            (
+                "args",
+                Json::object(vec![
+                    ("tag", Json::from(format!("{:#x}", edge.tag))),
+                    ("bytes", Json::from(edge.bytes)),
+                    ("wire_us", Json::from(edge.wire_ns as f64 / 1e3)),
+                ]),
+            ),
+        ]));
+        events.push(Json::object(vec![
+            ("name", Json::from("comm.match")),
+            ("cat", Json::from("comm")),
+            ("ph", Json::from("f")),
+            ("bp", Json::from("e")),
+            ("id", Json::from(id)),
+            ("ts", Json::from(edge.matched_ns as f64 / 1e3)),
+            ("pid", Json::from(u64::from(edge.dst_track))),
+            ("tid", Json::from(u64::from(edge.dst_track))),
+        ]));
     }
     Json::object(vec![
         ("traceEvents", Json::Arr(events)),
@@ -182,7 +263,7 @@ fn counter_event(event: &EventRecord) -> Json {
         ("name", Json::from(event.name)),
         ("ph", Json::from("C")),
         ("ts", Json::from(event.at_ns as f64 / 1e3)),
-        ("pid", Json::from(0u64)),
+        ("pid", Json::from(u64::from(event.track))),
         ("tid", Json::from(u64::from(event.track))),
         (
             "args",
@@ -191,17 +272,19 @@ fn counter_event(event: &EventRecord) -> Json {
     ])
 }
 
-/// Formats a nanosecond duration with an adaptive unit.
+/// Formats a nanosecond duration with an adaptive unit in a fixed
+/// 10-character field (`"     12 ns"`, `"  1.500 µs"`), so stacked
+/// durations align into columns regardless of magnitude.
 pub fn fmt_ns(ns: u64) -> String {
-    let ns = ns as f64;
-    if ns >= 1e9 {
-        format!("{:.3} s", ns / 1e9)
-    } else if ns >= 1e6 {
-        format!("{:.3} ms", ns / 1e6)
-    } else if ns >= 1e3 {
-        format!("{:.3} µs", ns / 1e3)
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:>7.3}  s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:>7.3} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:>7.3} µs", v / 1e3)
     } else {
-        format!("{} ns", ns as u64)
+        format!("{ns:>7} ns")
     }
 }
 
@@ -298,7 +381,9 @@ mod tests {
         let trace = chrome_trace(&snap);
         let back = Json::parse(&trace).expect("trace parses");
         let events = back.get("traceEvents").unwrap().as_array().unwrap();
-        assert_eq!(events.len(), snap.spans.len() + snap.events.len());
+        // One track → 2 metadata events, plus one X per span and one C
+        // per counter event; no edges in this sample.
+        assert_eq!(events.len(), 2 + snap.spans.len() + snap.events.len());
         let xs: Vec<&Json> = events
             .iter()
             .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
@@ -312,10 +397,112 @@ mod tests {
     }
 
     #[test]
-    fn fmt_ns_picks_units() {
-        assert_eq!(fmt_ns(12), "12 ns");
-        assert_eq!(fmt_ns(1_500), "1.500 µs");
-        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
-        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    fn chrome_trace_gives_each_rank_its_own_lane_and_draws_flow_arrows() {
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        let r0 = tele.fork(0);
+        let r1 = tele.fork(1);
+        {
+            let _g = r0.span(Phase::SpmmForward);
+            clock.advance(100);
+        }
+        {
+            let _g = r1.span(Phase::SolverIteration);
+            clock.advance(50);
+        }
+        r1.edge(0, 0x55, 64, 100, 30);
+        let snap = tele.snapshot();
+        let back = Json::parse(&chrome_trace(&snap)).expect("trace parses");
+        let events = back.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 tracks × 2 metadata + 2 spans + 1 edge × 2 flow halves.
+        assert_eq!(events.len(), 4 + 2 + 2);
+        // Every rank gets a distinct pid == tid == track pair.
+        for x in events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+        {
+            assert_eq!(
+                x.get("pid").unwrap().as_f64(),
+                x.get("tid").unwrap().as_f64()
+            );
+        }
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert!(names.contains(&"rank 0"), "{names:?}");
+        assert!(names.contains(&"rank 1"), "{names:?}");
+        let start = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .expect("flow start");
+        let finish = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("f"))
+            .expect("flow finish");
+        assert_eq!(start.get("pid").unwrap().as_f64(), Some(0.0));
+        assert_eq!(finish.get("pid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            start.get("id").unwrap().as_f64(),
+            finish.get("id").unwrap().as_f64()
+        );
+        assert_eq!(finish.get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(
+            start.get("args").unwrap().get("tag").unwrap().as_str(),
+            Some("0x55")
+        );
+    }
+
+    #[test]
+    fn self_time_partition_survives_gaps_between_children() {
+        // Root [0, 93] with two children and three uninstrumented gaps:
+        // [gap 7][child 30][gap 11][child 40][gap 5].
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        {
+            let _root = tele.span(Phase::Total);
+            clock.advance(7);
+            {
+                let _a = tele.span(Phase::SpmmForward);
+                clock.advance(30);
+            }
+            clock.advance(11);
+            {
+                let _b = tele.span(Phase::SpmmTranspose);
+                clock.advance(40);
+            }
+            clock.advance(5);
+        }
+        let breakdown = Breakdown::from_snapshot(&tele.snapshot());
+        assert_eq!(breakdown.covered_ns, 93);
+        let self_sum: u64 = breakdown.stats.iter().map(|s| s.self_ns).sum();
+        assert_eq!(self_sum, breakdown.covered_ns);
+        let root = breakdown
+            .stats
+            .iter()
+            .find(|s| s.phase == Phase::Total)
+            .unwrap();
+        // The gaps (7 + 11 + 5) are the root's self time.
+        assert_eq!(root.self_ns, 23);
+    }
+
+    #[test]
+    fn fmt_ns_picks_units_at_a_stable_width() {
+        assert_eq!(fmt_ns(12), "     12 ns");
+        assert_eq!(fmt_ns(1_500), "  1.500 µs");
+        assert_eq!(fmt_ns(2_500_000), "  2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "  3.000  s");
+        // All magnitudes land in the same 10-char field.
+        for ns in [0, 7, 999, 1_000, 999_999, 1_000_000, 5_000_000_000] {
+            assert_eq!(fmt_ns(ns).chars().count(), 10, "{:?}", fmt_ns(ns));
+        }
     }
 }

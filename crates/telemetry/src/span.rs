@@ -51,10 +51,36 @@ pub struct EventRecord {
     pub at_ns: u64,
 }
 
+/// One send→recv match edge between two tracks.
+///
+/// Recorded by the *receiver* at the instant the runtime matches a
+/// message to a posted receive. Together with the per-track span lists
+/// these edges define the happens-before DAG consumed by
+/// [`crate::CausalAnalysis`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// Track (rank) of the sender.
+    pub src_track: u32,
+    /// Track (rank) of the receiver that matched the message.
+    pub dst_track: u32,
+    /// Message tag (the runtime's match key, minus the source rank).
+    pub tag: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Sender's clock at send time, in collector nanoseconds.
+    pub sent_ns: u64,
+    /// Receiver's clock at match time, in collector nanoseconds.
+    pub matched_ns: u64,
+    /// Simulated wire cost of the message in nanoseconds (0 when no
+    /// wire model applies, e.g. intra-node traffic).
+    pub wire_ns: u64,
+}
+
 #[derive(Debug, Default)]
 struct State {
     spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
+    edges: Vec<EdgeRecord>,
 }
 
 #[derive(Debug)]
@@ -80,6 +106,8 @@ pub struct TelemetrySnapshot {
     pub spans: Vec<SpanRecord>,
     /// All events, in the order they were recorded.
     pub events: Vec<EventRecord>,
+    /// All send→recv match edges, in the order they were matched.
+    pub edges: Vec<EdgeRecord>,
 }
 
 /// A cloneable tracing handle.
@@ -179,6 +207,37 @@ impl Telemetry {
         }
     }
 
+    /// The collector clock's current time in nanoseconds, or `None`
+    /// when this handle is disabled.
+    ///
+    /// Senders use this to stamp outgoing messages so the receiver can
+    /// record a complete [`EdgeRecord`]; all forks of one handle share
+    /// a single clock, so stamps from different tracks are comparable.
+    pub fn now_ns(&self) -> Option<u64> {
+        self.inner.as_ref().map(|h| h.collector.clock.now_ns())
+    }
+
+    /// Records a send→recv match edge observed by this handle's track
+    /// (the receiver) at the current clock time.
+    ///
+    /// `src_track` is the sender's track, `sent_ns` the sender's
+    /// [`Telemetry::now_ns`] stamp at send time, and `wire_ns` the
+    /// simulated wire cost of the message. No-op when disabled.
+    pub fn edge(&self, src_track: u32, tag: u64, bytes: u64, sent_ns: u64, wire_ns: u64) {
+        let Some(handle) = &self.inner else { return };
+        let matched_ns = handle.collector.clock.now_ns();
+        let mut state = handle.collector.state.lock().unwrap();
+        state.edges.push(EdgeRecord {
+            src_track,
+            dst_track: handle.track,
+            tag,
+            bytes,
+            sent_ns,
+            matched_ns,
+            wire_ns,
+        });
+    }
+
     /// Records a scalar event at the current time.
     pub fn event(&self, name: &'static str, value: f64) {
         let Some(handle) = &self.inner else { return };
@@ -214,6 +273,7 @@ impl Telemetry {
         TelemetrySnapshot {
             spans,
             events: state.events.clone(),
+            edges: state.edges.clone(),
         }
     }
 }
@@ -324,6 +384,35 @@ mod tests {
         // parent handle's open span.
         assert_eq!(forked.parent, None);
         assert_eq!(forked.duration_ns(), 7);
+    }
+
+    #[test]
+    fn edges_are_recorded_at_match_time_on_the_receiving_track() {
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        let receiver = tele.fork(2);
+        clock.set(40);
+        let sent_ns = tele.now_ns().expect("enabled handle has a clock");
+        clock.set(100);
+        receiver.edge(0, 7, 64, sent_ns, 55);
+        let snap = tele.snapshot();
+        assert_eq!(
+            snap.edges,
+            vec![EdgeRecord {
+                src_track: 0,
+                dst_track: 2,
+                tag: 7,
+                bytes: 64,
+                sent_ns: 40,
+                matched_ns: 100,
+                wire_ns: 55,
+            }]
+        );
+        // Disabled handles record no edges and report no time.
+        let off = Telemetry::disabled();
+        assert_eq!(off.now_ns(), None);
+        off.edge(0, 7, 64, 0, 0);
+        assert!(off.snapshot().edges.is_empty());
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! Logic lives here (unit-testable); `main.rs` is a thin shim.
 
 use std::path::Path;
+use std::time::Duration;
 
 use xct_analytic::{filtered_backprojection, FilterKind};
 use xct_cluster::MachineSpec;
-use xct_comm::{CommReport, RankCommStats, Topology};
+use xct_comm::{CommReport, RankCommStats, Topology, WireModel};
 use xct_core::distributed::{reconstruct_distributed, DistributedConfig};
 use xct_core::model::{HierarchyRatios, ModelExperiment, OptLevel};
 use xct_core::{reconstruct_volume_in, Algorithm, Partitioning, ReconOptions, Reconstructor};
@@ -17,7 +18,9 @@ use xct_fp16::Precision;
 use xct_geometry::{ImageGrid, ScanGeometry};
 use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
 use xct_phantom::{add_poisson_noise, DatasetSpec, Image2D};
-use xct_telemetry::{chrome_trace, Breakdown, Json, Phase, Telemetry};
+use xct_telemetry::{
+    chrome_trace, Breakdown, CausalAnalysis, Json, Phase, PhaseHistograms, Telemetry,
+};
 
 /// CLI failure: message for the user, nonzero exit.
 #[derive(Debug)]
@@ -99,6 +102,7 @@ struct TelemetryArgs {
     json: Option<String>,
     trace: Option<String>,
     summary: bool,
+    critical_path: bool,
 }
 
 impl TelemetryArgs {
@@ -107,12 +111,13 @@ impl TelemetryArgs {
             json: flags.get("telemetry-json").map(str::to_owned),
             trace: flags.get("trace").map(str::to_owned),
             summary: flags.switch("telemetry-summary"),
+            critical_path: flags.switch("critical-path"),
         }
     }
 
     /// Any sink requested → collection must be on.
     fn wanted(&self) -> bool {
-        self.summary || self.json.is_some() || self.trace.is_some()
+        self.summary || self.critical_path || self.json.is_some() || self.trace.is_some()
     }
 
     fn handle(&self) -> Telemetry {
@@ -138,6 +143,12 @@ impl TelemetryArgs {
         }
         let snap = telemetry.snapshot();
         let breakdown = Breakdown::from_snapshot(&snap);
+        let causal = self.critical_path.then(|| {
+            (
+                CausalAnalysis::from_snapshot(&snap),
+                PhaseHistograms::from_snapshot(&snap),
+            )
+        });
         let mut extra = String::new();
         if self.summary {
             extra.push_str("\n\n");
@@ -147,6 +158,12 @@ impl TelemetryArgs {
                 extra.push('\n');
                 extra.push_str(&report.render_matrix());
             }
+        }
+        if let Some((analysis, histograms)) = &causal {
+            extra.push_str("\n\n");
+            extra.push_str(&analysis.render_table());
+            extra.push('\n');
+            extra.push_str(&histograms.render_table());
         }
         if let Some(path) = &self.json {
             let mut fields = vec![
@@ -165,6 +182,10 @@ impl TelemetryArgs {
             ];
             if let Some(report) = comm {
                 fields.push(("comm".to_owned(), report.to_json()));
+            }
+            if let Some((analysis, histograms)) = &causal {
+                fields.push(("causal".to_owned(), analysis.to_json()));
+                fields.push(("phase_histograms".to_owned(), histograms.to_json()));
             }
             write_file(path, &Json::Obj(fields).to_string())?;
             extra.push_str(&format!("\ntelemetry report written to {path}"));
@@ -198,6 +219,41 @@ fn parse_topology(spec: &str) -> Result<Topology, CliError> {
     }
 }
 
+/// Parses `--wire` for distributed runs: bare `--wire` gives the
+/// paper-like default (600 µs latency, 50 MB/s — the fig11 wire), and
+/// `--wire LAT_USxMBPS` sets both. Ranks on the same simulated node
+/// (per the topology) exchange messages with zero wire time.
+fn parse_wire(spec: &str, topology: &Topology) -> Result<WireModel, CliError> {
+    let (lat_us, mbps): (f64, f64) = if spec == "true" {
+        (600.0, 50.0)
+    } else {
+        let parts: Vec<&str> = spec.split('x').collect();
+        let parse = |v: &str| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or_else(|| CliError(format!("invalid --wire {spec:?}; expected LAT_USxMBPS")))
+        };
+        match parts.as_slice() {
+            [l, b] => (parse(l)?, parse(b)?),
+            _ => {
+                return Err(CliError(format!(
+                    "invalid --wire {spec:?}; expected LAT_USxMBPS (e.g. 600x50)"
+                )))
+            }
+        }
+    };
+    Ok(WireModel {
+        latency: Duration::from_secs_f64(lat_us * 1e-6),
+        bytes_per_sec: if mbps > 0.0 {
+            mbps * 1e6
+        } else {
+            f64::INFINITY
+        },
+        ranks_per_node: topology.gpus_per_node(),
+    })
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 petaxct — iterative X-ray CT reconstruction (PetaXCT reproduction)
@@ -215,7 +271,13 @@ USAGE:
                       [--verify-plans]          statically verify the communication
                                                 plan (conservation, tags, deadlock)
                                                 before running it
+                      [--wire [LAT_USxMBPS]]    simulate inter-node wire time
+                                                (latency µs x bandwidth MB/s;
+                                                bare --wire means 600x50)
                       [--telemetry-summary]     print a per-phase breakdown table
+                      [--critical-path]         print the cross-rank critical-path,
+                                                per-rank slack, and per-phase
+                                                duration histograms
                       [--telemetry-json FILE]   write a machine-readable report
                       [--trace FILE]            write a Chrome/Perfetto trace
   petaxct fbp         --in FILE --out FILE [--filter ramlak|shepplogan|hann]
@@ -370,12 +432,17 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
             // Distributed mode: every I/O batch runs the full multi-rank
             // pipeline (hierarchical exchanges, per-rank solvers).
             let overlap = flags.switch("overlap");
+            let wire = flags
+                .get("wire")
+                .map(|spec| parse_wire(spec, topology))
+                .transpose()?;
             let cfg_base = DistributedConfig {
                 topology: *topology,
                 precision,
                 iterations,
                 hierarchical: true,
                 overlap,
+                wire,
                 telemetry: telemetry.clone(),
                 verify_plans: flags.switch("verify-plans"),
                 ..Default::default()
@@ -420,9 +487,10 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
             writer.finish()?;
             let comm_report = CommReport::new(merged);
             let text = format!(
-                "reconstructed {done} slices in {batches} batches on {} simulated ranks ({} precision, {} iters/batch{}{}); worst residual {worst:.5}; volume in {out}",
+                "reconstructed {done} slices in {batches} batches on {} simulated ranks ({} precision, {} iters/batch{}{}{}); worst residual {worst:.5}; volume in {out}",
                 topology.size(), precision, iterations,
                 if overlap { ", comm overlapped" } else { "" },
+                if cfg_base.wire.is_some() { ", wired" } else { "" },
                 if cfg_base.verify_plans { ", plans verified" } else { "" }
             );
             drop(total_span);
@@ -796,6 +864,66 @@ mod tests {
         assert!(out.contains("% wall"), "{out}");
         assert!(out.contains("reduce.global"), "{out}");
         assert!(out.contains("spmm.forward"), "{out}");
+    }
+
+    #[test]
+    fn wired_reconstruct_prints_the_critical_path_table() {
+        let sino = tmp("cli_cp_sino.xctd");
+        let vol = tmp("cli_cp_vol.xctd");
+        run_cmd(&[
+            "simulate",
+            "--phantom",
+            "shepp",
+            "--out",
+            &sino,
+            "--n",
+            "16",
+            "--angles",
+            "16",
+            "--slices",
+            "2",
+        ])
+        .unwrap();
+        let out = run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            &vol,
+            "--topology",
+            "2x2x2",
+            "--overlap",
+            "--iterations",
+            "2",
+            "--wire",
+            "200x50",
+            "--critical-path",
+        ])
+        .unwrap();
+        assert!(out.contains("wired"), "{out}");
+        // The per-rank critical-path/slack table and the per-phase
+        // histograms must make it to stdout.
+        assert!(out.contains("critical path"), "{out}");
+        assert!(out.contains("slack"), "{out}");
+        assert!(out.contains("zero slack"), "{out}");
+        assert!(out.contains("duration histograms"), "{out}");
+        for rank in 0..8 {
+            assert!(
+                out.lines().any(|l| l.starts_with(&format!("{rank} "))),
+                "missing rank {rank} row in:\n{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_flag_rejects_malformed_specs() {
+        let err = parse_wire("banana", &Topology::new(2, 1, 2)).unwrap_err();
+        assert!(err.0.contains("--wire"), "{err}");
+        let model = parse_wire("true", &Topology::new(2, 2, 3)).unwrap();
+        assert_eq!(model.latency, Duration::from_micros(600));
+        assert_eq!(model.ranks_per_node, 6);
+        let pure_latency = parse_wire("250x0", &Topology::new(2, 1, 1)).unwrap();
+        assert_eq!(pure_latency.bytes_per_sec, f64::INFINITY);
     }
 
     #[test]

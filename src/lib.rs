@@ -24,4 +24,5 @@ pub use xct_io as io;
 pub use xct_phantom as phantom;
 pub use xct_solver as solver;
 pub use xct_spmm as spmm;
+pub use xct_telemetry as telemetry;
 pub use xct_verify as verify;

@@ -272,6 +272,48 @@ fn steady_state_compiled_exchange_does_not_allocate() {
 }
 
 #[test]
+fn disabled_telemetry_match_edges_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+
+    // The comm runtime records a causal [`EdgeRecord`] at every
+    // send→recv match — but only when telemetry is on. With a disabled
+    // handle the sender stamps nothing and the receiver's finish_match
+    // must be a no-op on the heap: a warm pooled ping-pong stays at
+    // exactly zero allocations per matched message.
+    let deltas = run_ranks(2, |comm| {
+        let peer = 1 - comm.rank();
+        let round = |comm: &xct_comm::Communicator| {
+            if comm.rank() == 0 {
+                let mut buf = comm.pooled_buf(64);
+                buf.extend_from_slice(&[0xABu8; 64]);
+                comm.send(peer, 7, buf).unwrap();
+                let back = comm.recv(peer, 8).unwrap();
+                comm.recycle(back);
+            } else {
+                let msg = comm.recv(peer, 7).unwrap();
+                comm.send(peer, 8, msg).unwrap();
+            }
+        };
+        // Warm-up saturates the buffer pool and mailbox high-water marks.
+        for _ in 0..32 {
+            round(comm);
+        }
+        comm.barrier(0xE0).unwrap();
+        let before = allocations();
+        for _ in 0..64 {
+            round(comm);
+        }
+        comm.barrier(0xE0).unwrap();
+        allocations() - before
+    });
+    assert_eq!(
+        deltas,
+        vec![0, 0],
+        "matching with telemetry disabled must never touch the heap"
+    );
+}
+
+#[test]
 fn distributed_iterations_allocate_a_bounded_constant_amount() {
     let _guard = SERIAL.lock().unwrap();
 

@@ -133,6 +133,19 @@ fn cli_emits_breakdown_json_and_trace() {
             Some("C") => {
                 assert!(e.get("args").is_some());
             }
+            // Per-track metadata naming the rank lanes.
+            Some("M") => {
+                let name = e.get("name").and_then(Json::as_str);
+                assert!(
+                    name == Some("process_name") || name == Some("thread_name"),
+                    "metadata event with name {name:?}"
+                );
+            }
+            // Flow arrows for cross-rank match edges (absent in this
+            // serial run, but legal trace members).
+            Some("s") | Some("f") => {
+                assert!(e.get("id").and_then(Json::as_f64).is_some());
+            }
             other => panic!("unexpected event type {other:?}"),
         }
     }
