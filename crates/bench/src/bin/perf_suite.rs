@@ -10,7 +10,11 @@
 //! * `wired_2x2x2_sync`   — 8 ranks across 2 simulated nodes with a
 //!   latency/bandwidth [`WireModel`] on inter-node messages;
 //! * `wired_2x2x2_overlap` — the wired run with overlap, whose critical
-//!   path must come out shorter than the synchronous one.
+//!   path must come out shorter than the synchronous one;
+//! * `streamed_1x2x2`     — a memory budget that admits only half the
+//!   stack per slab, so the planner emits ≥2 slabs and the run pages
+//!   them through `xct-io` (the sinogram file is written outside the
+//!   timed region).
 //!
 //! Flags: `--quick` (CI-sized problem), `--out PATH`, `--check BASELINE`
 //! (exit 1 on any metric regressing past `--threshold` percent, default
@@ -28,8 +32,11 @@ use std::time::{Duration, Instant};
 use xct_bench::perf::{compare, BenchReport, ScenarioResult, BENCH_SCHEMA};
 use xct_comm::{Topology, TrafficClass, WireModel};
 use xct_core::distributed::{reconstruct_distributed, DistributedConfig};
+use xct_core::reconstruct_planned;
 use xct_fp16::Precision;
 use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
+use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
+use xct_plan::{Planner, VolumeDims};
 use xct_solver::{CglsSolver, ExecContext, PrecisionOperator};
 use xct_spmm::Csr;
 use xct_telemetry::{Breakdown, CausalAnalysis, Telemetry};
@@ -229,6 +236,87 @@ fn distributed_scenario(
     )
 }
 
+/// Writes `slices` projected sinogram slices to `path` — the streaming
+/// scenario's input, produced outside the timed region.
+fn write_streaming_input(p: &SuiteParams, slices: usize, path: &std::path::Path) {
+    let scan = ScanGeometry::uniform(ImageGrid::square(p.n, 1.0), p.angles);
+    let sm = SystemMatrix::build(&scan);
+    let meta = SliceFile {
+        kind: FileKind::Sinogram,
+        precision: Precision::Single,
+        slices,
+        slice_len: sm.num_rays(),
+    };
+    let mut w = SliceWriter::create(path, meta).expect("create streaming sinogram");
+    let mut x = vec![0.0f32; sm.num_voxels()];
+    let mut y = vec![0.0f32; sm.num_rays()];
+    for s in 0..slices {
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = (((i + 7 * s) % 11) as f32) * 0.1;
+        }
+        sm.project(&x, &mut y);
+        w.write_slice(&y).expect("write sinogram slice");
+    }
+    w.finish().expect("finish streaming sinogram");
+}
+
+/// The out-of-core scenario: a per-rank budget admitting only `fusing`
+/// of the stack's `2·fusing` slices, so the planner emits two streamed
+/// slabs that page through `xct-io` while the multi-rank pipeline runs.
+fn streamed_scenario(p: &SuiteParams, sino: &std::path::Path) -> ScenarioResult {
+    let scan = ScanGeometry::uniform(ImageGrid::square(p.n, 1.0), p.angles);
+    let slices = p.fusing * 2;
+    let topology = Topology::new(1, 2, 2);
+    let planner = Planner {
+        precision: Precision::Single,
+        hierarchical: true,
+        overlap: false,
+        max_fusing: slices,
+    };
+    let dims = VolumeDims { n: p.n, slices };
+    let probe = planner
+        .plan(dims, p.angles, None, topology)
+        .expect("probe plan");
+    let budget = probe.matrix_bytes_per_rank() + p.fusing as u64 * probe.slice_bytes_per_rank();
+    let plan = planner
+        .plan(dims, p.angles, Some(budget), topology)
+        .expect("streamed plan");
+    assert!(plan.streaming(), "budget must force streaming");
+
+    let telemetry = Telemetry::enabled();
+    let base = DistributedConfig {
+        iterations: p.iterations,
+        telemetry: telemetry.clone(),
+        ..Default::default()
+    };
+    let out = std::env::temp_dir().join("petaxct_perf_streamed_vol.xctd");
+    let reader = SliceReader::open(sino).expect("open streaming sinogram");
+    let writer = SliceWriter::create(
+        &out,
+        SliceFile {
+            kind: FileKind::Volume,
+            precision: Precision::Single,
+            slices,
+            slice_len: p.n * p.n,
+        },
+    )
+    .expect("create streaming volume");
+    let before = allocations();
+    let start = Instant::now();
+    let outcome = reconstruct_planned(&scan, &plan, reader, writer, &base).expect("streamed run");
+    let wall = start.elapsed();
+    let allocs = allocations() - before;
+    let stats = outcome.stats;
+    finish(
+        "streamed_1x2x2",
+        wall,
+        allocs,
+        stats.counters,
+        &stats.comm_stats,
+        &telemetry,
+    )
+}
+
 /// Best-of-`reps`: keeps the run with the smallest wall time (and with
 /// it, that run's critical path / allocation figures).
 fn best_of(reps: usize, mut run: impl FnMut() -> ScenarioResult) -> ScenarioResult {
@@ -257,6 +345,10 @@ fn run_suite(p: &SuiteParams) -> BenchReport {
             distributed_scenario(name, p, topology, overlap, wired)
         }));
     }
+    eprintln!("running streamed_1x2x2 ...");
+    let sino = std::env::temp_dir().join("petaxct_perf_streamed_sino.xctd");
+    write_streaming_input(p, p.fusing * 2, &sino);
+    scenarios.push(best_of(p.reps, || streamed_scenario(p, &sino)));
     BenchReport {
         quick: p.quick,
         scenarios,

@@ -11,11 +11,11 @@ use std::time::{Duration, Instant};
 use xct_comm::{CompiledPlans, DirectPlan, HierarchicalPlan, PlanError};
 use xct_verify::corpus::{
     aliased_reply_exchange, barrier_program, buggy_allreduce_claims, dropped_direct,
-    duplicated_direct, gen_case, misrouted_direct, single_sweep_gather, small_direct_fixture,
-    unheld_direct, unsorted_transfer,
+    duplicated_direct, gen_case, misrouted_direct, over_budget_plan, single_sweep_gather,
+    small_direct_fixture, unheld_direct, unsorted_transfer,
 };
 use xct_verify::{
-    explore, verify_all_direct, verify_all_hierarchical, verify_direct, ViolationKind,
+    explore, plan_fits, verify_all_direct, verify_all_hierarchical, verify_direct, ViolationKind,
 };
 
 fn check(name: &str, ok: bool, failures: &mut Vec<String>) {
@@ -116,6 +116,14 @@ fn main() {
             .violations
             .iter()
             .any(|v| matches!(v.kind, ViolationKind::UnheldRow { row: 3, .. })),
+        &mut failures,
+    );
+    check(
+        "over-budget plan -> PlanOverBudget",
+        plan_fits(&over_budget_plan())
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::PlanOverBudget { .. })),
         &mut failures,
     );
 

@@ -703,11 +703,17 @@ impl RankPlan {
             _span,
         } = inflight;
         assert_eq!(out.len(), self.global.out_len, "owned length mismatch");
-        for (req, t) in reqs.drain(..).zip(&self.global.recvs) {
-            debug_assert_eq!(req.src(), t.peer);
-            let bytes = req.wait(comm)?;
-            accumulate_payload::<S>(&bytes, &t.idx, &mut acc);
-            comm.recycle(bytes);
+        {
+            // The blocking drain gets its own phase: under overlap this
+            // is pipeline stall time, not exchange work, and charging it
+            // to the enclosing span would misattribute the wait.
+            let _wait = comm.telemetry().span(Phase::CommWait);
+            for (req, t) in reqs.drain(..).zip(&self.global.recvs) {
+                debug_assert_eq!(req.src(), t.peer);
+                let bytes = req.wait(comm)?;
+                accumulate_payload::<S>(&bytes, &t.idx, &mut acc);
+                comm.recycle(bytes);
+            }
         }
         for (o, &v) in out.iter_mut().zip(acc.iter()) {
             *o = S::from_f64(v).to_f32() * undo;
@@ -795,11 +801,16 @@ impl RankPlan {
             _span,
         } = inflight;
         assert_eq!(out.len(), self.in_len, "footprint length mismatch");
-        for (req, t) in reqs.drain(..).zip(&self.scatter_global.recvs) {
-            debug_assert_eq!(req.src(), t.peer);
-            let bytes = req.wait(comm)?;
-            assign_payload::<S>(&bytes, &t.idx, &mut out1);
-            comm.recycle(bytes);
+        {
+            // As in `global_finish`: waiting on posted irecvs is stall
+            // time and reports under its own `comm.wait` phase.
+            let _wait = comm.telemetry().span(Phase::CommWait);
+            for (req, t) in reqs.drain(..).zip(&self.scatter_global.recvs) {
+                debug_assert_eq!(req.src(), t.peer);
+                let bytes = req.wait(comm)?;
+                assign_payload::<S>(&bytes, &t.idx, &mut out1);
+                comm.recycle(bytes);
+            }
         }
         round_level::<S>(&mut out1);
         scratch.cur.clear();

@@ -732,6 +732,32 @@ impl RecvRequest {
         Ok(self.done.is_some())
     }
 
+    /// Polls [`test`](Self::test) under a bounded backoff instead of a
+    /// busy spin: the first attempts only yield, later ones sleep with
+    /// exponentially growing (capped) pauses, and the poll count is
+    /// bounded. Returns whether the message arrived within `max_polls`
+    /// attempts. Prefer [`wait`](Self::wait) when blocking is fine — the
+    /// runtime's condvar wakeups are cheap; this exists for call sites
+    /// that must interleave polling with other progress and would
+    /// otherwise spin on `test` at full speed.
+    pub fn test_backoff(&mut self, comm: &Communicator, max_polls: u32) -> Result<bool, CommError> {
+        const YIELD_POLLS: u32 = 16;
+        const PAUSE_CAP: Duration = Duration::from_millis(1);
+        let mut pause = Duration::from_micros(10);
+        for poll in 0..max_polls {
+            if self.test(comm)? {
+                return Ok(true);
+            }
+            if poll < YIELD_POLLS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(pause);
+                pause = (pause * 2).min(PAUSE_CAP);
+            }
+        }
+        self.test(comm)
+    }
+
     /// Blocks until the message arrives and returns its payload
     /// (`MPI_Wait`). Consumes the request.
     pub fn wait(mut self, comm: &Communicator) -> Result<Vec<u8>, CommError> {
@@ -1037,10 +1063,9 @@ mod tests {
                 // test() reports not-done while the message is on the
                 // wire (almost always observable with a 30 ms wire, but
                 // not asserted — the scheduler may stall this thread);
-                // wait() must then block the wire time out.
-                while !req.test(comm).unwrap() {
-                    std::thread::yield_now();
-                }
+                // poll with a bounded backoff rather than a hot spin,
+                // then wait() must block the remaining wire time out.
+                while !req.test_backoff(comm, 64).unwrap() {}
                 let bytes = req.wait(comm).unwrap();
                 assert_eq!(bytes.len(), 4);
             }
@@ -1249,14 +1274,14 @@ mod tests {
         let results = run_ranks(2, |comm| {
             if comm.rank() == 1 {
                 let mut req = comm.irecv(0, 13).unwrap();
-                // Tell rank 0 we have posted the receive, then spin on
-                // test() until the message lands.
+                // Tell rank 0 we have posted the receive, then poll
+                // test() under a bounded backoff until the message
+                // lands (no hot spin).
                 comm.send_vals::<f32>(0, 12, &[1.0]).unwrap();
-                let mut polls = 0u32;
-                while !req.test(comm).unwrap() {
-                    polls += 1;
-                    std::thread::yield_now();
-                    assert!(polls < 10_000_000, "irecv never completed");
+                let mut rounds = 0u32;
+                while !req.test_backoff(comm, 1024).unwrap() {
+                    rounds += 1;
+                    assert!(rounds < 1_000, "irecv never completed");
                 }
                 let payload = req.wait(comm).unwrap();
                 f32::decode_slice(&payload)[0]

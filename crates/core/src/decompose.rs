@@ -46,6 +46,18 @@ pub struct SliceDecomposition {
 }
 
 impl SliceDecomposition {
+    /// Decomposes `scan`'s slice for `plan`: one Hilbert-ordered
+    /// subdomain per rank of the plan's topology.
+    pub fn for_plan(
+        sm: &SystemMatrix,
+        scan: &ScanGeometry,
+        plan: &xct_plan::ReconPlan,
+        tile: usize,
+        kind: CurveKind,
+    ) -> Self {
+        Self::build(sm, scan, plan.ranks(), tile, kind)
+    }
+
     /// Decomposes `scan`'s slice among `ranks` processes with square
     /// tiles of `tile` cells, ordered by `kind`.
     pub fn build(

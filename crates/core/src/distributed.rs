@@ -20,6 +20,7 @@
 //! in the same order; only the waiting moves.
 
 use crate::decompose::SliceDecomposition;
+use crate::pipeline::run_pipeline;
 use std::sync::Mutex;
 use xct_comm::{
     run_ranks_traced_wired, Communicator, CompiledPlans, DirectPlan, ExchangeScratch,
@@ -29,6 +30,7 @@ use xct_exec::{BufferRole, ExecContext, ExecCounters, Telemetry};
 use xct_fp16::{Precision, F16};
 use xct_geometry::{ScanGeometry, SystemMatrix};
 use xct_hilbert::CurveKind;
+use xct_plan::ReconPlan;
 use xct_solver::{cgls_in, CglsConfig, LinearOperator, PrecisionOperator};
 
 /// Distributed run configuration.
@@ -87,6 +89,23 @@ impl Default for DistributedConfig {
             shared_bytes: 48 * 1024,
             telemetry: Telemetry::disabled(),
             verify_plans: false,
+        }
+    }
+}
+
+impl DistributedConfig {
+    /// Configuration executing `plan`: topology, precision, exchange
+    /// mode, overlap, and fusing come from the plan; runtime knobs
+    /// (wire model, iterations, telemetry, plan verification) keep
+    /// their defaults for the caller to override afterwards.
+    pub fn from_plan(plan: &ReconPlan) -> Self {
+        DistributedConfig {
+            topology: plan.topology,
+            precision: plan.precision,
+            fusing: plan.fusing,
+            hierarchical: plan.hierarchical,
+            overlap: plan.overlap,
+            ..Default::default()
         }
     }
 }
@@ -160,67 +179,71 @@ impl RankOperator<'_> {
     }
 
     /// Forward pipeline at wire precision `S`: per fused slice, local SpMM
-    /// → socket/node reduction → global exchange to ray owners. With
-    /// `overlap`, slice `s`'s global exchange stays in flight while slice
-    /// `s+1` runs its SpMM and local reductions — the finish order and
-    /// arithmetic are unchanged, so results match the synchronous path
-    /// bit for bit.
+    /// → socket/node reduction → global exchange to ray owners, scheduled
+    /// by [`run_pipeline`]. With `overlap`, slice `s`'s global exchange
+    /// stays in flight while slice `s+1` runs its SpMM and local
+    /// reductions, and it completes *before* slice `s+1`'s exchange posts
+    /// — the per-slice arithmetic is unchanged, so results match the
+    /// synchronous path bit for bit.
     fn apply_as<S: Wire>(&self, x: &[f32], y: &mut [f32], ctx: &mut ExecContext) {
         let rp = self.plans.rank(self.rank);
-        let mut partial = ctx
+        let partial = ctx
             .workspace
             .take::<f32>(BufferRole::Forward, self.footprint_len * self.cfg.fusing);
-        let mut pending: Option<(usize, GlobalInFlight)> = None;
-        for f in 0..self.cfg.fusing {
-            let xs = &x[f * self.owned_vox_len..(f + 1) * self.owned_vox_len];
-            let ps = &mut partial[f * self.footprint_len..(f + 1) * self.footprint_len];
-            self.local.apply(xs, ps, ctx);
-            let (factor, undo) = self.forward_factor(ps);
-            let salt = slice_salt(f);
-            let mut scratch = self.scratch.lock().expect("scratch mutex");
-            rp.reduce_local::<S>(self.comm, &mut scratch, ps, factor, salt)
-                .expect("local reduction");
-            let inflight = rp
-                .global_begin::<S>(self.comm, &mut scratch, undo, salt)
-                .expect("global exchange post");
-            if self.cfg.overlap {
-                if let Some((pf, pinf)) = pending.take() {
-                    rp.global_finish::<S>(
-                        self.comm,
-                        &mut scratch,
-                        pinf,
-                        &mut y[pf * self.owned_rays_len..(pf + 1) * self.owned_rays_len],
-                    )
-                    .expect("global exchange finish");
-                }
-                pending = Some((f, inflight));
-            } else {
+        struct Fwd<'s> {
+            x: &'s [f32],
+            y: &'s mut [f32],
+            partial: Vec<f32>,
+            ctx: &'s mut ExecContext,
+            undo: f32,
+        }
+        let mut st = Fwd {
+            x,
+            y,
+            partial,
+            ctx,
+            undo: 1.0,
+        };
+        run_pipeline(
+            self.cfg.fusing,
+            self.cfg.overlap,
+            &mut st,
+            |st: &mut Fwd, f| {
+                let xs = &st.x[f * self.owned_vox_len..(f + 1) * self.owned_vox_len];
+                let ps = &mut st.partial[f * self.footprint_len..(f + 1) * self.footprint_len];
+                self.local.apply(xs, ps, st.ctx);
+                let (factor, undo) = self.forward_factor(ps);
+                st.undo = undo;
+                let mut scratch = self.scratch.lock().expect("scratch mutex");
+                rp.reduce_local::<S>(self.comm, &mut scratch, ps, factor, slice_salt(f))
+                    .expect("local reduction");
+            },
+            |st, f| -> GlobalInFlight {
+                let mut scratch = self.scratch.lock().expect("scratch mutex");
+                rp.global_begin::<S>(self.comm, &mut scratch, st.undo, slice_salt(f))
+                    .expect("global exchange post")
+            },
+            |st, f, inflight| {
+                let mut scratch = self.scratch.lock().expect("scratch mutex");
                 rp.global_finish::<S>(
                     self.comm,
                     &mut scratch,
                     inflight,
-                    &mut y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len],
+                    &mut st.y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len],
                 )
                 .expect("global exchange finish");
-            }
-        }
-        if let Some((pf, pinf)) = pending.take() {
-            let mut scratch = self.scratch.lock().expect("scratch mutex");
-            rp.global_finish::<S>(
-                self.comm,
-                &mut scratch,
-                pinf,
-                &mut y[pf * self.owned_rays_len..(pf + 1) * self.owned_rays_len],
-            )
-            .expect("global exchange finish");
-        }
+            },
+            |_, _| {},
+        );
+        let Fwd { partial, ctx, .. } = st;
         ctx.workspace.put(BufferRole::Forward, partial);
     }
 
     /// Transpose pipeline at wire precision `S`: per fused slice, global
-    /// scatter from owners → node/socket fan-out → local transposed SpMM.
-    /// With `overlap`, slice `s+1`'s global scatter is posted before slice
-    /// `s`'s fan-out and transposed SpMM run under it.
+    /// scatter from owners → node/socket fan-out → local transposed SpMM,
+    /// scheduled by [`run_pipeline`]. With `overlap`, slice `s`'s
+    /// transposed SpMM runs while slice `s+1`'s global scatter is in
+    /// flight.
     fn apply_transpose_as<S: Wire>(&self, y: &[f32], x: &mut [f32], ctx: &mut ExecContext) {
         let rp = self.plans.rank(self.rank);
         // One normalization factor for the whole batch (one allreduce per
@@ -241,56 +264,49 @@ impl RankOperator<'_> {
             }
             _ => (1.0, 1.0),
         };
-        let mut footprint_vals = ctx
+        let footprint_vals = ctx
             .workspace
             .take::<f32>(BufferRole::Footprint, self.footprint_len * self.cfg.fusing);
-        let mut pending: Option<(usize, ScatterInFlight)> = None;
-        for f in 0..self.cfg.fusing {
-            let owned = &y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len];
-            let salt = slice_salt(f);
-            let mut scratch = self.scratch.lock().expect("scratch mutex");
-            let inflight = rp
-                .scatter_begin::<S>(self.comm, &mut scratch, owned, factor, undo, salt)
-                .expect("scatter post");
-            if self.cfg.overlap {
-                if let Some((pf, pinf)) = pending.take() {
-                    let fs =
-                        &mut footprint_vals[pf * self.footprint_len..(pf + 1) * self.footprint_len];
-                    rp.scatter_finish::<S>(self.comm, &mut scratch, pinf, fs)
-                        .expect("scatter finish");
-                    drop(scratch);
-                    self.local.apply_transpose(
-                        fs,
-                        &mut x[pf * self.owned_vox_len..(pf + 1) * self.owned_vox_len],
-                        ctx,
-                    );
-                }
-                pending = Some((f, inflight));
-            } else {
-                let fs = &mut footprint_vals[f * self.footprint_len..(f + 1) * self.footprint_len];
+        struct Bwd<'s> {
+            y: &'s [f32],
+            x: &'s mut [f32],
+            footprint: Vec<f32>,
+            ctx: &'s mut ExecContext,
+        }
+        let mut st = Bwd {
+            y,
+            x,
+            footprint: footprint_vals,
+            ctx,
+        };
+        run_pipeline(
+            self.cfg.fusing,
+            self.cfg.overlap,
+            &mut st,
+            |_: &mut Bwd, _| {}, // scatters need no local pre-compute
+            |st, f| -> ScatterInFlight {
+                let owned = &st.y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len];
+                let mut scratch = self.scratch.lock().expect("scratch mutex");
+                rp.scatter_begin::<S>(self.comm, &mut scratch, owned, factor, undo, slice_salt(f))
+                    .expect("scatter post")
+            },
+            |st, f, inflight| {
+                let fs = &mut st.footprint[f * self.footprint_len..(f + 1) * self.footprint_len];
+                let mut scratch = self.scratch.lock().expect("scratch mutex");
                 rp.scatter_finish::<S>(self.comm, &mut scratch, inflight, fs)
                     .expect("scatter finish");
-                drop(scratch);
+            },
+            |st, f| {
+                let fs = &st.footprint[f * self.footprint_len..(f + 1) * self.footprint_len];
                 self.local.apply_transpose(
                     fs,
-                    &mut x[f * self.owned_vox_len..(f + 1) * self.owned_vox_len],
-                    ctx,
+                    &mut st.x[f * self.owned_vox_len..(f + 1) * self.owned_vox_len],
+                    st.ctx,
                 );
-            }
-        }
-        if let Some((pf, pinf)) = pending.take() {
-            let mut scratch = self.scratch.lock().expect("scratch mutex");
-            let fs = &mut footprint_vals[pf * self.footprint_len..(pf + 1) * self.footprint_len];
-            rp.scatter_finish::<S>(self.comm, &mut scratch, pinf, fs)
-                .expect("scatter finish");
-            drop(scratch);
-            self.local.apply_transpose(
-                fs,
-                &mut x[pf * self.owned_vox_len..(pf + 1) * self.owned_vox_len],
-                ctx,
-            );
-        }
-        ctx.workspace.put(BufferRole::Footprint, footprint_vals);
+            },
+        );
+        let Bwd { footprint, ctx, .. } = st;
+        ctx.workspace.put(BufferRole::Footprint, footprint);
     }
 }
 

@@ -9,6 +9,11 @@
 //!   (back)projections through the optimized kernels, hierarchical (or
 //!   direct) communication, distributed CGLS — real arithmetic at mini
 //!   scale,
+//! * [`pipeline`] — the double-buffered stage schedule (§III-E) shared
+//!   by the overlapped exchanges and the out-of-core slab stream,
+//! * [`stream`] — plan-driven execution of an `xct_plan::ReconPlan`:
+//!   slabs page through `xct-io` on background threads while resident
+//!   slabs compute, bit-identical to the fully resident path,
 //! * [`model`] — the paper-scale estimator: Table I complexity + measured
 //!   kernel/communication shapes mapped through the machine model, for
 //!   the Summit-sized experiments (Tables III–IV, Figs 10–12),
@@ -36,9 +41,12 @@ pub mod decompose;
 pub mod distributed;
 pub mod model;
 pub mod partition;
+pub mod pipeline;
 mod recon;
+pub mod stream;
 pub mod volume;
 
 pub use partition::{Partitioning, TableIComplexity};
 pub use recon::{Algorithm, ReconOptions, Reconstructor};
+pub use stream::{reconstruct_planned, PlannedOutcome, PlannedStats};
 pub use volume::{reconstruct_volume, reconstruct_volume_in, PipelineError, VolumeStats};

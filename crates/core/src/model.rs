@@ -129,6 +129,32 @@ impl ModelExperiment {
     /// 4,096 nodes sustains the paper's 65.4 PFLOPS kernel rate.
     pub const KERNEL_EFFICIENCY: f64 = 0.40;
 
+    /// Builds the experiment from a machine-granularity plan (see
+    /// `xct_plan::Planner::plan_machine`): dataset shape, batch × data
+    /// split, precision, and fusing come from the plan; `opt`,
+    /// `iterations`, and the paper's Table IV ratios with a 7% imbalance
+    /// default complete it (override fields afterwards as needed).
+    pub fn from_plan(
+        plan: &xct_plan::ReconPlan,
+        machine: MachineSpec,
+        opt: OptLevel,
+        iterations: usize,
+    ) -> Self {
+        ModelExperiment {
+            projections: plan.angles,
+            rows: plan.dims.slices,
+            channels: plan.dims.n,
+            machine,
+            partitioning: plan.partitioning,
+            precision: plan.precision,
+            opt,
+            fusing: plan.fusing,
+            iterations,
+            ratios: HierarchyRatios::paper(),
+            imbalance: 0.07,
+        }
+    }
+
     /// Effective nonzeros per slice: ≈0.55·K·N² (see
     /// `xct-phantom::DatasetSpec::memory_bytes` for the calibration).
     fn nnz_per_slice(&self) -> f64 {

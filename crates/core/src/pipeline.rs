@@ -1,0 +1,184 @@
+//! The double-buffered stage pipeline (paper §III-E, Figs 11–12),
+//! factored out of the distributed operator so every overlapped loop —
+//! forward exchange, transpose scatter, and the out-of-core slab stream
+//! — shares one schedule with one proof of correctness.
+//!
+//! A pipelined loop over `n` items decomposes into four stages:
+//!
+//! * `compute(f)` — local work producing item `f`'s outgoing data,
+//! * `begin(f)`   — post item `f`'s exchange (nonblocking), returning an
+//!   in-flight handle,
+//! * `finish(f)`  — complete item `f`'s exchange (blocking),
+//! * `consume(f)` — local work on item `f`'s received data.
+//!
+//! Synchronous schedule (`overlap = false`): strictly sequential per
+//! item — `compute(f) → begin(f) → finish(f) → consume(f)`.
+//!
+//! Overlapped schedule (`overlap = true`), per item:
+//!
+//! ```text
+//! compute(f) → finish(f-1) → begin(f) → consume(f-1)
+//! ```
+//!
+//! so item `f-1`'s exchange is in flight across `compute(f)` (that is
+//! the overlap window) and item `f-1`'s received data is consumed while
+//! item `f`'s exchange is in flight. Crucially `finish(f-1)` runs
+//! *before* `begin(f)`: at most one exchange is in flight, its telemetry
+//! span closes before the next opens (so spans attach to the enclosing
+//! iteration instead of chaining under each other and inflating the
+//! iteration's self time), and the drain at the end of the loop is the
+//! only tail work.
+//!
+//! Both schedules execute the same per-item stage sequence, so when the
+//! items are data-independent (fused slices are), the overlapped
+//! schedule is bit-identical to the synchronous one — only the waiting
+//! moves.
+
+/// Runs the four-stage pipeline over items `0..n`. All stages receive
+/// `state` (the caller's mutable working set: buffers, contexts) so the
+/// closures never contend for captured borrows.
+pub fn run_pipeline<S, P>(
+    n: usize,
+    overlap: bool,
+    state: &mut S,
+    mut compute: impl FnMut(&mut S, usize),
+    mut begin: impl FnMut(&mut S, usize) -> P,
+    mut finish: impl FnMut(&mut S, usize, P),
+    mut consume: impl FnMut(&mut S, usize),
+) {
+    if !overlap {
+        for f in 0..n {
+            compute(state, f);
+            let inflight = begin(state, f);
+            finish(state, f, inflight);
+            consume(state, f);
+        }
+        return;
+    }
+    let mut pending: Option<(usize, P)> = None;
+    for f in 0..n {
+        compute(state, f);
+        let done = pending.take().map(|(pf, p)| {
+            finish(state, pf, p);
+            pf
+        });
+        let inflight = begin(state, f);
+        pending = Some((f, inflight));
+        if let Some(pf) = done {
+            consume(state, pf);
+        }
+    }
+    if let Some((pf, p)) = pending.take() {
+        finish(state, pf, p);
+        consume(state, pf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Op {
+        Compute(usize),
+        Begin(usize),
+        Finish(usize),
+        Consume(usize),
+    }
+
+    fn schedule(n: usize, overlap: bool) -> Vec<Op> {
+        let mut log = Vec::new();
+        run_pipeline(
+            n,
+            overlap,
+            &mut log,
+            |log: &mut Vec<Op>, f| log.push(Op::Compute(f)),
+            |log, f| {
+                log.push(Op::Begin(f));
+                f
+            },
+            |log, f, handle| {
+                assert_eq!(handle, f, "handle must travel with its item");
+                log.push(Op::Finish(f));
+            },
+            |log, f| log.push(Op::Consume(f)),
+        );
+        log
+    }
+
+    #[test]
+    fn synchronous_schedule_is_strictly_sequential() {
+        assert_eq!(
+            schedule(2, false),
+            vec![
+                Op::Compute(0),
+                Op::Begin(0),
+                Op::Finish(0),
+                Op::Consume(0),
+                Op::Compute(1),
+                Op::Begin(1),
+                Op::Finish(1),
+                Op::Consume(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn overlapped_schedule_finishes_before_beginning() {
+        assert_eq!(
+            schedule(3, true),
+            vec![
+                Op::Compute(0),
+                Op::Begin(0),
+                Op::Compute(1), // overlap window: exchange 0 in flight
+                Op::Finish(0),  // ...and closes before exchange 1 opens
+                Op::Begin(1),
+                Op::Consume(0), // consumed under exchange 1
+                Op::Compute(2),
+                Op::Finish(1),
+                Op::Begin(2),
+                Op::Consume(1),
+                Op::Finish(2), // drain
+                Op::Consume(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn both_schedules_run_identical_per_item_sequences() {
+        for n in 0..5 {
+            for overlap in [false, true] {
+                let log = schedule(n, overlap);
+                assert_eq!(log.len(), 4 * n);
+                for f in 0..n {
+                    let pos = |op: Op| log.iter().position(|&o| o == op).unwrap();
+                    assert!(pos(Op::Compute(f)) < pos(Op::Begin(f)));
+                    assert!(pos(Op::Begin(f)) < pos(Op::Finish(f)));
+                    assert!(pos(Op::Finish(f)) < pos(Op::Consume(f)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_one_exchange_in_flight() {
+        for overlap in [false, true] {
+            let log = schedule(4, overlap);
+            let mut in_flight = 0usize;
+            for op in log {
+                match op {
+                    Op::Begin(_) => {
+                        in_flight += 1;
+                        assert_eq!(
+                            in_flight, 1,
+                            "a second exchange opened before the first closed"
+                        );
+                    }
+                    Op::Finish(_) => in_flight -= 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(in_flight, 0);
+        }
+    }
+}

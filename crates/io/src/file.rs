@@ -55,6 +55,17 @@ pub enum IoError {
     Os(std::io::Error),
     /// Malformed file (bad magic, version, tags, truncation).
     Format(String),
+    /// The payload ended before a batch was fully read: the file is
+    /// shorter than its header claims. Carries the path and the exact
+    /// byte counts so the failure is actionable without re-running.
+    ShortRead {
+        /// File the read came from.
+        path: String,
+        /// Bytes the batch needed.
+        expected: u64,
+        /// Bytes actually available.
+        actual: u64,
+    },
     /// Payload does not match the stored checksum.
     ChecksumMismatch {
         /// Stored value.
@@ -71,6 +82,14 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Os(e) => write!(f, "I/O error: {e}"),
             IoError::Format(m) => write!(f, "malformed slice file: {m}"),
+            IoError::ShortRead {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "short read in {path}: expected {expected} bytes, got {actual}"
+            ),
             IoError::ChecksumMismatch { expected, actual } => {
                 write!(
                     f,
@@ -191,6 +210,11 @@ impl SliceWriter {
         })
     }
 
+    /// File metadata this writer was created with.
+    pub fn meta(&self) -> SliceFile {
+        self.meta
+    }
+
     /// Appends one slice (quantized to the file's storage precision).
     pub fn write_slice(&mut self, slice: &[f32]) -> Result<(), IoError> {
         if slice.len() != self.meta.slice_len {
@@ -236,6 +260,7 @@ impl SliceWriter {
 pub struct SliceReader {
     meta: SliceFile,
     input: BufReader<File>,
+    path: String,
     read: usize,
     hash: Fnv1a,
 }
@@ -243,6 +268,7 @@ pub struct SliceReader {
 impl SliceReader {
     /// Opens a file and validates the header.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, IoError> {
+        let path = path.as_ref();
         let mut input = BufReader::new(File::open(path)?);
         let mut header = [0u8; HEADER_LEN];
         input
@@ -267,9 +293,16 @@ impl SliceReader {
                 slice_len,
             },
             input,
+            path: path.display().to_string(),
             read: 0,
             hash: Fnv1a::new(),
         })
+    }
+
+    /// The path this reader was opened from (as given to
+    /// [`open`](Self::open)).
+    pub fn path(&self) -> &str {
+        &self.path
     }
 
     /// File metadata.
@@ -293,9 +326,21 @@ impl SliceReader {
         }
         let bytes = take * self.meta.slice_len * self.meta.precision.storage_bytes();
         let mut buf = vec![0u8; bytes];
-        self.input
-            .read_exact(&mut buf)
-            .map_err(|e| IoError::Format(format!("truncated payload: {e}")))?;
+        let mut got = 0;
+        while got < bytes {
+            match self.input.read(&mut buf[got..]) {
+                Ok(0) => {
+                    return Err(IoError::ShortRead {
+                        path: self.path.clone(),
+                        expected: bytes as u64,
+                        actual: got as u64,
+                    })
+                }
+                Ok(k) => got += k,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(IoError::Os(e)),
+            }
+        }
         self.hash.update(&buf);
         self.read += take;
         Ok(Some(decode_scalars(&buf, self.meta.precision)))
@@ -442,8 +487,13 @@ mod tests {
             match r.read_batch(5) {
                 Ok(Some(_)) => continue,
                 Ok(None) => break,
-                Err(IoError::Format(m)) => {
-                    assert!(m.contains("truncated"));
+                Err(IoError::ShortRead {
+                    path: p,
+                    expected,
+                    actual,
+                }) => {
+                    assert!(p.contains("truncated.xctd"), "{p}");
+                    assert!(actual < expected, "{actual} vs {expected}");
                     failed = true;
                     break;
                 }
@@ -451,6 +501,46 @@ mod tests {
             }
         }
         assert!(failed, "truncation must be detected");
+    }
+
+    #[test]
+    fn short_read_reports_path_and_byte_counts() {
+        // Chop a known number of payload bytes off and check the error
+        // carries the path and the exact expected/actual counts.
+        let path = tmp("short_read.xctd");
+        let meta = sample_meta(Precision::Single);
+        let mut w = SliceWriter::create(&path, meta).unwrap();
+        for s in 0..5 {
+            w.write_slice(&sample_slice(s)).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Keep the header plus half of the first slice's payload.
+        let slice_bytes = meta.slice_len * meta.precision.storage_bytes();
+        let keep = HEADER_LEN + slice_bytes / 2;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let mut r = SliceReader::open(&path).unwrap();
+        match r.read_batch(1) {
+            Err(IoError::ShortRead {
+                path: p,
+                expected,
+                actual,
+            }) => {
+                assert!(p.contains("short_read.xctd"), "{p}");
+                assert_eq!(expected, slice_bytes as u64);
+                assert_eq!(actual, (slice_bytes / 2) as u64);
+                let msg = IoError::ShortRead {
+                    path: p,
+                    expected,
+                    actual,
+                }
+                .to_string();
+                assert!(msg.contains("short_read.xctd"), "{msg}");
+                assert!(msg.contains(&expected.to_string()), "{msg}");
+                assert!(msg.contains(&actual.to_string()), "{msg}");
+            }
+            other => panic!("expected ShortRead, got {other:?}"),
+        }
     }
 
     #[test]

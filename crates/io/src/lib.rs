@@ -13,11 +13,16 @@
 //! * [`SliceWriter`] — sequential slice appends through a buffered
 //!   writer,
 //! * [`SliceReader`] — whole-file or batched reads with checksum and
-//!   shape validation.
+//!   shape validation,
+//! * [`PrefetchReader`] / [`DeferredWriter`] — background-threaded
+//!   slab streaming so out-of-core reconstruction overlaps disk I/O
+//!   with compute, bit-identical to synchronous access.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod file;
+mod stream;
 
 pub use file::{FileKind, IoError, SliceFile, SliceReader, SliceWriter};
+pub use stream::{DeferredWriter, PrefetchReader};

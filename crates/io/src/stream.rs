@@ -1,0 +1,288 @@
+//! Background-threaded streaming over slice files.
+//!
+//! Out-of-core reconstruction pages slabs of slices through disk while
+//! resident slabs compute (paper §III-A2's I/O batching, extended to
+//! overlap). Two small state machines provide that overlap without any
+//! shared-memory concurrency: ownership of the underlying reader/writer
+//! is *moved* into a background thread for the duration of one I/O
+//! operation and moved back when the caller joins it.
+//!
+//! - [`PrefetchReader`] reads the *next* slab on a background thread
+//!   while the caller computes on the current one.
+//! - [`DeferredWriter`] writes the *previous* slab on a background
+//!   thread while the caller computes the next one.
+//!
+//! Both preserve strict sequential file order, so the streamed data is
+//! byte-identical to a synchronous read/write of the same batches.
+
+use crate::file::{IoError, SliceReader, SliceWriter};
+use std::thread::JoinHandle;
+
+/// A background batch read in flight: the moved-in reader plus the
+/// outcome of its `read_batch` call.
+type ReadInFlight = JoinHandle<(SliceReader, Result<Option<Vec<f32>>, IoError>)>;
+
+/// A [`SliceReader`] wrapper that can read one batch ahead on a
+/// background thread.
+///
+/// Call [`prefetch`](Self::prefetch) to start loading a batch, compute
+/// on previously returned data, then call [`next`](Self::next) with the
+/// same batch size to collect it. Calling `next` without a prefetch in
+/// flight performs a synchronous read, so callers can mix modes freely.
+pub struct PrefetchReader {
+    state: PrefetchState,
+}
+
+enum PrefetchState {
+    /// No read in flight; the reader is held here.
+    Idle(SliceReader),
+    /// A batch read of `batch` slices is running on the thread.
+    Busy { batch: usize, handle: ReadInFlight },
+    /// Transient marker while swapping states; never observable.
+    Poisoned,
+}
+
+impl PrefetchReader {
+    /// Wraps an open reader. No thread is spawned until
+    /// [`prefetch`](Self::prefetch) is called.
+    pub fn new(reader: SliceReader) -> Self {
+        PrefetchReader {
+            state: PrefetchState::Idle(reader),
+        }
+    }
+
+    /// Starts reading the next batch of up to `max_slices` slices in the
+    /// background. No-op if a prefetch is already in flight.
+    pub fn prefetch(&mut self, max_slices: usize) {
+        if let PrefetchState::Idle(_) = self.state {
+            let PrefetchState::Idle(mut reader) =
+                std::mem::replace(&mut self.state, PrefetchState::Poisoned)
+            else {
+                unreachable!("state checked above");
+            };
+            let handle = std::thread::spawn(move || {
+                let result = reader.read_batch(max_slices);
+                (reader, result)
+            });
+            self.state = PrefetchState::Busy {
+                batch: max_slices,
+                handle,
+            };
+        }
+    }
+
+    /// Returns the next batch of up to `max_slices` slices: the
+    /// prefetched one if in flight (its batch size must match), or a
+    /// synchronous read otherwise. `Ok(None)` once the file is drained.
+    pub fn next(&mut self, max_slices: usize) -> Result<Option<Vec<f32>>, IoError> {
+        match std::mem::replace(&mut self.state, PrefetchState::Poisoned) {
+            PrefetchState::Idle(mut reader) => {
+                let result = reader.read_batch(max_slices);
+                self.state = PrefetchState::Idle(reader);
+                result
+            }
+            PrefetchState::Busy { batch, handle } => {
+                assert_eq!(
+                    batch, max_slices,
+                    "prefetch batch ({batch}) must match the requested batch ({max_slices})"
+                );
+                let (reader, result) = handle.join().expect("prefetch thread panicked");
+                self.state = PrefetchState::Idle(reader);
+                result
+            }
+            PrefetchState::Poisoned => unreachable!("PrefetchReader state poisoned"),
+        }
+    }
+
+    /// Joins any in-flight prefetch (discarding its data) and returns
+    /// the underlying reader, e.g. for checksum verification.
+    pub fn into_inner(self) -> Result<SliceReader, IoError> {
+        match self.state {
+            PrefetchState::Idle(reader) => Ok(reader),
+            PrefetchState::Busy { handle, .. } => {
+                let (reader, result) = handle.join().expect("prefetch thread panicked");
+                // Surface a read error even though the data is discarded:
+                // the caller should not silently checksum a broken stream.
+                result?;
+                Ok(reader)
+            }
+            PrefetchState::Poisoned => unreachable!("PrefetchReader state poisoned"),
+        }
+    }
+}
+
+/// A [`SliceWriter`] wrapper that writes each slab on a background
+/// thread while the caller computes the next one.
+///
+/// [`write_slab`](Self::write_slab) first joins the previous write
+/// (propagating its error), then spawns the new one, so at most one
+/// write is in flight and file order is strictly sequential.
+pub struct DeferredWriter {
+    state: WriteState,
+}
+
+enum WriteState {
+    /// No write in flight; the writer is held here.
+    Idle(SliceWriter),
+    /// A slab write is running on the thread.
+    Busy(JoinHandle<(SliceWriter, Result<(), IoError>)>),
+    /// Transient marker while swapping states; never observable.
+    Poisoned,
+}
+
+impl DeferredWriter {
+    /// Wraps a writer. No thread is spawned until
+    /// [`write_slab`](Self::write_slab) is called.
+    pub fn new(writer: SliceWriter) -> Self {
+        DeferredWriter {
+            state: WriteState::Idle(writer),
+        }
+    }
+
+    /// Queues `data` — a whole number of slices, laid out contiguously —
+    /// for background writing. Blocks only until the *previous* slab
+    /// finishes, returning its error if it failed.
+    pub fn write_slab(&mut self, data: Vec<f32>) -> Result<(), IoError> {
+        let mut writer = match std::mem::replace(&mut self.state, WriteState::Poisoned) {
+            WriteState::Idle(writer) => writer,
+            WriteState::Busy(handle) => {
+                let (writer, result) = handle.join().expect("writer thread panicked");
+                match result {
+                    Ok(()) => writer,
+                    Err(e) => {
+                        self.state = WriteState::Idle(writer);
+                        return Err(e);
+                    }
+                }
+            }
+            WriteState::Poisoned => unreachable!("DeferredWriter state poisoned"),
+        };
+        let slice_len = writer.meta().slice_len;
+        assert!(
+            slice_len > 0 && data.len().is_multiple_of(slice_len),
+            "slab of {} scalars is not a whole number of {slice_len}-scalar slices",
+            data.len()
+        );
+        let handle = std::thread::spawn(move || {
+            let mut result = Ok(());
+            for slice in data.chunks_exact(slice_len) {
+                if let Err(e) = writer.write_slice(slice) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            (writer, result)
+        });
+        self.state = WriteState::Busy(handle);
+        Ok(())
+    }
+
+    /// Joins the in-flight write (propagating its error) and returns the
+    /// underlying writer so the caller can `finish()` it.
+    pub fn into_inner(self) -> Result<SliceWriter, IoError> {
+        match self.state {
+            WriteState::Idle(writer) => Ok(writer),
+            WriteState::Busy(handle) => {
+                let (writer, result) = handle.join().expect("writer thread panicked");
+                result?;
+                Ok(writer)
+            }
+            WriteState::Poisoned => unreachable!("DeferredWriter state poisoned"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::{FileKind, SliceFile};
+    use xct_fp16::Precision;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("xct_io_stream_tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    fn meta(slices: usize) -> SliceFile {
+        SliceFile {
+            kind: FileKind::Volume,
+            precision: Precision::Single,
+            slices,
+            slice_len: 32,
+        }
+    }
+
+    fn write_plain(path: &std::path::Path, slices: usize) -> Vec<f32> {
+        let mut w = SliceWriter::create(path, meta(slices)).unwrap();
+        let mut all = Vec::new();
+        for s in 0..slices {
+            let slice: Vec<f32> = (0..32).map(|i| (s * 32 + i) as f32).collect();
+            w.write_slice(&slice).unwrap();
+            all.extend_from_slice(&slice);
+        }
+        w.finish().unwrap();
+        all
+    }
+
+    #[test]
+    fn prefetched_reads_match_synchronous_reads() {
+        let path = tmp("prefetch.xctd");
+        let want = write_plain(&path, 7);
+
+        let mut r = PrefetchReader::new(SliceReader::open(&path).unwrap());
+        let mut collected = Vec::new();
+        r.prefetch(3);
+        while let Some(batch) = r.next(3).unwrap() {
+            r.prefetch(3);
+            collected.extend(batch);
+        }
+        assert_eq!(collected, want);
+        r.into_inner().unwrap().verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn next_without_prefetch_reads_synchronously() {
+        let path = tmp("sync_fallback.xctd");
+        let want = write_plain(&path, 4);
+        let mut r = PrefetchReader::new(SliceReader::open(&path).unwrap());
+        let mut collected = Vec::new();
+        while let Some(batch) = r.next(2).unwrap() {
+            collected.extend(batch);
+        }
+        assert_eq!(collected, want);
+    }
+
+    #[test]
+    fn deferred_writes_match_plain_writes() {
+        let plain = tmp("deferred_want.xctd");
+        let want = write_plain(&plain, 6);
+
+        let path = tmp("deferred.xctd");
+        let mut w = DeferredWriter::new(SliceWriter::create(&path, meta(6)).unwrap());
+        for slab in want.chunks(3 * 32) {
+            w.write_slab(slab.to_vec()).unwrap();
+        }
+        w.into_inner().unwrap().finish().unwrap();
+
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&plain).unwrap()
+        );
+    }
+
+    #[test]
+    fn prefetch_error_surfaces_on_into_inner() {
+        let path = tmp("prefetch_short.xctd");
+        write_plain(&path, 5);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut r = PrefetchReader::new(SliceReader::open(&path).unwrap());
+        r.prefetch(5);
+        match r.into_inner() {
+            Err(IoError::ShortRead { .. }) => {}
+            Err(other) => panic!("expected ShortRead, got {other:?}"),
+            Ok(_) => panic!("expected ShortRead, got a reader"),
+        }
+    }
+}

@@ -27,6 +27,11 @@ pub enum Phase {
     HaloExchange,
     /// Small control-plane collectives: allreduce, barrier.
     Allreduce,
+    /// Blocking completion of a previously posted exchange: the time a
+    /// rank spends waiting on in-flight irecvs when the overlap window
+    /// closes. Kept separate from the exchange phases so pipeline stall
+    /// time never inflates the enclosing compute span's self time.
+    CommWait,
     /// One solver iteration (CGLS/SIRT/TV outer step).
     SolverIteration,
     /// Solver bookkeeping outside the iteration loop: probes, initial
@@ -53,6 +58,7 @@ impl Phase {
             Phase::ReduceGlobal => "comm.reduce.global",
             Phase::HaloExchange => "comm.halo",
             Phase::Allreduce => "comm.allreduce",
+            Phase::CommWait => "comm.wait",
             Phase::SolverIteration => "solver.iteration",
             Phase::SolverSetup => "solver.setup",
             Phase::Io => "io",
@@ -83,6 +89,7 @@ mod tests {
             Phase::ReduceGlobal,
             Phase::HaloExchange,
             Phase::Allreduce,
+            Phase::CommWait,
             Phase::SolverIteration,
             Phase::SolverSetup,
             Phase::Io,

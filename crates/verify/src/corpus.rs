@@ -26,7 +26,10 @@
 //! Beyond the reconstructions, [`misrouted_direct`] / [`dropped_direct`]
 //! / [`duplicated_direct`] / [`unheld_direct`] are minimal conservation
 //! corruptions of a valid direct plan, [`duplicate_designee_step`] is a
-//! reduction level designating one row twice, and
+//! reduction level designating one row twice,
+//! [`over_budget_plan`] is a reconstruction plan claiming a byte budget
+//! its own footprint exceeds (`plan_fits` must report the exact gap),
+//! and
 //! [`single_sweep_gather`] is a *timing* bug — a gather whose root polls
 //! each source once without retrying — that passes every static check
 //! and the baseline schedule, and is caught only by chaos schedules
@@ -179,6 +182,21 @@ pub fn duplicate_designee_step() -> (Footprints, ReductionStep) {
 /// non-ascending indices must be rejected with the offending position.
 pub fn unsorted_transfer() -> Result<xct_comm::Transfer, xct_comm::PlanError> {
     xct_comm::Transfer::try_new(1, vec![3, 3])
+}
+
+/// A reconstruction plan whose claimed budget is one byte below its
+/// true peak per-rank footprint — the shape of a hand-edited or stale
+/// plan file that would overrun (simulated) device memory if executed.
+/// `plan_fits` must report `PlanOverBudget` with the exact byte gap.
+pub fn over_budget_plan() -> xct_plan::ReconPlan {
+    let planner = xct_plan::Planner::default();
+    let dims = xct_plan::VolumeDims { n: 16, slices: 6 };
+    let topo = Topology::new(1, 2, 2);
+    let mut plan = planner
+        .plan(dims, 16, None, topo)
+        .expect("valid plan inputs");
+    plan.budget_bytes = Some(plan.per_rank_bytes() - 1);
+    plan
 }
 
 /// A gather whose root sweeps its sources with `try_recv` exactly once

@@ -169,6 +169,51 @@ pub enum ViolationKind {
         /// Human-readable description with the witness inline.
         detail: String,
     },
+    /// A plan's peak per-rank footprint exceeds the byte budget it was
+    /// made against — executing it would overrun (simulated) device
+    /// memory.
+    PlanOverBudget {
+        /// The budget the plan claims to honor.
+        budget: u64,
+        /// The actual peak per-rank footprint.
+        required: u64,
+    },
+    /// Slab `index` does not start where the previous slab ended — the
+    /// cover has a gap or an overlap.
+    SlabCoverBreak {
+        /// The offending slab.
+        index: usize,
+        /// Where it should start (previous slab's end).
+        expected_start: usize,
+        /// Where it actually starts.
+        start: usize,
+    },
+    /// The slabs end before the stack does: slices `covered..slices`
+    /// are never reconstructed.
+    SlabCoverShort {
+        /// Slices the slabs cover.
+        covered: usize,
+        /// Slices the plan promises.
+        slices: usize,
+    },
+    /// A slab holds more slices than the plan's fusing factor — its
+    /// footprint was never accounted against the budget.
+    SlabTooWide {
+        /// The offending slab.
+        index: usize,
+        /// Its slice count.
+        len: usize,
+        /// The plan's fusing bound.
+        fusing: usize,
+    },
+    /// A slab's residency contradicts the slab count: a single slab
+    /// must be resident, multiple slabs must all stream.
+    ResidencyConflict {
+        /// The slab whose residency is wrong.
+        index: usize,
+        /// How many slabs the plan has.
+        slabs: usize,
+    },
 }
 
 impl fmt::Display for ViolationKind {
@@ -232,6 +277,30 @@ impl fmt::Display for ViolationKind {
                 "scratch aliasing at position {position}: {second} overwrites {first}"
             ),
             ViolationKind::Malformed { detail } => write!(f, "malformed program: {detail}"),
+            ViolationKind::PlanOverBudget { budget, required } => write!(
+                f,
+                "plan over budget: peak per-rank footprint {required} B exceeds budget {budget} B"
+            ),
+            ViolationKind::SlabCoverBreak {
+                index,
+                expected_start,
+                start,
+            } => write!(
+                f,
+                "slab {index} starts at slice {start}, expected {expected_start} (gap or overlap)"
+            ),
+            ViolationKind::SlabCoverShort { covered, slices } => write!(
+                f,
+                "slabs cover {covered} of {slices} slices; the tail is never reconstructed"
+            ),
+            ViolationKind::SlabTooWide { index, len, fusing } => write!(
+                f,
+                "slab {index} holds {len} slices, above the fusing bound {fusing}"
+            ),
+            ViolationKind::ResidencyConflict { index, slabs } => write!(
+                f,
+                "slab {index} residency contradicts the slab count ({slabs})"
+            ),
         }
     }
 }

@@ -10,15 +10,19 @@
 //! in two layers:
 //!
 //! * **Static verification** ([`plan_check`], [`compiled_check`],
-//!   [`tags`], [`deadlock`]) proves, per rank and level: *conservation*
+//!   [`tags`], [`deadlock`], [`plan_fits`]) proves, per rank and level:
+//!   *conservation*
 //!   (every footprint element reaches its owner exactly once — keeps
 //!   plus receives partition the owned set), *tag disjointness* (no two
 //!   concurrently in-flight exchanges emit matchable messages on the
 //!   same `(src, dst, tag)`, including the overlap pipeline's
 //!   double-buffered slices and the collectives' reply namespace),
 //!   *deadlock freedom* (the send/recv match graph under the runtime's
-//!   per-key FIFO rules admits a topological order), and *scratch
-//!   non-aliasing* (no position written twice within a level).
+//!   per-key FIFO rules admits a topological order), *scratch
+//!   non-aliasing* (no position written twice within a level), and
+//!   *plan fitness* (an `xct_plan::ReconPlan`'s peak footprint fits its
+//!   byte budget, its slabs cover the stack exactly once, and its
+//!   fusing factor keeps slice tag salts out of the reply namespace).
 //!   Violations are structured [`Violation`]s with witnesses, never
 //!   booleans.
 //! * **Schedule exploration** ([`explore`]) runs real rank bodies under
@@ -43,6 +47,7 @@ pub mod deadlock;
 pub mod diag;
 pub mod explore;
 pub mod plan_check;
+pub mod plan_fits;
 pub mod tags;
 
 pub use compiled_check::verify_compiled;
@@ -50,6 +55,7 @@ pub use deadlock::{verify_deadlock, CommOp, CommProgram};
 pub use diag::{ExchangeLevel, VerifyReport, Violation, ViolationKind, WriteOrigin};
 pub use explore::{explore, ExploreReport, SeedOutcome};
 pub use plan_check::{verify_direct, verify_hierarchical, verify_reduce_step};
+pub use plan_fits::plan_fits;
 pub use tags::{claims_for_compiled, slice_salt, verify_tags, TagClaim, TagClaimSet};
 
 use xct_comm::{CompiledPlans, DirectPlan, Footprints, HierarchicalPlan, Ownership, Topology};

@@ -7,12 +7,13 @@
 
 use std::time::Duration;
 use xct_comm::{
-    CompiledPlans, DirectPlan, Footprints, HierarchicalPlan, Ownership, PlanError, Topology,
+    Communicator, CompiledPlans, DirectPlan, Footprints, HierarchicalPlan, Ownership, PlanError,
+    Topology,
 };
 use xct_verify::corpus::{
     aliased_reply_exchange, barrier_program, buggy_allreduce_claims, dropped_direct,
-    duplicate_designee_step, duplicated_direct, misrouted_direct, single_sweep_gather,
-    small_direct_fixture, unheld_direct, unsorted_transfer,
+    duplicate_designee_step, duplicated_direct, misrouted_direct, over_budget_plan,
+    single_sweep_gather, small_direct_fixture, unheld_direct, unsorted_transfer,
 };
 use xct_verify::deadlock::{CommOp, CommProgram};
 use xct_verify::{
@@ -264,6 +265,81 @@ fn single_sweep_gather_passes_baseline_fails_under_chaos() {
         repro.failure, fail.failure,
         "seeded schedule must reproduce"
     );
+}
+
+// ---- Reconstruction plans: budgets and streamed schedules ----
+
+#[test]
+fn over_budget_plan_artifact_is_rejected_with_the_exact_gap() {
+    let plan = over_budget_plan();
+    let budget = plan.budget_bytes.expect("artifact carries a budget");
+    let required = plan.per_rank_bytes();
+    assert!(required > budget, "artifact must actually be over budget");
+    let report = xct_verify::plan_fits(&plan);
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::PlanOverBudget { budget: b, required: r }
+                if b == budget && r == required
+        )),
+        "expected PlanOverBudget with the exact gap, got: {report}"
+    );
+}
+
+#[test]
+fn streamed_slab_exchanges_survive_chaos_schedules() {
+    // The streaming executor runs one exchange sequence per slab; the
+    // per-slab tag salt is what keeps a chaos-delayed message from slab
+    // k out of slab k+1's matching window. Drive a minimal per-slab
+    // gather over a real streamed plan under baseline + chaos schedules
+    // and require every schedule to produce the per-slab sums.
+    let planner = xct_plan::Planner::default();
+    let dims = xct_plan::VolumeDims { n: 16, slices: 6 };
+    let topo = Topology::new(1, 1, 2);
+    let probe = planner.plan(dims, 16, None, topo).unwrap();
+    let budget = probe.matrix_bytes_per_rank() + 2 * probe.slice_bytes_per_rank();
+    let plan = planner.plan(dims, 16, Some(budget), topo).unwrap();
+    assert!(plan.streaming(), "budget must force streaming");
+    xct_verify::plan_fits(&plan).assert_ok("streamed chaos plan");
+
+    let n = plan.ranks();
+    let slabs: Vec<usize> = plan.slabs.iter().map(|s| s.index).collect();
+    let expect: Vec<f64> = slabs
+        .iter()
+        .map(|&s| (1..=n).map(|r| (r * (s + 1)) as f64).sum())
+        .collect();
+    let body = move |comm: &Communicator| -> Vec<f64> {
+        let me = comm.rank();
+        let mut sums = Vec::with_capacity(slabs.len());
+        for &s in &slabs {
+            let tag = 0x9000u64 ^ xct_verify::slice_salt(s);
+            let value = ((me + 1) * (s + 1)) as f64;
+            if me == 0 {
+                let mut acc = value;
+                for src in 1..comm.size() {
+                    let v: Vec<f64> = comm.recv_vals(src, tag).expect("gather");
+                    acc += v[0];
+                }
+                for dst in 1..comm.size() {
+                    comm.send_vals(dst, tag ^ 0x10, &[acc]).expect("bcast");
+                }
+                sums.push(acc);
+            } else {
+                comm.send_vals(0, tag, &[value]).expect("contribute");
+                let v: Vec<f64> = comm.recv_vals(0, tag ^ 0x10).expect("result");
+                sums.push(v[0]);
+            }
+        }
+        sums
+    };
+    let oracle = move |results: &[Vec<f64>]| {
+        results.iter().enumerate().find_map(|(r, sums)| {
+            (sums != &expect).then(|| format!("rank {r} got {sums:?}, want {expect:?}"))
+        })
+    };
+    let seeds: Vec<u64> = (0..16).collect();
+    let report = explore(n, Duration::from_secs(10), &seeds, body, oracle);
+    assert!(report.ok(), "{:?}", report.first_failure());
 }
 
 // ---- Generated plans: the real pipeline must verify cleanly ----

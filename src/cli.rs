@@ -9,18 +9,22 @@ use std::time::Duration;
 
 use xct_analytic::{filtered_backprojection, FilterKind};
 use xct_cluster::MachineSpec;
-use xct_comm::{CommReport, RankCommStats, Topology, WireModel};
-use xct_core::distributed::{reconstruct_distributed, DistributedConfig};
-use xct_core::model::{HierarchyRatios, ModelExperiment, OptLevel};
-use xct_core::{reconstruct_volume_in, Algorithm, Partitioning, ReconOptions, Reconstructor};
+use xct_comm::{CommReport, Topology, WireModel};
+use xct_core::distributed::DistributedConfig;
+use xct_core::model::{ModelExperiment, OptLevel};
+use xct_core::{
+    reconstruct_planned, reconstruct_volume_in, Algorithm, ReconOptions, Reconstructor,
+};
 use xct_exec::{ExecContext, ExecCounters};
 use xct_fp16::Precision;
 use xct_geometry::{ImageGrid, ScanGeometry};
 use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
 use xct_phantom::{add_poisson_noise, DatasetSpec, Image2D};
+use xct_plan::{Planner, VolumeDims};
 use xct_telemetry::{
     chrome_trace, Breakdown, CausalAnalysis, Json, Phase, PhaseHistograms, Telemetry,
 };
+use xct_verify::plan_fits;
 
 /// CLI failure: message for the user, nonzero exit.
 #[derive(Debug)]
@@ -266,6 +270,14 @@ USAGE:
                       [--precision double|single|half|mixed] [--iterations 24]
                       [--batch 8] [--damping 0] [--solver cgls|sirt|tv]
                       [--topology NxSxG]        simulate N nodes x S sockets x G GPUs
+                      [--memory-budget BYTES]   per-rank device-memory budget: the
+                                                planner picks the largest slice batch
+                                                that fits (paper Sec. III-A3) and
+                                                streams slabs through I/O when the
+                                                stack no longer fits at once
+                      [--stream]                force out-of-core execution: split
+                                                the stack into at least two slabs
+                                                and page them through I/O
                       [--overlap]               overlap each slice's global exchange
                                                 with the next slice's local compute
                       [--verify-plans]          statically verify the communication
@@ -388,7 +400,20 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
     let iterations: usize = flags.parse_or("iterations", 24)?;
     let batch: usize = flags.parse_or("batch", 8)?;
     let damping: f64 = flags.parse_or("damping", 0.0)?;
-    let topology = flags.get("topology").map(parse_topology).transpose()?;
+    let budget: Option<u64> = flags
+        .get("memory-budget")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| CliError(format!("invalid value for --memory-budget: {v:?}")))
+        })
+        .transpose()?;
+    let stream = flags.switch("stream");
+    let mut topology = flags.get("topology").map(parse_topology).transpose()?;
+    if topology.is_none() && (budget.is_some() || stream) {
+        // A budgeted or forced-streaming run is a planned run; default
+        // to the smallest simulated machine.
+        topology = Some(Topology::new(1, 1, 1));
+    }
     let tel_args = TelemetryArgs::from_flags(flags);
     let telemetry = tel_args.handle();
 
@@ -429,72 +454,74 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
             Ok(text + &tel_args.emit(&telemetry, "reconstruct", &ctx.counters, None)?)
         }
         ("cgls", Some(topology)) => {
-            // Distributed mode: every I/O batch runs the full multi-rank
-            // pipeline (hierarchical exchanges, per-rank solvers).
+            // Distributed mode: plan first (the paper's §III-A3 rule
+            // against the optional memory budget), statically verify the
+            // plan, then execute it slab by slab — every slab runs the
+            // full multi-rank pipeline, and non-resident slabs page
+            // through I/O on background threads.
             let overlap = flags.switch("overlap");
             let wire = flags
                 .get("wire")
                 .map(|spec| parse_wire(spec, topology))
                 .transpose()?;
-            let cfg_base = DistributedConfig {
-                topology: *topology,
+            let verify_plans = flags.switch("verify-plans");
+            let mut max_fusing = batch.max(1);
+            if stream && slices > 1 {
+                // Force out-of-core execution: at least two slabs, so
+                // every slab pages through xct-io.
+                max_fusing = max_fusing.min(slices.div_ceil(2));
+            }
+            let planner = Planner {
                 precision,
-                iterations,
                 hierarchical: true,
                 overlap,
+                max_fusing,
+            };
+            let plan = planner
+                .plan(VolumeDims { n, slices }, angles, budget, *topology)
+                .map_err(|e| CliError(format!("{e}")))?;
+            let fits = plan_fits(&plan);
+            if !fits.ok() {
+                return Err(CliError(format!("reconstruction plan rejected:\n{fits}")));
+            }
+            let base = DistributedConfig {
+                iterations,
                 wire,
                 telemetry: telemetry.clone(),
-                verify_plans: flags.switch("verify-plans"),
+                verify_plans,
                 ..Default::default()
             };
-            let mut done = 0;
-            let mut batches = 0;
-            let mut worst = 0.0f64;
-            let mut counters = ExecCounters::default();
-            let mut merged: Vec<RankCommStats> = Vec::new();
-            loop {
-                let data = {
-                    let _io = telemetry.span(Phase::Io);
-                    reader.read_batch(batch)?
-                };
-                let Some(data) = data else { break };
-                let fusing = data.len() / recon.num_rays();
-                let cfg = DistributedConfig {
-                    fusing,
-                    ..cfg_base.clone()
-                };
-                let result = reconstruct_distributed(recon.scan(), &data, &cfg);
-                {
-                    let _io = telemetry.span(Phase::Io);
-                    for f in 0..fusing {
-                        writer.write_slice(
-                            &result.x[f * recon.num_voxels()..(f + 1) * recon.num_voxels()],
-                        )?;
-                    }
-                }
-                counters.merge(&result.counters);
-                for stats in &result.comm_stats {
-                    match merged.iter_mut().find(|m| m.rank == stats.rank) {
-                        Some(m) => m.merge(stats),
-                        None => merged.push(stats.clone()),
-                    }
-                }
-                worst = worst.max(*result.residual_history.last().unwrap_or(&1.0));
-                done += fusing;
-                batches += 1;
-            }
-            reader.verify_checksum()?;
-            writer.finish()?;
-            let comm_report = CommReport::new(merged);
+            let outcome = reconstruct_planned(recon.scan(), &plan, reader, writer, &base)?;
+            let stats = outcome.stats;
+            outcome.reader.verify_checksum()?;
+            outcome.writer.finish()?;
+            let comm_report = CommReport::new(stats.comm_stats.clone());
+            let plan_note = match plan.budget_bytes {
+                Some(b) => format!(
+                    "\nplan: fusing {}, {} slabs, peak {} B/rank within budget {b} B",
+                    plan.fusing,
+                    plan.slabs.len(),
+                    plan.per_rank_bytes()
+                ),
+                None => String::new(),
+            };
             let text = format!(
-                "reconstructed {done} slices in {batches} batches on {} simulated ranks ({} precision, {} iters/batch{}{}{}); worst residual {worst:.5}; volume in {out}",
-                topology.size(), precision, iterations,
+                "reconstructed {} slices in {} batches on {} simulated ranks ({} precision, {} iters/batch{}{}{}{}); worst residual {:.5}; volume in {out}{plan_note}",
+                stats.slices, stats.slabs, topology.size(), precision, iterations,
                 if overlap { ", comm overlapped" } else { "" },
-                if cfg_base.wire.is_some() { ", wired" } else { "" },
-                if cfg_base.verify_plans { ", plans verified" } else { "" }
+                if base.wire.is_some() { ", wired" } else { "" },
+                if verify_plans { ", plans verified" } else { "" },
+                if stats.streamed { ", streamed" } else { "" },
+                stats.worst_residual
             );
             drop(total_span);
-            Ok(text + &tel_args.emit(&telemetry, "reconstruct", &counters, Some(&comm_report))?)
+            Ok(text
+                + &tel_args.emit(
+                    &telemetry,
+                    "reconstruct",
+                    &stats.counters,
+                    Some(&comm_report),
+                )?)
         }
         ("sirt", _) | ("tv", _) => {
             let algorithm = if solver == "sirt" {
@@ -564,27 +591,17 @@ fn model(flags: &Flags) -> Result<String, CliError> {
         other => return Err(CliError(format!("unknown dataset {other:?}"))),
     };
     let machine = MachineSpec::summit(nodes);
-    let partitioning = Partitioning::optimal_for(
-        spec.projections,
-        spec.rows,
-        spec.channels,
-        &machine,
+    // Machine-granularity planning: the Table III batch × data split
+    // wrapped in a ReconPlan, consumed by the paper-scale estimator.
+    let plan = Planner {
         precision,
-    );
-    let est = ModelExperiment {
-        projections: spec.projections,
-        rows: spec.rows,
-        channels: spec.channels,
-        machine,
-        partitioning,
-        precision,
-        opt: OptLevel::full(),
-        fusing: 16,
-        iterations,
-        ratios: HierarchyRatios::paper(),
-        imbalance: 0.07,
+        hierarchical: true,
+        overlap: false,
+        max_fusing: 16,
     }
-    .run();
+    .plan_machine(spec.projections, spec.rows, spec.channels, &machine, 16);
+    let partitioning = plan.partitioning;
+    let est = ModelExperiment::from_plan(&plan, machine, OptLevel::full(), iterations).run();
     Ok(format!(
         "{} on {} Summit nodes ({} GPUs), {} precision, {} CG iterations:\n\
          partitioning {}x({}x6) (batch x data nodes)\n\
@@ -958,6 +975,134 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("plans verified"), "{out}");
+    }
+
+    #[test]
+    fn budgeted_reconstruct_streams_and_matches_the_unconstrained_batching() {
+        let sino = tmp("cli_budget_sino.xctd");
+        run_cmd(&[
+            "simulate",
+            "--phantom",
+            "shepp",
+            "--out",
+            &sino,
+            "--n",
+            "16",
+            "--angles",
+            "16",
+            "--slices",
+            "4",
+        ])
+        .unwrap();
+        // A budget that admits exactly two fused slices per rank.
+        let dims = VolumeDims { n: 16, slices: 4 };
+        let topo = Topology::new(1, 2, 2);
+        let probe = Planner {
+            precision: Precision::Single,
+            hierarchical: true,
+            overlap: false,
+            max_fusing: 8,
+        }
+        .plan(dims, 16, None, topo)
+        .unwrap();
+        let budget = probe.matrix_bytes_per_rank() + 2 * probe.slice_bytes_per_rank();
+
+        let budgeted = tmp("cli_budget_vol.xctd");
+        let out = run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            &budgeted,
+            "--topology",
+            "1x2x2",
+            "--precision",
+            "single",
+            "--iterations",
+            "4",
+            "--memory-budget",
+            &budget.to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("in 2 batches"), "{out}");
+        assert!(out.contains("streamed"), "{out}");
+        assert!(out.contains("within budget"), "{out}");
+
+        // The same run batched at fusing 2 without a budget must be
+        // bit-identical: slab boundaries, not data movement, determine
+        // the arithmetic.
+        let batched = tmp("cli_batch_vol.xctd");
+        run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            &batched,
+            "--topology",
+            "1x2x2",
+            "--precision",
+            "single",
+            "--iterations",
+            "4",
+            "--batch",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&budgeted).unwrap(),
+            std::fs::read(&batched).unwrap(),
+            "budgeted streaming must be bit-identical to plain batching"
+        );
+
+        // An impossible budget is rejected by the planner, not executed.
+        let err = run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            "/tmp/never.xctd",
+            "--topology",
+            "1x2x2",
+            "--memory-budget",
+            "16",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("too small"), "{err}");
+    }
+
+    #[test]
+    fn stream_flag_forces_out_of_core_on_the_default_topology() {
+        let sino = tmp("cli_stream_sino.xctd");
+        let vol = tmp("cli_stream_vol.xctd");
+        run_cmd(&[
+            "simulate",
+            "--phantom",
+            "shepp",
+            "--out",
+            &sino,
+            "--n",
+            "16",
+            "--angles",
+            "16",
+            "--slices",
+            "3",
+        ])
+        .unwrap();
+        // No --topology: --stream implies a planned run on 1x1x1.
+        let out = run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            &vol,
+            "--stream",
+            "--iterations",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("on 1 simulated ranks"), "{out}");
+        assert!(out.contains("streamed"), "{out}");
+        assert!(out.contains("in 2 batches"), "{out}");
     }
 
     #[test]

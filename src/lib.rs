@@ -6,6 +6,7 @@
 //! precision), [`xct_geometry`] (Siddon projector), [`xct_hilbert`]
 //! (domain decomposition), [`xct_solver`] (CGLS), [`xct_cluster`]
 //! (machine model), [`xct_phantom`] (synthetic datasets),
+//! [`xct_plan`] (memory-budgeted reconstruction planning),
 //! [`xct_verify`] (plan verification + schedule exploration).
 
 #![forbid(unsafe_code)]
@@ -22,6 +23,7 @@ pub use xct_geometry as geometry;
 pub use xct_hilbert as hilbert;
 pub use xct_io as io;
 pub use xct_phantom as phantom;
+pub use xct_plan as plan;
 pub use xct_solver as solver;
 pub use xct_spmm as spmm;
 pub use xct_telemetry as telemetry;
