@@ -1,0 +1,192 @@
+//! CI validator for the metrics exporters: checks that a
+//! `--metrics-out` JSON file round-trips as `petaxct-metrics-v1` and
+//! that its Prometheus sibling follows the text exposition line format.
+//!
+//! Usage: `metrics_check FILE.json [FILE.prom]` (the Prometheus path
+//! defaults to `FILE.json.prom`, matching what the CLI writes). Exits
+//! nonzero with a diagnostic on the first malformed construct.
+
+#![forbid(unsafe_code)]
+
+use xct_telemetry::Json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("metrics_check: {msg}");
+    std::process::exit(1);
+}
+
+/// `petaxct-metrics-v1` structural checks: schema tag, monotone sample
+/// times, and per-track counter/gauge/histogram sections. Returns the
+/// total number of metric values seen (CI asserts it is non-trivial).
+fn check_json(text: &str) -> usize {
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => fail(&format!("JSON does not parse: {e}")),
+    };
+    // Round-trip: re-serializing and re-parsing must be stable.
+    let reparsed = Json::parse(&doc.to_string()).ok();
+    if reparsed.as_ref().map(Json::to_string) != Some(doc.to_string()) {
+        fail("JSON does not round-trip through serialize/parse");
+    }
+    if doc.get("schema").and_then(Json::as_str) != Some("petaxct-metrics-v1") {
+        fail("schema is not petaxct-metrics-v1");
+    }
+    let samples = doc
+        .get("samples")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail("missing samples array"));
+    if samples.is_empty() {
+        fail("samples array is empty");
+    }
+    let mut last_at = 0.0f64;
+    let mut values = 0usize;
+    for (i, sample) in samples.iter().enumerate() {
+        let at = sample
+            .get("at_ns")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| fail(&format!("sample {i} missing at_ns")));
+        if at < last_at {
+            fail(&format!("sample {i} at_ns {at} < previous {last_at}"));
+        }
+        last_at = at;
+        let tracks = sample
+            .get("tracks")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| fail(&format!("sample {i} missing tracks")));
+        for track in tracks {
+            if track.get("track").and_then(Json::as_f64).is_none() {
+                fail(&format!("sample {i}: track entry missing track id"));
+            }
+            for section in ["counters", "gauges"] {
+                match track.get(section) {
+                    Some(Json::Obj(pairs)) => values += pairs.len(),
+                    _ => fail(&format!("sample {i}: missing {section} object")),
+                }
+            }
+            let hists = track
+                .get("histograms")
+                .and_then(Json::as_array)
+                .unwrap_or_else(|| fail(&format!("sample {i}: missing histograms")));
+            for h in hists {
+                for field in ["metric", "count", "sum_ns", "buckets"] {
+                    if h.get(field).is_none() {
+                        fail(&format!("sample {i}: histogram missing {field}"));
+                    }
+                }
+                values += 1;
+            }
+        }
+    }
+    values
+}
+
+/// A Prometheus exposition sample line: `name{labels} value` with a
+/// `petaxct_`-prefixed metric name and a parseable float value.
+fn check_prom_sample_line(lineno: usize, line: &str) {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| fail(&format!("line {lineno}: no value separator: {line:?}")));
+    if value.parse::<f64>().is_err() {
+        fail(&format!("line {lineno}: value {value:?} is not a number"));
+    }
+    let name = series.split('{').next().unwrap_or(series);
+    if !name.starts_with("petaxct_") {
+        fail(&format!(
+            "line {lineno}: metric {name:?} lacks petaxct_ prefix"
+        ));
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        fail(&format!("line {lineno}: invalid metric name {name:?}"));
+    }
+    if let Some(rest) = series.strip_prefix(name) {
+        if !rest.is_empty() {
+            let labels = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| fail(&format!("line {lineno}: malformed labels: {rest:?}")));
+            for label in labels.split(',') {
+                let (k, v) = label.split_once('=').unwrap_or_else(|| {
+                    fail(&format!("line {lineno}: label without '=': {label:?}"))
+                });
+                if k.is_empty() || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                    fail(&format!("line {lineno}: malformed label {label:?}"));
+                }
+            }
+        }
+    }
+}
+
+/// Prometheus text-format checks: every line is a comment (`# HELP` /
+/// `# TYPE`) or a well-formed sample line, every TYPE is a known kind,
+/// and each metric's TYPE precedes its samples.
+fn check_prom(text: &str) -> usize {
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.splitn(3, ' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("HELP"), Some(name), Some(_)) => {
+                    if !name.starts_with("petaxct_") {
+                        fail(&format!(
+                            "line {lineno}: HELP for non-petaxct metric {name:?}"
+                        ));
+                    }
+                }
+                (Some("TYPE"), Some(name), Some(kind)) => {
+                    if !matches!(kind, "counter" | "gauge" | "histogram") {
+                        fail(&format!("line {lineno}: unknown TYPE {kind:?}"));
+                    }
+                    typed.push(name.to_owned());
+                }
+                _ => fail(&format!("line {lineno}: malformed comment: {line:?}")),
+            }
+            continue;
+        }
+        check_prom_sample_line(lineno, line);
+        let name = line.split(['{', ' ']).next().unwrap_or("");
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| typed.iter().any(|t| t == base))
+            .unwrap_or(name);
+        if !typed.iter().any(|t| t == base) {
+            fail(&format!(
+                "line {lineno}: sample for untyped metric {name:?}"
+            ));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        fail("Prometheus file has no sample lines");
+    }
+    samples
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .first()
+        .unwrap_or_else(|| fail("usage: metrics_check FILE.json [FILE.prom]"));
+    let prom_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| format!("{json_path}.prom"));
+    let json_text = std::fs::read_to_string(json_path)
+        .unwrap_or_else(|e| fail(&format!("reading {json_path}: {e}")));
+    let values = check_json(&json_text);
+    let prom_text = std::fs::read_to_string(&prom_path)
+        .unwrap_or_else(|e| fail(&format!("reading {prom_path}: {e}")));
+    let samples = check_prom(&prom_text);
+    println!(
+        "metrics_check: {json_path} ok ({values} metric values), {prom_path} ok ({samples} sample lines)"
+    );
+}

@@ -9,6 +9,7 @@
 
 use std::time::{Duration, Instant};
 use xct_comm::{CompiledPlans, DirectPlan, HierarchicalPlan, PlanError};
+use xct_telemetry::Json;
 use xct_verify::corpus::{
     aliased_reply_exchange, barrier_program, buggy_allreduce_claims, dropped_direct,
     duplicated_direct, gen_case, misrouted_direct, over_budget_plan, single_sweep_gather,
@@ -157,6 +158,36 @@ fn main() {
     );
     if let Some(fail) = caught {
         println!("       reproduce with: {}", fail.label);
+        // Every failing chaos schedule must yield a post-mortem: the
+        // seed re-runs deterministically with the flight recorder armed.
+        check(
+            "failing schedule produced a flight dump",
+            fail.flight_dump.is_some(),
+            &mut failures,
+        );
+        if let Some(dump) = &fail.flight_dump {
+            let schema_ok = Json::parse(dump)
+                .ok()
+                .and_then(|d| d.get("schema").and_then(Json::as_str).map(str::to_owned))
+                .is_some_and(|s| s == "petaxct-flightrec-v1");
+            check(
+                "flight dump parses as petaxct-flightrec-v1",
+                schema_ok,
+                &mut failures,
+            );
+            let out = std::env::var("FLIGHTREC_OUT")
+                .unwrap_or_else(|_| "target/flightrec_corpus.json".to_owned());
+            if let Some(parent) = std::path::Path::new(&out).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(&out, dump) {
+                Ok(()) => println!("       flight dump written to {out}"),
+                Err(e) => {
+                    println!("  FAIL writing flight dump to {out}: {e}");
+                    failures.push(format!("flight dump write: {e}"));
+                }
+            }
+        }
     }
     let expect3: f64 = (1..=3).map(|r| r as f64).sum();
     let reply_oracle = move |results: &[(f64, f64)]| {

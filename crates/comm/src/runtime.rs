@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use crate::metrics::{CommMeter, RankCommStats, TrafficClass};
 use crate::wire::Wire;
-use xct_telemetry::{Phase, Telemetry};
+use xct_telemetry::{MetricId, Phase, Telemetry};
 
 /// Tag bit reserved for internal reply traffic (allreduce responses).
 /// Application tags must keep this bit clear; the collectives salt their
@@ -311,6 +311,16 @@ struct MailboxInner {
     /// filed by `(src, tag)` with their wire deadline; FIFO per key
     /// preserves send order.
     stash: HashMap<(usize, u64), StashQueue>,
+    /// Running count of stashed messages across all keys, so the
+    /// mailbox-depth metric is O(1) to read.
+    stashed: usize,
+}
+
+impl MailboxInner {
+    /// Messages delivered to this mailbox but not yet matched.
+    fn depth(&self) -> usize {
+        self.arrivals.len() + self.stashed
+    }
 }
 
 /// Outcome of one matching attempt against the mailbox.
@@ -416,6 +426,9 @@ impl Communicator {
             size: self.size(),
         })?;
         self.meter.record(dst, payload.len());
+        self.telemetry.metric_inc(MetricId::CommSendMsgs);
+        self.telemetry
+            .metric_add(MetricId::CommSendBytes, payload.len() as u64);
         let wire_time = self
             .wire
             .and_then(|w| w.wire_time(self.rank, dst, payload.len()));
@@ -428,6 +441,9 @@ impl Communicator {
                 .delay_for(self.rank, dst, seq)
                 .map(|d| Instant::now() + d)
         });
+        if chaos_at.is_some() {
+            self.telemetry.metric_inc(MetricId::CommChaosDelays);
+        }
         let ready_at = match (wire_at, chaos_at) {
             (Some(w), Some(c)) => Some(w.max(c)),
             (at, None) | (None, at) => at,
@@ -472,6 +488,7 @@ impl Communicator {
                 }
                 Some(_) => {
                     let stashed = queue.pop_front().expect("front checked above");
+                    inner.stashed -= 1;
                     return MatchOutcome::Ready(Delivery {
                         payload: stashed.payload,
                         sent_ns: stashed.sent_ns,
@@ -493,6 +510,7 @@ impl Communicator {
                             .entry((src, tag))
                             .or_default()
                             .push_back(Stashed::from_envelope(env));
+                        inner.stashed += 1;
                         return MatchOutcome::NotUntil(at);
                     }
                     _ => {
@@ -509,6 +527,7 @@ impl Communicator {
                 .entry((env.src, env.tag))
                 .or_default()
                 .push_back(Stashed::from_envelope(env));
+            inner.stashed += 1;
         }
         MatchOutcome::Absent
     }
@@ -519,6 +538,9 @@ impl Communicator {
     /// telemetry collector, whose lock never nests inside a mailbox
     /// lock.
     fn finish_match(&self, src: usize, delivery: Delivery, tag: u64) -> Vec<u8> {
+        self.telemetry.metric_inc(MetricId::CommRecvMsgs);
+        self.telemetry
+            .metric_add(MetricId::CommRecvBytes, delivery.payload.len() as u64);
         if delivery.sent_ns != UNSTAMPED {
             self.telemetry.edge(
                 u32::try_from(src).unwrap_or(u32::MAX),
@@ -547,6 +569,7 @@ impl Communicator {
         loop {
             let wake_at = match Self::take_match(&mut inner, src, tag) {
                 MatchOutcome::Ready(delivery) => {
+                    self.note_mailbox_depth(inner.depth());
                     drop(inner);
                     return Ok(self.finish_match(src, delivery, tag));
                 }
@@ -555,16 +578,27 @@ impl Communicator {
                 MatchOutcome::NotUntil(at) => at.min(deadline),
                 MatchOutcome::Absent => deadline,
             };
+            self.note_mailbox_depth(inner.depth());
             let now = Instant::now();
             if now >= deadline {
                 return Err(CommError::Timeout { src, tag });
             }
+            self.telemetry.metric_inc(MetricId::CommWaitParks);
             let (guard, _timed_out) = mailbox
                 .ready
                 .wait_timeout(inner, wake_at.saturating_duration_since(now))
                 .expect("mailbox mutex poisoned");
             inner = guard;
         }
+    }
+
+    /// Publishes this rank's mailbox depth (arrivals + stash) as a
+    /// gauge. Called at receive attempts with the mailbox lock held; the
+    /// gauge store is a relaxed atomic, and the flight ring it also
+    /// touches is a leaf lock, so no lock-order cycle is possible.
+    fn note_mailbox_depth(&self, depth: usize) {
+        self.telemetry
+            .gauge_set(MetricId::CommMailboxDepth, depth as f64);
     }
 
     /// Non-blocking receive: returns the next matching message if one has
@@ -581,7 +615,9 @@ impl Communicator {
                 .inner
                 .lock()
                 .expect("mailbox mutex poisoned");
-            Self::take_match(&mut inner, src, tag)
+            let outcome = Self::take_match(&mut inner, src, tag);
+            self.note_mailbox_depth(inner.depth());
+            outcome
         };
         Ok(match outcome {
             MatchOutcome::Ready(delivery) => Some(self.finish_match(src, delivery, tag)),
@@ -740,6 +776,10 @@ impl RecvRequest {
     /// runtime's condvar wakeups are cheap; this exists for call sites
     /// that must interleave polling with other progress and would
     /// otherwise spin on `test` at full speed.
+    /// Each unsuccessful poll is counted on the rank's telemetry —
+    /// `comm.wait.spins` for the poll itself, plus `comm.wait.yields` or
+    /// `comm.wait.parks` for how it backed off — so the backoff constants
+    /// are tunable against measurement instead of blind.
     pub fn test_backoff(&mut self, comm: &Communicator, max_polls: u32) -> Result<bool, CommError> {
         const YIELD_POLLS: u32 = 16;
         const PAUSE_CAP: Duration = Duration::from_millis(1);
@@ -748,9 +788,12 @@ impl RecvRequest {
             if self.test(comm)? {
                 return Ok(true);
             }
+            comm.telemetry.metric_inc(MetricId::CommWaitSpins);
             if poll < YIELD_POLLS {
+                comm.telemetry.metric_inc(MetricId::CommWaitYields);
                 std::thread::yield_now();
             } else {
+                comm.telemetry.metric_inc(MetricId::CommWaitParks);
                 std::thread::sleep(pause);
                 pause = (pause * 2).min(PAUSE_CAP);
             }
@@ -872,6 +915,21 @@ pub fn run_ranks_chaos<T: Send>(
     body: impl Fn(&Communicator) -> T + Sync,
 ) -> Vec<T> {
     run_ranks_inner(n, timeout, &Telemetry::disabled(), None, Some(chaos), body)
+}
+
+/// [`run_ranks_chaos`] with tracing: the chaos schedule perturbs
+/// delivery exactly as in an untraced run while every rank records
+/// spans, metrics, and flight events into `telemetry`'s collector. The
+/// schedule explorer uses this to re-run a failing seed and capture a
+/// post-mortem flight dump of it.
+pub fn run_ranks_chaos_traced<T: Send>(
+    n: usize,
+    timeout: Duration,
+    chaos: ChaosSchedule,
+    telemetry: &Telemetry,
+    body: impl Fn(&Communicator) -> T + Sync,
+) -> Vec<T> {
+    run_ranks_inner(n, timeout, telemetry, None, Some(chaos), body)
 }
 
 /// [`run_ranks`] with tracing: each rank's communicator carries a fork of

@@ -1,12 +1,13 @@
 //! Communication-metering integration tests: the recorded matrices and
 //! per-level volumes must match what the plans predict, exactly.
 
+use std::time::Duration;
 use xct_comm::{
-    execute_hierarchical, run_ranks, run_ranks_traced, CommReport, Footprints, HierarchicalPlan,
-    Ownership, PartialData, Topology, TrafficClass,
+    execute_hierarchical, run_ranks, run_ranks_traced, run_ranks_traced_wired, CommReport,
+    Footprints, HierarchicalPlan, Ownership, PartialData, Topology, TrafficClass, WireModel,
 };
 use xct_fp16::F16;
-use xct_telemetry::{Phase, Telemetry};
+use xct_telemetry::{MetricId, Phase, Telemetry};
 
 /// Shared fixture: 8 ranks on a 2-node × 2-socket × 2-GPU topology,
 /// 32 rows, deterministic staggered footprints (mirrors the unit fixture
@@ -136,4 +137,90 @@ fn traced_ranks_record_per_level_spans_on_their_own_tracks() {
             );
         }
     }
+}
+
+/// The `comm.wait` backoff used to be tune-blind: nothing measured how
+/// often a bounded-backoff wait spun, yielded, or slept, so its
+/// constants could never be tuned against evidence. Under a wire model
+/// that holds the message back long enough to exhaust the yield phase,
+/// every backoff tier must tick its counter.
+#[test]
+fn backoff_counters_move_under_a_wired_run() {
+    let wire = WireModel {
+        latency: Duration::from_millis(3),
+        bytes_per_sec: f64::INFINITY,
+        ranks_per_node: 1, // every pair inter-node: all messages wired
+    };
+    let tele = Telemetry::enabled();
+    run_ranks_traced_wired(2, &tele, Some(wire), |comm| {
+        if comm.rank() == 0 {
+            comm.send_vals::<f32>(1, 5, &[1.0, 2.0]).unwrap();
+        } else {
+            let mut req = comm.irecv(0, 5).unwrap();
+            // 3 ms of wire time far exceeds the 16-poll yield phase, so
+            // the backoff must reach its sleeping tier before this
+            // completes.
+            while !req.test_backoff(comm, 64).unwrap() {}
+            let got = req.wait(comm).unwrap();
+            assert_eq!(got.len(), 8);
+            comm.recycle(got);
+        }
+    });
+    let metrics = tele.metrics_snapshot();
+    let receiver = metrics.track(1).expect("rank 1 recorded metrics");
+    assert!(
+        receiver.counter(MetricId::CommWaitSpins) >= 16,
+        "spins: {}",
+        receiver.counter(MetricId::CommWaitSpins)
+    );
+    assert!(
+        receiver.counter(MetricId::CommWaitYields) >= 16,
+        "yields: {}",
+        receiver.counter(MetricId::CommWaitYields)
+    );
+    assert!(
+        receiver.counter(MetricId::CommWaitParks) >= 1,
+        "parks: {}",
+        receiver.counter(MetricId::CommWaitParks)
+    );
+    // The sender track never waited.
+    let sender = metrics.track(0).expect("rank 0 recorded metrics");
+    assert_eq!(sender.counter(MetricId::CommWaitSpins), 0);
+    // Send/recv accounting is exact: one 8-byte payload each way of the
+    // metered channel (plus nothing else in this run).
+    assert_eq!(sender.counter(MetricId::CommSendBytes), 8);
+    assert_eq!(receiver.counter(MetricId::CommRecvBytes), 8);
+    assert_eq!(metrics.inflight_bytes(), 0, "all messages matched");
+}
+
+/// A blocking `recv` that arrives late parks on the condvar; the park
+/// counter and the comm.wait mailbox-depth gauge must reflect it.
+#[test]
+fn blocking_recv_counts_parks_and_depth() {
+    let wire = WireModel {
+        latency: Duration::from_millis(2),
+        bytes_per_sec: f64::INFINITY,
+        ranks_per_node: 1,
+    };
+    let tele = Telemetry::enabled();
+    run_ranks_traced_wired(2, &tele, Some(wire), |comm| {
+        if comm.rank() == 0 {
+            comm.send_vals::<f32>(1, 9, &[3.0]).unwrap();
+        } else {
+            let got = comm.recv_vals::<f32>(0, 9).unwrap();
+            assert_eq!(got, vec![3.0]);
+        }
+    });
+    let metrics = tele.metrics_snapshot();
+    let receiver = metrics.track(1).expect("rank 1 recorded metrics");
+    assert!(
+        receiver.counter(MetricId::CommWaitParks) >= 1,
+        "parks: {}",
+        receiver.counter(MetricId::CommWaitParks)
+    );
+    assert_eq!(
+        receiver.gauge(MetricId::CommMailboxDepth),
+        Some(0.0),
+        "mailbox drained by the final match"
+    );
 }

@@ -14,7 +14,7 @@
 use crate::distributed::{reconstruct_distributed, DistributedConfig};
 use crate::volume::PipelineError;
 use xct_comm::RankCommStats;
-use xct_exec::{ExecCounters, Phase};
+use xct_exec::{ExecCounters, MetricId, Phase};
 use xct_geometry::ScanGeometry;
 use xct_io::{DeferredWriter, PrefetchReader, SliceReader, SliceWriter};
 use xct_plan::ReconPlan;
@@ -119,6 +119,18 @@ pub fn reconstruct_planned(
     let telemetry = cfg_base.telemetry.clone();
     let streamed = plan.streaming();
 
+    // Publish the plan shape so progress reporting and budget-health
+    // gauges have denominators before the first slab lands.
+    telemetry.gauge_set(MetricId::ProgressSlabsTotal, plan.slabs.len() as f64);
+    telemetry.gauge_set(MetricId::ProgressItersPerSlab, cfg_base.iterations as f64);
+    #[allow(clippy::cast_precision_loss)] // gauges are approximate by nature
+    {
+        if let Some(budget) = plan.budget_bytes {
+            telemetry.gauge_set(MetricId::PlanBudgetBytes, budget as f64);
+        }
+        telemetry.gauge_set(MetricId::PlanUsedBytes, plan.per_rank_bytes() as f64);
+    }
+
     let mut stats = PlannedStats {
         slices: 0,
         slabs: 0,
@@ -128,12 +140,13 @@ pub fn reconstruct_planned(
         counters: ExecCounters::default(),
     };
 
-    let mut input = PrefetchReader::new(reader);
-    let mut output = DeferredWriter::new(writer);
+    let mut input = PrefetchReader::with_telemetry(reader, telemetry.clone());
+    let mut output = DeferredWriter::with_telemetry(writer, telemetry.clone());
     if let Some(first) = plan.slabs.first() {
         input.prefetch(first.len);
     }
     for slab in &plan.slabs {
+        telemetry.gauge_set(MetricId::StreamSlabCurrent, slab.index as f64);
         let data = {
             let _io = telemetry.span(Phase::Io);
             input.next(slab.len)?
@@ -158,6 +171,8 @@ pub fn reconstruct_planned(
         }
         stats.slices += slab.len;
         stats.slabs += 1;
+        telemetry.metric_inc(MetricId::StreamSlabsDone);
+        telemetry.metric_add(MetricId::StreamSlicesDone, slab.len as u64);
         stats.counters.merge(&result.counters);
         for rank_stats in &result.comm_stats {
             match stats

@@ -36,4 +36,4 @@ pub use workspace::{BufferRole, Workspace, WorkspaceScalar};
 
 // Telemetry rides in the context; re-export the handle and phase taxonomy
 // so downstream crates can instrument without a separate dependency.
-pub use xct_telemetry::{Phase, SpanGuard, Telemetry};
+pub use xct_telemetry::{MetricId, Phase, SpanGuard, Telemetry};

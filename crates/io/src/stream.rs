@@ -17,6 +17,8 @@
 
 use crate::file::{IoError, SliceReader, SliceWriter};
 use std::thread::JoinHandle;
+use std::time::Instant;
+use xct_telemetry::{MetricId, Telemetry};
 
 /// A background batch read in flight: the moved-in reader plus the
 /// outcome of its `read_batch` call.
@@ -31,6 +33,7 @@ type ReadInFlight = JoinHandle<(SliceReader, Result<Option<Vec<f32>>, IoError>)>
 /// flight performs a synchronous read, so callers can mix modes freely.
 pub struct PrefetchReader {
     state: PrefetchState,
+    telemetry: Telemetry,
 }
 
 enum PrefetchState {
@@ -46,8 +49,16 @@ impl PrefetchReader {
     /// Wraps an open reader. No thread is spawned until
     /// [`prefetch`](Self::prefetch) is called.
     pub fn new(reader: SliceReader) -> Self {
+        Self::with_telemetry(reader, Telemetry::disabled())
+    }
+
+    /// [`new`](Self::new) with a telemetry handle: prefetch hit/miss
+    /// counters, the read-stall histogram, and the in-flight queue gauge
+    /// are recorded on the handle's track.
+    pub fn with_telemetry(reader: SliceReader, telemetry: Telemetry) -> Self {
         PrefetchReader {
             state: PrefetchState::Idle(reader),
+            telemetry,
         }
     }
 
@@ -68,15 +79,23 @@ impl PrefetchReader {
                 batch: max_slices,
                 handle,
             };
+            self.telemetry.gauge_set(MetricId::IoReadQueue, 1.0);
         }
     }
 
     /// Returns the next batch of up to `max_slices` slices: the
     /// prefetched one if in flight (its batch size must match), or a
     /// synchronous read otherwise. `Ok(None)` once the file is drained.
+    ///
+    /// Either way the time this call blocks the compute thread lands in
+    /// the `io.read.stall.ns` histogram; a served prefetch counts as a
+    /// hit (the stall is only the residual join time), a synchronous
+    /// read as a miss (the stall is the whole read).
     pub fn next(&mut self, max_slices: usize) -> Result<Option<Vec<f32>>, IoError> {
-        match std::mem::replace(&mut self.state, PrefetchState::Poisoned) {
+        let stall_from = self.telemetry.is_enabled().then(Instant::now);
+        let result = match std::mem::replace(&mut self.state, PrefetchState::Poisoned) {
             PrefetchState::Idle(mut reader) => {
+                self.telemetry.metric_inc(MetricId::IoPrefetchMisses);
                 let result = reader.read_batch(max_slices);
                 self.state = PrefetchState::Idle(reader);
                 result
@@ -86,12 +105,19 @@ impl PrefetchReader {
                     batch, max_slices,
                     "prefetch batch ({batch}) must match the requested batch ({max_slices})"
                 );
+                self.telemetry.metric_inc(MetricId::IoPrefetchHits);
                 let (reader, result) = handle.join().expect("prefetch thread panicked");
                 self.state = PrefetchState::Idle(reader);
                 result
             }
             PrefetchState::Poisoned => unreachable!("PrefetchReader state poisoned"),
+        };
+        if let Some(from) = stall_from {
+            let stall = u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.telemetry.observe_ns(MetricId::IoReadStallNs, stall);
+            self.telemetry.gauge_set(MetricId::IoReadQueue, 0.0);
         }
+        result
     }
 
     /// Joins any in-flight prefetch (discarding its data) and returns
@@ -119,6 +145,7 @@ impl PrefetchReader {
 /// write is in flight and file order is strictly sequential.
 pub struct DeferredWriter {
     state: WriteState,
+    telemetry: Telemetry,
 }
 
 enum WriteState {
@@ -134,15 +161,25 @@ impl DeferredWriter {
     /// Wraps a writer. No thread is spawned until
     /// [`write_slab`](Self::write_slab) is called.
     pub fn new(writer: SliceWriter) -> Self {
+        Self::with_telemetry(writer, Telemetry::disabled())
+    }
+
+    /// [`new`](Self::new) with a telemetry handle: the write-back stall
+    /// histogram and the in-flight queue gauge are recorded on the
+    /// handle's track.
+    pub fn with_telemetry(writer: SliceWriter, telemetry: Telemetry) -> Self {
         DeferredWriter {
             state: WriteState::Idle(writer),
+            telemetry,
         }
     }
 
     /// Queues `data` — a whole number of slices, laid out contiguously —
     /// for background writing. Blocks only until the *previous* slab
-    /// finishes, returning its error if it failed.
+    /// finishes, returning its error if it failed; that join time lands
+    /// in the `io.write.stall.ns` histogram.
     pub fn write_slab(&mut self, data: Vec<f32>) -> Result<(), IoError> {
+        let stall_from = self.telemetry.is_enabled().then(Instant::now);
         let mut writer = match std::mem::replace(&mut self.state, WriteState::Poisoned) {
             WriteState::Idle(writer) => writer,
             WriteState::Busy(handle) => {
@@ -157,6 +194,10 @@ impl DeferredWriter {
             }
             WriteState::Poisoned => unreachable!("DeferredWriter state poisoned"),
         };
+        if let Some(from) = stall_from {
+            let stall = u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.telemetry.observe_ns(MetricId::IoWriteStallNs, stall);
+        }
         let slice_len = writer.meta().slice_len;
         assert!(
             slice_len > 0 && data.len().is_multiple_of(slice_len),
@@ -174,6 +215,7 @@ impl DeferredWriter {
             (writer, result)
         });
         self.state = WriteState::Busy(handle);
+        self.telemetry.gauge_set(MetricId::IoWriteQueue, 1.0);
         Ok(())
     }
 
@@ -184,6 +226,7 @@ impl DeferredWriter {
             WriteState::Idle(writer) => Ok(writer),
             WriteState::Busy(handle) => {
                 let (writer, result) = handle.join().expect("writer thread panicked");
+                self.telemetry.gauge_set(MetricId::IoWriteQueue, 0.0);
                 result?;
                 Ok(writer)
             }
@@ -269,6 +312,53 @@ mod tests {
             std::fs::read(&path).unwrap(),
             std::fs::read(&plain).unwrap()
         );
+    }
+
+    #[test]
+    fn streaming_records_hit_miss_and_stall_metrics() {
+        use xct_telemetry::{MetricId, Telemetry};
+        let path = tmp("metrics_in.xctd");
+        let data = write_plain(&path, 4);
+        let tele = Telemetry::enabled();
+
+        let mut r = PrefetchReader::with_telemetry(SliceReader::open(&path).unwrap(), tele.clone());
+        r.prefetch(2);
+        r.next(2).unwrap().expect("first batch"); // hit
+        r.next(2).unwrap().expect("second batch"); // miss (no prefetch)
+        assert!(r.next(2).unwrap().is_none()); // miss (drained)
+        r.into_inner().unwrap();
+
+        let out = tmp("metrics_out.xctd");
+        let mut w = DeferredWriter::with_telemetry(
+            SliceWriter::create(&out, meta(4)).unwrap(),
+            tele.clone(),
+        );
+        for slab in data.chunks(2 * 32) {
+            w.write_slab(slab.to_vec()).unwrap();
+        }
+        w.into_inner().unwrap().finish().unwrap();
+
+        let snap = tele.metrics_snapshot();
+        let track = snap.track(0).expect("metrics recorded");
+        assert_eq!(track.counter(MetricId::IoPrefetchHits), 1);
+        assert_eq!(track.counter(MetricId::IoPrefetchMisses), 2);
+        assert_eq!(
+            track
+                .histogram(MetricId::IoReadStallNs)
+                .expect("read stalls recorded")
+                .count(),
+            3
+        );
+        // Two write_slab calls: the first finds the writer idle, the
+        // second joins the first — both observe a (possibly zero) stall.
+        assert_eq!(
+            track
+                .histogram(MetricId::IoWriteStallNs)
+                .expect("write stalls recorded")
+                .count(),
+            2
+        );
+        assert_eq!(track.gauge(MetricId::IoWriteQueue), Some(0.0));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::operator::LinearOperator;
 use std::time::Instant;
-use xct_exec::{BufferRole, ExecContext, Phase};
+use xct_exec::{BufferRole, ExecContext, MetricId, Phase};
 
 /// Solver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -162,6 +162,8 @@ pub fn cgls_in(
         history.push(rel);
         times.push(t0.elapsed().as_secs_f64());
         ctx.telemetry.event("cgls.residual", rel);
+        ctx.telemetry.metric_inc(MetricId::SolverIterations);
+        ctx.telemetry.gauge_set(MetricId::SolverResidual, rel);
         if config.tolerance > 0.0 && rel <= config.tolerance {
             converged = true;
             break;

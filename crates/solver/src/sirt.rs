@@ -11,7 +11,7 @@
 use crate::cgls::CglsReport;
 use crate::operator::LinearOperator;
 use std::time::Instant;
-use xct_exec::{BufferRole, ExecContext, Phase};
+use xct_exec::{BufferRole, ExecContext, MetricId, Phase};
 
 /// SIRT configuration.
 #[derive(Debug, Clone, Copy)]
@@ -120,6 +120,8 @@ pub fn sirt_in(
         history.push(rel);
         times.push(t0.elapsed().as_secs_f64());
         ctx.telemetry.event("sirt.residual", rel);
+        ctx.telemetry.metric_inc(MetricId::SolverIterations);
+        ctx.telemetry.gauge_set(MetricId::SolverResidual, rel);
         if config.tolerance > 0.0 && rel <= config.tolerance {
             converged = true;
             break;

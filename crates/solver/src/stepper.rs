@@ -9,7 +9,7 @@
 //! tests).
 
 use crate::operator::LinearOperator;
-use xct_exec::{ExecContext, Phase};
+use xct_exec::{ExecContext, MetricId, Phase};
 
 /// A snapshot of the CGLS Krylov state after some number of iterations.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +121,8 @@ impl CglsSolver {
             0.0
         };
         ctx.telemetry.event("cgls.residual", rel);
+        ctx.telemetry.metric_inc(MetricId::SolverIterations);
+        ctx.telemetry.gauge_set(MetricId::SolverResidual, rel);
         Some(rel)
     }
 }

@@ -36,8 +36,9 @@ impl Default for DurationHistogram {
 }
 
 /// Bucket index for a duration: 0 holds exactly 0 ns, bucket `i >= 1`
-/// holds `[2^(i-1), 2^i)`.
-fn bucket_of(ns: u64) -> usize {
+/// holds `[2^(i-1), 2^i)`. Shared with the atomic histograms in
+/// [`crate::metrics`] so both layers bucket identically.
+pub(crate) fn bucket_of(ns: u64) -> usize {
     if ns == 0 {
         0
     } else {
@@ -49,6 +50,25 @@ impl DurationHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a histogram from raw fields captured elsewhere (the
+    /// atomic metric slabs snapshot through this so rendering and JSON
+    /// export are shared with span-derived histograms).
+    pub(crate) fn from_raw(
+        counts: [u64; BUCKETS],
+        count: u64,
+        min_ns: u64,
+        max_ns: u64,
+        sum_ns: u64,
+    ) -> Self {
+        DurationHistogram {
+            counts,
+            count,
+            min_ns,
+            max_ns,
+            sum_ns,
+        }
     }
 
     /// Records one duration.

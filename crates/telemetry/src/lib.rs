@@ -26,22 +26,42 @@
 //!   per phase in log2 buckets.
 //! * [`Json`] — a tiny dependency-free JSON value (builder + parser) used
 //!   by the report sinks and by tests that validate report schemas.
+//! * Metrics — [`MetricId`] is the stable counter/gauge/histogram
+//!   taxonomy; every enabled track owns a lock-free atomic slab that
+//!   instrumented subsystems update and [`Sampler`] copies into
+//!   [`MetricsSnapshot`] time series, exported as `petaxct-metrics-v1`
+//!   JSON ([`metrics_series_json`]), Prometheus text
+//!   ([`prometheus_text`]), CSV ([`metrics_csv`]), or the human
+//!   [`render_progress`] line.
+//! * Flight recorder — each track keeps its last [`FLIGHT_CAPACITY`]
+//!   spans/events/metric updates in a preallocated ring
+//!   ([`FlightEvent`]); [`Telemetry::flight_dump_json`] and
+//!   [`install_flight_panic_hook`] turn them into a
+//!   `petaxct-flightrec-v1` post-mortem when a run dies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod causal;
 mod clock;
+mod flight;
 mod histogram;
 mod json;
+mod metrics;
 mod phase;
 mod report;
+mod sampler;
 mod span;
 
 pub use causal::{CausalAnalysis, PathStep, RankPath};
 pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use flight::{
+    flight_json, install_flight_panic_hook, FlightEvent, FlightKind, FLIGHT_CAPACITY,
+};
 pub use histogram::{DurationHistogram, PhaseHistograms};
 pub use json::Json;
+pub use metrics::{MetricId, MetricKind, MetricsSnapshot, TrackMetricsSnapshot, ALL_METRICS};
 pub use phase::Phase;
 pub use report::{chrome_trace, fmt_ns, Breakdown, PhaseStat};
+pub use sampler::{metrics_csv, metrics_series_json, prometheus_text, render_progress, Sampler};
 pub use span::{EdgeRecord, EventRecord, SpanGuard, SpanRecord, Telemetry, TelemetrySnapshot};

@@ -9,6 +9,8 @@
 //!
 //! [`Collector`]: struct@self::Telemetry
 
+use crate::flight::{flight_json, FlightEvent, FlightKind, FlightRing};
+use crate::metrics::{MetricId, MetricsSnapshot, TrackMetrics, TrackMetricsSnapshot};
 use crate::{Clock, MonotonicClock, Phase};
 use std::sync::{Arc, Mutex};
 
@@ -83,18 +85,81 @@ struct State {
     edges: Vec<EdgeRecord>,
 }
 
-#[derive(Debug)]
+/// One handle's always-on storage registered with the collector so
+/// snapshots can reach every track's metrics and flight ring.
+struct TrackSlab {
+    track: u32,
+    metrics: Arc<TrackMetrics>,
+    flight: Arc<Mutex<FlightRing>>,
+}
+
 struct Collector {
     clock: Arc<dyn Clock>,
     state: Mutex<State>,
+    /// One entry per handle created via `with_clock`/`fork`, in creation
+    /// order. Only touched at fork and snapshot time, never on the
+    /// metric hot path.
+    slabs: Mutex<Vec<TrackSlab>>,
 }
 
-#[derive(Debug)]
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector").finish_non_exhaustive()
+    }
+}
+
 struct TrackHandle {
     collector: Arc<Collector>,
     track: u32,
     /// Indices of currently-open spans on this track, innermost last.
     stack: Mutex<Vec<usize>>,
+    /// This track's metric slab (shared with the collector registry).
+    metrics: Arc<TrackMetrics>,
+    /// This track's flight-recorder ring (shared with the registry).
+    flight: Arc<Mutex<FlightRing>>,
+}
+
+impl std::fmt::Debug for TrackHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackHandle")
+            .field("track", &self.track)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TrackHandle {
+    /// Creates a handle for `track` and registers its slab with the
+    /// collector. Runs at enable/fork time only.
+    fn register(collector: Arc<Collector>, track: u32) -> TrackHandle {
+        let metrics = Arc::new(TrackMetrics::new());
+        let flight = Arc::new(Mutex::new(FlightRing::new()));
+        collector.slabs.lock().unwrap().push(TrackSlab {
+            track,
+            metrics: Arc::clone(&metrics),
+            flight: Arc::clone(&flight),
+        });
+        TrackHandle {
+            collector,
+            track,
+            stack: Mutex::new(Vec::new()),
+            metrics,
+            flight,
+        }
+    }
+
+    /// Pushes one flight record. Uncontended in practice (one thread per
+    /// track) and never allocates: the ring is preallocated.
+    fn flight_push(&self, kind: FlightKind, code: &'static str, a: u64, b: u64) {
+        let at_ns = self.collector.clock.now_ns();
+        self.flight.lock().unwrap().push(FlightEvent {
+            at_ns,
+            track: self.track,
+            kind,
+            code,
+            a,
+            b,
+        });
+    }
 }
 
 /// A consistent copy of everything recorded so far.
@@ -142,13 +207,10 @@ impl Telemetry {
         let collector = Arc::new(Collector {
             clock,
             state: Mutex::new(State::default()),
+            slabs: Mutex::new(Vec::new()),
         });
         Telemetry {
-            inner: Some(Arc::new(TrackHandle {
-                collector,
-                track: 0,
-                stack: Mutex::new(Vec::new()),
-            })),
+            inner: Some(Arc::new(TrackHandle::register(collector, 0))),
         }
     }
 
@@ -169,13 +231,10 @@ impl Telemetry {
     /// need. Forking a disabled handle yields a disabled handle.
     pub fn fork(&self, track: u32) -> Telemetry {
         Telemetry {
-            inner: self.inner.as_ref().map(|h| {
-                Arc::new(TrackHandle {
-                    collector: Arc::clone(&h.collector),
-                    track,
-                    stack: Mutex::new(Vec::new()),
-                })
-            }),
+            inner: self
+                .inner
+                .as_ref()
+                .map(|h| Arc::new(TrackHandle::register(Arc::clone(&h.collector), track))),
         }
     }
 
@@ -202,8 +261,10 @@ impl Telemetry {
             index
         };
         stack.push(index);
+        drop(stack);
+        handle.flight_push(FlightKind::SpanBegin, phase.as_str(), 0, 0);
         SpanGuard {
-            inner: Some((Arc::clone(handle), index)),
+            inner: Some((Arc::clone(handle), index, phase)),
         }
     }
 
@@ -226,29 +287,121 @@ impl Telemetry {
     pub fn edge(&self, src_track: u32, tag: u64, bytes: u64, sent_ns: u64, wire_ns: u64) {
         let Some(handle) = &self.inner else { return };
         let matched_ns = handle.collector.clock.now_ns();
-        let mut state = handle.collector.state.lock().unwrap();
-        state.edges.push(EdgeRecord {
-            src_track,
-            dst_track: handle.track,
-            tag,
-            bytes,
-            sent_ns,
-            matched_ns,
-            wire_ns,
-        });
+        {
+            let mut state = handle.collector.state.lock().unwrap();
+            state.edges.push(EdgeRecord {
+                src_track,
+                dst_track: handle.track,
+                tag,
+                bytes,
+                sent_ns,
+                matched_ns,
+                wire_ns,
+            });
+        }
+        handle.flight_push(FlightKind::Match, "comm.match", u64::from(src_track), bytes);
     }
 
     /// Records a scalar event at the current time.
     pub fn event(&self, name: &'static str, value: f64) {
         let Some(handle) = &self.inner else { return };
         let at_ns = handle.collector.clock.now_ns();
-        let mut state = handle.collector.state.lock().unwrap();
-        state.events.push(EventRecord {
-            name,
-            value,
-            track: handle.track,
-            at_ns,
-        });
+        {
+            let mut state = handle.collector.state.lock().unwrap();
+            state.events.push(EventRecord {
+                name,
+                value,
+                track: handle.track,
+                at_ns,
+            });
+        }
+        handle.flight_push(FlightKind::Event, name, value.to_bits(), 0);
+    }
+
+    /// Adds `delta` to a counter on this track. One `None` check when
+    /// disabled; a relaxed atomic add (plus, for coarse-grained
+    /// counters, a flight record) when enabled.
+    pub fn metric_add(&self, id: MetricId, delta: u64) {
+        let Some(handle) = &self.inner else { return };
+        handle.metrics.add(id, delta);
+        if id.flight_worthy() {
+            handle.flight_push(FlightKind::Counter, id.as_str(), delta, 0);
+        }
+    }
+
+    /// Adds 1 to a counter on this track.
+    pub fn metric_inc(&self, id: MetricId) {
+        self.metric_add(id, 1);
+    }
+
+    /// Sets a gauge on this track.
+    pub fn gauge_set(&self, id: MetricId, value: f64) {
+        let Some(handle) = &self.inner else { return };
+        handle.metrics.gauge_set(id, value);
+        handle.flight_push(FlightKind::Gauge, id.as_str(), value.to_bits(), 0);
+    }
+
+    /// Records a duration into a histogram metric on this track.
+    pub fn observe_ns(&self, id: MetricId, ns: u64) {
+        let Some(handle) = &self.inner else { return };
+        handle.metrics.observe_ns(id, ns);
+    }
+
+    /// Records a free-form flight-recorder marker (no metric storage).
+    pub fn flight_point(&self, code: &'static str, a: u64, b: u64) {
+        let Some(handle) = &self.inner else { return };
+        handle.flight_push(FlightKind::Point, code, a, b);
+    }
+
+    /// A point-in-time copy of every track's touched metrics (empty
+    /// when disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let Some(handle) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let at_ns = handle.collector.clock.now_ns();
+        let slabs: Vec<TrackMetricsSnapshot> = handle
+            .collector
+            .slabs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|slab| slab.metrics.snapshot(slab.track))
+            .collect();
+        MetricsSnapshot::assemble(at_ns, slabs)
+    }
+
+    /// The retained flight records of every track, merged and ordered
+    /// by time (empty when disabled).
+    pub fn flight_snapshot(&self) -> Vec<FlightEvent> {
+        let Some(handle) = &self.inner else {
+            return Vec::new();
+        };
+        let slabs = handle.collector.slabs.lock().unwrap();
+        let mut events: Vec<FlightEvent> = Vec::new();
+        for slab in slabs.iter() {
+            events.extend(slab.flight.lock().unwrap().events());
+        }
+        drop(slabs);
+        events.sort_by_key(|e| e.at_ns);
+        events
+    }
+
+    /// Serializes the flight recorder into a `petaxct-flightrec-v1`
+    /// post-mortem document, or `None` when disabled.
+    pub fn flight_dump_json(&self, reason: &str) -> Option<String> {
+        let handle = self.inner.as_ref()?;
+        let at_ns = handle.collector.clock.now_ns();
+        let events = self.flight_snapshot();
+        let dropped = {
+            let slabs = handle.collector.slabs.lock().unwrap();
+            let total: u64 = slabs
+                .iter()
+                .map(|slab| slab.flight.lock().unwrap().total())
+                .sum();
+            total - events.len() as u64
+        };
+        Some(flight_json(reason, at_ns, dropped, &events).to_string())
     }
 
     /// Copies out everything recorded so far, closing still-open spans at
@@ -283,12 +436,12 @@ impl Telemetry {
 #[derive(Debug)]
 #[must_use = "a span guard times the scope it lives in; dropping it immediately records a zero-length span"]
 pub struct SpanGuard {
-    inner: Option<(Arc<TrackHandle>, usize)>,
+    inner: Option<(Arc<TrackHandle>, usize, Phase)>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((handle, index)) = self.inner.take() else {
+        let Some((handle, index, phase)) = self.inner.take() else {
             return;
         };
         let end_ns = handle.collector.clock.now_ns();
@@ -297,10 +450,22 @@ impl Drop for SpanGuard {
         if let Some(pos) = stack.iter().rposition(|&i| i == index) {
             stack.remove(pos);
         }
-        let mut state = handle.collector.state.lock().unwrap();
-        if let Some(span) = state.spans.get_mut(index) {
-            span.end_ns = end_ns.max(span.start_ns);
+        let mut duration_ns = 0;
+        {
+            let mut state = handle.collector.state.lock().unwrap();
+            if let Some(span) = state.spans.get_mut(index) {
+                span.end_ns = end_ns.max(span.start_ns);
+                duration_ns = span.duration_ns();
+            }
         }
+        drop(stack);
+        // comm.wait spans feed the live histogram metric as they close,
+        // so the sampler sees the wait distribution mid-run instead of
+        // only in the post-hoc span analysis.
+        if phase == Phase::CommWait {
+            handle.metrics.observe_ns(MetricId::CommWaitNs, duration_ns);
+        }
+        handle.flight_push(FlightKind::SpanEnd, phase.as_str(), duration_ns, 0);
     }
 }
 

@@ -15,7 +15,10 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
-use xct_comm::{run_ranks_chaos, run_ranks_with_timeout, ChaosSchedule, Communicator};
+use xct_comm::{
+    run_ranks_chaos, run_ranks_chaos_traced, run_ranks_with_timeout, ChaosSchedule, Communicator,
+};
+use xct_telemetry::Telemetry;
 
 /// The outcome of one schedule.
 #[derive(Debug, Clone)]
@@ -28,6 +31,12 @@ pub struct SeedOutcome {
     /// `None` when the run completed and the oracle accepted its
     /// outputs; otherwise the oracle's complaint or the panic payload.
     pub failure: Option<String>,
+    /// A `petaxct-flightrec-v1` post-mortem of the failure: the failing
+    /// chaos schedule re-run (deterministically, from its seed) with the
+    /// flight recorder armed, capturing every rank's last spans, events,
+    /// and metric deltas. `None` for passing schedules and for baseline
+    /// (chaos-free) failures.
+    pub flight_dump: Option<String>,
 }
 
 /// The outcome of a full exploration.
@@ -76,9 +85,23 @@ where
             Some(format!("panicked: {msg}"))
         }
     };
+    // Chaos schedules are pure functions of their seed, so a failing one
+    // can be re-run traced to capture a post-mortem flight dump of the
+    // exact same interleaving.
+    let flight_dump = match (&failure, chaos) {
+        (Some(reason), Some(c)) => {
+            let telemetry = Telemetry::enabled();
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                run_ranks_chaos_traced(n, timeout, c, &telemetry, body)
+            }));
+            telemetry.flight_dump_json(&format!("{label}: {reason}"))
+        }
+        _ => None,
+    };
     SeedOutcome {
         label: label.to_string(),
         failure,
+        flight_dump,
     }
 }
 

@@ -4,8 +4,10 @@
 //!
 //! Logic lives here (unit-testable); `main.rs` is a thin shim.
 
-use std::path::Path;
-use std::time::Duration;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use xct_analytic::{filtered_backprojection, FilterKind};
 use xct_cluster::MachineSpec;
@@ -22,7 +24,8 @@ use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
 use xct_phantom::{add_poisson_noise, DatasetSpec, Image2D};
 use xct_plan::{Planner, VolumeDims};
 use xct_telemetry::{
-    chrome_trace, Breakdown, CausalAnalysis, Json, Phase, PhaseHistograms, Telemetry,
+    chrome_trace, install_flight_panic_hook, metrics_csv, metrics_series_json, prometheus_text,
+    render_progress, Breakdown, CausalAnalysis, Json, Phase, PhaseHistograms, Sampler, Telemetry,
 };
 use xct_verify::plan_fits;
 
@@ -124,14 +127,6 @@ impl TelemetryArgs {
         self.summary || self.critical_path || self.json.is_some() || self.trace.is_some()
     }
 
-    fn handle(&self) -> Telemetry {
-        if self.wanted() {
-            Telemetry::enabled()
-        } else {
-            Telemetry::disabled()
-        }
-    }
-
     /// Drains `telemetry` into the requested sinks. Returns text to
     /// append to the command's output (the summary table and/or notes
     /// about written files).
@@ -204,6 +199,128 @@ impl TelemetryArgs {
 
 fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
     std::fs::write(path, contents).map_err(|e| CliError(format!("writing {path}: {e}")))
+}
+
+/// The `--metrics-*`/`--progress`/`--flightrec-out` observability
+/// selection: time-series sampling of the always-on metrics registry,
+/// the one-line human progress report, and the post-mortem flight
+/// recorder.
+struct MetricsArgs {
+    out: Option<String>,
+    interval_ms: u64,
+    progress: bool,
+    flightrec: Option<String>,
+}
+
+impl MetricsArgs {
+    fn from_flags(flags: &Flags) -> Result<MetricsArgs, CliError> {
+        Ok(MetricsArgs {
+            out: flags.get("metrics-out").map(str::to_owned),
+            interval_ms: flags.parse_or("metrics-interval", 200u64)?.max(1),
+            progress: flags.switch("progress"),
+            flightrec: flags.get("flightrec-out").map(str::to_owned),
+        })
+    }
+
+    /// Any observability sink requested → collection must be on.
+    fn wanted(&self) -> bool {
+        self.out.is_some() || self.progress || self.flightrec.is_some()
+    }
+}
+
+/// A live metrics session: a background thread samples the registry on
+/// the configured interval (and repaints the progress line), the flight
+/// panic hook is armed, and [`finish`](MetricsSession::finish) writes
+/// the requested exporter files.
+struct MetricsSession {
+    telemetry: Telemetry,
+    args: MetricsArgs,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<Sampler>>,
+    started: Instant,
+}
+
+impl MetricsSession {
+    fn start(telemetry: &Telemetry, args: MetricsArgs) -> MetricsSession {
+        if let Some(path) = &args.flightrec {
+            install_flight_panic_hook(telemetry, PathBuf::from(path));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let sampling = telemetry.is_enabled() && (args.out.is_some() || args.progress);
+        let thread = sampling.then(|| {
+            let tele = telemetry.clone();
+            let stop = Arc::clone(&stop);
+            let interval_ms = args.interval_ms;
+            let progress = args.progress;
+            std::thread::spawn(move || {
+                let mut sampler = Sampler::new(tele, interval_ms.saturating_mul(1_000_000));
+                while !stop.load(Ordering::Relaxed) {
+                    if sampler.tick() && progress {
+                        if let Some(snap) = sampler.samples().last() {
+                            let elapsed = started.elapsed().as_nanos() as u64;
+                            eprint!("\r{}", render_progress(snap, elapsed));
+                            let _ = std::io::Write::flush(&mut std::io::stderr());
+                        }
+                    }
+                    // Sleep a fraction of the interval so stop requests
+                    // land promptly even with coarse sampling intervals.
+                    std::thread::sleep(Duration::from_millis(interval_ms.min(25)));
+                }
+                sampler
+            })
+        });
+        MetricsSession {
+            telemetry: telemetry.clone(),
+            args,
+            stop,
+            thread,
+            started,
+        }
+    }
+
+    /// Dumps the flight recorder to the configured path; called on
+    /// error exits so post-mortems survive even without a panic.
+    fn dump_flight(&self, reason: &str) {
+        if let (Some(path), Some(dump)) = (
+            &self.args.flightrec,
+            self.telemetry.flight_dump_json(reason),
+        ) {
+            let _ = std::fs::write(path, dump);
+        }
+    }
+
+    /// Stops sampling, takes a final forced sample, and writes the
+    /// requested exporter files. Returns notes for the command output.
+    fn finish(mut self) -> Result<String, CliError> {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut notes = String::new();
+        let Some(handle) = self.thread.take() else {
+            return Ok(notes);
+        };
+        let mut sampler = handle
+            .join()
+            .map_err(|_| CliError("metrics sampler thread panicked".to_owned()))?;
+        // The final sample captures the finished run regardless of where
+        // the interval deadline landed.
+        sampler.force();
+        if self.args.progress {
+            if let Some(snap) = sampler.samples().last() {
+                let elapsed = self.started.elapsed().as_nanos() as u64;
+                eprintln!("\r{}", render_progress(snap, elapsed));
+            }
+        }
+        if let Some(path) = &self.args.out {
+            write_file(path, &metrics_series_json(sampler.samples()).to_string())?;
+            let last = sampler.samples().last().expect("forced sample present");
+            write_file(&format!("{path}.prom"), &prometheus_text(last))?;
+            write_file(&format!("{path}.csv"), &metrics_csv(sampler.samples()))?;
+            notes.push_str(&format!(
+                "\nmetrics series written to {path} (+ {path}.prom, {path}.csv)"
+            ));
+        }
+        Ok(notes)
+    }
 }
 
 /// Parses `--topology NxSxG` (nodes × sockets/node × GPUs/socket).
@@ -292,6 +409,22 @@ USAGE:
                                                 duration histograms
                       [--telemetry-json FILE]   write a machine-readable report
                       [--trace FILE]            write a Chrome/Perfetto trace
+                      [--metrics-out FILE]      sample the metrics registry on an
+                                                interval and write the series as
+                                                petaxct-metrics-v1 JSON to FILE,
+                                                the final snapshot in Prometheus
+                                                text format to FILE.prom, and the
+                                                series as CSV to FILE.csv
+                      [--metrics-interval MS]   sampling interval in milliseconds
+                                                (default 200)
+                      [--progress]              repaint a one-line progress report
+                                                on stderr (slab, iteration,
+                                                residual, %, ETA)
+                      [--flightrec-out FILE]    arm the flight recorder: on panic
+                                                or error, dump the last moments of
+                                                every rank (spans, events, metric
+                                                deltas) as petaxct-flightrec-v1
+                                                JSON to FILE
   petaxct fbp         --in FILE --out FILE [--filter ramlak|shepplogan|hann]
   petaxct info        --in FILE
   petaxct render      --in FILE --slice 0 --out FILE.pgm
@@ -390,6 +523,32 @@ fn open_sinogram(path: &str) -> Result<(SliceReader, usize, usize), CliError> {
 }
 
 fn reconstruct(flags: &Flags) -> Result<String, CliError> {
+    let tel_args = TelemetryArgs::from_flags(flags);
+    let metrics_args = MetricsArgs::from_flags(flags)?;
+    // Any sink — telemetry report or live metrics — turns collection on.
+    let telemetry = if tel_args.wanted() || metrics_args.wanted() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let metrics = MetricsSession::start(&telemetry, metrics_args);
+    match reconstruct_inner(flags, &telemetry, &tel_args) {
+        Ok(text) => Ok(text + &metrics.finish()?),
+        Err(e) => {
+            // A failed run still gets its post-mortem flight dump and
+            // whatever metrics series accumulated before the error.
+            metrics.dump_flight(&e.0);
+            let _ = metrics.finish();
+            Err(e)
+        }
+    }
+}
+
+fn reconstruct_inner(
+    flags: &Flags,
+    telemetry: &Telemetry,
+    tel_args: &TelemetryArgs,
+) -> Result<String, CliError> {
     let input = flags.required("in")?.to_owned();
     let out = flags.required("out")?.to_owned();
     let precision: Precision = flags
@@ -414,8 +573,6 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
         // to the smallest simulated machine.
         topology = Some(Topology::new(1, 1, 1));
     }
-    let tel_args = TelemetryArgs::from_flags(flags);
-    let telemetry = tel_args.handle();
 
     let solver = flags.get("solver").unwrap_or("cgls").to_owned();
     let (mut reader, angles, n) = open_sinogram(&input)?;
@@ -451,7 +608,7 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
                 stats.slices, stats.batches, precision, iterations, stats.worst_residual
             );
             drop(total_span);
-            Ok(text + &tel_args.emit(&telemetry, "reconstruct", &ctx.counters, None)?)
+            Ok(text + &tel_args.emit(telemetry, "reconstruct", &ctx.counters, None)?)
         }
         ("cgls", Some(topology)) => {
             // Distributed mode: plan first (the paper's §III-A3 rule
@@ -517,7 +674,7 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
             drop(total_span);
             Ok(text
                 + &tel_args.emit(
-                    &telemetry,
+                    telemetry,
                     "reconstruct",
                     &stats.counters,
                     Some(&comm_report),
@@ -565,7 +722,7 @@ fn reconstruct(flags: &Flags) -> Result<String, CliError> {
                 "reconstructed {done} slices with {solver} ({precision} precision); volume in {out}"
             );
             drop(total_span);
-            Ok(text + &tel_args.emit(&telemetry, "reconstruct", &ctx.counters, None)?)
+            Ok(text + &tel_args.emit(telemetry, "reconstruct", &ctx.counters, None)?)
         }
         (other, _) => Err(CliError(format!(
             "unknown solver {other:?}; expected cgls|sirt|tv"
@@ -1103,6 +1260,144 @@ mod tests {
         assert!(out.contains("on 1 simulated ranks"), "{out}");
         assert!(out.contains("streamed"), "{out}");
         assert!(out.contains("in 2 batches"), "{out}");
+    }
+
+    #[test]
+    fn metrics_out_writes_json_prometheus_and_csv_for_a_wired_streamed_run() {
+        let sino = tmp("cli_metrics_sino.xctd");
+        let vol = tmp("cli_metrics_vol.xctd");
+        let metrics = tmp("cli_metrics.json");
+        run_cmd(&[
+            "simulate",
+            "--phantom",
+            "shepp",
+            "--out",
+            &sino,
+            "--n",
+            "16",
+            "--angles",
+            "16",
+            "--slices",
+            "4",
+        ])
+        .unwrap();
+        let out = run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            &vol,
+            "--topology",
+            "2x2x2",
+            "--iterations",
+            "4",
+            "--batch",
+            "2",
+            "--stream",
+            "--wire",
+            "200x50",
+            "--metrics-out",
+            &metrics,
+            "--metrics-interval",
+            "10",
+        ])
+        .unwrap();
+        assert!(out.contains("metrics series written"), "{out}");
+        assert!(out.contains("streamed"), "{out}");
+
+        // The JSON series round-trips and carries comm, io, and solver
+        // metrics with non-trivial values.
+        let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("petaxct-metrics-v1")
+        );
+        let samples = doc.get("samples").and_then(Json::as_array).unwrap();
+        assert!(!samples.is_empty());
+        let last = samples.last().unwrap();
+        let tracks = last.get("tracks").and_then(Json::as_array).unwrap();
+        assert!(!tracks.is_empty());
+        let sum_counter = |name: &str| -> f64 {
+            tracks
+                .iter()
+                .filter_map(|t| t.get("counters").and_then(|c| c.get(name)))
+                .filter_map(Json::as_f64)
+                .sum()
+        };
+        assert!(sum_counter("comm.send.bytes") > 0.0, "comm metrics empty");
+        assert!(
+            sum_counter("solver.iterations") > 0.0,
+            "solver metrics empty"
+        );
+        assert!(
+            sum_counter("stream.slabs.done") >= 2.0,
+            "streamed run must finish at least two slabs"
+        );
+        assert!(
+            sum_counter("io.prefetch.hits") + sum_counter("io.prefetch.misses") > 0.0,
+            "io metrics empty"
+        );
+
+        // The Prometheus exposition carries the same metrics.
+        let prom = std::fs::read_to_string(format!("{metrics}.prom")).unwrap();
+        assert!(
+            prom.contains("# TYPE petaxct_comm_send_bytes counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("petaxct_solver_iterations{track="), "{prom}");
+        assert!(prom.contains("petaxct_comm_wait_ns_bucket"), "{prom}");
+
+        // And the CSV has the header plus at least one data row.
+        let csv = std::fs::read_to_string(format!("{metrics}.csv")).unwrap();
+        assert!(csv.starts_with("at_ns,track,metric,value\n"), "{csv}");
+        assert!(csv.contains("solver.iterations"), "{csv}");
+    }
+
+    #[test]
+    fn failed_run_dumps_the_flight_recorder() {
+        let sino = tmp("cli_flight_sino.xctd");
+        let dump = tmp("cli_flight_dump.json");
+        let _ = std::fs::remove_file(&dump);
+        run_cmd(&[
+            "simulate",
+            "--phantom",
+            "shepp",
+            "--out",
+            &sino,
+            "--n",
+            "16",
+            "--angles",
+            "16",
+            "--slices",
+            "2",
+        ])
+        .unwrap();
+        // An impossible memory budget fails after telemetry is armed.
+        let err = run_cmd(&[
+            "reconstruct",
+            "--in",
+            &sino,
+            "--out",
+            "/tmp/never_flight.xctd",
+            "--topology",
+            "1x2x2",
+            "--memory-budget",
+            "16",
+            "--flightrec-out",
+            &dump,
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("too small"), "{err}");
+        let doc = Json::parse(&std::fs::read_to_string(&dump).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("petaxct-flightrec-v1")
+        );
+        assert!(doc
+            .get("reason")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("too small"));
     }
 
     #[test]

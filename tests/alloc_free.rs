@@ -35,6 +35,7 @@ use xct_fp16::{Precision, F16};
 use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
 use xct_solver::{CglsSolver, ExecContext, Phase, PrecisionOperator, Telemetry};
 use xct_spmm::Csr;
+use xct_telemetry::MetricId;
 
 struct CountingAllocator;
 
@@ -178,6 +179,66 @@ fn enabled_telemetry_leaves_workspace_steady_state_alone() {
             .count(),
         7
     );
+}
+
+#[test]
+fn disabled_metrics_and_flight_recorder_record_nothing_and_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+
+    // Every metric primitive — counter add/inc, gauge set, histogram
+    // observe, flight point — must be a single None-check when the
+    // handle is disabled: no heap traffic and nothing recorded.
+    let telemetry = Telemetry::disabled();
+    let before = allocations();
+    for i in 0..1000u64 {
+        telemetry.metric_add(MetricId::CommSendBytes, i);
+        telemetry.metric_inc(MetricId::SolverIterations);
+        telemetry.gauge_set(MetricId::SolverResidual, i as f64 * 1e-3);
+        telemetry.observe_ns(MetricId::CommWaitNs, i);
+        telemetry.flight_point("alloc.probe", i, 0);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "disabled metrics/flight recorder must be a no-op on the heap"
+    );
+    assert!(
+        telemetry.metrics_snapshot().tracks.is_empty(),
+        "disabled registry must record nothing"
+    );
+    assert!(
+        telemetry.flight_snapshot().is_empty(),
+        "disabled flight recorder must record nothing"
+    );
+    assert!(telemetry.flight_dump_json("probe").is_none());
+}
+
+#[test]
+fn enabled_metrics_are_allocation_free_after_handle_creation() {
+    let _guard = SERIAL.lock().unwrap();
+
+    // Enabled is the always-on production mode: the per-track atomic
+    // slab and the fixed-capacity flight ring are allocated when the
+    // handle registers, after which every recording path — including
+    // flight-ring pushes past capacity (overwrite-oldest) — is heap-free.
+    let telemetry = Telemetry::enabled();
+    // Warm-up: first touches allocate nothing (slabs preallocate), but
+    // run a full ring's worth to prove the wraparound path too.
+    let before = allocations();
+    for i in 0..1000u64 {
+        telemetry.metric_add(MetricId::CommSendBytes, i);
+        telemetry.metric_inc(MetricId::SolverIterations);
+        telemetry.gauge_set(MetricId::SolverResidual, i as f64 * 1e-3);
+        telemetry.observe_ns(MetricId::CommWaitNs, i);
+        telemetry.flight_point("alloc.probe", i, 0);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "enabled metric recording must not touch the heap"
+    );
+    let snap = telemetry.metrics_snapshot();
+    assert_eq!(snap.counter_total(MetricId::SolverIterations), 1000);
 }
 
 #[test]
