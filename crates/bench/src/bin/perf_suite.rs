@@ -38,7 +38,7 @@ use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
 use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
 use xct_plan::{Planner, VolumeDims};
 use xct_solver::{CglsSolver, ExecContext, PrecisionOperator};
-use xct_spmm::Csr;
+use xct_spmm::{simd_available, spmm_reference_with, spmm_with, Csr, PackedMatrix};
 use xct_telemetry::{Breakdown, CausalAnalysis, Telemetry};
 
 struct CountingAllocator;
@@ -161,6 +161,7 @@ fn finish(
         critical_path_ns: causal.critical_path_ns,
         allocations: allocs,
         flops: counters.flops,
+        padded_flops: counters.padded_flops,
         kernel_launches: counters.kernel_launches,
         phase_self_ns: breakdown
             .stats
@@ -191,6 +192,41 @@ fn serial_scenario(p: &SuiteParams) -> ScenarioResult {
     let wall = start.elapsed();
     let allocs = allocations() - before;
     finish("serial", wall, allocs, ctx.counters, &[], &telemetry)
+}
+
+/// The SpMM microbenchmarks behind the vectorization gate: one packed
+/// f32 matrix at fusing 8 driven through the production panel/SIMD
+/// kernel (`spmm_serial_f32`) and through the retained scalar reference
+/// (`spmm_reference_f32`, the pre-panelization loop kept as the
+/// baseline). Both issue identical effective flops by construction, so
+/// the flops-rate ratio is exactly the kernel speedup.
+fn spmm_kernel_scenario(name: &str, p: &SuiteParams, reference: bool) -> ScenarioResult {
+    let scan = ScanGeometry::uniform(ImageGrid::square(p.n, 1.0), p.angles);
+    let sm = SystemMatrix::build(&scan);
+    let csr = Csr::from_system_matrix(&sm);
+    let fusing = 8;
+    let packed = PackedMatrix::pack(&csr, 64, 96 * 1024, fusing);
+    let mut x = vec![0.0f32; csr.num_cols() * fusing];
+    for (i, v) in x.iter_mut().enumerate() {
+        *v = ((i % 13) as f32) * 0.125 - 0.5;
+    }
+    let mut y = vec![0.0f32; csr.num_rows() * fusing];
+    let launches = if p.quick { 300 } else { 1200 };
+
+    let telemetry = Telemetry::enabled();
+    let mut ctx = ExecContext::serial().with_telemetry(telemetry.clone());
+    let before = allocations();
+    let start = Instant::now();
+    for _ in 0..launches {
+        if reference {
+            spmm_reference_with::<f32, f32>(&packed, &x, &mut y, &mut ctx);
+        } else {
+            spmm_with::<f32, f32>(&packed, &x, &mut y, &mut ctx);
+        }
+    }
+    let wall = start.elapsed();
+    let allocs = allocations() - before;
+    finish(name, wall, allocs, ctx.counters, &[], &telemetry)
 }
 
 fn distributed_scenario(
@@ -272,6 +308,7 @@ fn streamed_scenario(p: &SuiteParams, sino: &std::path::Path) -> ScenarioResult 
         hierarchical: true,
         overlap: false,
         max_fusing: slices,
+        kernel: None,
     };
     let dims = VolumeDims { n: p.n, slices };
     let probe = planner
@@ -334,6 +371,10 @@ fn run_suite(p: &SuiteParams) -> BenchReport {
     let mut scenarios = Vec::new();
     eprintln!("running serial ...");
     scenarios.push(best_of(p.reps, || serial_scenario(p)));
+    for (name, reference) in [("spmm_serial_f32", false), ("spmm_reference_f32", true)] {
+        eprintln!("running {name} ...");
+        scenarios.push(best_of(p.reps, || spmm_kernel_scenario(name, p, reference)));
+    }
     for (name, topology, overlap, wired) in [
         ("dist_sync", Topology::new(1, 2, 2), false, false),
         ("dist_overlap", Topology::new(1, 2, 2), true, false),
@@ -352,6 +393,23 @@ fn run_suite(p: &SuiteParams) -> BenchReport {
     BenchReport {
         quick: p.quick,
         scenarios,
+    }
+}
+
+/// Flops-rate ratio of the production SpMM kernel over the retained
+/// scalar reference (`> 1.0` means the panels/SIMD won).
+fn spmm_speedup(report: &BenchReport) -> Option<f64> {
+    let rate = |name: &str| {
+        report
+            .scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .filter(|s| s.wall_ns > 0)
+            .map(|s| s.flops as f64 / (s.wall_ns as f64 * 1e-9))
+    };
+    match (rate("spmm_serial_f32"), rate("spmm_reference_f32")) {
+        (Some(fast), Some(base)) if base > 0.0 => Some(fast / base),
+        _ => None,
     }
 }
 
@@ -392,6 +450,13 @@ fn print_summary(report: &BenchReport) {
             );
         }
     }
+    if let Some(speedup) = spmm_speedup(report) {
+        println!(
+            "spmm flops rate: kernel/reference = {:.2}x (simd {})",
+            speedup,
+            if simd_available() { "on" } else { "off" }
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -420,6 +485,26 @@ fn main() -> ExitCode {
 
     let report = run_suite(&SuiteParams::new(quick));
     print_summary(&report);
+
+    // The vectorization floor: with the SIMD path live, the production
+    // kernel must beat the retained scalar reference by >= 1.5x in
+    // effective flops rate, or the suite fails outright.
+    if simd_available() {
+        match spmm_speedup(&report) {
+            Some(speedup) if speedup < 1.5 => {
+                eprintln!(
+                    "spmm vectorization floor: {speedup:.2}x < 1.50x required \
+                     (spmm_serial_f32 vs spmm_reference_f32)"
+                );
+                return ExitCode::FAILURE;
+            }
+            Some(_) => {}
+            None => {
+                eprintln!("spmm vectorization floor: kernel scenarios missing from the report");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let text = report.to_json().to_string();
     if let Err(e) = std::fs::write(&out, &text) {

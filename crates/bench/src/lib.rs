@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 pub mod perf;
+pub mod tune;
 
 use xct_fp16::Precision;
 use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};

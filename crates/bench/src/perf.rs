@@ -27,8 +27,13 @@ pub struct ScenarioResult {
     pub critical_path_ns: u64,
     /// Heap allocations during the call (global counting allocator).
     pub allocations: u64,
-    /// Floating-point operations reported by the execution counters.
+    /// Effective floating-point operations reported by the execution
+    /// counters (real nonzeros only — ELL padding FMAs excluded, so
+    /// flops rates are honest).
     pub flops: u64,
+    /// Issued floating-point operations including padding FMAs
+    /// (`>= flops`); the gap is the packing waste.
+    pub padded_flops: u64,
     /// Kernel launches reported by the execution counters.
     pub kernel_launches: u64,
     /// Self time per telemetry phase, `(phase label, ns)`.
@@ -53,6 +58,7 @@ impl ScenarioResult {
             ("critical_path_ns", Json::from(self.critical_path_ns)),
             ("allocations", Json::from(self.allocations)),
             ("flops", Json::from(self.flops)),
+            ("padded_flops", Json::from(self.padded_flops)),
             ("kernel_launches", Json::from(self.kernel_launches)),
             ("phase_self_ns", pairs(&self.phase_self_ns)),
             ("comm_bytes", pairs(&self.comm_bytes)),
@@ -85,6 +91,7 @@ impl ScenarioResult {
             critical_path_ns: field("critical_path_ns")?,
             allocations: field("allocations")?,
             flops: field("flops")?,
+            padded_flops: field("padded_flops")?,
             kernel_launches: field("kernel_launches")?,
             phase_self_ns: pairs("phase_self_ns")?,
             comm_bytes: pairs("comm_bytes")?,
@@ -217,6 +224,12 @@ pub fn compare(
         );
         gate(&cur.name, "allocations", base.allocations, cur.allocations);
         gate(&cur.name, "flops", base.flops, cur.flops);
+        gate(
+            &cur.name,
+            "padded_flops",
+            base.padded_flops,
+            cur.padded_flops,
+        );
         for (class, bytes) in &cur.comm_bytes {
             if let Some((_, b)) = base.comm_bytes.iter().find(|(c, _)| c == class) {
                 gate(&cur.name, &format!("comm_bytes.{class}"), *b, *bytes);
@@ -237,6 +250,7 @@ mod tests {
             critical_path_ns: wall_ns / 2,
             allocations: 100,
             flops: 1_000_000,
+            padded_flops: 1_250_000,
             kernel_launches: 42,
             phase_self_ns: vec![("SpmmForward".to_string(), wall_ns / 3)],
             comm_bytes: vec![("global".to_string(), 4096), ("socket".to_string(), 0)],

@@ -102,6 +102,7 @@ mod tests {
     fn metrics(flops: u64, bytes: u64) -> KernelMetrics {
         KernelMetrics {
             flops,
+            padded_flops: flops,
             bytes_read: bytes,
             bytes_written: 0,
         }
@@ -139,6 +140,7 @@ mod tests {
         let perf = |fusing: usize| {
             let m = KernelMetrics {
                 flops: per_slice_flops * fusing as u64,
+                padded_flops: per_slice_flops * fusing as u64,
                 bytes_read: matrix_bytes + 100_000 * fusing as u64,
                 bytes_written: 50_000 * fusing as u64,
             };

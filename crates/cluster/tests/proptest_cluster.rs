@@ -68,7 +68,7 @@ proptest! {
         extra in 1u64..1_000_000_000,
     ) {
         let gpu = GpuSpec::v100();
-        let base = KernelMetrics { flops, bytes_read: bytes, bytes_written: 0 };
+        let base = KernelMetrics { flops, padded_flops: flops, bytes_read: bytes, bytes_written: 0 };
         let more_flops = KernelMetrics { flops: flops + extra, ..base };
         let more_bytes = KernelMetrics { bytes_read: bytes + extra, ..base };
         let t0 = kernel_time(&gpu, &base, 0, 1, Precision::Single);
@@ -96,6 +96,7 @@ proptest! {
         let time_for = |bytes_per: u64| {
             let m = KernelMetrics {
                 flops: 2 * elements,
+                padded_flops: 2 * elements,
                 bytes_read: elements * bytes_per,
                 bytes_written: 0,
             };

@@ -42,8 +42,8 @@ pub use metrics::{
 pub use plan::{DirectPlan, Footprints, HierarchicalPlan, Ownership, PlanError, ReductionStep};
 pub use runtime::{
     run_ranks, run_ranks_chaos, run_ranks_chaos_traced, run_ranks_traced, run_ranks_traced_wired,
-    run_ranks_with_timeout, ChaosMode, ChaosSchedule, CommError, Communicator, RecvRequest,
-    SubCommunicator, WireModel, REPLY_TAG_SALT,
+    run_ranks_with_timeout, Backoff, ChaosMode, ChaosSchedule, CommError, Communicator,
+    RecvRequest, SubCommunicator, WireModel, REPLY_TAG_SALT,
 };
 pub use topology::{CommLevel, Topology};
 pub use wire::Wire;

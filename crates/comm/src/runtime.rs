@@ -769,36 +769,30 @@ impl RecvRequest {
     }
 
     /// Polls [`test`](Self::test) under a bounded backoff instead of a
-    /// busy spin: the first attempts only yield, later ones sleep with
-    /// exponentially growing (capped) pauses, and the poll count is
-    /// bounded. Returns whether the message arrived within `max_polls`
-    /// attempts. Prefer [`wait`](Self::wait) when blocking is fine — the
-    /// runtime's condvar wakeups are cheap; this exists for call sites
-    /// that must interleave polling with other progress and would
-    /// otherwise spin on `test` at full speed.
+    /// busy spin, performing **exactly** `max_polls` tests. Returns
+    /// whether the message arrived within those attempts. Prefer
+    /// [`wait`](Self::wait) when blocking is fine — the runtime's
+    /// condvar wakeups are cheap; this exists for call sites that must
+    /// interleave polling with other progress and would otherwise spin
+    /// on `test` at full speed. Call sites that poll *repeatedly* (a
+    /// drain loop re-testing until completion) should own a [`Backoff`]
+    /// and drive `test` themselves — re-entering this method restarts
+    /// the ladder from yields every time, which is exactly the
+    /// escalation reset the ladder exists to avoid.
+    ///
     /// Each unsuccessful poll is counted on the rank's telemetry —
     /// `comm.wait.spins` for the poll itself, plus `comm.wait.yields` or
     /// `comm.wait.parks` for how it backed off — so the backoff constants
     /// are tunable against measurement instead of blind.
     pub fn test_backoff(&mut self, comm: &Communicator, max_polls: u32) -> Result<bool, CommError> {
-        const YIELD_POLLS: u32 = 16;
-        const PAUSE_CAP: Duration = Duration::from_millis(1);
-        let mut pause = Duration::from_micros(10);
-        for poll in 0..max_polls {
+        let mut backoff = Backoff::new();
+        for _ in 0..max_polls {
             if self.test(comm)? {
                 return Ok(true);
             }
-            comm.telemetry.metric_inc(MetricId::CommWaitSpins);
-            if poll < YIELD_POLLS {
-                comm.telemetry.metric_inc(MetricId::CommWaitYields);
-                std::thread::yield_now();
-            } else {
-                comm.telemetry.metric_inc(MetricId::CommWaitParks);
-                std::thread::sleep(pause);
-                pause = (pause * 2).min(PAUSE_CAP);
-            }
+            backoff.wait(comm);
         }
-        self.test(comm)
+        Ok(false)
     }
 
     /// Blocks until the message arrives and returns its payload
@@ -808,6 +802,85 @@ impl RecvRequest {
             Some(payload) => Ok(payload),
             None => comm.recv(self.src, self.tag),
         }
+    }
+}
+
+/// An escalating wait ladder for polling loops, with the poll count and
+/// pause carried *across* calls: the first [`Self::YIELD_POLLS`] failed
+/// polls only yield the CPU, later ones sleep with exponentially growing
+/// pauses capped at [`Self::PAUSE_CAP`].
+///
+/// The whole point is persistence. A drain loop that calls a
+/// self-contained helper like [`RecvRequest::test_backoff`] inside its
+/// `while` restarts the ladder at "yield" on every iteration, so a long
+/// wait spins hot forever and never frees the core the compute pipeline
+/// needs. Owning one `Backoff` for the loop's lifetime makes the wait
+/// actually escalate to capped parks:
+///
+/// ```ignore
+/// let mut backoff = Backoff::new();
+/// while !req.test(comm)? {
+///     backoff.wait(comm);
+/// }
+/// ```
+///
+/// Every failed poll is metered (`comm.wait.spins` plus
+/// `comm.wait.yields`/`comm.wait.parks` for how it backed off), so the
+/// spin/park split is visible in telemetry and the constants stay
+/// tunable against measurement.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    polls: u32,
+    pause: Duration,
+}
+
+impl Backoff {
+    /// Failed polls that merely yield before the ladder starts parking.
+    pub const YIELD_POLLS: u32 = 16;
+    /// Longest single park.
+    pub const PAUSE_CAP: Duration = Duration::from_millis(1);
+    /// First park length; doubles per park up to [`Self::PAUSE_CAP`].
+    pub const PAUSE_START: Duration = Duration::from_micros(10);
+
+    /// A ladder at the start (yield) rung.
+    pub fn new() -> Self {
+        Backoff {
+            polls: 0,
+            pause: Self::PAUSE_START,
+        }
+    }
+
+    /// Failed polls recorded since construction or the last reset.
+    pub fn polls(&self) -> u32 {
+        self.polls
+    }
+
+    /// Restarts the ladder — for loops that wait on a *sequence* of
+    /// events and want escalation per event, reset after each success.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Records one failed poll and backs off one rung: yield while young,
+    /// then park with doubling (capped) pauses. Meters the poll on the
+    /// rank's telemetry.
+    pub fn wait(&mut self, comm: &Communicator) {
+        comm.telemetry.metric_inc(MetricId::CommWaitSpins);
+        if self.polls < Self::YIELD_POLLS {
+            comm.telemetry.metric_inc(MetricId::CommWaitYields);
+            std::thread::yield_now();
+        } else {
+            comm.telemetry.metric_inc(MetricId::CommWaitParks);
+            std::thread::sleep(self.pause);
+            self.pause = (self.pause * 2).min(Self::PAUSE_CAP);
+        }
+        self.polls = self.polls.saturating_add(1);
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -1121,9 +1194,17 @@ mod tests {
                 // test() reports not-done while the message is on the
                 // wire (almost always observable with a 30 ms wire, but
                 // not asserted — the scheduler may stall this thread);
-                // poll with a bounded backoff rather than a hot spin,
+                // poll under a loop-owned backoff so the wait escalates
+                // to parks instead of restarting at yields each round,
                 // then wait() must block the remaining wire time out.
-                while !req.test_backoff(comm, 64).unwrap() {}
+                let mut backoff = Backoff::new();
+                while !req.test(comm).unwrap() {
+                    backoff.wait(comm);
+                }
+                assert!(
+                    backoff.polls() > Backoff::YIELD_POLLS,
+                    "a 30 ms wire must escalate the ladder past yields"
+                );
                 let bytes = req.wait(comm).unwrap();
                 assert_eq!(bytes.len(), 4);
             }
@@ -1333,13 +1414,14 @@ mod tests {
             if comm.rank() == 1 {
                 let mut req = comm.irecv(0, 13).unwrap();
                 // Tell rank 0 we have posted the receive, then poll
-                // test() under a bounded backoff until the message
-                // lands (no hot spin).
+                // test() under a loop-owned backoff until the message
+                // lands (no hot spin, and the ladder keeps escalating
+                // across iterations).
                 comm.send_vals::<f32>(0, 12, &[1.0]).unwrap();
-                let mut rounds = 0u32;
-                while !req.test_backoff(comm, 1024).unwrap() {
-                    rounds += 1;
-                    assert!(rounds < 1_000, "irecv never completed");
+                let mut backoff = Backoff::new();
+                while !req.test(comm).unwrap() {
+                    backoff.wait(comm);
+                    assert!(backoff.polls() < 100_000, "irecv never completed");
                 }
                 let payload = req.wait(comm).unwrap();
                 f32::decode_slice(&payload)[0]

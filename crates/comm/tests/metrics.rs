@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 use xct_comm::{
-    execute_hierarchical, run_ranks, run_ranks_traced, run_ranks_traced_wired, CommReport,
+    execute_hierarchical, run_ranks, run_ranks_traced, run_ranks_traced_wired, Backoff, CommReport,
     Footprints, HierarchicalPlan, Ownership, PartialData, Topology, TrafficClass, WireModel,
 };
 use xct_fp16::F16;
@@ -141,9 +141,15 @@ fn traced_ranks_record_per_level_spans_on_their_own_tracks() {
 
 /// The `comm.wait` backoff used to be tune-blind: nothing measured how
 /// often a bounded-backoff wait spun, yielded, or slept, so its
-/// constants could never be tuned against evidence. Under a wire model
-/// that holds the message back long enough to exhaust the yield phase,
-/// every backoff tier must tick its counter.
+/// constants could never be tuned against evidence. Worse, the drain
+/// loops re-entered `test_backoff` in a `while`, restarting the ladder
+/// at the yield rung every call — the wait never escalated to parks and
+/// burned the core the compute pipeline needed. Under a wire model that
+/// holds the message back long enough to exhaust the yield phase, a
+/// loop-owned [`Backoff`] must (a) reach its parking tier and (b) keep
+/// the total failed-poll count small: the doubling pauses cover 3 ms of
+/// wire in ~10 parks on top of the 16 yields, nowhere near the hundreds
+/// of polls a ladder-resetting loop needs.
 #[test]
 fn backoff_counters_move_under_a_wired_run() {
     let wire = WireModel {
@@ -158,9 +164,12 @@ fn backoff_counters_move_under_a_wired_run() {
         } else {
             let mut req = comm.irecv(0, 5).unwrap();
             // 3 ms of wire time far exceeds the 16-poll yield phase, so
-            // the backoff must reach its sleeping tier before this
-            // completes.
-            while !req.test_backoff(comm, 64).unwrap() {}
+            // the persistent ladder must reach its sleeping tier before
+            // this completes.
+            let mut backoff = Backoff::new();
+            while !req.test(comm).unwrap() {
+                backoff.wait(comm);
+            }
             let got = req.wait(comm).unwrap();
             assert_eq!(got.len(), 8);
             comm.recycle(got);
@@ -168,20 +177,28 @@ fn backoff_counters_move_under_a_wired_run() {
     });
     let metrics = tele.metrics_snapshot();
     let receiver = metrics.track(1).expect("rank 1 recorded metrics");
+    let spins = receiver.counter(MetricId::CommWaitSpins);
+    assert!(spins >= 17, "spins: {spins} (must pass the yield phase)");
     assert!(
-        receiver.counter(MetricId::CommWaitSpins) >= 16,
-        "spins: {}",
-        receiver.counter(MetricId::CommWaitSpins)
+        spins <= 64,
+        "spins: {spins} — a persistent ladder covers 3 ms of wire in \
+         well under 64 polls; hundreds means the escalation reset is back"
     );
-    assert!(
-        receiver.counter(MetricId::CommWaitYields) >= 16,
-        "yields: {}",
-        receiver.counter(MetricId::CommWaitYields)
+    let yields = receiver.counter(MetricId::CommWaitYields);
+    assert_eq!(
+        yields,
+        u64::from(Backoff::YIELD_POLLS),
+        "one wait event yields exactly through the yield phase"
     );
     assert!(
         receiver.counter(MetricId::CommWaitParks) >= 1,
         "parks: {}",
         receiver.counter(MetricId::CommWaitParks)
+    );
+    assert_eq!(
+        spins,
+        yields + receiver.counter(MetricId::CommWaitParks),
+        "every failed poll either yields or parks"
     );
     // The sender track never waited.
     let sender = metrics.track(0).expect("rank 0 recorded metrics");

@@ -109,13 +109,19 @@ pub fn reconstruct_planned(
     })?;
     debug_assert!(plan.fits(), "executing an over-budget plan");
 
-    let cfg_base = DistributedConfig {
+    let mut cfg_base = DistributedConfig {
         topology: plan.topology,
         precision: plan.precision,
         hierarchical: plan.hierarchical,
         overlap: plan.overlap,
         ..base.clone()
     };
+    if let Some(shape) = plan.kernel {
+        // A tuned tile shape travels with the plan (petaxct tune →
+        // --tune-from) and overrides the executor defaults.
+        cfg_base.block_size = shape.block_size;
+        cfg_base.shared_bytes = shape.shared_bytes;
+    }
     let telemetry = cfg_base.telemetry.clone();
     let streamed = plan.streaming();
 

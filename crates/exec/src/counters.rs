@@ -7,8 +7,11 @@
 /// roofline analysis and machine model consume.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecCounters {
-    /// Floating-point operations performed.
+    /// Effective floating-point operations performed (real work only).
     pub flops: u64,
+    /// Issued floating-point operations including padding FMAs
+    /// (`>= flops`; kernels without padding record the same value).
+    pub padded_flops: u64,
     /// Bytes read from memory.
     pub bytes_read: u64,
     /// Bytes written to memory.
@@ -23,9 +26,23 @@ impl ExecCounters {
         Self::default()
     }
 
-    /// Records one kernel launch.
+    /// Records one kernel launch with no padding waste (issued == effective).
     pub fn record_kernel(&mut self, flops: u64, bytes_read: u64, bytes_written: u64) {
+        self.record_kernel_padded(flops, flops, bytes_read, bytes_written);
+    }
+
+    /// Records one kernel launch, distinguishing effective flops from the
+    /// (possibly larger) issued count that includes padding FMAs.
+    pub fn record_kernel_padded(
+        &mut self,
+        flops: u64,
+        padded_flops: u64,
+        bytes_read: u64,
+        bytes_written: u64,
+    ) {
+        debug_assert!(padded_flops >= flops);
         self.flops += flops;
+        self.padded_flops += padded_flops;
         self.bytes_read += bytes_read;
         self.bytes_written += bytes_written;
         self.kernel_launches += 1;
@@ -51,6 +68,7 @@ impl ExecCounters {
     /// by hand.
     pub fn merge(&mut self, other: &ExecCounters) {
         self.flops += other.flops;
+        self.padded_flops += other.padded_flops;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.kernel_launches += other.kernel_launches;
@@ -86,11 +104,22 @@ mod tests {
         c.record_kernel(100, 40, 10);
         c.record_kernel(50, 20, 5);
         assert_eq!(c.flops, 150);
+        assert_eq!(c.padded_flops, 150, "record_kernel implies no padding");
         assert_eq!(c.bytes(), 75);
         assert_eq!(c.kernel_launches, 2);
         assert!((c.arithmetic_intensity() - 2.0).abs() < 1e-12);
         c.reset();
         assert_eq!(c, ExecCounters::default());
+    }
+
+    #[test]
+    fn padded_records_track_issued_separately() {
+        let mut c = ExecCounters::new();
+        c.record_kernel_padded(100, 128, 40, 10);
+        c.record_kernel(50, 20, 5);
+        assert_eq!(c.flops, 150);
+        assert_eq!(c.padded_flops, 178);
+        assert_eq!(c.kernel_launches, 2);
     }
 
     #[test]
@@ -107,6 +136,7 @@ mod tests {
         b.record_kernel(50, 20, 5);
         a.merge(&b);
         assert_eq!(a.flops, 200);
+        assert_eq!(a.padded_flops, 200);
         assert_eq!(a.bytes_read, 80);
         assert_eq!(a.bytes_written, 20);
         assert_eq!(a.kernel_launches, 3);

@@ -15,8 +15,12 @@ pub enum BufferRole {
     QuantOut,
     /// Kernel accumulators (per-block `acc[thread][FFACTOR]`).
     KernelAcc,
-    /// Kernel shared-memory staging (per-block gather buffer).
+    /// Kernel shared-memory staging (per-block gather buffer,
+    /// storage-precision f-major layout — the reference kernel).
     KernelShared,
+    /// Kernel panel staging (per-block gather buffer, compute-precision
+    /// fusing-contiguous layout — the vectorized kernel).
+    KernelPanel,
     /// Kernel per-block output staging (pre-scatter).
     KernelOut,
     /// CG residual `r`.

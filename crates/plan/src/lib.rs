@@ -22,8 +22,10 @@
 #![warn(missing_docs)]
 
 pub mod partition;
+pub mod tune;
 
 pub use partition::{Partitioning, TableIComplexity};
+pub use tune::{KernelShape, TunePoint, TuneReport, TUNE_SCHEMA};
 
 use xct_cluster::MachineSpec;
 use xct_comm::Topology;
@@ -95,6 +97,9 @@ pub struct ReconPlan {
     pub dims: VolumeDims,
     /// Projection angles per slice.
     pub angles: usize,
+    /// Tuned kernel tile shape (from a `petaxct-tune-v1` artifact via
+    /// `--tune-from`); `None` leaves the executor's defaults in place.
+    pub kernel: Option<KernelShape>,
 }
 
 impl ReconPlan {
@@ -189,6 +194,9 @@ pub struct Planner {
     /// Upper bound on the fusing factor (the I/O batch the caller is
     /// willing to stage); the planner only ever shrinks it.
     pub max_fusing: usize,
+    /// Tuned kernel tile shape to stamp into emitted plans, typically
+    /// the best point of a `petaxct tune` sweep.
+    pub kernel: Option<KernelShape>,
 }
 
 impl Default for Planner {
@@ -198,6 +206,7 @@ impl Default for Planner {
             hierarchical: true,
             overlap: false,
             max_fusing: 8,
+            kernel: None,
         }
     }
 }
@@ -246,6 +255,7 @@ impl Planner {
             overlap: self.overlap,
             dims,
             angles: angle_count,
+            kernel: self.kernel,
         };
         let cap = self.max_fusing.min(dims.slices).min(MAX_FUSING_TAGS);
         let fusing = match budget_bytes {
@@ -325,6 +335,7 @@ impl Planner {
                 slices: rows,
             },
             angles: projections,
+            kernel: self.kernel,
         }
     }
 }
@@ -339,7 +350,40 @@ mod tests {
             hierarchical: true,
             overlap: false,
             max_fusing: 8,
+            kernel: None,
         }
+    }
+
+    #[test]
+    fn tuned_shape_propagates_into_plans() {
+        let shape = KernelShape {
+            block_size: 64,
+            shared_bytes: 4096,
+        };
+        let plan = Planner {
+            kernel: Some(shape),
+            ..planner()
+        }
+        .plan(
+            VolumeDims { n: 16, slices: 4 },
+            16,
+            None,
+            Topology::new(1, 1, 2),
+        )
+        .unwrap();
+        assert_eq!(plan.kernel, Some(shape));
+        assert_eq!(
+            planner()
+                .plan(
+                    VolumeDims { n: 16, slices: 4 },
+                    16,
+                    None,
+                    Topology::new(1, 1, 2),
+                )
+                .unwrap()
+                .kernel,
+            None
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ proptest! {
             hierarchical: true,
             overlap: false,
             max_fusing,
+            kernel: None,
         };
         let dims = VolumeDims { n, slices };
         let topo = Topology::new(nodes, sockets, gpus);
@@ -70,6 +71,7 @@ proptest! {
             hierarchical: true,
             overlap: false,
             max_fusing: 8,
+            kernel: None,
         };
         let dims = VolumeDims { n, slices };
         let topo = Topology::new(1, 1, gpus);
@@ -107,6 +109,7 @@ proptest! {
             hierarchical: true,
             overlap: false,
             max_fusing,
+            kernel: None,
         };
         let dims = VolumeDims { n, slices };
         let topo = Topology::new(nodes, sockets, gpus);
@@ -149,6 +152,7 @@ proptest! {
             hierarchical: true,
             overlap: false,
             max_fusing: 64,
+            kernel: None,
         };
         let dims = VolumeDims { n, slices };
         let topo = Topology::new(1, 1, gpus);

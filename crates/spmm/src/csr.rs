@@ -235,6 +235,8 @@ impl<S: StorageScalar> Csr<S> {
                 as u64;
         KernelMetrics {
             flops: 2 * self.nnz() as u64 * fusing as u64,
+            // CSR issues no padding FMAs: effective == issued.
+            padded_flops: 2 * self.nnz() as u64 * fusing as u64,
             bytes_read: self.nnz() as u64 * unpacked_elem                  // matrix
                 + gather_miss                                              // x misses
                 + (self.num_cols * fusing * S::BYTES) as u64               // x compulsory

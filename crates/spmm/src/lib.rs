@@ -29,7 +29,16 @@
 //! [`Csr`] provides the unfused, unstaged baseline standing in for
 //! `cusparseSpMM` (§IV-C2).
 
-#![forbid(unsafe_code)]
+// The workspace-wide rule is `forbid(unsafe_code)`. This crate is the
+// sanctioned exception, *only* when the opt-in `simd` feature is on: the
+// f32x8 kernel in `simd.rs` needs `core::arch` intrinsics. The forbid
+// stays in force for default builds, and feature builds still deny any
+// unsafe operation not wrapped in an explicitly justified block.
+#![cfg_attr(
+    not(all(feature = "simd", target_arch = "x86_64")),
+    forbid(unsafe_code)
+)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod compute;
@@ -37,10 +46,15 @@ mod csr;
 mod kernel;
 mod metrics;
 mod packed;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd;
 
 pub use compute::ComputeScalar;
 pub use csr::Csr;
-pub use kernel::{spmm_buffered, spmm_buffered_serial, spmm_with};
+pub use kernel::{
+    simd_available, spmm_buffered, spmm_buffered_serial, spmm_reference_serial,
+    spmm_reference_with, spmm_with,
+};
 pub use metrics::KernelMetrics;
 pub use packed::{
     packed_element_bytes, PackedBlock, PackedElem, PackedMatrix, PackedStage, PackedWarp, WARP_SIZE,

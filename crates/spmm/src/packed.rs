@@ -310,6 +310,9 @@ impl<S: StorageScalar> PackedMatrix<S> {
         }
         KernelMetrics {
             flops: 2 * self.nnz as u64 * self.fusing as u64,
+            // Every stored element is one FMA per fused slice, filler
+            // included — what the warps actually issue.
+            padded_flops: 2 * self.padded_nnz as u64 * self.fusing as u64,
             bytes_read,
             bytes_written: (self.num_rows * self.fusing * S::BYTES) as u64,
         }
@@ -459,6 +462,15 @@ mod tests {
         }
         assert_eq!(m.bytes_read, bytes_read);
         assert_eq!(m.flops, 2 * csr.nnz() as u64 * fusing as u64);
+        assert_eq!(
+            m.padded_flops,
+            2 * packed.padded_nnz() as u64 * fusing as u64
+        );
+        assert!(m.padded_flops >= m.flops, "padding can only add FMAs");
+        assert!(
+            (m.flop_efficiency() - packed.padding_efficiency()).abs() < 1e-12,
+            "flop efficiency must equal element-count padding efficiency"
+        );
         assert_eq!(m.bytes_written, (90 * fusing * 4) as u64);
     }
 

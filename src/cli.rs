@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use xct_analytic::{filtered_backprojection, FilterKind};
+use xct_bench::tune::{run_tune, TuneParams};
 use xct_cluster::MachineSpec;
 use xct_comm::{CommReport, Topology, WireModel};
 use xct_core::distributed::DistributedConfig;
@@ -22,7 +23,7 @@ use xct_fp16::Precision;
 use xct_geometry::{ImageGrid, ScanGeometry};
 use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
 use xct_phantom::{add_poisson_noise, DatasetSpec, Image2D};
-use xct_plan::{Planner, VolumeDims};
+use xct_plan::{Planner, TunePoint, TuneReport, VolumeDims};
 use xct_telemetry::{
     chrome_trace, install_flight_panic_hook, metrics_csv, metrics_series_json, prometheus_text,
     render_progress, Breakdown, CausalAnalysis, Json, Phase, PhaseHistograms, Sampler, Telemetry,
@@ -386,6 +387,10 @@ USAGE:
   petaxct reconstruct --in FILE --out FILE
                       [--precision double|single|half|mixed] [--iterations 24]
                       [--batch 8] [--damping 0] [--solver cgls|sirt|tv]
+                      [--tune-from FILE]        use the best kernel shape from a
+                                                petaxct-tune-v1 artifact (block
+                                                size, staging bytes; its fusing
+                                                is the default --batch)
                       [--topology NxSxG]        simulate N nodes x S sockets x G GPUs
                       [--memory-budget BYTES]   per-rank device-memory budget: the
                                                 planner picks the largest slice batch
@@ -430,6 +435,13 @@ USAGE:
   petaxct render      --in FILE --slice 0 --out FILE.pgm
   petaxct model       --dataset shale|chip|charcoal|brain [--nodes 128]
                       [--precision mixed] [--iterations 30]
+  petaxct tune        [--quick] [--out TUNE.json] [--precision single]
+                      [--n 24] [--angles 24] [--iterations 4] [--reps 3]
+                      [--blocks 32,64,128] [--shared 4096,32768,98304]
+                      [--fusings 1,4,8]
+                      sweep the SpMM tile shape (block size x staging bytes x
+                      fusing) and write the measurements as a petaxct-tune-v1
+                      artifact for --tune-from
 ";
 
 /// Dispatches a full command line (without argv[0]).
@@ -445,6 +457,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "info" => info(&flags),
         "render" => render(&flags),
         "model" => model(&flags),
+        "tune" => tune(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -557,7 +570,12 @@ fn reconstruct_inner(
         .parse()
         .map_err(|e| CliError(format!("{e}")))?;
     let iterations: usize = flags.parse_or("iterations", 24)?;
-    let batch: usize = flags.parse_or("batch", 8)?;
+    // A tune artifact (petaxct tune → --tune-from) supplies the measured
+    // best kernel shape; its fusing also becomes the default batch when
+    // --batch is not given explicitly.
+    let tuned = flags.get("tune-from").map(load_tuned_point).transpose()?;
+    let default_batch = tuned.as_ref().map_or(8, |t| t.fusing.max(1));
+    let batch: usize = flags.parse_or("batch", default_batch)?;
     let damping: f64 = flags.parse_or("damping", 0.0)?;
     let budget: Option<u64> = flags
         .get("memory-budget")
@@ -587,12 +605,16 @@ fn reconstruct_inner(
             slice_len: recon.num_voxels(),
         },
     )?;
-    let opts = ReconOptions {
+    let mut opts = ReconOptions {
         precision,
         iterations,
         damping,
         ..Default::default()
     };
+    if let Some(t) = &tuned {
+        opts.block_size = t.block_size;
+        opts.shared_bytes = t.shared_bytes;
+    }
     // The whole command runs under one root span so the breakdown's
     // coverage is measured against a well-defined wall time.
     let total_span = telemetry.span(Phase::Total);
@@ -633,6 +655,7 @@ fn reconstruct_inner(
                 hierarchical: true,
                 overlap,
                 max_fusing,
+                kernel: tuned.as_ref().map(|t| t.shape()),
             };
             let plan = planner
                 .plan(VolumeDims { n, slices }, angles, budget, *topology)
@@ -731,6 +754,92 @@ fn reconstruct_inner(
     outcome
 }
 
+/// Loads a `petaxct-tune-v1` artifact and returns its winning point.
+fn load_tuned_point(path: &str) -> Result<TunePoint, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read tune file {path}: {e}")))?;
+    let report = TuneReport::parse(&text)
+        .map_err(|e| CliError(format!("cannot parse tune file {path}: {e}")))?;
+    report
+        .best()
+        .copied()
+        .ok_or_else(|| CliError(format!("tune file {path} has an empty sweep")))
+}
+
+/// Parses a comma-separated list flag (`--blocks 32,64,128`).
+fn parse_list(flags: &Flags, key: &str) -> Result<Option<Vec<usize>>, CliError> {
+    let Some(spec) = flags.get(key) else {
+        return Ok(None);
+    };
+    spec.split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<usize>()
+                .map_err(|_| CliError(format!("invalid value in --{key}: {v:?}")))
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
+}
+
+fn tune(flags: &Flags) -> Result<String, CliError> {
+    let quick = flags.switch("quick");
+    let out = flags.get("out").unwrap_or("TUNE.json").to_owned();
+    let mut p = TuneParams::new(quick);
+    if let Some(v) = flags.get("precision") {
+        p.precision = v.parse().map_err(|e| CliError(format!("{e}")))?;
+    }
+    p.n = flags.parse_or("n", p.n)?;
+    p.angles = flags.parse_or("angles", p.angles)?;
+    p.iterations = flags.parse_or("iterations", p.iterations)?;
+    p.reps = flags.parse_or("reps", p.reps)?;
+    if let Some(v) = parse_list(flags, "blocks")? {
+        p.blocks = v;
+    }
+    if let Some(v) = parse_list(flags, "shared")? {
+        p.shared = v;
+    }
+    if let Some(v) = parse_list(flags, "fusings")? {
+        p.fusings = v;
+    }
+
+    let report = run_tune(&p, |i, total, pt| {
+        eprintln!(
+            "tune [{i}/{total}] block {} shared {} fusing {}: {:.2} ms, {:.1} Mflop/s",
+            pt.block_size,
+            pt.shared_bytes,
+            pt.fusing,
+            pt.wall_ns as f64 / 1e6,
+            pt.flops_rate() / 1e6,
+        );
+    })
+    .map_err(CliError)?;
+    let text = report.to_json().to_string();
+    std::fs::write(&out, &text)
+        .map_err(|e| CliError(format!("cannot write tune file {out}: {e}")))?;
+
+    let best = report
+        .best()
+        .ok_or_else(|| CliError("tune sweep produced no points".to_owned()))?;
+    Ok(format!(
+        "tuned {} points on n={} angles={} ({} precision, simd {}):\n\
+         best shape: block {} | shared {} B | fusing {} -> {:.1} Mflop/s\n\
+         wrote {out}; feed it back with `petaxct reconstruct --tune-from {out}`",
+        report.points.len(),
+        report.n,
+        report.angles,
+        report.precision,
+        if xct_spmm::simd_available() {
+            "on"
+        } else {
+            "off"
+        },
+        best.block_size,
+        best.shared_bytes,
+        best.fusing,
+        best.flops_rate() / 1e6,
+    ))
+}
+
 fn model(flags: &Flags) -> Result<String, CliError> {
     let dataset = flags.required("dataset")?;
     let nodes: usize = flags.parse_or("nodes", 128)?;
@@ -755,6 +864,7 @@ fn model(flags: &Flags) -> Result<String, CliError> {
         hierarchical: true,
         overlap: false,
         max_fusing: 16,
+        kernel: None,
     }
     .plan_machine(spec.projections, spec.rows, spec.channels, &machine, 16);
     let partitioning = plan.partitioning;
@@ -1159,6 +1269,7 @@ mod tests {
             hierarchical: true,
             overlap: false,
             max_fusing: 8,
+            kernel: None,
         }
         .plan(dims, 16, None, topo)
         .unwrap();

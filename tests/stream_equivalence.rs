@@ -75,6 +75,7 @@ fn assert_stream_equivalent(precision: Precision, hierarchical: bool) {
         hierarchical,
         overlap: false,
         max_fusing: SLICES,
+        kernel: None,
     };
     let dims = VolumeDims {
         n: N,
