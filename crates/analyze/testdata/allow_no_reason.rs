@@ -1,0 +1,6 @@
+//! Seeded violation: an `xct-allow` opt-out with an empty
+//! justification. Must be rejected by `allow-justification` — silent
+//! opt-outs are unauditable.
+
+// xct-allow(no-panic):
+pub fn quiet() {}

@@ -1,0 +1,12 @@
+//! Seeded violation: allocation inside a declared-hot region. Must be
+//! rejected by `hot-alloc`.
+
+// xct-hot: per-iteration SpMM inner loop (seeded artifact)
+pub fn accumulate(rows: &[u32], vals: &[f32]) -> f32 {
+    let gathered: Vec<f32> = rows.iter().map(|&r| vals[r as usize]).collect();
+    let mut acc = 0.0f32;
+    for v in &gathered {
+        acc += v;
+    }
+    acc
+}

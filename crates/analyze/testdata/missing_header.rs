@@ -1,0 +1,6 @@
+//! Seeded violation: a crate root without `#![forbid(unsafe_code)]`
+//! (or the gated deny form). Must be rejected by `crate-root-header`.
+
+pub mod imaginary {
+    pub fn noop() {}
+}

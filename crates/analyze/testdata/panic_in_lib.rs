@@ -1,0 +1,10 @@
+//! Seeded violation: `panic!` in library code. Must be rejected by
+//! `no-panic`.
+
+pub fn choose(kind: &str) -> u32 {
+    match kind {
+        "gather" => 1,
+        "scatter" => 2,
+        other => panic!("unknown kind {other}"),
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: `unsafe` inside the sanctioned SIMD module but
+//! with no `SAFETY:` justification. Must be rejected by
+//! `safety-comment`.
+
+pub fn unjustified(ptr: *const f32) -> f32 {
+    unsafe { *ptr }
+}

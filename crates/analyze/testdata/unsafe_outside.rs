@@ -1,0 +1,8 @@
+//! Seeded violation: `unsafe` in a library file outside the
+//! sanctioned modules. Must be rejected by `unsafe-boundary` even
+//! though the block carries a SAFETY comment.
+
+pub fn sneak_past_the_boundary(ptr: *const f32) -> f32 {
+    // SAFETY: a justification does not move the boundary.
+    unsafe { *ptr }
+}

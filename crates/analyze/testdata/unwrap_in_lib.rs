@@ -1,0 +1,7 @@
+//! Seeded violation: `.unwrap()` on a genuine error path in library
+//! code. Must be rejected by `no-panic`.
+
+pub fn parse_header(bytes: &[u8]) -> u32 {
+    let first: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(first)
+}

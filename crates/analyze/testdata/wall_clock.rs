@@ -1,0 +1,20 @@
+//! Seeded violation: a raw wall-clock read in library code instead of
+//! an injected `&dyn Clock`. Must be rejected by `wall-clock`.
+
+use std::time::Instant;
+
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    pub fn elapsed_us(&self) -> u128 {
+        self.started.elapsed().as_micros()
+    }
+}

@@ -1,0 +1,69 @@
+//! Must-reject corpus for the source lints + whole-workspace scan.
+//!
+//! Every file under `testdata/` is a deliberately broken source
+//! snippet; the test asserts each one is rejected with the expected
+//! rule and a witness naming its line. The workspace scan asserts the
+//! real tree is clean — the same check CI runs via `petaxct analyze`.
+
+use std::path::{Path, PathBuf};
+use xct_analyze::lint::check_file;
+use xct_analyze::selftest::CORPUS;
+use xct_analyze::{analyze_workspace, classify};
+
+fn testdata(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints a testdata file under the lib-role path it impersonates.
+fn lint_as(name: &str, fake_path: &str) -> Vec<xct_analyze::LintViolation> {
+    let mut out = Vec::new();
+    check_file(fake_path, &testdata(name), classify(fake_path), &mut out);
+    out
+}
+
+#[test]
+fn every_corpus_artifact_is_rejected_with_a_witness() {
+    for &(file, fake_path, rule) in CORPUS {
+        let violations = lint_as(file, fake_path);
+        let hit = violations.iter().find(|v| v.rule == rule);
+        let hit = hit.unwrap_or_else(|| {
+            panic!("testdata/{file}: expected {rule} to fire, got {violations:?}")
+        });
+        assert_eq!(hit.file, fake_path);
+        assert!(hit.line >= 1, "witness must name a line: {hit:?}");
+        assert!(
+            !hit.excerpt.is_empty(),
+            "witness must carry the offending source: {hit:?}"
+        );
+    }
+}
+
+#[test]
+fn corpus_artifacts_fail_for_exactly_the_seeded_reason() {
+    // Each artifact is narrowly broken: it must NOT trip unrelated
+    // rules (that would mean the corpus tests less than it claims).
+    for &(file, fake_path, rule) in CORPUS {
+        let violations = lint_as(file, fake_path);
+        assert!(
+            violations.iter().all(|v| v.rule == rule),
+            "testdata/{file}: unexpected extra rules in {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = analyze_workspace(&root).expect("walk workspace");
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    assert!(
+        violations.is_empty(),
+        "{} lint violations in the workspace (listed above)",
+        violations.len()
+    );
+}

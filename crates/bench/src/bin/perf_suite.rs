@@ -354,6 +354,47 @@ fn streamed_scenario(p: &SuiteParams, sino: &std::path::Path) -> ScenarioResult 
     )
 }
 
+/// The Layer-2 analyzer's allocation guard: after setup (plans built,
+/// re-homing artifact constructed, schedule materialized), reaching a
+/// clean verdict from every abstract-interpretation pass must perform
+/// **zero** heap allocations — the passes run inside `--verify-plans`
+/// on the reconstruction path, so an allocating verdict would bill
+/// verification against the solver's allocation budget. Returns the
+/// allocation count over the verdict region.
+fn analysis_verdict_allocs() -> u64 {
+    // Setup: everything the passes consume, produced outside the
+    // counted region.
+    let case = xct_verify::corpus::gen_case(3);
+    let plan = xct_comm::HierarchicalPlan::build(&case.footprints, &case.ownership, &case.topology);
+    let plans =
+        xct_comm::CompiledPlans::compile_hierarchical(&case.footprints, &case.ownership, &plan);
+    let ops = xct_verify::overlap_schedule(3, 4);
+    let (steal_plans, steal_topo) = xct_verify::corpus::steal_fixture();
+    let steal = xct_verify::SliceSteal {
+        slice: 0,
+        from: 0,
+        to: 1,
+    };
+    let rehomed = xct_verify::rehome_slice(&steal_plans, steal);
+    let concurrent = [0usize, 1, 2];
+
+    // Warm-up outside the count (first-use lazy init, if any).
+    assert!(xct_verify::verify_bounds(&plans).ok());
+    assert!(xct_verify::verify_scratch_lifetime(0, &ops).ok());
+    assert!(
+        xct_verify::verify_transfer_safety(&steal_plans, &steal_topo, &concurrent, &rehomed).ok()
+    );
+
+    let before = allocations();
+    let bounds = xct_verify::verify_bounds(&plans);
+    let lifetime = xct_verify::verify_scratch_lifetime(0, &ops);
+    let transfer =
+        xct_verify::verify_transfer_safety(&steal_plans, &steal_topo, &concurrent, &rehomed);
+    let allocs = allocations() - before;
+    assert!(bounds.ok() && lifetime.ok() && transfer.ok());
+    allocs
+}
+
 /// Best-of-`reps`: keeps the run with the smallest wall time (and with
 /// it, that run's critical path / allocation figures).
 fn best_of(reps: usize, mut run: impl FnMut() -> ScenarioResult) -> ScenarioResult {
@@ -482,6 +523,19 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Analyzer allocation guard: a clean Layer-2 verdict (bounds,
+    // scratch lifetime, transfer safety) must allocate nothing after
+    // setup.
+    let verdict_allocs = analysis_verdict_allocs();
+    if verdict_allocs > 0 {
+        eprintln!(
+            "analysis allocation guard: clean Layer-2 verdict performed \
+             {verdict_allocs} allocation(s); required 0"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("analysis allocation guard: clean Layer-2 verdict allocation-free");
 
     let report = run_suite(&SuiteParams::new(quick));
     print_summary(&report);

@@ -137,6 +137,7 @@ pub fn run_tune(
                 let mut flops = 0u64;
                 for _ in 0..p.reps {
                     let mut ctx = ExecContext::serial().with_precision(p.precision);
+                    // xct-allow(wall-clock): the tuning sweep measures real execution wall time
                     let start = Instant::now();
                     let mut solver = CglsSolver::new(&op, &y, &mut ctx);
                     for _ in 0..p.iterations {

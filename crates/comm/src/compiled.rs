@@ -47,6 +47,17 @@ const TAG_SCATTER_GLOBAL: u64 = 0x1500;
 const TAG_SCATTER_NODE: u64 = 0x1600;
 const TAG_SCATTER_SOCKET: u64 = 0x1700;
 
+/// Tag namespace reserved for *re-homed* exchanges: when a fused slice's
+/// share of work migrates from one rank to a socket-local sibling
+/// (work stealing, ROADMAP), every transfer of the stolen share is
+/// re-tagged as `level_tag | TAG_STEAL` so it can never cross-match the
+/// thief's own concurrent traffic on the original level tags. The bit is
+/// disjoint from every base tag here and from `exec`'s 0x100..0x800
+/// range, so OR-ing keeps the level structure visible while moving the
+/// whole namespace to 0x3100..0x3700. `xct-verify`'s `transfer_safety`
+/// pass proves the disjointness for concrete plans.
+pub const TAG_STEAL: u64 = 0x2000;
+
 /// One precomputed point-to-point transfer: the buffer positions whose
 /// values go to (or arrive from) `peer`, in wire order.
 #[derive(Debug, Clone)]
@@ -68,6 +79,7 @@ impl Transfer {
     pub fn new(peer: usize, idx: Vec<u32>) -> Self {
         match Self::try_new(peer, idx) {
             Ok(t) => t,
+            // xct-allow(no-panic): validated constructor — rejects corrupted plans at the boundary; try_new is the fallible form
             Err(e) => panic!("invalid transfer for peer {peer}: {e}"),
         }
     }
@@ -111,6 +123,30 @@ pub struct LevelProgram {
 }
 
 impl LevelProgram {
+    /// Assembles a level program from raw tables. The compile paths above
+    /// are the production constructors; this one exists so the static
+    /// verifier (xct-verify) can build *mutated* programs for its
+    /// must-reject corpus and re-homed programs for the work-stealing
+    /// proof. Execution metadata not meaningful to analysis defaults:
+    /// global traffic class, no managed span.
+    pub fn from_parts(
+        out_len: usize,
+        sends: Vec<Transfer>,
+        keeps: Vec<(u32, u32)>,
+        recvs: Vec<Transfer>,
+        tag: u64,
+    ) -> Self {
+        LevelProgram {
+            out_len,
+            sends,
+            keeps,
+            recvs,
+            tag,
+            class: TrafficClass::Global,
+            phase: None,
+        }
+    }
+
     /// Output buffer length.
     pub fn out_len(&self) -> usize {
         self.out_len
@@ -175,6 +211,7 @@ fn positions(rows: &[u32]) -> HashMap<u32, u32> {
 
 fn gather_idx(rows: &[u32], pos: &HashMap<u32, u32>) -> Vec<u32> {
     rows.iter()
+        // xct-allow(no-panic): plan invariant — compile gathers only rows present in the position map
         .map(|r| *pos.get(r).unwrap_or_else(|| panic!("row {r} not held")))
         .collect()
 }
@@ -467,6 +504,12 @@ impl CompiledPlans {
         Self::compile_hierarchical(footprints, ownership, &plan)
     }
 
+    /// Assembles compiled plans from per-rank programs built with
+    /// [`RankPlan::from_parts`] (corpus / re-homing use).
+    pub fn from_ranks(per_rank: Vec<RankPlan>) -> Self {
+        CompiledPlans { per_rank }
+    }
+
     /// The compiled program for `rank`.
     pub fn rank(&self, rank: usize) -> &RankPlan {
         &self.per_rank[rank]
@@ -578,6 +621,28 @@ fn round_level<S: Wire>(vals: &mut [f64]) {
 }
 
 impl RankPlan {
+    /// Assembles a rank plan from raw level programs — the corpus /
+    /// re-homing counterpart of [`LevelProgram::from_parts`].
+    pub fn from_parts(
+        in_len: usize,
+        owned_len: usize,
+        levels: Vec<LevelProgram>,
+        global: LevelProgram,
+        scatter_global: LevelProgram,
+        scatter_levels: Vec<LevelProgram>,
+        restrict: Vec<u32>,
+    ) -> Self {
+        RankPlan {
+            in_len,
+            owned_len,
+            levels,
+            global,
+            scatter_global,
+            scatter_levels,
+            restrict,
+        }
+    }
+
     /// Footprint length (reduce input / scatter output).
     pub fn in_len(&self) -> usize {
         self.in_len
@@ -689,6 +754,7 @@ impl RankPlan {
     /// Completes a posted global exchange: waits on the irecvs in plan
     /// order, accumulates in f64, rounds to storage precision, and writes
     /// `total × undo` into `out` (one value per owned row).
+    // xct-hot
     pub fn global_finish<S: Wire>(
         &self,
         comm: &Communicator,
@@ -786,6 +852,7 @@ impl RankPlan {
     /// out through the reversed node and socket levels (blocking — these
     /// are the fast local links), restricts to the footprint, and writes
     /// `value × undo` into `out`.
+    // xct-hot
     pub fn scatter_finish<S: Wire>(
         &self,
         comm: &Communicator,

@@ -41,6 +41,7 @@ impl<S: Wire> PartialData<S> {
     pub fn new(rows: Vec<u32>, vals: Vec<S>) -> Self {
         assert_eq!(rows.len(), vals.len(), "rows/vals length mismatch");
         if let Some(w) = rows.windows(2).find(|w| w[0] >= w[1]) {
+            // xct-allow(no-panic): validated constructor — rejects corrupt inputs at the boundary, documented above
             panic!(
                 "PartialData rows must be strictly ascending: row {} followed by {}",
                 w[0], w[1]
@@ -70,6 +71,7 @@ impl<S: Wire> PartialData<S> {
         rows.iter()
             .map(|r| {
                 let at = self.rows.binary_search(r).unwrap_or_else(|_| {
+                    // xct-allow(no-panic): plan invariant — gather rows come from the verified plan's footprint
                     panic!("row {r} not in local data");
                 });
                 self.vals[at]
@@ -82,6 +84,7 @@ impl<S: Wire> PartialData<S> {
         rows.sort_unstable();
         let vals = rows
             .iter()
+            // xct-allow(no-panic): infallible — rows was built from acc's own keys
             .map(|r| S::from_f64(acc.remove(r).expect("row present")))
             .collect();
         PartialData { rows, vals }
@@ -257,6 +260,7 @@ pub fn scatter_direct<S: Wire>(
     let owned_map = owned.value_map();
     for &r in footprint {
         if ownership.owner[r as usize] as usize == me {
+            // xct-allow(no-panic): plan invariant — ownership says this rank holds r
             acc.insert(r, *owned_map.get(&r).expect("owner holds all its rows"));
         }
     }
@@ -335,6 +339,7 @@ pub fn scatter_hierarchical<S: Wire>(
         let owned_map = owned.value_map();
         for &r in &plan.node.post.per_rank[me] {
             if ownership.owner[r as usize] as usize == me {
+                // xct-allow(no-panic): plan invariant — ownership says this rank holds r
                 acc.insert(r, *owned_map.get(&r).expect("owner holds its rows"));
             }
         }
@@ -366,6 +371,7 @@ pub fn scatter_hierarchical<S: Wire>(
             S::from_f64(
                 *full_map
                     .get(r)
+                    // xct-allow(no-panic): plan invariant — scatter conservation is statically verified
                     .unwrap_or_else(|| panic!("row {r} missing after hierarchical scatter")),
             )
         })

@@ -56,5 +56,5 @@ pub use exec::{
 mod compiled;
 pub use compiled::{
     CompiledPlans, ExchangeScratch, GlobalInFlight, LevelProgram, RankPlan, ScatterInFlight,
-    Transfer,
+    Transfer, TAG_STEAL,
 };

@@ -145,6 +145,7 @@ impl Ownership {
     pub fn new(owner: Vec<u32>, num_ranks: usize) -> Self {
         match Self::try_new(owner, num_ranks) {
             Ok(own) => own,
+            // xct-allow(no-panic): validated constructor — rejects invalid owners at the boundary; try_new is the fallible form
             Err(e) => panic!("{e}"),
         }
     }
@@ -354,8 +355,10 @@ impl ReductionStep {
                     // Least-loaded current holder keeps the reduced value.
                     *hs.iter()
                         .min_by_key(|&&p| (load[&p], p))
+                        // xct-allow(no-panic): infallible — hs is non-empty (the row appeared in a holder set)
                         .expect("row has at least one holder")
                 };
+                // xct-allow(no-panic): infallible — designee was drawn from this group's load map
                 *load.get_mut(&designee).expect("designee in group") += 1;
                 post[designee].push(r);
                 for &p in hs {

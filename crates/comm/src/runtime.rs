@@ -389,6 +389,7 @@ impl Communicator {
     ///
     /// [`recycle`]: Communicator::recycle
     pub fn pooled_buf(&self, cap: usize) -> Vec<u8> {
+        // xct-allow(no-panic): lock poisoning means a sibling rank thread already panicked; propagate
         let mut pool = self.pool.lock().expect("pool mutex poisoned");
         // Best fit: the smallest pooled buffer that already holds `cap`.
         let mut best: Option<(usize, usize)> = None;
@@ -413,6 +414,7 @@ impl Communicator {
             return;
         }
         buf.clear();
+        // xct-allow(no-panic): lock poisoning means a sibling rank thread already panicked; propagate
         let mut pool = self.pool.lock().expect("pool mutex poisoned");
         if pool.len() < POOL_MAX {
             pool.push(buf);
@@ -432,6 +434,7 @@ impl Communicator {
         let wire_time = self
             .wire
             .and_then(|w| w.wire_time(self.rank, dst, payload.len()));
+        // xct-allow(wall-clock): the in-process wire model delays real threads — genuine wall time, not telemetry
         let wire_at = wire_time.map(|d| Instant::now() + d);
         let wire_ns = wire_time.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
         let sent_ns = self.telemetry.now_ns().unwrap_or(UNSTAMPED);
@@ -439,6 +442,7 @@ impl Communicator {
             let seq = c.seq[dst].fetch_add(1, Ordering::Relaxed);
             c.schedule
                 .delay_for(self.rank, dst, seq)
+                // xct-allow(wall-clock): the in-process wire model delays real threads — genuine wall time, not telemetry
                 .map(|d| Instant::now() + d)
         });
         if chaos_at.is_some() {
@@ -448,6 +452,7 @@ impl Communicator {
             (Some(w), Some(c)) => Some(w.max(c)),
             (at, None) | (None, at) => at,
         };
+        // xct-allow(no-panic): lock poisoning means a sibling rank thread already panicked; propagate
         let mut inner = mailbox.inner.lock().expect("mailbox mutex poisoned");
         inner.arrivals.push_back(Envelope {
             src: self.rank,
@@ -483,10 +488,12 @@ impl Communicator {
             match queue.front() {
                 Some(&Stashed {
                     ready_at: Some(at), ..
+                // xct-allow(wall-clock): the in-process wire model delays real threads — genuine wall time, not telemetry
                 }) if at > Instant::now() => {
                     return MatchOutcome::NotUntil(at);
                 }
                 Some(_) => {
+                    // xct-allow(no-panic): infallible — the match above proved the front exists
                     let stashed = queue.pop_front().expect("front checked above");
                     inner.stashed -= 1;
                     return MatchOutcome::Ready(Delivery {
@@ -504,6 +511,7 @@ impl Communicator {
             let matches = env.src == src && env.tag == tag;
             if matches {
                 match env.ready_at {
+                    // xct-allow(wall-clock): the in-process wire model delays real threads — genuine wall time, not telemetry
                     Some(at) if at > Instant::now() => {
                         inner
                             .stash
@@ -563,8 +571,10 @@ impl Communicator {
                 size: self.size(),
             });
         }
+        // xct-allow(wall-clock): recv timeout deadline bounds a real blocking wait
         let deadline = Instant::now() + self.timeout;
         let mailbox = &self.mailboxes[self.rank];
+        // xct-allow(no-panic): lock poisoning means a sibling rank thread already panicked; propagate
         let mut inner = mailbox.inner.lock().expect("mailbox mutex poisoned");
         loop {
             let wake_at = match Self::take_match(&mut inner, src, tag) {
@@ -579,6 +589,7 @@ impl Communicator {
                 MatchOutcome::Absent => deadline,
             };
             self.note_mailbox_depth(inner.depth());
+            // xct-allow(wall-clock): the in-process wire model delays real threads — genuine wall time, not telemetry
             let now = Instant::now();
             if now >= deadline {
                 return Err(CommError::Timeout { src, tag });
@@ -587,6 +598,7 @@ impl Communicator {
             let (guard, _timed_out) = mailbox
                 .ready
                 .wait_timeout(inner, wake_at.saturating_duration_since(now))
+                // xct-allow(no-panic): lock poisoning means a sibling rank thread already panicked; propagate
                 .expect("mailbox mutex poisoned");
             inner = guard;
         }
@@ -614,6 +626,7 @@ impl Communicator {
             let mut inner = self.mailboxes[self.rank]
                 .inner
                 .lock()
+                // xct-allow(no-panic): lock poisoning means a sibling rank thread already panicked; propagate
                 .expect("mailbox mutex poisoned");
             let outcome = Self::take_match(&mut inner, src, tag);
             self.note_mailbox_depth(inner.depth());
@@ -653,6 +666,7 @@ impl Communicator {
         let local_rank = members
             .iter()
             .position(|&r| r == self.rank)
+            // xct-allow(no-panic): infallible — self.rank satisfies its own color predicate
             .expect("own rank always in own color group");
         SubCommunicator {
             world: self,
@@ -691,6 +705,7 @@ impl Communicator {
     /// Receives one `f64`, recycling the wire buffer.
     fn recv_scalar(&self, src: usize, tag: u64) -> Result<f64, CommError> {
         let bytes = self.recv(src, tag)?;
+        // xct-allow(no-panic): infallible — scalar protocol messages are exactly 8 bytes, sliced above
         let value = f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
         self.recycle(bytes);
         Ok(value)
@@ -761,6 +776,7 @@ impl RecvRequest {
 
     /// Progresses the request without blocking; returns whether the
     /// message has arrived (`MPI_Test`).
+    // xct-hot
     pub fn test(&mut self, comm: &Communicator) -> Result<bool, CommError> {
         if self.done.is_none() {
             self.done = comm.try_recv(self.src, self.tag)?;
@@ -797,6 +813,7 @@ impl RecvRequest {
 
     /// Blocks until the message arrives and returns its payload
     /// (`MPI_Wait`). Consumes the request.
+    // xct-hot
     pub fn wait(mut self, comm: &Communicator) -> Result<Vec<u8>, CommError> {
         match self.done.take() {
             Some(payload) => Ok(payload),
@@ -864,6 +881,7 @@ impl Backoff {
     /// Records one failed poll and backs off one rung: yield while young,
     /// then park with doubling (capped) pauses. Meters the poll on the
     /// rank's telemetry.
+    // xct-hot
     pub fn wait(&mut self, comm: &Communicator) {
         comm.telemetry.metric_inc(MetricId::CommWaitSpins);
         if self.polls < Self::YIELD_POLLS {
@@ -1050,6 +1068,7 @@ fn run_ranks_inner<T: Send>(
                 seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
             }),
             meter: CommMeter::new(n),
+            // xct-allow(no-panic): infallible — rank counts are tiny (bounded by the topology)
             telemetry: telemetry.fork(u32::try_from(rank).expect("rank fits u32")),
         })
         .collect();
@@ -1070,6 +1089,7 @@ fn run_ranks_inner<T: Send>(
             .collect();
         handles
             .into_iter()
+            // xct-allow(no-panic): test-cluster harness — a panicked rank must propagate to the driver
             .map(|h| h.join().expect("rank thread panicked"))
             .collect()
     })

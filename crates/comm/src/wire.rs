@@ -46,6 +46,7 @@ impl Wire for f64 {
         out.extend_from_slice(&self.to_le_bytes());
     }
     fn read_from(bytes: &[u8]) -> Self {
+        // xct-allow(no-panic): infallible — the slice taken is exactly 8 bytes
         f64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
     }
 }
@@ -55,6 +56,7 @@ impl Wire for f32 {
         out.extend_from_slice(&self.to_le_bytes());
     }
     fn read_from(bytes: &[u8]) -> Self {
+        // xct-allow(no-panic): infallible — the slice taken is exactly 4 bytes
         f32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"))
     }
 }
@@ -64,6 +66,7 @@ impl Wire for F16 {
         out.extend_from_slice(&self.to_bits().to_le_bytes());
     }
     fn read_from(bytes: &[u8]) -> Self {
+        // xct-allow(no-panic): infallible — the slice taken is exactly 2 bytes
         F16::from_bits(u16::from_le_bytes(bytes[..2].try_into().expect("2 bytes")))
     }
 }

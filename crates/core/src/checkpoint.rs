@@ -55,6 +55,7 @@ fn read_vec(input: &mut impl Read) -> Result<Vec<f32>, CheckpointError> {
     input.read_exact(&mut bytes)?;
     Ok(bytes
         .chunks_exact(4)
+        // xct-allow(no-panic): infallible — chunks_exact(4) yields exactly 4 bytes
         .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
         .collect())
 }

@@ -115,7 +115,9 @@ impl SliceDecomposition {
             footprint_rows.push(rows.clone());
             let cols = owned_voxels[p].clone();
             // Dense local reindexing.
+            // xct-allow(no-panic): infallible — rows was built from these exact triplets above
             let row_of = |g: u32| rows.binary_search(&g).expect("row in footprint") as u32;
+            // xct-allow(no-panic): infallible — cols holds every voxel this partition owns
             let col_of = |g: u32| cols.binary_search(&g).expect("col owned") as u32;
             let csr = Csr::from_triplets(
                 rows.len(),

@@ -166,6 +166,7 @@ impl RankOperator<'_> {
                 let global_max = self
                     .comm
                     .allreduce_max(0x7000, f64::from(local_max))
+                    // xct-allow(no-panic): comm ops execute a verified plan; a wire fault mid-iteration is unrecoverable
                     .expect("allreduce_max");
                 if global_max > f64::MIN_POSITIVE {
                     let factor = (256.0 / global_max) as f32;
@@ -214,16 +215,21 @@ impl RankOperator<'_> {
                 self.local.apply(xs, ps, st.ctx);
                 let (factor, undo) = self.forward_factor(ps);
                 st.undo = undo;
+                // xct-allow(no-panic): lock poisoning means a sibling pipeline stage already panicked; propagate
                 let mut scratch = self.scratch.lock().expect("scratch mutex");
                 rp.reduce_local::<S>(self.comm, &mut scratch, ps, factor, slice_salt(f))
+                    // xct-allow(no-panic): comm ops execute a verified plan; a wire fault mid-iteration is unrecoverable
                     .expect("local reduction");
             },
             |st, f| -> GlobalInFlight {
+                // xct-allow(no-panic): lock poisoning means a sibling pipeline stage already panicked; propagate
                 let mut scratch = self.scratch.lock().expect("scratch mutex");
                 rp.global_begin::<S>(self.comm, &mut scratch, st.undo, slice_salt(f))
+                    // xct-allow(no-panic): comm ops execute a verified plan; a wire fault mid-iteration is unrecoverable
                     .expect("global exchange post")
             },
             |st, f, inflight| {
+                // xct-allow(no-panic): lock poisoning means a sibling pipeline stage already panicked; propagate
                 let mut scratch = self.scratch.lock().expect("scratch mutex");
                 rp.global_finish::<S>(
                     self.comm,
@@ -231,6 +237,7 @@ impl RankOperator<'_> {
                     inflight,
                     &mut st.y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len],
                 )
+                // xct-allow(no-panic): comm ops execute a verified plan; a wire fault mid-iteration is unrecoverable
                 .expect("global exchange finish");
             },
             |_, _| {},
@@ -254,6 +261,7 @@ impl RankOperator<'_> {
                 let global_max = self
                     .comm
                     .allreduce_max(0x7100, f64::from(local_max))
+                    // xct-allow(no-panic): comm ops execute a verified plan; a wire fault mid-iteration is unrecoverable
                     .expect("allreduce_max");
                 if global_max > f64::MIN_POSITIVE {
                     let factor = (256.0 / global_max) as f32;
@@ -286,14 +294,18 @@ impl RankOperator<'_> {
             |_: &mut Bwd, _| {}, // scatters need no local pre-compute
             |st, f| -> ScatterInFlight {
                 let owned = &st.y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len];
+                // xct-allow(no-panic): lock poisoning means a sibling pipeline stage already panicked; propagate
                 let mut scratch = self.scratch.lock().expect("scratch mutex");
                 rp.scatter_begin::<S>(self.comm, &mut scratch, owned, factor, undo, slice_salt(f))
+                    // xct-allow(no-panic): comm ops execute a verified plan; a wire fault mid-iteration is unrecoverable
                     .expect("scatter post")
             },
             |st, f, inflight| {
                 let fs = &mut st.footprint[f * self.footprint_len..(f + 1) * self.footprint_len];
+                // xct-allow(no-panic): lock poisoning means a sibling pipeline stage already panicked; propagate
                 let mut scratch = self.scratch.lock().expect("scratch mutex");
                 rp.scatter_finish::<S>(self.comm, &mut scratch, inflight, fs)
+                    // xct-allow(no-panic): comm ops execute a verified plan; a wire fault mid-iteration is unrecoverable
                     .expect("scatter finish");
             },
             |st, f| {
@@ -433,6 +445,7 @@ pub fn reconstruct_distributed(
             &mut ctx,
             &mut |v| {
                 tag = tag.wrapping_add(2);
+                // xct-allow(no-panic): comm ops execute a verified plan; a wire fault mid-iteration is unrecoverable
                 comm.allreduce_sum(tag, v).expect("allreduce_sum")
             },
         );

@@ -151,6 +151,7 @@ pub fn reconstruct_planned(
     if let Some(first) = plan.slabs.first() {
         input.prefetch(first.len);
     }
+    // xct-hot
     for slab in &plan.slabs {
         telemetry.gauge_set(MetricId::StreamSlabCurrent, slab.index as f64);
         let data = {
@@ -158,6 +159,7 @@ pub fn reconstruct_planned(
             input.next(slab.len)?
         }
         .ok_or_else(|| {
+            // xct-allow(hot-alloc): cold error path — only reached when the input file is truncated
             PipelineError::Geometry(format!("input exhausted before slab {}", slab.index))
         })?;
         // Kick off the next slab's read before this slab computes.

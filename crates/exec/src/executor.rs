@@ -26,9 +26,7 @@ pub enum Executor {
 impl Executor {
     /// A threaded executor sized to the machine.
     pub fn parallel() -> Self {
-        Executor::Threads(
-            std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).unwrap()),
-        )
+        Executor::Threads(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
     }
 
     /// A threaded executor with an explicit thread count (minimum 1).

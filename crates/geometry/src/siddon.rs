@@ -93,12 +93,15 @@ pub(crate) fn trace_ray_dir(grid: &ImageGrid, px: f64, pz: f64, dx: f64, dz: f64
                 j += 1;
                 b
             }
+            // xct-allow(no-panic): unreachable — the merge loop only runs while one list has elements
             (None, None) => unreachable!(),
         };
+        // xct-allow(no-panic): infallible — breaks is seeded with s_min before the merge
         if next - breaks.last().unwrap() > EPS {
             breaks.push(next);
         }
     }
+    // xct-allow(no-panic): infallible — breaks is seeded with s_min before the merge
     if s_max - breaks.last().unwrap() > EPS {
         breaks.push(s_max);
     }

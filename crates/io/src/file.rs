@@ -75,6 +75,12 @@ pub enum IoError {
     },
     /// Caller supplied data of the wrong shape.
     Shape(String),
+    /// A background I/O worker thread panicked. The thread owned the
+    /// file handle, so it is lost and the stream cannot continue.
+    WorkerPanic {
+        /// Which worker died: `"prefetch"` or `"write-back"`.
+        role: &'static str,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -97,6 +103,9 @@ impl std::fmt::Display for IoError {
                 )
             }
             IoError::Shape(m) => write!(f, "shape error: {m}"),
+            IoError::WorkerPanic { role } => {
+                write!(f, "background {role} I/O thread panicked; stream aborted")
+            }
         }
     }
 }
@@ -175,10 +184,12 @@ fn decode_scalars(bytes: &[u8], precision: Precision) -> Vec<f32> {
             .collect(),
         4 => bytes
             .chunks_exact(4)
+            // xct-allow(no-panic): infallible — chunks_exact(4) yields 4-byte chunks
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect(),
         _ => bytes
             .chunks_exact(8)
+            // xct-allow(no-panic): infallible — chunks_exact(8) yields 8-byte chunks
             .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")) as f32)
             .collect(),
     }
@@ -277,13 +288,16 @@ impl SliceReader {
         if header[0..4] != MAGIC {
             return Err(IoError::Format("bad magic".into()));
         }
+        // xct-allow(no-panic): infallible — header slices have fixed lengths
         let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
         if version != VERSION {
             return Err(IoError::Format(format!("unsupported version {version}")));
         }
         let kind = FileKind::from_tag(header[8])?;
         let precision = precision_from_tag(header[9])?;
+        // xct-allow(no-panic): infallible — header slices have fixed lengths
         let slices = u64::from_le_bytes(header[10..18].try_into().expect("8 bytes")) as usize;
+        // xct-allow(no-panic): infallible — header slices have fixed lengths
         let slice_len = u64::from_le_bytes(header[18..26].try_into().expect("8 bytes")) as usize;
         Ok(SliceReader {
             meta: SliceFile {

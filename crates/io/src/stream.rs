@@ -17,8 +17,14 @@
 
 use crate::file::{IoError, SliceReader, SliceWriter};
 use std::thread::JoinHandle;
-use std::time::Instant;
 use xct_telemetry::{MetricId, Telemetry};
+
+/// Joins a background I/O worker, mapping a panicked thread to the
+/// typed [`IoError::WorkerPanic`] instead of propagating the panic:
+/// the caller loses the stream, not the process.
+fn join_worker<T>(handle: JoinHandle<T>, role: &'static str) -> Result<T, IoError> {
+    handle.join().map_err(|_| IoError::WorkerPanic { role })
+}
 
 /// A background batch read in flight: the moved-in reader plus the
 /// outcome of its `read_batch` call.
@@ -41,7 +47,9 @@ enum PrefetchState {
     Idle(SliceReader),
     /// A batch read of `batch` slices is running on the thread.
     Busy { batch: usize, handle: ReadInFlight },
-    /// Transient marker while swapping states; never observable.
+    /// The reader was lost: either a worker panicked (its error was
+    /// already surfaced) or the state is mid-swap. Observed only after
+    /// a [`IoError::WorkerPanic`], which it keeps returning.
     Poisoned,
 }
 
@@ -65,21 +73,19 @@ impl PrefetchReader {
     /// Starts reading the next batch of up to `max_slices` slices in the
     /// background. No-op if a prefetch is already in flight.
     pub fn prefetch(&mut self, max_slices: usize) {
-        if let PrefetchState::Idle(_) = self.state {
-            let PrefetchState::Idle(mut reader) =
-                std::mem::replace(&mut self.state, PrefetchState::Poisoned)
-            else {
-                unreachable!("state checked above");
-            };
-            let handle = std::thread::spawn(move || {
-                let result = reader.read_batch(max_slices);
-                (reader, result)
-            });
-            self.state = PrefetchState::Busy {
-                batch: max_slices,
-                handle,
-            };
-            self.telemetry.gauge_set(MetricId::IoReadQueue, 1.0);
+        match std::mem::replace(&mut self.state, PrefetchState::Poisoned) {
+            PrefetchState::Idle(mut reader) => {
+                let handle = std::thread::spawn(move || {
+                    let result = reader.read_batch(max_slices);
+                    (reader, result)
+                });
+                self.state = PrefetchState::Busy {
+                    batch: max_slices,
+                    handle,
+                };
+                self.telemetry.gauge_set(MetricId::IoReadQueue, 1.0);
+            }
+            other => self.state = other,
         }
     }
 
@@ -92,7 +98,7 @@ impl PrefetchReader {
     /// hit (the stall is only the residual join time), a synchronous
     /// read as a miss (the stall is the whole read).
     pub fn next(&mut self, max_slices: usize) -> Result<Option<Vec<f32>>, IoError> {
-        let stall_from = self.telemetry.is_enabled().then(Instant::now);
+        let stall_from = self.telemetry.now_ns();
         let result = match std::mem::replace(&mut self.state, PrefetchState::Poisoned) {
             PrefetchState::Idle(mut reader) => {
                 self.telemetry.metric_inc(MetricId::IoPrefetchMisses);
@@ -106,14 +112,17 @@ impl PrefetchReader {
                     "prefetch batch ({batch}) must match the requested batch ({max_slices})"
                 );
                 self.telemetry.metric_inc(MetricId::IoPrefetchHits);
-                let (reader, result) = handle.join().expect("prefetch thread panicked");
+                let (reader, result) = join_worker(handle, "prefetch")?;
                 self.state = PrefetchState::Idle(reader);
                 result
             }
-            PrefetchState::Poisoned => unreachable!("PrefetchReader state poisoned"),
+            PrefetchState::Poisoned => return Err(IoError::WorkerPanic { role: "prefetch" }),
         };
         if let Some(from) = stall_from {
-            let stall = u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let stall = self
+                .telemetry
+                .now_ns()
+                .map_or(0, |now| now.saturating_sub(from));
             self.telemetry.observe_ns(MetricId::IoReadStallNs, stall);
             self.telemetry.gauge_set(MetricId::IoReadQueue, 0.0);
         }
@@ -126,13 +135,13 @@ impl PrefetchReader {
         match self.state {
             PrefetchState::Idle(reader) => Ok(reader),
             PrefetchState::Busy { handle, .. } => {
-                let (reader, result) = handle.join().expect("prefetch thread panicked");
+                let (reader, result) = join_worker(handle, "prefetch")?;
                 // Surface a read error even though the data is discarded:
                 // the caller should not silently checksum a broken stream.
                 result?;
                 Ok(reader)
             }
-            PrefetchState::Poisoned => unreachable!("PrefetchReader state poisoned"),
+            PrefetchState::Poisoned => Err(IoError::WorkerPanic { role: "prefetch" }),
         }
     }
 }
@@ -153,7 +162,8 @@ enum WriteState {
     Idle(SliceWriter),
     /// A slab write is running on the thread.
     Busy(JoinHandle<(SliceWriter, Result<(), IoError>)>),
-    /// Transient marker while swapping states; never observable.
+    /// The writer was lost to a worker panic (surfaced as
+    /// [`IoError::WorkerPanic`], which later calls keep returning).
     Poisoned,
 }
 
@@ -179,11 +189,11 @@ impl DeferredWriter {
     /// finishes, returning its error if it failed; that join time lands
     /// in the `io.write.stall.ns` histogram.
     pub fn write_slab(&mut self, data: Vec<f32>) -> Result<(), IoError> {
-        let stall_from = self.telemetry.is_enabled().then(Instant::now);
+        let stall_from = self.telemetry.now_ns();
         let mut writer = match std::mem::replace(&mut self.state, WriteState::Poisoned) {
             WriteState::Idle(writer) => writer,
             WriteState::Busy(handle) => {
-                let (writer, result) = handle.join().expect("writer thread panicked");
+                let (writer, result) = join_worker(handle, "write-back")?;
                 match result {
                     Ok(()) => writer,
                     Err(e) => {
@@ -192,10 +202,13 @@ impl DeferredWriter {
                     }
                 }
             }
-            WriteState::Poisoned => unreachable!("DeferredWriter state poisoned"),
+            WriteState::Poisoned => return Err(IoError::WorkerPanic { role: "write-back" }),
         };
         if let Some(from) = stall_from {
-            let stall = u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let stall = self
+                .telemetry
+                .now_ns()
+                .map_or(0, |now| now.saturating_sub(from));
             self.telemetry.observe_ns(MetricId::IoWriteStallNs, stall);
         }
         let slice_len = writer.meta().slice_len;
@@ -225,12 +238,12 @@ impl DeferredWriter {
         match self.state {
             WriteState::Idle(writer) => Ok(writer),
             WriteState::Busy(handle) => {
-                let (writer, result) = handle.join().expect("writer thread panicked");
+                let (writer, result) = join_worker(handle, "write-back")?;
                 self.telemetry.gauge_set(MetricId::IoWriteQueue, 0.0);
                 result?;
                 Ok(writer)
             }
-            WriteState::Poisoned => unreachable!("DeferredWriter state poisoned"),
+            WriteState::Poisoned => Err(IoError::WorkerPanic { role: "write-back" }),
         }
     }
 }

@@ -95,6 +95,7 @@ pub fn cgls_in(
     let n = op.cols();
     let m = op.rows();
     let lambda = config.damping;
+    // xct-allow(wall-clock): the solver report carries real wall time even with telemetry disabled
     let t0 = Instant::now();
 
     let setup_span = ctx.telemetry.span(Phase::SolverSetup);

@@ -59,6 +59,7 @@ pub fn sirt_in(
         config.relaxation
     );
     let (m, n) = (op.rows(), op.cols());
+    // xct-allow(wall-clock): the solver report carries real wall time even with telemetry disabled
     let t0 = Instant::now();
 
     let setup_span = ctx.telemetry.span(Phase::SolverSetup);

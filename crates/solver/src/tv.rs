@@ -66,6 +66,7 @@ pub fn tv_reconstruct_in(
     assert_eq!(y.len(), op.rows(), "measurement length mismatch");
     assert!(config.epsilon > 0.0, "epsilon must be positive");
     assert!(config.lambda >= 0.0, "lambda must be nonnegative");
+    // xct-allow(wall-clock): the solver report carries real wall time even with telemetry disabled
     let t0 = Instant::now();
     let n = op.cols();
     let m = op.rows();

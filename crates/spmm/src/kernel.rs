@@ -346,6 +346,7 @@ fn run_block<S: StorageScalar, C: ComputeScalar>(
 /// index inside the stage's map, and padding elements carry `ind = 0`
 /// with `len = 0`, which only exist when slot 0 was gathered. So reuse
 /// cannot change results.
+// xct-hot
 fn run_block_into<S: StorageScalar, C: ComputeScalar>(
     block: &PackedBlock<S>,
     num_cols: usize,
@@ -412,6 +413,7 @@ fn run_block_into<S: StorageScalar, C: ComputeScalar>(
 /// the compiler lift the chunked bodies into vector registers without
 /// changing any result bit.
 #[inline(always)]
+// xct-hot
 fn fma_span<C: ComputeScalar>(acc: &mut [C], xs: &[C], len: C) {
     debug_assert_eq!(acc.len(), xs.len());
     let mut a8 = acc.chunks_exact_mut(8);

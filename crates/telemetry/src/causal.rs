@@ -100,6 +100,7 @@ impl CausalAnalysis {
         tracks.sort_unstable();
         tracks.dedup();
         let nt = tracks.len();
+        // xct-allow(no-panic): infallible — tracks was built from these same records
         let t_idx = |t: u32| tracks.binary_search(&t).expect("track collected above");
         // Edges a rewound manual clock made non-causal are dropped.
         let edges: Vec<&EdgeRecord> = snap

@@ -202,7 +202,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -234,7 +234,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -276,6 +276,7 @@ impl Parser<'_> {
                     let start = self.pos - 1;
                     let rest = std::str::from_utf8(&self.bytes[start..])
                         .map_err(|_| "invalid utf-8".to_string())?;
+                    // xct-allow(no-panic): infallible — rest re-decoded from a non-empty valid-UTF-8 suffix
                     let c = rest.chars().next().unwrap();
                     out.push(c);
                     self.pos = start + c.len_utf8();
@@ -293,6 +294,7 @@ impl Parser<'_> {
                 break;
             }
         }
+        // xct-allow(no-panic): infallible — the scanned range is all ASCII number bytes
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<f64>()
             .map(Json::Num)
@@ -300,7 +302,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -323,7 +325,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -334,7 +336,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));

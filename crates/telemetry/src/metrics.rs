@@ -302,6 +302,7 @@ impl TrackMetrics {
         for id in ALL_METRICS {
             match id.kind() {
                 MetricKind::Counter => {
+                    // xct-allow(no-panic): infallible — MetricId::counter ids are scalar by construction
                     let v = self.scalars[id.scalar_index().expect("counter is scalar")]
                         .load(Ordering::Relaxed);
                     if v != 0 {
@@ -309,6 +310,7 @@ impl TrackMetrics {
                     }
                 }
                 MetricKind::Gauge => {
+                    // xct-allow(no-panic): infallible — MetricId::gauge ids are scalar by construction
                     let bits = self.scalars[id.scalar_index().expect("gauge is scalar")]
                         .load(Ordering::Relaxed);
                     if bits != GAUGE_UNSET {
@@ -317,6 +319,7 @@ impl TrackMetrics {
                 }
                 MetricKind::Histogram => {
                     if let Some(hist) =
+                        // xct-allow(no-panic): infallible — histogram ids carry a slot by construction
                         self.hists[id.hist_index().expect("histogram slot")].snapshot()
                     {
                         snap.histograms.push((id, hist));

@@ -127,13 +127,21 @@ impl std::fmt::Debug for TrackHandle {
     }
 }
 
+/// Locks a collector mutex. Poisoning means another telemetry thread
+/// already panicked mid-write; the recording is unrecoverable, so the
+/// panic is propagated rather than papered over.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // xct-allow(no-panic): lock poisoning propagates a panic already in flight
+    m.lock().unwrap()
+}
+
 impl TrackHandle {
     /// Creates a handle for `track` and registers its slab with the
     /// collector. Runs at enable/fork time only.
     fn register(collector: Arc<Collector>, track: u32) -> TrackHandle {
         let metrics = Arc::new(TrackMetrics::new());
         let flight = Arc::new(Mutex::new(FlightRing::new()));
-        collector.slabs.lock().unwrap().push(TrackSlab {
+        locked(&collector.slabs).push(TrackSlab {
             track,
             metrics: Arc::clone(&metrics),
             flight: Arc::clone(&flight),
@@ -151,7 +159,7 @@ impl TrackHandle {
     /// track) and never allocates: the ring is preallocated.
     fn flight_push(&self, kind: FlightKind, code: &'static str, a: u64, b: u64) {
         let at_ns = self.collector.clock.now_ns();
-        self.flight.lock().unwrap().push(FlightEvent {
+        locked(&self.flight).push(FlightEvent {
             at_ns,
             track: self.track,
             kind,
@@ -246,10 +254,10 @@ impl Telemetry {
         };
         let start_ns = handle.collector.clock.now_ns();
         // Lock order is stack → state everywhere (see SpanGuard::drop).
-        let mut stack = handle.stack.lock().unwrap();
+        let mut stack = locked(&handle.stack);
         let parent = stack.last().copied();
         let index = {
-            let mut state = handle.collector.state.lock().unwrap();
+            let mut state = locked(&handle.collector.state);
             let index = state.spans.len();
             state.spans.push(SpanRecord {
                 phase,
@@ -288,7 +296,7 @@ impl Telemetry {
         let Some(handle) = &self.inner else { return };
         let matched_ns = handle.collector.clock.now_ns();
         {
-            let mut state = handle.collector.state.lock().unwrap();
+            let mut state = locked(&handle.collector.state);
             state.edges.push(EdgeRecord {
                 src_track,
                 dst_track: handle.track,
@@ -307,7 +315,7 @@ impl Telemetry {
         let Some(handle) = &self.inner else { return };
         let at_ns = handle.collector.clock.now_ns();
         {
-            let mut state = handle.collector.state.lock().unwrap();
+            let mut state = locked(&handle.collector.state);
             state.events.push(EventRecord {
                 name,
                 value,
@@ -360,11 +368,7 @@ impl Telemetry {
             return MetricsSnapshot::default();
         };
         let at_ns = handle.collector.clock.now_ns();
-        let slabs: Vec<TrackMetricsSnapshot> = handle
-            .collector
-            .slabs
-            .lock()
-            .unwrap()
+        let slabs: Vec<TrackMetricsSnapshot> = locked(&handle.collector.slabs)
             .iter()
             .map(|slab| slab.metrics.snapshot(slab.track))
             .collect();
@@ -377,10 +381,10 @@ impl Telemetry {
         let Some(handle) = &self.inner else {
             return Vec::new();
         };
-        let slabs = handle.collector.slabs.lock().unwrap();
+        let slabs = locked(&handle.collector.slabs);
         let mut events: Vec<FlightEvent> = Vec::new();
         for slab in slabs.iter() {
-            events.extend(slab.flight.lock().unwrap().events());
+            events.extend(locked(&slab.flight).events());
         }
         drop(slabs);
         events.sort_by_key(|e| e.at_ns);
@@ -394,11 +398,8 @@ impl Telemetry {
         let at_ns = handle.collector.clock.now_ns();
         let events = self.flight_snapshot();
         let dropped = {
-            let slabs = handle.collector.slabs.lock().unwrap();
-            let total: u64 = slabs
-                .iter()
-                .map(|slab| slab.flight.lock().unwrap().total())
-                .sum();
+            let slabs = locked(&handle.collector.slabs);
+            let total: u64 = slabs.iter().map(|slab| locked(&slab.flight).total()).sum();
             total - events.len() as u64
         };
         Some(flight_json(reason, at_ns, dropped, &events).to_string())
@@ -411,7 +412,7 @@ impl Telemetry {
             return TelemetrySnapshot::default();
         };
         let now = handle.collector.clock.now_ns();
-        let state = handle.collector.state.lock().unwrap();
+        let state = locked(&handle.collector.state);
         let spans = state
             .spans
             .iter()
@@ -446,13 +447,13 @@ impl Drop for SpanGuard {
         };
         let end_ns = handle.collector.clock.now_ns();
         // Same lock order as Telemetry::span: stack → state.
-        let mut stack = handle.stack.lock().unwrap();
+        let mut stack = locked(&handle.stack);
         if let Some(pos) = stack.iter().rposition(|&i| i == index) {
             stack.remove(pos);
         }
         let mut duration_ns = 0;
         {
-            let mut state = handle.collector.state.lock().unwrap();
+            let mut state = locked(&handle.collector.state);
             if let Some(span) = state.spans.get_mut(index) {
                 span.end_ns = end_ns.max(span.start_ns);
                 duration_ns = span.duration_ns();

@@ -44,7 +44,11 @@
 #![allow(clippy::cast_possible_truncation)]
 use crate::deadlock::{CommOp, CommProgram};
 use crate::tags::TagClaimSet;
-use xct_comm::{Communicator, DirectPlan, Footprints, Ownership, ReductionStep, Topology};
+use crate::transfer_safety::{rehome_slice, RehomedSlice, SliceSteal};
+use xct_comm::{
+    Communicator, CompiledPlans, DirectPlan, Footprints, LevelProgram, Ownership, RankPlan,
+    ReductionStep, Topology,
+};
 
 /// The dissemination-barrier skeleton on `n` ranks at `tag`. With
 /// `buggy`, the receive peer uses PR 3's mis-parenthesized formula
@@ -114,20 +118,26 @@ pub fn aliased_reply_exchange(comm: &Communicator, tag: u64, reply_tag: u64) -> 
     if me == 0 {
         let mut acc = value;
         for src in 1..n {
+            // xct-allow(no-panic): corpus fixture harness; an infra failure must abort the reproduction
             let v: Vec<f64> = comm.recv_vals(src, tag).expect("gather");
             acc += v[0];
         }
         for dst in 1..n {
+            // xct-allow(no-panic): corpus fixture harness; an infra failure must abort the reproduction
             comm.send_vals(dst, reply_tag, &[acc]).expect("reply");
         }
         for dst in 1..n {
+            // xct-allow(no-panic): corpus fixture harness; an infra failure must abort the reproduction
             comm.send_vals(dst, tag + 1, &[-1.0f64]).expect("bcast");
         }
         (acc, -1.0)
     } else {
+        // xct-allow(no-panic): corpus fixture harness; an infra failure must abort the reproduction
         comm.send_vals(0, tag, &[value]).expect("contribute");
         // The "next exchange" subsystem polls before the solver resumes.
+        // xct-allow(no-panic): corpus fixture harness; an infra failure must abort the reproduction
         let s: Vec<f64> = comm.recv_vals(0, tag + 1).expect("next exchange");
+        // xct-allow(no-panic): corpus fixture harness; an infra failure must abort the reproduction
         let v: Vec<f64> = comm.recv_vals(0, reply_tag).expect("reply");
         (v[0], s[0])
     }
@@ -194,6 +204,7 @@ pub fn over_budget_plan() -> xct_plan::ReconPlan {
     let topo = Topology::new(1, 2, 2);
     let mut plan = planner
         .plan(dims, 16, None, topo)
+        // xct-allow(no-panic): fixture constructs known-valid plan inputs
         .expect("valid plan inputs");
     plan.budget_bytes = Some(plan.per_rank_bytes() - 1);
     plan
@@ -221,11 +232,14 @@ pub fn single_sweep_gather(comm: &Communicator, tag: u64) -> f64 {
             }
         }
         for dst in 1..n {
+            // xct-allow(no-panic): corpus fixture harness; an infra failure must abort the reproduction
             comm.send_vals(dst, tag ^ 0x10, &[acc]).expect("bcast");
         }
         acc
     } else {
+        // xct-allow(no-panic): corpus fixture harness; an infra failure must abort the reproduction
         comm.send_vals(0, tag, &[value]).expect("contribute");
+        // xct-allow(no-panic): corpus fixture harness; an infra failure must abort the reproduction
         let v: Vec<f64> = comm.recv_vals(0, tag ^ 0x10).expect("result");
         v[0]
     }
@@ -234,6 +248,7 @@ pub fn single_sweep_gather(comm: &Communicator, tag: u64) -> f64 {
 fn f64_slice(bytes: &[u8]) -> Vec<f64> {
     bytes
         .chunks_exact(8)
+        // xct-allow(no-panic): infallible — chunks_exact(8) yields exactly 8 bytes
         .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
         .collect()
 }
@@ -300,4 +315,227 @@ pub fn gen_case(seed: u64) -> GenCase {
         footprints: Footprints::new(per_rank),
         ownership,
     }
+}
+
+// ---- Mutated compiled index programs (PR 9: abstract interpretation) --
+
+/// A small compiled direct fixture whose index programs the mutations
+/// below corrupt: 2 ranks, 4 rows, one foreign row each way.
+pub fn small_compiled_fixture() -> (Footprints, Ownership, CompiledPlans) {
+    let (fp, own) = small_direct_fixture();
+    let plan = DirectPlan::build(&fp, &own);
+    let compiled = CompiledPlans::compile_direct(&fp, &own, &plan);
+    (fp, own, compiled)
+}
+
+/// Rebuilds one level verbatim through `from_parts` (the corpus's
+/// mutation seam — execution metadata defaults are irrelevant to the
+/// static passes).
+fn clone_level(l: &LevelProgram) -> LevelProgram {
+    LevelProgram::from_parts(
+        l.out_len(),
+        l.sends().to_vec(),
+        l.keeps().to_vec(),
+        l.recvs().to_vec(),
+        l.tag(),
+    )
+}
+
+/// The mutable parts of one rank's compiled program.
+struct RankParts {
+    in_len: usize,
+    owned_len: usize,
+    levels: Vec<LevelProgram>,
+    global: LevelProgram,
+    scatter_global: LevelProgram,
+    scatter_levels: Vec<LevelProgram>,
+    restrict: Vec<u32>,
+}
+
+/// Rebuilds `plans` with rank `rank`'s program passed through `mutate`.
+fn mutate_rank(
+    plans: &CompiledPlans,
+    rank: usize,
+    mutate: impl FnOnce(&mut RankParts),
+) -> CompiledPlans {
+    let mut mutate = Some(mutate);
+    let rebuilt = (0..plans.num_ranks())
+        .map(|p| {
+            let rp = plans.rank(p);
+            let mut parts = RankParts {
+                in_len: rp.in_len(),
+                owned_len: rp.owned_len(),
+                levels: rp.local_levels().iter().map(clone_level).collect(),
+                global: clone_level(rp.global_level()),
+                scatter_global: clone_level(rp.scatter_global_level()),
+                scatter_levels: rp.scatter_local_levels().iter().map(clone_level).collect(),
+                restrict: rp.restrict_idx().to_vec(),
+            };
+            if p == rank {
+                // xct-allow(no-panic): corpus helper — the rank index is visited exactly once
+                (mutate.take().expect("one mutation"))(&mut parts);
+            }
+            RankPlan::from_parts(
+                parts.in_len,
+                parts.owned_len,
+                parts.levels,
+                parts.global,
+                parts.scatter_global,
+                parts.scatter_levels,
+                parts.restrict,
+            )
+        })
+        .collect();
+    CompiledPlans::from_ranks(rebuilt)
+}
+
+/// Bounds mutation: rank 0's global send gathers position 40 from its
+/// 3-element footprint buffer — `IndexOutOfBounds` (send gather, 40, 3).
+pub fn oob_gather_compiled() -> CompiledPlans {
+    let (_, _, compiled) = small_compiled_fixture();
+    mutate_rank(&compiled, 0, |r| {
+        let mut sends = r.global.sends().to_vec();
+        // xct-allow(no-panic): corpus fixture — the fixture's rank 0 always has one global send
+        *sends[0].idx.last_mut().expect("send is non-empty") = 40;
+        r.global = LevelProgram::from_parts(
+            r.global.out_len(),
+            sends,
+            r.global.keeps().to_vec(),
+            r.global.recvs().to_vec(),
+            r.global.tag(),
+        );
+    })
+}
+
+/// Bounds mutation: rank 0's global recv lands a payload element at
+/// position 9 of its 2-element owned buffer — `IndexOutOfBounds`
+/// (recv landing, 9, 2).
+pub fn oob_recv_compiled() -> CompiledPlans {
+    let (_, _, compiled) = small_compiled_fixture();
+    mutate_rank(&compiled, 0, |r| {
+        let mut recvs = r.global.recvs().to_vec();
+        // xct-allow(no-panic): corpus fixture — the fixture's rank 0 always receives from rank 1
+        *recvs[0].idx.last_mut().expect("recv is non-empty") = 9;
+        r.global = LevelProgram::from_parts(
+            r.global.out_len(),
+            r.global.sends().to_vec(),
+            r.global.keeps().to_vec(),
+            recvs,
+            r.global.tag(),
+        );
+    })
+}
+
+/// Bounds mutation: rank 0's local carry writes output position 30 of a
+/// 2-element buffer — `IndexOutOfBounds` (keep destination, 30, 2).
+pub fn oob_keep_compiled() -> CompiledPlans {
+    let (_, _, compiled) = small_compiled_fixture();
+    mutate_rank(&compiled, 0, |r| {
+        let mut keeps = r.global.keeps().to_vec();
+        // xct-allow(no-panic): corpus fixture — rank 0 owns rows it also holds, so keeps exist
+        keeps.last_mut().expect("keep present").1 = 30;
+        r.global = LevelProgram::from_parts(
+            r.global.out_len(),
+            r.global.sends().to_vec(),
+            keeps,
+            r.global.recvs().to_vec(),
+            r.global.tag(),
+        );
+    })
+}
+
+/// Bounds mutation: rank 0's footprint restriction reads position 77 of
+/// the 3-element final scatter buffer — `IndexOutOfBounds`
+/// (restriction, 77, 3).
+pub fn oob_restrict_compiled() -> CompiledPlans {
+    let (_, _, compiled) = small_compiled_fixture();
+    mutate_rank(&compiled, 0, |r| {
+        // xct-allow(no-panic): corpus fixture — the restriction is never empty
+        *r.restrict.last_mut().expect("restrict present") = 77;
+    })
+}
+
+/// Lifetime mutation: the two-slice overlap pipeline with slice 0's
+/// accumulator read *before* its posted irecvs are drained —
+/// `PendingWriteRead` (acc, slice 0).
+pub fn read_before_finish_schedule() -> Vec<crate::lifetime::ScratchOp> {
+    let mut ops = crate::lifetime::overlap_schedule(2, 3);
+    let wait = ops
+        .iter()
+        .position(|op| matches!(op, crate::lifetime::ScratchOp::WaitWrites { slice: 0 }))
+        // xct-allow(no-panic): corpus fixture — overlap_schedule always emits WaitWrites(0)
+        .expect("schedule finishes slice 0");
+    ops.swap(wait, wait + 1);
+    ops
+}
+
+/// A hierarchical fixture for the work-stealing artifacts: 1 node ×
+/// 2 sockets × 2 GPUs, heavily overlapping footprints so every pair of
+/// ranks exchanges traffic at every level.
+pub fn steal_fixture() -> (CompiledPlans, Topology) {
+    let topo = Topology::new(1, 2, 2);
+    let owner: Vec<u32> = (0..16u32).map(|r| r / 4).collect();
+    let fp: Vec<Vec<u32>> = (0..4usize)
+        .map(|p| {
+            (0..16u32)
+                .filter(|&r| (r as usize * 5 + p * 3) % 4 < 3)
+                .collect()
+        })
+        .collect();
+    let fp = Footprints::new(fp);
+    let own = Ownership::new(owner, 4);
+    let plan = xct_comm::HierarchicalPlan::build(&fp, &own, &topo);
+    (CompiledPlans::compile_hierarchical(&fp, &own, &plan), topo)
+}
+
+/// Steal mutation: the thief lives on the other socket —
+/// `CrossSocketSteal { from: 0, to: 2 }` (sockets 0 → 1).
+pub fn cross_socket_steal() -> (CompiledPlans, Topology, RehomedSlice) {
+    let (plans, topo) = steal_fixture();
+    let steal = SliceSteal {
+        slice: 0,
+        from: 0,
+        to: 2,
+    };
+    let rehomed = rehome_slice(&plans, steal);
+    (plans, topo, rehomed)
+}
+
+/// Steal mutation: the re-homed transfers keep their *original* level
+/// tags (the `TAG_STEAL` bit stripped), so the thief's own concurrent
+/// traffic cross-matches them — `TagCollision`.
+pub fn tag_colliding_steal() -> (CompiledPlans, Topology, RehomedSlice) {
+    let (plans, topo) = steal_fixture();
+    let mut rehomed = rehome_slice(
+        &plans,
+        SliceSteal {
+            slice: 0,
+            from: 0,
+            to: 1,
+        },
+    );
+    for t in &mut rehomed.transfers {
+        t.tag &= !xct_comm::TAG_STEAL;
+    }
+    (plans, topo, rehomed)
+}
+
+/// Steal mutation: the rewrite covered the forward pipeline but forgot
+/// the scatter direction — those payloads are still addressed at the
+/// vacated rank, `RehomingGap`.
+pub fn truncated_rehoming() -> (CompiledPlans, Topology, RehomedSlice) {
+    let (plans, topo) = steal_fixture();
+    let mut rehomed = rehome_slice(
+        &plans,
+        SliceSteal {
+            slice: 0,
+            from: 0,
+            to: 1,
+        },
+    );
+    use crate::diag::ExchangeLevel as L;
+    rehomed
+        .transfers
+        .retain(|t| matches!(t.level, L::Socket | L::Node | L::Global));
+    (plans, topo, rehomed)
 }

@@ -195,12 +195,15 @@ impl CommProgram {
                     }
                 }
             }
+            // xct-allow(no-panic): infallible — remaining > 0 guarantees an undone vertex
             let start = (0..total).find(|&v| !done[v]).expect("remaining > 0");
             let mut path = vec![start];
             let mut seen: HashMap<usize, usize> = HashMap::new();
             seen.insert(start, 0);
             let cycle = loop {
+                // xct-allow(no-panic): infallible — path starts non-empty and only grows
                 let cur = *path.last().expect("path non-empty");
+                // xct-allow(no-panic): infallible — every vertex on the path is blocked, so it has a predecessor
                 let prev = preds[cur].first().copied().expect("blocked node has pred");
                 if let Some(&at) = seen.get(&prev) {
                     let mut cyc: Vec<usize> = path[at..].to_vec();
@@ -211,6 +214,7 @@ impl CommProgram {
                 path.push(prev);
             };
             let who = |v: usize| -> (usize, usize) {
+                // xct-allow(no-panic): infallible — base starts at 0, so rposition always finds a block
                 let rank = base.iter().rposition(|&b| b <= v).expect("base covers v");
                 (rank, v - base[rank])
             };

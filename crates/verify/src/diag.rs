@@ -68,6 +68,35 @@ impl fmt::Display for WriteOrigin {
     }
 }
 
+/// Which index table of a level program an out-of-bounds access lives
+/// in (witness component of [`ViolationKind::IndexOutOfBounds`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A send transfer's gather index into the level's input buffer.
+    SendGather,
+    /// A local carry's source position in the input buffer.
+    KeepSrc,
+    /// A local carry's destination position in the output buffer.
+    KeepDst,
+    /// A recv transfer's landing position in the output buffer.
+    RecvLanding,
+    /// A restriction index into the final scatter buffer.
+    Restrict,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessKind::SendGather => "send gather",
+            AccessKind::KeepSrc => "keep source",
+            AccessKind::KeepDst => "keep destination",
+            AccessKind::RecvLanding => "recv landing",
+            AccessKind::Restrict => "restriction",
+        };
+        f.write_str(name)
+    }
+}
+
 /// The defect a check found, with its witness.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ViolationKind {
@@ -214,6 +243,50 @@ pub enum ViolationKind {
         /// How many slabs the plan has.
         slabs: usize,
     },
+    /// The interval bounds proof failed: an index table reaches outside
+    /// the buffer it addresses.
+    IndexOutOfBounds {
+        /// Which table of the level program the access lives in.
+        access: AccessKind,
+        /// The offending index (the interval's upper bound).
+        index: u32,
+        /// The addressed buffer's declared length.
+        len: usize,
+    },
+    /// A scratch region is read while an in-flight exchange still has
+    /// pending writes into it — the read observes partially-delivered
+    /// data.
+    PendingWriteRead {
+        /// The buffer region (e.g. `acc`, `cur`).
+        buffer: &'static str,
+        /// The pipeline slice whose in-flight exchange owns the region.
+        slice: usize,
+        /// Outstanding writes (posted irecvs not yet waited).
+        pending: usize,
+    },
+    /// A slice re-homing crosses a socket boundary: the work-stealing
+    /// precondition only holds between NVLink-connected siblings.
+    CrossSocketSteal {
+        /// The overloaded rank giving up the slice.
+        from: usize,
+        /// The would-be thief.
+        to: usize,
+        /// Global socket index of `from`.
+        from_socket: usize,
+        /// Global socket index of `to`.
+        to_socket: usize,
+    },
+    /// A re-homed slice still has a transfer addressed at the vacated
+    /// rank: the rewrite was not total, so that payload is lost (or
+    /// waited on forever) after the move.
+    RehomingGap {
+        /// The rank whose program still references the vacated rank.
+        rank: usize,
+        /// The vacated rank that should no longer appear.
+        vacated: usize,
+        /// The stale transfer's tag.
+        tag: u64,
+    },
 }
 
 impl fmt::Display for ViolationKind {
@@ -300,6 +373,31 @@ impl fmt::Display for ViolationKind {
             ViolationKind::ResidencyConflict { index, slabs } => write!(
                 f,
                 "slab {index} residency contradicts the slab count ({slabs})"
+            ),
+            ViolationKind::IndexOutOfBounds { access, index, len } => write!(
+                f,
+                "bounds: {access} index {index} outside buffer of length {len}"
+            ),
+            ViolationKind::PendingWriteRead {
+                buffer,
+                slice,
+                pending,
+            } => write!(
+                f,
+                "lifetime: `{buffer}` of slice {slice} read with {pending} in-flight write(s) pending"
+            ),
+            ViolationKind::CrossSocketSteal {
+                from,
+                to,
+                from_socket,
+                to_socket,
+            } => write!(
+                f,
+                "steal {from}→{to} crosses sockets {from_socket}→{to_socket}; re-homing must stay socket-local"
+            ),
+            ViolationKind::RehomingGap { rank, vacated, tag } => write!(
+                f,
+                "re-homing gap: rank {rank} still has a transfer for vacated rank {vacated} (tag {tag:#x})"
             ),
         }
     }

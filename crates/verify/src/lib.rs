@@ -25,6 +25,14 @@
 //!   fusing factor keeps slice tag salts out of the reply namespace).
 //!   Violations are structured [`Violation`]s with witnesses, never
 //!   booleans.
+//! * **Abstract interpretation** ([`absint`], [`lifetime`],
+//!   [`transfer_safety`]) interprets the compiled index programs over
+//!   abstract domains instead of executing them: interval bounds proofs
+//!   for every Transfer table access, scratch-region lifetime tracking
+//!   across the split `begin`/`finish` overlap windows (no read of a
+//!   region with pending in-flight writes), and the work-stealing
+//!   precondition — a socket-local slice re-homing preserves
+//!   conservation and tag disjointness (DESIGN.md §3i).
 //! * **Schedule exploration** ([`explore`]) runs real rank bodies under
 //!   seeded chaos schedules (jitter + delay-one-message), making timing
 //!   bugs that static analysis cannot see — wrong *progress logic*
@@ -41,22 +49,30 @@
 // construction and carry local allows where they occur.
 #![warn(clippy::cast_possible_truncation)]
 
+pub mod absint;
 pub mod compiled_check;
 pub mod corpus;
 pub mod deadlock;
 pub mod diag;
 pub mod explore;
+pub mod lifetime;
 pub mod plan_check;
 pub mod plan_fits;
 pub mod tags;
+pub mod transfer_safety;
 
+pub use absint::verify_bounds;
 pub use compiled_check::verify_compiled;
 pub use deadlock::{verify_deadlock, CommOp, CommProgram};
-pub use diag::{ExchangeLevel, VerifyReport, Violation, ViolationKind, WriteOrigin};
+pub use diag::{AccessKind, ExchangeLevel, VerifyReport, Violation, ViolationKind, WriteOrigin};
 pub use explore::{explore, ExploreReport, SeedOutcome};
+pub use lifetime::{overlap_schedule, verify_lifetimes, verify_scratch_lifetime, ScratchOp};
 pub use plan_check::{verify_direct, verify_hierarchical, verify_reduce_step};
 pub use plan_fits::plan_fits;
 pub use tags::{claims_for_compiled, slice_salt, verify_tags, TagClaim, TagClaimSet};
+pub use transfer_safety::{
+    rehome_slice, verify_transfer_safety, RehomedSlice, RehomedTransfer, SliceSteal,
+};
 
 use xct_comm::{CompiledPlans, DirectPlan, Footprints, HierarchicalPlan, Ownership, Topology};
 
@@ -75,10 +91,19 @@ pub fn verify_all_hierarchical(
 ) -> VerifyReport {
     let mut report = verify_hierarchical(footprints, ownership, topo, plan);
     report.merge(verify_compiled(footprints, ownership, compiled));
+    report.merge(verify_bounds(compiled));
+    if overlap {
+        report.merge(verify_lifetimes(compiled, OVERLAP_CHECK_SLICES));
+    }
     report.merge(verify_tags(compiled, overlap));
     report.merge(verify_deadlock(compiled));
     report
 }
+
+/// Fused-slice depth the lifetime pass models for the overlap pipeline:
+/// enough iterations for the steady-state two-in-flight pattern to
+/// repeat.
+const OVERLAP_CHECK_SLICES: usize = 3;
 
 /// Every static check against a direct plan and its compilation.
 pub fn verify_all_direct(
@@ -90,6 +115,10 @@ pub fn verify_all_direct(
 ) -> VerifyReport {
     let mut report = verify_direct(footprints, ownership, plan);
     report.merge(verify_compiled(footprints, ownership, compiled));
+    report.merge(verify_bounds(compiled));
+    if overlap {
+        report.merge(verify_lifetimes(compiled, OVERLAP_CHECK_SLICES));
+    }
     report.merge(verify_tags(compiled, overlap));
     report.merge(verify_deadlock(compiled));
     report

@@ -179,6 +179,62 @@ mod tests {
     }
 
     #[test]
+    fn budget_exactly_at_the_floor_plans_and_verifies() {
+        // The planner's documented floor is the operator share plus one
+        // slice per rank; a budget of exactly that must produce a
+        // streaming plan of single-slice slabs, and plan_fits must
+        // accept it (the budget check is strict `>`).
+        let planner = Planner::default();
+        let dims = VolumeDims { n: 16, slices: 7 };
+        let topo = Topology::new(1, 2, 2);
+        let probe = planner.plan(dims, 16, None, topo).unwrap();
+        let floor = probe.matrix_bytes_per_rank() + probe.slice_bytes_per_rank();
+        let plan = planner
+            .plan(dims, 16, Some(floor), topo)
+            .expect("a budget at the floor must plan");
+        assert!(plan.streaming());
+        assert!(plan.slabs.iter().all(|s| s.len == 1), "{:?}", plan.slabs);
+        plan_fits(&plan).assert_ok("floor-budget plan");
+
+        // plan_fits' own boundary: a claimed budget exactly equal to
+        // the peak footprint passes.
+        let mut exact = plan.clone();
+        exact.budget_bytes = Some(exact.per_rank_bytes());
+        plan_fits(&exact).assert_ok("budget == peak footprint");
+    }
+
+    #[test]
+    fn budget_one_below_the_floor_is_rejected_with_the_exact_witness() {
+        let planner = Planner::default();
+        let dims = VolumeDims { n: 16, slices: 7 };
+        let topo = Topology::new(1, 2, 2);
+        let probe = planner.plan(dims, 16, None, topo).unwrap();
+        let floor = probe.matrix_bytes_per_rank() + probe.slice_bytes_per_rank();
+        // The planner itself refuses, naming both sides of the gap...
+        let err = planner.plan(dims, 16, Some(floor - 1), topo).unwrap_err();
+        assert_eq!(
+            err,
+            xct_plan::PlanError::BudgetTooSmall {
+                budget: floor - 1,
+                required: floor,
+            }
+        );
+        // ...and a plan whose claimed budget undercuts its peak by one
+        // byte is rejected by plan_fits with the exact same shape.
+        let mut plan = probe;
+        let required = plan.per_rank_bytes();
+        plan.budget_bytes = Some(required - 1);
+        let report = plan_fits(&plan);
+        assert_eq!(
+            report.violations[0].kind,
+            ViolationKind::PlanOverBudget {
+                budget: required - 1,
+                required,
+            }
+        );
+    }
+
+    #[test]
     fn over_budget_plan_is_rejected_with_the_exact_gap() {
         let mut plan = streamed_plan();
         // Shrink the claimed budget below the true peak footprint.

@@ -210,3 +210,41 @@ pub fn claims_for_compiled(plans: &CompiledPlans, overlap: bool) -> TagClaimSet 
 pub fn verify_tags(plans: &CompiledPlans, overlap: bool) -> VerifyReport {
     claims_for_compiled(plans, overlap).check()
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_bit_boundary_is_exact() {
+        // The highest application tag — every bit below the reply bit
+        // set — is legal, and the reply namespace may use the bit from
+        // its side. Only an *application* claim carrying bit 63 trips
+        // the rule.
+        let mut set = TagClaimSet::new();
+        set.claim(0, 1, REPLY_TAG_SALT - 1, "app tag just below the bit");
+        set.claim_reply(1, 0, REPLY_TAG_SALT, "reply tag at the bit");
+        set.check().assert_ok("boundary tags from the right sides");
+
+        let mut bad = TagClaimSet::new();
+        bad.claim(0, 1, REPLY_TAG_SALT, "app tag at the bit");
+        let report = bad.check();
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                &v.kind,
+                ViolationKind::ReservedTagBit { tag, .. } if *tag == REPLY_TAG_SALT
+            )),
+            "expected the exact reserved-bit witness, got: {report}"
+        );
+    }
+
+    #[test]
+    fn largest_legal_fusing_salt_stays_clear_of_the_bit() {
+        // slice_salt(MAX_FUSING_TAGS - 1) is the widest salt a legal
+        // plan can emit; it must not reach bit 63, while one slice more
+        // would (the plan_fits boundary test asserts the rejection).
+        let top = slice_salt(xct_plan::MAX_FUSING_TAGS - 1);
+        assert_eq!(top & REPLY_TAG_SALT, 0);
+        assert_ne!(slice_salt(xct_plan::MAX_FUSING_TAGS) & REPLY_TAG_SALT, 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The work-stealing precondition: proving a slice re-homing safe.
+//!
+//! The ROADMAP's work-stealing item wants an overloaded rank to hand
+//! one fused slice's share of the exchange pipeline to a socket-local
+//! sibling (the NVLink neighbor can absorb it without crossing the slow
+//! links). Before the runtime may do that, three properties must hold,
+//! and this module proves them for a concrete [`CompiledPlans`] +
+//! [`SliceSteal`] pair rather than trusting the re-homing code:
+//!
+//! * **socket locality** — `from` and `to` share a socket
+//!   ([`ViolationKind::CrossSocketSteal`] otherwise); stealing across
+//!   sockets would silently convert NVLink traffic into X-bus/IB
+//!   traffic and invalidate the plan's volume accounting;
+//! * **conservation** — the re-homed transfer set covers *exactly* the
+//!   original transfers touching `from` for the stolen slice, with
+//!   identical payload lengths: a transfer left behind is reported as a
+//!   [`ViolationKind::RehomingGap`] (its payload would still be
+//!   addressed at the vacated rank), a truncated or invented one as
+//!   `Malformed`. Because re-homing is then a pure endpoint renaming of
+//!   a plan that already passed [`crate::verify_compiled`]'s token
+//!   proof, row conservation carries over unchanged;
+//! * **tag disjointness** — every re-homed wire tag must be disjoint
+//!   from everything else in flight: the victim pipeline's other slices
+//!   *and* the thief's own share of the stolen slice. The
+//!   [`xct_comm::TAG_STEAL`] namespace exists precisely for this;
+//!   [`rehome_slice`] applies it, and the checker reports a
+//!   [`ViolationKind::TagCollision`] for any artifact that does not.
+//!
+//! [`rehome_slice`] constructs the legal artifact; the corpus mutates
+//! copies of it (cross-socket thief, missing steal bit, truncated
+//! rewrite) that this checker must reject. The clean-verdict path is
+//! allocation-free: expectation matching is count-based scanning, and a
+//! passing report never pushes.
+
+use crate::diag::{ExchangeLevel, VerifyReport, ViolationKind};
+use crate::tags::slice_salt;
+use xct_comm::{CompiledPlans, LevelProgram, RankPlan, Topology, TAG_STEAL};
+
+/// A proposed slice re-homing: rank `from` gives its share of fused
+/// slice `slice` to rank `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceSteal {
+    /// The fused slice whose share moves.
+    pub slice: usize,
+    /// The overloaded rank vacating its share.
+    pub from: usize,
+    /// The socket-local thief absorbing it.
+    pub to: usize,
+}
+
+/// One wire transfer after re-homing: physical endpoints and the tag it
+/// will actually fly under (salt not yet applied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RehomedTransfer {
+    /// Physical sending rank after the move.
+    pub src: usize,
+    /// Physical receiving rank after the move.
+    pub dst: usize,
+    /// Base wire tag (the legal artifact uses `level_tag | TAG_STEAL`).
+    pub tag: u64,
+    /// Payload length in elements (conservation witness).
+    pub len: usize,
+    /// The pipeline level the transfer belongs to.
+    pub level: ExchangeLevel,
+}
+
+/// The re-homed share of one stolen slice: every transfer that used to
+/// touch `from`, with its post-move endpoints and tags.
+#[derive(Debug, Clone)]
+pub struct RehomedSlice {
+    /// The steal this artifact implements.
+    pub steal: SliceSteal,
+    /// The re-homed transfers (fields public so the corpus can mutate
+    /// them).
+    pub transfers: Vec<RehomedTransfer>,
+}
+
+/// Visits both pipelines' levels of one rank, in execution order, with
+/// names. A visitor (not a collected Vec) so the clean verdict stays
+/// allocation-free.
+fn for_each_level<'a, F: FnMut(ExchangeLevel, &'a LevelProgram)>(rp: &'a RankPlan, mut f: F) {
+    let num_local = rp.local_levels().len();
+    for (i, l) in rp.local_levels().iter().enumerate() {
+        let name = match (num_local, i) {
+            (2, 0) => ExchangeLevel::Socket,
+            _ => ExchangeLevel::Node,
+        };
+        f(name, l);
+    }
+    f(ExchangeLevel::Global, rp.global_level());
+    f(ExchangeLevel::ScatterGlobal, rp.scatter_global_level());
+    let num_scatter = rp.scatter_local_levels().len();
+    for (i, l) in rp.scatter_local_levels().iter().enumerate() {
+        let name = match (num_scatter, i) {
+            (2, 0) => ExchangeLevel::ScatterNode,
+            _ => ExchangeLevel::ScatterSocket,
+        };
+        f(name, l);
+    }
+}
+
+/// Enumerates the transfers of `plans` that touch `from` for one slice,
+/// as `(src, dst, level tag, len, level)` in original addressing,
+/// calling `f` for each. This is the ground truth the re-homed set must
+/// cover.
+fn for_each_touching<F: FnMut(usize, usize, u64, usize, ExchangeLevel)>(
+    plans: &CompiledPlans,
+    from: usize,
+    mut f: F,
+) {
+    for p in 0..plans.num_ranks() {
+        for_each_level(plans.rank(p), |name, level| {
+            for t in level.sends() {
+                if p == from || t.peer == from {
+                    f(p, t.peer, level.tag(), t.idx.len(), name);
+                }
+            }
+        });
+    }
+}
+
+/// Builds the legal re-homed artifact for `steal`: every transfer
+/// touching `from` is redirected to `to` and re-tagged into the
+/// [`TAG_STEAL`] namespace.
+pub fn rehome_slice(plans: &CompiledPlans, steal: SliceSteal) -> RehomedSlice {
+    let mut transfers = Vec::new();
+    for_each_touching(plans, steal.from, |src, dst, tag, len, level| {
+        let src = if src == steal.from { steal.to } else { src };
+        let dst = if dst == steal.from { steal.to } else { dst };
+        transfers.push(RehomedTransfer {
+            src,
+            dst,
+            tag: tag | TAG_STEAL,
+            len,
+            level,
+        });
+    });
+    RehomedSlice { steal, transfers }
+}
+
+/// Proves `rehomed` safe against `plans` on `topo`, with the victim
+/// pipeline's slices `concurrent` in flight (the stolen slice itself is
+/// always considered concurrent — the thief's own share runs alongside
+/// the stolen one).
+pub fn verify_transfer_safety(
+    plans: &CompiledPlans,
+    topo: &Topology,
+    concurrent: &[usize],
+    rehomed: &RehomedSlice,
+) -> VerifyReport {
+    let mut report = VerifyReport::new();
+    let SliceSteal { slice, from, to } = rehomed.steal;
+    let n = plans.num_ranks();
+    if from >= n || to >= n || from == to {
+        report.push(
+            from.min(n.saturating_sub(1)),
+            None,
+            ViolationKind::Malformed {
+                detail: format!("steal {from}→{to} names invalid ranks for a {n}-rank world"),
+            },
+        );
+        return report;
+    }
+    // Socket locality.
+    let (fs, ts) = (topo.socket_of(from), topo.socket_of(to));
+    if fs != ts {
+        report.push(
+            from,
+            None,
+            ViolationKind::CrossSocketSteal {
+                from,
+                to,
+                from_socket: fs,
+                to_socket: ts,
+            },
+        );
+    }
+    // Conservation: the artifact must cover the touching set exactly.
+    // Count-based matching on (src, dst, len, level) after endpoint
+    // renaming — tags are checked separately so a mis-tagged artifact
+    // reports a collision, not a phantom gap.
+    for_each_touching(plans, from, |src, dst, tag, len, level| {
+        let esrc = if src == from { to } else { src };
+        let edst = if dst == from { to } else { dst };
+        let expected = count_touching(plans, from, esrc, edst, len, level, to);
+        let got = rehomed
+            .transfers
+            .iter()
+            .filter(|r| r.src == esrc && r.dst == edst && r.len == len && r.level == level)
+            .count();
+        if got < expected {
+            // Deduplicate the report: only the canonical (first) witness
+            // for this key pushes.
+            if is_first_touching(plans, from, to, src, dst, tag, len, level) {
+                report.push(
+                    src,
+                    Some(level),
+                    ViolationKind::RehomingGap {
+                        rank: src,
+                        vacated: from,
+                        tag,
+                    },
+                );
+            }
+        }
+    });
+    for r in &rehomed.transfers {
+        // Every artifact entry must correspond to some touching
+        // transfer (same key after renaming).
+        let expected = count_touching(plans, from, r.src, r.dst, r.len, r.level, to);
+        if expected == 0 {
+            report.push(
+                r.src,
+                Some(r.level),
+                ViolationKind::Malformed {
+                    detail: format!(
+                        "re-homed transfer {}→{} ({} elements, {}) matches nothing in the stolen share",
+                        r.src, r.dst, r.len, r.level
+                    ),
+                },
+            );
+        }
+    }
+    // Tag disjointness: re-homed tags vs everything concurrently in
+    // flight under original addressing. Transfers touching `from` for
+    // the stolen slice no longer exist, so they are excluded for that
+    // slice only.
+    let steal_salt = slice_salt(slice);
+    for r in &rehomed.transfers {
+        let rtag = r.tag ^ steal_salt;
+        for p in 0..n {
+            for_each_level(plans.rank(p), |name, level| {
+                for t in level.sends() {
+                    for &s in concurrent {
+                        if s == slice && (p == from || t.peer == from) {
+                            continue; // re-homed away for the stolen slice
+                        }
+                        if p == r.src && t.peer == r.dst && level.tag() ^ slice_salt(s) == rtag {
+                            report.push(
+                                r.src,
+                                Some(r.level),
+                                ViolationKind::TagCollision {
+                                    src: r.src,
+                                    dst: r.dst,
+                                    tag: rtag,
+                                    first: format!("slice {s} {name}"),
+                                    second: format!("stolen slice {slice} {}", r.level),
+                                },
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    }
+    report
+}
+
+/// How many transfers of the touching set map to the post-rename key
+/// `(src, dst, len, level)`.
+fn count_touching(
+    plans: &CompiledPlans,
+    from: usize,
+    src: usize,
+    dst: usize,
+    len: usize,
+    level: ExchangeLevel,
+    to: usize,
+) -> usize {
+    let mut count = 0;
+    for_each_touching(plans, from, |s, d, _tag, l, lv| {
+        let s = if s == from { to } else { s };
+        let d = if d == from { to } else { d };
+        if s == src && d == dst && l == len && lv == level {
+            count += 1;
+        }
+    });
+    count
+}
+
+/// Whether `(src, dst, tag, len, level)` is the first enumeration-order
+/// member of its post-rename key (report deduplication).
+#[allow(clippy::too_many_arguments)]
+fn is_first_touching(
+    plans: &CompiledPlans,
+    from: usize,
+    to: usize,
+    src: usize,
+    dst: usize,
+    tag: u64,
+    len: usize,
+    level: ExchangeLevel,
+) -> bool {
+    let rename = |r: usize| if r == from { to } else { r };
+    let key = (rename(src), rename(dst), len, level);
+    let mut first: Option<(usize, usize, u64)> = None;
+    for_each_touching(plans, from, |s, d, t, l, lv| {
+        if first.is_none() && (rename(s), rename(d), l, lv) == key {
+            first = Some((s, d, t));
+        }
+    });
+    first == Some((src, dst, tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_comm::{Footprints, HierarchicalPlan, Ownership};
+
+    fn fixture() -> (CompiledPlans, Topology) {
+        let topo = Topology::new(2, 2, 2);
+        let owner: Vec<u32> = (0..32u32).map(|r| r / 4).collect();
+        let fp: Vec<Vec<u32>> = (0..8usize)
+            .map(|p| {
+                (0..32u32)
+                    .filter(|&r| (r as usize * 7 + p * 3) % 5 < 3)
+                    .collect()
+            })
+            .collect();
+        let fp = Footprints::new(fp);
+        let own = Ownership::new(owner, 8);
+        let plan = HierarchicalPlan::build(&fp, &own, &topo);
+        (CompiledPlans::compile_hierarchical(&fp, &own, &plan), topo)
+    }
+
+    #[test]
+    fn legal_socket_local_rehoming_verifies() {
+        let (plans, topo) = fixture();
+        // Ranks 0 and 1 share socket 0 on the 2×2×2 topology.
+        let steal = SliceSteal {
+            slice: 1,
+            from: 0,
+            to: 1,
+        };
+        let rehomed = rehome_slice(&plans, steal);
+        assert!(!rehomed.transfers.is_empty(), "share must be non-trivial");
+        let report = verify_transfer_safety(&plans, &topo, &[0, 1, 2], &rehomed);
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn every_rehomed_tag_is_in_the_steal_namespace() {
+        let (plans, _) = fixture();
+        let rehomed = rehome_slice(
+            &plans,
+            SliceSteal {
+                slice: 0,
+                from: 2,
+                to: 3,
+            },
+        );
+        for t in &rehomed.transfers {
+            assert_ne!(t.tag & TAG_STEAL, 0, "tag {:#x} lacks the steal bit", t.tag);
+            assert_ne!(t.src, 2, "vacated rank must not send");
+            assert_ne!(t.dst, 2, "vacated rank must not receive");
+        }
+    }
+}

@@ -432,3 +432,147 @@ fn hierarchical_against_wrong_topology_is_malformed() {
         "group/topology mismatch must be malformed: {report}"
     );
 }
+
+// ---- Mutated index programs: the abstract-interpretation layer ----
+
+#[test]
+fn oob_gather_is_rejected_with_exact_interval_witness() {
+    let report = xct_verify::verify_bounds(&xct_verify::corpus::oob_gather_compiled());
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v.kind,
+            xct_verify::ViolationKind::IndexOutOfBounds {
+                access: xct_verify::AccessKind::SendGather,
+                index: 40,
+                len: 3
+            }
+        ) && v.rank == 0),
+        "expected send-gather OOB (40, len 3) at rank 0, got: {report}"
+    );
+}
+
+#[test]
+fn oob_recv_landing_is_rejected_with_exact_interval_witness() {
+    let report = xct_verify::verify_bounds(&xct_verify::corpus::oob_recv_compiled());
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v.kind,
+            xct_verify::ViolationKind::IndexOutOfBounds {
+                access: xct_verify::AccessKind::RecvLanding,
+                index: 9,
+                len: 2
+            }
+        )),
+        "expected recv-landing OOB (9, len 2), got: {report}"
+    );
+}
+
+#[test]
+fn oob_keep_destination_is_rejected() {
+    let report = xct_verify::verify_bounds(&xct_verify::corpus::oob_keep_compiled());
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v.kind,
+            xct_verify::ViolationKind::IndexOutOfBounds {
+                access: xct_verify::AccessKind::KeepDst,
+                index: 30,
+                len: 2
+            }
+        )),
+        "expected keep-destination OOB (30, len 2), got: {report}"
+    );
+}
+
+#[test]
+fn oob_restriction_is_rejected() {
+    let report = xct_verify::verify_bounds(&xct_verify::corpus::oob_restrict_compiled());
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v.kind,
+            xct_verify::ViolationKind::IndexOutOfBounds {
+                access: xct_verify::AccessKind::Restrict,
+                index: 77,
+                len: 3
+            }
+        )),
+        "expected restriction OOB (77, len 3), got: {report}"
+    );
+}
+
+#[test]
+fn read_before_finish_is_a_pending_write_read() {
+    let ops = xct_verify::corpus::read_before_finish_schedule();
+    let report = xct_verify::verify_scratch_lifetime(0, &ops);
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v.kind,
+            xct_verify::ViolationKind::PendingWriteRead {
+                buffer: "acc",
+                slice: 0,
+                pending: 3
+            }
+        )),
+        "expected acc read with 3 pending writes, got: {report}"
+    );
+}
+
+#[test]
+fn cross_socket_steal_is_rejected() {
+    let (plans, topo, rehomed) = xct_verify::corpus::cross_socket_steal();
+    let report = xct_verify::verify_transfer_safety(&plans, &topo, &[0, 1], &rehomed);
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v.kind,
+            xct_verify::ViolationKind::CrossSocketSteal {
+                from: 0,
+                to: 2,
+                from_socket: 0,
+                to_socket: 1
+            }
+        )),
+        "expected cross-socket witness, got: {report}"
+    );
+}
+
+#[test]
+fn tag_colliding_steal_is_rejected() {
+    let (plans, topo, rehomed) = xct_verify::corpus::tag_colliding_steal();
+    let report = xct_verify::verify_transfer_safety(&plans, &topo, &[0, 1], &rehomed);
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            &v.kind,
+            xct_verify::ViolationKind::TagCollision { second, .. }
+                if second.contains("stolen slice 0")
+        )),
+        "expected a collision against the stolen slice, got: {report}"
+    );
+}
+
+#[test]
+fn truncated_rehoming_is_rejected_with_the_stale_tag() {
+    let (plans, topo, rehomed) = xct_verify::corpus::truncated_rehoming();
+    let report = xct_verify::verify_transfer_safety(&plans, &topo, &[0, 1], &rehomed);
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v.kind,
+            xct_verify::ViolationKind::RehomingGap { vacated: 0, .. }
+        )),
+        "expected a re-homing gap naming the vacated rank, got: {report}"
+    );
+}
+
+#[test]
+fn legal_steal_fixture_rehoming_verifies_cleanly() {
+    // The same fixture the mutations corrupt must pass untouched — the
+    // work-stealing precondition the ROADMAP item needs.
+    let (plans, topo) = xct_verify::corpus::steal_fixture();
+    let steal = xct_verify::SliceSteal {
+        slice: 0,
+        from: 0,
+        to: 1,
+    };
+    let rehomed = xct_verify::rehome_slice(&plans, steal);
+    assert!(!rehomed.transfers.is_empty());
+    let report = xct_verify::verify_transfer_safety(&plans, &topo, &[0, 1, 2], &rehomed);
+    assert!(report.ok(), "{report}");
+}

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use xct_analytic::{filtered_backprojection, FilterKind};
 use xct_bench::tune::{run_tune, TuneParams};
 use xct_cluster::MachineSpec;
-use xct_comm::{CommReport, Topology, WireModel};
+use xct_comm::{CommReport, CompiledPlans, HierarchicalPlan, Topology, WireModel};
 use xct_core::distributed::DistributedConfig;
 use xct_core::model::{ModelExperiment, OptLevel};
 use xct_core::{
@@ -71,6 +71,7 @@ impl Flags {
                 .strip_prefix("--")
                 .ok_or_else(|| CliError(format!("expected --flag, got {arg:?}")))?;
             let value = match it.peek() {
+                // xct-allow(no-panic): infallible — the peek above proved the next argument exists
                 Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
                 _ => "true".to_owned(),
             };
@@ -247,6 +248,7 @@ impl MetricsSession {
             install_flight_panic_hook(telemetry, PathBuf::from(path));
         }
         let stop = Arc::new(AtomicBool::new(false));
+        // xct-allow(wall-clock): CLI progress display reports real elapsed wall time, independent of telemetry
         let started = Instant::now();
         let sampling = telemetry.is_enabled() && (args.out.is_some() || args.progress);
         let thread = sampling.then(|| {
@@ -313,6 +315,7 @@ impl MetricsSession {
         }
         if let Some(path) = &self.args.out {
             write_file(path, &metrics_series_json(sampler.samples()).to_string())?;
+            // xct-allow(no-panic): infallible — the sampler forces a final sample before the loop exits
             let last = sampler.samples().last().expect("forced sample present");
             write_file(&format!("{path}.prom"), &prometheus_text(last))?;
             write_file(&format!("{path}.csv"), &metrics_csv(sampler.samples()))?;
@@ -442,6 +445,17 @@ USAGE:
                       sweep the SpMM tile shape (block size x staging bytes x
                       fusing) and write the measurements as a petaxct-tune-v1
                       artifact for --tune-from
+  petaxct analyze     [--root DIR] [--self-test]
+                      two-layer workspace invariant checker (DESIGN.md
+                      Sec. 3i): source lints over every .rs file (unsafe
+                      boundary, SAFETY comments, panic-free library
+                      code, injectable clocks, allocation-free hot
+                      regions) plus abstract interpretation over
+                      compiled communication programs (interval bounds
+                      proofs, scratch lifetimes across the overlap
+                      pipeline, work-stealing transfer safety); exits
+                      nonzero on any violation. --self-test runs the
+                      must-reject corpus sweep for both layers instead
 ";
 
 /// Dispatches a full command line (without argv[0]).
@@ -458,6 +472,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "render" => render(&flags),
         "model" => model(&flags),
         "tune" => tune(&flags),
+        "analyze" => analyze(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -960,11 +975,169 @@ fn render(flags: &Flags) -> Result<String, CliError> {
         }
         at += 1;
     }
+    // xct-allow(no-panic): infallible — the search above only breaks once data is set
     let data = data.expect("bounds checked above");
     let img = Image2D::from_data(side, side, data);
     img.write_pgm(Path::new(&out))
         .map_err(|e| CliError(format!("writing {out}: {e}")))?;
     Ok(format!("rendered slice {slice} ({side}x{side}) to {out}"))
+}
+
+/// Planner seeds the Layer-2 analyze pass sweeps: reproducible
+/// arbitrary topologies and footprints from the verify corpus
+/// generator, each built, compiled, and pushed through every static
+/// check plus the interval/lifetime abstract interpretation.
+const ANALYZE_SEEDS: u64 = 12;
+
+fn analyze(flags: &Flags) -> Result<String, CliError> {
+    let root = PathBuf::from(flags.get("root").unwrap_or("."));
+    if flags.switch("self-test") {
+        return analyze_self_test(&root);
+    }
+    let mut out = String::new();
+
+    // Layer 1: source lints over every workspace `.rs` file.
+    let lint_violations =
+        xct_analyze::analyze_workspace(&root).map_err(|e| CliError(format!("analyze: {e}")))?;
+    for v in &lint_violations {
+        out.push_str(&format!("{v}\n"));
+    }
+    out.push_str(&format!(
+        "layer 1 (source lints): {} violation(s)\n",
+        lint_violations.len()
+    ));
+
+    // Layer 2: abstract interpretation over compiled communication
+    // programs from representative planner topologies, plus the
+    // work-stealing transfer-safety precondition on the socket-local
+    // steal fixture.
+    let mut report = xct_verify::VerifyReport::new();
+    for seed in 0..ANALYZE_SEEDS {
+        let case = xct_verify::corpus::gen_case(seed);
+        let plan = HierarchicalPlan::build(&case.footprints, &case.ownership, &case.topology);
+        let compiled =
+            CompiledPlans::compile_hierarchical(&case.footprints, &case.ownership, &plan);
+        report.merge(xct_verify::verify_all_hierarchical(
+            &case.footprints,
+            &case.ownership,
+            &case.topology,
+            &plan,
+            &compiled,
+            true,
+        ));
+    }
+    let (plans, topo) = xct_verify::corpus::steal_fixture();
+    let steal = xct_verify::SliceSteal {
+        slice: 0,
+        from: 0,
+        to: 1,
+    };
+    let rehomed = xct_verify::rehome_slice(&plans, steal);
+    report.merge(xct_verify::verify_transfer_safety(
+        &plans,
+        &topo,
+        &[0, 1, 2],
+        &rehomed,
+    ));
+    for v in &report.violations {
+        out.push_str(&format!("{v}\n"));
+    }
+    out.push_str(&format!(
+        "layer 2 (abstract interpretation): {ANALYZE_SEEDS} planner topologies + 1 re-homing, {} violation(s)\n",
+        report.violations.len()
+    ));
+
+    if lint_violations.is_empty() && report.ok() {
+        out.push_str("analyze: clean");
+        Ok(out)
+    } else {
+        Err(CliError(out))
+    }
+}
+
+/// `analyze --self-test`: the must-reject sweep over both corpora. A
+/// checker that cannot reject its own seeded violations proves nothing
+/// about a clean workspace.
+fn analyze_self_test(root: &Path) -> Result<String, CliError> {
+    let mut out = String::new();
+
+    // Layer 1: every doctored source artifact must be rejected with
+    // exactly the rule it seeds.
+    let testdata = root.join("crates/analyze/testdata");
+    match xct_analyze::selftest::sweep(&testdata) {
+        Ok(lines) => {
+            for l in &lines {
+                out.push_str(l);
+                out.push('\n');
+            }
+        }
+        Err(failures) => return Err(CliError(failures.join("\n"))),
+    }
+
+    // Layer 2: every mutated compiled program must be rejected with the
+    // seeded violation kind.
+    use xct_verify::corpus as vc;
+    use xct_verify::ViolationKind;
+    let oob = |plans: &CompiledPlans| {
+        xct_verify::verify_bounds(plans)
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::IndexOutOfBounds { .. }))
+    };
+    let steal_has = |triple: &(CompiledPlans, Topology, xct_verify::RehomedSlice),
+                     want: fn(&ViolationKind) -> bool| {
+        let (plans, topo, rehomed) = triple;
+        xct_verify::verify_transfer_safety(plans, topo, &[0, 1], rehomed)
+            .violations
+            .iter()
+            .any(|v| want(&v.kind))
+    };
+    let ops = vc::read_before_finish_schedule();
+    let results = [
+        ("oob-gather", oob(&vc::oob_gather_compiled())),
+        ("oob-recv-landing", oob(&vc::oob_recv_compiled())),
+        ("oob-keep-destination", oob(&vc::oob_keep_compiled())),
+        ("oob-restriction", oob(&vc::oob_restrict_compiled())),
+        (
+            "read-before-finish",
+            xct_verify::verify_scratch_lifetime(0, &ops)
+                .violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::PendingWriteRead { .. })),
+        ),
+        (
+            "cross-socket-steal",
+            steal_has(&vc::cross_socket_steal(), |k| {
+                matches!(k, ViolationKind::CrossSocketSteal { .. })
+            }),
+        ),
+        (
+            "tag-colliding-steal",
+            steal_has(&vc::tag_colliding_steal(), |k| {
+                matches!(k, ViolationKind::TagCollision { .. })
+            }),
+        ),
+        (
+            "truncated-rehoming",
+            steal_has(&vc::truncated_rehoming(), |k| {
+                matches!(k, ViolationKind::RehomingGap { .. })
+            }),
+        ),
+    ];
+    let mut failed = Vec::new();
+    for (name, rejected) in results {
+        if rejected {
+            out.push_str(&format!("corpus/{name}: rejected\n"));
+        } else {
+            failed.push(format!("corpus/{name}: NOT rejected"));
+        }
+    }
+    if failed.is_empty() {
+        out.push_str("analyze --self-test: every corpus artifact rejected");
+        Ok(out)
+    } else {
+        Err(CliError(format!("{out}{}", failed.join("\n"))))
+    }
 }
 
 #[cfg(test)]
@@ -980,6 +1153,35 @@ mod tests {
     fn run_cmd(parts: &[&str]) -> Result<String, CliError> {
         let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
         run(&args)
+    }
+
+    #[test]
+    fn analyze_reports_the_workspace_clean() {
+        let out = run_cmd(&["analyze", "--root", env!("CARGO_MANIFEST_DIR")]).unwrap();
+        assert!(
+            out.contains("layer 1 (source lints): 0 violation(s)"),
+            "{out}"
+        );
+        assert!(out.contains("layer 2 (abstract interpretation)"), "{out}");
+        assert!(out.contains("analyze: clean"), "{out}");
+    }
+
+    #[test]
+    fn analyze_self_test_rejects_every_corpus_artifact() {
+        let out = run_cmd(&[
+            "analyze",
+            "--root",
+            env!("CARGO_MANIFEST_DIR"),
+            "--self-test",
+        ])
+        .unwrap();
+        assert!(out.contains("every corpus artifact rejected"), "{out}");
+        // Both layers' sweeps are present in the transcript.
+        assert!(out.contains("testdata/unsafe_outside.rs"), "{out}");
+        assert!(
+            out.contains("corpus/tag-colliding-steal: rejected"),
+            "{out}"
+        );
     }
 
     #[test]
