@@ -1,14 +1,19 @@
-//! CI validator for the metrics exporters: checks that a
-//! `--metrics-out` JSON file round-trips as `petaxct-metrics-v1` and
-//! that its Prometheus sibling follows the text exposition line format.
+//! CI validator for the telemetry artifacts: checks that a
+//! `--metrics-out` JSON file round-trips as `petaxct-metrics-v1` (with
+//! its Prometheus sibling following the text exposition line format),
+//! or that a `petaxct profile` artifact round-trips as
+//! `petaxct-profile-v1` with a coherent rank/tile grammar.
 //!
-//! Usage: `metrics_check FILE.json [FILE.prom]` (the Prometheus path
-//! defaults to `FILE.json.prom`, matching what the CLI writes). Exits
-//! nonzero with a diagnostic on the first malformed construct.
+//! Usage: `metrics_check FILE.json [FILE.prom]`. The schema tag in the
+//! JSON selects the validator; profile artifacts have no Prometheus
+//! sibling, so the second argument is ignored for them. The Prometheus
+//! path defaults to `FILE.json.prom`, matching what the CLI writes.
+//! Exits nonzero with a diagnostic on the first malformed construct.
 
 #![forbid(unsafe_code)]
 
-use xct_telemetry::Json;
+use xct_plan::ProfileReport;
+use xct_telemetry::{Json, ALL_COMPONENTS, COMPONENT_COUNT};
 
 fn fail(msg: &str) -> ! {
     eprintln!("metrics_check: {msg}");
@@ -171,6 +176,71 @@ fn check_prom(text: &str) -> usize {
     samples
 }
 
+/// `petaxct-profile-v1` checks: the typed decoder's structural
+/// validation (schema tag, tile table vs declared grid, ascending
+/// ranks), a serialize/parse round trip that must reproduce the report,
+/// and the cross-table invariants the artifact builder guarantees —
+/// drift rows enumerate every component in canonical order, each
+/// drift row's measured time equals the sum of that component over the
+/// rank table, the skew's max tile cost is the max of the tile table,
+/// and every zero-slack rank names a rank that exists. Returns the
+/// number of tiles (CI asserts the table is non-trivial).
+fn check_profile(text: &str) -> usize {
+    let report = ProfileReport::parse(text)
+        .unwrap_or_else(|e| fail(&format!("profile does not decode: {e}")));
+    let round = ProfileReport::parse(&report.to_json().to_string())
+        .unwrap_or_else(|e| fail(&format!("profile does not round-trip: {e}")));
+    if round != report {
+        fail("profile round trip changed the report");
+    }
+    if report.drift.len() != COMPONENT_COUNT {
+        fail(&format!(
+            "drift table has {} rows, want one per component ({COMPONENT_COUNT})",
+            report.drift.len()
+        ));
+    }
+    for (row, &component) in report.drift.iter().zip(ALL_COMPONENTS.iter()) {
+        if row.component != component {
+            fail(&format!(
+                "drift rows out of canonical order: found {:?} where {:?} belongs",
+                row.component.as_str(),
+                component.as_str()
+            ));
+        }
+        let rank_sum: u64 = report.ranks.iter().map(|r| r.component_ns(component)).sum();
+        if row.measured_ns != rank_sum {
+            fail(&format!(
+                "drift row {:?} measures {} ns but the rank table sums to {} ns",
+                component.as_str(),
+                row.measured_ns,
+                rank_sum
+            ));
+        }
+    }
+    let max_tile = report.tile_costs_ns.iter().copied().max().unwrap_or(0);
+    if report.skew.max_tile_ns != max_tile {
+        fail(&format!(
+            "skew reports max tile {} ns, tile table maxes at {max_tile} ns",
+            report.skew.max_tile_ns
+        ));
+    }
+    if report
+        .skew
+        .zero_slack_ranks
+        .windows(2)
+        .any(|w| w[0] >= w[1])
+    {
+        fail("zero-slack ranks are not strictly ascending");
+    }
+    let ranks = report.ranks.len() as u32;
+    if let Some(&r) = report.skew.zero_slack_ranks.iter().find(|&&r| r >= ranks) {
+        fail(&format!(
+            "zero-slack rank {r} is outside the {ranks}-rank table"
+        ));
+    }
+    report.tile_costs_ns.len()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = args
@@ -182,6 +252,14 @@ fn main() {
         .unwrap_or_else(|| format!("{json_path}.prom"));
     let json_text = std::fs::read_to_string(json_path)
         .unwrap_or_else(|e| fail(&format!("reading {json_path}: {e}")));
+    let schema = Json::parse(&json_text)
+        .ok()
+        .and_then(|doc| doc.get("schema").and_then(Json::as_str).map(str::to_owned));
+    if schema.as_deref() == Some("petaxct-profile-v1") {
+        let tiles = check_profile(&json_text);
+        println!("metrics_check: {json_path} ok (petaxct-profile-v1, {tiles} tiles)");
+        return;
+    }
     let values = check_json(&json_text);
     let prom_text = std::fs::read_to_string(&prom_path)
         .unwrap_or_else(|e| fail(&format!("reading {prom_path}: {e}")));

@@ -47,7 +47,9 @@ pub struct SliceDecomposition {
 
 impl SliceDecomposition {
     /// Decomposes `scan`'s slice for `plan`: one Hilbert-ordered
-    /// subdomain per rank of the plan's topology.
+    /// subdomain per rank of the plan's topology. A plan carrying
+    /// measured [`xct_plan::TileWeights`] re-runs the tomogram
+    /// partition with them (the `--weights-from` rebalance path).
     pub fn for_plan(
         sm: &SystemMatrix,
         scan: &ScanGeometry,
@@ -55,7 +57,15 @@ impl SliceDecomposition {
         tile: usize,
         kind: CurveKind,
     ) -> Self {
-        Self::build(sm, scan, plan.ranks(), tile, kind)
+        let weights = plan.tile_weights.as_ref().map(|tw| {
+            assert_eq!(
+                tw.tile_size, tile,
+                "plan weights were measured at tile size {}, executor uses {}",
+                tw.tile_size, tile
+            );
+            tw.weights.as_slice()
+        });
+        Self::build_weighted(sm, scan, plan.ranks(), tile, kind, weights)
     }
 
     /// Decomposes `scan`'s slice among `ranks` processes with square
@@ -67,6 +77,21 @@ impl SliceDecomposition {
         tile: usize,
         kind: CurveKind,
     ) -> Self {
+        Self::build_weighted(sm, scan, ranks, tile, kind, None)
+    }
+
+    /// [`SliceDecomposition::build`] with optional measured per-tile
+    /// cost weights (row-major over the tomogram tile grid). Weights
+    /// reshape the *tomogram* partition only — sinogram (ray) ownership
+    /// stays uniform, since the measured skew keys on voxel tiles.
+    pub fn build_weighted(
+        sm: &SystemMatrix,
+        scan: &ScanGeometry,
+        ranks: usize,
+        tile: usize,
+        kind: CurveKind,
+        tile_weights: Option<&[u64]>,
+    ) -> Self {
         assert!(ranks > 0, "need at least one rank");
         let grid = scan.grid;
         let channels = scan.detector.channels;
@@ -74,11 +99,11 @@ impl SliceDecomposition {
 
         // Tomogram-domain ownership.
         let tomo = TileDecomposition::new(Domain2D::new(grid.nx, grid.nz), tile, kind);
-        let voxel_owner: Vec<u32> = tomo
-            .cell_owner_map(ranks)
-            .into_iter()
-            .map(|o| o as u32)
-            .collect();
+        let owner_map = match tile_weights {
+            Some(w) => tomo.cell_owner_map_weighted(ranks, w),
+            None => tomo.cell_owner_map(ranks),
+        };
+        let voxel_owner: Vec<u32> = owner_map.into_iter().map(|o| o as u32).collect();
 
         // Sinogram-domain ownership: width = channels, height = angles;
         // ray id = angle·channels + channel.

@@ -29,7 +29,7 @@ use xct_comm::{
 use xct_exec::{BufferRole, ExecContext, ExecCounters, Telemetry};
 use xct_fp16::{Precision, F16};
 use xct_geometry::{ScanGeometry, SystemMatrix};
-use xct_hilbert::CurveKind;
+use xct_hilbert::{CurveKind, Domain2D, TileDecomposition};
 use xct_plan::ReconPlan;
 use xct_solver::{cgls_in, CglsConfig, LinearOperator, PrecisionOperator};
 
@@ -72,6 +72,11 @@ pub struct DistributedConfig {
     /// any violation. Always on in debug builds; this flag (the CLI's
     /// `--verify-plans`) extends the check to release builds.
     pub verify_plans: bool,
+    /// Measured per-tile cost weights (`--weights-from`): when present,
+    /// the x–z Hilbert partition balances these instead of uniform cell
+    /// counts, so measured-hot tiles get fewer neighbors per rank. The
+    /// weight table's tile size must match [`DistributedConfig::tile`].
+    pub tile_weights: Option<xct_plan::TileWeights>,
 }
 
 impl Default for DistributedConfig {
@@ -89,6 +94,7 @@ impl Default for DistributedConfig {
             shared_bytes: 48 * 1024,
             telemetry: Telemetry::disabled(),
             verify_plans: false,
+            tile_weights: None,
         }
     }
 }
@@ -105,6 +111,7 @@ impl DistributedConfig {
             fusing: plan.fusing,
             hierarchical: plan.hierarchical,
             overlap: plan.overlap,
+            tile_weights: plan.tile_weights.clone(),
             ..Default::default()
         }
     }
@@ -210,6 +217,7 @@ impl RankOperator<'_> {
             self.cfg.overlap,
             &mut st,
             |st: &mut Fwd, f| {
+                self.comm.telemetry().profile_slice_set(f as u32);
                 let xs = &st.x[f * self.owned_vox_len..(f + 1) * self.owned_vox_len];
                 let ps = &mut st.partial[f * self.footprint_len..(f + 1) * self.footprint_len];
                 self.local.apply(xs, ps, st.ctx);
@@ -222,6 +230,7 @@ impl RankOperator<'_> {
                     .expect("local reduction");
             },
             |st, f| -> GlobalInFlight {
+                self.comm.telemetry().profile_slice_set(f as u32);
                 // xct-allow(no-panic): lock poisoning means a sibling pipeline stage already panicked; propagate
                 let mut scratch = self.scratch.lock().expect("scratch mutex");
                 rp.global_begin::<S>(self.comm, &mut scratch, st.undo, slice_salt(f))
@@ -229,6 +238,7 @@ impl RankOperator<'_> {
                     .expect("global exchange post")
             },
             |st, f, inflight| {
+                self.comm.telemetry().profile_slice_set(f as u32);
                 // xct-allow(no-panic): lock poisoning means a sibling pipeline stage already panicked; propagate
                 let mut scratch = self.scratch.lock().expect("scratch mutex");
                 rp.global_finish::<S>(
@@ -293,6 +303,7 @@ impl RankOperator<'_> {
             &mut st,
             |_: &mut Bwd, _| {}, // scatters need no local pre-compute
             |st, f| -> ScatterInFlight {
+                self.comm.telemetry().profile_slice_set(f as u32);
                 let owned = &st.y[f * self.owned_rays_len..(f + 1) * self.owned_rays_len];
                 // xct-allow(no-panic): lock poisoning means a sibling pipeline stage already panicked; propagate
                 let mut scratch = self.scratch.lock().expect("scratch mutex");
@@ -301,6 +312,7 @@ impl RankOperator<'_> {
                     .expect("scatter post")
             },
             |st, f, inflight| {
+                self.comm.telemetry().profile_slice_set(f as u32);
                 let fs = &mut st.footprint[f * self.footprint_len..(f + 1) * self.footprint_len];
                 // xct-allow(no-panic): lock poisoning means a sibling pipeline stage already panicked; propagate
                 let mut scratch = self.scratch.lock().expect("scratch mutex");
@@ -309,6 +321,7 @@ impl RankOperator<'_> {
                     .expect("scatter finish");
             },
             |st, f| {
+                self.comm.telemetry().profile_slice_set(f as u32);
                 let fs = &st.footprint[f * self.footprint_len..(f + 1) * self.footprint_len];
                 self.local.apply_transpose(
                     fs,
@@ -348,6 +361,43 @@ impl LinearOperator for RankOperator<'_> {
     }
 }
 
+/// Flight-records what a measured-weight rebalance actually changed:
+/// how many Hilbert tiles moved to a different rank compared to the
+/// uniform (cell-count) partition, out of how many total. A post-mortem
+/// flight dump then shows whether a `--weights-from` run repartitioned
+/// at all and how aggressively.
+fn record_rebalance_decision(
+    scan: &ScanGeometry,
+    ranks: usize,
+    cfg: &DistributedConfig,
+    weights: &[u64],
+) {
+    if !cfg.telemetry.is_enabled() {
+        return;
+    }
+    let tomo = TileDecomposition::new(
+        Domain2D::new(scan.grid.nx, scan.grid.nz),
+        cfg.tile,
+        CurveKind::Hilbert,
+    );
+    let mut uniform_owner = std::collections::HashMap::new();
+    for sd in tomo.partition(ranks) {
+        for t in sd.tiles {
+            uniform_owner.insert((t.tx, t.ty), sd.id);
+        }
+    }
+    let mut moved = 0u64;
+    for sd in tomo.partition_weighted(ranks, weights) {
+        for t in sd.tiles {
+            if uniform_owner.get(&(t.tx, t.ty)) != Some(&sd.id) {
+                moved += 1;
+            }
+        }
+    }
+    cfg.telemetry
+        .flight_point("rebalance.decision", moved, tomo.num_tiles() as u64);
+}
+
 /// Runs a complete distributed reconstruction of `fusing` slices that
 /// share the geometry `scan`. `sinogram` is slice-major
 /// (`fusing × num_rays`). Returns the assembled volume.
@@ -363,7 +413,22 @@ pub fn reconstruct_distributed(
         "sinogram length mismatch"
     );
     let ranks = cfg.topology.size();
-    let decomp = SliceDecomposition::build(&sm, scan, ranks, cfg.tile, CurveKind::Hilbert);
+    if let Some(tw) = &cfg.tile_weights {
+        assert_eq!(
+            tw.tile_size, cfg.tile,
+            "weights were measured at tile size {}, run uses {}",
+            tw.tile_size, cfg.tile
+        );
+        record_rebalance_decision(scan, ranks, cfg, &tw.weights);
+    }
+    let decomp = SliceDecomposition::build_weighted(
+        &sm,
+        scan,
+        ranks,
+        cfg.tile,
+        CurveKind::Hilbert,
+        cfg.tile_weights.as_ref().map(|tw| tw.weights.as_slice()),
+    );
     let ownership = decomp.ray_ownership();
     let direct = DirectPlan::build(&decomp.footprints, &ownership);
     let hier = HierarchicalPlan::build(&decomp.footprints, &ownership, &cfg.topology);
@@ -875,6 +940,90 @@ mod tests {
             .filter(|e| e.name == "cgls.residual")
             .count();
         assert_eq!(events, 3 * cfg.topology.size());
+    }
+
+    #[test]
+    fn profiled_run_attributes_spmm_cost_to_every_rank_and_slice() {
+        use xct_exec::Telemetry;
+        use xct_telemetry::{CostComponent, ProfileDims};
+        let scan = ScanGeometry::uniform(ImageGrid::square(12, 1.0), 12);
+        let fusing = 2;
+        let (_, _, y) = phantom_sinogram(&scan, fusing);
+        let telemetry = Telemetry::enabled();
+        assert!(telemetry.enable_profile(ProfileDims {
+            tracks: 4,
+            slabs: 1,
+            slices: fusing,
+        }));
+        let cfg = DistributedConfig {
+            topology: Topology::new(1, 2, 2),
+            precision: Precision::Single,
+            fusing,
+            hierarchical: true,
+            iterations: 2,
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let _ = reconstruct_distributed(&scan, &y, &cfg);
+        let profile = telemetry.profile_snapshot().expect("profiling enabled");
+        for rank in 0..4 {
+            assert!(
+                profile.track_component_ns(rank, CostComponent::SpmmCompute) > 0,
+                "rank {rank} recorded no SpMM cost"
+            );
+            assert!(
+                profile.track_component_ns(rank, CostComponent::ReduceSocket) > 0,
+                "rank {rank} recorded no socket-reduce cost"
+            );
+            // Both fused slices attract SpMM cost on the slab-0 key.
+            for slice in 0..fusing {
+                assert!(
+                    profile.get(rank, 0, slice, CostComponent::SpmmCompute) > 0,
+                    "rank {rank} slice {slice} unattributed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_run_rebalances_and_flight_records_the_decision() {
+        use xct_exec::Telemetry;
+        use xct_telemetry::FlightKind;
+        let scan = ScanGeometry::uniform(ImageGrid::square(16, 1.0), 20);
+        let (sm, x_true, y) = phantom_sinogram(&scan, 1);
+        // A sharply skewed weight table: the first curve-order tiles are
+        // two orders of magnitude hotter than the rest.
+        let side = 16usize.div_ceil(4);
+        let mut weights = vec![10u64; side * side];
+        weights[0] = 1_000;
+        weights[1] = 1_000;
+        let telemetry = Telemetry::enabled();
+        let cfg = DistributedConfig {
+            topology: Topology::new(1, 2, 2),
+            precision: Precision::Single,
+            iterations: 20,
+            hierarchical: true,
+            telemetry: telemetry.clone(),
+            tile_weights: Some(xct_plan::TileWeights {
+                tile_size: 4,
+                weights,
+            }),
+            ..Default::default()
+        };
+        let dist = reconstruct_distributed(&scan, &y, &cfg);
+        // The repartitioned run still reconstructs the phantom.
+        let _ = sm;
+        let err = rel_err(&dist.x, &x_true);
+        assert!(err < 0.15, "weighted reconstruction error {err}");
+        // The flight recorder kept the rebalance decision: some tiles
+        // moved, out of the full 4x4 grid.
+        let decision = telemetry
+            .flight_snapshot()
+            .into_iter()
+            .find(|e| e.kind == FlightKind::Point && e.code == "rebalance.decision")
+            .expect("rebalance decision recorded");
+        assert_eq!(decision.b, (side * side) as u64);
+        assert!(decision.a > 0, "skewed weights must move at least one tile");
     }
 
     #[test]

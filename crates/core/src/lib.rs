@@ -17,6 +17,10 @@
 //! * [`model`] — the paper-scale estimator: Table I complexity + measured
 //!   kernel/communication shapes mapped through the machine model, for
 //!   the Summit-sized experiments (Tables III–IV, Figs 10–12),
+//! * [`drift`] — the `petaxct-profile-v1` artifact builder: measured
+//!   per-component costs joined with causal slack, per-tile costs
+//!   derived from the operator's nonzero distribution, and the
+//!   model-vs-measured drift table,
 //! * [`Reconstructor`] — the single-call public API used by the examples.
 //!
 //! # Execution contexts
@@ -39,6 +43,7 @@
 pub mod checkpoint;
 pub mod decompose;
 pub mod distributed;
+pub mod drift;
 pub mod model;
 pub mod partition;
 pub mod pipeline;
@@ -46,6 +51,7 @@ mod recon;
 pub mod stream;
 pub mod volume;
 
+pub use drift::{build_profile_report, model_shares, ProfileInputs};
 pub use partition::{Partitioning, TableIComplexity};
 pub use recon::{Algorithm, ReconOptions, Reconstructor};
 pub use stream::{reconstruct_planned, PlannedOutcome, PlannedStats};

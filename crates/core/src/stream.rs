@@ -122,6 +122,13 @@ pub fn reconstruct_planned(
         cfg_base.block_size = shape.block_size;
         cfg_base.shared_bytes = shape.shared_bytes;
     }
+    if let Some(tw) = &plan.tile_weights {
+        // Measured tile weights travel with the plan (petaxct profile →
+        // --weights-from); the decomposition must run at the tile size
+        // they were measured against.
+        cfg_base.tile = tw.tile_size;
+        cfg_base.tile_weights = Some(tw.clone());
+    }
     let telemetry = cfg_base.telemetry.clone();
     let streamed = plan.streaming();
 
@@ -154,6 +161,7 @@ pub fn reconstruct_planned(
     // xct-hot
     for slab in &plan.slabs {
         telemetry.gauge_set(MetricId::StreamSlabCurrent, slab.index as f64);
+        telemetry.profile_slab_set(slab.index as u32);
         let data = {
             let _io = telemetry.span(Phase::Io);
             input.next(slab.len)?

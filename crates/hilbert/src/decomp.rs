@@ -167,33 +167,80 @@ impl TileDecomposition {
     /// process load. Every tile lands in exactly one subdomain; subdomain
     /// count may be less than `parts` only when there are fewer tiles.
     pub fn partition(&self, parts: usize) -> Vec<Subdomain> {
+        self.partition_with(parts, |t| self.tile_cells(t) as u64)
+    }
+
+    /// Splits the curve-ordered tiles into `parts` contiguous subdomains
+    /// balanced by *measured weights* instead of cell counts (the
+    /// offline-rebalance path: weights are per-tile nanoseconds from a
+    /// `petaxct-profile-v1` artifact).
+    ///
+    /// `weights` is indexed row-major by tile-grid position
+    /// (`ty * tiles_x + tx`) and must cover the whole grid. Exactly the
+    /// same prefix-target walk as [`TileDecomposition::partition`], so
+    /// passing each tile's cell count reproduces the uniform partition
+    /// bit for bit. An all-zero weight table carries no information and
+    /// falls back to the uniform cell-count partition; zero-weight runs
+    /// inside an otherwise-informative table are legal (tiles are still
+    /// conserved — any residue past the last target lands on the last
+    /// part).
+    pub fn partition_weighted(&self, parts: usize, weights: &[u64]) -> Vec<Subdomain> {
+        assert_eq!(
+            weights.len(),
+            self.tiles_x * self.tiles_y,
+            "weight table must cover the {}x{} tile grid",
+            self.tiles_x,
+            self.tiles_y
+        );
+        let total: u64 = self
+            .order
+            .iter()
+            .map(|&t| weights[t.ty * self.tiles_x + t.tx])
+            .sum();
+        if total == 0 {
+            return self.partition(parts);
+        }
+        self.partition_with(parts, |t| weights[t.ty * self.tiles_x + t.tx])
+    }
+
+    /// The prefix-target walk shared by the uniform and weighted
+    /// partitions: greedy contiguous runs along the curve order, cut at
+    /// ideal cumulative-weight boundaries with an overshoot/undershoot
+    /// tie-break. Targets are computed in `u128` so nanosecond-scale
+    /// weight totals cannot overflow the `total * (id + 1)` product.
+    fn partition_with(&self, parts: usize, weight_of: impl Fn(TileCoord) -> u64) -> Vec<Subdomain> {
         assert!(parts > 0, "cannot partition into zero parts");
-        let total_cells = self.domain.cells();
+        let total_weight: u64 = self.order.iter().map(|&t| weight_of(t)).sum();
         let mut subdomains: Vec<Subdomain> = Vec::with_capacity(parts);
         let mut iter = self.order.iter().copied().peekable();
-        let mut cells_used = 0usize;
+        let mut weight_used = 0u64;
         for id in 0..parts {
             // Ideal prefix boundary for partitions 0..=id.
-            let target = (total_cells * (id + 1)).div_ceil(parts);
+            let target = (u128::from(total_weight) * (id as u128 + 1)).div_ceil(parts as u128);
+            // xct-allow(no-panic): target <= total_weight, which fits u64
+            let target = u64::try_from(target).unwrap();
             let mut tiles = Vec::new();
             let mut cells = 0usize;
+            let mut weight = 0u64;
             while let Some(&t) = iter.peek() {
-                let tc = self.tile_cells(t);
+                let tw = weight_of(t);
                 // Take the tile if we have not reached the boundary, or if
                 // taking it overshoots less than leaving it undershoots.
-                let without = target.saturating_sub(cells_used + cells);
-                let with = (cells_used + cells + tc).saturating_sub(target);
-                if cells_used + cells >= target || (with > without && !tiles.is_empty()) {
+                let without = target.saturating_sub(weight_used + weight);
+                let with = (weight_used + weight + tw).saturating_sub(target);
+                if weight_used + weight >= target || (with > without && !tiles.is_empty()) {
                     break;
                 }
                 tiles.push(t);
-                cells += tc;
+                cells += self.tile_cells(t);
+                weight += tw;
                 iter.next();
             }
-            cells_used += cells;
+            weight_used += weight;
             subdomains.push(Subdomain { id, tiles, cells });
         }
-        // Any residue (possible only from rounding) goes to the last part.
+        // Any residue (rounding, or zero-weight tiles past the last
+        // boundary) goes to the last part.
         if let Some(last) = subdomains.last_mut() {
             for t in iter {
                 last.cells += self.tile_cells(t);
@@ -254,8 +301,18 @@ impl TileDecomposition {
 
     /// Builds a dense cell → partition-id map for `parts` partitions.
     pub fn cell_owner_map(&self, parts: usize) -> Vec<usize> {
+        Self::owner_map_of(self, self.partition(parts))
+    }
+
+    /// Builds a dense cell → partition-id map for a *weighted* partition
+    /// (see [`TileDecomposition::partition_weighted`]).
+    pub fn cell_owner_map_weighted(&self, parts: usize, weights: &[u64]) -> Vec<usize> {
+        Self::owner_map_of(self, self.partition_weighted(parts, weights))
+    }
+
+    fn owner_map_of(&self, subdomains: Vec<Subdomain>) -> Vec<usize> {
         let mut owner = vec![usize::MAX; self.domain.cells()];
-        for sub in self.partition(parts) {
+        for sub in subdomains {
             for &t in &sub.tiles {
                 for (x, y) in self.tile_cell_coords(t) {
                     owner[y * self.domain.width + x] = sub.id;
@@ -383,6 +440,119 @@ mod tests {
         assert_eq!(subs.len(), 4);
         assert_eq!(subs[0].tiles.len(), 1);
         assert!(subs[1..].iter().all(|s| s.tiles.is_empty()));
+    }
+
+    #[test]
+    fn cell_count_weights_reproduce_the_uniform_partition_exactly() {
+        for &(w, h, tile) in &[(64, 64, 8), (100, 60, 16), (33, 17, 8)] {
+            let d = decomp(w, h, tile);
+            let (tx, ty) = d.tile_grid();
+            let mut weights = vec![0u64; tx * ty];
+            for &t in d.ordered_tiles() {
+                weights[t.ty * tx + t.tx] = d.tile_cells(t) as u64;
+            }
+            for parts in [1usize, 2, 3, 7] {
+                let uniform = d.partition(parts);
+                let weighted = d.partition_weighted(parts, &weights);
+                for (u, v) in uniform.iter().zip(&weighted) {
+                    assert_eq!(u.tiles, v.tiles, "{w}x{h}/{tile} parts={parts}");
+                    assert_eq!(u.cells, v.cells);
+                }
+                assert_eq!(
+                    d.cell_owner_map(parts),
+                    d.cell_owner_map_weighted(parts, &weights)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_weights_shrink_the_hot_partition() {
+        let d = decomp(64, 64, 8); // 8x8 tiles
+        let (tx, _) = d.tile_grid();
+        // Make the first curve-ordered tile 10x the cost of the rest.
+        let mut weights = vec![1u64; 64];
+        let hot = d.ordered_tiles()[0];
+        weights[hot.ty * tx + hot.tx] = 10;
+        let subs = d.partition_weighted(4, &weights);
+        let total: usize = subs.iter().map(|s| s.tiles.len()).sum();
+        assert_eq!(total, d.num_tiles(), "tiles conserved");
+        // The part owning the hot tile carries fewer tiles than average.
+        let hot_part = subs
+            .iter()
+            .find(|s| s.tiles.contains(&hot))
+            .expect("hot tile owned");
+        assert!(
+            hot_part.tiles.len() < 64 / 4,
+            "hot part holds {} tiles",
+            hot_part.tiles.len()
+        );
+    }
+
+    #[test]
+    fn weighted_partition_strictly_reduces_max_rank_cost_on_a_skewed_table() {
+        let d = decomp(64, 64, 8); // 8x8 tiles
+        let (tx, _) = d.tile_grid();
+        // A smooth skew: cost grows with curve position, like a detector
+        // hot spot smeared across one corner of the domain.
+        let mut weights = vec![0u64; d.num_tiles()];
+        for (i, t) in d.ordered_tiles().iter().enumerate() {
+            weights[t.ty * tx + t.tx] = 100 + (i as u64) * 10;
+        }
+        let max_rank_cost = |subs: &[Subdomain]| -> u64 {
+            subs.iter()
+                .map(|s| {
+                    s.tiles
+                        .iter()
+                        .map(|t| weights[t.ty * tx + t.tx])
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap()
+        };
+        let uniform = max_rank_cost(&d.partition(4));
+        let weighted = max_rank_cost(&d.partition_weighted(4, &weights));
+        assert!(
+            weighted < uniform,
+            "weighted max-rank cost {weighted} is not strictly below uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let d = decomp(64, 48, 8);
+        let weights = vec![0u64; d.num_tiles()];
+        let uniform = d.partition(6);
+        let weighted = d.partition_weighted(6, &weights);
+        for (u, v) in uniform.iter().zip(&weighted) {
+            assert_eq!(u.tiles, v.tiles);
+        }
+    }
+
+    #[test]
+    fn single_hot_tile_degeneracy_conserves_tiles() {
+        let d = decomp(32, 32, 8); // 4x4 tiles
+        let (tx, _) = d.tile_grid();
+        let mut weights = vec![0u64; 16];
+        let hot = d.ordered_tiles()[5];
+        weights[hot.ty * tx + hot.tx] = 1_000_000;
+        let subs = d.partition_weighted(4, &weights);
+        let mut seen = std::collections::HashSet::new();
+        for s in &subs {
+            for &t in &s.tiles {
+                assert!(seen.insert(t), "tile {t:?} duplicated");
+            }
+        }
+        assert_eq!(seen.len(), d.num_tiles(), "every tile owned exactly once");
+        let cells: usize = subs.iter().map(|s| s.cells).sum();
+        assert_eq!(cells, d.domain().cells());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight table must cover")]
+    fn short_weight_table_rejected() {
+        let d = decomp(32, 32, 8);
+        d.partition_weighted(2, &[1, 2, 3]);
     }
 
     #[test]

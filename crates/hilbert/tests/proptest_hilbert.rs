@@ -79,6 +79,102 @@ proptest! {
         }
     }
 
+    /// Weighted partitions conserve the domain for arbitrary weight
+    /// tables (zeros included): every tile lands in exactly one
+    /// subdomain, every cell is owned exactly once, and the subdomain
+    /// count equals the requested part count.
+    #[test]
+    fn weighted_partition_exact_cover(
+        (w, h, tile, parts, weights) in (1usize..80, 1usize..80, 1usize..16, 1usize..12)
+            .prop_flat_map(|(w, h, tile, parts)| {
+                let tiles = w.div_ceil(tile) * h.div_ceil(tile);
+                (
+                    Just(w),
+                    Just(h),
+                    Just(tile),
+                    Just(parts),
+                    prop::collection::vec(0u64..5_000, tiles..=tiles),
+                )
+            })
+    ) {
+        let d = TileDecomposition::new(Domain2D::new(w, h), tile, CurveKind::Hilbert);
+        let subs = d.partition_weighted(parts, &weights);
+        prop_assert_eq!(subs.len(), parts);
+        let mut seen = vec![false; w * h];
+        for sub in &subs {
+            for &t in &sub.tiles {
+                for (x, y) in d.tile_cell_coords(t) {
+                    prop_assert!(!seen[y * w + x], "cell owned twice");
+                    seen[y * w + x] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "cells left unowned");
+        let cells: usize = subs.iter().map(|s| s.cells).sum();
+        prop_assert_eq!(cells, w * h);
+    }
+
+    /// Feeding each tile's cell count back as its weight reproduces the
+    /// uniform partition bit for bit — the weighted walk is a strict
+    /// generalization, not a parallel implementation that can drift.
+    #[test]
+    fn cell_count_weights_match_uniform_for_any_shape(
+        w in 1usize..80,
+        h in 1usize..80,
+        tile in 1usize..16,
+        parts in 1usize..12,
+    ) {
+        let d = TileDecomposition::new(Domain2D::new(w, h), tile, CurveKind::Hilbert);
+        let (tx, _) = d.tile_grid();
+        let mut weights = vec![0u64; d.num_tiles()];
+        for &t in d.ordered_tiles() {
+            weights[t.ty * tx + t.tx] = d.tile_cells(t) as u64;
+        }
+        let uniform = d.partition(parts);
+        let weighted = d.partition_weighted(parts, &weights);
+        for (u, v) in uniform.iter().zip(&weighted) {
+            prop_assert_eq!(&u.tiles, &v.tiles);
+            prop_assert_eq!(u.cells, v.cells);
+        }
+        prop_assert_eq!(
+            d.cell_owner_map(parts),
+            d.cell_owner_map_weighted(parts, &weights)
+        );
+    }
+
+    /// The two degenerate tables: all-zero weights carry no information
+    /// and must fall back to the uniform partition; a single hot tile
+    /// (every other weight zero) must still conserve the domain.
+    #[test]
+    fn degenerate_weight_tables_stay_sound(
+        w in 1usize..80,
+        h in 1usize..80,
+        tile in 1usize..16,
+        parts in 1usize..12,
+        hot_seed in any::<u64>(),
+    ) {
+        let d = TileDecomposition::new(Domain2D::new(w, h), tile, CurveKind::Hilbert);
+        let (tx, _) = d.tile_grid();
+        let zeros = vec![0u64; d.num_tiles()];
+        let uniform = d.partition(parts);
+        for (u, v) in uniform.iter().zip(&d.partition_weighted(parts, &zeros)) {
+            prop_assert_eq!(&u.tiles, &v.tiles);
+        }
+        let hot = d.ordered_tiles()[(hot_seed % d.num_tiles() as u64) as usize];
+        let mut single = vec![0u64; d.num_tiles()];
+        single[hot.ty * tx + hot.tx] = u64::from(u32::MAX);
+        let subs = d.partition_weighted(parts, &single);
+        let mut owned = std::collections::HashSet::new();
+        for sub in &subs {
+            for &t in &sub.tiles {
+                prop_assert!(owned.insert(t), "tile owned twice");
+            }
+        }
+        prop_assert_eq!(owned.len(), d.num_tiles());
+        let cells: usize = subs.iter().map(|s| s.cells).sum();
+        prop_assert_eq!(cells, w * h);
+    }
+
     /// The owner map agrees with tile_rank ordering: cells of lower-rank
     /// tiles never belong to a higher partition than later cells.
     #[test]

@@ -22,9 +22,11 @@
 #![warn(missing_docs)]
 
 pub mod partition;
+pub mod profile;
 pub mod tune;
 
 pub use partition::{Partitioning, TableIComplexity};
+pub use profile::{ComponentDrift, ProfileReport, RankCost, SkewReport, PROFILE_SCHEMA};
 pub use tune::{KernelShape, TunePoint, TuneReport, TUNE_SCHEMA};
 
 use xct_cluster::MachineSpec;
@@ -68,6 +70,37 @@ pub struct SlabPlan {
     pub residency: Residency,
 }
 
+/// Measured per-tile cost weights for the x–z Hilbert decomposition,
+/// extracted from a `petaxct-profile-v1` artifact (`--weights-from`).
+///
+/// `weights[ty * tiles_x + tx]` is the measured cost (nanoseconds) of
+/// the tile at grid position `(tx, ty)`, row-major over the
+/// `ceil(n / tile_size)²` tile grid of one slice plane. A plan carrying
+/// weights re-runs the Hilbert partition with these instead of uniform
+/// cell counts, shrinking the tile runs of measured-hot ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileWeights {
+    /// Side length of the square Hilbert tiles the weights were
+    /// measured against. The executor must decompose with this same
+    /// tile size for the grid indices to line up.
+    pub tile_size: usize,
+    /// Row-major per-tile cost table over the full tile grid.
+    pub weights: Vec<u64>,
+}
+
+impl TileWeights {
+    /// Tiles per axis for a grid side of `n` cells.
+    pub fn grid_side(&self, n: usize) -> usize {
+        n.div_ceil(self.tile_size)
+    }
+
+    /// The number of weights a square `n × n` plane requires.
+    pub fn expected_len(&self, n: usize) -> usize {
+        let side = self.grid_side(n);
+        side * side
+    }
+}
+
 /// The complete, checkable description of how one reconstruction runs:
 /// topology mapping, x–z partitioning, precision, fused-slice count,
 /// per-slab residency, and the budget the plan was made against.
@@ -100,9 +133,20 @@ pub struct ReconPlan {
     /// Tuned kernel tile shape (from a `petaxct-tune-v1` artifact via
     /// `--tune-from`); `None` leaves the executor's defaults in place.
     pub kernel: Option<KernelShape>,
+    /// Measured per-tile cost weights (from a `petaxct-profile-v1`
+    /// artifact via `--weights-from`); `None` keeps the uniform
+    /// cell-count Hilbert partition.
+    pub tile_weights: Option<TileWeights>,
 }
 
 impl ReconPlan {
+    /// Stamps measured tile weights onto the plan (builder style); the
+    /// executor re-runs the Hilbert decomposition with them.
+    pub fn with_tile_weights(mut self, weights: TileWeights) -> ReconPlan {
+        self.tile_weights = Some(weights);
+        self
+    }
+
     /// Ranks executing the plan.
     pub fn ranks(&self) -> usize {
         self.topology.size()
@@ -256,6 +300,7 @@ impl Planner {
             dims,
             angles: angle_count,
             kernel: self.kernel,
+            tile_weights: None,
         };
         let cap = self.max_fusing.min(dims.slices).min(MAX_FUSING_TAGS);
         let fusing = match budget_bytes {
@@ -336,6 +381,7 @@ impl Planner {
             },
             angles: projections,
             kernel: self.kernel,
+            tile_weights: None,
         }
     }
 }

@@ -33,6 +33,12 @@
 //!   JSON ([`metrics_series_json`]), Prometheus text
 //!   ([`prometheus_text`]), CSV ([`metrics_csv`]), or the human
 //!   [`render_progress`] line.
+//! * Cost profiler — [`Telemetry::enable_profile`] installs a
+//!   preallocated slab of relaxed atomics that attributes every span's
+//!   *self* time to a [`CostComponent`] keyed by (track, streamed slab,
+//!   fused slice); [`Telemetry::profile_snapshot`] copies it out as a
+//!   [`ProfileSnapshot`] for the `petaxct-profile-v1` drift/skew
+//!   artifact. Unprofiled and disabled handles pay one atomic load.
 //! * Flight recorder — each track keeps its last [`FLIGHT_CAPACITY`]
 //!   spans/events/metric updates in a preallocated ring
 //!   ([`FlightEvent`]); [`Telemetry::flight_dump_json`] and
@@ -49,6 +55,7 @@ mod histogram;
 mod json;
 mod metrics;
 mod phase;
+mod profile;
 mod report;
 mod sampler;
 mod span;
@@ -62,6 +69,7 @@ pub use histogram::{DurationHistogram, PhaseHistograms};
 pub use json::Json;
 pub use metrics::{MetricId, MetricKind, MetricsSnapshot, TrackMetricsSnapshot, ALL_METRICS};
 pub use phase::Phase;
+pub use profile::{CostComponent, ProfileDims, ProfileSnapshot, ALL_COMPONENTS, COMPONENT_COUNT};
 pub use report::{chrome_trace, fmt_ns, Breakdown, PhaseStat};
 pub use sampler::{metrics_csv, metrics_series_json, prometheus_text, render_progress, Sampler};
 pub use span::{EdgeRecord, EventRecord, SpanGuard, SpanRecord, Telemetry, TelemetrySnapshot};

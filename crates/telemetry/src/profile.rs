@@ -1,0 +1,344 @@
+//! Hierarchical cost profiling: preallocated per-track cost slabs.
+//!
+//! The profiler attributes span *self time* (duration minus enclosed
+//! child spans) to a fixed [`CostComponent`] taxonomy, keyed by
+//! `(track, slab, fused-slice)`. Storage is a single flat slab of
+//! relaxed atomics sized once at [`crate::Telemetry::enable_profile`]
+//! time, so recording from `// xct-hot` regions is a bounds check plus
+//! one `fetch_add` — no locks, no allocation. When profiling is not
+//! enabled the cost on every span close is a single `OnceLock::get`
+//! returning `None`.
+//!
+//! Per-*tile* costs are deliberately **not** timed here: timing
+//! individual Hilbert tiles inside the SpMM would change the summation
+//! order and break bit-identity. Instead the artifact builder
+//! (`xct-core`) spreads a rank's measured SpMM nanoseconds over its
+//! tiles proportionally to per-tile nonzeros — see DESIGN.md §3j.
+
+use crate::Phase;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// The cost components the profiler attributes self time to.
+///
+/// The dotted names returned by [`CostComponent::as_str`] are part of
+/// the `petaxct-profile-v1` schema contract; add variants rather than
+/// renaming.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostComponent {
+    /// Forward/transpose SpMM kernel self time.
+    SpmmCompute,
+    /// Precision gather/convert staging self time.
+    GatherConvert,
+    /// Intra-socket reduction self time.
+    ReduceSocket,
+    /// Intra-node (cross-socket) reduction self time.
+    ReduceNode,
+    /// Global exchange self time (inter-node reduce, halo scatter,
+    /// control-plane collectives).
+    ReduceGlobal,
+    /// Blocking waits on in-flight exchanges.
+    CommWait,
+    /// Sinogram-read / slice-write stalls.
+    IoStall,
+}
+
+/// Every component, in storage order.
+pub const ALL_COMPONENTS: [CostComponent; COMPONENT_COUNT] = [
+    CostComponent::SpmmCompute,
+    CostComponent::GatherConvert,
+    CostComponent::ReduceSocket,
+    CostComponent::ReduceNode,
+    CostComponent::ReduceGlobal,
+    CostComponent::CommWait,
+    CostComponent::IoStall,
+];
+
+/// Number of cost components (the innermost storage stride).
+pub const COMPONENT_COUNT: usize = 7;
+
+impl CostComponent {
+    /// The stable dotted name used in the `petaxct-profile-v1` artifact.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CostComponent::SpmmCompute => "spmm.compute",
+            CostComponent::GatherConvert => "gather.convert",
+            CostComponent::ReduceSocket => "reduce.socket",
+            CostComponent::ReduceNode => "reduce.node",
+            CostComponent::ReduceGlobal => "reduce.global",
+            CostComponent::CommWait => "comm.wait",
+            CostComponent::IoStall => "io.stall",
+        }
+    }
+
+    /// This component's index in [`ALL_COMPONENTS`] (the storage slot).
+    pub fn index(self) -> usize {
+        match self {
+            CostComponent::SpmmCompute => 0,
+            CostComponent::GatherConvert => 1,
+            CostComponent::ReduceSocket => 2,
+            CostComponent::ReduceNode => 3,
+            CostComponent::ReduceGlobal => 4,
+            CostComponent::CommWait => 5,
+            CostComponent::IoStall => 6,
+        }
+    }
+
+    /// Parses a dotted component name back into a component.
+    pub fn parse(name: &str) -> Option<CostComponent> {
+        ALL_COMPONENTS.iter().copied().find(|c| c.as_str() == name)
+    }
+
+    /// Maps a span phase to the component its self time is charged to.
+    ///
+    /// Phases outside the cost taxonomy (solver bookkeeping, `Total`,
+    /// custom phases) return `None` and are not attributed — their
+    /// self time is orchestration, not per-tile cost.
+    pub fn from_phase(phase: Phase) -> Option<CostComponent> {
+        match phase {
+            Phase::SpmmForward | Phase::SpmmTranspose => Some(CostComponent::SpmmCompute),
+            Phase::PrecisionConvert => Some(CostComponent::GatherConvert),
+            Phase::ReduceSocket => Some(CostComponent::ReduceSocket),
+            Phase::ReduceNode => Some(CostComponent::ReduceNode),
+            Phase::ReduceGlobal | Phase::HaloExchange | Phase::Allreduce => {
+                Some(CostComponent::ReduceGlobal)
+            }
+            Phase::CommWait => Some(CostComponent::CommWait),
+            Phase::Io => Some(CostComponent::IoStall),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CostComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The key-space extents a profile slab is sized for.
+///
+/// Costs recorded with a track, slab, or slice index outside these
+/// extents are dropped (never reallocated): the slab is sized once,
+/// before any rank thread runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfileDims {
+    /// Number of tracks (ranks, plus the caller's track 0).
+    pub tracks: usize,
+    /// Number of streamed slabs (1 for resident runs).
+    pub slabs: usize,
+    /// Fused slices per slab (the fusing factor).
+    pub slices: usize,
+}
+
+impl ProfileDims {
+    /// Total number of `(track, slab, slice, component)` cells.
+    pub fn cell_count(&self) -> usize {
+        self.tracks * self.slabs * self.slices * COMPONENT_COUNT
+    }
+}
+
+/// Preallocated cost storage shared by every track of one collector.
+///
+/// The *slab* context is collector-global (the streaming loop runs one
+/// slab at a time and re-forks rank handles per slab); the *slice*
+/// context is per-track (pipelined ranks work different fused slices
+/// concurrently) and lives on the track handle.
+pub(crate) struct ProfileSlabs {
+    tracks: usize,
+    slabs: usize,
+    slices: usize,
+    /// Current streamed-slab index, set by the streaming loop.
+    slab_ctx: AtomicU32,
+    /// Flat `[track][slab][slice][component]` nanosecond accumulators.
+    cells: Vec<AtomicU64>,
+}
+
+impl ProfileSlabs {
+    pub(crate) fn new(dims: ProfileDims) -> ProfileSlabs {
+        let mut cells = Vec::with_capacity(dims.cell_count());
+        cells.resize_with(dims.cell_count(), || AtomicU64::new(0));
+        ProfileSlabs {
+            tracks: dims.tracks,
+            slabs: dims.slabs,
+            slices: dims.slices,
+            slab_ctx: AtomicU32::new(0),
+            cells,
+        }
+    }
+
+    pub(crate) fn set_slab(&self, slab: u32) {
+        self.slab_ctx.store(slab, Ordering::Relaxed);
+    }
+
+    /// Charges `ns` to `(track, current slab, slice, component)`.
+    /// Out-of-range keys are dropped, never resized.
+    pub(crate) fn record(&self, track: u32, slice: u32, component: CostComponent, ns: u64) {
+        let (track, slice) = (track as usize, slice as usize);
+        let slab = self.slab_ctx.load(Ordering::Relaxed) as usize;
+        if track >= self.tracks || slab >= self.slabs || slice >= self.slices {
+            return;
+        }
+        let index = ((track * self.slabs + slab) * self.slices + slice) * COMPONENT_COUNT
+            + component.index();
+        self.cells[index].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            tracks: self.tracks,
+            slabs: self.slabs,
+            slices: self.slices,
+            cells: self
+                .cells
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the profile slab.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Track extent the slab was sized for.
+    pub tracks: usize,
+    /// Slab extent.
+    pub slabs: usize,
+    /// Fused-slice extent.
+    pub slices: usize,
+    /// Flat `[track][slab][slice][component]` nanoseconds; length is
+    /// `tracks * slabs * slices * COMPONENT_COUNT`.
+    pub cells: Vec<u64>,
+}
+
+impl ProfileSnapshot {
+    /// The nanoseconds charged to one `(track, slab, slice, component)`
+    /// cell, or 0 when the key is out of range.
+    pub fn get(&self, track: usize, slab: usize, slice: usize, component: CostComponent) -> u64 {
+        if track >= self.tracks || slab >= self.slabs || slice >= self.slices {
+            return 0;
+        }
+        let index = ((track * self.slabs + slab) * self.slices + slice) * COMPONENT_COUNT
+            + component.index();
+        self.cells.get(index).copied().unwrap_or(0)
+    }
+
+    /// Total nanoseconds charged to `component` on `track`, summed over
+    /// every slab and slice.
+    pub fn track_component_ns(&self, track: usize, component: CostComponent) -> u64 {
+        let mut total = 0u64;
+        for slab in 0..self.slabs {
+            for slice in 0..self.slices {
+                total += self.get(track, slab, slice, component);
+            }
+        }
+        total
+    }
+
+    /// Total nanoseconds charged to `component` across all keys.
+    pub fn component_ns(&self, component: CostComponent) -> u64 {
+        (0..self.tracks)
+            .map(|t| self.track_component_ns(t, component))
+            .sum()
+    }
+
+    /// Sum over every cell: the profiler's total attributed time.
+    pub fn total_ns(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// Whether any cost at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(|&c| c == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_names_and_indices_are_a_dense_bijection() {
+        for (i, c) in ALL_COMPONENTS.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(CostComponent::parse(c.as_str()), Some(*c));
+        }
+        let mut names: Vec<&str> = ALL_COMPONENTS.iter().map(|c| c.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COMPONENT_COUNT);
+        assert_eq!(CostComponent::parse("no.such.component"), None);
+    }
+
+    #[test]
+    fn phase_mapping_covers_the_cost_taxonomy_and_skips_orchestration() {
+        assert_eq!(
+            CostComponent::from_phase(Phase::SpmmForward),
+            Some(CostComponent::SpmmCompute)
+        );
+        assert_eq!(
+            CostComponent::from_phase(Phase::SpmmTranspose),
+            Some(CostComponent::SpmmCompute)
+        );
+        assert_eq!(
+            CostComponent::from_phase(Phase::PrecisionConvert),
+            Some(CostComponent::GatherConvert)
+        );
+        assert_eq!(
+            CostComponent::from_phase(Phase::ReduceSocket),
+            Some(CostComponent::ReduceSocket)
+        );
+        assert_eq!(
+            CostComponent::from_phase(Phase::ReduceNode),
+            Some(CostComponent::ReduceNode)
+        );
+        for p in [Phase::ReduceGlobal, Phase::HaloExchange, Phase::Allreduce] {
+            assert_eq!(
+                CostComponent::from_phase(p),
+                Some(CostComponent::ReduceGlobal)
+            );
+        }
+        assert_eq!(
+            CostComponent::from_phase(Phase::CommWait),
+            Some(CostComponent::CommWait)
+        );
+        assert_eq!(
+            CostComponent::from_phase(Phase::Io),
+            Some(CostComponent::IoStall)
+        );
+        for p in [
+            Phase::SolverIteration,
+            Phase::SolverSetup,
+            Phase::Total,
+            Phase::Custom("bench.warmup"),
+        ] {
+            assert_eq!(CostComponent::from_phase(p), None);
+        }
+    }
+
+    #[test]
+    fn slabs_accumulate_and_drop_out_of_range_keys() {
+        let slabs = ProfileSlabs::new(ProfileDims {
+            tracks: 2,
+            slabs: 2,
+            slices: 2,
+        });
+        slabs.record(0, 0, CostComponent::SpmmCompute, 10);
+        slabs.record(0, 0, CostComponent::SpmmCompute, 5);
+        slabs.set_slab(1);
+        slabs.record(1, 1, CostComponent::CommWait, 7);
+        // Out of range on every axis: dropped, not resized.
+        slabs.record(2, 0, CostComponent::SpmmCompute, 99);
+        slabs.record(0, 2, CostComponent::SpmmCompute, 99);
+        slabs.set_slab(2);
+        slabs.record(0, 0, CostComponent::SpmmCompute, 99);
+        let snap = slabs.snapshot();
+        assert_eq!(snap.get(0, 0, 0, CostComponent::SpmmCompute), 15);
+        assert_eq!(snap.get(1, 1, 1, CostComponent::CommWait), 7);
+        assert_eq!(snap.total_ns(), 22);
+        assert_eq!(snap.component_ns(CostComponent::SpmmCompute), 15);
+        assert_eq!(snap.track_component_ns(1, CostComponent::CommWait), 7);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.get(9, 0, 0, CostComponent::SpmmCompute), 0);
+    }
+}

@@ -11,8 +11,10 @@
 
 use crate::flight::{flight_json, FlightEvent, FlightKind, FlightRing};
 use crate::metrics::{MetricId, MetricsSnapshot, TrackMetrics, TrackMetricsSnapshot};
+use crate::profile::{CostComponent, ProfileDims, ProfileSlabs, ProfileSnapshot};
 use crate::{Clock, MonotonicClock, Phase};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Sentinel end time for a span that has not been closed yet.
 const OPEN: u64 = u64::MAX;
@@ -100,6 +102,10 @@ struct Collector {
     /// order. Only touched at fork and snapshot time, never on the
     /// metric hot path.
     slabs: Mutex<Vec<TrackSlab>>,
+    /// Cost-profile storage, installed at most once by
+    /// [`Telemetry::enable_profile`]. `OnceLock::get` is one atomic
+    /// load, so an unprofiled span close costs a single `None` check.
+    profile: OnceLock<Arc<ProfileSlabs>>,
 }
 
 impl std::fmt::Debug for Collector {
@@ -111,12 +117,17 @@ impl std::fmt::Debug for Collector {
 struct TrackHandle {
     collector: Arc<Collector>,
     track: u32,
-    /// Indices of currently-open spans on this track, innermost last.
-    stack: Mutex<Vec<usize>>,
+    /// Currently-open spans on this track, innermost last: the span's
+    /// index in the collector plus the nanoseconds its *children* have
+    /// accumulated so far, so a closing span can report self time.
+    stack: Mutex<Vec<(usize, u64)>>,
     /// This track's metric slab (shared with the collector registry).
     metrics: Arc<TrackMetrics>,
     /// This track's flight-recorder ring (shared with the registry).
     flight: Arc<Mutex<FlightRing>>,
+    /// Current fused-slice index for cost-profile attribution. Per
+    /// track because pipelined ranks work different slices at once.
+    slice_ctx: AtomicU32,
 }
 
 impl std::fmt::Debug for TrackHandle {
@@ -152,6 +163,7 @@ impl TrackHandle {
             stack: Mutex::new(Vec::new()),
             metrics,
             flight,
+            slice_ctx: AtomicU32::new(0),
         }
     }
 
@@ -216,6 +228,7 @@ impl Telemetry {
             clock,
             state: Mutex::new(State::default()),
             slabs: Mutex::new(Vec::new()),
+            profile: OnceLock::new(),
         });
         Telemetry {
             inner: Some(Arc::new(TrackHandle::register(collector, 0))),
@@ -255,7 +268,7 @@ impl Telemetry {
         let start_ns = handle.collector.clock.now_ns();
         // Lock order is stack → state everywhere (see SpanGuard::drop).
         let mut stack = locked(&handle.stack);
-        let parent = stack.last().copied();
+        let parent = stack.last().map(|&(index, _)| index);
         let index = {
             let mut state = locked(&handle.collector.state);
             let index = state.spans.len();
@@ -268,7 +281,7 @@ impl Telemetry {
             });
             index
         };
-        stack.push(index);
+        stack.push((index, 0));
         drop(stack);
         handle.flight_push(FlightKind::SpanBegin, phase.as_str(), 0, 0);
         SpanGuard {
@@ -361,6 +374,55 @@ impl Telemetry {
         handle.flight_push(FlightKind::Point, code, a, b);
     }
 
+    /// Installs preallocated cost-profile storage sized for `dims`.
+    ///
+    /// Call once, before forking rank handles and before the profiled
+    /// region runs. Returns `true` if profiling is now enabled (idempo-
+    /// tent: a second call keeps the first slab and returns `true`);
+    /// `false` on a disabled handle. After this, every closing span
+    /// whose phase maps to a [`CostComponent`] charges its *self* time
+    /// to the `(track, slab, slice)` context.
+    pub fn enable_profile(&self, dims: ProfileDims) -> bool {
+        let Some(handle) = &self.inner else {
+            return false;
+        };
+        let _ = handle
+            .collector
+            .profile
+            .set(Arc::new(ProfileSlabs::new(dims)));
+        true
+    }
+
+    /// Whether cost-profile storage is installed on this collector.
+    pub fn profile_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|h| h.collector.profile.get().is_some())
+    }
+
+    /// Sets the collector-global streamed-slab context for subsequent
+    /// cost attribution. No-op when disabled or unprofiled.
+    pub fn profile_slab_set(&self, slab: u32) {
+        let Some(handle) = &self.inner else { return };
+        if let Some(profile) = handle.collector.profile.get() {
+            profile.set_slab(slab);
+        }
+    }
+
+    /// Sets this track's fused-slice context for subsequent cost
+    /// attribution. A relaxed atomic store; no-op when disabled.
+    pub fn profile_slice_set(&self, slice: u32) {
+        let Some(handle) = &self.inner else { return };
+        handle.slice_ctx.store(slice, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the cost profile, or `None` when this
+    /// handle is disabled or profiling was never enabled.
+    pub fn profile_snapshot(&self) -> Option<ProfileSnapshot> {
+        let handle = self.inner.as_ref()?;
+        Some(handle.collector.profile.get()?.snapshot())
+    }
+
     /// A point-in-time copy of every track's touched metrics (empty
     /// when disabled).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
@@ -448,8 +510,9 @@ impl Drop for SpanGuard {
         let end_ns = handle.collector.clock.now_ns();
         // Same lock order as Telemetry::span: stack → state.
         let mut stack = locked(&handle.stack);
-        if let Some(pos) = stack.iter().rposition(|&i| i == index) {
-            stack.remove(pos);
+        let mut child_ns = 0;
+        if let Some(pos) = stack.iter().rposition(|&(i, _)| i == index) {
+            child_ns = stack.remove(pos).1;
         }
         let mut duration_ns = 0;
         {
@@ -459,7 +522,21 @@ impl Drop for SpanGuard {
                 duration_ns = span.duration_ns();
             }
         }
+        // The enclosing span's self time excludes this whole span.
+        if let Some(top) = stack.last_mut() {
+            top.1 = top.1.saturating_add(duration_ns);
+        }
         drop(stack);
+        // Charge this span's *self* time (duration minus children) to
+        // the cost profile, if one is installed. One atomic load + one
+        // fetch_add; nothing allocates.
+        if let Some(profile) = handle.collector.profile.get() {
+            if let Some(component) = CostComponent::from_phase(phase) {
+                let self_ns = duration_ns.saturating_sub(child_ns);
+                let slice = handle.slice_ctx.load(Ordering::Relaxed);
+                profile.record(handle.track, slice, component, self_ns);
+            }
+        }
         // comm.wait spans feed the live histogram metric as they close,
         // so the sampler sees the wait distribution mid-run instead of
         // only in the post-hoc span analysis.
@@ -603,6 +680,74 @@ mod tests {
         }
         let snap = tele.snapshot();
         assert_eq!(snap.spans[1].parent, Some(0));
+    }
+
+    #[test]
+    fn profile_charges_exact_self_time_per_component() {
+        use crate::profile::{CostComponent, ProfileDims};
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        assert!(!tele.profile_enabled());
+        assert!(tele.enable_profile(ProfileDims {
+            tracks: 2,
+            slabs: 2,
+            slices: 2,
+        }));
+        assert!(tele.profile_enabled());
+        let rank = tele.fork(1);
+        rank.profile_slice_set(1);
+        {
+            // solver.iteration is orchestration (unattributed); the
+            // nested spmm.forward gets 40ns of self time, and the
+            // iteration's own 110ns of self time is dropped.
+            let _outer = rank.span(Phase::SolverIteration);
+            clock.advance(100);
+            {
+                let _inner = rank.span(Phase::SpmmForward);
+                clock.advance(40);
+            }
+            clock.advance(10);
+        }
+        tele.profile_slab_set(1);
+        {
+            let _w = rank.span(Phase::CommWait);
+            clock.advance(7);
+        }
+        let snap = tele.profile_snapshot().expect("profile enabled");
+        assert_eq!(snap.get(1, 0, 1, CostComponent::SpmmCompute), 40);
+        assert_eq!(snap.get(1, 1, 1, CostComponent::CommWait), 7);
+        assert_eq!(snap.total_ns(), 47);
+        // Disabled handles report no profile.
+        assert_eq!(Telemetry::disabled().profile_snapshot(), None);
+        assert!(!Telemetry::disabled().enable_profile(ProfileDims {
+            tracks: 1,
+            slabs: 1,
+            slices: 1,
+        }));
+    }
+
+    #[test]
+    fn nested_same_phase_spans_do_not_double_charge() {
+        use crate::profile::{CostComponent, ProfileDims};
+        let clock = ManualClock::new();
+        let tele = Telemetry::with_clock(Arc::new(clock.clone()));
+        tele.enable_profile(ProfileDims {
+            tracks: 1,
+            slabs: 1,
+            slices: 1,
+        });
+        {
+            let _outer = tele.span(Phase::ReduceGlobal);
+            clock.advance(5);
+            {
+                let _inner = tele.span(Phase::ReduceGlobal);
+                clock.advance(3);
+            }
+            clock.advance(2);
+        }
+        let snap = tele.profile_snapshot().expect("profile enabled");
+        // 3 (inner) + 7 (outer self) = total 10, not 13.
+        assert_eq!(snap.get(0, 0, 0, CostComponent::ReduceGlobal), 10);
     }
 
     #[test]

@@ -243,6 +243,17 @@ pub enum ViolationKind {
         /// How many slabs the plan has.
         slabs: usize,
     },
+    /// The plan carries measured tile weights whose table does not match
+    /// the tile grid its volume decomposes into — the weighted Hilbert
+    /// partition would panic (short table) or silently ignore entries
+    /// (long table).
+    WeightGridMismatch {
+        /// Weight entries the plan carries.
+        weights: usize,
+        /// Tiles per axis of the `n × n` slice plane at the weights'
+        /// tile size.
+        grid_side: usize,
+    },
     /// The interval bounds proof failed: an index table reaches outside
     /// the buffer it addresses.
     IndexOutOfBounds {
@@ -373,6 +384,11 @@ impl fmt::Display for ViolationKind {
             ViolationKind::ResidencyConflict { index, slabs } => write!(
                 f,
                 "slab {index} residency contradicts the slab count ({slabs})"
+            ),
+            ViolationKind::WeightGridMismatch { weights, grid_side } => write!(
+                f,
+                "tile-weight table has {weights} entries, the volume decomposes into a \
+                 {grid_side}x{grid_side} tile grid"
             ),
             ViolationKind::IndexOutOfBounds { access, index, len } => write!(
                 f,

@@ -26,6 +26,10 @@ use xct_plan::{ReconPlan, Residency, MAX_FUSING_TAGS};
 ///   (the streaming executor pages *every* slab through I/O).
 /// * **Tag discipline** — the fusing factor keeps the per-slice salts
 ///   (`(f + 1) << 44`) clear of the reserved reply bit.
+/// * **Weights** — measured tile weights (`--weights-from`), when
+///   present, cover the `ceil(n / tile_size)²` tile grid exactly, so
+///   the weighted Hilbert partition neither panics on a short table
+///   nor silently ignores trailing entries.
 ///
 /// Plan-scoped findings carry rank 0 and no exchange level: a plan
 /// defect is global, not attributable to a rank or exchange.
@@ -59,6 +63,27 @@ pub fn plan_fits(plan: &ReconPlan) -> VerifyReport {
                 exchange: format!("fused slice {} of the plan", plan.fusing - 1),
             },
         );
+    }
+
+    if let Some(tw) = &plan.tile_weights {
+        if tw.tile_size == 0 {
+            report.push(
+                0,
+                None,
+                ViolationKind::Malformed {
+                    detail: "tile weights carry a zero tile size".to_string(),
+                },
+            );
+        } else if tw.weights.len() != tw.expected_len(plan.dims.n) {
+            report.push(
+                0,
+                None,
+                ViolationKind::WeightGridMismatch {
+                    weights: tw.weights.len(),
+                    grid_side: tw.grid_side(plan.dims.n),
+                },
+            );
+        }
     }
 
     let slabs = plan.slabs.len();
@@ -322,6 +347,50 @@ mod tests {
         assert!(report.violations.iter().any(|v| matches!(
             v.kind,
             ViolationKind::ReservedTagBit { tag, .. } if tag >> 63 == 1
+        )));
+    }
+
+    #[test]
+    fn measured_weights_covering_the_grid_pass() {
+        let plan = streamed_plan();
+        let tile = 4;
+        let side = plan.dims.n.div_ceil(tile);
+        let weighted = plan.with_tile_weights(xct_plan::TileWeights {
+            tile_size: tile,
+            weights: vec![1; side * side],
+        });
+        plan_fits(&weighted).assert_ok("weighted plan");
+    }
+
+    #[test]
+    fn short_weight_table_is_rejected_with_the_grid_witness() {
+        let plan = streamed_plan();
+        // 16-cell side at tile 4 → 4x4 grid → 16 weights required.
+        let weighted = plan.with_tile_weights(xct_plan::TileWeights {
+            tile_size: 4,
+            weights: vec![1; 15],
+        });
+        let report = plan_fits(&weighted);
+        assert!(report.violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::WeightGridMismatch {
+                weights: 15,
+                grid_side: 4,
+            }
+        )));
+    }
+
+    #[test]
+    fn zero_tile_size_weights_are_malformed() {
+        let plan = streamed_plan();
+        let weighted = plan.with_tile_weights(xct_plan::TileWeights {
+            tile_size: 0,
+            weights: vec![],
+        });
+        let report = plan_fits(&weighted);
+        assert!(report.violations.iter().any(|v| matches!(
+            &v.kind,
+            ViolationKind::Malformed { detail } if detail.contains("zero tile size")
         )));
     }
 

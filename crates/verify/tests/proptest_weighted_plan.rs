@@ -1,0 +1,79 @@
+//! Property tests for the `--weights-from` gate: every weighted plan
+//! the pipeline can actually produce — a planner-emitted plan carrying
+//! a weight table that covers its tile grid — must pass `plan_fits`,
+//! and every table of the wrong length must be rejected with the
+//! grid-mismatch witness.
+
+#![forbid(unsafe_code)]
+
+use proptest::prelude::*;
+use xct_comm::Topology;
+use xct_plan::{Planner, TileWeights, VolumeDims};
+use xct_verify::{plan_fits, ViolationKind};
+
+proptest! {
+    /// Producible weighted plans pass: arbitrary per-tile weights
+    /// (zeros and nanosecond-scale values alike) on a grid-covering
+    /// table never trip the verifier. This is the invariant the
+    /// `petaxct profile` → `--weights-from` loop rests on — any profile
+    /// artifact whose tile table decodes becomes one of these plans.
+    #[test]
+    fn grid_covering_weight_tables_always_verify(
+        (n, slices, angles, tile, weights) in (8usize..40, 1usize..8, 4usize..32, 1usize..12)
+            .prop_flat_map(|(n, slices, angles, tile)| {
+                let side = n.div_ceil(tile);
+                (
+                    Just(n),
+                    Just(slices),
+                    Just(angles),
+                    Just(tile),
+                    prop::collection::vec(0u64..10_000_000_000, side * side..=side * side),
+                )
+            }),
+        topo_sel in 0u8..4,
+    ) {
+        let topology = match topo_sel {
+            0 => Topology::new(1, 1, 1),
+            1 => Topology::new(1, 1, 2),
+            2 => Topology::new(1, 2, 2),
+            _ => Topology::new(2, 2, 1),
+        };
+        let plan = Planner::default()
+            .plan(VolumeDims { n, slices }, angles, None, topology)
+            .unwrap()
+            .with_tile_weights(TileWeights { tile_size: tile, weights });
+        plan_fits(&plan).assert_ok("planner plan + grid-covering weights");
+    }
+
+    /// A table that misses the grid by even one entry is rejected, and
+    /// the witness names both the table length and the grid side.
+    #[test]
+    fn mis_sized_weight_tables_are_rejected_with_the_grid_witness(
+        n in 8usize..40,
+        tile in 1usize..12,
+        off_by in 1usize..4,
+        longer in any::<bool>(),
+    ) {
+        let side = n.div_ceil(tile);
+        let want = side * side;
+        let len = if longer { want + off_by } else { want.saturating_sub(off_by) };
+        prop_assume!(len != want);
+        let plan = Planner::default()
+            .plan(VolumeDims { n, slices: 2 }, 8, None, Topology::new(1, 1, 2))
+            .unwrap()
+            .with_tile_weights(TileWeights {
+                tile_size: tile,
+                weights: vec![1u64; len],
+            });
+        let report = plan_fits(&plan);
+        prop_assert!(!report.ok());
+        prop_assert!(
+            report.violations.iter().any(|v| matches!(
+                v.kind,
+                ViolationKind::WeightGridMismatch { weights, grid_side }
+                    if weights == len && grid_side == side
+            )),
+            "missing grid witness in: {report}"
+        );
+    }
+}

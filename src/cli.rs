@@ -13,20 +13,23 @@ use xct_analytic::{filtered_backprojection, FilterKind};
 use xct_bench::tune::{run_tune, TuneParams};
 use xct_cluster::MachineSpec;
 use xct_comm::{CommReport, CompiledPlans, HierarchicalPlan, Topology, WireModel};
-use xct_core::distributed::DistributedConfig;
+use xct_core::distributed::{reconstruct_distributed, DistributedConfig};
 use xct_core::model::{ModelExperiment, OptLevel};
 use xct_core::{
-    reconstruct_planned, reconstruct_volume_in, Algorithm, ReconOptions, Reconstructor,
+    build_profile_report, reconstruct_planned, reconstruct_volume_in, Algorithm, ProfileInputs,
+    ReconOptions, Reconstructor,
 };
 use xct_exec::{ExecContext, ExecCounters};
 use xct_fp16::Precision;
-use xct_geometry::{ImageGrid, ScanGeometry};
+use xct_geometry::{ImageGrid, ScanGeometry, SystemMatrix};
+use xct_hilbert::{CurveKind, Domain2D, Subdomain, TileDecomposition};
 use xct_io::{FileKind, SliceFile, SliceReader, SliceWriter};
 use xct_phantom::{add_poisson_noise, DatasetSpec, Image2D};
-use xct_plan::{Planner, TunePoint, TuneReport, VolumeDims};
+use xct_plan::{Planner, ProfileReport, TileWeights, TunePoint, TuneReport, VolumeDims};
 use xct_telemetry::{
     chrome_trace, install_flight_panic_hook, metrics_csv, metrics_series_json, prometheus_text,
-    render_progress, Breakdown, CausalAnalysis, Json, Phase, PhaseHistograms, Sampler, Telemetry,
+    render_progress, Breakdown, CausalAnalysis, Json, Phase, PhaseHistograms, ProfileDims, Sampler,
+    Telemetry,
 };
 use xct_verify::plan_fits;
 
@@ -433,6 +436,18 @@ USAGE:
                                                 every rank (spans, events, metric
                                                 deltas) as petaxct-flightrec-v1
                                                 JSON to FILE
+                      [--profile-out FILE]      enable the hierarchical cost
+                                                profiler (distributed runs only)
+                                                and write the measured per-rank/
+                                                per-tile costs, model-drift table,
+                                                and skew report as a
+                                                petaxct-profile-v1 artifact
+                      [--weights-from FILE]     re-run the x-z Hilbert partition
+                                                with the measured per-tile costs
+                                                of a petaxct-profile-v1 artifact
+                                                instead of uniform cell counts
+                                                (offline rebalance; plan_fits
+                                                still gates the weighted plan)
   petaxct fbp         --in FILE --out FILE [--filter ramlak|shepplogan|hann]
   petaxct info        --in FILE
   petaxct render      --in FILE --slice 0 --out FILE.pgm
@@ -445,6 +460,19 @@ USAGE:
                       sweep the SpMM tile shape (block size x staging bytes x
                       fusing) and write the measurements as a petaxct-tune-v1
                       artifact for --tune-from
+  petaxct profile     [--n 24] [--angles 24] [--slices 2] [--iterations 4]
+                      [--precision single] [--topology 1x2x2] [--tile 4]
+                      [--phantom shale] [--seed 1] [--overlap]
+                      [--wire [LAT_USxMBPS]] [--out PROFILE.json] [--json]
+                      [--weights-from FILE]
+                      profile a synthetic distributed reconstruction with the
+                      hierarchical cost profiler: per-rank component costs
+                      (SpMM, gather/convert, socket/node/global reduction,
+                      comm-wait, I/O stall) joined with critical-path slack,
+                      per-tile derived costs, and the model-vs-measured drift
+                      table, written as a petaxct-profile-v1 artifact for
+                      --weights-from; --json prints the artifact instead of
+                      the drift/skew tables
   petaxct analyze     [--root DIR] [--self-test]
                       two-layer workspace invariant checker (DESIGN.md
                       Sec. 3i): source lints over every .rs file (unsafe
@@ -472,6 +500,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "render" => render(&flags),
         "model" => model(&flags),
         "tune" => tune(&flags),
+        "profile" => profile(&flags),
         "analyze" => analyze(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
@@ -553,12 +582,14 @@ fn open_sinogram(path: &str) -> Result<(SliceReader, usize, usize), CliError> {
 fn reconstruct(flags: &Flags) -> Result<String, CliError> {
     let tel_args = TelemetryArgs::from_flags(flags);
     let metrics_args = MetricsArgs::from_flags(flags)?;
-    // Any sink — telemetry report or live metrics — turns collection on.
-    let telemetry = if tel_args.wanted() || metrics_args.wanted() {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    // Any sink — telemetry report, live metrics, or the cost profiler —
+    // turns collection on.
+    let telemetry =
+        if tel_args.wanted() || metrics_args.wanted() || flags.get("profile-out").is_some() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
     let metrics = MetricsSession::start(&telemetry, metrics_args);
     match reconstruct_inner(flags, &telemetry, &tel_args) {
         Ok(text) => Ok(text + &metrics.finish()?),
@@ -672,12 +703,30 @@ fn reconstruct_inner(
                 max_fusing,
                 kernel: tuned.as_ref().map(|t| t.shape()),
             };
-            let plan = planner
+            let mut plan = planner
                 .plan(VolumeDims { n, slices }, angles, budget, *topology)
                 .map_err(|e| CliError(format!("{e}")))?;
+            // Measured tile weights (petaxct profile → --weights-from)
+            // ride on the plan so plan_fits gates them like every other
+            // promise before the decomposition re-runs with them.
+            let weights = flags
+                .get("weights-from")
+                .map(load_profile_weights)
+                .transpose()?;
+            if let Some(w) = weights {
+                plan = plan.with_tile_weights(w);
+            }
             let fits = plan_fits(&plan);
             if !fits.ok() {
                 return Err(CliError(format!("reconstruction plan rejected:\n{fits}")));
+            }
+            let profile_out = flags.get("profile-out").map(str::to_owned);
+            if profile_out.is_some() {
+                telemetry.enable_profile(ProfileDims {
+                    tracks: topology.size(),
+                    slabs: plan.slabs.len(),
+                    slices: plan.fusing,
+                });
             }
             let base = DistributedConfig {
                 iterations,
@@ -701,16 +750,45 @@ fn reconstruct_inner(
                 None => String::new(),
             };
             let text = format!(
-                "reconstructed {} slices in {} batches on {} simulated ranks ({} precision, {} iters/batch{}{}{}{}); worst residual {:.5}; volume in {out}{plan_note}",
+                "reconstructed {} slices in {} batches on {} simulated ranks ({} precision, {} iters/batch{}{}{}{}{}); worst residual {:.5}; volume in {out}{plan_note}",
                 stats.slices, stats.slabs, topology.size(), precision, iterations,
                 if overlap { ", comm overlapped" } else { "" },
                 if base.wire.is_some() { ", wired" } else { "" },
                 if verify_plans { ", plans verified" } else { "" },
                 if stats.streamed { ", streamed" } else { "" },
+                if plan.tile_weights.is_some() { ", rebalanced" } else { "" },
                 stats.worst_residual
             );
             drop(total_span);
+            let profile_note = match &profile_out {
+                Some(path) => {
+                    // The executor decomposes at the weights' tile size
+                    // when rebalancing, at the default otherwise
+                    // (mirrors reconstruct_planned's override).
+                    let tile = plan
+                        .tile_weights
+                        .as_ref()
+                        .map_or(base.tile, |tw| tw.tile_size);
+                    let report = build_profile_artifact(
+                        recon.scan(),
+                        &plan,
+                        *topology,
+                        precision,
+                        iterations,
+                        tile,
+                        telemetry,
+                    )?;
+                    write_file(path, &report.to_json().to_string())?;
+                    format!(
+                        "\nprofile: max rank slack {} ns, max/mean tile cost {:.2}; wrote {path}",
+                        report.skew.max_rank_slack_ns,
+                        report.skew.max_over_mean(),
+                    )
+                }
+                None => String::new(),
+            };
             Ok(text
+                + &profile_note
                 + &tel_args.emit(
                     telemetry,
                     "reconstruct",
@@ -779,6 +857,212 @@ fn load_tuned_point(path: &str) -> Result<TunePoint, CliError> {
         .best()
         .copied()
         .ok_or_else(|| CliError(format!("tune file {path} has an empty sweep")))
+}
+
+/// Loads a `petaxct-profile-v1` artifact and returns its measured
+/// per-tile weights (`--weights-from`).
+fn load_profile_weights(path: &str) -> Result<TileWeights, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read profile file {path}: {e}")))?;
+    let report = ProfileReport::parse(&text)
+        .map_err(|e| CliError(format!("cannot parse profile file {path}: {e}")))?;
+    Ok(report.tile_weights())
+}
+
+/// Joins a profiled run's telemetry (span snapshot + cost-profiler slab)
+/// with the analytic model's prediction for the same plan into the
+/// `petaxct-profile-v1` report, and flight-records the snapshot moment.
+fn build_profile_artifact(
+    scan: &ScanGeometry,
+    plan: &xct_plan::ReconPlan,
+    topology: Topology,
+    precision: Precision,
+    iterations: usize,
+    tile: usize,
+    telemetry: &Telemetry,
+) -> Result<ProfileReport, CliError> {
+    let snapshot = telemetry.snapshot();
+    let profile = telemetry
+        .profile_snapshot()
+        .ok_or_else(|| CliError("cost profiler was never enabled".to_owned()))?;
+    // Score the measured run against the analytic model at the smallest
+    // machine carrying the run's node count; shares (not magnitudes)
+    // make the comparison meaningful across scales.
+    let machine = MachineSpec::summit(topology.nodes.max(1));
+    let est = ModelExperiment::from_plan(plan, machine, OptLevel::full(), iterations).run();
+    let report = build_profile_report(&ProfileInputs {
+        scan,
+        slices: plan.dims.slices,
+        topology,
+        precision,
+        tile,
+        tile_weights: plan.tile_weights.as_ref().map(|tw| tw.weights.as_slice()),
+        snapshot: &snapshot,
+        profile: &profile,
+        model: Some(&est),
+    });
+    telemetry.flight_point(
+        "profile.snapshot",
+        report.skew.max_rank_slack_ns,
+        report.skew.critical_path_ns,
+    );
+    Ok(report)
+}
+
+/// Plan-level rebalance preview: the per-rank sums of the artifact's
+/// measured tile costs under the executed uniform ownership versus a
+/// re-partition weighted by those same costs. Deterministic given the
+/// artifact — this is exactly the imbalance `--weights-from` removes,
+/// independent of run-to-run timing noise.
+fn rebalance_preview(scan: &ScanGeometry, tile: usize, ranks: usize, costs: &[u64]) -> String {
+    let tomo = TileDecomposition::new(
+        Domain2D::new(scan.grid.nx, scan.grid.nz),
+        tile,
+        CurveKind::Hilbert,
+    );
+    let (tiles_x, _) = tomo.tile_grid();
+    let rank_max = |subs: &[Subdomain]| -> u64 {
+        subs.iter()
+            .map(|sd| {
+                sd.tiles
+                    .iter()
+                    .map(|t| costs[t.ty * tiles_x + t.tx])
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    let uniform_parts = tomo.partition(ranks);
+    let weighted_parts = tomo.partition_weighted(ranks, costs);
+    let mut owner = std::collections::HashMap::new();
+    for sd in &uniform_parts {
+        for t in &sd.tiles {
+            owner.insert((t.tx, t.ty), sd.id);
+        }
+    }
+    let moved = weighted_parts
+        .iter()
+        .flat_map(|sd| sd.tiles.iter().map(move |t| (t, sd.id)))
+        .filter(|(t, id)| owner.get(&(t.tx, t.ty)) != Some(id))
+        .count();
+    let uniform = rank_max(&uniform_parts);
+    let weighted = rank_max(&weighted_parts);
+    let total: u64 = costs.iter().sum();
+    let ideal = total.div_ceil(ranks.max(1) as u64);
+    format!(
+        "rebalance preview (measured tile costs, {ranks} ranks, ideal {ideal}ns/rank):\n  \
+         uniform ownership:  max rank {uniform}ns, slack {}ns\n  \
+         weighted ownership: max rank {weighted}ns, slack {}ns ({moved} tiles re-homed)",
+        uniform.saturating_sub(ideal),
+        weighted.saturating_sub(ideal),
+    )
+}
+
+/// `petaxct profile` — run a synthetic distributed reconstruction with
+/// the cost profiler enabled and emit the `petaxct-profile-v1` artifact
+/// plus the human drift/skew tables. With `--weights-from` the run
+/// itself repartitions by a previous profile's measured tile costs, so
+/// two invocations close the rebalance loop end to end.
+fn profile(flags: &Flags) -> Result<String, CliError> {
+    let n: usize = flags.parse_or("n", 24)?;
+    let angles: usize = flags.parse_or("angles", 24)?;
+    let slices: usize = flags.parse_or("slices", 2)?;
+    let iterations: usize = flags.parse_or("iterations", 4)?;
+    let seed: u64 = flags.parse_or("seed", 1)?;
+    let precision: Precision = flags
+        .get("precision")
+        .unwrap_or("single")
+        .parse()
+        .map_err(|e| CliError(format!("{e}")))?;
+    let topology = flags
+        .get("topology")
+        .map(parse_topology)
+        .transpose()?
+        .unwrap_or_else(|| Topology::new(1, 2, 2));
+    let phantom = flags.get("phantom").unwrap_or("shale").to_owned();
+    let out = flags.get("out").unwrap_or("PROFILE.json").to_owned();
+    let overlap = flags.switch("overlap");
+    let wire = flags
+        .get("wire")
+        .map(|spec| parse_wire(spec, &topology))
+        .transpose()?;
+    let weights = flags
+        .get("weights-from")
+        .map(load_profile_weights)
+        .transpose()?;
+    let mut tile: usize = flags.parse_or("tile", 4)?;
+    if let Some(w) = &weights {
+        if flags.get("tile").is_none() {
+            tile = w.tile_size;
+        } else if tile != w.tile_size {
+            return Err(CliError(format!(
+                "--tile {tile} contradicts the weights' tile size {}",
+                w.tile_size
+            )));
+        }
+    }
+
+    let scan = scan_for(n, angles);
+    let sm = SystemMatrix::build(&scan);
+    let mut sino = vec![0.0f32; sm.num_rays() * slices];
+    for s in 0..slices {
+        let img = phantom_slice(&phantom, n, seed + s as u64)?;
+        sm.project(
+            &img.data,
+            &mut sino[s * sm.num_rays()..(s + 1) * sm.num_rays()],
+        );
+    }
+
+    let telemetry = Telemetry::enabled();
+    telemetry.enable_profile(ProfileDims {
+        tracks: topology.size(),
+        slabs: 1,
+        slices,
+    });
+    let cfg = DistributedConfig {
+        topology,
+        precision,
+        fusing: slices,
+        hierarchical: true,
+        overlap,
+        wire,
+        iterations,
+        tile,
+        telemetry: telemetry.clone(),
+        tile_weights: weights.clone(),
+        ..Default::default()
+    };
+    let result = reconstruct_distributed(&scan, &sino, &cfg);
+
+    // The model joins on a plan of the same problem; the weights ride
+    // along so the per-tile attribution matches the executed ownership.
+    let mut plan = Planner {
+        precision,
+        hierarchical: true,
+        overlap,
+        max_fusing: slices.max(1),
+        kernel: None,
+    }
+    .plan(VolumeDims { n, slices }, angles, None, topology)
+    .map_err(|e| CliError(format!("{e}")))?;
+    if let Some(w) = weights {
+        plan = plan.with_tile_weights(w);
+    }
+    let report = build_profile_artifact(
+        &scan, &plan, topology, precision, iterations, tile, &telemetry,
+    )?;
+    let json_text = report.to_json().to_string();
+    write_file(&out, &json_text)?;
+    if flags.switch("json") {
+        return Ok(json_text);
+    }
+    let residual = result.residual_history.last().copied().unwrap_or(1.0);
+    let preview = rebalance_preview(&scan, tile, topology.size(), &report.tile_costs_ns);
+    Ok(format!(
+        "{}\n{preview}\nfinal residual {residual:.5}\nwrote {out}; close the loop with \
+         `petaxct reconstruct --weights-from {out}` or `petaxct profile --weights-from {out}`",
+        report.render_text().trim_end(),
+    ))
 }
 
 /// Parses a comma-separated list flag (`--blocks 32,64,128`).

@@ -214,6 +214,37 @@ fn disabled_metrics_and_flight_recorder_record_nothing_and_do_not_allocate() {
 }
 
 #[test]
+fn disabled_profile_context_calls_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+
+    // Both flavors of "profiling off": a fully disabled handle, and an
+    // enabled handle on which enable_profile was never called. The
+    // slab/slice context setters must be no-ops on the heap (a None
+    // check, then at most an atomic store), and closing a span whose
+    // phase maps to a cost component must not allocate through the
+    // absent profile slab.
+    let disabled = Telemetry::disabled();
+    let enabled = Telemetry::enabled();
+    assert!(!disabled.profile_enabled());
+    assert!(!enabled.profile_enabled());
+    let before = allocations();
+    for i in 0..1000u32 {
+        disabled.profile_slab_set(i % 4);
+        disabled.profile_slice_set(i % 8);
+        let _span = disabled.span(Phase::SpmmForward);
+        enabled.profile_slab_set(i % 4);
+        enabled.profile_slice_set(i % 8);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "profile context calls without an installed profile must not touch the heap"
+    );
+    assert!(disabled.profile_snapshot().is_none());
+    assert!(enabled.profile_snapshot().is_none());
+}
+
+#[test]
 fn enabled_metrics_are_allocation_free_after_handle_creation() {
     let _guard = SERIAL.lock().unwrap();
 
